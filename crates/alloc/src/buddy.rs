@@ -1,0 +1,284 @@
+//! Buddy-system allocator (Dartmouth Time-Sharing System style).
+//!
+//! The paper's survey of data-layout approaches (Section 3.4) cites the DTSS
+//! filesystem, which laid files out with the buddy system and thereby imposed
+//! hard limits on the number of fragments per file at the price of internal
+//! fragmentation.  This allocator reproduces that design so the ablation
+//! benches can compare it with the fit policies and the NTFS run cache.
+//!
+//! Space is managed in power-of-two blocks.  A request is rounded up to the
+//! next power of two; freeing a block recursively merges it with its buddy
+//! whenever the buddy is also free.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AllocError;
+use crate::extent::Extent;
+use crate::policy::{AllocRequest, Allocator, Contiguity};
+
+/// Buddy allocator over `2^max_order` clusters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BuddyAllocator {
+    /// log2 of the managed cluster count.
+    max_order: u32,
+    /// `free_lists[order]` holds the start cluster of every free block of
+    /// `2^order` clusters.
+    free_lists: Vec<BTreeSet<u64>>,
+    free: u64,
+    /// (start, order) of every live allocation, so `free` can validate and so
+    /// internal fragmentation can be reported.
+    allocated: BTreeSet<(u64, u32)>,
+    /// Clusters requested by callers (before rounding up), for internal-
+    /// fragmentation accounting.
+    requested: u64,
+}
+
+impl BuddyAllocator {
+    /// Creates a buddy allocator managing `2^max_order` clusters.
+    ///
+    /// # Panics
+    /// Panics if `max_order` exceeds 62 (the block size would overflow).
+    pub fn new(max_order: u32) -> Self {
+        assert!(max_order <= 62, "buddy order too large");
+        let mut free_lists = vec![BTreeSet::new(); max_order as usize + 1];
+        free_lists[max_order as usize].insert(0);
+        BuddyAllocator {
+            max_order,
+            free_lists,
+            free: 1u64 << max_order,
+            allocated: BTreeSet::new(),
+            requested: 0,
+        }
+    }
+
+    /// Creates a buddy allocator with at least `clusters` clusters (rounded up
+    /// to the next power of two).
+    pub fn with_capacity(clusters: u64) -> Self {
+        let order = (64 - clusters.next_power_of_two().leading_zeros() - 1).max(0);
+        Self::new(order)
+    }
+
+    /// The smallest power-of-two order that holds `clusters` clusters.
+    pub fn order_for(clusters: u64) -> u32 {
+        if clusters <= 1 {
+            0
+        } else {
+            64 - (clusters - 1).leading_zeros()
+        }
+    }
+
+    /// Clusters wasted to power-of-two rounding across live allocations.
+    pub fn internal_fragmentation(&self) -> u64 {
+        let granted: u64 = self.allocated.iter().map(|&(_, order)| 1u64 << order).sum();
+        granted.saturating_sub(self.requested)
+    }
+
+    /// Splits blocks until a block of exactly `order` is available, then
+    /// returns its start cluster.
+    fn carve(&mut self, order: u32) -> Option<u64> {
+        if order > self.max_order {
+            return None;
+        }
+        if let Some(&start) = self.free_lists[order as usize].iter().next() {
+            self.free_lists[order as usize].remove(&start);
+            return Some(start);
+        }
+        // Split a larger block.
+        let parent_start = self.carve(order + 1)?;
+        let buddy = parent_start + (1u64 << order);
+        self.free_lists[order as usize].insert(buddy);
+        Some(parent_start)
+    }
+
+    /// Returns a block to the free lists, merging buddies as far as possible.
+    fn merge(&mut self, mut start: u64, mut order: u32) {
+        while order < self.max_order {
+            let buddy = start ^ (1u64 << order);
+            if self.free_lists[order as usize].remove(&buddy) {
+                start = start.min(buddy);
+                order += 1;
+            } else {
+                break;
+            }
+        }
+        self.free_lists[order as usize].insert(start);
+    }
+}
+
+impl Allocator for BuddyAllocator {
+    fn allocate(&mut self, request: &AllocRequest) -> Result<Vec<Extent>, AllocError> {
+        if request.clusters == 0 {
+            return Err(AllocError::EmptyRequest);
+        }
+        let order = Self::order_for(request.clusters);
+        let block = 1u64 << order;
+        if block > self.free {
+            return Err(AllocError::OutOfSpace { requested: request.clusters, available: self.free });
+        }
+        let Some(start) = self.carve(order) else {
+            // Enough total space but no block large enough after buddy
+            // constraints: for the buddy system this is the contiguity limit.
+            let largest = self
+                .free_lists
+                .iter()
+                .enumerate()
+                .rev()
+                .find(|(_, list)| !list.is_empty())
+                .map(|(order, _)| 1u64 << order)
+                .unwrap_or(0);
+            return Err(match request.contiguity {
+                Contiguity::Required => {
+                    AllocError::NoContiguousRun { requested: request.clusters, largest_run: largest }
+                }
+                Contiguity::BestEffort => {
+                    AllocError::OutOfSpace { requested: request.clusters, available: self.free }
+                }
+            });
+        };
+        self.free -= block;
+        self.requested += request.clusters;
+        self.allocated.insert((start, order));
+        // The buddy system always returns one block; callers see the extent
+        // they asked for, but the whole block is reserved (internal
+        // fragmentation), exactly as in DTSS.
+        Ok(vec![Extent::new(start, request.clusters)])
+    }
+
+    fn free(&mut self, extents: &[Extent]) -> Result<(), AllocError> {
+        for extent in extents {
+            let order = Self::order_for(extent.len);
+            if !self.allocated.remove(&(extent.start, order)) {
+                return Err(AllocError::NotAllocated { start: extent.start, len: extent.len });
+            }
+            self.requested = self.requested.saturating_sub(extent.len);
+            self.free += 1u64 << order;
+            self.merge(extent.start, order);
+        }
+        Ok(())
+    }
+
+    fn total_clusters(&self) -> u64 {
+        1u64 << self.max_order
+    }
+
+    fn free_clusters(&self) -> u64 {
+        self.free
+    }
+
+    fn free_runs(&self) -> Vec<Extent> {
+        let mut runs: Vec<Extent> = self
+            .free_lists
+            .iter()
+            .enumerate()
+            .flat_map(|(order, list)| {
+                list.iter().map(move |&start| Extent::new(start, 1u64 << order))
+            })
+            .collect();
+        runs.sort_by_key(|e| e.start);
+        // Coalesce adjacent buddies of different orders for reporting.
+        let mut out: Vec<Extent> = Vec::with_capacity(runs.len());
+        for run in runs {
+            match out.last_mut() {
+                Some(last) if last.is_followed_by(&run) => last.len += run.len,
+                _ => out.push(run),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_for_rounds_up() {
+        assert_eq!(BuddyAllocator::order_for(1), 0);
+        assert_eq!(BuddyAllocator::order_for(2), 1);
+        assert_eq!(BuddyAllocator::order_for(3), 2);
+        assert_eq!(BuddyAllocator::order_for(4), 2);
+        assert_eq!(BuddyAllocator::order_for(5), 3);
+        assert_eq!(BuddyAllocator::order_for(1024), 10);
+        assert_eq!(BuddyAllocator::order_for(1025), 11);
+    }
+
+    #[test]
+    fn allocations_never_fragment() {
+        let mut buddy = BuddyAllocator::new(12); // 4096 clusters
+        for len in [1u64, 3, 17, 64, 100, 500] {
+            let extents = buddy.allocate(&AllocRequest::best_effort(len)).unwrap();
+            assert_eq!(extents.len(), 1, "buddy allocations are single extents");
+            assert_eq!(extents[0].len, len);
+        }
+    }
+
+    #[test]
+    fn internal_fragmentation_is_tracked() {
+        let mut buddy = BuddyAllocator::new(10);
+        let a = buddy.allocate(&AllocRequest::best_effort(5)).unwrap(); // rounds to 8
+        let b = buddy.allocate(&AllocRequest::best_effort(17)).unwrap(); // rounds to 32
+        assert_eq!(buddy.internal_fragmentation(), (8 - 5) + (32 - 17));
+        buddy.free(&a).unwrap();
+        buddy.free(&b).unwrap();
+        assert_eq!(buddy.internal_fragmentation(), 0);
+    }
+
+    #[test]
+    fn free_merges_buddies_back_to_a_single_block() {
+        let mut buddy = BuddyAllocator::new(8); // 256 clusters
+        let blocks: Vec<_> = (0..8)
+            .map(|_| buddy.allocate(&AllocRequest::best_effort(32)).unwrap())
+            .collect();
+        assert_eq!(buddy.free_clusters(), 0);
+        for block in &blocks {
+            buddy.free(block).unwrap();
+        }
+        assert_eq!(buddy.free_clusters(), 256);
+        assert_eq!(buddy.free_runs(), vec![Extent::new(0, 256)]);
+    }
+
+    #[test]
+    fn accounting_reflects_block_granularity() {
+        let mut buddy = BuddyAllocator::new(6); // 64 clusters
+        buddy.allocate(&AllocRequest::best_effort(33)).unwrap(); // takes the whole volume
+        assert_eq!(buddy.free_clusters(), 0);
+        assert!(matches!(
+            buddy.allocate(&AllocRequest::best_effort(1)),
+            Err(AllocError::OutOfSpace { .. })
+        ));
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let mut buddy = BuddyAllocator::new(6);
+        let a = buddy.allocate(&AllocRequest::best_effort(4)).unwrap();
+        buddy.free(&a).unwrap();
+        assert!(buddy.free(&a).is_err());
+    }
+
+    #[test]
+    fn contiguity_limit_is_reported() {
+        let mut buddy = BuddyAllocator::new(4); // 16 clusters
+        // Fill the volume with 2-cluster blocks, then free two blocks that are
+        // not buddies of each other: 4 clusters are free but the largest
+        // contiguous block is 2.
+        let blocks: Vec<_> = (0..8)
+            .map(|_| buddy.allocate(&AllocRequest::best_effort(2)).unwrap())
+            .collect();
+        buddy.free(&blocks[0]).unwrap();
+        buddy.free(&blocks[2]).unwrap();
+        assert_eq!(buddy.free_clusters(), 4);
+        let err = buddy.allocate(&AllocRequest::contiguous(4)).unwrap_err();
+        assert!(matches!(err, AllocError::NoContiguousRun { largest_run: 2, .. }));
+    }
+
+    #[test]
+    fn with_capacity_rounds_up() {
+        let buddy = BuddyAllocator::with_capacity(1000);
+        assert_eq!(buddy.total_clusters(), 1024);
+        let buddy = BuddyAllocator::with_capacity(1024);
+        assert_eq!(buddy.total_clusters(), 1024);
+    }
+}

@@ -1,0 +1,219 @@
+//! Fragmentation metrics.
+//!
+//! Two families of numbers matter to the paper:
+//!
+//! * **Per-object fragmentation** — how many physically discontiguous pieces
+//!   an object (file or BLOB) is stored in.  The paper's figures all report
+//!   *fragments per object*.
+//! * **Free-space fragmentation** — how chopped-up the remaining free space
+//!   is, which predicts how badly *future* allocations will fragment.
+
+use serde::{Deserialize, Serialize};
+
+use crate::extent::{Extent, ExtentListExt};
+use crate::freespace::FreeSpace;
+
+/// Summary statistics over the fragment counts of a population of objects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FragmentationSummary {
+    /// Number of objects measured.
+    pub objects: usize,
+    /// Total fragments across all objects.
+    pub total_fragments: u64,
+    /// Mean fragments per object (the paper's y-axis).
+    pub fragments_per_object: f64,
+    /// Smallest fragment count observed.
+    pub min_fragments: u64,
+    /// Largest fragment count observed.
+    pub max_fragments: u64,
+    /// Median fragment count.
+    pub median_fragments: f64,
+    /// Fraction of objects stored in a single fragment.
+    pub contiguous_fraction: f64,
+}
+
+impl FragmentationSummary {
+    /// Computes the summary from per-object fragment counts.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        if counts.is_empty() {
+            return FragmentationSummary {
+                objects: 0,
+                total_fragments: 0,
+                fragments_per_object: 0.0,
+                min_fragments: 0,
+                max_fragments: 0,
+                median_fragments: 0.0,
+                contiguous_fraction: 0.0,
+            };
+        }
+        let mut sorted = counts.to_vec();
+        sorted.sort_unstable();
+        let total: u64 = sorted.iter().sum();
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2] as f64
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) as f64 / 2.0
+        };
+        FragmentationSummary {
+            objects: n,
+            total_fragments: total,
+            fragments_per_object: total as f64 / n as f64,
+            min_fragments: sorted[0],
+            max_fragments: sorted[n - 1],
+            median_fragments: median,
+            contiguous_fraction: sorted.iter().filter(|&&c| c <= 1).count() as f64 / n as f64,
+        }
+    }
+
+    /// Computes the summary directly from object extent lists.
+    pub fn from_layouts<'a>(layouts: impl IntoIterator<Item = &'a [Extent]>) -> Self {
+        let counts: Vec<u64> = layouts
+            .into_iter()
+            .map(|extents| extents.fragment_count() as u64)
+            .collect();
+        Self::from_counts(&counts)
+    }
+}
+
+/// A histogram of free-run lengths plus headline free-space numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FreeSpaceReport {
+    /// Total clusters on the volume.
+    pub total_clusters: u64,
+    /// Free clusters.
+    pub free_clusters: u64,
+    /// Number of distinct free runs.
+    pub free_runs: usize,
+    /// Largest free run, in clusters.
+    pub largest_run: u64,
+    /// Mean free-run length.
+    pub mean_run: f64,
+    /// External fragmentation: `1 - largest_run / free_clusters`.
+    /// Zero when all free space is one run; approaches one as the free space
+    /// shatters.  Defined as zero when nothing is free.
+    pub external_fragmentation: f64,
+    /// Histogram of free-run lengths in power-of-two buckets: entry `i`
+    /// counts runs with `2^i <= len < 2^(i+1)`.
+    pub run_length_histogram: Vec<u64>,
+}
+
+impl FreeSpaceReport {
+    /// Builds the report from any free-space structure.
+    pub fn from_free_space<F: FreeSpace + ?Sized>(map: &F) -> Self {
+        Self::from_runs(map.total_clusters(), &map.free_runs())
+    }
+
+    /// Builds the report from an explicit list of free runs.
+    pub fn from_runs(total_clusters: u64, runs: &[Extent]) -> Self {
+        let free_clusters: u64 = runs.iter().map(|r| r.len).sum();
+        let largest = runs.iter().map(|r| r.len).max().unwrap_or(0);
+        let mut histogram = Vec::new();
+        for run in runs {
+            if run.len == 0 {
+                continue;
+            }
+            let bucket = 63 - run.len.leading_zeros() as usize;
+            if histogram.len() <= bucket {
+                histogram.resize(bucket + 1, 0);
+            }
+            histogram[bucket] += 1;
+        }
+        FreeSpaceReport {
+            total_clusters,
+            free_clusters,
+            free_runs: runs.len(),
+            largest_run: largest,
+            mean_run: if runs.is_empty() { 0.0 } else { free_clusters as f64 / runs.len() as f64 },
+            external_fragmentation: if free_clusters == 0 {
+                0.0
+            } else {
+                1.0 - largest as f64 / free_clusters as f64
+            },
+            run_length_histogram: histogram,
+        }
+    }
+
+    /// Fraction of the volume that is free.
+    pub fn free_fraction(&self) -> f64 {
+        if self.total_clusters == 0 {
+            0.0
+        } else {
+            self.free_clusters as f64 / self.total_clusters as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freespace::RunIndexMap;
+
+    #[test]
+    fn summary_of_empty_population() {
+        let summary = FragmentationSummary::from_counts(&[]);
+        assert_eq!(summary.objects, 0);
+        assert_eq!(summary.fragments_per_object, 0.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let summary = FragmentationSummary::from_counts(&[1, 1, 2, 4, 10]);
+        assert_eq!(summary.objects, 5);
+        assert_eq!(summary.total_fragments, 18);
+        assert!((summary.fragments_per_object - 3.6).abs() < 1e-9);
+        assert_eq!(summary.min_fragments, 1);
+        assert_eq!(summary.max_fragments, 10);
+        assert_eq!(summary.median_fragments, 2.0);
+        assert!((summary.contiguous_fraction - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_from_layouts() {
+        let a = vec![Extent::new(0, 4), Extent::new(4, 4)]; // contiguous -> 1 fragment
+        let b = vec![Extent::new(100, 4), Extent::new(200, 4)]; // 2 fragments
+        let summary = FragmentationSummary::from_layouts([a.as_slice(), b.as_slice()]);
+        assert_eq!(summary.objects, 2);
+        assert_eq!(summary.total_fragments, 3);
+        assert!((summary.fragments_per_object - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_space_report_from_map() {
+        let mut map = RunIndexMap::new_free(1_000);
+        map.reserve(Extent::new(100, 100)).unwrap();
+        map.reserve(Extent::new(300, 100)).unwrap();
+        let report = FreeSpaceReport::from_free_space(&map);
+        assert_eq!(report.total_clusters, 1_000);
+        assert_eq!(report.free_clusters, 800);
+        assert_eq!(report.free_runs, 3);
+        assert_eq!(report.largest_run, 600);
+        assert!((report.free_fraction() - 0.8).abs() < 1e-9);
+        assert!(report.external_fragmentation > 0.0 && report.external_fragmentation < 1.0);
+    }
+
+    #[test]
+    fn external_fragmentation_extremes() {
+        let single = FreeSpaceReport::from_runs(100, &[Extent::new(0, 50)]);
+        assert_eq!(single.external_fragmentation, 0.0);
+        let none_free = FreeSpaceReport::from_runs(100, &[]);
+        assert_eq!(none_free.external_fragmentation, 0.0);
+        assert_eq!(none_free.mean_run, 0.0);
+        let shattered: Vec<Extent> = (0..50).map(|i| Extent::new(i * 2, 1)).collect();
+        let report = FreeSpaceReport::from_runs(100, &shattered);
+        assert!((report.external_fragmentation - 0.98).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let report = FreeSpaceReport::from_runs(
+            1_000,
+            &[Extent::new(0, 1), Extent::new(10, 3), Extent::new(20, 4), Extent::new(40, 100)],
+        );
+        // len 1 -> bucket 0, len 3 -> bucket 1, len 4 -> bucket 2, len 100 -> bucket 6.
+        assert_eq!(report.run_length_histogram[0], 1);
+        assert_eq!(report.run_length_histogram[1], 1);
+        assert_eq!(report.run_length_histogram[2], 1);
+        assert_eq!(report.run_length_histogram[6], 1);
+    }
+}

@@ -1,0 +1,395 @@
+//! Allocation policies.
+//!
+//! Following the malloc-literature distinction the paper borrows (Wilson et
+//! al.), this module separates the *mechanism* (the [`RunIndexMap`] free-space
+//! structure) from the *policy* (which free run a request is carved from).
+//! The classic policies — first fit, best fit, worst fit, next fit — are
+//! provided here; the NTFS-style run cache and the buddy system live in their
+//! own modules ([`crate::runcache`], [`crate::buddy`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AllocError;
+use crate::extent::Extent;
+use crate::freespace::{FreeSpace, RunIndexMap};
+
+/// How hard an allocation must try to be contiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Contiguity {
+    /// The allocation must be one extent; fail otherwise.
+    Required,
+    /// Prefer one extent but split the allocation across several free runs if
+    /// no single run is large enough ("the file is fragmented").
+    BestEffort,
+}
+
+/// A request for space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocRequest {
+    /// Number of clusters needed.
+    pub clusters: u64,
+    /// Preferred start cluster.  Policies that honour hints (all of them, for
+    /// the extension case) will try to place the allocation exactly at the
+    /// hint so that it physically continues a previous allocation.
+    pub hint: Option<u64>,
+    /// Contiguity requirement.
+    pub contiguity: Contiguity,
+}
+
+impl AllocRequest {
+    /// A best-effort request with no placement hint.
+    pub fn best_effort(clusters: u64) -> Self {
+        AllocRequest { clusters, hint: None, contiguity: Contiguity::BestEffort }
+    }
+
+    /// A request that must be satisfied with a single extent.
+    pub fn contiguous(clusters: u64) -> Self {
+        AllocRequest { clusters, hint: None, contiguity: Contiguity::Required }
+    }
+
+    /// Adds a placement hint (typically the end of the previous extent of the
+    /// same file, to model sequential-append extension).
+    pub fn with_hint(mut self, hint: u64) -> Self {
+        self.hint = Some(hint);
+        self
+    }
+}
+
+/// Interface implemented by every allocator in this crate.
+pub trait Allocator {
+    /// Allocates space for `request`, returning the extents in the order they
+    /// should be filled with data.
+    fn allocate(&mut self, request: &AllocRequest) -> Result<Vec<Extent>, AllocError>;
+    /// Returns previously allocated extents to the free pool.
+    fn free(&mut self, extents: &[Extent]) -> Result<(), AllocError>;
+    /// Total clusters managed.
+    fn total_clusters(&self) -> u64;
+    /// Clusters currently free.
+    fn free_clusters(&self) -> u64;
+    /// Current free runs (ascending offset, coalesced).
+    fn free_runs(&self) -> Vec<Extent>;
+
+    /// Clusters currently allocated.
+    fn allocated_clusters(&self) -> u64 {
+        self.total_clusters() - self.free_clusters()
+    }
+}
+
+/// The classic fit policies over a free-run index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FitPolicy {
+    /// Lowest-offset run that fits.
+    FirstFit,
+    /// Smallest run that fits.
+    BestFit,
+    /// Largest run, regardless of fit.
+    WorstFit,
+    /// First fit starting from a roving cursor that advances past each
+    /// allocation.
+    NextFit,
+}
+
+impl FitPolicy {
+    /// All classic policies, for sweeps and ablation benches.
+    pub const ALL: [FitPolicy; 4] =
+        [FitPolicy::FirstFit, FitPolicy::BestFit, FitPolicy::WorstFit, FitPolicy::NextFit];
+
+    /// Short, stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FitPolicy::FirstFit => "first-fit",
+            FitPolicy::BestFit => "best-fit",
+            FitPolicy::WorstFit => "worst-fit",
+            FitPolicy::NextFit => "next-fit",
+        }
+    }
+}
+
+/// An allocator that applies one of the classic [`FitPolicy`] choices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyAllocator {
+    policy: FitPolicy,
+    map: RunIndexMap,
+    /// Roving pointer for [`FitPolicy::NextFit`].
+    cursor: u64,
+}
+
+impl PolicyAllocator {
+    /// Creates an allocator over `total_clusters` fully free clusters.
+    pub fn new(policy: FitPolicy, total_clusters: u64) -> Self {
+        PolicyAllocator { policy, map: RunIndexMap::new_free(total_clusters), cursor: 0 }
+    }
+
+    /// The policy this allocator applies.
+    pub fn policy(&self) -> FitPolicy {
+        self.policy
+    }
+
+    /// Read-only access to the underlying free-space map.
+    pub fn free_space(&self) -> &RunIndexMap {
+        &self.map
+    }
+
+    /// Picks the run the policy wants for a request of `len` clusters.
+    fn pick(&self, len: u64) -> Option<Extent> {
+        match self.policy {
+            FitPolicy::FirstFit => self.map.first_fit(len, 0),
+            FitPolicy::BestFit => self.map.best_fit(len),
+            FitPolicy::WorstFit => self.map.largest().filter(|run| run.len >= len),
+            FitPolicy::NextFit => self
+                .map
+                .first_fit(len, self.cursor)
+                .or_else(|| self.map.first_fit(len, 0)),
+        }
+    }
+
+    /// Attempts to honour a placement hint by extending from exactly that
+    /// cluster.  Returns the usable prefix if the hint location is free.
+    fn try_hint(&self, hint: u64, len: u64) -> Option<Extent> {
+        let run = self.map.run_at(hint)?;
+        if run.start != hint {
+            // Extension only makes sense when the free run starts exactly at
+            // the hint; otherwise data would not be physically contiguous
+            // with its predecessor.
+            return None;
+        }
+        Some(Extent::new(hint, run.len.min(len)))
+    }
+}
+
+impl Allocator for PolicyAllocator {
+    fn allocate(&mut self, request: &AllocRequest) -> Result<Vec<Extent>, AllocError> {
+        self.allocate_impl(request)
+    }
+
+    fn free(&mut self, extents: &[Extent]) -> Result<(), AllocError> {
+        for extent in extents {
+            self.map.release(*extent)?;
+        }
+        Ok(())
+    }
+
+    fn total_clusters(&self) -> u64 {
+        self.map.total_clusters()
+    }
+
+    fn free_clusters(&self) -> u64 {
+        self.map.free_clusters()
+    }
+
+    fn free_runs(&self) -> Vec<Extent> {
+        self.map.free_runs()
+    }
+}
+
+impl PolicyAllocator {
+    /// The real allocation routine (see [`Allocator::allocate`]).
+    fn allocate_impl(&mut self, request: &AllocRequest) -> Result<Vec<Extent>, AllocError> {
+        if request.clusters == 0 {
+            return Err(AllocError::EmptyRequest);
+        }
+        if request.clusters > self.map.free_clusters() {
+            return Err(AllocError::OutOfSpace {
+                requested: request.clusters,
+                available: self.map.free_clusters(),
+            });
+        }
+        if request.contiguity == Contiguity::Required && self.map.best_fit(request.clusters).is_none() {
+            return Err(AllocError::NoContiguousRun {
+                requested: request.clusters,
+                largest_run: self.map.largest_free_run(),
+            });
+        }
+
+        let mut out: Vec<Extent> = Vec::new();
+        let mut remaining = request.clusters;
+        while remaining > 0 {
+            let candidate = if out.is_empty() {
+                request
+                    .hint
+                    .and_then(|hint| self.try_hint(hint, remaining))
+                    .or_else(|| self.pick(remaining))
+                    .or_else(|| self.map.largest())
+            } else {
+                self.pick(remaining).or_else(|| self.map.largest())
+            };
+            let Some(run) = candidate.filter(|run| !run.is_empty()) else {
+                for extent in &out {
+                    self.map.release(*extent).expect("rollback of freshly reserved extent");
+                }
+                return Err(AllocError::OutOfSpace {
+                    requested: request.clusters,
+                    available: self.map.free_clusters(),
+                });
+            };
+            let take = Extent::new(run.start, run.len.min(remaining));
+            self.map.reserve(take)?;
+            if self.policy == FitPolicy::NextFit {
+                self.cursor = take.end();
+            }
+            remaining -= take.len;
+            out.push(take);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extent::ExtentListExt;
+
+    fn checkerboard(allocator: &mut PolicyAllocator) -> Vec<Vec<Extent>> {
+        // Allocate 10 x 10-cluster objects, then free every other one to
+        // produce a checkerboard of 10-cluster holes.
+        let objects: Vec<Vec<Extent>> = (0..10)
+            .map(|_| allocator.allocate(&AllocRequest::best_effort(10)).unwrap())
+            .collect();
+        for object in objects.iter().step_by(2) {
+            allocator.free(object).unwrap();
+        }
+        objects
+    }
+
+    #[test]
+    fn zero_cluster_requests_are_rejected() {
+        let mut allocator = PolicyAllocator::new(FitPolicy::FirstFit, 100);
+        assert_eq!(
+            allocator.allocate(&AllocRequest::best_effort(0)),
+            Err(AllocError::EmptyRequest)
+        );
+    }
+
+    #[test]
+    fn allocation_reduces_free_space_and_free_restores_it() {
+        for policy in FitPolicy::ALL {
+            let mut allocator = PolicyAllocator::new(policy, 1000);
+            let extents = allocator.allocate(&AllocRequest::best_effort(123)).unwrap();
+            assert_eq!(extents.total_clusters(), 123);
+            assert_eq!(allocator.free_clusters(), 877, "{}", policy.name());
+            allocator.free(&extents).unwrap();
+            assert_eq!(allocator.free_clusters(), 1000);
+            assert_eq!(allocator.free_runs(), vec![Extent::new(0, 1000)]);
+        }
+    }
+
+    #[test]
+    fn first_fit_fills_the_first_hole() {
+        let mut allocator = PolicyAllocator::new(FitPolicy::FirstFit, 100);
+        checkerboard(&mut allocator);
+        let extents = allocator.allocate(&AllocRequest::best_effort(4)).unwrap();
+        assert_eq!(extents[0].start, 0);
+    }
+
+    #[test]
+    fn best_fit_prefers_the_snuggest_hole() {
+        let mut allocator = PolicyAllocator::new(FitPolicy::BestFit, 100);
+        // Holes of 10 (at 0) after a checkerboard, but first make a 4-cluster
+        // hole somewhere specific: allocate everything, then free [50, 54) and
+        // [0, 10).
+        let all = allocator.allocate(&AllocRequest::best_effort(100)).unwrap();
+        assert_eq!(all, vec![Extent::new(0, 100)]);
+        allocator.free(&[Extent::new(0, 10)]).unwrap();
+        allocator.free(&[Extent::new(50, 4)]).unwrap();
+        let extents = allocator.allocate(&AllocRequest::best_effort(4)).unwrap();
+        assert_eq!(extents, vec![Extent::new(50, 4)]);
+    }
+
+    #[test]
+    fn worst_fit_takes_the_largest_hole() {
+        let mut allocator = PolicyAllocator::new(FitPolicy::WorstFit, 100);
+        let all = allocator.allocate(&AllocRequest::best_effort(100)).unwrap();
+        allocator.free(&[Extent::new(0, 10)]).unwrap();
+        allocator.free(&[Extent::new(40, 30)]).unwrap();
+        let _ = all;
+        let extents = allocator.allocate(&AllocRequest::best_effort(5)).unwrap();
+        assert_eq!(extents, vec![Extent::new(40, 5)]);
+    }
+
+    #[test]
+    fn next_fit_advances_a_cursor() {
+        let mut allocator = PolicyAllocator::new(FitPolicy::NextFit, 100);
+        let a = allocator.allocate(&AllocRequest::best_effort(10)).unwrap();
+        let b = allocator.allocate(&AllocRequest::best_effort(10)).unwrap();
+        assert_eq!(a, vec![Extent::new(0, 10)]);
+        assert_eq!(b, vec![Extent::new(10, 10)]);
+        // Free the first hole; next-fit should keep moving forward rather than
+        // reusing it immediately.
+        allocator.free(&a).unwrap();
+        let c = allocator.allocate(&AllocRequest::best_effort(10)).unwrap();
+        assert_eq!(c, vec![Extent::new(20, 10)]);
+        // ...but wraps around once the tail is exhausted.
+        let _d = allocator.allocate(&AllocRequest::best_effort(70)).unwrap();
+        let e = allocator.allocate(&AllocRequest::best_effort(10)).unwrap();
+        assert_eq!(e, vec![Extent::new(0, 10)]);
+    }
+
+    #[test]
+    fn best_effort_requests_fragment_when_no_run_fits() {
+        let mut allocator = PolicyAllocator::new(FitPolicy::FirstFit, 100);
+        checkerboard(&mut allocator);
+        // 5 holes of 10 clusters each; ask for 25 clusters.
+        let extents = allocator.allocate(&AllocRequest::best_effort(25)).unwrap();
+        assert_eq!(extents.total_clusters(), 25);
+        assert_eq!(extents.fragment_count(), 3);
+        assert!(extents.is_disjoint());
+    }
+
+    #[test]
+    fn contiguous_requests_fail_rather_than_fragment() {
+        let mut allocator = PolicyAllocator::new(FitPolicy::BestFit, 100);
+        checkerboard(&mut allocator);
+        let err = allocator.allocate(&AllocRequest::contiguous(25)).unwrap_err();
+        assert_eq!(err, AllocError::NoContiguousRun { requested: 25, largest_run: 10 });
+        // Free space is untouched by the failed attempt.
+        assert_eq!(allocator.free_clusters(), 50);
+    }
+
+    #[test]
+    fn out_of_space_reports_availability() {
+        let mut allocator = PolicyAllocator::new(FitPolicy::FirstFit, 50);
+        allocator.allocate(&AllocRequest::best_effort(40)).unwrap();
+        assert_eq!(
+            allocator.allocate(&AllocRequest::best_effort(20)),
+            Err(AllocError::OutOfSpace { requested: 20, available: 10 })
+        );
+    }
+
+    #[test]
+    fn hints_extend_previous_allocations_when_possible() {
+        for policy in FitPolicy::ALL {
+            let mut allocator = PolicyAllocator::new(policy, 200);
+            let first = allocator.allocate(&AllocRequest::best_effort(16)).unwrap();
+            let end = first.last().unwrap().end();
+            let second = allocator
+                .allocate(&AllocRequest::best_effort(16).with_hint(end))
+                .unwrap();
+            assert_eq!(second[0].start, end, "{}", policy.name());
+            // Together they form a single physical fragment.
+            let combined: Vec<Extent> = first.iter().chain(second.iter()).copied().collect();
+            assert_eq!(combined.fragment_count(), 1, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn hint_is_ignored_when_the_location_is_taken() {
+        let mut allocator = PolicyAllocator::new(FitPolicy::FirstFit, 200);
+        let a = allocator.allocate(&AllocRequest::best_effort(16)).unwrap();
+        let _b = allocator.allocate(&AllocRequest::best_effort(16)).unwrap();
+        // The cluster right after `a` now belongs to `b`; a hinted request
+        // falls back to the policy instead of failing.
+        let c = allocator
+            .allocate(&AllocRequest::best_effort(16).with_hint(a.last().unwrap().end()))
+            .unwrap();
+        assert_eq!(c.total_clusters(), 16);
+        assert_ne!(c[0].start, a.last().unwrap().end());
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let mut allocator = PolicyAllocator::new(FitPolicy::FirstFit, 100);
+        let extents = allocator.allocate(&AllocRequest::best_effort(10)).unwrap();
+        allocator.free(&extents).unwrap();
+        assert!(allocator.free(&extents).is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! Property tests for the allocation substrate.
+//!
+//! The central technique is cross-validation: the run-indexed free-space map
+//! is driven in lock-step with the exhaustive bitmap oracle, and every
+//! allocator is checked against a handful of global invariants (no overlap,
+//! exact accounting, full restoration after freeing everything).
+
+use lor_alloc::{
+    AllocRequest, Allocator, BitmapMap, BuddyAllocator, Extent, ExtentListExt, FitPolicy, FreeSpace,
+    FragmentationSummary, PolicyAllocator, RunCacheAllocator, RunIndexMap,
+};
+use proptest::prelude::*;
+
+const VOLUME: u64 = 4_096;
+
+/// A random script of reserve/release operations, expressed abstractly so the
+/// same script can drive both free-space structures.
+#[derive(Debug, Clone)]
+enum MapOp {
+    Reserve(Extent),
+    Release(Extent),
+}
+
+prop_compose! {
+    fn arb_extent()(start in 0u64..VOLUME, len in 1u64..256) -> Extent {
+        Extent::new(start, len.min(VOLUME - start))
+    }
+}
+
+fn arb_map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![arb_extent().prop_map(MapOp::Reserve), arb_extent().prop_map(MapOp::Release)]
+}
+
+proptest! {
+    /// The run-indexed map and the bitmap oracle accept/reject exactly the
+    /// same operations and agree on the resulting free runs.
+    #[test]
+    fn run_index_map_matches_bitmap_oracle(ops in prop::collection::vec(arb_map_op(), 1..200)) {
+        let mut runs = RunIndexMap::new_free(VOLUME);
+        let mut bitmap = BitmapMap::new_free(VOLUME);
+        for op in ops {
+            let (a, b) = match op {
+                MapOp::Reserve(e) => (runs.reserve(e), bitmap.reserve(e)),
+                MapOp::Release(e) => (runs.release(e), bitmap.release(e)),
+            };
+            prop_assert_eq!(a.is_ok(), b.is_ok(), "acceptance must agree");
+            prop_assert_eq!(runs.free_clusters(), bitmap.free_clusters());
+        }
+        prop_assert_eq!(runs.free_runs(), bitmap.free_runs());
+    }
+
+    /// Free runs reported by the run-indexed map are sorted, non-empty,
+    /// non-overlapping and never adjacent (i.e. maximally coalesced).
+    #[test]
+    fn free_runs_are_canonical(ops in prop::collection::vec(arb_map_op(), 1..200)) {
+        let mut map = RunIndexMap::new_free(VOLUME);
+        for op in ops {
+            let _ = match op {
+                MapOp::Reserve(e) => map.reserve(e),
+                MapOp::Release(e) => map.release(e),
+            };
+        }
+        let runs = map.free_runs();
+        for window in runs.windows(2) {
+            prop_assert!(window[0].end() < window[1].start, "sorted, disjoint, coalesced");
+        }
+        prop_assert!(runs.iter().all(|r| !r.is_empty()));
+        prop_assert_eq!(runs.iter().map(|r| r.len).sum::<u64>(), map.free_clusters());
+    }
+}
+
+/// A random script of allocate/free operations sized so that some allocations
+/// fail (the volume is small) and plenty of churn happens.
+#[derive(Debug, Clone)]
+enum AllocOp {
+    /// Allocate this many clusters (best effort), with or without a hint at
+    /// the end of the most recently allocated object.
+    Allocate { clusters: u64, hinted: bool },
+    /// Free the live object at this (modular) index.
+    Free(usize),
+}
+
+fn arb_alloc_op() -> impl Strategy<Value = AllocOp> {
+    prop_oneof![
+        (1u64..512, any::<bool>()).prop_map(|(clusters, hinted)| AllocOp::Allocate { clusters, hinted }),
+        (0usize..64).prop_map(AllocOp::Free),
+    ]
+}
+
+/// Runs a script against any allocator and checks global invariants.
+fn run_script<A: Allocator>(mut allocator: A, ops: Vec<AllocOp>) -> Result<(), TestCaseError> {
+    let total = allocator.total_clusters();
+    let mut live: Vec<Vec<Extent>> = Vec::new();
+    for op in ops {
+        match op {
+            AllocOp::Allocate { clusters, hinted } => {
+                let mut request = AllocRequest::best_effort(clusters);
+                if hinted {
+                    if let Some(end) = live.last().and_then(|o| o.last()).map(|e| e.end()) {
+                        request = request.with_hint(end);
+                    }
+                }
+                match allocator.allocate(&request) {
+                    Ok(extents) => {
+                        prop_assert_eq!(extents.total_clusters(), clusters);
+                        prop_assert!(extents.is_disjoint());
+                        prop_assert!(extents.iter().all(|e| e.end() <= total), "within bounds");
+                        // No overlap with any live object.
+                        for object in &live {
+                            for a in object {
+                                for b in &extents {
+                                    prop_assert!(!a.overlaps(b), "allocator handed out {b:?} twice");
+                                }
+                            }
+                        }
+                        live.push(extents);
+                    }
+                    Err(_) => {
+                        // Failure is allowed (volume is small); it must not leak space.
+                    }
+                }
+            }
+            AllocOp::Free(index) => {
+                if !live.is_empty() {
+                    let object = live.swap_remove(index % live.len());
+                    allocator.free(&object).expect("freeing a live object must succeed");
+                }
+            }
+        }
+        let live_clusters: u64 = live.iter().map(|o| o.total_clusters()).sum();
+        prop_assert_eq!(allocator.allocated_clusters(), live_clusters, "exact accounting");
+    }
+    // Tear-down: freeing everything restores a fully free volume.
+    for object in live.drain(..) {
+        allocator.free(&object).expect("free at teardown");
+    }
+    prop_assert_eq!(allocator.free_clusters(), total);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn first_fit_invariants(ops in prop::collection::vec(arb_alloc_op(), 1..120)) {
+        run_script(PolicyAllocator::new(FitPolicy::FirstFit, VOLUME), ops)?;
+    }
+
+    #[test]
+    fn best_fit_invariants(ops in prop::collection::vec(arb_alloc_op(), 1..120)) {
+        run_script(PolicyAllocator::new(FitPolicy::BestFit, VOLUME), ops)?;
+    }
+
+    #[test]
+    fn worst_fit_invariants(ops in prop::collection::vec(arb_alloc_op(), 1..120)) {
+        run_script(PolicyAllocator::new(FitPolicy::WorstFit, VOLUME), ops)?;
+    }
+
+    #[test]
+    fn next_fit_invariants(ops in prop::collection::vec(arb_alloc_op(), 1..120)) {
+        run_script(PolicyAllocator::new(FitPolicy::NextFit, VOLUME), ops)?;
+    }
+
+    #[test]
+    fn run_cache_invariants(ops in prop::collection::vec(arb_alloc_op(), 1..120)) {
+        run_script(RunCacheAllocator::new(VOLUME), ops)?;
+    }
+
+    /// The buddy allocator never fragments an allocation and always merges
+    /// back to a whole volume.  (It reserves more than requested internally,
+    /// so the exact-accounting check does not apply; disjointness and
+    /// restoration do.)
+    #[test]
+    fn buddy_invariants(ops in prop::collection::vec(arb_alloc_op(), 1..120)) {
+        let mut allocator = BuddyAllocator::new(12);
+        let total = allocator.total_clusters();
+        let mut live: Vec<Vec<Extent>> = Vec::new();
+        for op in ops {
+            match op {
+                AllocOp::Allocate { clusters, .. } => {
+                    if let Ok(extents) = allocator.allocate(&AllocRequest::best_effort(clusters)) {
+                        prop_assert_eq!(extents.len(), 1);
+                        prop_assert_eq!(extents.total_clusters(), clusters);
+                        for object in &live {
+                            prop_assert!(!object[0].overlaps(&extents[0]));
+                        }
+                        live.push(extents);
+                    }
+                }
+                AllocOp::Free(index) => {
+                    if !live.is_empty() {
+                        let object = live.swap_remove(index % live.len());
+                        allocator.free(&object).expect("freeing a live buddy block");
+                    }
+                }
+            }
+        }
+        for object in live.drain(..) {
+            allocator.free(&object).expect("free at teardown");
+        }
+        prop_assert_eq!(allocator.free_clusters(), total);
+        prop_assert_eq!(allocator.free_runs(), vec![Extent::new(0, total)]);
+        prop_assert_eq!(allocator.internal_fragmentation(), 0);
+    }
+
+    /// The fragmentation summary is scale-invariant in the obvious ways.
+    #[test]
+    fn fragmentation_summary_sanity(counts in prop::collection::vec(1u64..64, 1..100)) {
+        let summary = FragmentationSummary::from_counts(&counts);
+        prop_assert_eq!(summary.objects, counts.len());
+        prop_assert!(summary.fragments_per_object >= summary.min_fragments as f64);
+        prop_assert!(summary.fragments_per_object <= summary.max_fragments as f64);
+        prop_assert!(summary.median_fragments >= summary.min_fragments as f64);
+        prop_assert!(summary.median_fragments <= summary.max_fragments as f64);
+        prop_assert!((0.0..=1.0).contains(&summary.contiguous_fraction));
+    }
+}

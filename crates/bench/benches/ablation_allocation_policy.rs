@@ -1,0 +1,54 @@
+//! Ablation over the substrate allocation policies the paper's Section 3
+//! surveys: first fit, best fit, worst fit, next fit, the NTFS-style run
+//! cache and the DTSS-style buddy system, all driven by the same
+//! allocate/free churn.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lor_core::lor_alloc::{
+    AllocRequest, Allocator, BuddyAllocator, FitPolicy, PolicyAllocator, RunCacheAllocator,
+};
+
+const VOLUME_CLUSTERS: u64 = 1 << 16;
+const OBJECT_CLUSTERS: u64 = 64;
+
+/// Steady-state churn: fill half the volume, then repeatedly free a victim
+/// and allocate a replacement.  Returns the final mean fragments per object
+/// so the optimizer cannot elide the work.
+fn churn<A: Allocator>(mut allocator: A, rounds: usize) -> f64 {
+    let count = (VOLUME_CLUSTERS / OBJECT_CLUSTERS / 2) as usize;
+    let mut live: Vec<Vec<_>> = (0..count)
+        .map(|_| allocator.allocate(&AllocRequest::best_effort(OBJECT_CLUSTERS)).expect("bulk load fits"))
+        .collect();
+    for round in 0..rounds {
+        let slot = (round * 7919) % live.len();
+        let victim = std::mem::take(&mut live[slot]);
+        allocator.free(&victim).expect("victim was live");
+        live[slot] = allocator
+            .allocate(&AllocRequest::best_effort(OBJECT_CLUSTERS))
+            .expect("replacement fits");
+    }
+    let fragments: usize = live.iter().map(|extents| extents.len()).sum();
+    fragments as f64 / live.len() as f64
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_allocation_policy");
+    group.sample_size(10);
+    let rounds = 2_000;
+
+    for policy in FitPolicy::ALL {
+        group.bench_with_input(BenchmarkId::new("fit", policy.name()), &policy, |b, &policy| {
+            b.iter(|| std::hint::black_box(churn(PolicyAllocator::new(policy, VOLUME_CLUSTERS), rounds)))
+        });
+    }
+    group.bench_function("run-cache", |b| {
+        b.iter(|| std::hint::black_box(churn(RunCacheAllocator::new(VOLUME_CLUSTERS), rounds)))
+    });
+    group.bench_function("buddy", |b| {
+        b.iter(|| std::hint::black_box(churn(BuddyAllocator::with_capacity(VOLUME_CLUSTERS), rounds)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Ablation: each system's recommended maintenance (online defragmentation /
+//! table rebuild) applied to an aged store.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lor_bench::{maintenance_ablation, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_defrag");
+    group.sample_size(10);
+    let scale = Scale::test();
+    group.bench_function("maintenance", |b| {
+        b.iter(|| {
+            let figure = maintenance_ablation(&scale).expect("ablation regenerates");
+            assert_eq!(figure.series.len(), 2);
+            std::hint::black_box(figure)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

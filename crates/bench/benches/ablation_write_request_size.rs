@@ -1,0 +1,21 @@
+//! Section 5.4 ablation: long-term fragments/object vs write-request size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lor_bench::{write_request_size_sweep, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_write_request_size");
+    group.sample_size(10);
+    let scale = Scale::test();
+    group.bench_function("sweep", |b| {
+        b.iter(|| {
+            let figure = write_request_size_sweep(&scale).expect("sweep regenerates");
+            assert_eq!(figure.series.len(), 2);
+            std::hint::black_box(figure)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 1: read throughput after bulk load and after two and four
+//! overwrites (256 KB / 512 KB / 1 MB objects, database vs filesystem).
+//!
+//! The bench measures the wall-clock cost of regenerating the figure at a
+//! reduced scale; `cargo run -p lor-bench --bin figures` produces the full
+//! data series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lor_bench::{figure1, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_read_throughput");
+    group.sample_size(10);
+    let scale = Scale::test();
+    group.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let figures = figure1(&scale).expect("figure 1 regenerates");
+            assert_eq!(figures.len(), 3);
+            std::hint::black_box(figures)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

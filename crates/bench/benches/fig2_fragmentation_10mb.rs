@@ -1,0 +1,21 @@
+//! Figure 2: fragments/object vs storage age for 10 MB objects.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lor_bench::{figure2, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_fragmentation_10mb");
+    group.sample_size(10);
+    let scale = Scale::test();
+    group.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let figure = figure2(&scale).expect("figure 2 regenerates");
+            assert_eq!(figure.series.len(), 2);
+            std::hint::black_box(figure)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

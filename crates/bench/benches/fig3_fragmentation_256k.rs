@@ -1,0 +1,21 @@
+//! Figure 3: fragments/object vs storage age for 256 KB objects.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lor_bench::{figure3, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_fragmentation_256k");
+    group.sample_size(10);
+    let scale = Scale::test();
+    group.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let figure = figure3(&scale).expect("figure 3 regenerates");
+            assert_eq!(figure.series.len(), 2);
+            std::hint::black_box(figure)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

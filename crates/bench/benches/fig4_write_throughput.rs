@@ -1,0 +1,22 @@
+//! Figure 4: 512 KB write throughput during bulk load and between storage
+//! ages 0–2 and 2–4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lor_bench::{figure4, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_write_throughput");
+    group.sample_size(10);
+    let scale = Scale::test();
+    group.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let figure = figure4(&scale).expect("figure 4 regenerates");
+            assert_eq!(figure.series.len(), 2);
+            std::hint::black_box(figure)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

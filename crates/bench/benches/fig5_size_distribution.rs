@@ -1,0 +1,21 @@
+//! Figure 5: constant vs uniform object-size distributions (10 MB mean).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lor_bench::{figure5, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_size_distribution");
+    group.sample_size(10);
+    let scale = Scale::test();
+    group.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let figures = figure5(&scale).expect("figure 5 regenerates");
+            assert_eq!(figures.len(), 2);
+            std::hint::black_box(figures)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 6: the effect of volume size and occupancy on fragmentation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lor_bench::{figure6, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_volume_size");
+    group.sample_size(10);
+    let mut scale = Scale::test();
+    scale.max_age = 2;
+    group.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let figures = figure6(&scale).expect("figure 6 regenerates");
+            assert_eq!(figures.len(), 3);
+            std::hint::black_box(figures)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

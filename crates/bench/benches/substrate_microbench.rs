@@ -1,0 +1,45 @@
+//! Microbenchmarks of the substrates: disk service-time computation,
+//! filesystem safe writes, and database wholesale updates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lor_core::lor_blobkit::{Database, EngineConfig};
+use lor_core::lor_disksim::{ByteRun, Disk, DiskConfig, IoRequest};
+use lor_core::lor_fskit::{Volume, VolumeConfig};
+
+const MB: u64 = 1 << 20;
+
+fn bench_disk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disksim");
+    group.throughput(Throughput::Bytes(10 * MB));
+    let mut disk = Disk::new(DiskConfig::seagate_400gb_2005().scaled(40_000_000_000));
+    let scattered = IoRequest::read_runs((0..160u64).map(|i| ByteRun::new(i * 200_000_000, 64 * 1024)));
+    group.bench_function("service_160_fragment_read", |b| {
+        b.iter(|| std::hint::black_box(disk.service(&scattered)))
+    });
+    group.finish();
+}
+
+fn bench_fs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fskit");
+    group.throughput(Throughput::Bytes(MB));
+    group.bench_function("safe_write_1mb", |b| {
+        let mut volume = Volume::format(VolumeConfig::new(512 * MB)).unwrap();
+        volume.write_file("object", MB, 64 * 1024).unwrap();
+        b.iter(|| std::hint::black_box(volume.safe_write("object", MB, 64 * 1024).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_db(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blobkit");
+    group.throughput(Throughput::Bytes(MB));
+    group.bench_function("update_1mb", |b| {
+        let mut db = Database::create(EngineConfig::new(512 * MB)).unwrap();
+        db.insert("object", MB).unwrap();
+        b.iter(|| std::hint::black_box(db.update("object", MB).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_disk, bench_fs, bench_db);
+criterion_main!(benches);

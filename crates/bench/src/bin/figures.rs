@@ -1,0 +1,137 @@
+//! Regenerates every table and figure of the paper's evaluation section and
+//! prints the data series (optionally also as JSON).
+//!
+//! Usage:
+//!
+//! ```text
+//! figures [--scale full|report|bench|test] [--json <dir>] [--only fig1,fig2,...]
+//! ```
+//!
+//! The default scale is `report` (one tenth of the paper's volume sizes; see
+//! EXPERIMENTS.md for why that preserves the observed behaviour).
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use lor_bench::{
+    figure1, figure2, figure3, figure4, figure5, figure6, maintenance_ablation, table1,
+    write_request_size_sweep, Scale,
+};
+use lor_core::Figure;
+
+struct Options {
+    scale: Scale,
+    scale_name: String,
+    json_dir: Option<PathBuf>,
+    only: Option<BTreeSet<String>>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        scale: Scale::report(),
+        scale_name: "report".to_string(),
+        json_dir: None,
+        only: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.next().ok_or("--scale needs a value")?;
+                options.scale = match value.as_str() {
+                    "full" => Scale::full(),
+                    "report" => Scale::report(),
+                    "bench" => Scale::bench(),
+                    "test" => Scale::test(),
+                    other => return Err(format!("unknown scale {other:?} (use full|report|bench|test)")),
+                };
+                options.scale_name = value;
+            }
+            "--json" => {
+                options.json_dir = Some(PathBuf::from(args.next().ok_or("--json needs a directory")?));
+            }
+            "--only" => {
+                let value = args.next().ok_or("--only needs a comma-separated list")?;
+                options.only = Some(value.split(',').map(|s| s.trim().to_lowercase()).collect());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--scale full|report|bench|test] [--json <dir>] [--only table1,fig1,...,fig6,write-size,maintenance]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn wanted(options: &Options, name: &str) -> bool {
+    options.only.as_ref().map(|set| set.contains(name)).unwrap_or(true)
+}
+
+fn emit(options: &Options, name: &str, figures: &[Figure]) -> Result<(), String> {
+    for figure in figures {
+        println!("{}", figure.to_text());
+    }
+    if let Some(dir) = &options.json_dir {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        let path = dir.join(format!("{name}.json"));
+        let json = serde_json::to_string_pretty(figures).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json).map_err(|e| e.to_string())?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let options = parse_args()?;
+    eprintln!(
+        "regenerating figures at scale '{}' (volume factor {}, max storage age {})",
+        options.scale_name, options.scale.volume_factor, options.scale.max_age
+    );
+
+    if wanted(&options, "table1") {
+        println!("{}", table1().to_text());
+    }
+    if wanted(&options, "fig1") {
+        let figures = figure1(&options.scale).map_err(|e| e.to_string())?;
+        emit(&options, "figure1", &figures)?;
+    }
+    if wanted(&options, "fig2") {
+        let figure = figure2(&options.scale).map_err(|e| e.to_string())?;
+        emit(&options, "figure2", std::slice::from_ref(&figure))?;
+    }
+    if wanted(&options, "fig3") {
+        let figure = figure3(&options.scale).map_err(|e| e.to_string())?;
+        emit(&options, "figure3", std::slice::from_ref(&figure))?;
+    }
+    if wanted(&options, "fig4") {
+        let figure = figure4(&options.scale).map_err(|e| e.to_string())?;
+        emit(&options, "figure4", std::slice::from_ref(&figure))?;
+    }
+    if wanted(&options, "fig5") {
+        let figures = figure5(&options.scale).map_err(|e| e.to_string())?;
+        emit(&options, "figure5", &figures)?;
+    }
+    if wanted(&options, "fig6") {
+        let figures = figure6(&options.scale).map_err(|e| e.to_string())?;
+        emit(&options, "figure6", &figures)?;
+    }
+    if wanted(&options, "write-size") {
+        let figure = write_request_size_sweep(&options.scale).map_err(|e| e.to_string())?;
+        emit(&options, "write_request_size", std::slice::from_ref(&figure))?;
+    }
+    if wanted(&options, "maintenance") {
+        let figure = maintenance_ablation(&options.scale).map_err(|e| e.to_string())?;
+        emit(&options, "maintenance", std::slice::from_ref(&figure))?;
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,382 @@
+//! # lor-bench — regenerating every table and figure of the paper
+//!
+//! Each public function reproduces one table or figure of the evaluation
+//! section (Section 5) of *Fragmentation in Large Object Repositories*.  The
+//! functions are parameterised by a [`Scale`] so the same code serves three
+//! purposes:
+//!
+//! * the `figures` binary runs them at report scale and prints the series
+//!   recorded in `EXPERIMENTS.md`;
+//! * the Criterion benches run them at a small scale to track the simulator's
+//!   own performance;
+//! * the workspace integration tests run them at a tiny scale and assert the
+//!   qualitative shapes the paper reports.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use lor_core::{
+    compare_systems, run_aging_experiment, ExperimentConfig, Figure, Series, SizeDistribution,
+    StoreError, StoreKind, Table, TestbedConfig,
+};
+
+/// Scale factor applied to the paper's volume sizes.
+///
+/// `1.0` reproduces the paper's 40 GB (and, for Figure 6, 400 GB) volumes;
+/// smaller values shrink the volume while keeping occupancy, object sizes and
+/// write-request sizes unchanged, which the paper's own Section 5.4 argues
+/// preserves behaviour as long as the pool of free objects stays large.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Multiplier applied to volume capacities.
+    pub volume_factor: f64,
+    /// Multiplier applied to object sizes (1.0 in the paper; smaller values
+    /// are used only by the CI-sized integration tests).
+    pub object_factor: f64,
+    /// Maximum storage age to simulate for the long-aging figures.
+    pub max_age: u32,
+    /// How many objects to read when measuring read throughput.
+    pub read_sample: Option<usize>,
+}
+
+impl Scale {
+    /// Full paper scale (40 GB working volume, storage age up to 10).
+    pub fn full() -> Self {
+        Scale { volume_factor: 1.0, object_factor: 1.0, max_age: 10, read_sample: Some(400) }
+    }
+
+    /// Report scale used by default in the `figures` binary: one tenth of the
+    /// paper's volumes, same object sizes, same ages.
+    pub fn report() -> Self {
+        Scale { volume_factor: 0.1, object_factor: 1.0, max_age: 10, read_sample: Some(200) }
+    }
+
+    /// Bench scale: small volumes and shorter aging so a Criterion iteration
+    /// completes in tens of milliseconds.
+    pub fn bench() -> Self {
+        Scale { volume_factor: 0.004, object_factor: 0.25, max_age: 4, read_sample: Some(32) }
+    }
+
+    /// Tiny scale for integration tests.
+    pub fn test() -> Self {
+        Scale { volume_factor: 0.002, object_factor: 0.25, max_age: 4, read_sample: Some(16) }
+    }
+
+    fn volume(&self, paper_bytes: u64) -> u64 {
+        ((paper_bytes as f64) * self.volume_factor).max(16.0 * 1024.0 * 1024.0) as u64
+    }
+
+    fn object(&self, paper_bytes: u64) -> u64 {
+        ((paper_bytes as f64) * self.object_factor).max(64.0 * 1024.0) as u64
+    }
+
+    /// Ages at which the long-aging figures sample (0, 1, …, `max_age`).
+    pub fn age_points(&self) -> Vec<u32> {
+        (0..=self.max_age).collect()
+    }
+}
+
+const PAPER_VOLUME: u64 = 40_000_000_000;
+const PAPER_LARGE_VOLUME: u64 = 400_000_000_000;
+
+fn config_for(scale: &Scale, object_size: SizeDistribution, volume_bytes: u64, occupancy: f64) -> ExperimentConfig {
+    let mut config = ExperimentConfig::paper_default(object_size);
+    config.volume_bytes = volume_bytes;
+    config.occupancy = occupancy;
+    config.read_sample = scale.read_sample;
+    config
+}
+
+/// Table 1: the configuration of the (simulated) test system.
+pub fn table1() -> Table {
+    Table::new(
+        "Table 1",
+        "Configuration of the simulated test system (substitution for the paper's hardware)",
+        TestbedConfig::simulated().rows,
+    )
+}
+
+/// Figure 1: read throughput after bulk load and after two and four
+/// overwrites, for 256 KB, 512 KB and 1 MB objects.
+///
+/// Returns one figure per storage age (the paper's three panels).
+pub fn figure1(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
+    let sizes = [256u64 << 10, 512 << 10, 1 << 20];
+    let ages = [0u32, 2, 4];
+    // results[size][system] = AgingResult with read throughput at each age.
+    let mut per_size = Vec::new();
+    for &size in &sizes {
+        let config = config_for(
+            scale,
+            SizeDistribution::Constant(scale.object(size)),
+            scale.volume(PAPER_VOLUME),
+            0.5,
+        );
+        per_size.push((size, compare_systems(&config, &ages, true)?));
+    }
+
+    let panel_titles = ["Read Throughput After Bulk Load", "Read Throughput After Two Overwrites", "Read Throughput After Four Overwrites"];
+    let mut figures = Vec::new();
+    for (panel, &age) in ages.iter().enumerate() {
+        let mut db_points = Vec::new();
+        let mut fs_points = Vec::new();
+        for (size, (db, fs)) in &per_size {
+            let x = (*size as f64) / 1024.0; // KB, a readable x axis
+            if let Some(point) = db.at_age(age as f64) {
+                db_points.push((x, point.read_throughput_mb_s.unwrap_or(0.0)));
+            }
+            if let Some(point) = fs.at_age(age as f64) {
+                fs_points.push((x, point.read_throughput_mb_s.unwrap_or(0.0)));
+            }
+        }
+        figures.push(
+            Figure::new(format!("Figure 1.{}", panel + 1), panel_titles[panel], "Object Size (KB)", "MB/sec")
+                .with_series(Series::new("Database", db_points))
+                .with_series(Series::new("Filesystem", fs_points)),
+        );
+    }
+    Ok(figures)
+}
+
+/// Figure 2: fragments/object vs storage age for 10 MB objects.
+pub fn figure2(scale: &Scale) -> Result<Figure, StoreError> {
+    fragmentation_figure(
+        scale,
+        "Figure 2",
+        "Long Term Fragmentation With 10 MB Objects",
+        SizeDistribution::Constant(scale.object(10 << 20)),
+    )
+}
+
+/// Figure 3: fragments/object vs storage age for 256 KB objects.
+pub fn figure3(scale: &Scale) -> Result<Figure, StoreError> {
+    fragmentation_figure(
+        scale,
+        "Figure 3",
+        "Long Term Fragmentation With 256 KB Objects",
+        SizeDistribution::Constant(scale.object(256 << 10)),
+    )
+}
+
+fn fragmentation_figure(
+    scale: &Scale,
+    id: &str,
+    title: &str,
+    sizes: SizeDistribution,
+) -> Result<Figure, StoreError> {
+    let config = config_for(scale, sizes, scale.volume(PAPER_VOLUME), 0.5);
+    let (db, fs) = compare_systems(&config, &scale.age_points(), false)?;
+    Ok(Figure::new(id, title, "Storage Age", "Fragments/object")
+        .with_series(Series::fragments_vs_age(&db))
+        .with_series(Series::fragments_vs_age(&fs)))
+}
+
+/// Figure 4: 512 KB write throughput during bulk load and between storage
+/// ages 0–2 and 2–4.
+pub fn figure4(scale: &Scale) -> Result<Figure, StoreError> {
+    let config = config_for(
+        scale,
+        SizeDistribution::Constant(scale.object(512 << 10)),
+        scale.volume(PAPER_VOLUME),
+        0.5,
+    );
+    let (db, fs) = compare_systems(&config, &[0, 2, 4], false)?;
+    Ok(Figure::new("Figure 4", "512 KB Write Throughput Over Time", "Storage Age", "MB/sec")
+        .with_series(Series::write_throughput_vs_age(&db))
+        .with_series(Series::write_throughput_vs_age(&fs)))
+}
+
+/// Figure 5: constant vs uniform object-size distributions (10 MB mean), one
+/// figure per system.
+pub fn figure5(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
+    let mean = scale.object(10 << 20);
+    let distributions = [SizeDistribution::Constant(mean), SizeDistribution::uniform_around(mean)];
+    let mut per_distribution = Vec::new();
+    for distribution in distributions {
+        let config = config_for(scale, distribution, scale.volume(PAPER_VOLUME), 0.5);
+        per_distribution.push((distribution, compare_systems(&config, &scale.age_points(), false)?));
+    }
+
+    let mut database = Figure::new(
+        "Figure 5.1",
+        "Database Fragmentation: Blob Distributions",
+        "Storage Age",
+        "Fragments/object",
+    );
+    let mut filesystem = Figure::new(
+        "Figure 5.2",
+        "Filesystem Fragmentation: Blob Distributions",
+        "Storage Age",
+        "Fragments/object",
+    );
+    for (distribution, (db, fs)) in &per_distribution {
+        let mut db_series = Series::fragments_vs_age(db);
+        db_series.label = distribution.label().to_string();
+        let mut fs_series = Series::fragments_vs_age(fs);
+        fs_series.label = distribution.label().to_string();
+        database = database.with_series(db_series);
+        filesystem = filesystem.with_series(fs_series);
+    }
+    Ok(vec![database, filesystem])
+}
+
+/// Figure 6: the effect of volume size and occupancy (10 MB objects).
+///
+/// Returns three figures matching the paper's three panels: database at 50%
+/// occupancy (two volume sizes), filesystem at 50% occupancy, and filesystem
+/// at 90% / 97.5% occupancy.
+pub fn figure6(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
+    let object = SizeDistribution::Constant(scale.object(10 << 20));
+    let small = scale.volume(PAPER_VOLUME);
+    let large = scale.volume(PAPER_LARGE_VOLUME);
+    let half_ages: Vec<u32> = (0..=scale.max_age / 2).collect();
+
+    let mut database_panel =
+        Figure::new("Figure 6.1", "Database Fragmentation: Different Volumes", "Storage Age", "Fragments/object");
+    let mut filesystem_panel =
+        Figure::new("Figure 6.2", "Filesystem Fragmentation: Different Volumes", "Storage Age", "Fragments/object");
+    for (volume, label_suffix) in [(small, "40G"), (large, "400G")] {
+        let config = config_for(scale, object, volume, 0.5);
+        let (db, fs) = compare_systems(&config, &half_ages, false)?;
+        let mut db_series = Series::fragments_vs_age(&db);
+        db_series.label = format!("50% full - {label_suffix}");
+        let mut fs_series = Series::fragments_vs_age(&fs);
+        fs_series.label = format!("50% full - {label_suffix}");
+        database_panel = database_panel.with_series(db_series);
+        filesystem_panel = filesystem_panel.with_series(fs_series);
+    }
+
+    let mut occupancy_panel = Figure::new(
+        "Figure 6.3",
+        "Filesystem Fragmentation: Different Volumes (high occupancy)",
+        "Storage Age",
+        "Fragments/object",
+    );
+    for occupancy in [0.9, 0.975] {
+        for (volume, label_suffix) in [(small, "40G"), (large, "400G")] {
+            let config = config_for(scale, object, volume, occupancy);
+            let result = run_aging_experiment(StoreKind::Filesystem, &config, &half_ages, false)?;
+            let mut series = Series::fragments_vs_age(&result);
+            series.label = format!("{:.1}% full - {label_suffix}", occupancy * 100.0);
+            occupancy_panel = occupancy_panel.with_series(series);
+        }
+    }
+    Ok(vec![database_panel, filesystem_panel, occupancy_panel])
+}
+
+/// Section 5.4's write-request-size observation, swept explicitly: long-term
+/// fragments/object for 256 KB objects as a function of the write-request
+/// size used to append them.
+pub fn write_request_size_sweep(scale: &Scale) -> Result<Figure, StoreError> {
+    let object = scale.object(256 << 10);
+    let mut figure = Figure::new(
+        "Write-request sweep",
+        "Long-term fragments/object vs write-request size (256 KB objects, storage age 4)",
+        "Write request (KB)",
+        "Fragments/object",
+    );
+    for kind in [StoreKind::Database, StoreKind::Filesystem] {
+        let mut points = Vec::new();
+        for request_kb in [16u64, 32, 64, 128, 256] {
+            let mut config = config_for(scale, SizeDistribution::Constant(object), scale.volume(PAPER_VOLUME), 0.5);
+            config.write_request_size = request_kb * 1024;
+            let result = run_aging_experiment(kind, &config, &[scale.max_age.min(4)], false)?;
+            let fragments = result.points.last().map(|p| p.fragments_per_object).unwrap_or(0.0);
+            points.push((request_kb as f64, fragments));
+        }
+        figure = figure.with_series(Series::new(kind.label(), points));
+    }
+    Ok(figure)
+}
+
+/// Ablation: the paper's proposed interface change (declaring object size at
+/// creation) and each system's recommended defragmentation, measured on the
+/// Figure 2 workload.
+pub fn maintenance_ablation(scale: &Scale) -> Result<Figure, StoreError> {
+    let object = scale.object(2 << 20);
+    let config = config_for(scale, SizeDistribution::Constant(object), scale.volume(PAPER_VOLUME), 0.5);
+    let ages = [scale.max_age.min(4)];
+
+    let mut figure = Figure::new(
+        "Maintenance ablation",
+        "Fragments/object before and after maintenance (aged store)",
+        "0 = before, 1 = after maintenance",
+        "Fragments/object",
+    );
+    for kind in [StoreKind::Database, StoreKind::Filesystem] {
+        let result = run_aging_experiment(kind, &config, &ages, false)?;
+        let before = result.points.last().map(|p| p.fragments_per_object).unwrap_or(0.0);
+        // Re-run the aging to the same point, then apply maintenance.
+        let mut store = config.build_store(kind)?;
+        let mut generator = lor_core::WorkloadGenerator::new(config.workload());
+        for op in generator.bulk_load() {
+            if let lor_core::WorkloadOp::Put { key, size } = op {
+                store.put(&key, size)?;
+            }
+        }
+        for _ in 0..ages[0] {
+            for op in generator.overwrite_round() {
+                if let lor_core::WorkloadOp::SafeWrite { key, size } = op {
+                    store.safe_write(&key, size)?;
+                }
+            }
+        }
+        store.maintenance()?;
+        let after = store.fragmentation().fragments_per_object;
+        figure = figure.with_series(Series::new(kind.label(), vec![(0.0, before), (1.0, after)]));
+    }
+    Ok(figure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_expose_the_paper_parameters() {
+        let full = Scale::full();
+        assert_eq!(full.volume(PAPER_VOLUME), PAPER_VOLUME);
+        assert_eq!(full.object(10 << 20), 10 << 20);
+        assert_eq!(full.age_points().len(), 11);
+        let report = Scale::report();
+        assert_eq!(report.volume(PAPER_VOLUME), 4_000_000_000);
+        assert!(Scale::bench().volume(PAPER_VOLUME) < report.volume(PAPER_VOLUME));
+        assert!(Scale::test().object(256 << 10) >= 64 << 10);
+    }
+
+    #[test]
+    fn table1_lists_the_simulated_testbed() {
+        let table = table1();
+        let text = table.to_text();
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("7200 rpm"));
+        assert!(text.contains("lor-fskit"));
+        assert!(text.contains("lor-blobkit"));
+    }
+
+    #[test]
+    fn figure3_at_test_scale_has_both_series_and_all_ages() {
+        let scale = Scale::test();
+        let figure = figure3(&scale).unwrap();
+        assert_eq!(figure.series.len(), 2);
+        for series in &figure.series {
+            assert_eq!(series.points.len(), scale.age_points().len());
+            // Fragments never drop below 1 for live objects.
+            assert!(series.points.iter().all(|(_, y)| *y >= 1.0));
+        }
+    }
+
+    #[test]
+    fn figure4_reports_bulk_load_advantage_for_the_database() {
+        let scale = Scale::test();
+        let figure = figure4(&scale).unwrap();
+        let database = figure.series.iter().find(|s| s.label == "Database").unwrap();
+        let filesystem = figure.series.iter().find(|s| s.label == "Filesystem").unwrap();
+        let db_bulk = database.value_at(0.0).unwrap();
+        let fs_bulk = filesystem.value_at(0.0).unwrap();
+        assert!(
+            db_bulk > fs_bulk,
+            "database bulk-load write throughput ({db_bulk:.1}) should exceed the filesystem's ({fs_bulk:.1})"
+        );
+    }
+}

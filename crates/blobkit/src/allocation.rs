@@ -1,0 +1,417 @@
+//! GAM/IAM-style space management for the data file.
+//!
+//! SQL Server tracks which 64 KB extents of a data file are allocated (the
+//! Global Allocation Map) and which extents belong to each allocation unit
+//! (the Index Allocation Map chain).  The reproduction keeps the same
+//! two-level structure because it is what produces the database's
+//! characteristic fragmentation behaviour:
+//!
+//! * space is reused **lowest page first** (first fit over the page space), so
+//!   pages freed by deleted BLOBs anywhere in the file are filled before the
+//!   file's tail is touched — which is what gradually interleaves objects as
+//!   the store ages;
+//! * an object being streamed in keeps **appending to the page that follows
+//!   its previous one** whenever that page is free (or its extent can be
+//!   assigned), so a bulk load onto a clean file lays every object out
+//!   contiguously;
+//! * pages freed inside an extent are only reusable by the same allocation
+//!   unit until the whole extent empties, at which point the extent returns to
+//!   the GAM.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DbError;
+use crate::page::{ExtentId, PageId, PageKind, PAGES_PER_EXTENT};
+
+/// The Global Allocation Map: which extents of the data file are unassigned.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gam {
+    total_extents: u64,
+    free_extents: BTreeSet<ExtentId>,
+}
+
+impl Gam {
+    /// Creates a GAM over a data file of `total_extents` extents, all free.
+    pub fn new(total_extents: u64) -> Self {
+        Gam { total_extents, free_extents: (0..total_extents).map(ExtentId).collect() }
+    }
+
+    /// Total extents in the data file.
+    pub fn total_extents(&self) -> u64 {
+        self.total_extents
+    }
+
+    /// Unassigned extents remaining.
+    pub fn free_extent_count(&self) -> u64 {
+        self.free_extents.len() as u64
+    }
+
+    /// Assigns the lowest-numbered free extent (first fit at extent
+    /// granularity).
+    pub fn assign_lowest(&mut self) -> Option<ExtentId> {
+        let extent = *self.free_extents.iter().next()?;
+        self.free_extents.remove(&extent);
+        Some(extent)
+    }
+
+    /// Assigns a specific extent if it is free.  Used to continue an object's
+    /// layout into the physically next extent.
+    pub fn assign_specific(&mut self, extent: ExtentId) -> bool {
+        self.free_extents.remove(&extent)
+    }
+
+    /// The lowest-numbered free extent, without assigning it.
+    pub fn peek_lowest(&self) -> Option<ExtentId> {
+        self.free_extents.iter().next().copied()
+    }
+
+    /// Assigns the highest-numbered free extent.  Used for metadata pages so
+    /// that the clustered index does not decluster the BLOB data it describes
+    /// (the paper's out-of-row rationale, Section 4.2).
+    pub fn assign_highest(&mut self) -> Option<ExtentId> {
+        let extent = *self.free_extents.iter().next_back()?;
+        self.free_extents.remove(&extent);
+        Some(extent)
+    }
+
+    /// Returns an extent to the free pool.
+    ///
+    /// # Panics
+    /// Panics if the extent is already free (double release is an engine bug).
+    pub fn release(&mut self, extent: ExtentId) {
+        assert!(extent.0 < self.total_extents, "extent {extent} outside the data file");
+        let inserted = self.free_extents.insert(extent);
+        assert!(inserted, "extent {extent} released twice");
+    }
+
+    /// `true` if the extent is currently unassigned.
+    pub fn is_free(&self, extent: ExtentId) -> bool {
+        self.free_extents.contains(&extent)
+    }
+}
+
+/// One allocation unit (e.g. the LOB_DATA unit of the object table).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AllocationUnit {
+    kind: PageKind,
+    /// Extents assigned to this unit (the IAM chain).
+    extents: BTreeSet<ExtentId>,
+    /// Pages within assigned extents that currently hold no data.
+    free_pages: BTreeSet<PageId>,
+    /// Pages within assigned extents that hold data.
+    used_pages: u64,
+}
+
+impl AllocationUnit {
+    /// Creates an empty allocation unit.
+    pub fn new(kind: PageKind) -> Self {
+        AllocationUnit { kind, extents: BTreeSet::new(), free_pages: BTreeSet::new(), used_pages: 0 }
+    }
+
+    /// The page kind stored in this unit.
+    pub fn kind(&self) -> PageKind {
+        self.kind
+    }
+
+    /// Number of extents assigned to the unit.
+    pub fn extent_count(&self) -> u64 {
+        self.extents.len() as u64
+    }
+
+    /// Pages holding data.
+    pub fn used_pages(&self) -> u64 {
+        self.used_pages
+    }
+
+    /// Free pages inside assigned extents.
+    pub fn free_page_count(&self) -> u64 {
+        self.free_pages.len() as u64
+    }
+
+    /// Pages the caller could still allocate without growing the file:
+    /// free pages in assigned extents plus every page of every unassigned
+    /// extent in the GAM.
+    pub fn available_pages(&self, gam: &Gam) -> u64 {
+        self.free_pages.len() as u64 + gam.free_extent_count() * PAGES_PER_EXTENT
+    }
+
+    /// Allocates `count` pages for one object streamed into the store.
+    ///
+    /// Strategy (see module docs): keep extending the run that ends at the
+    /// previously allocated page — taking the next free page, or assigning the
+    /// physically next extent when it is still unassigned — and when the run
+    /// cannot be extended, start a new run at the lowest free page in the
+    /// file (first fit), assigning the lowest unassigned extent if that is
+    /// lower still.
+    pub fn allocate_pages(&mut self, gam: &mut Gam, count: u64) -> Result<Vec<PageId>, DbError> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        if count > self.available_pages(gam) {
+            return Err(DbError::OutOfSpace {
+                requested_pages: count,
+                free_pages: self.available_pages(gam),
+            });
+        }
+
+        let mut pages: Vec<PageId> = Vec::with_capacity(count as usize);
+        while (pages.len() as u64) < count {
+            // 1. Try to continue the current run.
+            if let Some(&last) = pages.last() {
+                let next = PageId(last.0 + 1);
+                if self.take_specific(gam, next) {
+                    pages.push(next);
+                    continue;
+                }
+            }
+            // 2. Start a new run.  Free pages inside already-assigned extents
+            //    are consumed before any fresh extent is assigned (the engine
+            //    does not waste partially used extents), lowest page first;
+            //    only when no such page exists is the lowest unassigned extent
+            //    taken from the GAM.  This ordering is what seeds the paper's
+            //    "constant-size objects still fragment" behaviour: the
+            //    partially used extents left at object boundaries are soaked
+            //    up by later allocations, which therefore start away from the
+            //    extents that hold their bulk.
+            let start = self
+                .free_pages
+                .iter()
+                .next()
+                .copied()
+                .or_else(|| gam.peek_lowest().map(|e| e.first_page()))
+                .expect("available_pages() guaranteed enough space");
+            let taken = self.take_specific(gam, start);
+            debug_assert!(taken, "the lowest free position must be takeable");
+            pages.push(start);
+        }
+        Ok(pages)
+    }
+
+    /// Allocates `count` pages from the high end of the file: free pages in
+    /// assigned extents highest-first, then the highest unassigned extents.
+    ///
+    /// Used for the metadata table's clustered-index pages so that the small,
+    /// cached metadata structures never interrupt the BLOB data laid out from
+    /// the front of the file.
+    pub fn allocate_pages_high(&mut self, gam: &mut Gam, count: u64) -> Result<Vec<PageId>, DbError> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        if count > self.available_pages(gam) {
+            return Err(DbError::OutOfSpace {
+                requested_pages: count,
+                free_pages: self.available_pages(gam),
+            });
+        }
+        let mut pages = Vec::with_capacity(count as usize);
+        while (pages.len() as u64) < count {
+            if let Some(&page) = self.free_pages.iter().next_back() {
+                self.free_pages.remove(&page);
+                self.used_pages += 1;
+                pages.push(page);
+                continue;
+            }
+            let extent = gam.assign_highest().expect("available_pages() guaranteed enough space");
+            self.extents.insert(extent);
+            for p in extent.pages() {
+                self.free_pages.insert(p);
+            }
+        }
+        Ok(pages)
+    }
+
+    /// Takes one specific page if it is available (free in an assigned extent,
+    /// or in an extent that can be assigned from the GAM).  Returns `true` on
+    /// success.
+    fn take_specific(&mut self, gam: &mut Gam, page: PageId) -> bool {
+        if self.free_pages.remove(&page) {
+            self.used_pages += 1;
+            return true;
+        }
+        let extent = page.extent();
+        if !self.extents.contains(&extent) && gam.assign_specific(extent) {
+            self.extents.insert(extent);
+            for p in extent.pages() {
+                self.free_pages.insert(p);
+            }
+            let removed = self.free_pages.remove(&page);
+            debug_assert!(removed);
+            self.used_pages += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Frees one page, returning its extent to the GAM if the extent is now
+    /// completely empty.
+    pub fn free_page(&mut self, gam: &mut Gam, page: PageId) {
+        let extent = page.extent();
+        assert!(self.extents.contains(&extent), "page {page} freed outside the unit's extents");
+        let inserted = self.free_pages.insert(page);
+        assert!(inserted, "page {page} freed twice");
+        self.used_pages -= 1;
+
+        // If every page of the extent is free, hand the extent back.
+        let all_free = extent.pages().all(|p| self.free_pages.contains(&p));
+        if all_free {
+            for p in extent.pages() {
+                self.free_pages.remove(&p);
+            }
+            self.extents.remove(&extent);
+            gam.release(extent);
+        }
+    }
+
+    /// The extents currently assigned to this unit, ascending.
+    pub fn extents(&self) -> impl Iterator<Item = ExtentId> + '_ {
+        self.extents.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::fragment_count;
+
+    #[test]
+    fn gam_assigns_lowest_first() {
+        let mut gam = Gam::new(10);
+        assert_eq!(gam.free_extent_count(), 10);
+        assert_eq!(gam.assign_lowest(), Some(ExtentId(0)));
+        assert_eq!(gam.assign_lowest(), Some(ExtentId(1)));
+        gam.release(ExtentId(0));
+        assert_eq!(gam.assign_lowest(), Some(ExtentId(0)), "freed extents are reused before the file grows");
+        assert!(gam.is_free(ExtentId(5)));
+        assert!(!gam.is_free(ExtentId(1)));
+        assert_eq!(gam.peek_lowest(), Some(ExtentId(2)));
+    }
+
+    #[test]
+    fn gam_assign_specific() {
+        let mut gam = Gam::new(10);
+        assert!(gam.assign_specific(ExtentId(4)));
+        assert!(!gam.assign_specific(ExtentId(4)), "already assigned");
+        assert!(!gam.is_free(ExtentId(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "released twice")]
+    fn gam_double_release_panics() {
+        let mut gam = Gam::new(4);
+        gam.release(ExtentId(0));
+    }
+
+    #[test]
+    fn clean_file_allocations_are_contiguous() {
+        let mut gam = Gam::new(100);
+        let mut unit = AllocationUnit::new(PageKind::LobData);
+        let a = unit.allocate_pages(&mut gam, 20).unwrap();
+        assert_eq!(a.len(), 20);
+        assert_eq!(fragment_count(&a), 1);
+        // The next object continues right after the previous one, sharing its
+        // partially used extent.
+        let b = unit.allocate_pages(&mut gam, 20).unwrap();
+        assert_eq!(fragment_count(&b), 1);
+        assert!(a.last().unwrap().is_followed_by(b[0]));
+        assert_eq!(unit.used_pages(), 40);
+        // 40 pages span extents 0..=4.
+        assert_eq!(unit.extent_count(), 5);
+    }
+
+    #[test]
+    fn freed_low_pages_are_reused_before_the_tail() {
+        let mut gam = Gam::new(100);
+        let mut unit = AllocationUnit::new(PageKind::LobData);
+        let a = unit.allocate_pages(&mut gam, 16).unwrap();
+        let _b = unit.allocate_pages(&mut gam, 16).unwrap();
+        // Delete `a`: its two extents return to the GAM.
+        for page in &a {
+            unit.free_page(&mut gam, *page);
+        }
+        // A new 8-page object lands in the freed low extent, not at the tail.
+        let c = unit.allocate_pages(&mut gam, 8).unwrap();
+        assert_eq!(c[0], PageId(0));
+        assert_eq!(fragment_count(&c), 1);
+    }
+
+    #[test]
+    fn scattered_free_pages_fragment_new_objects() {
+        let mut gam = Gam::new(100);
+        let mut unit = AllocationUnit::new(PageKind::LobData);
+        let a = unit.allocate_pages(&mut gam, 64).unwrap();
+        // Free every other 4-page group of `a`, leaving 4-page holes.
+        for chunk in a.chunks(8).map(|c| &c[..4]) {
+            for page in chunk {
+                unit.free_page(&mut gam, *page);
+            }
+        }
+        // A 16-page object must span at least four of those holes.
+        let b = unit.allocate_pages(&mut gam, 16).unwrap();
+        assert!(fragment_count(&b) >= 4, "got {} fragments", fragment_count(&b));
+        // And it fills the lowest holes first.
+        assert_eq!(b[0], PageId(0));
+    }
+
+    #[test]
+    fn freeing_a_whole_extent_returns_it_to_the_gam() {
+        let mut gam = Gam::new(10);
+        let mut unit = AllocationUnit::new(PageKind::LobData);
+        let pages = unit.allocate_pages(&mut gam, 8).unwrap();
+        assert_eq!(unit.extent_count(), 1);
+        let before = gam.free_extent_count();
+        for page in &pages {
+            unit.free_page(&mut gam, *page);
+        }
+        assert_eq!(unit.extent_count(), 0);
+        assert_eq!(unit.used_pages(), 0);
+        assert_eq!(gam.free_extent_count(), before + 1);
+    }
+
+    #[test]
+    fn partially_freed_extents_stay_with_the_unit() {
+        let mut gam = Gam::new(10);
+        let mut unit = AllocationUnit::new(PageKind::LobData);
+        let pages = unit.allocate_pages(&mut gam, 8).unwrap();
+        unit.free_page(&mut gam, pages[0]);
+        assert_eq!(unit.extent_count(), 1);
+        assert_eq!(unit.free_page_count(), 1);
+        // The freed page is reused before any new extent is assigned.
+        let next = unit.allocate_pages(&mut gam, 1).unwrap();
+        assert_eq!(next[0], pages[0]);
+    }
+
+    #[test]
+    fn out_of_space_is_detected() {
+        let mut gam = Gam::new(2); // 16 pages total
+        let mut unit = AllocationUnit::new(PageKind::LobData);
+        assert!(unit.allocate_pages(&mut gam, 17).is_err());
+        let pages = unit.allocate_pages(&mut gam, 10).unwrap();
+        assert_eq!(pages.len(), 10);
+        let err = unit.allocate_pages(&mut gam, 7).unwrap_err();
+        assert!(matches!(err, DbError::OutOfSpace { requested_pages: 7, free_pages: 6 }));
+        // The failed allocation must not have leaked anything.
+        assert_eq!(unit.used_pages(), 10);
+        assert_eq!(unit.available_pages(&gam), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "freed twice")]
+    fn double_free_panics() {
+        let mut gam = Gam::new(2);
+        let mut unit = AllocationUnit::new(PageKind::LobData);
+        let pages = unit.allocate_pages(&mut gam, 4).unwrap();
+        unit.free_page(&mut gam, pages[0]);
+        unit.free_page(&mut gam, pages[0]);
+    }
+
+    #[test]
+    fn zero_page_allocations_are_empty() {
+        let mut gam = Gam::new(2);
+        let mut unit = AllocationUnit::new(PageKind::RowData);
+        assert!(unit.allocate_pages(&mut gam, 0).unwrap().is_empty());
+        assert_eq!(unit.kind(), PageKind::RowData);
+        assert_eq!(unit.extents().count(), 0);
+    }
+}

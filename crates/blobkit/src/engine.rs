@@ -1,0 +1,682 @@
+//! The storage engine: a pre-sized data file, a metadata table with a
+//! clustered index, and out-of-row BLOB storage.
+//!
+//! The engine reproduces the aspects of SQL Server's behaviour the paper
+//! holds responsible for its fragmentation curve:
+//!
+//! * BLOBs are stored **out of row** on dedicated LOB pages so the metadata
+//!   table stays small and cached (Section 4.2);
+//! * inserts run in **bulk-logged mode**: new pages are written to the data
+//!   file and forced at commit — there is no second (log) copy of the BLOB;
+//! * updates are **wholesale replacements** (the workload's safe-write
+//!   equivalent): the new version is written to freshly allocated pages and
+//!   the old version's pages become ghosts;
+//! * **ghost cleanup** runs asynchronously (here: every few operations or
+//!   under allocation pressure) and returns pages — and, once empty, whole
+//!   extents — to the free pool, where the GAM's lowest-extent-first reuse
+//!   gradually interleaves objects and drives the near-linear growth of
+//!   fragments per object;
+//! * the only supported "defragmentation" is copying the table into a new
+//!   filegroup ([`Database::rebuild_into_new_filegroup`]), exactly what the
+//!   paper reports Microsoft recommends.
+
+use std::collections::BTreeMap;
+
+use lor_disksim::ByteRun;
+use serde::{Deserialize, Serialize};
+
+use crate::allocation::{AllocationUnit, Gam};
+use crate::blob::{BlobId, BlobRecord};
+use crate::error::DbError;
+use crate::page::{ExtentId, PageId, PageKind, PAGES_PER_EXTENT};
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Size of the (pre-created, physically contiguous) data file in bytes.
+    pub data_file_bytes: u64,
+    /// Page size in bytes (SQL Server: 8192).
+    pub page_size: u64,
+    /// BLOB payload bytes stored per LOB page (page size minus headers and
+    /// record overhead).
+    pub lob_payload_per_page: u64,
+    /// Metadata rows per clustered-index page.
+    pub rows_per_page: u64,
+    /// Mutating operations between automatic ghost-cleanup passes.
+    pub ghost_cleanup_interval_ops: u64,
+    /// Byte offset of the data file on the underlying disk (the file is
+    /// modelled as one contiguous preallocation).
+    pub base_offset: u64,
+}
+
+impl EngineConfig {
+    /// A configuration resembling the paper's SQL Server setup for a data
+    /// file of the given size.
+    pub fn new(data_file_bytes: u64) -> Self {
+        EngineConfig {
+            data_file_bytes,
+            page_size: 8192,
+            lob_payload_per_page: 8064,
+            rows_per_page: 128,
+            ghost_cleanup_interval_ops: 16,
+            base_offset: 0,
+        }
+    }
+
+    /// Total pages in the data file.
+    pub fn total_pages(&self) -> u64 {
+        self.data_file_bytes / self.page_size
+    }
+
+    /// Total extents in the data file.
+    pub fn total_extents(&self) -> u64 {
+        self.total_pages() / PAGES_PER_EXTENT
+    }
+
+    /// LOB pages needed to store an object of `size_bytes`.
+    pub fn pages_for(&self, size_bytes: u64) -> u64 {
+        size_bytes.div_ceil(self.lob_payload_per_page)
+    }
+
+    fn validate(&self) -> Result<(), DbError> {
+        if self.page_size == 0 {
+            return Err(DbError::BadConfig("page size must be non-zero"));
+        }
+        if self.lob_payload_per_page == 0 || self.lob_payload_per_page > self.page_size {
+            return Err(DbError::BadConfig("LOB payload must be in (0, page size]"));
+        }
+        if self.rows_per_page == 0 {
+            return Err(DbError::BadConfig("rows per page must be non-zero"));
+        }
+        if self.total_extents() == 0 {
+            return Err(DbError::BadConfig("data file must hold at least one extent"));
+        }
+        Ok(())
+    }
+}
+
+/// Counters describing everything the engine has been asked to do.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Objects inserted.
+    pub inserts: u64,
+    /// Objects replaced (wholesale update).
+    pub updates: u64,
+    /// Objects deleted.
+    pub deletes: u64,
+    /// Payload bytes written (includes rewrites).
+    pub bytes_written: u64,
+    /// Payload bytes of deleted or replaced versions.
+    pub bytes_deleted: u64,
+    /// LOB pages allocated over the engine's lifetime.
+    pub pages_allocated: u64,
+    /// Ghost-cleanup passes.
+    pub ghost_cleanups: u64,
+    /// Cleanups forced by allocation pressure.
+    pub forced_cleanups: u64,
+    /// Clustered-index pages currently allocated for metadata rows.
+    pub row_pages: u64,
+}
+
+/// What a write-path operation did, so callers can charge the disk model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DbWriteReceipt {
+    /// The stored object's identifier.
+    pub blob_id: BlobId,
+    /// Physical byte runs written (whole pages), in write order.
+    pub runs: Vec<ByteRun>,
+    /// Payload bytes written.
+    pub bytes_written: u64,
+    /// LOB pages written.
+    pub pages_written: u64,
+}
+
+/// The BLOB storage engine.
+#[derive(Debug, Clone)]
+pub struct Database {
+    config: EngineConfig,
+    gam: Gam,
+    lob_unit: AllocationUnit,
+    row_unit: AllocationUnit,
+    blobs: BTreeMap<BlobId, BlobRecord>,
+    keys: BTreeMap<String, BlobId>,
+    next_id: u64,
+    /// Pages of deleted/replaced BLOB versions awaiting ghost cleanup.
+    ghost_pages: Vec<PageId>,
+    ops_since_cleanup: u64,
+    /// Metadata rows currently live (one per object).
+    row_count: u64,
+    stats: EngineStats,
+}
+
+impl Database {
+    /// Creates an engine over a fresh data file.
+    pub fn create(config: EngineConfig) -> Result<Self, DbError> {
+        config.validate()?;
+        let gam = Gam::new(config.total_extents());
+        Ok(Database {
+            gam,
+            lob_unit: AllocationUnit::new(PageKind::LobData),
+            row_unit: AllocationUnit::new(PageKind::RowData),
+            blobs: BTreeMap::new(),
+            keys: BTreeMap::new(),
+            next_id: 1,
+            ghost_pages: Vec::new(),
+            ops_since_cleanup: 0,
+            row_count: 0,
+            stats: EngineStats::default(),
+            config,
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Number of live objects.
+    pub fn object_count(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Payload capacity of the data file available to BLOBs, in bytes.
+    ///
+    /// This is approximate (metadata pages also consume extents) but adequate
+    /// for sizing workloads.
+    pub fn data_capacity_bytes(&self) -> u64 {
+        self.config.total_pages() * self.config.lob_payload_per_page
+    }
+
+    /// Payload bytes currently free for BLOBs, counting ghost pages as free
+    /// capacity (they exist, they are just not reusable yet).
+    pub fn free_bytes(&self) -> u64 {
+        (self.lob_unit.available_pages(&self.gam) + self.ghost_pages.len() as u64)
+            * self.config.lob_payload_per_page
+    }
+
+    /// Looks up a record by key.
+    pub fn get(&self, key: &str) -> Result<&BlobRecord, DbError> {
+        let id = self.keys.get(key).ok_or_else(|| DbError::NoSuchKey(key.to_string()))?;
+        Ok(&self.blobs[id])
+    }
+
+    /// Looks up a record by id.
+    pub fn get_by_id(&self, id: BlobId) -> Option<&BlobRecord> {
+        self.blobs.get(&id)
+    }
+
+    /// Iterates over live records in id order.
+    pub fn iter_blobs(&self) -> impl Iterator<Item = &BlobRecord> {
+        self.blobs.values()
+    }
+
+    /// Inserts a new object of `size_bytes` under `key`.
+    pub fn insert(&mut self, key: &str, size_bytes: u64) -> Result<DbWriteReceipt, DbError> {
+        if self.keys.contains_key(key) {
+            return Err(DbError::KeyExists(key.to_string()));
+        }
+        let pages = self.allocate_lob_pages(self.config.pages_for(size_bytes))?;
+        let id = BlobId(self.next_id);
+        self.next_id += 1;
+        let record = BlobRecord::new(id, key, size_bytes, pages);
+        let receipt = self.receipt_for(&record);
+        self.keys.insert(key.to_string(), id);
+        self.blobs.insert(id, record);
+        self.insert_metadata_row()?;
+        self.stats.inserts += 1;
+        self.stats.bytes_written += size_bytes;
+        self.bump_op();
+        Ok(receipt)
+    }
+
+    /// Replaces the object stored under `key` with a new version of
+    /// `size_bytes` (wholesale replacement, the BLOB analogue of a safe
+    /// write).  The new version is written before the old version's pages are
+    /// ghosted, exactly as a transactional update must.
+    pub fn update(&mut self, key: &str, size_bytes: u64) -> Result<DbWriteReceipt, DbError> {
+        let id = *self.keys.get(key).ok_or_else(|| DbError::NoSuchKey(key.to_string()))?;
+        let new_pages = self.allocate_lob_pages(self.config.pages_for(size_bytes))?;
+
+        let record = self.blobs.get_mut(&id).expect("key map and blob map are consistent");
+        let old_pages = std::mem::replace(&mut record.pages, new_pages);
+        let old_size = std::mem::replace(&mut record.size_bytes, size_bytes);
+        let receipt = Self::receipt_for_parts(&self.config, id, &record.pages, size_bytes);
+        self.ghost_pages.extend(old_pages);
+        self.stats.updates += 1;
+        self.stats.bytes_written += size_bytes;
+        self.stats.bytes_deleted += old_size;
+        self.bump_op();
+        Ok(receipt)
+    }
+
+    /// Replaces several objects whose writes are in flight at the same time,
+    /// as a concurrent web application does.
+    ///
+    /// Page allocation for the new versions proceeds **round-robin in
+    /// write-request-sized chunks**, so concurrent uploads interleave on disk
+    /// just as they do under a real server.  Each object's old version is
+    /// ghosted when its replacement commits.
+    pub fn update_batch(
+        &mut self,
+        items: &[(&str, u64)],
+        write_request_size: u64,
+    ) -> Result<Vec<DbWriteReceipt>, DbError> {
+        let chunk_payload = write_request_size.max(1);
+        // Validate all keys first.
+        let mut ids = Vec::with_capacity(items.len());
+        for (key, _) in items {
+            ids.push(*self.keys.get(*key).ok_or_else(|| DbError::NoSuchKey(key.to_string()))?);
+        }
+
+        // Interleave page allocation across the batch.
+        let mut new_pages: Vec<Vec<PageId>> = vec![Vec::new(); items.len()];
+        let targets: Vec<u64> = items.iter().map(|(_, size)| self.config.pages_for(*size)).collect();
+        let mut pending = true;
+        while pending {
+            pending = false;
+            for (index, target) in targets.iter().enumerate() {
+                let have = new_pages[index].len() as u64;
+                if have < *target {
+                    let want = self.config.pages_for(chunk_payload).min(target - have);
+                    let pages = self.allocate_lob_pages(want)?;
+                    new_pages[index].extend(pages);
+                    if (new_pages[index].len() as u64) < *target {
+                        pending = true;
+                    }
+                }
+            }
+        }
+
+        // Commit: swap page maps, ghost old versions.
+        let mut receipts = Vec::with_capacity(items.len());
+        for (((key, size), id), pages) in items.iter().zip(ids).zip(new_pages) {
+            let record = self.blobs.get_mut(&id).expect("key map and blob map are consistent");
+            let old_pages = std::mem::replace(&mut record.pages, pages);
+            let old_size = std::mem::replace(&mut record.size_bytes, *size);
+            receipts.push(Self::receipt_for_parts(&self.config, id, &record.pages, *size));
+            self.ghost_pages.extend(old_pages);
+            self.stats.updates += 1;
+            self.stats.bytes_written += *size;
+            self.stats.bytes_deleted += old_size;
+            self.bump_op();
+            let _ = key;
+        }
+        Ok(receipts)
+    }
+
+    /// Deletes the object stored under `key`.  Its pages become ghosts until
+    /// the next cleanup pass.
+    pub fn delete(&mut self, key: &str) -> Result<(), DbError> {
+        let id = self
+            .keys
+            .remove(key)
+            .ok_or_else(|| DbError::NoSuchKey(key.to_string()))?;
+        let record = self.blobs.remove(&id).expect("key map and blob map are consistent");
+        self.ghost_pages.extend(record.pages);
+        self.row_count -= 1;
+        self.stats.deletes += 1;
+        self.stats.bytes_deleted += record.size_bytes;
+        self.bump_op();
+        Ok(())
+    }
+
+    /// The byte runs a full read of the object touches (whole LOB pages, in
+    /// logical order).
+    pub fn read_plan(&self, key: &str) -> Result<Vec<ByteRun>, DbError> {
+        Ok(self.get(key)?.byte_runs(self.config.page_size, self.config.base_offset))
+    }
+
+    /// Reclaims all ghost pages, returning fully empty extents to the GAM.
+    pub fn ghost_cleanup(&mut self) {
+        if self.ghost_pages.is_empty() {
+            self.ops_since_cleanup = 0;
+            return;
+        }
+        for page in std::mem::take(&mut self.ghost_pages) {
+            self.lob_unit.free_page(&mut self.gam, page);
+        }
+        self.ops_since_cleanup = 0;
+        self.stats.ghost_cleanups += 1;
+    }
+
+    /// Pages currently awaiting ghost cleanup.
+    pub fn ghost_page_count(&self) -> u64 {
+        self.ghost_pages.len() as u64
+    }
+
+    /// Per-object fragment counts (the paper's headline metric).
+    pub fn fragmentation(&self) -> lor_alloc::FragmentationSummary {
+        let counts: Vec<u64> = self.blobs.values().map(|b| b.fragment_count() as u64).collect();
+        lor_alloc::FragmentationSummary::from_counts(&counts)
+    }
+
+    /// Rebuilds the table into a new filegroup: every object is copied, in
+    /// key order, into freshly allocated sequential extents, and the old
+    /// allocation state is discarded.  Returns the payload bytes copied.
+    ///
+    /// This is the defragmentation procedure the paper reports Microsoft
+    /// recommending for LOB data ("create a new table in a new file group,
+    /// copy the old records to the new table and drop the old table").
+    pub fn rebuild_into_new_filegroup(&mut self) -> Result<u64, DbError> {
+        let mut new_gam = Gam::new(self.config.total_extents());
+        let mut new_lob = AllocationUnit::new(PageKind::LobData);
+        let mut new_row = AllocationUnit::new(PageKind::RowData);
+
+        // Row pages for the clustered index of the copied table.
+        let row_pages_needed = self.row_count.div_ceil(self.config.rows_per_page);
+        if row_pages_needed > 0 {
+            new_row.allocate_pages_high(&mut new_gam, row_pages_needed)?;
+        }
+
+        let mut copied = 0u64;
+        // Copy in key order (a clustered-index scan of the old table).
+        let ordered: Vec<BlobId> = self.keys.values().copied().collect();
+        for id in ordered {
+            let record = self.blobs.get_mut(&id).expect("key map and blob map are consistent");
+            let pages = new_lob.allocate_pages(&mut new_gam, record.page_count())?;
+            record.pages = pages;
+            copied += record.size_bytes;
+        }
+
+        self.gam = new_gam;
+        self.lob_unit = new_lob;
+        self.row_unit = new_row;
+        self.ghost_pages.clear();
+        self.stats.row_pages = row_pages_needed;
+        Ok(copied)
+    }
+
+    /// Allocates LOB pages, forcing a ghost cleanup if the free pool is
+    /// exhausted but ghosts exist (allocation pressure).
+    fn allocate_lob_pages(&mut self, pages: u64) -> Result<Vec<PageId>, DbError> {
+        if pages > self.lob_unit.available_pages(&self.gam) && !self.ghost_pages.is_empty() {
+            self.stats.forced_cleanups += 1;
+            self.ghost_cleanup();
+        }
+        let allocated = self.lob_unit.allocate_pages(&mut self.gam, pages)?;
+        self.stats.pages_allocated += allocated.len() as u64;
+        Ok(allocated)
+    }
+
+    /// Adds a metadata row, allocating a new clustered-index page when the
+    /// current ones are full.
+    fn insert_metadata_row(&mut self) -> Result<(), DbError> {
+        self.row_count += 1;
+        let needed = self.row_count.div_ceil(self.config.rows_per_page);
+        while self.stats.row_pages < needed {
+            self.row_unit.allocate_pages_high(&mut self.gam, 1)?;
+            self.stats.row_pages += 1;
+        }
+        Ok(())
+    }
+
+    fn receipt_for(&self, record: &BlobRecord) -> DbWriteReceipt {
+        Self::receipt_for_parts(&self.config, record.id, &record.pages, record.size_bytes)
+    }
+
+    fn receipt_for_parts(config: &EngineConfig, id: BlobId, pages: &[PageId], size_bytes: u64) -> DbWriteReceipt {
+        let runs = crate::page::page_runs(pages)
+            .into_iter()
+            .map(|(first, count)| {
+                ByteRun::new(config.base_offset + first.0 * config.page_size, count * config.page_size)
+            })
+            .collect();
+        DbWriteReceipt { blob_id: id, runs, bytes_written: size_bytes, pages_written: pages.len() as u64 }
+    }
+
+    fn bump_op(&mut self) {
+        self.ops_since_cleanup += 1;
+        if self.ops_since_cleanup >= self.config.ghost_cleanup_interval_ops {
+            self.ghost_cleanup();
+        }
+    }
+
+    /// Convenience used by tests and the ablation benches: the extent ids of
+    /// an object's pages, deduplicated and in logical order.
+    pub fn extents_of(&self, key: &str) -> Result<Vec<ExtentId>, DbError> {
+        let record = self.get(key)?;
+        let mut extents: Vec<ExtentId> = Vec::new();
+        for page in &record.pages {
+            let extent = page.extent();
+            if extents.last() != Some(&extent) {
+                extents.push(extent);
+            }
+        }
+        Ok(extents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    fn small_db() -> Database {
+        Database::create(EngineConfig::new(256 * MB)).unwrap()
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        assert!(Database::create(EngineConfig { page_size: 0, ..EngineConfig::new(MB) }).is_err());
+        assert!(Database::create(EngineConfig { lob_payload_per_page: 0, ..EngineConfig::new(MB) }).is_err());
+        assert!(Database::create(EngineConfig { lob_payload_per_page: 9000, ..EngineConfig::new(MB) }).is_err());
+        assert!(Database::create(EngineConfig { rows_per_page: 0, ..EngineConfig::new(MB) }).is_err());
+        assert!(Database::create(EngineConfig::new(1000)).is_err());
+    }
+
+    #[test]
+    fn insert_get_delete_round_trip() {
+        let mut db = small_db();
+        let receipt = db.insert("obj-1", MB).unwrap();
+        assert_eq!(receipt.bytes_written, MB);
+        assert_eq!(receipt.pages_written, db.config().pages_for(MB));
+
+        let record = db.get("obj-1").unwrap();
+        assert_eq!(record.size_bytes, MB);
+        assert_eq!(record.id, receipt.blob_id);
+        assert_eq!(db.object_count(), 1);
+        assert!(db.get_by_id(receipt.blob_id).is_some());
+
+        let plan = db.read_plan("obj-1").unwrap();
+        let transferred: u64 = plan.iter().map(|r| r.len).sum();
+        assert!(transferred >= MB, "whole pages are read");
+
+        db.delete("obj-1").unwrap();
+        assert!(db.get("obj-1").is_err());
+        assert_eq!(db.object_count(), 0);
+        assert!(db.ghost_page_count() > 0, "deleted pages await cleanup");
+    }
+
+    #[test]
+    fn duplicate_keys_and_missing_keys_error() {
+        let mut db = small_db();
+        db.insert("a", 1000).unwrap();
+        assert!(matches!(db.insert("a", 1000), Err(DbError::KeyExists(_))));
+        assert!(matches!(db.update("ghost", 1000), Err(DbError::NoSuchKey(_))));
+        assert!(matches!(db.delete("ghost"), Err(DbError::NoSuchKey(_))));
+        assert!(matches!(db.read_plan("ghost"), Err(DbError::NoSuchKey(_))));
+    }
+
+    #[test]
+    fn bulk_load_lays_objects_out_contiguously() {
+        let mut db = small_db();
+        for i in 0..32 {
+            db.insert(&format!("obj-{i}"), 512 * 1024).unwrap();
+        }
+        let summary = db.fragmentation();
+        assert_eq!(summary.objects, 32);
+        assert!(
+            summary.fragments_per_object < 1.5,
+            "clean bulk load should be nearly contiguous, got {}",
+            summary.fragments_per_object
+        );
+    }
+
+    #[test]
+    fn update_replaces_the_version_and_ghosts_the_old_pages() {
+        let mut db = small_db();
+        db.insert("doc", 2 * MB).unwrap();
+        let old_pages = db.get("doc").unwrap().pages.clone();
+        let receipt = db.update("doc", 3 * MB).unwrap();
+        let record = db.get("doc").unwrap();
+        assert_eq!(record.size_bytes, 3 * MB);
+        assert_eq!(record.pages.len() as u64, receipt.pages_written);
+        assert_ne!(record.pages, old_pages);
+        assert_eq!(db.ghost_page_count(), old_pages.len() as u64);
+        assert_eq!(db.object_count(), 1);
+        assert_eq!(db.stats().updates, 1);
+    }
+
+    #[test]
+    fn batched_updates_interleave_and_fragment() {
+        let mut db = Database::create(EngineConfig::new(128 * MB)).unwrap();
+        for i in 0..16 {
+            db.insert(&format!("obj-{i}"), 2 * MB).unwrap();
+        }
+        for _ in 0..4 {
+            for group in (0..16).collect::<Vec<_>>().chunks(4) {
+                let names: Vec<String> = group.iter().map(|i| format!("obj-{i}")).collect();
+                let items: Vec<(&str, u64)> = names.iter().map(|n| (n.as_str(), 2 * MB)).collect();
+                let receipts = db.update_batch(&items, 64 * 1024).unwrap();
+                assert_eq!(receipts.len(), 4);
+                for receipt in &receipts {
+                    assert_eq!(receipt.bytes_written, 2 * MB);
+                    assert_eq!(receipt.pages_written, db.config().pages_for(2 * MB));
+                }
+            }
+        }
+        assert_eq!(db.object_count(), 16);
+        let summary = db.fragmentation();
+        assert!(
+            summary.fragments_per_object > 1.5,
+            "interleaved updates should fragment, got {}",
+            summary.fragments_per_object
+        );
+        // Every object still reads back in full and no page is shared.
+        let mut seen = std::collections::HashSet::new();
+        for blob in db.iter_blobs() {
+            for page in &blob.pages {
+                assert!(seen.insert(*page));
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_cleanup_returns_whole_extents_to_the_gam() {
+        let mut config = EngineConfig::new(64 * MB);
+        config.ghost_cleanup_interval_ops = 1_000_000; // manual
+        let mut db = Database::create(config).unwrap();
+        db.insert("a", 4 * MB).unwrap();
+        let free_before = db.lob_unit.available_pages(&db.gam);
+        db.delete("a").unwrap();
+        assert_eq!(db.lob_unit.available_pages(&db.gam), free_before, "ghosts are not yet free");
+        db.ghost_cleanup();
+        assert!(db.lob_unit.available_pages(&db.gam) > free_before);
+        assert_eq!(db.ghost_page_count(), 0);
+    }
+
+    #[test]
+    fn allocation_pressure_forces_a_cleanup() {
+        let mut config = EngineConfig::new(16 * MB);
+        config.ghost_cleanup_interval_ops = 1_000_000;
+        let mut db = Database::create(config).unwrap();
+        db.insert("a", 12 * MB).unwrap();
+        db.delete("a").unwrap();
+        let before = db.stats().forced_cleanups;
+        db.insert("b", 12 * MB).unwrap();
+        assert_eq!(db.stats().forced_cleanups, before + 1);
+    }
+
+    #[test]
+    fn out_of_space_is_reported() {
+        let mut db = Database::create(EngineConfig::new(4 * MB)).unwrap();
+        assert!(matches!(db.insert("too-big", 16 * MB), Err(DbError::OutOfSpace { .. })));
+        // The failed insert leaves no trace.
+        assert_eq!(db.object_count(), 0);
+        assert!(db.get("too-big").is_err());
+    }
+
+    #[test]
+    fn metadata_rows_allocate_clustered_index_pages() {
+        let mut config = EngineConfig::new(64 * MB);
+        config.rows_per_page = 4;
+        let mut db = Database::create(config).unwrap();
+        for i in 0..9 {
+            db.insert(&format!("k{i}"), 1000).unwrap();
+        }
+        assert_eq!(db.stats().row_pages, 3, "9 rows at 4 rows/page need 3 pages");
+    }
+
+    #[test]
+    fn aged_database_fragments_and_rebuild_repairs_it() {
+        let mut db = Database::create(EngineConfig::new(64 * MB)).unwrap();
+        let object = MB;
+        let count = 24; // ~24 MB live in a 64 MB file
+        for i in 0..count {
+            db.insert(&format!("obj-{i}"), object).unwrap();
+        }
+        // Age the store: several rounds of wholesale replacement in a
+        // scattered order.
+        for round in 0..8 {
+            for i in 0..count {
+                let key = format!("obj-{}", (i * 7 + round) % count);
+                db.update(&key, object).unwrap();
+            }
+        }
+        let aged = db.fragmentation();
+        assert!(
+            aged.fragments_per_object > 1.2,
+            "aging must fragment the store, got {}",
+            aged.fragments_per_object
+        );
+
+        let copied = db.rebuild_into_new_filegroup().unwrap();
+        assert_eq!(copied, count * object);
+        let rebuilt = db.fragmentation();
+        assert!(
+            rebuilt.fragments_per_object < aged.fragments_per_object,
+            "rebuild must reduce fragmentation ({} -> {})",
+            aged.fragments_per_object,
+            rebuilt.fragments_per_object
+        );
+        // Every object still reads back in full.
+        for i in 0..count {
+            let plan = db.read_plan(&format!("obj-{i}")).unwrap();
+            assert!(plan.iter().map(|r| r.len).sum::<u64>() >= object);
+        }
+    }
+
+    #[test]
+    fn extents_of_reports_logical_extent_order() {
+        let mut db = small_db();
+        db.insert("a", 256 * 1024).unwrap();
+        let extents = db.extents_of("a").unwrap();
+        assert!(!extents.is_empty());
+        // A clean insert uses consecutive extents.
+        for window in extents.windows(2) {
+            assert_eq!(window[1].0, window[0].0 + 1);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut db = small_db();
+        db.insert("a", MB).unwrap();
+        db.insert("b", MB).unwrap();
+        db.update("a", 2 * MB).unwrap();
+        db.delete("b").unwrap();
+        let stats = db.stats();
+        assert_eq!(stats.inserts, 2);
+        assert_eq!(stats.updates, 1);
+        assert_eq!(stats.deletes, 1);
+        assert_eq!(stats.bytes_written, 4 * MB);
+        assert_eq!(stats.bytes_deleted, 2 * MB);
+        assert!(stats.pages_allocated > 0);
+    }
+}

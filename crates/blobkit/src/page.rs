@@ -1,0 +1,149 @@
+//! Pages and extents: the database engine's units of space.
+//!
+//! Following SQL Server's layout, the data file is an array of 8 KB pages
+//! grouped into extents of 8 pages (64 KB).  BLOB data lives on dedicated
+//! LOB pages whose payload is slightly smaller than the page (headers,
+//! record overhead), which is one of the reasons a database BLOB occupies a
+//! little more disk than the same object stored as a file.
+
+use serde::{Deserialize, Serialize};
+
+/// Pages per extent (SQL Server: 8).
+pub const PAGES_PER_EXTENT: u64 = 8;
+
+/// Identifier of a page within the data file (zero-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// The extent this page belongs to.
+    pub const fn extent(self) -> ExtentId {
+        ExtentId(self.0 / PAGES_PER_EXTENT)
+    }
+
+    /// Position of the page within its extent (`0..PAGES_PER_EXTENT`).
+    pub const fn slot_in_extent(self) -> u64 {
+        self.0 % PAGES_PER_EXTENT
+    }
+
+    /// `true` if `other` is the page physically following `self`.
+    pub const fn is_followed_by(self, other: PageId) -> bool {
+        other.0 == self.0 + 1
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page:{}", self.0)
+    }
+}
+
+/// Identifier of an extent (group of [`PAGES_PER_EXTENT`] pages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ExtentId(pub u64);
+
+impl ExtentId {
+    /// First page of the extent.
+    pub const fn first_page(self) -> PageId {
+        PageId(self.0 * PAGES_PER_EXTENT)
+    }
+
+    /// Iterator over the pages of the extent.
+    pub fn pages(self) -> impl Iterator<Item = PageId> {
+        (0..PAGES_PER_EXTENT).map(move |slot| PageId(self.0 * PAGES_PER_EXTENT + slot))
+    }
+}
+
+impl std::fmt::Display for ExtentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "extent:{}", self.0)
+    }
+}
+
+/// What a page is used for.  Only the distinctions the experiments need are
+/// modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageKind {
+    /// Out-of-row BLOB data (SQL Server `LOB_DATA`).
+    LobData,
+    /// Clustered-index rows of the metadata table (`IN_ROW_DATA`).
+    RowData,
+    /// Allocation metadata (GAM/IAM), charged to the engine itself.
+    AllocationMap,
+}
+
+/// Counts runs of physically consecutive pages — the database-side equivalent
+/// of a file's fragment count.  An empty list has zero fragments; a contiguous
+/// list has one.
+pub fn fragment_count(pages: &[PageId]) -> usize {
+    let mut fragments = 0;
+    let mut previous: Option<PageId> = None;
+    for &page in pages {
+        match previous {
+            Some(prev) if prev.is_followed_by(page) => {}
+            _ => fragments += 1,
+        }
+        previous = Some(page);
+    }
+    fragments
+}
+
+/// Groups a logical page list into physically contiguous `(first_page, count)`
+/// runs, preserving logical order.
+pub fn page_runs(pages: &[PageId]) -> Vec<(PageId, u64)> {
+    let mut runs: Vec<(PageId, u64)> = Vec::new();
+    for &page in pages {
+        match runs.last_mut() {
+            Some((first, count)) if PageId(first.0 + *count - 1).is_followed_by(page) => *count += 1,
+            _ => runs.push((page, 1)),
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_extent_mapping() {
+        assert_eq!(PageId(0).extent(), ExtentId(0));
+        assert_eq!(PageId(7).extent(), ExtentId(0));
+        assert_eq!(PageId(8).extent(), ExtentId(1));
+        assert_eq!(PageId(17).slot_in_extent(), 1);
+        assert_eq!(ExtentId(2).first_page(), PageId(16));
+        let pages: Vec<PageId> = ExtentId(1).pages().collect();
+        assert_eq!(pages.len(), PAGES_PER_EXTENT as usize);
+        assert_eq!(pages[0], PageId(8));
+        assert_eq!(pages[7], PageId(15));
+    }
+
+    #[test]
+    fn adjacency() {
+        assert!(PageId(5).is_followed_by(PageId(6)));
+        assert!(!PageId(5).is_followed_by(PageId(7)));
+        assert!(!PageId(5).is_followed_by(PageId(5)));
+    }
+
+    #[test]
+    fn fragment_counting() {
+        assert_eq!(fragment_count(&[]), 0);
+        assert_eq!(fragment_count(&[PageId(3)]), 1);
+        assert_eq!(fragment_count(&[PageId(3), PageId(4), PageId(5)]), 1);
+        assert_eq!(fragment_count(&[PageId(3), PageId(5), PageId(6)]), 2);
+        assert_eq!(fragment_count(&[PageId(9), PageId(3), PageId(4)]), 2);
+    }
+
+    #[test]
+    fn run_grouping() {
+        let runs = page_runs(&[PageId(3), PageId(4), PageId(10), PageId(11), PageId(12), PageId(2)]);
+        assert_eq!(runs, vec![(PageId(3), 2), (PageId(10), 3), (PageId(2), 1)]);
+        assert!(page_runs(&[]).is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PageId(4).to_string(), "page:4");
+        assert_eq!(ExtentId(9).to_string(), "extent:9");
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the BLOB storage engine: random operation sequences
+//! must preserve the engine's structural invariants.
+
+use std::collections::BTreeMap;
+
+use lor_blobkit::{Database, EngineConfig, PageId};
+use proptest::prelude::*;
+
+const MB: u64 = 1 << 20;
+const FILE_BYTES: u64 = 64 * MB;
+
+#[derive(Debug, Clone)]
+enum DbOp {
+    /// Insert a new object of `size` bytes.
+    Insert { size: u64 },
+    /// Replace the live object at this modular index with a new version.
+    Update { index: usize, size: u64 },
+    /// Delete the live object at this modular index.
+    Delete { index: usize },
+    /// Run ghost cleanup now.
+    Cleanup,
+    /// Rebuild the table into a new filegroup.
+    Rebuild,
+}
+
+fn arb_op() -> impl Strategy<Value = DbOp> {
+    prop_oneof![
+        4 => (1u64..2 * MB).prop_map(|size| DbOp::Insert { size }),
+        3 => (0usize..64, 1u64..2 * MB).prop_map(|(index, size)| DbOp::Update { index, size }),
+        2 => (0usize..64).prop_map(|index| DbOp::Delete { index }),
+        1 => Just(DbOp::Cleanup),
+        1 => Just(DbOp::Rebuild),
+    ]
+}
+
+/// Verifies the engine against a shadow model (key -> size).
+fn check_invariants(db: &Database, live: &BTreeMap<String, u64>) -> Result<(), TestCaseError> {
+    prop_assert_eq!(db.object_count(), live.len());
+    let mut seen_pages: std::collections::HashSet<PageId> = std::collections::HashSet::new();
+    for (key, &size) in live {
+        let record = db.get(key).expect("live key resolves");
+        prop_assert_eq!(record.size_bytes, size);
+        prop_assert_eq!(record.page_count(), db.config().pages_for(size));
+        // No page is shared between live objects.
+        for page in &record.pages {
+            prop_assert!(seen_pages.insert(*page), "page {page} stored twice");
+            prop_assert!(page.0 < db.config().total_pages(), "page {page} outside the data file");
+        }
+        // The read plan covers exactly the object's pages.
+        let plan = db.read_plan(key).unwrap();
+        let plan_bytes: u64 = plan.iter().map(|r| r.len).sum();
+        prop_assert_eq!(plan_bytes, record.page_count() * db.config().page_size);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_workloads_preserve_engine_invariants(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let mut config = EngineConfig::new(FILE_BYTES);
+        config.ghost_cleanup_interval_ops = 4;
+        let mut db = Database::create(config).unwrap();
+        let mut live: BTreeMap<String, u64> = BTreeMap::new();
+        let mut counter = 0u64;
+
+        for op in ops {
+            match op {
+                DbOp::Insert { size } => {
+                    let key = format!("obj-{counter}");
+                    counter += 1;
+                    match db.insert(&key, size) {
+                        Ok(receipt) => {
+                            prop_assert_eq!(receipt.bytes_written, size);
+                            prop_assert_eq!(receipt.pages_written, db.config().pages_for(size));
+                            live.insert(key, size);
+                        }
+                        Err(_) => {
+                            prop_assert!(db.get(&key).is_err(), "failed insert must leave no trace");
+                        }
+                    }
+                }
+                DbOp::Update { index, size } => {
+                    if live.is_empty() { continue; }
+                    let key = live.keys().nth(index % live.len()).unwrap().clone();
+                    match db.update(&key, size) {
+                        Ok(_) => { live.insert(key, size); }
+                        Err(_) => {
+                            // The old version must survive a failed update.
+                            prop_assert!(db.get(&key).is_ok());
+                            prop_assert_eq!(db.get(&key).unwrap().size_bytes, live[&key]);
+                        }
+                    }
+                }
+                DbOp::Delete { index } => {
+                    if live.is_empty() { continue; }
+                    let key = live.keys().nth(index % live.len()).unwrap().clone();
+                    db.delete(&key).unwrap();
+                    live.remove(&key);
+                }
+                DbOp::Cleanup => db.ghost_cleanup(),
+                DbOp::Rebuild => {
+                    let copied = db.rebuild_into_new_filegroup().unwrap();
+                    prop_assert_eq!(copied, live.values().sum::<u64>());
+                    // A rebuild leaves every object contiguous.
+                    for key in live.keys() {
+                        prop_assert_eq!(db.get(key).unwrap().fragment_count(), 1);
+                    }
+                }
+            }
+            check_invariants(&db, &live)?;
+        }
+
+        // Teardown: delete everything, clean up, and the whole file is free again.
+        let keys: Vec<String> = live.keys().cloned().collect();
+        for key in keys {
+            db.delete(&key).unwrap();
+        }
+        db.ghost_cleanup();
+        prop_assert_eq!(db.object_count(), 0);
+        prop_assert_eq!(db.ghost_page_count(), 0);
+    }
+
+    /// Storage accounting never loses pages: live + ghost + free == capacity.
+    #[test]
+    fn page_accounting_is_exact(sizes in prop::collection::vec(1u64..MB, 1..40)) {
+        let mut config = EngineConfig::new(FILE_BYTES);
+        config.ghost_cleanup_interval_ops = 1_000_000; // manual only
+        let mut db = Database::create(config).unwrap();
+        let mut inserted = Vec::new();
+        for (i, size) in sizes.iter().enumerate() {
+            let key = format!("k{i}");
+            if db.insert(&key, *size).is_ok() {
+                inserted.push(key);
+            }
+        }
+        // Delete half of them (ghosts accumulate).
+        for key in inserted.iter().step_by(2) {
+            db.delete(key).unwrap();
+        }
+        let live_pages: u64 = db.iter_blobs().map(|b| b.page_count()).sum();
+        prop_assert_eq!(
+            db.stats().pages_allocated,
+            live_pages + db.ghost_page_count(),
+            "every allocated page is either live or a ghost before cleanup"
+        );
+        db.ghost_cleanup();
+        prop_assert_eq!(db.ghost_page_count(), 0);
+    }
+
+    /// Bulk loads are laid out contiguously regardless of object size mix.
+    #[test]
+    fn bulk_load_is_contiguous(sizes in prop::collection::vec((64u64 * 1024)..MB, 1..32)) {
+        let mut db = Database::create(EngineConfig::new(FILE_BYTES)).unwrap();
+        for (i, size) in sizes.iter().enumerate() {
+            db.insert(&format!("k{i}"), *size).unwrap();
+        }
+        let summary = db.fragmentation();
+        prop_assert!(
+            summary.fragments_per_object <= 1.0 + 1e-9,
+            "bulk load produced {} fragments/object",
+            summary.fragments_per_object
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type shared by every object store.
+
+use std::fmt;
+
+use lor_blobkit::DbError;
+use lor_fskit::FsError;
+
+/// Errors returned by object stores and the experiment harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// No object with the given key exists.
+    NoSuchObject(String),
+    /// An object with the given key already exists.
+    ObjectExists(String),
+    /// The store ran out of space.
+    OutOfSpace(String),
+    /// The underlying filesystem simulator reported an error.
+    Filesystem(String),
+    /// The underlying database engine reported an error.
+    Database(String),
+    /// The experiment or store configuration is unusable.
+    BadConfig(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NoSuchObject(key) => write!(f, "no object with key {key:?}"),
+            StoreError::ObjectExists(key) => write!(f, "object {key:?} already exists"),
+            StoreError::OutOfSpace(detail) => write!(f, "out of space: {detail}"),
+            StoreError::Filesystem(detail) => write!(f, "filesystem error: {detail}"),
+            StoreError::Database(detail) => write!(f, "database error: {detail}"),
+            StoreError::BadConfig(detail) => write!(f, "bad configuration: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<FsError> for StoreError {
+    fn from(err: FsError) -> Self {
+        match err {
+            FsError::NoSuchName(name) => StoreError::NoSuchObject(name),
+            FsError::NameExists(name) => StoreError::ObjectExists(name),
+            FsError::Alloc(inner) => StoreError::OutOfSpace(inner.to_string()),
+            other => StoreError::Filesystem(other.to_string()),
+        }
+    }
+}
+
+impl From<DbError> for StoreError {
+    fn from(err: DbError) -> Self {
+        match err {
+            DbError::NoSuchKey(key) => StoreError::NoSuchObject(key),
+            DbError::KeyExists(key) => StoreError::ObjectExists(key),
+            DbError::OutOfSpace { .. } => StoreError::OutOfSpace(err.to_string()),
+            other => StoreError::Database(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lor_alloc::AllocError;
+
+    #[test]
+    fn conversions_preserve_the_key() {
+        let err: StoreError = FsError::NoSuchName("a".into()).into();
+        assert_eq!(err, StoreError::NoSuchObject("a".into()));
+        let err: StoreError = DbError::KeyExists("b".into()).into();
+        assert_eq!(err, StoreError::ObjectExists("b".into()));
+    }
+
+    #[test]
+    fn space_errors_map_to_out_of_space() {
+        let err: StoreError = FsError::Alloc(AllocError::OutOfSpace { requested: 5, available: 1 }).into();
+        assert!(matches!(err, StoreError::OutOfSpace(_)));
+        let err: StoreError = DbError::OutOfSpace { requested_pages: 5, free_pages: 1 }.into();
+        assert!(matches!(err, StoreError::OutOfSpace(_)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(StoreError::BadConfig("volume too small".into()).to_string().contains("volume too small"));
+        assert!(StoreError::Filesystem("x".into()).to_string().contains("filesystem"));
+        assert!(StoreError::Database("x".into()).to_string().contains("database"));
+    }
+}

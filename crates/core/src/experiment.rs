@@ -1,0 +1,413 @@
+//! The experiment harness: bulk load, age with safe writes, measure.
+//!
+//! Every figure in the paper's evaluation is a run of the same loop:
+//!
+//! 1. **Bulk load** a clean store to the target occupancy and note the write
+//!    throughput (the left-most points of Figures 1 and 4).
+//! 2. **Age** the store by safe-writing every object once per round; after
+//!    `n` rounds the storage age is `n` (Section 4.4).
+//! 3. At chosen storage ages, **measure**: fragments per object (Figures 2,
+//!    3, 5 and 6), write throughput over the preceding interval (Figure 4),
+//!    and read throughput over a random full-object read pass (Figure 1).
+//!
+//! [`run_aging_experiment`] is that loop; the figure-specific sweeps in
+//! `lor-bench` are thin wrappers that vary object size, size distribution,
+//! volume size and occupancy.
+
+use lor_disksim::throughput_mb_per_sec;
+use serde::{Deserialize, Serialize};
+
+use crate::db_store::{DbObjectStore, DbStoreConfig};
+use crate::error::StoreError;
+use crate::fs_store::{FsObjectStore, FsStoreConfig};
+use crate::store::{CostModel, ObjectStore, StoreKind};
+use crate::workload::{SizeDistribution, StorageAgeTracker, WorkloadGenerator, WorkloadOp, WorkloadSpec};
+
+/// The simulated testbed, standing in for the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestbedConfig {
+    /// Human-readable description of the simulated hardware and software.
+    pub rows: Vec<(String, String)>,
+}
+
+impl TestbedConfig {
+    /// The default simulated testbed (the substitution for Table 1).
+    pub fn simulated() -> Self {
+        let disk = lor_disksim::DiskConfig::seagate_400gb_2005();
+        TestbedConfig {
+            rows: vec![
+                ("CPU / host".into(), "simulated host; fixed per-operation CPU costs (CostModel)".into()),
+                ("Disk".into(), disk.model.clone()),
+                ("Spindle speed".into(), format!("{} rpm", disk.rpm)),
+                (
+                    "Media transfer rate".into(),
+                    format!(
+                        "{:.0}-{:.0} MB/s (outer to inner zone)",
+                        disk.zones.first().map(|z| z.transfer_rate / 1e6).unwrap_or(0.0),
+                        disk.zones.last().map(|z| z.transfer_rate / 1e6).unwrap_or(0.0)
+                    ),
+                ),
+                ("Filesystem".into(), "lor-fskit (NTFS-like: run-cache allocation, safe writes)".into()),
+                ("Database".into(), "lor-blobkit (SQL-Server-like: 8KB pages, out-of-row BLOBs, bulk-logged)".into()),
+            ],
+        }
+    }
+}
+
+/// Parameters shared by every experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Volume / data-file capacity in bytes.
+    pub volume_bytes: u64,
+    /// Fraction of the capacity filled with live objects (the paper's
+    /// experiments are mostly 50% full).
+    pub occupancy: f64,
+    /// Object-size distribution.
+    pub object_size: SizeDistribution,
+    /// Write-request (append chunk) size in bytes.
+    pub write_request_size: u64,
+    /// Host cost model shared by both stores.
+    pub cost: CostModel,
+    /// RNG seed for the workload generator.
+    pub seed: u64,
+    /// Maximum number of objects to read when measuring read throughput
+    /// (`None` reads every object, as the paper did; a sample keeps large
+    /// configurations fast).
+    pub read_sample: Option<usize>,
+    /// Number of safe writes whose write requests are in flight concurrently
+    /// during the aging rounds, modelling the web application's parallel
+    /// uploads (1 = strictly sequential updates).
+    pub concurrency: usize,
+}
+
+impl ExperimentConfig {
+    /// The paper's default setup: a 40 GB volume at 50% occupancy, 64 KB
+    /// write requests.
+    pub fn paper_default(object_size: SizeDistribution) -> Self {
+        ExperimentConfig {
+            volume_bytes: 40_000_000_000,
+            occupancy: 0.5,
+            object_size,
+            write_request_size: 64 * 1024,
+            cost: CostModel::default(),
+            seed: 42,
+            read_sample: Some(400),
+            concurrency: 4,
+        }
+    }
+
+    /// Scales the volume down by `factor` (e.g. `0.01` for CI-sized runs),
+    /// keeping occupancy, object size and write-request size unchanged so the
+    /// behaviour stays comparable (the paper's own observation in Section 5.4
+    /// is that large volumes behave alike at the same occupancy).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        let factor = factor.clamp(1e-6, 1.0);
+        self.volume_bytes = ((self.volume_bytes as f64) * factor) as u64;
+        self
+    }
+
+    /// Number of live objects needed to reach the target occupancy.
+    ///
+    /// Occupancy is interpreted against the capacity actually usable for
+    /// object data: both stores reserve a few percent for metadata (the MFT
+    /// zone, page headers), so sizing against raw volume bytes would overfill
+    /// a 97.5%-full experiment.
+    pub fn object_count(&self) -> u64 {
+        const DATA_FRACTION: f64 = 0.95;
+        let usable = (self.volume_bytes as f64 * DATA_FRACTION) as u64;
+        WorkloadSpec::objects_for_occupancy(usable, self.object_size.mean(), self.occupancy).max(1)
+    }
+
+    /// The workload spec this configuration induces.
+    pub fn workload(&self) -> WorkloadSpec {
+        WorkloadSpec { sizes: self.object_size, object_count: self.object_count(), seed: self.seed }
+    }
+
+    /// Builds a store of the requested kind for this configuration.
+    pub fn build_store(&self, kind: StoreKind) -> Result<Box<dyn ObjectStore>, StoreError> {
+        match kind {
+            StoreKind::Filesystem => {
+                let mut config = FsStoreConfig::new(self.volume_bytes);
+                config.write_request_size = self.write_request_size;
+                config.cost = self.cost;
+                Ok(Box::new(FsObjectStore::with_config(config)?))
+            }
+            StoreKind::Database => {
+                let mut config = DbStoreConfig::new(self.volume_bytes);
+                config.write_request_size = self.write_request_size;
+                config.cost = self.cost;
+                Ok(Box::new(DbObjectStore::with_config(config)?))
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), StoreError> {
+        if !(0.0..=1.0).contains(&self.occupancy) {
+            return Err(StoreError::BadConfig("occupancy must lie in [0, 1]".into()));
+        }
+        if self.object_size.mean() == 0 {
+            return Err(StoreError::BadConfig("mean object size must be non-zero".into()));
+        }
+        if self.object_size.mean() > self.volume_bytes {
+            return Err(StoreError::BadConfig("objects larger than the volume".into()));
+        }
+        if self.write_request_size == 0 {
+            return Err(StoreError::BadConfig("write request size must be non-zero".into()));
+        }
+        if self.concurrency == 0 {
+            return Err(StoreError::BadConfig("concurrency must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// One measurement checkpoint of an aging run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgePoint {
+    /// Storage age at the checkpoint (0 = immediately after bulk load).
+    pub storage_age: f64,
+    /// Mean fragments per live object.
+    pub fragments_per_object: f64,
+    /// Write throughput (payload MB/s) over the interval that ended at this
+    /// checkpoint (the bulk load itself for age 0).
+    pub write_throughput_mb_s: f64,
+    /// Read throughput (payload MB/s) of a randomized full-object read pass
+    /// at this checkpoint, if reads were measured.
+    pub read_throughput_mb_s: Option<f64>,
+    /// Live objects at the checkpoint.
+    pub objects: u64,
+}
+
+/// The result of ageing one store through a sequence of checkpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgingResult {
+    /// Which store was measured.
+    pub kind: StoreKind,
+    /// The configuration that produced it.
+    pub config: ExperimentConfig,
+    /// One entry per requested checkpoint, in age order.
+    pub points: Vec<AgePoint>,
+}
+
+impl AgingResult {
+    /// The point measured at (or nearest below) the given storage age.
+    pub fn at_age(&self, age: f64) -> Option<&AgePoint> {
+        self.points
+            .iter()
+            .filter(|p| p.storage_age <= age + 1e-9)
+            .max_by(|a, b| a.storage_age.partial_cmp(&b.storage_age).expect("ages are finite"))
+    }
+}
+
+/// Drives one store through bulk load and aging, measuring at each requested
+/// storage age.
+///
+/// `measure_ages` lists the storage ages (in whole overwrite rounds) at which
+/// to take a checkpoint; `0` means "immediately after bulk load".  Read
+/// throughput is measured only when `measure_reads` is true (reads are by far
+/// the most expensive part of a full-size run).
+pub fn run_aging_experiment(
+    kind: StoreKind,
+    config: &ExperimentConfig,
+    measure_ages: &[u32],
+    measure_reads: bool,
+) -> Result<AgingResult, StoreError> {
+    config.validate()?;
+    let mut store = config.build_store(kind)?;
+    let mut generator = WorkloadGenerator::new(config.workload());
+    let mut tracker = StorageAgeTracker::new();
+    let mut points = Vec::with_capacity(measure_ages.len());
+
+    let mut ages: Vec<u32> = measure_ages.to_vec();
+    ages.sort_unstable();
+    ages.dedup();
+
+    // Bulk load.
+    store.reset_measurements();
+    let mut bulk_bytes = 0u64;
+    for op in generator.bulk_load() {
+        if let WorkloadOp::Put { key, size } = op {
+            store.put(&key, size)?;
+            tracker.record_put(size);
+            bulk_bytes += size;
+        }
+    }
+    let bulk_throughput = throughput_mb_per_sec(bulk_bytes, store.elapsed());
+
+    let mut current_age = 0u32;
+    let mut interval_throughput = bulk_throughput;
+    for &target in &ages {
+        // Age up to the target (no-op for target 0).
+        if target > current_age {
+            store.reset_measurements();
+            let mut written = 0u64;
+            while current_age < target {
+                let round: Vec<(String, u64)> = generator
+                    .overwrite_round()
+                    .into_iter()
+                    .filter_map(|op| match op {
+                        WorkloadOp::SafeWrite { key, size } => Some((key, size)),
+                        _ => None,
+                    })
+                    .collect();
+                for batch in round.chunks(config.concurrency.max(1)) {
+                    let old_sizes: Vec<u64> =
+                        batch.iter().map(|(key, _)| store.size_of(key)).collect::<Result<_, _>>()?;
+                    store.safe_write_batch(batch)?;
+                    for ((_, size), old) in batch.iter().zip(old_sizes) {
+                        tracker.record_safe_write(old, *size);
+                        written += size;
+                    }
+                }
+                current_age += 1;
+            }
+            interval_throughput = throughput_mb_per_sec(written, store.elapsed());
+        }
+
+        let read_throughput = if measure_reads {
+            Some(measure_read_throughput(store.as_mut(), &mut generator, config.read_sample)?)
+        } else {
+            None
+        };
+
+        points.push(AgePoint {
+            storage_age: tracker.storage_age(),
+            fragments_per_object: store.fragmentation().fragments_per_object,
+            write_throughput_mb_s: interval_throughput,
+            read_throughput_mb_s: read_throughput,
+            objects: store.object_count() as u64,
+        });
+    }
+
+    Ok(AgingResult { kind, config: config.clone(), points })
+}
+
+/// Measures read throughput with a randomized full-object read pass over (a
+/// sample of) the live objects.
+pub fn measure_read_throughput(
+    store: &mut dyn ObjectStore,
+    generator: &mut WorkloadGenerator,
+    sample: Option<usize>,
+) -> Result<f64, StoreError> {
+    let ops = generator.read_all();
+    let limit = sample.unwrap_or(ops.len()).max(1);
+    store.reset_measurements();
+    let mut bytes = 0u64;
+    for op in ops.into_iter().take(limit) {
+        if let WorkloadOp::Get { key } = op {
+            bytes += store.get(&key)?.payload_bytes;
+        }
+    }
+    let throughput = throughput_mb_per_sec(bytes, store.elapsed());
+    store.reset_measurements();
+    Ok(throughput)
+}
+
+/// Runs both systems through the same aging experiment — the comparison every
+/// figure in the paper makes.
+pub fn compare_systems(
+    config: &ExperimentConfig,
+    measure_ages: &[u32],
+    measure_reads: bool,
+) -> Result<(AgingResult, AgingResult), StoreError> {
+    let database = run_aging_experiment(StoreKind::Database, config, measure_ages, measure_reads)?;
+    let filesystem = run_aging_experiment(StoreKind::Filesystem, config, measure_ages, measure_reads)?;
+    Ok((database, filesystem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    /// A miniature configuration that keeps unit tests fast: 96 MB volume,
+    /// 50% full, 1 MB objects.
+    fn mini_config() -> ExperimentConfig {
+        ExperimentConfig {
+            volume_bytes: 96 * MB,
+            occupancy: 0.5,
+            object_size: SizeDistribution::Constant(MB),
+            write_request_size: 64 * 1024,
+            cost: CostModel::default(),
+            seed: 7,
+            read_sample: Some(16),
+            concurrency: 4,
+        }
+    }
+
+    #[test]
+    fn testbed_description_mentions_both_systems() {
+        let testbed = TestbedConfig::simulated();
+        let text: String = testbed.rows.iter().map(|(k, v)| format!("{k}: {v}\n")).collect();
+        assert!(text.contains("NTFS-like"));
+        assert!(text.contains("SQL-Server-like"));
+        assert!(text.contains("7200 rpm"));
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let mut config = mini_config();
+        config.occupancy = 1.5;
+        assert!(run_aging_experiment(StoreKind::Filesystem, &config, &[0], false).is_err());
+        let mut config = mini_config();
+        config.object_size = SizeDistribution::Constant(0);
+        assert!(run_aging_experiment(StoreKind::Filesystem, &config, &[0], false).is_err());
+        let mut config = mini_config();
+        config.object_size = SizeDistribution::Constant(1 << 40);
+        assert!(run_aging_experiment(StoreKind::Database, &config, &[0], false).is_err());
+        let mut config = mini_config();
+        config.write_request_size = 0;
+        assert!(run_aging_experiment(StoreKind::Database, &config, &[0], false).is_err());
+    }
+
+    #[test]
+    fn object_count_tracks_occupancy() {
+        let config = mini_config();
+        assert_eq!(config.object_count(), 45);
+        let fuller = ExperimentConfig { occupancy: 0.9, ..mini_config() };
+        assert!(fuller.object_count() > config.object_count());
+        let scaled = config.clone().scaled(0.5);
+        assert!(scaled.object_count() < config.object_count());
+    }
+
+    #[test]
+    fn bulk_load_checkpoint_reports_throughput_and_contiguity() {
+        let config = mini_config();
+        let result = run_aging_experiment(StoreKind::Filesystem, &config, &[0], true).unwrap();
+        assert_eq!(result.points.len(), 1);
+        let point = &result.points[0];
+        assert_eq!(point.storage_age, 0.0);
+        assert!(point.write_throughput_mb_s > 0.0);
+        assert!(point.read_throughput_mb_s.unwrap() > 0.0);
+        assert!(point.fragments_per_object >= 1.0);
+        assert!(point.fragments_per_object < 1.5, "clean store is nearly contiguous");
+        assert_eq!(point.objects, config.object_count());
+    }
+
+    #[test]
+    fn aging_increases_database_fragmentation_more_than_filesystem() {
+        let config = mini_config();
+        let (db, fs) = compare_systems(&config, &[0, 4], false).unwrap();
+        let db_aged = db.at_age(4.0).unwrap().fragments_per_object;
+        let fs_aged = fs.at_age(4.0).unwrap().fragments_per_object;
+        let db_clean = db.at_age(0.0).unwrap().fragments_per_object;
+        assert!(db_aged > db_clean, "database fragmentation must grow with age");
+        assert!(
+            db_aged >= fs_aged,
+            "database should fragment at least as much as the filesystem ({db_aged} vs {fs_aged})"
+        );
+        // Storage age accounting matches the number of overwrite rounds.
+        assert!((db.points[1].storage_age - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_ages_are_sorted_and_deduplicated() {
+        let config = mini_config();
+        let result = run_aging_experiment(StoreKind::Filesystem, &config, &[2, 0, 2], false).unwrap();
+        assert_eq!(result.points.len(), 2);
+        assert!(result.points[0].storage_age < result.points[1].storage_age);
+        assert!(result.at_age(1.0).is_some());
+        assert_eq!(result.at_age(5.0).unwrap().storage_age, result.points[1].storage_age);
+    }
+}

@@ -1,0 +1,321 @@
+//! The filesystem-backed object store (one file per object, safe writes).
+
+use lor_disksim::{Disk, DiskConfig, IoRequest, ServiceTime, SimClock, SimDuration};
+use lor_fskit::{Defragmenter, Volume, VolumeConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::error::StoreError;
+use crate::store::{CostModel, ObjectStore, OpReceipt, StoreKind};
+
+/// Configuration of a filesystem-backed store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FsStoreConfig {
+    /// The simulated volume.
+    pub volume: VolumeConfig,
+    /// The simulated disk the volume lives on.
+    pub disk: DiskConfig,
+    /// Size of the write requests used to append object data (the paper's
+    /// experiments use 64 KB).
+    pub write_request_size: u64,
+    /// Host-side cost model.
+    pub cost: CostModel,
+}
+
+impl FsStoreConfig {
+    /// A store on a volume of `capacity_bytes`, using the paper's defaults
+    /// (64 KB write requests, a scaled slice of the 400 GB reference disk).
+    pub fn new(capacity_bytes: u64) -> Self {
+        FsStoreConfig {
+            volume: VolumeConfig::new(capacity_bytes),
+            disk: DiskConfig::seagate_400gb_2005().scaled(capacity_bytes),
+            write_request_size: 64 * 1024,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// Objects stored as one file each on the NTFS-like volume.
+#[derive(Debug, Clone)]
+pub struct FsObjectStore {
+    volume: Volume,
+    disk: Disk,
+    cost: CostModel,
+    clock: SimClock,
+    write_request_size: u64,
+}
+
+impl FsObjectStore {
+    /// Creates a store from an explicit configuration.
+    pub fn with_config(config: FsStoreConfig) -> Result<Self, StoreError> {
+        if config.write_request_size == 0 {
+            return Err(StoreError::BadConfig("write request size must be non-zero".into()));
+        }
+        let volume = Volume::format(config.volume)?;
+        Ok(FsObjectStore {
+            volume,
+            disk: Disk::new(config.disk),
+            cost: config.cost,
+            clock: SimClock::new(),
+            write_request_size: config.write_request_size,
+        })
+    }
+
+    /// Creates a store on a volume of `capacity_bytes` with default settings.
+    pub fn new(capacity_bytes: u64) -> Result<Self, StoreError> {
+        Self::with_config(FsStoreConfig::new(capacity_bytes))
+    }
+
+    /// The underlying volume (read-only), for fragmentation reports and test
+    /// fixtures.
+    pub fn volume(&self) -> &Volume {
+        &self.volume
+    }
+
+    /// Mutable access to the underlying volume, for fixtures such as the
+    /// pathological fragmenter.
+    pub fn volume_mut(&mut self) -> &mut Volume {
+        &mut self.volume
+    }
+
+    /// The underlying disk model (read-only).
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    fn charge(&mut self, disk_time: ServiceTime, host_time: SimDuration) {
+        self.clock.advance(disk_time.total() + host_time);
+    }
+
+    fn write_requests_for(&self, size_bytes: u64) -> u64 {
+        size_bytes.div_ceil(self.write_request_size).max(1)
+    }
+}
+
+impl ObjectStore for FsObjectStore {
+    fn kind(&self) -> StoreKind {
+        StoreKind::Filesystem
+    }
+
+    fn put(&mut self, key: &str, size_bytes: u64) -> Result<OpReceipt, StoreError> {
+        let receipt = self.volume.write_file(key, size_bytes, self.write_request_size)?;
+        let request = IoRequest::write_runs(receipt.runs.iter().copied());
+        let transferred = request.total_bytes();
+        let disk_time = self.disk.service(&request);
+        let host_time = self.cost.fs_write_host_time(self.write_requests_for(size_bytes));
+        self.charge(disk_time, host_time);
+        let fragments = self.volume.file(receipt.file_id)?.fragment_count() as u64;
+        Ok(OpReceipt { payload_bytes: size_bytes, transferred_bytes: transferred, disk_time, host_time, fragments })
+    }
+
+    fn get(&mut self, key: &str) -> Result<OpReceipt, StoreError> {
+        let id = self.volume.lookup(key)?;
+        let runs = self.volume.read_plan(id)?;
+        let request = IoRequest::read_runs(runs);
+        let transferred = request.total_bytes();
+        let fragments = request.coalesced().fragment_count() as u64;
+        let disk_time = self.disk.service(&request);
+        let host_time = self.cost.fs_read_host_time();
+        self.charge(disk_time, host_time);
+        Ok(OpReceipt {
+            payload_bytes: self.volume.file(id)?.size_bytes,
+            transferred_bytes: transferred,
+            disk_time,
+            host_time,
+            fragments,
+        })
+    }
+
+    fn safe_write(&mut self, key: &str, size_bytes: u64) -> Result<OpReceipt, StoreError> {
+        let receipt = self.volume.safe_write(key, size_bytes, self.write_request_size)?;
+        let request = IoRequest::write_runs(receipt.runs.iter().copied());
+        let transferred = request.total_bytes();
+        let disk_time = self.disk.service(&request);
+        let host_time = self.cost.fs_write_host_time(self.write_requests_for(size_bytes));
+        self.charge(disk_time, host_time);
+        let fragments = self.volume.file(receipt.file_id)?.fragment_count() as u64;
+        Ok(OpReceipt { payload_bytes: size_bytes, transferred_bytes: transferred, disk_time, host_time, fragments })
+    }
+
+    fn safe_write_batch(&mut self, items: &[(String, u64)]) -> Result<Vec<OpReceipt>, StoreError> {
+        let borrowed: Vec<(&str, u64)> = items.iter().map(|(k, s)| (k.as_str(), *s)).collect();
+        let receipts = self.volume.safe_write_batch(&borrowed, self.write_request_size)?;
+        let mut out = Vec::with_capacity(receipts.len());
+        for receipt in receipts {
+            let request = IoRequest::write_runs(receipt.runs.iter().copied());
+            let transferred = request.total_bytes();
+            let disk_time = self.disk.service(&request);
+            let host_time = self.cost.fs_write_host_time(self.write_requests_for(receipt.bytes_written));
+            self.charge(disk_time, host_time);
+            let fragments = self.volume.file(receipt.file_id)?.fragment_count() as u64;
+            out.push(OpReceipt {
+                payload_bytes: receipt.bytes_written,
+                transferred_bytes: transferred,
+                disk_time,
+                host_time,
+                fragments,
+            });
+        }
+        Ok(out)
+    }
+
+    fn delete(&mut self, key: &str) -> Result<OpReceipt, StoreError> {
+        self.volume.delete_by_name(key)?;
+        let host_time = self.cost.metadata_io_time;
+        self.charge(ServiceTime::default(), host_time);
+        Ok(OpReceipt { host_time, ..OpReceipt::default() })
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.volume.lookup(key).is_ok()
+    }
+
+    fn object_count(&self) -> usize {
+        self.volume.file_count()
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.volume.iter_files().map(|f| f.name.clone()).collect()
+    }
+
+    fn size_of(&self, key: &str) -> Result<u64, StoreError> {
+        let id = self.volume.lookup(key)?;
+        Ok(self.volume.file(id)?.size_bytes)
+    }
+
+    fn layout_of(&self, key: &str) -> Result<Vec<lor_disksim::ByteRun>, StoreError> {
+        let id = self.volume.lookup(key)?;
+        Ok(self.volume.read_plan(id)?)
+    }
+
+    fn fragmentation(&self) -> lor_alloc::FragmentationSummary {
+        self.volume.fragmentation()
+    }
+
+    fn data_capacity_bytes(&self) -> u64 {
+        self.volume.data_capacity_bytes()
+    }
+
+    fn live_bytes(&self) -> u64 {
+        self.volume.iter_files().map(|f| f.size_bytes).sum()
+    }
+
+    fn elapsed(&self) -> SimDuration {
+        self.clock.now()
+    }
+
+    fn reset_measurements(&mut self) {
+        self.clock.reset();
+        self.disk.reset_measurements();
+    }
+
+    fn maintenance(&mut self) -> Result<u64, StoreError> {
+        let report = Defragmenter::new()
+            .defragment_volume(&mut self.volume, 0)
+            .map_err(StoreError::from)?;
+        // Moving a file costs reading it and writing it back, plus a pair of
+        // positioning delays per file moved.
+        let transfer_rate = self.disk.config().transfer_rate_at(self.disk.config().capacity_bytes / 2);
+        let copy_time = SimDuration::from_secs_f64(2.0 * report.bytes_copied as f64 / transfer_rate);
+        let positioning = (self.disk.config().seek.seek_time(self.disk.config().seek.cylinders / 3)
+            + self.disk.config().average_rotational_latency())
+            * (2 * report.files_moved);
+        self.charge(ServiceTime::default(), copy_time + positioning);
+        Ok(report.bytes_copied)
+    }
+
+    fn write_request_size(&self) -> u64 {
+        self.write_request_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    fn store() -> FsObjectStore {
+        FsObjectStore::new(256 * MB).unwrap()
+    }
+
+    #[test]
+    fn put_get_safe_write_delete_cycle() {
+        let mut store = store();
+        let put = store.put("a", MB).unwrap();
+        assert_eq!(put.payload_bytes, MB);
+        assert!(put.transferred_bytes >= MB);
+        assert!(store.contains("a"));
+        assert_eq!(store.object_count(), 1);
+        assert_eq!(store.size_of("a").unwrap(), MB);
+
+        let get = store.get("a").unwrap();
+        assert_eq!(get.payload_bytes, MB);
+        assert_eq!(get.fragments, 1, "clean store keeps objects contiguous");
+        assert!(get.host_time >= store.cost.fs_read_host_time());
+
+        let rewrite = store.safe_write("a", 2 * MB).unwrap();
+        assert_eq!(rewrite.payload_bytes, 2 * MB);
+        assert_eq!(store.size_of("a").unwrap(), 2 * MB);
+
+        store.delete("a").unwrap();
+        assert!(!store.contains("a"));
+        assert!(store.get("a").is_err());
+    }
+
+    #[test]
+    fn clock_accumulates_and_resets() {
+        let mut store = store();
+        assert_eq!(store.elapsed(), SimDuration::ZERO);
+        store.put("a", MB).unwrap();
+        let after_put = store.elapsed();
+        assert!(after_put > SimDuration::ZERO);
+        store.get("a").unwrap();
+        assert!(store.elapsed() > after_put);
+        store.reset_measurements();
+        assert_eq!(store.elapsed(), SimDuration::ZERO);
+        assert_eq!(store.disk().stats().total_requests(), 0);
+    }
+
+    #[test]
+    fn layout_covers_the_object() {
+        let mut store = store();
+        store.put("a", 3 * MB).unwrap();
+        let layout = store.layout_of("a").unwrap();
+        assert_eq!(layout.iter().map(|r| r.len).sum::<u64>(), 3 * MB);
+    }
+
+    #[test]
+    fn maintenance_reports_copied_bytes() {
+        let mut store = store();
+        for i in 0..8 {
+            store.put(&format!("o{i}"), MB).unwrap();
+        }
+        // A clean store has nothing to defragment.
+        assert_eq!(store.maintenance().unwrap(), 0);
+    }
+
+    #[test]
+    fn errors_map_to_store_errors() {
+        let mut store = store();
+        assert!(matches!(store.get("missing"), Err(StoreError::NoSuchObject(_))));
+        store.put("a", MB).unwrap();
+        assert!(matches!(store.put("a", MB), Err(StoreError::ObjectExists(_))));
+        let mut tiny = FsObjectStore::new(8 * MB).unwrap();
+        assert!(matches!(tiny.put("big", 64 * MB), Err(StoreError::OutOfSpace(_))));
+        assert!(FsObjectStore::with_config(FsStoreConfig {
+            write_request_size: 0,
+            ..FsStoreConfig::new(MB)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn kind_and_capacity() {
+        let store = store();
+        assert_eq!(store.kind(), StoreKind::Filesystem);
+        assert!(store.data_capacity_bytes() <= 256 * MB);
+        assert!(store.data_capacity_bytes() > 200 * MB);
+        assert_eq!(store.live_bytes(), 0);
+        assert_eq!(store.write_request_size(), 64 * 1024);
+    }
+}

@@ -1,0 +1,69 @@
+//! # lor-core — the large-object repository framework and experiment harness
+//!
+//! This crate is the primary contribution of the CIDR 2007 *Fragmentation in
+//! Large Object Repositories* reproduction.  It ties the substrates together
+//! into the abstraction the paper studies and the methodology it proposes:
+//!
+//! * [`ObjectStore`] — the get/put/safe-write/delete interface web-style
+//!   applications use, with two implementations: [`FsObjectStore`] (one file
+//!   per object on the NTFS-like volume) and [`DbObjectStore`] (one
+//!   out-of-row BLOB per object in the SQL-Server-like engine), both charged
+//!   against a simulated disk plus a host [`CostModel`].
+//! * [`workload`] — the paper's synthetic workloads (constant and uniform
+//!   object sizes, whole-object safe writes, randomized reads) and
+//!   **storage age** accounting ([`StorageAgeTracker`]).
+//! * [`fragmentation`] — the marker-based fragmentation measurement tool.
+//! * [`experiment`] — the bulk-load / age / measure loop behind every figure
+//!   ([`run_aging_experiment`], [`compare_systems`]), plus the simulated
+//!   testbed description standing in for Table 1.
+//! * [`report`] — serialisable figure/table types with plain-text rendering.
+//!
+//! ## Example: a miniature Figure 3
+//!
+//! ```
+//! use lor_core::{
+//!     compare_systems, ExperimentConfig, SizeDistribution,
+//! };
+//!
+//! // A CI-sized version of the paper's setup: 64 MB volume, 50% full,
+//! // 256 KB objects, 64 KB write requests.
+//! let mut config = ExperimentConfig::paper_default(SizeDistribution::Constant(256 << 10));
+//! config.volume_bytes = 64 << 20;
+//! config.read_sample = Some(8);
+//!
+//! let (database, filesystem) = compare_systems(&config, &[0, 2], false).unwrap();
+//! assert_eq!(database.points.len(), 2);
+//! assert_eq!(filesystem.points.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod db_store;
+mod error;
+mod fs_store;
+mod store;
+
+pub mod experiment;
+pub mod fragmentation;
+pub mod report;
+pub mod workload;
+
+pub use db_store::{DbObjectStore, DbStoreConfig};
+pub use error::StoreError;
+pub use experiment::{
+    compare_systems, measure_read_throughput, run_aging_experiment, AgePoint, AgingResult,
+    ExperimentConfig, TestbedConfig,
+};
+pub use fragmentation::{analyze_store, FragmentationReport};
+pub use fs_store::{FsObjectStore, FsStoreConfig};
+pub use report::{Figure, Series, Table};
+pub use store::{CostModel, ObjectStore, OpReceipt, StoreKind};
+pub use workload::{SizeDistribution, StorageAgeTracker, WorkloadGenerator, WorkloadOp, WorkloadSpec};
+
+// Re-export the substrate crates so downstream users (examples, benches) can
+// reach them through one dependency.
+pub use lor_alloc;
+pub use lor_blobkit;
+pub use lor_disksim;
+pub use lor_fskit;

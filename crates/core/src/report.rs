@@ -1,0 +1,279 @@
+//! Report types: the series and tables the paper's figures plot, in a
+//! machine-readable (serde) and a plain-text form.
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::AgingResult;
+
+/// One labelled series of (x, y) points — e.g. "Database" in Figure 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// (x, y) points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from a label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+
+    /// Builds the fragments-per-object series of an aging run (Figures 2, 3,
+    /// 5 and 6).
+    pub fn fragments_vs_age(result: &AgingResult) -> Self {
+        Series {
+            label: result.kind.label().to_string(),
+            points: result
+                .points
+                .iter()
+                .map(|p| (p.storage_age, p.fragments_per_object))
+                .collect(),
+        }
+    }
+
+    /// Builds the write-throughput series of an aging run (Figure 4).
+    pub fn write_throughput_vs_age(result: &AgingResult) -> Self {
+        Series {
+            label: result.kind.label().to_string(),
+            points: result
+                .points
+                .iter()
+                .map(|p| (p.storage_age, p.write_throughput_mb_s))
+                .collect(),
+        }
+    }
+
+    /// Builds the read-throughput series of an aging run (Figure 1), skipping
+    /// checkpoints where reads were not measured.
+    pub fn read_throughput_vs_age(result: &AgingResult) -> Self {
+        Series {
+            label: result.kind.label().to_string(),
+            points: result
+                .points
+                .iter()
+                .filter_map(|p| p.read_throughput_mb_s.map(|r| (p.storage_age, r)))
+                .collect(),
+        }
+    }
+
+    /// The y value at the largest x not exceeding `x`, if any.
+    pub fn value_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|(px, _)| *px <= x + 1e-9)
+            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("x values are finite"))
+            .map(|(_, y)| *y)
+    }
+}
+
+/// A figure: a title, axis labels, and one or more series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Figure identifier ("Figure 2"), matching the paper.
+    pub id: String,
+    /// Caption / title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Renders the figure as an aligned plain-text table: one row per x value,
+    /// one column per series.
+    pub fn to_text(&self) -> String {
+        use std::collections::BTreeMap;
+        use std::fmt::Write as _;
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        let _ = writeln!(out, "  ({} vs {})", self.y_label, self.x_label);
+
+        // Collect every x value across series (keyed by a stable string to
+        // avoid float-ordering pitfalls).
+        let mut rows: BTreeMap<String, Vec<Option<f64>>> = BTreeMap::new();
+        for (index, series) in self.series.iter().enumerate() {
+            for (x, y) in &series.points {
+                let key = format!("{x:>12.3}");
+                let row = rows.entry(key).or_insert_with(|| vec![None; self.series.len()]);
+                row[index] = Some(*y);
+            }
+        }
+
+        let _ = write!(out, "  {:>12}", self.x_label);
+        for series in &self.series {
+            let _ = write!(out, "  {:>16}", series.label);
+        }
+        let _ = writeln!(out);
+        for (x, values) in rows {
+            let _ = write!(out, "  {x:>12}");
+            for value in values {
+                match value {
+                    Some(v) => {
+                        let _ = write!(out, "  {v:>16.3}");
+                    }
+                    None => {
+                        let _ = write!(out, "  {:>16}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// A simple two-column table (used for the Table 1 substitute).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table identifier ("Table 1").
+    pub id: String,
+    /// Caption.
+    pub title: String,
+    /// Rows of (name, value).
+    pub rows: Vec<(String, String)>,
+}
+
+impl Table {
+    /// Creates a table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, rows: Vec<(String, String)>) -> Self {
+        Table { id: id.into(), title: title.into(), rows }
+    }
+
+    /// Renders the table as plain text.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        let width = self.rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (key, value) in &self.rows {
+            let _ = writeln!(out, "  {key:<width$}  {value}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{AgePoint, ExperimentConfig};
+    use crate::store::StoreKind;
+    use crate::workload::SizeDistribution;
+
+    fn fake_result() -> AgingResult {
+        AgingResult {
+            kind: StoreKind::Database,
+            config: ExperimentConfig::paper_default(SizeDistribution::Constant(1 << 20)),
+            points: vec![
+                AgePoint {
+                    storage_age: 0.0,
+                    fragments_per_object: 1.0,
+                    write_throughput_mb_s: 17.7,
+                    read_throughput_mb_s: Some(8.0),
+                    objects: 100,
+                },
+                AgePoint {
+                    storage_age: 2.0,
+                    fragments_per_object: 2.5,
+                    write_throughput_mb_s: 9.0,
+                    read_throughput_mb_s: None,
+                    objects: 100,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn series_builders_extract_the_right_columns() {
+        let result = fake_result();
+        let fragments = Series::fragments_vs_age(&result);
+        assert_eq!(fragments.label, "Database");
+        assert_eq!(fragments.points, vec![(0.0, 1.0), (2.0, 2.5)]);
+
+        let writes = Series::write_throughput_vs_age(&result);
+        assert_eq!(writes.points, vec![(0.0, 17.7), (2.0, 9.0)]);
+
+        let reads = Series::read_throughput_vs_age(&result);
+        assert_eq!(reads.points, vec![(0.0, 8.0)], "unmeasured checkpoints are skipped");
+    }
+
+    #[test]
+    fn value_at_picks_the_latest_point_not_after_x() {
+        let series = Series::new("s", vec![(0.0, 1.0), (2.0, 3.0), (4.0, 5.0)]);
+        assert_eq!(series.value_at(0.0), Some(1.0));
+        assert_eq!(series.value_at(3.0), Some(3.0));
+        assert_eq!(series.value_at(10.0), Some(5.0));
+        assert_eq!(Series::new("empty", vec![]).value_at(1.0), None);
+    }
+
+    #[test]
+    fn figure_text_rendering_includes_all_series() {
+        let figure = Figure::new("Figure 2", "Large object fragmentation", "Storage Age", "Fragments/object")
+            .with_series(Series::new("Database", vec![(0.0, 1.0), (1.0, 4.0)]))
+            .with_series(Series::new("Filesystem", vec![(0.0, 1.0), (1.0, 2.0)]));
+        let text = figure.to_text();
+        assert!(text.contains("Figure 2"));
+        assert!(text.contains("Database"));
+        assert!(text.contains("Filesystem"));
+        assert!(text.contains("4.000"));
+        // Both series share x values, so there are exactly two data rows.
+        assert_eq!(text.lines().count(), 2 + 1 + 2);
+    }
+
+    #[test]
+    fn figure_text_handles_missing_points() {
+        let figure = Figure::new("F", "t", "x", "y")
+            .with_series(Series::new("a", vec![(0.0, 1.0)]))
+            .with_series(Series::new("b", vec![(1.0, 2.0)]));
+        let text = figure.to_text();
+        assert!(text.contains('-'), "missing cells are rendered as '-'");
+    }
+
+    #[test]
+    fn table_rendering_aligns_keys() {
+        let table = Table::new("Table 1", "Configuration of the simulated test system", vec![
+            ("Disk".into(), "400GB 7200rpm".into()),
+            ("Filesystem".into(), "lor-fskit".into()),
+        ]);
+        let text = table.to_text();
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("400GB"));
+        assert!(text.lines().count() == 3);
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let figure = Figure::new("Figure 3", "t", "x", "y")
+            .with_series(Series::new("Database", vec![(0.0, 1.0)]));
+        let json = serde_json::to_string(&figure).unwrap();
+        let back: Figure = serde_json::from_str(&json).unwrap();
+        assert_eq!(figure, back);
+    }
+}

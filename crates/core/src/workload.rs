@@ -1,0 +1,421 @@
+//! Synthetic get/put workloads and storage-age accounting.
+//!
+//! The paper deliberately uses very simple synthetic workloads (Section 4.3):
+//! objects are equally likely to be read or written, object sizes are either
+//! constant or drawn from a uniform distribution with the same mean, and
+//! updates are whole-object safe writes.  Time is measured in **storage age**
+//! — the ratio of bytes in objects that once existed on the volume to the
+//! bytes currently live (Section 4.4), which for this workload is simply
+//! "safe writes per object".
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How object sizes are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeDistribution {
+    /// Every object has exactly this size.
+    Constant(u64),
+    /// Sizes are drawn uniformly from `[min, max]`.
+    Uniform {
+        /// Smallest possible object size.
+        min: u64,
+        /// Largest possible object size.
+        max: u64,
+    },
+    /// Sizes follow a (truncated) exponential distribution with the given
+    /// mean, clamped to `[mean / 16, 16 * mean]`.  Not used by the paper's
+    /// figures but provided for the workload-sensitivity extensions.
+    Exponential {
+        /// Mean object size.
+        mean: u64,
+    },
+}
+
+impl SizeDistribution {
+    /// The paper's uniform distribution with the same mean as a constant
+    /// distribution: `Uniform[mean/2, 3*mean/2]`.
+    pub fn uniform_around(mean: u64) -> Self {
+        SizeDistribution::Uniform { min: mean / 2, max: mean + mean / 2 }
+    }
+
+    /// Mean object size of the distribution.
+    pub fn mean(&self) -> u64 {
+        match *self {
+            SizeDistribution::Constant(size) => size,
+            SizeDistribution::Uniform { min, max } => (min + max) / 2,
+            SizeDistribution::Exponential { mean } => mean,
+        }
+    }
+
+    /// Draws one object size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            SizeDistribution::Constant(size) => size,
+            SizeDistribution::Uniform { min, max } => {
+                if min >= max {
+                    min
+                } else {
+                    Uniform::new_inclusive(min, max).sample(rng)
+                }
+            }
+            SizeDistribution::Exponential { mean } => {
+                let mean = mean.max(1) as f64;
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                let value = -mean * u.ln();
+                value.clamp(mean / 16.0, mean * 16.0).round() as u64
+            }
+        }
+    }
+
+    /// Short, stable label used in reports ("Constant" / "Uniform" in
+    /// Figure 5).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SizeDistribution::Constant(_) => "Constant",
+            SizeDistribution::Uniform { .. } => "Uniform",
+            SizeDistribution::Exponential { .. } => "Exponential",
+        }
+    }
+}
+
+/// One operation of the synthetic workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadOp {
+    /// Store a new object.
+    Put {
+        /// Object key.
+        key: String,
+        /// Object size in bytes.
+        size: u64,
+    },
+    /// Read an existing object in full.
+    Get {
+        /// Object key.
+        key: String,
+    },
+    /// Replace an existing object with a new version (safe write).
+    SafeWrite {
+        /// Object key.
+        key: String,
+        /// New version size in bytes.
+        size: u64,
+    },
+    /// Delete an existing object.
+    Delete {
+        /// Object key.
+        key: String,
+    },
+}
+
+/// Parameters of the synthetic workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Object-size distribution.
+    pub sizes: SizeDistribution,
+    /// Number of live objects the store holds after bulk load.
+    pub object_count: u64,
+    /// RNG seed; the generator is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A spec holding `object_count` objects of constant `size`.
+    pub fn constant(size: u64, object_count: u64) -> Self {
+        WorkloadSpec { sizes: SizeDistribution::Constant(size), object_count, seed: 42 }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total live bytes after bulk load (expected value for random
+    /// distributions).
+    pub fn expected_live_bytes(&self) -> u64 {
+        self.sizes.mean() * self.object_count
+    }
+
+    /// The number of objects that fit a store of `capacity_bytes` at
+    /// `occupancy` (e.g. 0.5 for the paper's 50%-full volumes).
+    pub fn objects_for_occupancy(capacity_bytes: u64, mean_object_size: u64, occupancy: f64) -> u64 {
+        ((capacity_bytes as f64 * occupancy.clamp(0.0, 1.0)) / mean_object_size.max(1) as f64).floor() as u64
+    }
+}
+
+/// Deterministic generator of the paper's workload phases.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    spec: WorkloadSpec,
+    rng: StdRng,
+    next_key: u64,
+    live: Vec<String>,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator for the given spec.
+    pub fn new(spec: WorkloadSpec) -> Self {
+        let rng = StdRng::seed_from_u64(spec.seed);
+        WorkloadGenerator { spec, rng, next_key: 0, live: Vec::new() }
+    }
+
+    /// The spec this generator was built from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Keys of the objects currently live, in creation order.
+    pub fn live_keys(&self) -> &[String] {
+        &self.live
+    }
+
+    /// The bulk-load phase: one `Put` per object.
+    pub fn bulk_load(&mut self) -> Vec<WorkloadOp> {
+        (0..self.spec.object_count)
+            .map(|_| {
+                let key = format!("object-{:08}", self.next_key);
+                self.next_key += 1;
+                self.live.push(key.clone());
+                WorkloadOp::Put { key, size: self.spec.sizes.sample(&mut self.rng) }
+            })
+            .collect()
+    }
+
+    /// One aging round: every live object is safe-written exactly once, in a
+    /// random order.  Running `n` rounds advances the storage age by `n`.
+    pub fn overwrite_round(&mut self) -> Vec<WorkloadOp> {
+        let mut order: Vec<usize> = (0..self.live.len()).collect();
+        // Fisher-Yates with the generator's own RNG keeps the run
+        // deterministic for a given seed.
+        for i in (1..order.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        order
+            .into_iter()
+            .map(|index| WorkloadOp::SafeWrite {
+                key: self.live[index].clone(),
+                size: self.spec.sizes.sample(&mut self.rng),
+            })
+            .collect()
+    }
+
+    /// A read phase: every live object is read exactly once, in a random
+    /// order (the paper's randomized read benchmark).
+    pub fn read_all(&mut self) -> Vec<WorkloadOp> {
+        let mut order: Vec<usize> = (0..self.live.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        order
+            .into_iter()
+            .map(|index| WorkloadOp::Get { key: self.live[index].clone() })
+            .collect()
+    }
+
+    /// A churn phase mixing deletes of existing objects with puts of new ones
+    /// (constant live-object count), used by the extension benches.
+    pub fn churn_round(&mut self) -> Vec<WorkloadOp> {
+        let mut ops = Vec::with_capacity(self.live.len() * 2);
+        let count = self.live.len();
+        for _ in 0..count {
+            let victim = self.rng.gen_range(0..self.live.len());
+            let old_key = self.live.swap_remove(victim);
+            ops.push(WorkloadOp::Delete { key: old_key });
+            let key = format!("object-{:08}", self.next_key);
+            self.next_key += 1;
+            self.live.push(key.clone());
+            ops.push(WorkloadOp::Put { key, size: self.spec.sizes.sample(&mut self.rng) });
+        }
+        ops
+    }
+}
+
+/// Storage-age accounting (Section 4.4).
+///
+/// Storage age is the ratio of bytes in objects that once existed on the
+/// volume (and have since been deleted or replaced) to the bytes currently
+/// live.  For the paper's pure safe-write workload it equals "safe writes per
+/// object".
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageAgeTracker {
+    /// Bytes belonging to object versions that no longer exist.
+    pub dead_bytes: u64,
+    /// Bytes of currently live object versions.
+    pub live_bytes: u64,
+}
+
+impl StorageAgeTracker {
+    /// Creates a tracker with nothing stored.
+    pub fn new() -> Self {
+        StorageAgeTracker::default()
+    }
+
+    /// Records a newly created object version.
+    pub fn record_put(&mut self, size: u64) {
+        self.live_bytes += size;
+    }
+
+    /// Records a safe write replacing `old_size` with `new_size`.
+    pub fn record_safe_write(&mut self, old_size: u64, new_size: u64) {
+        self.dead_bytes += old_size;
+        self.live_bytes = self.live_bytes - old_size + new_size;
+    }
+
+    /// Records a deletion of an object of `size` bytes.
+    pub fn record_delete(&mut self, size: u64) {
+        self.dead_bytes += size;
+        self.live_bytes -= size;
+    }
+
+    /// The current storage age; zero when nothing is live.
+    pub fn storage_age(&self) -> f64 {
+        if self.live_bytes == 0 {
+            0.0
+        } else {
+            self.dead_bytes as f64 / self.live_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_distribution_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = SizeDistribution::Constant(4096);
+        assert_eq!(dist.mean(), 4096);
+        assert_eq!(dist.label(), "Constant");
+        for _ in 0..100 {
+            assert_eq!(dist.sample(&mut rng), 4096);
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_matches_the_papers_construction() {
+        let dist = SizeDistribution::uniform_around(10 << 20);
+        assert_eq!(dist.mean(), 10 << 20);
+        assert_eq!(dist.label(), "Uniform");
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut total = 0u64;
+        let n = 2_000;
+        for _ in 0..n {
+            let sample = dist.sample(&mut rng);
+            assert!(sample >= 5 << 20 && sample <= 15 << 20);
+            total += sample;
+        }
+        let mean = total as f64 / n as f64;
+        let expected = (10u64 << 20) as f64;
+        assert!((mean - expected).abs() / expected < 0.02, "sample mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn exponential_distribution_is_clamped_and_roughly_centred() {
+        let dist = SizeDistribution::Exponential { mean: 1 << 20 };
+        assert_eq!(dist.label(), "Exponential");
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut total = 0u64;
+        let n = 5_000;
+        for _ in 0..n {
+            let sample = dist.sample(&mut rng);
+            assert!(sample >= (1 << 20) / 16 && sample <= (1 << 20) * 16);
+            total += sample;
+        }
+        let mean = total as f64 / n as f64;
+        assert!(mean > 0.7 * (1 << 20) as f64 && mean < 1.3 * (1 << 20) as f64);
+    }
+
+    #[test]
+    fn generator_is_deterministic_for_a_seed() {
+        let spec = WorkloadSpec::constant(1 << 20, 16).with_seed(99);
+        let mut a = WorkloadGenerator::new(spec.clone());
+        let mut b = WorkloadGenerator::new(spec);
+        assert_eq!(a.bulk_load(), b.bulk_load());
+        assert_eq!(a.overwrite_round(), b.overwrite_round());
+        assert_eq!(a.read_all(), b.read_all());
+        assert_eq!(a.churn_round(), b.churn_round());
+    }
+
+    #[test]
+    fn bulk_load_creates_distinct_keys() {
+        let mut generator = WorkloadGenerator::new(WorkloadSpec::constant(4096, 100));
+        let ops = generator.bulk_load();
+        assert_eq!(ops.len(), 100);
+        let keys: std::collections::HashSet<_> = ops
+            .iter()
+            .map(|op| match op {
+                WorkloadOp::Put { key, .. } => key.clone(),
+                _ => panic!("bulk load must only contain puts"),
+            })
+            .collect();
+        assert_eq!(keys.len(), 100);
+        assert_eq!(generator.live_keys().len(), 100);
+    }
+
+    #[test]
+    fn overwrite_round_touches_every_object_once() {
+        let mut generator = WorkloadGenerator::new(WorkloadSpec::constant(4096, 50));
+        generator.bulk_load();
+        let ops = generator.overwrite_round();
+        assert_eq!(ops.len(), 50);
+        let keys: std::collections::HashSet<_> = ops
+            .iter()
+            .map(|op| match op {
+                WorkloadOp::SafeWrite { key, .. } => key.clone(),
+                _ => panic!("overwrite rounds must only contain safe writes"),
+            })
+            .collect();
+        assert_eq!(keys.len(), 50, "each object is overwritten exactly once");
+    }
+
+    #[test]
+    fn churn_round_keeps_the_population_size() {
+        let mut generator = WorkloadGenerator::new(WorkloadSpec::constant(4096, 20));
+        generator.bulk_load();
+        let ops = generator.churn_round();
+        assert_eq!(ops.len(), 40);
+        assert_eq!(generator.live_keys().len(), 20);
+    }
+
+    #[test]
+    fn objects_for_occupancy_matches_the_papers_setups() {
+        // 40 GB volume, 50% full, 10 MB objects -> ~2000 objects.
+        let objects = WorkloadSpec::objects_for_occupancy(40_000_000_000, 10 << 20, 0.5);
+        assert!((1_900..=2_000).contains(&objects), "got {objects}");
+        // 4 GB volume, 90% full, 10 MB objects -> a pool of ~40 free objects.
+        let live = WorkloadSpec::objects_for_occupancy(4_000_000_000, 10 << 20, 0.9);
+        let free = WorkloadSpec::objects_for_occupancy(4_000_000_000, 10 << 20, 1.0) - live;
+        assert!((30..=45).contains(&free), "got {free}");
+    }
+
+    #[test]
+    fn storage_age_is_safe_writes_per_object_for_constant_sizes() {
+        let mut tracker = StorageAgeTracker::new();
+        let size = 1 << 20;
+        for _ in 0..100 {
+            tracker.record_put(size);
+        }
+        assert_eq!(tracker.storage_age(), 0.0);
+        // Two full overwrite rounds -> storage age 2.
+        for _ in 0..2 {
+            for _ in 0..100 {
+                tracker.record_safe_write(size, size);
+            }
+        }
+        assert!((tracker.storage_age() - 2.0).abs() < 1e-12);
+        // Deleting objects adds dead bytes and removes live bytes.
+        tracker.record_delete(size);
+        assert!(tracker.storage_age() > 2.0);
+    }
+
+    #[test]
+    fn storage_age_of_an_empty_store_is_zero() {
+        assert_eq!(StorageAgeTracker::new().storage_age(), 0.0);
+    }
+}

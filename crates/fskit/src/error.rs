@@ -1,0 +1,65 @@
+//! Filesystem error type.
+
+use std::fmt;
+
+use lor_alloc::AllocError;
+
+/// Errors returned by the filesystem simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// No file with the given id exists.
+    NoSuchFile(u64),
+    /// No file with the given name exists.
+    NoSuchName(String),
+    /// A file with the given name already exists.
+    NameExists(String),
+    /// The name is empty or otherwise unusable.
+    InvalidName(String),
+    /// The underlying allocator could not satisfy the request.
+    Alloc(AllocError),
+    /// The volume configuration is unusable (e.g. zero cluster size).
+    BadConfig(&'static str),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NoSuchFile(id) => write!(f, "no file with id {id}"),
+            FsError::NoSuchName(name) => write!(f, "no file named {name:?}"),
+            FsError::NameExists(name) => write!(f, "a file named {name:?} already exists"),
+            FsError::InvalidName(name) => write!(f, "invalid file name {name:?}"),
+            FsError::Alloc(err) => write!(f, "allocation failed: {err}"),
+            FsError::BadConfig(what) => write!(f, "bad volume configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsError::Alloc(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<AllocError> for FsError {
+    fn from(err: AllocError) -> Self {
+        FsError::Alloc(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let err = FsError::from(AllocError::EmptyRequest);
+        assert!(err.to_string().contains("allocation failed"));
+        assert!(err.source().is_some());
+        assert!(FsError::NoSuchName("a".into()).source().is_none());
+        assert!(FsError::NameExists("x".into()).to_string().contains("already exists"));
+    }
+}

@@ -1,0 +1,129 @@
+//! File records: the extent map and logical size of each file.
+
+use lor_alloc::{Extent, ExtentListExt};
+use lor_disksim::ByteRun;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a file on a [`crate::Volume`].  Analogous to an MFT record
+/// number: never reused within the lifetime of a volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FileId(pub u64);
+
+impl std::fmt::Display for FileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "file#{}", self.0)
+    }
+}
+
+/// Metadata and extent map of one file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileRecord {
+    /// Stable identifier.
+    pub id: FileId,
+    /// Name within the volume's single flat directory.
+    pub name: String,
+    /// Logical size in bytes.
+    pub size_bytes: u64,
+    /// Extent map in logical order (cluster units).
+    pub extents: Vec<Extent>,
+}
+
+impl FileRecord {
+    /// Creates an empty file record.
+    pub fn new(id: FileId, name: impl Into<String>) -> Self {
+        FileRecord { id, name: name.into(), size_bytes: 0, extents: Vec::new() }
+    }
+
+    /// Number of clusters currently allocated to the file.
+    pub fn allocated_clusters(&self) -> u64 {
+        self.extents.total_clusters()
+    }
+
+    /// Number of physically discontiguous fragments ("1" means contiguous,
+    /// matching the paper's definition: *contiguous objects have 1 fragment*).
+    pub fn fragment_count(&self) -> usize {
+        self.extents.fragment_count()
+    }
+
+    /// Appends newly allocated extents to the extent map, merging with the
+    /// last extent when physically adjacent.
+    pub fn push_extents(&mut self, new_extents: &[Extent]) {
+        for extent in new_extents.iter().filter(|e| !e.is_empty()) {
+            match self.extents.last_mut() {
+                Some(last) if last.is_followed_by(extent) => last.len += extent.len,
+                _ => self.extents.push(*extent),
+            }
+        }
+    }
+
+    /// The cluster just past the file's last allocated cluster, used as the
+    /// extension hint for the next append.  `None` for an empty file.
+    pub fn extension_hint(&self) -> Option<u64> {
+        self.extents.last().map(|extent| extent.end())
+    }
+
+    /// The byte runs a sequential read of the whole file touches, given the
+    /// volume's cluster size.  The final extent is clipped to the logical file
+    /// size (the tail of the last cluster holds no file data).
+    pub fn byte_runs(&self, cluster_size: u64) -> Vec<ByteRun> {
+        let mut remaining = self.size_bytes;
+        let mut runs = Vec::with_capacity(self.extents.len());
+        for extent in &self.extents {
+            if remaining == 0 {
+                break;
+            }
+            let extent_bytes = extent.len * cluster_size;
+            let take = extent_bytes.min(remaining);
+            runs.push(ByteRun::new(extent.start * cluster_size, take));
+            remaining -= take;
+        }
+        runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_record_is_empty() {
+        let record = FileRecord::new(FileId(7), "photo.jpg");
+        assert_eq!(record.size_bytes, 0);
+        assert_eq!(record.allocated_clusters(), 0);
+        assert_eq!(record.fragment_count(), 0);
+        assert_eq!(record.extension_hint(), None);
+        assert!(record.byte_runs(4096).is_empty());
+        assert_eq!(FileId(7).to_string(), "file#7");
+    }
+
+    #[test]
+    fn push_extents_merges_adjacent_runs() {
+        let mut record = FileRecord::new(FileId(1), "a");
+        record.push_extents(&[Extent::new(10, 4)]);
+        record.push_extents(&[Extent::new(14, 4)]);
+        record.push_extents(&[Extent::new(30, 4), Extent::new(34, 2)]);
+        assert_eq!(record.extents, vec![Extent::new(10, 8), Extent::new(30, 6)]);
+        assert_eq!(record.fragment_count(), 2);
+        assert_eq!(record.allocated_clusters(), 14);
+        assert_eq!(record.extension_hint(), Some(36));
+    }
+
+    #[test]
+    fn byte_runs_clip_to_logical_size() {
+        let mut record = FileRecord::new(FileId(1), "a");
+        record.push_extents(&[Extent::new(0, 2), Extent::new(10, 2)]);
+        record.size_bytes = 3 * 4096 + 100; // last cluster only partially used
+        let runs = record.byte_runs(4096);
+        assert_eq!(runs, vec![ByteRun::new(0, 8192), ByteRun::new(40960, 4196)]);
+        assert_eq!(runs.iter().map(|r| r.len).sum::<u64>(), record.size_bytes);
+    }
+
+    #[test]
+    fn byte_runs_stop_when_size_is_reached() {
+        let mut record = FileRecord::new(FileId(1), "a");
+        record.push_extents(&[Extent::new(0, 2), Extent::new(10, 2)]);
+        record.size_bytes = 4096; // only the first cluster holds data
+        let runs = record.byte_runs(4096);
+        assert_eq!(runs, vec![ByteRun::new(0, 4096)]);
+    }
+}

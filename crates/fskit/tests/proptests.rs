@@ -1,0 +1,193 @@
+//! Property tests for the filesystem simulator: random operation sequences
+//! must preserve the volume's structural invariants.
+
+use lor_alloc::{Extent, ExtentListExt};
+use lor_fskit::{Defragmenter, FileId, Volume, VolumeConfig};
+use proptest::prelude::*;
+
+const MB: u64 = 1 << 20;
+const VOLUME_BYTES: u64 = 64 * MB;
+
+/// Abstract workload operation against the volume.
+#[derive(Debug, Clone)]
+enum FsOp {
+    /// Write a new object of `size` bytes in `chunk` byte requests.
+    Put { size: u64, chunk: u64 },
+    /// Safe-write (replace) the live object at this modular index with a new
+    /// size.
+    Replace { index: usize, size: u64 },
+    /// Delete the live object at this modular index.
+    Delete { index: usize },
+    /// Run a manual checkpoint.
+    Checkpoint,
+    /// Defragment the live object at this modular index.
+    Defrag { index: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = FsOp> {
+    prop_oneof![
+        4 => (1u64..2 * MB, prop_oneof![Just(16 * 1024u64), Just(64 * 1024), Just(256 * 1024)])
+            .prop_map(|(size, chunk)| FsOp::Put { size, chunk }),
+        3 => (0usize..64, 1u64..2 * MB).prop_map(|(index, size)| FsOp::Replace { index, size }),
+        2 => (0usize..64).prop_map(|index| FsOp::Delete { index }),
+        1 => Just(FsOp::Checkpoint),
+        1 => (0usize..64).prop_map(|index| FsOp::Defrag { index }),
+    ]
+}
+
+/// Checks every structural invariant of the volume against a shadow model of
+/// the live objects (name -> size).
+fn check_invariants(volume: &Volume, live: &[(String, u64)]) -> Result<(), TestCaseError> {
+    // Every live object is present with the right size, and nothing else is.
+    prop_assert_eq!(volume.file_count(), live.len());
+    let cluster = volume.cluster_size();
+    let mut all_extents: Vec<Extent> = Vec::new();
+    for (name, size) in live {
+        let id = volume.lookup(name).expect("live object must resolve");
+        let record = volume.file(id).expect("live object must have a record");
+        prop_assert_eq!(record.size_bytes, *size);
+        // Allocation is exactly the clusters needed to hold the bytes.
+        prop_assert_eq!(record.allocated_clusters(), size.div_ceil(cluster));
+        // The read plan covers every logical byte exactly once.
+        let plan = volume.read_plan(id).unwrap();
+        prop_assert_eq!(plan.iter().map(|r| r.len).sum::<u64>(), *size);
+        all_extents.extend(record.extents.iter().copied());
+    }
+    // No two live files share a cluster.
+    prop_assert!(all_extents.is_disjoint(), "live files must not overlap");
+    // Accounting: allocated clusters = live clusters + pending clusters + MFT.
+    let live_clusters: u64 = all_extents.total_clusters();
+    let report = volume.free_space_report();
+    let allocated = report.total_clusters - report.free_clusters;
+    prop_assert_eq!(
+        allocated,
+        live_clusters + volume.pending_clusters() + volume.config().mft_clusters()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_workloads_preserve_volume_invariants(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let mut config = VolumeConfig::new(VOLUME_BYTES);
+        config.checkpoint_interval_ops = 4;
+        let mut volume = Volume::format(config).unwrap();
+        let mut live: Vec<(String, u64)> = Vec::new();
+        let mut counter = 0u64;
+
+        for op in ops {
+            match op {
+                FsOp::Put { size, chunk } => {
+                    let name = format!("obj-{counter}");
+                    counter += 1;
+                    match volume.write_file(&name, size, chunk) {
+                        Ok(receipt) => {
+                            prop_assert_eq!(receipt.bytes_written, size);
+                            prop_assert_eq!(
+                                receipt.runs.iter().map(|r| r.len).sum::<u64>(),
+                                size,
+                                "write receipt must cover every byte"
+                            );
+                            live.push((name, size));
+                        }
+                        Err(_) => {
+                            // Out of space is acceptable on a small volume; the
+                            // failed create leaves an empty file behind only if
+                            // fill failed, in which case clean it up.
+                            if let Ok(id) = volume.lookup(&name) {
+                                volume.delete(id).unwrap();
+                            }
+                        }
+                    }
+                }
+                FsOp::Replace { index, size } => {
+                    if live.is_empty() { continue; }
+                    let slot = index % live.len();
+                    let name = live[slot].0.clone();
+                    match volume.safe_write(&name, size, 64 * 1024) {
+                        Ok(_) => live[slot].1 = size,
+                        Err(_) => {
+                            // The original object must survive a failed safe write.
+                            prop_assert!(volume.lookup(&name).is_ok());
+                        }
+                    }
+                }
+                FsOp::Delete { index } => {
+                    if live.is_empty() { continue; }
+                    let (name, _) = live.swap_remove(index % live.len());
+                    volume.delete_by_name(&name).unwrap();
+                }
+                FsOp::Checkpoint => volume.checkpoint(),
+                FsOp::Defrag { index } => {
+                    if live.is_empty() { continue; }
+                    let name = &live[index % live.len()].0;
+                    let id = volume.lookup(name).unwrap();
+                    let size_before = volume.file(id).unwrap().size_bytes;
+                    let _ = Defragmenter::new().defragment_file(&mut volume, id);
+                    prop_assert_eq!(volume.file(id).unwrap().size_bytes, size_before);
+                }
+            }
+            check_invariants(&volume, &live)?;
+        }
+
+        // Final teardown: delete everything, checkpoint, and the volume must be
+        // back to a clean state (only the MFT zone allocated).
+        for (name, _) in live {
+            volume.delete_by_name(&name).unwrap();
+        }
+        volume.checkpoint();
+        let report = volume.free_space_report();
+        prop_assert_eq!(report.free_clusters, report.total_clusters - volume.config().mft_clusters());
+    }
+
+    /// Safe-writing an object over and over must never leak space or change
+    /// the object count, and fragment counts must stay bounded by the number
+    /// of write requests (the paper's Figure 3 observation).
+    #[test]
+    fn repeated_safe_writes_bound_fragments_by_write_requests(
+        object_kb in 64u64..512,
+        rounds in 1usize..12,
+    ) {
+        let mut config = VolumeConfig::new(VOLUME_BYTES);
+        config.checkpoint_interval_ops = 4;
+        let mut volume = Volume::format(config).unwrap();
+        let size = object_kb * 1024;
+        let chunk = 64 * 1024u64;
+
+        // A population of 32 objects, each overwritten `rounds` times.
+        for i in 0..32 {
+            volume.write_file(&format!("obj-{i}"), size, chunk).unwrap();
+        }
+        for _ in 0..rounds {
+            for i in 0..32 {
+                volume.safe_write(&format!("obj-{i}"), size, chunk).unwrap();
+            }
+        }
+        prop_assert_eq!(volume.file_count(), 32);
+        let max_possible = size.div_ceil(chunk).max(1);
+        for record in volume.iter_files() {
+            prop_assert!(
+                (record.fragment_count() as u64) <= max_possible,
+                "file has {} fragments but only {} write requests",
+                record.fragment_count(),
+                max_possible
+            );
+        }
+    }
+}
+
+#[test]
+fn file_ids_are_never_reused() {
+    let mut volume = Volume::format(VolumeConfig::new(16 * MB)).unwrap();
+    let mut seen = std::collections::HashSet::new();
+    for round in 0..50 {
+        let name = format!("f{round}");
+        let receipt = volume.write_file(&name, 64 * 1024, 64 * 1024).unwrap();
+        assert!(seen.insert(receipt.file_id), "FileId {:?} reused", receipt.file_id);
+        volume.delete(receipt.file_id).unwrap();
+    }
+    assert_eq!(seen.len(), 50);
+    let _ = FileId(0);
+}

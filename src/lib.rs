@@ -1,0 +1,13 @@
+//! Workspace umbrella crate for the CIDR 2007 *Fragmentation in Large Object
+//! Repositories* reproduction.
+//!
+//! The actual functionality lives in the member crates; this package exists to
+//! host the runnable examples (`examples/`) and the cross-crate integration
+//! tests (`tests/`).  It re-exports the member crates under short names so the
+//! examples read naturally.
+
+pub use lor_alloc as alloc;
+pub use lor_blobkit as blobkit;
+pub use lor_core as core;
+pub use lor_disksim as disksim;
+pub use lor_fskit as fskit;

@@ -1,0 +1,229 @@
+//! Cross-crate integration tests: miniature versions of the paper's
+//! experiments, asserting the qualitative shapes the paper reports.
+
+use lorepo::core::{
+    analyze_store, compare_systems, run_aging_experiment, ExperimentConfig, SizeDistribution,
+    StoreKind,
+};
+
+const MB: u64 = 1 << 20;
+
+fn mini(object_size: u64, volume: u64) -> ExperimentConfig {
+    let mut config = ExperimentConfig::paper_default(SizeDistribution::Constant(object_size));
+    config.volume_bytes = volume;
+    config.read_sample = Some(24);
+    config
+}
+
+/// Figure 1's qualitative claims: on a clean store the database's read
+/// throughput beats the filesystem's for sub-megabyte objects, and aging
+/// erodes the database's advantage.
+#[test]
+fn clean_store_favours_database_and_aging_erodes_it() {
+    let config = mini(256 * 1024, 96 * MB);
+    let (db, fs) = compare_systems(&config, &[0, 4], true).unwrap();
+
+    let db_clean = db.points[0].read_throughput_mb_s.unwrap();
+    let fs_clean = fs.points[0].read_throughput_mb_s.unwrap();
+    assert!(
+        db_clean > fs_clean,
+        "clean store: database ({db_clean:.2} MB/s) should beat the filesystem ({fs_clean:.2} MB/s) at 256 KB"
+    );
+
+    let db_drop = db.points[0].read_throughput_mb_s.unwrap() / db.points[1].read_throughput_mb_s.unwrap();
+    let fs_drop = fs.points[0].read_throughput_mb_s.unwrap() / fs.points[1].read_throughput_mb_s.unwrap();
+    assert!(
+        db_drop >= fs_drop * 0.95,
+        "aging should hurt the database at least as much as the filesystem (db x{db_drop:.2}, fs x{fs_drop:.2})"
+    );
+}
+
+/// Figure 1 / Section 5.2: for large (multi-megabyte) objects the filesystem
+/// wins even on a clean store.
+#[test]
+fn large_objects_favour_the_filesystem_even_when_clean() {
+    let config = mini(8 * MB, 256 * MB);
+    let (db, fs) = compare_systems(&config, &[0], true).unwrap();
+    let db_clean = db.points[0].read_throughput_mb_s.unwrap();
+    let fs_clean = fs.points[0].read_throughput_mb_s.unwrap();
+    assert!(
+        fs_clean > db_clean,
+        "clean store: filesystem ({fs_clean:.2} MB/s) should beat the database ({db_clean:.2} MB/s) at 8 MB"
+    );
+}
+
+/// Figure 2's shape: for large objects the database's fragments/object keeps
+/// growing with storage age and ends up well above the filesystem's, which
+/// levels off.
+#[test]
+fn database_fragmentation_grows_and_filesystem_levels_off() {
+    let config = mini(2 * MB, 128 * MB);
+    let ages = [0u32, 2, 4, 6];
+    let (db, fs) = compare_systems(&config, &ages, false).unwrap();
+
+    let db_frag: Vec<f64> = db.points.iter().map(|p| p.fragments_per_object).collect();
+    let fs_frag: Vec<f64> = fs.points.iter().map(|p| p.fragments_per_object).collect();
+
+    // Database fragmentation grows monotonically (within tolerance) and does
+    // not level off by the end of the run.
+    assert!(db_frag.windows(2).all(|w| w[1] >= w[0] * 0.9), "database curve should rise: {db_frag:?}");
+    assert!(
+        db_frag.last().unwrap() > &(db_frag[1] * 1.2),
+        "database curve should keep growing: {db_frag:?}"
+    );
+    // Filesystem ends up far below the database.
+    assert!(
+        fs_frag.last().unwrap() * 2.0 < *db_frag.last().unwrap(),
+        "filesystem ({fs_frag:?}) should stay well below the database ({db_frag:?})"
+    );
+    // Filesystem levels off: the last two checkpoints are within 50% of each
+    // other.
+    let n = fs_frag.len();
+    assert!(
+        fs_frag[n - 1] < fs_frag[n - 2] * 1.5 + 1.0,
+        "filesystem curve should level off: {fs_frag:?}"
+    );
+}
+
+/// Figure 4's shape: the database fills a clean volume faster than the
+/// filesystem, but its write throughput falls sharply once objects are being
+/// replaced.
+#[test]
+fn database_wins_bulk_load_and_degrades_after() {
+    let config = mini(512 * 1024, 96 * MB);
+    let (db, fs) = compare_systems(&config, &[0, 2, 4], false).unwrap();
+    let db_bulk = db.points[0].write_throughput_mb_s;
+    let fs_bulk = fs.points[0].write_throughput_mb_s;
+    assert!(db_bulk > fs_bulk, "bulk load: database {db_bulk:.1} MB/s vs filesystem {fs_bulk:.1} MB/s");
+
+    let db_aged = db.points.last().unwrap().write_throughput_mb_s;
+    assert!(
+        db_aged < db_bulk / 2.0,
+        "the database's write throughput should drop sharply after bulk load ({db_bulk:.1} -> {db_aged:.1})"
+    );
+}
+
+/// Figure 5's surprise: constant-size objects fragment no better than
+/// uniformly distributed sizes with the same mean.
+#[test]
+fn constant_sizes_fragment_like_uniform_sizes() {
+    let volume = 128 * MB;
+    let mean = 2 * MB;
+    let ages = [0u32, 3];
+
+    let constant = mini(mean, volume);
+    let mut uniform = mini(mean, volume);
+    uniform.object_size = SizeDistribution::uniform_around(mean);
+
+    for kind in [StoreKind::Database, StoreKind::Filesystem] {
+        let constant_run = run_aging_experiment(kind, &constant, &ages, false).unwrap();
+        let uniform_run = run_aging_experiment(kind, &uniform, &ages, false).unwrap();
+        let constant_aged = constant_run.points.last().unwrap().fragments_per_object;
+        let uniform_aged = uniform_run.points.last().unwrap().fragments_per_object;
+        assert!(
+            constant_aged > 1.2,
+            "{kind:?}: constant-size objects must still fragment (got {constant_aged:.2})"
+        );
+        assert!(
+            constant_aged > uniform_aged * 0.4,
+            "{kind:?}: constant sizes should not fragment dramatically less than uniform \
+             (constant {constant_aged:.2} vs uniform {uniform_aged:.2})"
+        );
+    }
+}
+
+/// Figure 6's free-pool observation: with the same occupancy, a volume with a
+/// very small pool of free objects fragments much faster.
+#[test]
+fn small_free_pools_degrade_faster() {
+    let object = 2 * MB;
+    let ages = [0u32, 3];
+    let mut tiny = mini(object, 24 * MB); // pool of ~6 free objects at 50%
+    tiny.read_sample = Some(4);
+    let big = mini(object, 192 * MB); // pool of ~48 free objects
+
+    let tiny_run = run_aging_experiment(StoreKind::Filesystem, &tiny, &ages, false).unwrap();
+    let big_run = run_aging_experiment(StoreKind::Filesystem, &big, &ages, false).unwrap();
+    let tiny_aged = tiny_run.points.last().unwrap().fragments_per_object;
+    let big_aged = big_run.points.last().unwrap().fragments_per_object;
+    assert!(
+        tiny_aged >= big_aged,
+        "a small free pool ({tiny_aged:.2}) should fragment at least as much as a large one ({big_aged:.2})"
+    );
+}
+
+/// The marker-based fragmentation tool agrees with the stores' own extent
+/// walks on an aged store of either kind.
+#[test]
+fn marker_tool_agrees_with_extent_walk_on_aged_stores() {
+    let config = mini(1 * MB, 96 * MB);
+    for kind in [StoreKind::Filesystem, StoreKind::Database] {
+        let mut store = config.build_store(kind).unwrap();
+        let mut generator = lorepo::core::WorkloadGenerator::new(config.workload());
+        for op in generator.bulk_load() {
+            if let lorepo::core::WorkloadOp::Put { key, size } = op {
+                store.put(&key, size).unwrap();
+            }
+        }
+        for _ in 0..3 {
+            let round: Vec<(String, u64)> = generator
+                .overwrite_round()
+                .into_iter()
+                .filter_map(|op| match op {
+                    lorepo::core::WorkloadOp::SafeWrite { key, size } => Some((key, size)),
+                    _ => None,
+                })
+                .collect();
+            for batch in round.chunks(4) {
+                store.safe_write_batch(batch).unwrap();
+            }
+        }
+        let report = analyze_store(store.as_ref()).unwrap();
+        let direct = store.fragmentation();
+        assert_eq!(report.summary.objects, direct.objects);
+        assert!(
+            (report.marker_fragments_per_object - direct.fragments_per_object).abs() < 1e-9,
+            "{kind:?}: marker tool ({}) vs extent walk ({})",
+            report.marker_fragments_per_object,
+            direct.fragments_per_object
+        );
+    }
+}
+
+/// Maintenance (the online defragmenter / table rebuild) restores both
+/// systems close to a contiguous layout, at a measurable copy cost.
+#[test]
+fn maintenance_restores_contiguity() {
+    let config = mini(1 * MB, 96 * MB);
+    for kind in [StoreKind::Filesystem, StoreKind::Database] {
+        let mut store = config.build_store(kind).unwrap();
+        let mut generator = lorepo::core::WorkloadGenerator::new(config.workload());
+        for op in generator.bulk_load() {
+            if let lorepo::core::WorkloadOp::Put { key, size } = op {
+                store.put(&key, size).unwrap();
+            }
+        }
+        for _ in 0..4 {
+            let round: Vec<(String, u64)> = generator
+                .overwrite_round()
+                .into_iter()
+                .filter_map(|op| match op {
+                    lorepo::core::WorkloadOp::SafeWrite { key, size } => Some((key, size)),
+                    _ => None,
+                })
+                .collect();
+            for batch in round.chunks(4) {
+                store.safe_write_batch(batch).unwrap();
+            }
+        }
+        let before = store.fragmentation().fragments_per_object;
+        let copied = store.maintenance().unwrap();
+        let after = store.fragmentation().fragments_per_object;
+        assert!(copied > 0, "{kind:?}: an aged store has something to copy");
+        assert!(
+            after <= before,
+            "{kind:?}: maintenance must not increase fragmentation ({before:.2} -> {after:.2})"
+        );
+        assert!(after < 2.0, "{kind:?}: maintenance should restore near-contiguity, got {after:.2}");
+    }
+}
