@@ -56,7 +56,7 @@ impl BuddyAllocator {
     /// Creates a buddy allocator with at least `clusters` clusters (rounded up
     /// to the next power of two).
     pub fn with_capacity(clusters: u64) -> Self {
-        let order = (64 - clusters.next_power_of_two().leading_zeros() - 1).max(0);
+        let order = 64 - clusters.next_power_of_two().leading_zeros() - 1;
         Self::new(order)
     }
 
@@ -115,7 +115,10 @@ impl Allocator for BuddyAllocator {
         let order = Self::order_for(request.clusters);
         let block = 1u64 << order;
         if block > self.free {
-            return Err(AllocError::OutOfSpace { requested: request.clusters, available: self.free });
+            return Err(AllocError::OutOfSpace {
+                requested: request.clusters,
+                available: self.free,
+            });
         }
         let Some(start) = self.carve(order) else {
             // Enough total space but no block large enough after buddy
@@ -129,12 +132,14 @@ impl Allocator for BuddyAllocator {
                 .map(|(order, _)| 1u64 << order)
                 .unwrap_or(0);
             return Err(match request.contiguity {
-                Contiguity::Required => {
-                    AllocError::NoContiguousRun { requested: request.clusters, largest_run: largest }
-                }
-                Contiguity::BestEffort => {
-                    AllocError::OutOfSpace { requested: request.clusters, available: self.free }
-                }
+                Contiguity::Required => AllocError::NoContiguousRun {
+                    requested: request.clusters,
+                    largest_run: largest,
+                },
+                Contiguity::BestEffort => AllocError::OutOfSpace {
+                    requested: request.clusters,
+                    available: self.free,
+                },
             });
         };
         self.free -= block;
@@ -150,7 +155,10 @@ impl Allocator for BuddyAllocator {
         for extent in extents {
             let order = Self::order_for(extent.len);
             if !self.allocated.remove(&(extent.start, order)) {
-                return Err(AllocError::NotAllocated { start: extent.start, len: extent.len });
+                return Err(AllocError::NotAllocated {
+                    start: extent.start,
+                    len: extent.len,
+                });
             }
             self.requested = self.requested.saturating_sub(extent.len);
             self.free += 1u64 << order;
@@ -173,7 +181,8 @@ impl Allocator for BuddyAllocator {
             .iter()
             .enumerate()
             .flat_map(|(order, list)| {
-                list.iter().map(move |&start| Extent::new(start, 1u64 << order))
+                list.iter()
+                    .map(move |&start| Extent::new(start, 1u64 << order))
             })
             .collect();
         runs.sort_by_key(|e| e.start);
@@ -261,9 +270,9 @@ mod tests {
     #[test]
     fn contiguity_limit_is_reported() {
         let mut buddy = BuddyAllocator::new(4); // 16 clusters
-        // Fill the volume with 2-cluster blocks, then free two blocks that are
-        // not buddies of each other: 4 clusters are free but the largest
-        // contiguous block is 2.
+                                                // Fill the volume with 2-cluster blocks, then free two blocks that are
+                                                // not buddies of each other: 4 clusters are free but the largest
+                                                // contiguous block is 2.
         let blocks: Vec<_> = (0..8)
             .map(|_| buddy.allocate(&AllocRequest::best_effort(2)).unwrap())
             .collect();
@@ -271,7 +280,10 @@ mod tests {
         buddy.free(&blocks[2]).unwrap();
         assert_eq!(buddy.free_clusters(), 4);
         let err = buddy.allocate(&AllocRequest::contiguous(4)).unwrap_err();
-        assert!(matches!(err, AllocError::NoContiguousRun { largest_run: 2, .. }));
+        assert!(matches!(
+            err,
+            AllocError::NoContiguousRun { largest_run: 2, .. }
+        ));
     }
 
     #[test]

@@ -46,10 +46,19 @@ impl fmt::Display for AllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AllocError::EmptyRequest => write!(f, "allocation request for zero clusters"),
-            AllocError::OutOfSpace { requested, available } => {
-                write!(f, "out of space: requested {requested} clusters, {available} free")
+            AllocError::OutOfSpace {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "out of space: requested {requested} clusters, {available} free"
+                )
             }
-            AllocError::NoContiguousRun { requested, largest_run } => write!(
+            AllocError::NoContiguousRun {
+                requested,
+                largest_run,
+            } => write!(
                 f,
                 "no contiguous run of {requested} clusters (largest free run is {largest_run})"
             ),
@@ -57,7 +66,11 @@ impl fmt::Display for AllocError {
                 write!(f, "free of unallocated range [{start}, {})", start + len)
             }
             AllocError::OutOfBounds { start, len, total } => {
-                write!(f, "range [{start}, {}) lies outside the {total}-cluster volume", start + len)
+                write!(
+                    f,
+                    "range [{start}, {}) lies outside the {total}-cluster volume",
+                    start + len
+                )
             }
         }
     }
@@ -73,10 +86,23 @@ mod tests {
     fn display_messages_are_informative() {
         let messages = [
             AllocError::EmptyRequest.to_string(),
-            AllocError::OutOfSpace { requested: 10, available: 5 }.to_string(),
-            AllocError::NoContiguousRun { requested: 10, largest_run: 4 }.to_string(),
+            AllocError::OutOfSpace {
+                requested: 10,
+                available: 5,
+            }
+            .to_string(),
+            AllocError::NoContiguousRun {
+                requested: 10,
+                largest_run: 4,
+            }
+            .to_string(),
             AllocError::NotAllocated { start: 3, len: 2 }.to_string(),
-            AllocError::OutOfBounds { start: 90, len: 20, total: 100 }.to_string(),
+            AllocError::OutOfBounds {
+                start: 90,
+                len: 20,
+                total: 100,
+            }
+            .to_string(),
         ];
         assert!(messages[1].contains("requested 10"));
         assert!(messages[2].contains("largest free run is 4"));

@@ -159,7 +159,7 @@ mod tests {
 
     #[test]
     fn extent_list_helpers() {
-        let list = vec![
+        let list = [
             Extent::new(0, 4),
             Extent::new(4, 4),
             Extent::new(16, 8),
@@ -174,13 +174,13 @@ mod tests {
         );
         assert!(list.is_disjoint());
 
-        let overlapping = vec![Extent::new(0, 10), Extent::new(5, 10)];
+        let overlapping = [Extent::new(0, 10), Extent::new(5, 10)];
         assert!(!overlapping.is_disjoint());
     }
 
     #[test]
     fn fragment_count_ignores_empty_extents() {
-        let list = vec![Extent::new(0, 4), Extent::new(4, 0), Extent::new(4, 4)];
+        let list = [Extent::new(0, 4), Extent::new(4, 0), Extent::new(4, 4)];
         assert_eq!(list.fragment_count(), 1);
     }
 }

@@ -78,7 +78,12 @@ impl RunIndexMap {
 
     /// Creates a map in which every cluster is allocated.
     pub fn new_allocated(total_clusters: u64) -> Self {
-        RunIndexMap { total: total_clusters, free: 0, by_offset: BTreeMap::new(), by_size: BTreeSet::new() }
+        RunIndexMap {
+            total: total_clusters,
+            free: 0,
+            by_offset: BTreeMap::new(),
+            by_size: BTreeSet::new(),
+        }
     }
 
     /// Number of free runs currently tracked.
@@ -111,6 +116,15 @@ impl RunIndexMap {
             .iter()
             .next_back()
             .map(|&(run_len, start)| Extent::new(start, run_len))
+    }
+
+    /// The highest-offset free run.  Used for allocations that grow from the
+    /// back of the space (e.g. metadata pages kept away from object data).
+    pub fn last_run(&self) -> Option<Extent> {
+        self.by_offset
+            .iter()
+            .next_back()
+            .map(|(&start, &len)| Extent::new(start, len))
     }
 
     /// The free run containing or starting at `cluster`, if `cluster` is free.
@@ -146,7 +160,11 @@ impl RunIndexMap {
 
     fn check_bounds(&self, extent: Extent) -> Result<(), AllocError> {
         if extent.end() > self.total {
-            Err(AllocError::OutOfBounds { start: extent.start, len: extent.len, total: self.total })
+            Err(AllocError::OutOfBounds {
+                start: extent.start,
+                len: extent.len,
+                total: self.total,
+            })
         } else {
             Ok(())
         }
@@ -170,12 +188,18 @@ impl FreeSpace for RunIndexMap {
         // The released range must not intersect any existing free run.
         if let Some((&prev_start, &prev_len)) = self.by_offset.range(..=extent.start).next_back() {
             if prev_start + prev_len > extent.start {
-                return Err(AllocError::NotAllocated { start: extent.start, len: extent.len });
+                return Err(AllocError::NotAllocated {
+                    start: extent.start,
+                    len: extent.len,
+                });
             }
         }
         if let Some((&next_start, _)) = self.by_offset.range(extent.start..).next() {
             if next_start < extent.end() {
-                return Err(AllocError::NotAllocated { start: extent.start, len: extent.len });
+                return Err(AllocError::NotAllocated {
+                    start: extent.start,
+                    len: extent.len,
+                });
             }
         }
 
@@ -208,7 +232,10 @@ impl FreeSpace for RunIndexMap {
         let run = self
             .run_at(extent.start)
             .filter(|run| run.end() >= extent.end())
-            .ok_or(AllocError::NotAllocated { start: extent.start, len: extent.len })?;
+            .ok_or(AllocError::NotAllocated {
+                start: extent.start,
+                len: extent.len,
+            })?;
 
         self.remove_run(run.start, run.len);
         if run.start < extent.start {
@@ -252,12 +279,18 @@ pub struct BitmapMap {
 impl BitmapMap {
     /// Creates a bitmap in which every cluster is free.
     pub fn new_free(total_clusters: u64) -> Self {
-        BitmapMap { bits: vec![true; total_clusters as usize], free: total_clusters }
+        BitmapMap {
+            bits: vec![true; total_clusters as usize],
+            free: total_clusters,
+        }
     }
 
     /// Creates a bitmap in which every cluster is allocated.
     pub fn new_allocated(total_clusters: u64) -> Self {
-        BitmapMap { bits: vec![false; total_clusters as usize], free: 0 }
+        BitmapMap {
+            bits: vec![false; total_clusters as usize],
+            free: 0,
+        }
     }
 }
 
@@ -283,7 +316,10 @@ impl FreeSpace for BitmapMap {
         }
         let range = extent.start as usize..extent.end() as usize;
         if self.bits[range.clone()].iter().any(|&free| free) {
-            return Err(AllocError::NotAllocated { start: extent.start, len: extent.len });
+            return Err(AllocError::NotAllocated {
+                start: extent.start,
+                len: extent.len,
+            });
         }
         for bit in &mut self.bits[range] {
             *bit = true;
@@ -305,7 +341,10 @@ impl FreeSpace for BitmapMap {
         }
         let range = extent.start as usize..extent.end() as usize;
         if self.bits[range.clone()].iter().any(|&free| !free) {
-            return Err(AllocError::NotAllocated { start: extent.start, len: extent.len });
+            return Err(AllocError::NotAllocated {
+                start: extent.start,
+                len: extent.len,
+            });
         }
         for bit in &mut self.bits[range] {
             *bit = false;
@@ -366,20 +405,29 @@ mod tests {
     #[test]
     fn reserve_splits_runs() {
         let (mut runs, mut bitmap) = both(100);
-        for map in [&mut runs as &mut dyn FreeSpace, &mut bitmap as &mut dyn FreeSpace] {
+        for map in [
+            &mut runs as &mut dyn FreeSpace,
+            &mut bitmap as &mut dyn FreeSpace,
+        ] {
             map.reserve(Extent::new(10, 20)).unwrap();
             assert_eq!(map.free_clusters(), 80);
             assert!(!map.is_free(Extent::new(10, 1)));
             assert!(map.is_free(Extent::new(0, 10)));
             assert!(map.is_free(Extent::new(30, 70)));
-            assert_eq!(map.free_runs(), vec![Extent::new(0, 10), Extent::new(30, 70)]);
+            assert_eq!(
+                map.free_runs(),
+                vec![Extent::new(0, 10), Extent::new(30, 70)]
+            );
         }
     }
 
     #[test]
     fn release_coalesces_neighbours() {
         let (mut runs, mut bitmap) = both(100);
-        for map in [&mut runs as &mut dyn FreeSpace, &mut bitmap as &mut dyn FreeSpace] {
+        for map in [
+            &mut runs as &mut dyn FreeSpace,
+            &mut bitmap as &mut dyn FreeSpace,
+        ] {
             map.reserve(Extent::new(0, 100)).unwrap();
             map.release(Extent::new(10, 10)).unwrap();
             map.release(Extent::new(30, 10)).unwrap();
@@ -393,10 +441,19 @@ mod tests {
     #[test]
     fn double_free_and_double_reserve_are_rejected() {
         let (mut runs, mut bitmap) = both(50);
-        for map in [&mut runs as &mut dyn FreeSpace, &mut bitmap as &mut dyn FreeSpace] {
+        for map in [
+            &mut runs as &mut dyn FreeSpace,
+            &mut bitmap as &mut dyn FreeSpace,
+        ] {
             map.reserve(Extent::new(0, 10)).unwrap();
-            assert!(map.reserve(Extent::new(5, 10)).is_err(), "partially allocated");
-            assert!(map.release(Extent::new(20, 5)).is_err(), "freeing free space");
+            assert!(
+                map.reserve(Extent::new(5, 10)).is_err(),
+                "partially allocated"
+            );
+            assert!(
+                map.release(Extent::new(20, 5)).is_err(),
+                "freeing free space"
+            );
             map.release(Extent::new(0, 10)).unwrap();
             assert!(map.release(Extent::new(0, 10)).is_err(), "double free");
         }
@@ -405,7 +462,10 @@ mod tests {
     #[test]
     fn out_of_bounds_is_rejected() {
         let (mut runs, mut bitmap) = both(50);
-        for map in [&mut runs as &mut dyn FreeSpace, &mut bitmap as &mut dyn FreeSpace] {
+        for map in [
+            &mut runs as &mut dyn FreeSpace,
+            &mut bitmap as &mut dyn FreeSpace,
+        ] {
             assert!(matches!(
                 map.reserve(Extent::new(45, 10)),
                 Err(AllocError::OutOfBounds { .. })
@@ -417,7 +477,10 @@ mod tests {
     #[test]
     fn empty_extents_are_no_ops() {
         let (mut runs, mut bitmap) = both(50);
-        for map in [&mut runs as &mut dyn FreeSpace, &mut bitmap as &mut dyn FreeSpace] {
+        for map in [
+            &mut runs as &mut dyn FreeSpace,
+            &mut bitmap as &mut dyn FreeSpace,
+        ] {
             map.reserve(Extent::new(10, 0)).unwrap();
             map.release(Extent::new(10, 0)).unwrap();
             assert_eq!(map.free_clusters(), 50);

@@ -13,6 +13,9 @@
 //!   survey the paper cites recommends: the classic fits
 //!   ([`FitPolicy`] / [`PolicyAllocator`]), the NTFS-style
 //!   [`RunCacheAllocator`], and the DTSS-style [`BuddyAllocator`].
+//! * The substrate-independent policy knob ([`AllocationPolicy`]) and the
+//!   policy-selected allocator ([`SelectableAllocator`]) through which both
+//!   the filesystem and database substrates expose that knob to experiments.
 //! * Fragmentation metrics: [`FragmentationSummary`] (fragments per object,
 //!   the paper's y-axis) and [`FreeSpaceReport`] (free-run histogram,
 //!   external fragmentation).
@@ -44,11 +47,15 @@ mod freespace;
 mod metrics;
 mod policy;
 mod runcache;
+mod select;
 
 pub use buddy::BuddyAllocator;
 pub use error::AllocError;
 pub use extent::{Extent, ExtentListExt};
 pub use freespace::{BitmapMap, FreeSpace, RunIndexMap};
 pub use metrics::{FragmentationSummary, FreeSpaceReport};
-pub use policy::{AllocRequest, Allocator, Contiguity, FitPolicy, PolicyAllocator};
+pub use policy::{
+    AllocRequest, AllocationPolicy, Allocator, Contiguity, FitPicker, FitPolicy, PolicyAllocator,
+};
 pub use runcache::{RunCacheAllocator, RunCacheConfig};
+pub use select::SelectableAllocator;

@@ -124,7 +124,11 @@ impl FreeSpaceReport {
             free_clusters,
             free_runs: runs.len(),
             largest_run: largest,
-            mean_run: if runs.is_empty() { 0.0 } else { free_clusters as f64 / runs.len() as f64 },
+            mean_run: if runs.is_empty() {
+                0.0
+            } else {
+                free_clusters as f64 / runs.len() as f64
+            },
             external_fragmentation: if free_clusters == 0 {
                 0.0
             } else {
@@ -208,7 +212,12 @@ mod tests {
     fn histogram_buckets_by_power_of_two() {
         let report = FreeSpaceReport::from_runs(
             1_000,
-            &[Extent::new(0, 1), Extent::new(10, 3), Extent::new(20, 4), Extent::new(40, 100)],
+            &[
+                Extent::new(0, 1),
+                Extent::new(10, 3),
+                Extent::new(20, 4),
+                Extent::new(40, 100),
+            ],
         );
         // len 1 -> bucket 0, len 3 -> bucket 1, len 4 -> bucket 2, len 100 -> bucket 6.
         assert_eq!(report.run_length_histogram[0], 1);

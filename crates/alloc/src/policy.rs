@@ -39,12 +39,20 @@ pub struct AllocRequest {
 impl AllocRequest {
     /// A best-effort request with no placement hint.
     pub fn best_effort(clusters: u64) -> Self {
-        AllocRequest { clusters, hint: None, contiguity: Contiguity::BestEffort }
+        AllocRequest {
+            clusters,
+            hint: None,
+            contiguity: Contiguity::BestEffort,
+        }
     }
 
     /// A request that must be satisfied with a single extent.
     pub fn contiguous(clusters: u64) -> Self {
-        AllocRequest { clusters, hint: None, contiguity: Contiguity::Required }
+        AllocRequest {
+            clusters,
+            hint: None,
+            contiguity: Contiguity::Required,
+        }
     }
 
     /// Adds a placement hint (typically the end of the previous extent of the
@@ -91,8 +99,12 @@ pub enum FitPolicy {
 
 impl FitPolicy {
     /// All classic policies, for sweeps and ablation benches.
-    pub const ALL: [FitPolicy; 4] =
-        [FitPolicy::FirstFit, FitPolicy::BestFit, FitPolicy::WorstFit, FitPolicy::NextFit];
+    pub const ALL: [FitPolicy; 4] = [
+        FitPolicy::FirstFit,
+        FitPolicy::BestFit,
+        FitPolicy::WorstFit,
+        FitPolicy::NextFit,
+    ];
 
     /// Short, stable name used in reports.
     pub fn name(&self) -> &'static str {
@@ -103,26 +115,138 @@ impl FitPolicy {
             FitPolicy::NextFit => "next-fit",
         }
     }
+
+    /// Picks the free run this policy wants for a request of `len` clusters.
+    ///
+    /// This is the single shared policy implementation both substrates draw
+    /// from: [`PolicyAllocator`] applies it at cluster granularity for the
+    /// filesystem, and `lor-blobkit`'s GAM/allocation-unit layer applies it at
+    /// extent and page granularity.  `cursor` is the roving pointer consulted
+    /// (and only meaningful) for [`FitPolicy::NextFit`]; pass `0` otherwise.
+    pub fn pick(&self, map: &RunIndexMap, len: u64, cursor: u64) -> Option<Extent> {
+        match self {
+            FitPolicy::FirstFit => map.first_fit(len, 0),
+            FitPolicy::BestFit => map.best_fit(len),
+            FitPolicy::WorstFit => map.largest().filter(|run| run.len >= len),
+            FitPolicy::NextFit => map.first_fit(len, cursor).or_else(|| map.first_fit(len, 0)),
+        }
+    }
+}
+
+/// Substrate-independent selector for how a store places new allocations.
+///
+/// Threaded from `lor-core`'s experiment configuration down into both storage
+/// substrates so the ablation benches can sweep one knob across the two
+/// systems.  `Native` selects whatever the substrate being configured models
+/// from the paper: the NTFS-style run cache for the filesystem volume, and
+/// SQL Server's lowest-first page reuse (first fit over the page space) for
+/// the database engine.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AllocationPolicy {
+    /// The substrate's paper-faithful native policy.
+    #[default]
+    Native,
+    /// Override the native choice with one of the classic fit policies.
+    Fit(FitPolicy),
+}
+
+impl AllocationPolicy {
+    /// Every selectable policy, for sweeps and ablation benches.
+    pub const ALL: [AllocationPolicy; 5] = [
+        AllocationPolicy::Native,
+        AllocationPolicy::Fit(FitPolicy::FirstFit),
+        AllocationPolicy::Fit(FitPolicy::BestFit),
+        AllocationPolicy::Fit(FitPolicy::WorstFit),
+        AllocationPolicy::Fit(FitPolicy::NextFit),
+    ];
+
+    /// Short, stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AllocationPolicy::Native => "native",
+            AllocationPolicy::Fit(fit) => fit.name(),
+        }
+    }
+
+    /// The fit policy to apply when the substrate's native mechanism is
+    /// fit-shaped, with `native` naming the substrate's own default.
+    pub fn fit_or(&self, native: FitPolicy) -> FitPolicy {
+        match self {
+            AllocationPolicy::Native => native,
+            AllocationPolicy::Fit(fit) => *fit,
+        }
+    }
+}
+
+/// A resolved policy choice plus the roving cursor [`FitPolicy::NextFit`]
+/// needs, bundled so every consumer of [`FitPolicy::pick`] shares one
+/// picking-and-advancing implementation.
+///
+/// [`PolicyAllocator`] uses it at cluster granularity; `lor-blobkit`'s GAM
+/// and allocation units use it at extent and page granularity.  Keeping the
+/// cursor rule (advance to the end of the taken run) in one place means a
+/// future policy only has to be wired into [`FitPolicy::pick`] once.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FitPicker {
+    policy: AllocationPolicy,
+    fit: FitPolicy,
+    cursor: u64,
+}
+
+impl FitPicker {
+    /// Creates a picker for `policy`, with `native` naming the fit the
+    /// substrate's native mechanism corresponds to.
+    pub fn new(policy: AllocationPolicy, native: FitPolicy) -> Self {
+        FitPicker {
+            policy,
+            fit: policy.fit_or(native),
+            cursor: 0,
+        }
+    }
+
+    /// The selection this picker was built from.
+    pub fn policy(&self) -> AllocationPolicy {
+        self.policy
+    }
+
+    /// The resolved fit policy in effect.
+    pub fn fit(&self) -> FitPolicy {
+        self.fit
+    }
+
+    /// Picks the run the policy wants for a request of `len` clusters.
+    pub fn pick(&self, map: &RunIndexMap, len: u64) -> Option<Extent> {
+        self.fit.pick(map, len, self.cursor)
+    }
+
+    /// Records that `taken` was just reserved, advancing the next-fit cursor
+    /// past it (a no-op for every other policy).
+    pub fn advance(&mut self, taken: Extent) {
+        if self.fit == FitPolicy::NextFit {
+            self.cursor = taken.end();
+        }
+    }
 }
 
 /// An allocator that applies one of the classic [`FitPolicy`] choices.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PolicyAllocator {
-    policy: FitPolicy,
     map: RunIndexMap,
-    /// Roving pointer for [`FitPolicy::NextFit`].
-    cursor: u64,
+    picker: FitPicker,
 }
 
 impl PolicyAllocator {
     /// Creates an allocator over `total_clusters` fully free clusters.
     pub fn new(policy: FitPolicy, total_clusters: u64) -> Self {
-        PolicyAllocator { policy, map: RunIndexMap::new_free(total_clusters), cursor: 0 }
+        PolicyAllocator {
+            map: RunIndexMap::new_free(total_clusters),
+            picker: FitPicker::new(AllocationPolicy::Fit(policy), policy),
+        }
     }
 
     /// The policy this allocator applies.
     pub fn policy(&self) -> FitPolicy {
-        self.policy
+        self.picker.fit()
     }
 
     /// Read-only access to the underlying free-space map.
@@ -130,17 +254,17 @@ impl PolicyAllocator {
         &self.map
     }
 
+    /// Marks a specific extent allocated, bypassing policy.  Used by the
+    /// filesystem simulator to reserve metadata bands (the MFT zone) and by
+    /// the pathological-fragmentation injector when this allocator stands in
+    /// for the native run cache.
+    pub fn reserve_exact(&mut self, extent: Extent) -> Result<(), AllocError> {
+        self.map.reserve(extent)
+    }
+
     /// Picks the run the policy wants for a request of `len` clusters.
     fn pick(&self, len: u64) -> Option<Extent> {
-        match self.policy {
-            FitPolicy::FirstFit => self.map.first_fit(len, 0),
-            FitPolicy::BestFit => self.map.best_fit(len),
-            FitPolicy::WorstFit => self.map.largest().filter(|run| run.len >= len),
-            FitPolicy::NextFit => self
-                .map
-                .first_fit(len, self.cursor)
-                .or_else(|| self.map.first_fit(len, 0)),
-        }
+        self.picker.pick(&self.map, len)
     }
 
     /// Attempts to honour a placement hint by extending from exactly that
@@ -194,7 +318,9 @@ impl PolicyAllocator {
                 available: self.map.free_clusters(),
             });
         }
-        if request.contiguity == Contiguity::Required && self.map.best_fit(request.clusters).is_none() {
+        if request.contiguity == Contiguity::Required
+            && self.map.best_fit(request.clusters).is_none()
+        {
             return Err(AllocError::NoContiguousRun {
                 requested: request.clusters,
                 largest_run: self.map.largest_free_run(),
@@ -215,7 +341,9 @@ impl PolicyAllocator {
             };
             let Some(run) = candidate.filter(|run| !run.is_empty()) else {
                 for extent in &out {
-                    self.map.release(*extent).expect("rollback of freshly reserved extent");
+                    self.map
+                        .release(*extent)
+                        .expect("rollback of freshly reserved extent");
                 }
                 return Err(AllocError::OutOfSpace {
                     requested: request.clusters,
@@ -224,9 +352,7 @@ impl PolicyAllocator {
             };
             let take = Extent::new(run.start, run.len.min(remaining));
             self.map.reserve(take)?;
-            if self.policy == FitPolicy::NextFit {
-                self.cursor = take.end();
-            }
+            self.picker.advance(take);
             remaining -= take.len;
             out.push(take);
         }
@@ -339,8 +465,16 @@ mod tests {
     fn contiguous_requests_fail_rather_than_fragment() {
         let mut allocator = PolicyAllocator::new(FitPolicy::BestFit, 100);
         checkerboard(&mut allocator);
-        let err = allocator.allocate(&AllocRequest::contiguous(25)).unwrap_err();
-        assert_eq!(err, AllocError::NoContiguousRun { requested: 25, largest_run: 10 });
+        let err = allocator
+            .allocate(&AllocRequest::contiguous(25))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AllocError::NoContiguousRun {
+                requested: 25,
+                largest_run: 10
+            }
+        );
         // Free space is untouched by the failed attempt.
         assert_eq!(allocator.free_clusters(), 50);
     }
@@ -351,7 +485,10 @@ mod tests {
         allocator.allocate(&AllocRequest::best_effort(40)).unwrap();
         assert_eq!(
             allocator.allocate(&AllocRequest::best_effort(20)),
-            Err(AllocError::OutOfSpace { requested: 20, available: 10 })
+            Err(AllocError::OutOfSpace {
+                requested: 20,
+                available: 10
+            })
         );
     }
 

@@ -45,7 +45,10 @@ pub struct RunCacheConfig {
 
 impl Default for RunCacheConfig {
     fn default() -> Self {
-        RunCacheConfig { outer_band_fraction: 0.35, outer_band_slack: 1.0 }
+        RunCacheConfig {
+            outer_band_fraction: 0.35,
+            outer_band_slack: 1.0,
+        }
     }
 }
 
@@ -64,7 +67,10 @@ impl RunCacheAllocator {
 
     /// Creates an allocator with explicit tuning.
     pub fn with_config(total_clusters: u64, config: RunCacheConfig) -> Self {
-        RunCacheAllocator { config, map: RunIndexMap::new_free(total_clusters) }
+        RunCacheAllocator {
+            config,
+            map: RunIndexMap::new_free(total_clusters),
+        }
     }
 
     /// The tuning configuration in effect.
@@ -138,7 +144,9 @@ impl Allocator for RunCacheAllocator {
                 available: self.map.free_clusters(),
             });
         }
-        if request.contiguity == Contiguity::Required && self.map.best_fit(request.clusters).is_none() {
+        if request.contiguity == Contiguity::Required
+            && self.map.best_fit(request.clusters).is_none()
+        {
             return Err(AllocError::NoContiguousRun {
                 requested: request.clusters,
                 largest_run: self.map.largest_free_run(),
@@ -158,11 +166,14 @@ impl Allocator for RunCacheAllocator {
             } else {
                 // Once fragmented, keep carving from the largest runs so the
                 // pieces are as few and as large as possible.
-                self.try_large_extent(remaining).or_else(|| self.fragment_source())
+                self.try_large_extent(remaining)
+                    .or_else(|| self.fragment_source())
             };
             let Some(run) = candidate.filter(|run| !run.is_empty()) else {
                 for extent in &out {
-                    self.map.release(*extent).expect("rollback of freshly reserved extent");
+                    self.map
+                        .release(*extent)
+                        .expect("rollback of freshly reserved extent");
                 }
                 return Err(AllocError::OutOfSpace {
                     requested: request.clusters,
@@ -221,18 +232,28 @@ mod tests {
             file.append(&mut next);
         }
         assert_eq!(file.total_clusters(), 256);
-        assert_eq!(file.fragment_count(), 1, "sequential appends must stay contiguous");
+        assert_eq!(
+            file.fragment_count(),
+            1,
+            "sequential appends must stay contiguous"
+        );
     }
 
     #[test]
     fn falls_back_to_large_extents_outside_the_outer_band() {
-        let config = RunCacheConfig { outer_band_fraction: 0.1, ..RunCacheConfig::default() };
+        let config = RunCacheConfig {
+            outer_band_fraction: 0.1,
+            ..RunCacheConfig::default()
+        };
         let mut allocator = RunCacheAllocator::with_config(1_000, config);
         // Fill the outer band (first 100 clusters) completely.
         allocator.reserve_exact(Extent::new(0, 100)).unwrap();
         let extents = allocator.allocate(&AllocRequest::best_effort(50)).unwrap();
         assert_eq!(extents.len(), 1);
-        assert!(extents[0].start >= 100, "must come from beyond the exhausted outer band");
+        assert!(
+            extents[0].start >= 100,
+            "must come from beyond the exhausted outer band"
+        );
     }
 
     #[test]
@@ -293,7 +314,10 @@ mod tests {
         let before = allocator.free_runs();
         assert!(matches!(
             allocator.allocate(&AllocRequest::best_effort(50)),
-            Err(AllocError::OutOfSpace { requested: 50, available: 40 })
+            Err(AllocError::OutOfSpace {
+                requested: 50,
+                available: 40
+            })
         ));
         assert_eq!(allocator.free_runs(), before);
     }

@@ -1,0 +1,160 @@
+//! Policy-selected allocator: one concrete type a substrate can embed while
+//! letting experiments choose the allocation policy at configuration time.
+//!
+//! The filesystem volume historically hard-wired the NTFS-style
+//! [`RunCacheAllocator`]; the [`AllocationPolicy`] knob threaded down from
+//! `lor-core` needs the volume to be able to run any of the classic fit
+//! policies instead, without turning the volume into a generic type or paying
+//! for dynamic dispatch on the hot allocation path.  [`SelectableAllocator`]
+//! is that closed sum: the run cache for [`AllocationPolicy::Native`], a
+//! [`PolicyAllocator`] for [`AllocationPolicy::Fit`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AllocError;
+use crate::extent::Extent;
+use crate::freespace::RunIndexMap;
+use crate::policy::{AllocRequest, AllocationPolicy, Allocator, PolicyAllocator};
+use crate::runcache::{RunCacheAllocator, RunCacheConfig};
+
+/// An allocator whose policy is chosen at construction time from
+/// [`AllocationPolicy`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SelectableAllocator {
+    /// The NTFS-style run cache ([`AllocationPolicy::Native`] for volumes).
+    RunCache(RunCacheAllocator),
+    /// One of the classic fit policies.
+    Fit(PolicyAllocator),
+}
+
+impl SelectableAllocator {
+    /// Creates an allocator over `total_clusters` fully free clusters.
+    ///
+    /// `run_cache` tunes the native policy and is ignored by the fit
+    /// policies.
+    pub fn new(policy: AllocationPolicy, total_clusters: u64, run_cache: RunCacheConfig) -> Self {
+        match policy {
+            AllocationPolicy::Native => SelectableAllocator::RunCache(
+                RunCacheAllocator::with_config(total_clusters, run_cache),
+            ),
+            AllocationPolicy::Fit(fit) => {
+                SelectableAllocator::Fit(PolicyAllocator::new(fit, total_clusters))
+            }
+        }
+    }
+
+    /// The policy this allocator was built with.
+    pub fn policy(&self) -> AllocationPolicy {
+        match self {
+            SelectableAllocator::RunCache(_) => AllocationPolicy::Native,
+            SelectableAllocator::Fit(inner) => AllocationPolicy::Fit(inner.policy()),
+        }
+    }
+
+    /// Marks a specific extent allocated, bypassing policy (metadata bands,
+    /// pathological-fragmentation injection).
+    pub fn reserve_exact(&mut self, extent: Extent) -> Result<(), AllocError> {
+        match self {
+            SelectableAllocator::RunCache(inner) => inner.reserve_exact(extent),
+            SelectableAllocator::Fit(inner) => inner.reserve_exact(extent),
+        }
+    }
+
+    /// Read-only access to the underlying free-space map.
+    pub fn free_space(&self) -> &RunIndexMap {
+        match self {
+            SelectableAllocator::RunCache(inner) => inner.free_space(),
+            SelectableAllocator::Fit(inner) => inner.free_space(),
+        }
+    }
+}
+
+impl Allocator for SelectableAllocator {
+    fn allocate(&mut self, request: &AllocRequest) -> Result<Vec<Extent>, AllocError> {
+        match self {
+            SelectableAllocator::RunCache(inner) => inner.allocate(request),
+            SelectableAllocator::Fit(inner) => inner.allocate(request),
+        }
+    }
+
+    fn free(&mut self, extents: &[Extent]) -> Result<(), AllocError> {
+        match self {
+            SelectableAllocator::RunCache(inner) => inner.free(extents),
+            SelectableAllocator::Fit(inner) => inner.free(extents),
+        }
+    }
+
+    fn total_clusters(&self) -> u64 {
+        match self {
+            SelectableAllocator::RunCache(inner) => inner.total_clusters(),
+            SelectableAllocator::Fit(inner) => inner.total_clusters(),
+        }
+    }
+
+    fn free_clusters(&self) -> u64 {
+        match self {
+            SelectableAllocator::RunCache(inner) => inner.free_clusters(),
+            SelectableAllocator::Fit(inner) => inner.free_clusters(),
+        }
+    }
+
+    fn free_runs(&self) -> Vec<Extent> {
+        match self {
+            SelectableAllocator::RunCache(inner) => inner.free_runs(),
+            SelectableAllocator::Fit(inner) => inner.free_runs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freespace::FreeSpace;
+    use crate::policy::FitPolicy;
+
+    #[test]
+    fn native_selects_the_run_cache() {
+        let allocator =
+            SelectableAllocator::new(AllocationPolicy::Native, 1000, RunCacheConfig::default());
+        assert_eq!(allocator.policy(), AllocationPolicy::Native);
+        assert!(matches!(allocator, SelectableAllocator::RunCache(_)));
+    }
+
+    #[test]
+    fn fit_selects_a_policy_allocator() {
+        for fit in FitPolicy::ALL {
+            let allocator = SelectableAllocator::new(
+                AllocationPolicy::Fit(fit),
+                1000,
+                RunCacheConfig::default(),
+            );
+            assert_eq!(allocator.policy(), AllocationPolicy::Fit(fit));
+        }
+    }
+
+    #[test]
+    fn allocator_interface_is_forwarded() {
+        for policy in AllocationPolicy::ALL {
+            let mut allocator = SelectableAllocator::new(policy, 1000, RunCacheConfig::default());
+            assert_eq!(allocator.total_clusters(), 1000);
+            let extents = allocator.allocate(&AllocRequest::best_effort(100)).unwrap();
+            assert_eq!(allocator.free_clusters(), 900, "{}", policy.name());
+            assert_eq!(allocator.free_space().free_clusters(), 900);
+            allocator.free(&extents).unwrap();
+            assert_eq!(allocator.free_runs(), vec![Extent::new(0, 1000)]);
+        }
+    }
+
+    #[test]
+    fn reserve_exact_pins_space_under_any_policy() {
+        for policy in AllocationPolicy::ALL {
+            let mut allocator = SelectableAllocator::new(policy, 100, RunCacheConfig::default());
+            allocator.reserve_exact(Extent::new(10, 5)).unwrap();
+            assert_eq!(allocator.free_clusters(), 95);
+            assert!(
+                allocator.reserve_exact(Extent::new(10, 5)).is_err(),
+                "double pin"
+            );
+        }
+    }
+}

@@ -6,8 +6,8 @@
 //! exact accounting, full restoration after freeing everything).
 
 use lor_alloc::{
-    AllocRequest, Allocator, BitmapMap, BuddyAllocator, Extent, ExtentListExt, FitPolicy, FreeSpace,
-    FragmentationSummary, PolicyAllocator, RunCacheAllocator, RunIndexMap,
+    AllocRequest, Allocator, BitmapMap, BuddyAllocator, Extent, ExtentListExt, FitPolicy,
+    FragmentationSummary, FreeSpace, PolicyAllocator, RunCacheAllocator, RunIndexMap,
 };
 use proptest::prelude::*;
 
@@ -28,7 +28,10 @@ prop_compose! {
 }
 
 fn arb_map_op() -> impl Strategy<Value = MapOp> {
-    prop_oneof![arb_extent().prop_map(MapOp::Reserve), arb_extent().prop_map(MapOp::Release)]
+    prop_oneof![
+        arb_extent().prop_map(MapOp::Reserve),
+        arb_extent().prop_map(MapOp::Release)
+    ]
 }
 
 proptest! {
@@ -82,7 +85,8 @@ enum AllocOp {
 
 fn arb_alloc_op() -> impl Strategy<Value = AllocOp> {
     prop_oneof![
-        (1u64..512, any::<bool>()).prop_map(|(clusters, hinted)| AllocOp::Allocate { clusters, hinted }),
+        (1u64..512, any::<bool>())
+            .prop_map(|(clusters, hinted)| AllocOp::Allocate { clusters, hinted }),
         (0usize..64).prop_map(AllocOp::Free),
     ]
 }
@@ -109,7 +113,10 @@ fn run_script<A: Allocator>(mut allocator: A, ops: Vec<AllocOp>) -> Result<(), T
                         for object in &live {
                             for a in object {
                                 for b in &extents {
-                                    prop_assert!(!a.overlaps(b), "allocator handed out {b:?} twice");
+                                    prop_assert!(
+                                        !a.overlaps(b),
+                                        "allocator handed out {b:?} twice"
+                                    );
                                 }
                             }
                         }
@@ -123,12 +130,18 @@ fn run_script<A: Allocator>(mut allocator: A, ops: Vec<AllocOp>) -> Result<(), T
             AllocOp::Free(index) => {
                 if !live.is_empty() {
                     let object = live.swap_remove(index % live.len());
-                    allocator.free(&object).expect("freeing a live object must succeed");
+                    allocator
+                        .free(&object)
+                        .expect("freeing a live object must succeed");
                 }
             }
         }
         let live_clusters: u64 = live.iter().map(|o| o.total_clusters()).sum();
-        prop_assert_eq!(allocator.allocated_clusters(), live_clusters, "exact accounting");
+        prop_assert_eq!(
+            allocator.allocated_clusters(),
+            live_clusters,
+            "exact accounting"
+        );
     }
     // Tear-down: freeing everything restores a fully free volume.
     for object in live.drain(..) {

@@ -12,7 +12,8 @@ fn bench_disk(c: &mut Criterion) {
     let mut group = c.benchmark_group("disksim");
     group.throughput(Throughput::Bytes(10 * MB));
     let mut disk = Disk::new(DiskConfig::seagate_400gb_2005().scaled(40_000_000_000));
-    let scattered = IoRequest::read_runs((0..160u64).map(|i| ByteRun::new(i * 200_000_000, 64 * 1024)));
+    let scattered =
+        IoRequest::read_runs((0..160u64).map(|i| ByteRun::new(i * 200_000_000, 64 * 1024)));
     group.bench_function("service_160_fragment_read", |b| {
         b.iter(|| std::hint::black_box(disk.service(&scattered)))
     });

@@ -43,12 +43,18 @@ fn parse_args() -> Result<Options, String> {
                     "report" => Scale::report(),
                     "bench" => Scale::bench(),
                     "test" => Scale::test(),
-                    other => return Err(format!("unknown scale {other:?} (use full|report|bench|test)")),
+                    other => {
+                        return Err(format!(
+                            "unknown scale {other:?} (use full|report|bench|test)"
+                        ))
+                    }
                 };
                 options.scale_name = value;
             }
             "--json" => {
-                options.json_dir = Some(PathBuf::from(args.next().ok_or("--json needs a directory")?));
+                options.json_dir = Some(PathBuf::from(
+                    args.next().ok_or("--json needs a directory")?,
+                ));
             }
             "--only" => {
                 let value = args.next().ok_or("--only needs a comma-separated list")?;
@@ -67,7 +73,11 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn wanted(options: &Options, name: &str) -> bool {
-    options.only.as_ref().map(|set| set.contains(name)).unwrap_or(true)
+    options
+        .only
+        .as_ref()
+        .map(|set| set.contains(name))
+        .unwrap_or(true)
 }
 
 fn emit(options: &Options, name: &str, figures: &[Figure]) -> Result<(), String> {
@@ -77,7 +87,7 @@ fn emit(options: &Options, name: &str, figures: &[Figure]) -> Result<(), String>
     if let Some(dir) = &options.json_dir {
         std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
         let path = dir.join(format!("{name}.json"));
-        let json = serde_json::to_string_pretty(figures).map_err(|e| e.to_string())?;
+        let json = Figure::list_to_json(figures);
         std::fs::write(&path, json).map_err(|e| e.to_string())?;
         eprintln!("wrote {}", path.display());
     }
@@ -120,7 +130,11 @@ fn run() -> Result<(), String> {
     }
     if wanted(&options, "write-size") {
         let figure = write_request_size_sweep(&options.scale).map_err(|e| e.to_string())?;
-        emit(&options, "write_request_size", std::slice::from_ref(&figure))?;
+        emit(
+            &options,
+            "write_request_size",
+            std::slice::from_ref(&figure),
+        )?;
     }
     if wanted(&options, "maintenance") {
         let figure = maintenance_ablation(&options.scale).map_err(|e| e.to_string())?;

@@ -42,24 +42,44 @@ pub struct Scale {
 impl Scale {
     /// Full paper scale (40 GB working volume, storage age up to 10).
     pub fn full() -> Self {
-        Scale { volume_factor: 1.0, object_factor: 1.0, max_age: 10, read_sample: Some(400) }
+        Scale {
+            volume_factor: 1.0,
+            object_factor: 1.0,
+            max_age: 10,
+            read_sample: Some(400),
+        }
     }
 
     /// Report scale used by default in the `figures` binary: one tenth of the
     /// paper's volumes, same object sizes, same ages.
     pub fn report() -> Self {
-        Scale { volume_factor: 0.1, object_factor: 1.0, max_age: 10, read_sample: Some(200) }
+        Scale {
+            volume_factor: 0.1,
+            object_factor: 1.0,
+            max_age: 10,
+            read_sample: Some(200),
+        }
     }
 
     /// Bench scale: small volumes and shorter aging so a Criterion iteration
     /// completes in tens of milliseconds.
     pub fn bench() -> Self {
-        Scale { volume_factor: 0.004, object_factor: 0.25, max_age: 4, read_sample: Some(32) }
+        Scale {
+            volume_factor: 0.004,
+            object_factor: 0.25,
+            max_age: 4,
+            read_sample: Some(32),
+        }
     }
 
     /// Tiny scale for integration tests.
     pub fn test() -> Self {
-        Scale { volume_factor: 0.002, object_factor: 0.25, max_age: 4, read_sample: Some(16) }
+        Scale {
+            volume_factor: 0.002,
+            object_factor: 0.25,
+            max_age: 4,
+            read_sample: Some(16),
+        }
     }
 
     fn volume(&self, paper_bytes: u64) -> u64 {
@@ -79,7 +99,12 @@ impl Scale {
 const PAPER_VOLUME: u64 = 40_000_000_000;
 const PAPER_LARGE_VOLUME: u64 = 400_000_000_000;
 
-fn config_for(scale: &Scale, object_size: SizeDistribution, volume_bytes: u64, occupancy: f64) -> ExperimentConfig {
+fn config_for(
+    scale: &Scale,
+    object_size: SizeDistribution,
+    volume_bytes: u64,
+    occupancy: f64,
+) -> ExperimentConfig {
     let mut config = ExperimentConfig::paper_default(object_size);
     config.volume_bytes = volume_bytes;
     config.occupancy = occupancy;
@@ -115,7 +140,11 @@ pub fn figure1(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
         per_size.push((size, compare_systems(&config, &ages, true)?));
     }
 
-    let panel_titles = ["Read Throughput After Bulk Load", "Read Throughput After Two Overwrites", "Read Throughput After Four Overwrites"];
+    let panel_titles = [
+        "Read Throughput After Bulk Load",
+        "Read Throughput After Two Overwrites",
+        "Read Throughput After Four Overwrites",
+    ];
     let mut figures = Vec::new();
     for (panel, &age) in ages.iter().enumerate() {
         let mut db_points = Vec::new();
@@ -130,9 +159,14 @@ pub fn figure1(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
             }
         }
         figures.push(
-            Figure::new(format!("Figure 1.{}", panel + 1), panel_titles[panel], "Object Size (KB)", "MB/sec")
-                .with_series(Series::new("Database", db_points))
-                .with_series(Series::new("Filesystem", fs_points)),
+            Figure::new(
+                format!("Figure 1.{}", panel + 1),
+                panel_titles[panel],
+                "Object Size (KB)",
+                "MB/sec",
+            )
+            .with_series(Series::new("Database", db_points))
+            .with_series(Series::new("Filesystem", fs_points)),
         );
     }
     Ok(figures)
@@ -181,20 +215,31 @@ pub fn figure4(scale: &Scale) -> Result<Figure, StoreError> {
         0.5,
     );
     let (db, fs) = compare_systems(&config, &[0, 2, 4], false)?;
-    Ok(Figure::new("Figure 4", "512 KB Write Throughput Over Time", "Storage Age", "MB/sec")
-        .with_series(Series::write_throughput_vs_age(&db))
-        .with_series(Series::write_throughput_vs_age(&fs)))
+    Ok(Figure::new(
+        "Figure 4",
+        "512 KB Write Throughput Over Time",
+        "Storage Age",
+        "MB/sec",
+    )
+    .with_series(Series::write_throughput_vs_age(&db))
+    .with_series(Series::write_throughput_vs_age(&fs)))
 }
 
 /// Figure 5: constant vs uniform object-size distributions (10 MB mean), one
 /// figure per system.
 pub fn figure5(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
     let mean = scale.object(10 << 20);
-    let distributions = [SizeDistribution::Constant(mean), SizeDistribution::uniform_around(mean)];
+    let distributions = [
+        SizeDistribution::Constant(mean),
+        SizeDistribution::uniform_around(mean),
+    ];
     let mut per_distribution = Vec::new();
     for distribution in distributions {
         let config = config_for(scale, distribution, scale.volume(PAPER_VOLUME), 0.5);
-        per_distribution.push((distribution, compare_systems(&config, &scale.age_points(), false)?));
+        per_distribution.push((
+            distribution,
+            compare_systems(&config, &scale.age_points(), false)?,
+        ));
     }
 
     let mut database = Figure::new(
@@ -231,10 +276,18 @@ pub fn figure6(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
     let large = scale.volume(PAPER_LARGE_VOLUME);
     let half_ages: Vec<u32> = (0..=scale.max_age / 2).collect();
 
-    let mut database_panel =
-        Figure::new("Figure 6.1", "Database Fragmentation: Different Volumes", "Storage Age", "Fragments/object");
-    let mut filesystem_panel =
-        Figure::new("Figure 6.2", "Filesystem Fragmentation: Different Volumes", "Storage Age", "Fragments/object");
+    let mut database_panel = Figure::new(
+        "Figure 6.1",
+        "Database Fragmentation: Different Volumes",
+        "Storage Age",
+        "Fragments/object",
+    );
+    let mut filesystem_panel = Figure::new(
+        "Figure 6.2",
+        "Filesystem Fragmentation: Different Volumes",
+        "Storage Age",
+        "Fragments/object",
+    );
     for (volume, label_suffix) in [(small, "40G"), (large, "400G")] {
         let config = config_for(scale, object, volume, 0.5);
         let (db, fs) = compare_systems(&config, &half_ages, false)?;
@@ -278,10 +331,19 @@ pub fn write_request_size_sweep(scale: &Scale) -> Result<Figure, StoreError> {
     for kind in [StoreKind::Database, StoreKind::Filesystem] {
         let mut points = Vec::new();
         for request_kb in [16u64, 32, 64, 128, 256] {
-            let mut config = config_for(scale, SizeDistribution::Constant(object), scale.volume(PAPER_VOLUME), 0.5);
+            let mut config = config_for(
+                scale,
+                SizeDistribution::Constant(object),
+                scale.volume(PAPER_VOLUME),
+                0.5,
+            );
             config.write_request_size = request_kb * 1024;
             let result = run_aging_experiment(kind, &config, &[scale.max_age.min(4)], false)?;
-            let fragments = result.points.last().map(|p| p.fragments_per_object).unwrap_or(0.0);
+            let fragments = result
+                .points
+                .last()
+                .map(|p| p.fragments_per_object)
+                .unwrap_or(0.0);
             points.push((request_kb as f64, fragments));
         }
         figure = figure.with_series(Series::new(kind.label(), points));
@@ -294,7 +356,12 @@ pub fn write_request_size_sweep(scale: &Scale) -> Result<Figure, StoreError> {
 /// Figure 2 workload.
 pub fn maintenance_ablation(scale: &Scale) -> Result<Figure, StoreError> {
     let object = scale.object(2 << 20);
-    let config = config_for(scale, SizeDistribution::Constant(object), scale.volume(PAPER_VOLUME), 0.5);
+    let config = config_for(
+        scale,
+        SizeDistribution::Constant(object),
+        scale.volume(PAPER_VOLUME),
+        0.5,
+    );
     let ages = [scale.max_age.min(4)];
 
     let mut figure = Figure::new(
@@ -305,7 +372,11 @@ pub fn maintenance_ablation(scale: &Scale) -> Result<Figure, StoreError> {
     );
     for kind in [StoreKind::Database, StoreKind::Filesystem] {
         let result = run_aging_experiment(kind, &config, &ages, false)?;
-        let before = result.points.last().map(|p| p.fragments_per_object).unwrap_or(0.0);
+        let before = result
+            .points
+            .last()
+            .map(|p| p.fragments_per_object)
+            .unwrap_or(0.0);
         // Re-run the aging to the same point, then apply maintenance.
         let mut store = config.build_store(kind)?;
         let mut generator = lor_core::WorkloadGenerator::new(config.workload());
@@ -370,8 +441,16 @@ mod tests {
     fn figure4_reports_bulk_load_advantage_for_the_database() {
         let scale = Scale::test();
         let figure = figure4(&scale).unwrap();
-        let database = figure.series.iter().find(|s| s.label == "Database").unwrap();
-        let filesystem = figure.series.iter().find(|s| s.label == "Filesystem").unwrap();
+        let database = figure
+            .series
+            .iter()
+            .find(|s| s.label == "Database")
+            .unwrap();
+        let filesystem = figure
+            .series
+            .iter()
+            .find(|s| s.label == "Filesystem")
+            .unwrap();
         let db_bulk = database.value_at(0.0).unwrap();
         let fs_bulk = filesystem.value_at(0.0).unwrap();
         assert!(

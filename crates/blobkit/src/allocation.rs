@@ -1,4 +1,5 @@
-//! GAM/IAM-style space management for the data file.
+//! GAM/IAM-style space management for the data file, on the shared
+//! `lor-alloc` mechanism/policy split.
 //!
 //! SQL Server tracks which 64 KB extents of a data file are allocated (the
 //! Global Allocation Map) and which extents belong to each allocation unit
@@ -17,62 +18,109 @@
 //! * pages freed inside an extent are only reusable by the same allocation
 //!   unit until the whole extent empties, at which point the extent returns to
 //!   the GAM.
+//!
+//! Both levels are free-space bookkeeping, so both sit on
+//! [`lor_alloc::RunIndexMap`] — the same mechanism the filesystem volume's
+//! allocators use — rather than on private sets: the [`Gam`] is a run map at
+//! extent granularity (free = unassigned), and each [`AllocationUnit`] holds a
+//! run map at page granularity in which exactly the free pages *inside the
+//! unit's assigned extents* are free.  Where a run must be *chosen* (a fresh
+//! extent from the GAM, the start of a new page run inside the unit) the
+//! choice is delegated to the shared [`FitPolicy`] implementation, selected
+//! through [`AllocationPolicy`]: the paper-faithful native behaviour is
+//! [`FitPolicy::FirstFit`] — lowest first — at both granularities, and the
+//! ablation benches can swap in any other fit without touching the mechanism.
 
 use std::collections::BTreeSet;
 
+use lor_alloc::{AllocationPolicy, Extent, FitPicker, FitPolicy, FreeSpace, RunIndexMap};
 use serde::{Deserialize, Serialize};
 
 use crate::error::DbError;
 use crate::page::{ExtentId, PageId, PageKind, PAGES_PER_EXTENT};
 
+/// The fit the database's native policy applies: SQL Server reuses the lowest
+/// free page / extent first.
+const NATIVE_FIT: FitPolicy = FitPolicy::FirstFit;
+
 /// The Global Allocation Map: which extents of the data file are unassigned.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Gam {
-    total_extents: u64,
-    free_extents: BTreeSet<ExtentId>,
+    /// Extent-granular free-space map; free means unassigned.
+    map: RunIndexMap,
+    /// Shared policy/next-fit-cursor implementation, in extent units.
+    picker: FitPicker,
 }
 
 impl Gam {
-    /// Creates a GAM over a data file of `total_extents` extents, all free.
+    /// Creates a GAM over a data file of `total_extents` extents, all free,
+    /// applying the native lowest-first policy.
     pub fn new(total_extents: u64) -> Self {
-        Gam { total_extents, free_extents: (0..total_extents).map(ExtentId).collect() }
+        Self::with_policy(total_extents, AllocationPolicy::Native)
+    }
+
+    /// Creates a GAM with an explicit allocation policy.
+    pub fn with_policy(total_extents: u64, policy: AllocationPolicy) -> Self {
+        Gam {
+            map: RunIndexMap::new_free(total_extents),
+            picker: FitPicker::new(policy, NATIVE_FIT),
+        }
     }
 
     /// Total extents in the data file.
     pub fn total_extents(&self) -> u64 {
-        self.total_extents
+        self.map.total_clusters()
     }
 
     /// Unassigned extents remaining.
     pub fn free_extent_count(&self) -> u64 {
-        self.free_extents.len() as u64
+        self.map.free_clusters()
     }
 
-    /// Assigns the lowest-numbered free extent (first fit at extent
-    /// granularity).
-    pub fn assign_lowest(&mut self) -> Option<ExtentId> {
-        let extent = *self.free_extents.iter().next()?;
-        self.free_extents.remove(&extent);
+    /// The policy in effect.
+    pub fn policy(&self) -> AllocationPolicy {
+        self.picker.policy()
+    }
+
+    /// Read-only access to the extent-granular free-space map.
+    pub fn free_space(&self) -> &RunIndexMap {
+        &self.map
+    }
+
+    /// Assigns the policy-chosen free extent (for the native policy: the
+    /// lowest-numbered one, i.e. first fit at extent granularity).
+    pub fn assign_next(&mut self) -> Option<ExtentId> {
+        let extent = self.peek_next()?;
+        let taken = self.assign_specific(extent);
+        debug_assert!(taken, "peeked extent must be assignable");
         Some(extent)
     }
 
     /// Assigns a specific extent if it is free.  Used to continue an object's
     /// layout into the physically next extent.
     pub fn assign_specific(&mut self, extent: ExtentId) -> bool {
-        self.free_extents.remove(&extent)
+        let taken = self.map.reserve(Extent::new(extent.0, 1)).is_ok();
+        if taken {
+            self.picker.advance(Extent::new(extent.0, 1));
+        }
+        taken
     }
 
-    /// The lowest-numbered free extent, without assigning it.
-    pub fn peek_lowest(&self) -> Option<ExtentId> {
-        self.free_extents.iter().next().copied()
+    /// The extent [`Gam::assign_next`] would assign, without assigning it.
+    pub fn peek_next(&self) -> Option<ExtentId> {
+        self.picker
+            .pick(&self.map, 1)
+            .map(|run| ExtentId(run.start))
     }
 
     /// Assigns the highest-numbered free extent.  Used for metadata pages so
     /// that the clustered index does not decluster the BLOB data it describes
     /// (the paper's out-of-row rationale, Section 4.2).
     pub fn assign_highest(&mut self) -> Option<ExtentId> {
-        let extent = *self.free_extents.iter().next_back()?;
-        self.free_extents.remove(&extent);
+        let run = self.map.last_run()?;
+        let extent = ExtentId(run.end() - 1);
+        let taken = self.map.reserve(Extent::new(extent.0, 1)).is_ok();
+        debug_assert!(taken, "the last run's final extent must be reservable");
         Some(extent)
     }
 
@@ -81,14 +129,18 @@ impl Gam {
     /// # Panics
     /// Panics if the extent is already free (double release is an engine bug).
     pub fn release(&mut self, extent: ExtentId) {
-        assert!(extent.0 < self.total_extents, "extent {extent} outside the data file");
-        let inserted = self.free_extents.insert(extent);
-        assert!(inserted, "extent {extent} released twice");
+        assert!(
+            extent.0 < self.total_extents(),
+            "extent {extent} outside the data file"
+        );
+        self.map
+            .release(Extent::new(extent.0, 1))
+            .unwrap_or_else(|_| panic!("extent {extent} released twice"));
     }
 
     /// `true` if the extent is currently unassigned.
     pub fn is_free(&self, extent: ExtentId) -> bool {
-        self.free_extents.contains(&extent)
+        self.map.is_free(Extent::new(extent.0, 1))
     }
 }
 
@@ -98,16 +150,29 @@ pub struct AllocationUnit {
     kind: PageKind,
     /// Extents assigned to this unit (the IAM chain).
     extents: BTreeSet<ExtentId>,
-    /// Pages within assigned extents that currently hold no data.
-    free_pages: BTreeSet<PageId>,
-    /// Pages within assigned extents that hold data.
-    used_pages: u64,
+    /// Page-granular free-space map over the whole data file in which exactly
+    /// the data-free pages of assigned extents are free; pages of unassigned
+    /// extents count as allocated until the extent joins the unit.
+    map: RunIndexMap,
+    /// Shared policy/next-fit-cursor implementation, in page units.
+    picker: FitPicker,
 }
 
 impl AllocationUnit {
-    /// Creates an empty allocation unit.
-    pub fn new(kind: PageKind) -> Self {
-        AllocationUnit { kind, extents: BTreeSet::new(), free_pages: BTreeSet::new(), used_pages: 0 }
+    /// Creates an empty allocation unit over a data file of `total_pages`
+    /// pages, applying the native lowest-first policy.
+    pub fn new(kind: PageKind, total_pages: u64) -> Self {
+        Self::with_policy(kind, total_pages, AllocationPolicy::Native)
+    }
+
+    /// Creates an empty allocation unit with an explicit allocation policy.
+    pub fn with_policy(kind: PageKind, total_pages: u64, policy: AllocationPolicy) -> Self {
+        AllocationUnit {
+            kind,
+            extents: BTreeSet::new(),
+            map: RunIndexMap::new_allocated(total_pages),
+            picker: FitPicker::new(policy, NATIVE_FIT),
+        }
     }
 
     /// The page kind stored in this unit.
@@ -122,19 +187,25 @@ impl AllocationUnit {
 
     /// Pages holding data.
     pub fn used_pages(&self) -> u64 {
-        self.used_pages
+        self.extent_count() * PAGES_PER_EXTENT - self.free_page_count()
     }
 
     /// Free pages inside assigned extents.
     pub fn free_page_count(&self) -> u64 {
-        self.free_pages.len() as u64
+        self.map.free_clusters()
+    }
+
+    /// Read-only access to the page-granular free-space map (free = data-free
+    /// page inside an assigned extent).
+    pub fn free_space(&self) -> &RunIndexMap {
+        &self.map
     }
 
     /// Pages the caller could still allocate without growing the file:
     /// free pages in assigned extents plus every page of every unassigned
     /// extent in the GAM.
     pub fn available_pages(&self, gam: &Gam) -> u64 {
-        self.free_pages.len() as u64 + gam.free_extent_count() * PAGES_PER_EXTENT
+        self.free_page_count() + gam.free_extent_count() * PAGES_PER_EXTENT
     }
 
     /// Allocates `count` pages for one object streamed into the store.
@@ -142,9 +213,9 @@ impl AllocationUnit {
     /// Strategy (see module docs): keep extending the run that ends at the
     /// previously allocated page — taking the next free page, or assigning the
     /// physically next extent when it is still unassigned — and when the run
-    /// cannot be extended, start a new run at the lowest free page in the
-    /// file (first fit), assigning the lowest unassigned extent if that is
-    /// lower still.
+    /// cannot be extended, start a new run at the policy-chosen free page in
+    /// the file (natively: the lowest, first fit), assigning a fresh extent
+    /// from the GAM only when the unit has no free page of its own.
     pub fn allocate_pages(&mut self, gam: &mut Gam, count: u64) -> Result<Vec<PageId>, DbError> {
         if count == 0 {
             return Ok(Vec::new());
@@ -168,22 +239,20 @@ impl AllocationUnit {
             }
             // 2. Start a new run.  Free pages inside already-assigned extents
             //    are consumed before any fresh extent is assigned (the engine
-            //    does not waste partially used extents), lowest page first;
-            //    only when no such page exists is the lowest unassigned extent
-            //    taken from the GAM.  This ordering is what seeds the paper's
+            //    does not waste partially used extents), at the policy-chosen
+            //    position — natively the lowest page first; only when no such
+            //    page exists is a policy-chosen unassigned extent taken from
+            //    the GAM.  This ordering is what seeds the paper's
             //    "constant-size objects still fragment" behaviour: the
             //    partially used extents left at object boundaries are soaked
             //    up by later allocations, which therefore start away from the
             //    extents that hold their bulk.
             let start = self
-                .free_pages
-                .iter()
-                .next()
-                .copied()
-                .or_else(|| gam.peek_lowest().map(|e| e.first_page()))
+                .pick_page()
+                .or_else(|| gam.peek_next().map(|extent| extent.first_page()))
                 .expect("available_pages() guaranteed enough space");
             let taken = self.take_specific(gam, start);
-            debug_assert!(taken, "the lowest free position must be takeable");
+            debug_assert!(taken, "the picked free position must be takeable");
             pages.push(start);
         }
         Ok(pages)
@@ -195,7 +264,11 @@ impl AllocationUnit {
     /// Used for the metadata table's clustered-index pages so that the small,
     /// cached metadata structures never interrupt the BLOB data laid out from
     /// the front of the file.
-    pub fn allocate_pages_high(&mut self, gam: &mut Gam, count: u64) -> Result<Vec<PageId>, DbError> {
+    pub fn allocate_pages_high(
+        &mut self,
+        gam: &mut Gam,
+        count: u64,
+    ) -> Result<Vec<PageId>, DbError> {
         if count == 0 {
             return Ok(Vec::new());
         }
@@ -207,58 +280,79 @@ impl AllocationUnit {
         }
         let mut pages = Vec::with_capacity(count as usize);
         while (pages.len() as u64) < count {
-            if let Some(&page) = self.free_pages.iter().next_back() {
-                self.free_pages.remove(&page);
-                self.used_pages += 1;
+            if let Some(run) = self.map.last_run() {
+                let page = PageId(run.end() - 1);
+                self.map
+                    .reserve(Extent::new(page.0, 1))
+                    .expect("the last run's final page is free");
                 pages.push(page);
                 continue;
             }
-            let extent = gam.assign_highest().expect("available_pages() guaranteed enough space");
-            self.extents.insert(extent);
-            for p in extent.pages() {
-                self.free_pages.insert(p);
-            }
+            let extent = gam
+                .assign_highest()
+                .expect("available_pages() guaranteed enough space");
+            self.adopt_extent(extent);
         }
         Ok(pages)
+    }
+
+    /// The policy-chosen free page at which to start a new run, if the unit
+    /// has any free page.
+    fn pick_page(&self) -> Option<PageId> {
+        self.picker.pick(&self.map, 1).map(|run| PageId(run.start))
+    }
+
+    /// Registers a freshly assigned extent with the unit, marking its pages
+    /// free for data.
+    fn adopt_extent(&mut self, extent: ExtentId) {
+        self.extents.insert(extent);
+        self.map
+            .release(Extent::new(extent.first_page().0, PAGES_PER_EXTENT))
+            .expect("pages of a newly assigned extent were not free before");
     }
 
     /// Takes one specific page if it is available (free in an assigned extent,
     /// or in an extent that can be assigned from the GAM).  Returns `true` on
     /// success.
     fn take_specific(&mut self, gam: &mut Gam, page: PageId) -> bool {
-        if self.free_pages.remove(&page) {
-            self.used_pages += 1;
-            return true;
-        }
-        let extent = page.extent();
-        if !self.extents.contains(&extent) && gam.assign_specific(extent) {
-            self.extents.insert(extent);
-            for p in extent.pages() {
-                self.free_pages.insert(p);
+        let taken = if self.map.reserve(Extent::new(page.0, 1)).is_ok() {
+            true
+        } else {
+            let extent = page.extent();
+            if !self.extents.contains(&extent) && gam.assign_specific(extent) {
+                self.adopt_extent(extent);
+                self.map
+                    .reserve(Extent::new(page.0, 1))
+                    .expect("page of a freshly adopted extent is free");
+                true
+            } else {
+                false
             }
-            let removed = self.free_pages.remove(&page);
-            debug_assert!(removed);
-            self.used_pages += 1;
-            return true;
+        };
+        if taken {
+            self.picker.advance(Extent::new(page.0, 1));
         }
-        false
+        taken
     }
 
     /// Frees one page, returning its extent to the GAM if the extent is now
     /// completely empty.
     pub fn free_page(&mut self, gam: &mut Gam, page: PageId) {
         let extent = page.extent();
-        assert!(self.extents.contains(&extent), "page {page} freed outside the unit's extents");
-        let inserted = self.free_pages.insert(page);
-        assert!(inserted, "page {page} freed twice");
-        self.used_pages -= 1;
+        assert!(
+            self.extents.contains(&extent),
+            "page {page} freed outside the unit's extents"
+        );
+        self.map
+            .release(Extent::new(page.0, 1))
+            .unwrap_or_else(|_| panic!("page {page} freed twice"));
 
         // If every page of the extent is free, hand the extent back.
-        let all_free = extent.pages().all(|p| self.free_pages.contains(&p));
-        if all_free {
-            for p in extent.pages() {
-                self.free_pages.remove(&p);
-            }
+        let extent_pages = Extent::new(extent.first_page().0, PAGES_PER_EXTENT);
+        if self.map.is_free(extent_pages) {
+            self.map
+                .reserve(extent_pages)
+                .expect("a fully free extent's pages can be withdrawn");
             self.extents.remove(&extent);
             gam.release(extent);
         }
@@ -275,17 +369,62 @@ mod tests {
     use super::*;
     use crate::page::fragment_count;
 
+    const TEST_PAGES: u64 = 100 * PAGES_PER_EXTENT;
+
     #[test]
     fn gam_assigns_lowest_first() {
         let mut gam = Gam::new(10);
         assert_eq!(gam.free_extent_count(), 10);
-        assert_eq!(gam.assign_lowest(), Some(ExtentId(0)));
-        assert_eq!(gam.assign_lowest(), Some(ExtentId(1)));
+        assert_eq!(gam.assign_next(), Some(ExtentId(0)));
+        assert_eq!(gam.assign_next(), Some(ExtentId(1)));
         gam.release(ExtentId(0));
-        assert_eq!(gam.assign_lowest(), Some(ExtentId(0)), "freed extents are reused before the file grows");
+        assert_eq!(
+            gam.assign_next(),
+            Some(ExtentId(0)),
+            "freed extents are reused before the file grows"
+        );
         assert!(gam.is_free(ExtentId(5)));
         assert!(!gam.is_free(ExtentId(1)));
-        assert_eq!(gam.peek_lowest(), Some(ExtentId(2)));
+        assert_eq!(gam.peek_next(), Some(ExtentId(2)));
+        assert_eq!(gam.policy(), AllocationPolicy::Native);
+    }
+
+    #[test]
+    fn gam_policies_choose_different_extents() {
+        // Free runs of different lengths: assign everything then free
+        // [2, 3) (length 1) and [5, 8) (length 3).
+        let fragmented_gam = |policy| {
+            let mut gam = Gam::with_policy(10, policy);
+            for extent in 0..10 {
+                assert!(gam.assign_specific(ExtentId(extent)));
+            }
+            gam.release(ExtentId(2));
+            for extent in 5..8 {
+                gam.release(ExtentId(extent));
+            }
+            gam
+        };
+        assert_eq!(
+            fragmented_gam(AllocationPolicy::Fit(FitPolicy::FirstFit)).peek_next(),
+            Some(ExtentId(2))
+        );
+        assert_eq!(
+            fragmented_gam(AllocationPolicy::Fit(FitPolicy::BestFit)).peek_next(),
+            Some(ExtentId(2)),
+            "the snuggest hole is the single extent"
+        );
+        assert_eq!(
+            fragmented_gam(AllocationPolicy::Fit(FitPolicy::WorstFit)).peek_next(),
+            Some(ExtentId(5)),
+            "the largest hole starts at extent 5"
+        );
+        let mut next_fit = fragmented_gam(AllocationPolicy::Fit(FitPolicy::NextFit));
+        assert_eq!(next_fit.assign_next(), Some(ExtentId(2)));
+        assert_eq!(
+            next_fit.assign_next(),
+            Some(ExtentId(5)),
+            "the cursor moved past extent 2"
+        );
     }
 
     #[test]
@@ -306,7 +445,7 @@ mod tests {
     #[test]
     fn clean_file_allocations_are_contiguous() {
         let mut gam = Gam::new(100);
-        let mut unit = AllocationUnit::new(PageKind::LobData);
+        let mut unit = AllocationUnit::new(PageKind::LobData, TEST_PAGES);
         let a = unit.allocate_pages(&mut gam, 20).unwrap();
         assert_eq!(a.len(), 20);
         assert_eq!(fragment_count(&a), 1);
@@ -323,7 +462,7 @@ mod tests {
     #[test]
     fn freed_low_pages_are_reused_before_the_tail() {
         let mut gam = Gam::new(100);
-        let mut unit = AllocationUnit::new(PageKind::LobData);
+        let mut unit = AllocationUnit::new(PageKind::LobData, TEST_PAGES);
         let a = unit.allocate_pages(&mut gam, 16).unwrap();
         let _b = unit.allocate_pages(&mut gam, 16).unwrap();
         // Delete `a`: its two extents return to the GAM.
@@ -339,7 +478,7 @@ mod tests {
     #[test]
     fn scattered_free_pages_fragment_new_objects() {
         let mut gam = Gam::new(100);
-        let mut unit = AllocationUnit::new(PageKind::LobData);
+        let mut unit = AllocationUnit::new(PageKind::LobData, TEST_PAGES);
         let a = unit.allocate_pages(&mut gam, 64).unwrap();
         // Free every other 4-page group of `a`, leaving 4-page holes.
         for chunk in a.chunks(8).map(|c| &c[..4]) {
@@ -349,7 +488,11 @@ mod tests {
         }
         // A 16-page object must span at least four of those holes.
         let b = unit.allocate_pages(&mut gam, 16).unwrap();
-        assert!(fragment_count(&b) >= 4, "got {} fragments", fragment_count(&b));
+        assert!(
+            fragment_count(&b) >= 4,
+            "got {} fragments",
+            fragment_count(&b)
+        );
         // And it fills the lowest holes first.
         assert_eq!(b[0], PageId(0));
     }
@@ -357,7 +500,7 @@ mod tests {
     #[test]
     fn freeing_a_whole_extent_returns_it_to_the_gam() {
         let mut gam = Gam::new(10);
-        let mut unit = AllocationUnit::new(PageKind::LobData);
+        let mut unit = AllocationUnit::new(PageKind::LobData, 10 * PAGES_PER_EXTENT);
         let pages = unit.allocate_pages(&mut gam, 8).unwrap();
         assert_eq!(unit.extent_count(), 1);
         let before = gam.free_extent_count();
@@ -372,7 +515,7 @@ mod tests {
     #[test]
     fn partially_freed_extents_stay_with_the_unit() {
         let mut gam = Gam::new(10);
-        let mut unit = AllocationUnit::new(PageKind::LobData);
+        let mut unit = AllocationUnit::new(PageKind::LobData, 10 * PAGES_PER_EXTENT);
         let pages = unit.allocate_pages(&mut gam, 8).unwrap();
         unit.free_page(&mut gam, pages[0]);
         assert_eq!(unit.extent_count(), 1);
@@ -385,12 +528,18 @@ mod tests {
     #[test]
     fn out_of_space_is_detected() {
         let mut gam = Gam::new(2); // 16 pages total
-        let mut unit = AllocationUnit::new(PageKind::LobData);
+        let mut unit = AllocationUnit::new(PageKind::LobData, 2 * PAGES_PER_EXTENT);
         assert!(unit.allocate_pages(&mut gam, 17).is_err());
         let pages = unit.allocate_pages(&mut gam, 10).unwrap();
         assert_eq!(pages.len(), 10);
         let err = unit.allocate_pages(&mut gam, 7).unwrap_err();
-        assert!(matches!(err, DbError::OutOfSpace { requested_pages: 7, free_pages: 6 }));
+        assert!(matches!(
+            err,
+            DbError::OutOfSpace {
+                requested_pages: 7,
+                free_pages: 6
+            }
+        ));
         // The failed allocation must not have leaked anything.
         assert_eq!(unit.used_pages(), 10);
         assert_eq!(unit.available_pages(&gam), 6);
@@ -400,7 +549,7 @@ mod tests {
     #[should_panic(expected = "freed twice")]
     fn double_free_panics() {
         let mut gam = Gam::new(2);
-        let mut unit = AllocationUnit::new(PageKind::LobData);
+        let mut unit = AllocationUnit::new(PageKind::LobData, 2 * PAGES_PER_EXTENT);
         let pages = unit.allocate_pages(&mut gam, 4).unwrap();
         unit.free_page(&mut gam, pages[0]);
         unit.free_page(&mut gam, pages[0]);
@@ -409,9 +558,43 @@ mod tests {
     #[test]
     fn zero_page_allocations_are_empty() {
         let mut gam = Gam::new(2);
-        let mut unit = AllocationUnit::new(PageKind::RowData);
+        let mut unit = AllocationUnit::new(PageKind::RowData, 2 * PAGES_PER_EXTENT);
         assert!(unit.allocate_pages(&mut gam, 0).unwrap().is_empty());
         assert_eq!(unit.kind(), PageKind::RowData);
         assert_eq!(unit.extents().count(), 0);
+    }
+
+    #[test]
+    fn best_fit_starts_new_runs_in_the_snuggest_hole() {
+        let mut gam = Gam::with_policy(100, AllocationPolicy::Fit(FitPolicy::BestFit));
+        let mut unit = AllocationUnit::with_policy(
+            PageKind::LobData,
+            TEST_PAGES,
+            AllocationPolicy::Fit(FitPolicy::BestFit),
+        );
+        let a = unit.allocate_pages(&mut gam, 32).unwrap();
+        // Carve two holes: a 1-page hole at page 5 and a 3-page hole at 16..19.
+        unit.free_page(&mut gam, a[5]);
+        for page in &a[16..19] {
+            unit.free_page(&mut gam, *page);
+        }
+        // A 1-page object goes to the snuggest hole (page 5), not the lowest
+        // eligible position of first fit.
+        let b = unit.allocate_pages(&mut gam, 1).unwrap();
+        assert_eq!(b, vec![PageId(5)]);
+    }
+
+    #[test]
+    fn allocate_pages_high_takes_the_tail_of_the_file() {
+        let mut gam = Gam::new(10);
+        let mut unit = AllocationUnit::new(PageKind::RowData, 10 * PAGES_PER_EXTENT);
+        let pages = unit.allocate_pages_high(&mut gam, 3).unwrap();
+        let last = 10 * PAGES_PER_EXTENT - 1;
+        assert_eq!(
+            pages,
+            vec![PageId(last), PageId(last - 1), PageId(last - 2)]
+        );
+        assert_eq!(unit.extent_count(), 1);
+        assert!(!gam.is_free(ExtentId(9)));
     }
 }

@@ -38,7 +38,12 @@ pub struct BlobRecord {
 impl BlobRecord {
     /// Creates a record for a freshly inserted object.
     pub fn new(id: BlobId, key: impl Into<String>, size_bytes: u64, pages: Vec<PageId>) -> Self {
-        BlobRecord { id, key: key.into(), size_bytes, pages }
+        BlobRecord {
+            id,
+            key: key.into(),
+            size_bytes,
+            pages,
+        }
     }
 
     /// Number of physically discontiguous page runs (1 = contiguous).
@@ -60,7 +65,9 @@ impl BlobRecord {
     pub fn byte_runs(&self, page_size: u64, base_offset: u64) -> Vec<ByteRun> {
         page_runs(&self.pages)
             .into_iter()
-            .map(|(first, count)| ByteRun::new(base_offset + first.0 * page_size, count * page_size))
+            .map(|(first, count)| {
+                ByteRun::new(base_offset + first.0 * page_size, count * page_size)
+            })
             .collect()
     }
 }
@@ -84,14 +91,25 @@ mod tests {
 
     #[test]
     fn byte_runs_cover_whole_pages() {
-        let record = BlobRecord::new(BlobId(1), "k", 10_000, vec![PageId(2), PageId(3), PageId(9)]);
+        let record = BlobRecord::new(
+            BlobId(1),
+            "k",
+            10_000,
+            vec![PageId(2), PageId(3), PageId(9)],
+        );
         let runs = record.byte_runs(8192, 1_000_000);
         assert_eq!(
             runs,
-            vec![ByteRun::new(1_000_000 + 2 * 8192, 2 * 8192), ByteRun::new(1_000_000 + 9 * 8192, 8192)]
+            vec![
+                ByteRun::new(1_000_000 + 2 * 8192, 2 * 8192),
+                ByteRun::new(1_000_000 + 9 * 8192, 8192)
+            ]
         );
         let transferred: u64 = runs.iter().map(|r| r.len).sum();
-        assert!(transferred >= record.size_bytes, "page reads cover at least the payload");
+        assert!(
+            transferred >= record.size_bytes,
+            "page reads cover at least the payload"
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 use std::collections::BTreeMap;
 
+use lor_alloc::AllocationPolicy;
 use lor_disksim::ByteRun;
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +48,10 @@ pub struct EngineConfig {
     /// Byte offset of the data file on the underlying disk (the file is
     /// modelled as one contiguous preallocation).
     pub base_offset: u64,
+    /// How the engine places pages and extents.  [`AllocationPolicy::Native`]
+    /// is SQL Server's lowest-first reuse; the fit policies exist for the
+    /// cross-substrate ablation benches.
+    pub allocation_policy: AllocationPolicy,
 }
 
 impl EngineConfig {
@@ -60,6 +65,7 @@ impl EngineConfig {
             rows_per_page: 128,
             ghost_cleanup_interval_ops: 16,
             base_offset: 0,
+            allocation_policy: AllocationPolicy::Native,
         }
     }
 
@@ -89,7 +95,9 @@ impl EngineConfig {
             return Err(DbError::BadConfig("rows per page must be non-zero"));
         }
         if self.total_extents() == 0 {
-            return Err(DbError::BadConfig("data file must hold at least one extent"));
+            return Err(DbError::BadConfig(
+                "data file must hold at least one extent",
+            ));
         }
         Ok(())
     }
@@ -153,11 +161,19 @@ impl Database {
     /// Creates an engine over a fresh data file.
     pub fn create(config: EngineConfig) -> Result<Self, DbError> {
         config.validate()?;
-        let gam = Gam::new(config.total_extents());
+        let gam = Gam::with_policy(config.total_extents(), config.allocation_policy);
         Ok(Database {
             gam,
-            lob_unit: AllocationUnit::new(PageKind::LobData),
-            row_unit: AllocationUnit::new(PageKind::RowData),
+            lob_unit: AllocationUnit::with_policy(
+                PageKind::LobData,
+                config.total_pages(),
+                config.allocation_policy,
+            ),
+            row_unit: AllocationUnit::with_policy(
+                PageKind::RowData,
+                config.total_pages(),
+                config.allocation_policy,
+            ),
             blobs: BTreeMap::new(),
             keys: BTreeMap::new(),
             next_id: 1,
@@ -201,7 +217,10 @@ impl Database {
 
     /// Looks up a record by key.
     pub fn get(&self, key: &str) -> Result<&BlobRecord, DbError> {
-        let id = self.keys.get(key).ok_or_else(|| DbError::NoSuchKey(key.to_string()))?;
+        let id = self
+            .keys
+            .get(key)
+            .ok_or_else(|| DbError::NoSuchKey(key.to_string()))?;
         Ok(&self.blobs[id])
     }
 
@@ -239,10 +258,16 @@ impl Database {
     /// write).  The new version is written before the old version's pages are
     /// ghosted, exactly as a transactional update must.
     pub fn update(&mut self, key: &str, size_bytes: u64) -> Result<DbWriteReceipt, DbError> {
-        let id = *self.keys.get(key).ok_or_else(|| DbError::NoSuchKey(key.to_string()))?;
+        let id = *self
+            .keys
+            .get(key)
+            .ok_or_else(|| DbError::NoSuchKey(key.to_string()))?;
         let new_pages = self.allocate_lob_pages(self.config.pages_for(size_bytes))?;
 
-        let record = self.blobs.get_mut(&id).expect("key map and blob map are consistent");
+        let record = self
+            .blobs
+            .get_mut(&id)
+            .expect("key map and blob map are consistent");
         let old_pages = std::mem::replace(&mut record.pages, new_pages);
         let old_size = std::mem::replace(&mut record.size_bytes, size_bytes);
         let receipt = Self::receipt_for_parts(&self.config, id, &record.pages, size_bytes);
@@ -270,12 +295,20 @@ impl Database {
         // Validate all keys first.
         let mut ids = Vec::with_capacity(items.len());
         for (key, _) in items {
-            ids.push(*self.keys.get(*key).ok_or_else(|| DbError::NoSuchKey(key.to_string()))?);
+            ids.push(
+                *self
+                    .keys
+                    .get(*key)
+                    .ok_or_else(|| DbError::NoSuchKey(key.to_string()))?,
+            );
         }
 
         // Interleave page allocation across the batch.
         let mut new_pages: Vec<Vec<PageId>> = vec![Vec::new(); items.len()];
-        let targets: Vec<u64> = items.iter().map(|(_, size)| self.config.pages_for(*size)).collect();
+        let targets: Vec<u64> = items
+            .iter()
+            .map(|(_, size)| self.config.pages_for(*size))
+            .collect();
         let mut pending = true;
         while pending {
             pending = false;
@@ -283,7 +316,23 @@ impl Database {
                 let have = new_pages[index].len() as u64;
                 if have < *target {
                     let want = self.config.pages_for(chunk_payload).min(target - have);
-                    let pages = self.allocate_lob_pages(want)?;
+                    let pages = match self.allocate_lob_pages(want) {
+                        Ok(pages) => pages,
+                        Err(err) => {
+                            // Abort the whole batch: pages already allocated
+                            // for earlier items belong to no record yet, so
+                            // they must go straight back to the free pool or
+                            // the data file would leak them permanently.
+                            for page in new_pages.iter().flatten() {
+                                self.lob_unit.free_page(&mut self.gam, *page);
+                            }
+                            self.stats.pages_allocated -= new_pages
+                                .iter()
+                                .map(|pages| pages.len() as u64)
+                                .sum::<u64>();
+                            return Err(err);
+                        }
+                    };
                     new_pages[index].extend(pages);
                     if (new_pages[index].len() as u64) < *target {
                         pending = true;
@@ -294,17 +343,24 @@ impl Database {
 
         // Commit: swap page maps, ghost old versions.
         let mut receipts = Vec::with_capacity(items.len());
-        for (((key, size), id), pages) in items.iter().zip(ids).zip(new_pages) {
-            let record = self.blobs.get_mut(&id).expect("key map and blob map are consistent");
+        for (((_, size), id), pages) in items.iter().zip(ids).zip(new_pages) {
+            let record = self
+                .blobs
+                .get_mut(&id)
+                .expect("key map and blob map are consistent");
             let old_pages = std::mem::replace(&mut record.pages, pages);
             let old_size = std::mem::replace(&mut record.size_bytes, *size);
-            receipts.push(Self::receipt_for_parts(&self.config, id, &record.pages, *size));
+            receipts.push(Self::receipt_for_parts(
+                &self.config,
+                id,
+                &record.pages,
+                *size,
+            ));
             self.ghost_pages.extend(old_pages);
             self.stats.updates += 1;
             self.stats.bytes_written += *size;
             self.stats.bytes_deleted += old_size;
             self.bump_op();
-            let _ = key;
         }
         Ok(receipts)
     }
@@ -316,7 +372,10 @@ impl Database {
             .keys
             .remove(key)
             .ok_or_else(|| DbError::NoSuchKey(key.to_string()))?;
-        let record = self.blobs.remove(&id).expect("key map and blob map are consistent");
+        let record = self
+            .blobs
+            .remove(&id)
+            .expect("key map and blob map are consistent");
         self.ghost_pages.extend(record.pages);
         self.row_count -= 1;
         self.stats.deletes += 1;
@@ -328,7 +387,9 @@ impl Database {
     /// The byte runs a full read of the object touches (whole LOB pages, in
     /// logical order).
     pub fn read_plan(&self, key: &str) -> Result<Vec<ByteRun>, DbError> {
-        Ok(self.get(key)?.byte_runs(self.config.page_size, self.config.base_offset))
+        Ok(self
+            .get(key)?
+            .byte_runs(self.config.page_size, self.config.base_offset))
     }
 
     /// Reclaims all ghost pages, returning fully empty extents to the GAM.
@@ -351,7 +412,11 @@ impl Database {
 
     /// Per-object fragment counts (the paper's headline metric).
     pub fn fragmentation(&self) -> lor_alloc::FragmentationSummary {
-        let counts: Vec<u64> = self.blobs.values().map(|b| b.fragment_count() as u64).collect();
+        let counts: Vec<u64> = self
+            .blobs
+            .values()
+            .map(|b| b.fragment_count() as u64)
+            .collect();
         lor_alloc::FragmentationSummary::from_counts(&counts)
     }
 
@@ -363,9 +428,18 @@ impl Database {
     /// recommending for LOB data ("create a new table in a new file group,
     /// copy the old records to the new table and drop the old table").
     pub fn rebuild_into_new_filegroup(&mut self) -> Result<u64, DbError> {
-        let mut new_gam = Gam::new(self.config.total_extents());
-        let mut new_lob = AllocationUnit::new(PageKind::LobData);
-        let mut new_row = AllocationUnit::new(PageKind::RowData);
+        let mut new_gam =
+            Gam::with_policy(self.config.total_extents(), self.config.allocation_policy);
+        let mut new_lob = AllocationUnit::with_policy(
+            PageKind::LobData,
+            self.config.total_pages(),
+            self.config.allocation_policy,
+        );
+        let mut new_row = AllocationUnit::with_policy(
+            PageKind::RowData,
+            self.config.total_pages(),
+            self.config.allocation_policy,
+        );
 
         // Row pages for the clustered index of the copied table.
         let row_pages_needed = self.row_count.div_ceil(self.config.rows_per_page);
@@ -377,7 +451,10 @@ impl Database {
         // Copy in key order (a clustered-index scan of the old table).
         let ordered: Vec<BlobId> = self.keys.values().copied().collect();
         for id in ordered {
-            let record = self.blobs.get_mut(&id).expect("key map and blob map are consistent");
+            let record = self
+                .blobs
+                .get_mut(&id)
+                .expect("key map and blob map are consistent");
             let pages = new_lob.allocate_pages(&mut new_gam, record.page_count())?;
             record.pages = pages;
             copied += record.size_bytes;
@@ -419,14 +496,27 @@ impl Database {
         Self::receipt_for_parts(&self.config, record.id, &record.pages, record.size_bytes)
     }
 
-    fn receipt_for_parts(config: &EngineConfig, id: BlobId, pages: &[PageId], size_bytes: u64) -> DbWriteReceipt {
+    fn receipt_for_parts(
+        config: &EngineConfig,
+        id: BlobId,
+        pages: &[PageId],
+        size_bytes: u64,
+    ) -> DbWriteReceipt {
         let runs = crate::page::page_runs(pages)
             .into_iter()
             .map(|(first, count)| {
-                ByteRun::new(config.base_offset + first.0 * config.page_size, count * config.page_size)
+                ByteRun::new(
+                    config.base_offset + first.0 * config.page_size,
+                    count * config.page_size,
+                )
             })
             .collect();
-        DbWriteReceipt { blob_id: id, runs, bytes_written: size_bytes, pages_written: pages.len() as u64 }
+        DbWriteReceipt {
+            blob_id: id,
+            runs,
+            bytes_written: size_bytes,
+            pages_written: pages.len() as u64,
+        }
     }
 
     fn bump_op(&mut self) {
@@ -463,10 +553,26 @@ mod tests {
 
     #[test]
     fn bad_configs_are_rejected() {
-        assert!(Database::create(EngineConfig { page_size: 0, ..EngineConfig::new(MB) }).is_err());
-        assert!(Database::create(EngineConfig { lob_payload_per_page: 0, ..EngineConfig::new(MB) }).is_err());
-        assert!(Database::create(EngineConfig { lob_payload_per_page: 9000, ..EngineConfig::new(MB) }).is_err());
-        assert!(Database::create(EngineConfig { rows_per_page: 0, ..EngineConfig::new(MB) }).is_err());
+        assert!(Database::create(EngineConfig {
+            page_size: 0,
+            ..EngineConfig::new(MB)
+        })
+        .is_err());
+        assert!(Database::create(EngineConfig {
+            lob_payload_per_page: 0,
+            ..EngineConfig::new(MB)
+        })
+        .is_err());
+        assert!(Database::create(EngineConfig {
+            lob_payload_per_page: 9000,
+            ..EngineConfig::new(MB)
+        })
+        .is_err());
+        assert!(Database::create(EngineConfig {
+            rows_per_page: 0,
+            ..EngineConfig::new(MB)
+        })
+        .is_err());
         assert!(Database::create(EngineConfig::new(1000)).is_err());
     }
 
@@ -498,7 +604,10 @@ mod tests {
         let mut db = small_db();
         db.insert("a", 1000).unwrap();
         assert!(matches!(db.insert("a", 1000), Err(DbError::KeyExists(_))));
-        assert!(matches!(db.update("ghost", 1000), Err(DbError::NoSuchKey(_))));
+        assert!(matches!(
+            db.update("ghost", 1000),
+            Err(DbError::NoSuchKey(_))
+        ));
         assert!(matches!(db.delete("ghost"), Err(DbError::NoSuchKey(_))));
         assert!(matches!(db.read_plan("ghost"), Err(DbError::NoSuchKey(_))));
     }
@@ -568,6 +677,38 @@ mod tests {
     }
 
     #[test]
+    fn failed_batch_update_leaks_no_pages() {
+        let mut config = EngineConfig::new(16 * MB);
+        config.ghost_cleanup_interval_ops = 1_000_000; // manual
+        let mut db = Database::create(config).unwrap();
+        db.insert("a", 5 * MB).unwrap();
+        db.insert("b", 5 * MB).unwrap();
+        let free_before = db.free_bytes();
+        let pages_before = db.stats().pages_allocated;
+
+        // Replacing both concurrently needs old + new versions simultaneously
+        // (~20 MB in a 16 MB file, no ghosts to reclaim): the batch fails
+        // mid-allocation and must roll every already-allocated page back.
+        let err = db
+            .update_batch(&[("a", 5 * MB), ("b", 5 * MB)], 64 * 1024)
+            .unwrap_err();
+        assert!(matches!(err, DbError::OutOfSpace { .. }));
+        assert_eq!(db.free_bytes(), free_before, "no pages may leak");
+        assert_eq!(db.stats().pages_allocated, pages_before);
+        assert_eq!(
+            db.get("a").unwrap().size_bytes,
+            5 * MB,
+            "originals untouched"
+        );
+        assert_eq!(db.get("b").unwrap().size_bytes, 5 * MB);
+        assert_eq!(db.stats().updates, 0);
+
+        // The rolled-back space is genuinely reusable.
+        db.update("a", 4 * MB).unwrap();
+        assert_eq!(db.get("a").unwrap().size_bytes, 4 * MB);
+    }
+
+    #[test]
     fn ghost_cleanup_returns_whole_extents_to_the_gam() {
         let mut config = EngineConfig::new(64 * MB);
         config.ghost_cleanup_interval_ops = 1_000_000; // manual
@@ -575,7 +716,11 @@ mod tests {
         db.insert("a", 4 * MB).unwrap();
         let free_before = db.lob_unit.available_pages(&db.gam);
         db.delete("a").unwrap();
-        assert_eq!(db.lob_unit.available_pages(&db.gam), free_before, "ghosts are not yet free");
+        assert_eq!(
+            db.lob_unit.available_pages(&db.gam),
+            free_before,
+            "ghosts are not yet free"
+        );
         db.ghost_cleanup();
         assert!(db.lob_unit.available_pages(&db.gam) > free_before);
         assert_eq!(db.ghost_page_count(), 0);
@@ -596,7 +741,10 @@ mod tests {
     #[test]
     fn out_of_space_is_reported() {
         let mut db = Database::create(EngineConfig::new(4 * MB)).unwrap();
-        assert!(matches!(db.insert("too-big", 16 * MB), Err(DbError::OutOfSpace { .. })));
+        assert!(matches!(
+            db.insert("too-big", 16 * MB),
+            Err(DbError::OutOfSpace { .. })
+        ));
         // The failed insert leaves no trace.
         assert_eq!(db.object_count(), 0);
         assert!(db.get("too-big").is_err());
@@ -610,7 +758,11 @@ mod tests {
         for i in 0..9 {
             db.insert(&format!("k{i}"), 1000).unwrap();
         }
-        assert_eq!(db.stats().row_pages, 3, "9 rows at 4 rows/page need 3 pages");
+        assert_eq!(
+            db.stats().row_pages,
+            3,
+            "9 rows at 4 rows/page need 3 pages"
+        );
     }
 
     #[test]

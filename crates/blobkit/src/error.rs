@@ -25,8 +25,14 @@ impl fmt::Display for DbError {
         match self {
             DbError::KeyExists(key) => write!(f, "an object with key {key:?} already exists"),
             DbError::NoSuchKey(key) => write!(f, "no object with key {key:?}"),
-            DbError::OutOfSpace { requested_pages, free_pages } => {
-                write!(f, "data file out of space: requested {requested_pages} pages, {free_pages} free")
+            DbError::OutOfSpace {
+                requested_pages,
+                free_pages,
+            } => {
+                write!(
+                    f,
+                    "data file out of space: requested {requested_pages} pages, {free_pages} free"
+                )
             }
             DbError::BadConfig(what) => write!(f, "bad engine configuration: {what}"),
         }
@@ -41,9 +47,18 @@ mod tests {
 
     #[test]
     fn messages_identify_the_problem() {
-        assert!(DbError::KeyExists("k".into()).to_string().contains("already exists"));
-        assert!(DbError::NoSuchKey("k".into()).to_string().contains("no object"));
-        assert!(DbError::OutOfSpace { requested_pages: 9, free_pages: 1 }.to_string().contains("9 pages"));
+        assert!(DbError::KeyExists("k".into())
+            .to_string()
+            .contains("already exists"));
+        assert!(DbError::NoSuchKey("k".into())
+            .to_string()
+            .contains("no object"));
+        assert!(DbError::OutOfSpace {
+            requested_pages: 9,
+            free_pages: 1
+        }
+        .to_string()
+        .contains("9 pages"));
         assert!(DbError::BadConfig("x").to_string().contains("x"));
     }
 }

@@ -94,7 +94,9 @@ pub fn page_runs(pages: &[PageId]) -> Vec<(PageId, u64)> {
     let mut runs: Vec<(PageId, u64)> = Vec::new();
     for &page in pages {
         match runs.last_mut() {
-            Some((first, count)) if PageId(first.0 + *count - 1).is_followed_by(page) => *count += 1,
+            Some((first, count)) if PageId(first.0 + *count - 1).is_followed_by(page) => {
+                *count += 1
+            }
             _ => runs.push((page, 1)),
         }
     }
@@ -136,7 +138,14 @@ mod tests {
 
     #[test]
     fn run_grouping() {
-        let runs = page_runs(&[PageId(3), PageId(4), PageId(10), PageId(11), PageId(12), PageId(2)]);
+        let runs = page_runs(&[
+            PageId(3),
+            PageId(4),
+            PageId(10),
+            PageId(11),
+            PageId(12),
+            PageId(2),
+        ]);
         assert_eq!(runs, vec![(PageId(3), 2), (PageId(10), 3), (PageId(2), 1)]);
         assert!(page_runs(&[]).is_empty());
     }

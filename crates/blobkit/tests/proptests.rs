@@ -3,8 +3,32 @@
 
 use std::collections::BTreeMap;
 
-use lor_blobkit::{Database, EngineConfig, PageId};
+use lor_blobkit::{AllocationUnit, Database, EngineConfig, Gam, PageId, PAGES_PER_EXTENT};
+use lor_core_free_space_oracle::combined_free_runs;
 use proptest::prelude::*;
+
+/// Helpers for cross-validating the engine's run-indexed free-space maps
+/// against the exhaustive bitmap oracle.
+mod lor_core_free_space_oracle {
+    use lor_alloc::{Extent, ExtentListExt, FreeSpace};
+    use lor_blobkit::{AllocationUnit, Gam, PAGES_PER_EXTENT};
+
+    /// The engine's page-granular free space, merged across its two levels:
+    /// free pages inside the unit's assigned extents, plus every page of
+    /// every unassigned extent in the GAM.  Returned sorted and coalesced,
+    /// i.e. in the same canonical form `FreeSpace::free_runs` uses.
+    pub fn combined_free_runs(unit: &AllocationUnit, gam: &Gam) -> Vec<Extent> {
+        let mut runs: Vec<Extent> = unit.free_space().free_runs();
+        runs.extend(
+            gam.free_space()
+                .free_runs()
+                .into_iter()
+                .map(|run| Extent::new(run.start * PAGES_PER_EXTENT, run.len * PAGES_PER_EXTENT)),
+        );
+        runs.sort_by_key(|run| run.start);
+        runs.coalesced()
+    }
+}
 
 const MB: u64 = 1 << 20;
 const FILE_BYTES: u64 = 64 * MB;
@@ -44,7 +68,10 @@ fn check_invariants(db: &Database, live: &BTreeMap<String, u64>) -> Result<(), T
         // No page is shared between live objects.
         for page in &record.pages {
             prop_assert!(seen_pages.insert(*page), "page {page} stored twice");
-            prop_assert!(page.0 < db.config().total_pages(), "page {page} outside the data file");
+            prop_assert!(
+                page.0 < db.config().total_pages(),
+                "page {page} outside the data file"
+            );
         }
         // The read plan covers exactly the object's pages.
         let plan = db.read_plan(key).unwrap();
@@ -162,5 +189,144 @@ proptest! {
             "bulk load produced {} fragments/object",
             summary.fragments_per_object
         );
+    }
+}
+
+/// One operation of the engine's space-management workload, expressed at the
+/// GAM/allocation-unit level so the same sequence can drive a [`BitmapMap`]
+/// oracle in lock-step.
+#[derive(Debug, Clone)]
+enum SpaceOp {
+    /// Insert: allocate pages for a new object.
+    Insert { pages: u64 },
+    /// Update: allocate pages for the replacement version first (as the
+    /// transactional update must), then ghost-free the old version's pages.
+    Update { index: usize, pages: u64 },
+    /// Ghost cleanup of a deleted object: free its pages.
+    Cleanup { index: usize },
+}
+
+fn arb_space_op() -> impl Strategy<Value = SpaceOp> {
+    prop_oneof![
+        4 => (1u64..48).prop_map(|pages| SpaceOp::Insert { pages }),
+        3 => (0usize..64, 1u64..48).prop_map(|(index, pages)| SpaceOp::Update { index, pages }),
+        2 => (0usize..64).prop_map(|index| SpaceOp::Cleanup { index }),
+    ]
+}
+
+/// Drives one GAM + allocation unit under `policy` through an op sequence in
+/// lock-step with the exhaustive [`BitmapMap`] oracle (see the proptest
+/// below).
+fn check_against_oracle(
+    policy: lor_alloc::AllocationPolicy,
+    ops: &[SpaceOp],
+) -> Result<(), TestCaseError> {
+    use lor_alloc::{BitmapMap, Extent, FreeSpace};
+
+    const TOTAL_EXTENTS: u64 = 64;
+    const TOTAL_PAGES: u64 = TOTAL_EXTENTS * PAGES_PER_EXTENT;
+
+    let mut gam = Gam::with_policy(TOTAL_EXTENTS, policy);
+    let mut unit = AllocationUnit::with_policy(lor_blobkit::PageKind::LobData, TOTAL_PAGES, policy);
+    let mut oracle = BitmapMap::new_free(TOTAL_PAGES);
+    let mut live: Vec<Vec<PageId>> = Vec::new();
+
+    for op in ops.iter().cloned() {
+        match op {
+            SpaceOp::Insert { pages } => {
+                if let Ok(allocated) = unit.allocate_pages(&mut gam, pages) {
+                    for page in &allocated {
+                        oracle
+                            .reserve(Extent::new(page.0, 1))
+                            .expect("oracle agrees the page was free");
+                    }
+                    live.push(allocated);
+                }
+            }
+            SpaceOp::Update { index, pages } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let slot = index % live.len();
+                if let Ok(allocated) = unit.allocate_pages(&mut gam, pages) {
+                    for page in &allocated {
+                        oracle
+                            .reserve(Extent::new(page.0, 1))
+                            .expect("oracle agrees the page was free");
+                    }
+                    let ghosts = std::mem::replace(&mut live[slot], allocated);
+                    for page in ghosts {
+                        unit.free_page(&mut gam, page);
+                        oracle
+                            .release(Extent::new(page.0, 1))
+                            .expect("oracle agrees the page was used");
+                    }
+                }
+            }
+            SpaceOp::Cleanup { index } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let ghosts = live.swap_remove(index % live.len());
+                for page in ghosts {
+                    unit.free_page(&mut gam, page);
+                    oracle
+                        .release(Extent::new(page.0, 1))
+                        .expect("oracle agrees the page was used");
+                }
+            }
+        }
+
+        // The two run-indexed levels, merged, must agree exactly with the
+        // exhaustive bitmap.
+        prop_assert_eq!(
+            unit.free_page_count() + gam.free_extent_count() * PAGES_PER_EXTENT,
+            oracle.free_clusters(),
+            "free-page accounting diverged from the oracle"
+        );
+        prop_assert_eq!(combined_free_runs(&unit, &gam), oracle.free_runs());
+        // Structural invariant of the split: a unit page is free only
+        // inside an assigned extent, never in a GAM-free one.
+        for run in unit.free_space().free_runs() {
+            for extent in gam.free_space().free_runs() {
+                let extent_pages = Extent::new(
+                    extent.start * PAGES_PER_EXTENT,
+                    extent.len * PAGES_PER_EXTENT,
+                );
+                prop_assert!(
+                    !run.overlaps(&extent_pages),
+                    "unit and GAM both claim pages free"
+                );
+            }
+        }
+    }
+
+    // Teardown: free everything and both levels drain back to fully free.
+    for object in live.drain(..) {
+        for page in object {
+            unit.free_page(&mut gam, page);
+            oracle
+                .release(Extent::new(page.0, 1))
+                .expect("oracle agrees the page was used");
+        }
+    }
+    prop_assert_eq!(gam.free_extent_count(), TOTAL_EXTENTS);
+    prop_assert_eq!(unit.free_page_count(), 0);
+    prop_assert_eq!(oracle.free_runs(), vec![Extent::new(0, TOTAL_PAGES)]);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The run-indexed maps the engine's space management now sits on stay
+    /// equivalent to the exhaustive [`BitmapMap`] oracle under blobkit's
+    /// insert / update / ghost-cleanup sequences — under every selectable
+    /// allocation policy, not just the native lowest-first one.
+    #[test]
+    fn unit_free_space_matches_bitmap_oracle(ops in prop::collection::vec(arb_space_op(), 1..80)) {
+        for policy in lor_alloc::AllocationPolicy::ALL {
+            check_against_oracle(policy, &ops)?;
+        }
     }
 }

@@ -1,0 +1,174 @@
+//! Offline stub of `criterion`.
+//!
+//! The build environment has no crate registry access, so the real criterion
+//! cannot be vendored.  This stub keeps every bench target compiling and
+//! runnable under `cargo bench`: each benchmark runs its routine a small
+//! fixed number of times and prints the mean wall-clock duration.  It does no
+//! statistical analysis, outlier rejection, or HTML reporting; swap in the
+//! real criterion when a registry is available to get those back.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Samples per benchmark in the stub runner (the real criterion's
+/// `sample_size` is accepted but intentionally not honoured, to keep
+/// `cargo bench` fast on simulation-heavy benches).
+const STUB_SAMPLES: u32 = 3;
+
+/// Top-level benchmark driver, as `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub always runs a fixed number of
+    /// samples.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub does not report throughput.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark routine.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.to_string(), |bencher| routine(bencher));
+        self
+    }
+
+    /// Runs one benchmark routine parameterised by an input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.to_string(), |bencher| routine(bencher, input));
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(&mut self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut routine: F) {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        let mean = if bencher.iterations > 0 {
+            bencher.elapsed / bencher.iterations
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{}/{}: {:?} per iteration ({} samples)",
+            self.name, id, mean, bencher.iterations
+        );
+    }
+}
+
+/// Times closures handed to it by a benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Runs the routine a fixed number of times, timing each run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..STUB_SAMPLES {
+            let start = Instant::now();
+            let output = routine();
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+            drop(output);
+        }
+    }
+}
+
+/// Identifier of a parameterised benchmark, as `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Throughput hint, accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes moved per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Prevents the optimiser from eliding a value, as `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point over group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

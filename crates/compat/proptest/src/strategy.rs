@@ -1,0 +1,238 @@
+//! Strategies: composable descriptions of how to generate random values.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A way of generating values of an associated type from a random stream.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the generated value through a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Coerces a concrete strategy into a boxed trait object (used by
+/// [`crate::prop_oneof!`] to mix strategies of different concrete types).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot generate from empty range");
+                let span = (self.end - self.start) as u128;
+                self.start + ((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot generate from empty range");
+                let span = (end - start) as u128 + 1;
+                start + ((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Weighted choice between boxed alternatives (see [`crate::prop_oneof!`]).
+pub struct OneOf<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total_weight: u64,
+}
+
+impl<T> OneOf<T> {
+    /// Creates a weighted choice; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total_weight: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs at least one positive weight"
+        );
+        OneOf { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total_weight;
+        for (weight, arm) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return arm.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights cover the sampled value")
+    }
+}
+
+/// Strategy generating the full range of a primitive type (see [`any`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Returns the canonical strategy for a primitive type, as `proptest::arbitrary::any`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize);
+
+/// Permitted element counts for [`vec`].
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange {
+            min: range.start,
+            max_exclusive: range.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max_exclusive: exact + 1,
+        }
+    }
+}
+
+/// Strategy for vectors of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max_exclusive - self.size.min) as u64;
+        let len = self.size.min + (rng.next_u64() % span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for vectors whose length lies in `size` (as
+/// `proptest::collection::vec`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

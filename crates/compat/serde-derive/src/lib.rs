@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment for this repository has no access to a crate
+//! registry, so the real `serde` cannot be vendored.  Nothing in the
+//! workspace actually serialises data through serde (the `figures` binary
+//! writes JSON by hand), so the derives can safely expand to nothing: the
+//! `#[derive(Serialize, Deserialize)]` annotations across the workspace
+//! remain in place, ready for the real serde when a registry is available.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,18 @@
+//! Offline stub of `serde`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on its public types so
+//! that downstream users can serialise experiment results, but nothing inside
+//! the workspace calls serde at runtime.  The build environment has no crate
+//! registry access, so this stub provides the two trait names and re-exports
+//! the no-op derive macros from the sibling `serde_derive` stub.  Swapping in
+//! the real serde later requires only a `Cargo.toml` change.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}

@@ -48,7 +48,9 @@ impl DbObjectStore {
     /// Creates a store from an explicit configuration.
     pub fn with_config(config: DbStoreConfig) -> Result<Self, StoreError> {
         if config.write_request_size == 0 {
-            return Err(StoreError::BadConfig("write request size must be non-zero".into()));
+            return Err(StoreError::BadConfig(
+                "write request size must be non-zero".into(),
+            ));
         }
         let db = Database::create(config.engine)?;
         Ok(DbObjectStore {
@@ -84,14 +86,25 @@ impl DbObjectStore {
         self.clock.advance(disk_time.total() + host_time);
     }
 
-    fn write_receipt(&mut self, runs: Vec<lor_disksim::ByteRun>, pages: u64, size_bytes: u64) -> OpReceipt {
+    fn write_receipt(
+        &mut self,
+        runs: Vec<lor_disksim::ByteRun>,
+        pages: u64,
+        size_bytes: u64,
+    ) -> OpReceipt {
         let request = IoRequest::write_runs(runs);
         let transferred = request.total_bytes();
         let fragments = request.coalesced().fragment_count() as u64;
         let disk_time = self.disk.service(&request);
         let host_time = self.cost.db_write_host_time(pages, size_bytes);
         self.charge(disk_time, host_time);
-        OpReceipt { payload_bytes: size_bytes, transferred_bytes: transferred, disk_time, host_time, fragments }
+        OpReceipt {
+            payload_bytes: size_bytes,
+            transferred_bytes: transferred,
+            disk_time,
+            host_time,
+            fragments,
+        }
     }
 }
 
@@ -116,7 +129,13 @@ impl ObjectStore for DbObjectStore {
         let disk_time = self.disk.service(&request);
         let host_time = self.cost.db_read_host_time(pages, size);
         self.charge(disk_time, host_time);
-        Ok(OpReceipt { payload_bytes: size, transferred_bytes: transferred, disk_time, host_time, fragments })
+        Ok(OpReceipt {
+            payload_bytes: size,
+            transferred_bytes: transferred,
+            disk_time,
+            host_time,
+            fragments,
+        })
     }
 
     fn safe_write(&mut self, key: &str, size_bytes: u64) -> Result<OpReceipt, StoreError> {
@@ -129,7 +148,9 @@ impl ObjectStore for DbObjectStore {
         let receipts = self.db.update_batch(&borrowed, self.write_request_size)?;
         let out = receipts
             .into_iter()
-            .map(|receipt| self.write_receipt(receipt.runs, receipt.pages_written, receipt.bytes_written))
+            .map(|receipt| {
+                self.write_receipt(receipt.runs, receipt.pages_written, receipt.bytes_written)
+            })
             .collect();
         Ok(out)
     }
@@ -138,7 +159,10 @@ impl ObjectStore for DbObjectStore {
         self.db.delete(key)?;
         let host_time = self.cost.db_lookup_time;
         self.charge(ServiceTime::default(), host_time);
-        Ok(OpReceipt { host_time, ..OpReceipt::default() })
+        Ok(OpReceipt {
+            host_time,
+            ..OpReceipt::default()
+        })
     }
 
     fn contains(&self, key: &str) -> bool {
@@ -186,9 +210,16 @@ impl ObjectStore for DbObjectStore {
         let objects = self.db.object_count() as u64;
         let copied = self.db.rebuild_into_new_filegroup()?;
         // The rebuild reads every object and writes it back sequentially.
-        let transfer_rate = self.disk.config().transfer_rate_at(self.disk.config().capacity_bytes / 2);
+        let transfer_rate = self
+            .disk
+            .config()
+            .transfer_rate_at(self.disk.config().capacity_bytes / 2);
         let copy_time = SimDuration::from_secs_f64(2.0 * copied as f64 / transfer_rate);
-        let positioning = (self.disk.config().seek.seek_time(self.disk.config().seek.cylinders / 3)
+        let positioning = (self
+            .disk
+            .config()
+            .seek
+            .seek_time(self.disk.config().seek.cylinders / 3)
             + self.disk.config().average_rotational_latency())
             * objects;
         self.charge(ServiceTime::default(), copy_time + positioning);
@@ -252,7 +283,9 @@ mod tests {
         // Age it a little so the rebuild has something to repair.
         for round in 0..4 {
             for i in 0..16 {
-                store.safe_write(&format!("o{}", (i * 5 + round) % 16), MB).unwrap();
+                store
+                    .safe_write(&format!("o{}", (i * 5 + round) % 16), MB)
+                    .unwrap();
             }
         }
         let copied = store.maintenance().unwrap();
@@ -264,11 +297,20 @@ mod tests {
     #[test]
     fn errors_map_to_store_errors() {
         let mut store = store();
-        assert!(matches!(store.get("missing"), Err(StoreError::NoSuchObject(_))));
+        assert!(matches!(
+            store.get("missing"),
+            Err(StoreError::NoSuchObject(_))
+        ));
         store.put("a", MB).unwrap();
-        assert!(matches!(store.put("a", MB), Err(StoreError::ObjectExists(_))));
+        assert!(matches!(
+            store.put("a", MB),
+            Err(StoreError::ObjectExists(_))
+        ));
         let mut tiny = DbObjectStore::new(8 * MB).unwrap();
-        assert!(matches!(tiny.put("big", 64 * MB), Err(StoreError::OutOfSpace(_))));
+        assert!(matches!(
+            tiny.put("big", 64 * MB),
+            Err(StoreError::OutOfSpace(_))
+        ));
     }
 
     #[test]

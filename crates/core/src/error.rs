@@ -74,16 +74,30 @@ mod tests {
 
     #[test]
     fn space_errors_map_to_out_of_space() {
-        let err: StoreError = FsError::Alloc(AllocError::OutOfSpace { requested: 5, available: 1 }).into();
+        let err: StoreError = FsError::Alloc(AllocError::OutOfSpace {
+            requested: 5,
+            available: 1,
+        })
+        .into();
         assert!(matches!(err, StoreError::OutOfSpace(_)));
-        let err: StoreError = DbError::OutOfSpace { requested_pages: 5, free_pages: 1 }.into();
+        let err: StoreError = DbError::OutOfSpace {
+            requested_pages: 5,
+            free_pages: 1,
+        }
+        .into();
         assert!(matches!(err, StoreError::OutOfSpace(_)));
     }
 
     #[test]
     fn display_is_informative() {
-        assert!(StoreError::BadConfig("volume too small".into()).to_string().contains("volume too small"));
-        assert!(StoreError::Filesystem("x".into()).to_string().contains("filesystem"));
-        assert!(StoreError::Database("x".into()).to_string().contains("database"));
+        assert!(StoreError::BadConfig("volume too small".into())
+            .to_string()
+            .contains("volume too small"));
+        assert!(StoreError::Filesystem("x".into())
+            .to_string()
+            .contains("filesystem"));
+        assert!(StoreError::Database("x".into())
+            .to_string()
+            .contains("database"));
     }
 }

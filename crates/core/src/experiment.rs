@@ -14,6 +14,7 @@
 //! `lor-bench` are thin wrappers that vary object size, size distribution,
 //! volume size and occupancy.
 
+use lor_alloc::AllocationPolicy;
 use lor_disksim::throughput_mb_per_sec;
 use serde::{Deserialize, Serialize};
 
@@ -21,7 +22,9 @@ use crate::db_store::{DbObjectStore, DbStoreConfig};
 use crate::error::StoreError;
 use crate::fs_store::{FsObjectStore, FsStoreConfig};
 use crate::store::{CostModel, ObjectStore, StoreKind};
-use crate::workload::{SizeDistribution, StorageAgeTracker, WorkloadGenerator, WorkloadOp, WorkloadSpec};
+use crate::workload::{
+    SizeDistribution, StorageAgeTracker, WorkloadGenerator, WorkloadOp, WorkloadSpec,
+};
 
 /// The simulated testbed, standing in for the paper's Table 1.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,19 +39,35 @@ impl TestbedConfig {
         let disk = lor_disksim::DiskConfig::seagate_400gb_2005();
         TestbedConfig {
             rows: vec![
-                ("CPU / host".into(), "simulated host; fixed per-operation CPU costs (CostModel)".into()),
+                (
+                    "CPU / host".into(),
+                    "simulated host; fixed per-operation CPU costs (CostModel)".into(),
+                ),
                 ("Disk".into(), disk.model.clone()),
                 ("Spindle speed".into(), format!("{} rpm", disk.rpm)),
                 (
                     "Media transfer rate".into(),
                     format!(
                         "{:.0}-{:.0} MB/s (outer to inner zone)",
-                        disk.zones.first().map(|z| z.transfer_rate / 1e6).unwrap_or(0.0),
-                        disk.zones.last().map(|z| z.transfer_rate / 1e6).unwrap_or(0.0)
+                        disk.zones
+                            .first()
+                            .map(|z| z.transfer_rate / 1e6)
+                            .unwrap_or(0.0),
+                        disk.zones
+                            .last()
+                            .map(|z| z.transfer_rate / 1e6)
+                            .unwrap_or(0.0)
                     ),
                 ),
-                ("Filesystem".into(), "lor-fskit (NTFS-like: run-cache allocation, safe writes)".into()),
-                ("Database".into(), "lor-blobkit (SQL-Server-like: 8KB pages, out-of-row BLOBs, bulk-logged)".into()),
+                (
+                    "Filesystem".into(),
+                    "lor-fskit (NTFS-like: run-cache allocation, safe writes)".into(),
+                ),
+                (
+                    "Database".into(),
+                    "lor-blobkit (SQL-Server-like: 8KB pages, out-of-row BLOBs, bulk-logged)"
+                        .into(),
+                ),
             ],
         }
     }
@@ -78,6 +97,11 @@ pub struct ExperimentConfig {
     /// during the aging rounds, modelling the web application's parallel
     /// uploads (1 = strictly sequential updates).
     pub concurrency: usize,
+    /// The allocation policy both substrates apply.
+    /// [`AllocationPolicy::Native`] reproduces the paper's systems (the NTFS
+    /// run cache and SQL Server's lowest-first page reuse); the fit policies
+    /// let the ablation benches sweep one policy knob across both stores.
+    pub allocation_policy: AllocationPolicy,
 }
 
 impl ExperimentConfig {
@@ -93,7 +117,14 @@ impl ExperimentConfig {
             seed: 42,
             read_sample: Some(400),
             concurrency: 4,
+            allocation_policy: AllocationPolicy::Native,
         }
+    }
+
+    /// Overrides the allocation policy applied by both substrates.
+    pub fn with_allocation_policy(mut self, policy: AllocationPolicy) -> Self {
+        self.allocation_policy = policy;
+        self
     }
 
     /// Scales the volume down by `factor` (e.g. `0.01` for CI-sized runs),
@@ -120,7 +151,11 @@ impl ExperimentConfig {
 
     /// The workload spec this configuration induces.
     pub fn workload(&self) -> WorkloadSpec {
-        WorkloadSpec { sizes: self.object_size, object_count: self.object_count(), seed: self.seed }
+        WorkloadSpec {
+            sizes: self.object_size,
+            object_count: self.object_count(),
+            seed: self.seed,
+        }
     }
 
     /// Builds a store of the requested kind for this configuration.
@@ -130,12 +165,14 @@ impl ExperimentConfig {
                 let mut config = FsStoreConfig::new(self.volume_bytes);
                 config.write_request_size = self.write_request_size;
                 config.cost = self.cost;
+                config.volume.allocation_policy = self.allocation_policy;
                 Ok(Box::new(FsObjectStore::with_config(config)?))
             }
             StoreKind::Database => {
                 let mut config = DbStoreConfig::new(self.volume_bytes);
                 config.write_request_size = self.write_request_size;
                 config.cost = self.cost;
+                config.engine.allocation_policy = self.allocation_policy;
                 Ok(Box::new(DbObjectStore::with_config(config)?))
             }
         }
@@ -146,16 +183,24 @@ impl ExperimentConfig {
             return Err(StoreError::BadConfig("occupancy must lie in [0, 1]".into()));
         }
         if self.object_size.mean() == 0 {
-            return Err(StoreError::BadConfig("mean object size must be non-zero".into()));
+            return Err(StoreError::BadConfig(
+                "mean object size must be non-zero".into(),
+            ));
         }
         if self.object_size.mean() > self.volume_bytes {
-            return Err(StoreError::BadConfig("objects larger than the volume".into()));
+            return Err(StoreError::BadConfig(
+                "objects larger than the volume".into(),
+            ));
         }
         if self.write_request_size == 0 {
-            return Err(StoreError::BadConfig("write request size must be non-zero".into()));
+            return Err(StoreError::BadConfig(
+                "write request size must be non-zero".into(),
+            ));
         }
         if self.concurrency == 0 {
-            return Err(StoreError::BadConfig("concurrency must be at least 1".into()));
+            return Err(StoreError::BadConfig(
+                "concurrency must be at least 1".into(),
+            ));
         }
         Ok(())
     }
@@ -195,7 +240,11 @@ impl AgingResult {
         self.points
             .iter()
             .filter(|p| p.storage_age <= age + 1e-9)
-            .max_by(|a, b| a.storage_age.partial_cmp(&b.storage_age).expect("ages are finite"))
+            .max_by(|a, b| {
+                a.storage_age
+                    .partial_cmp(&b.storage_age)
+                    .expect("ages are finite")
+            })
     }
 }
 
@@ -251,8 +300,10 @@ pub fn run_aging_experiment(
                     })
                     .collect();
                 for batch in round.chunks(config.concurrency.max(1)) {
-                    let old_sizes: Vec<u64> =
-                        batch.iter().map(|(key, _)| store.size_of(key)).collect::<Result<_, _>>()?;
+                    let old_sizes: Vec<u64> = batch
+                        .iter()
+                        .map(|(key, _)| store.size_of(key))
+                        .collect::<Result<_, _>>()?;
                     store.safe_write_batch(batch)?;
                     for ((_, size), old) in batch.iter().zip(old_sizes) {
                         tracker.record_safe_write(old, *size);
@@ -265,7 +316,11 @@ pub fn run_aging_experiment(
         }
 
         let read_throughput = if measure_reads {
-            Some(measure_read_throughput(store.as_mut(), &mut generator, config.read_sample)?)
+            Some(measure_read_throughput(
+                store.as_mut(),
+                &mut generator,
+                config.read_sample,
+            )?)
         } else {
             None
         };
@@ -279,7 +334,11 @@ pub fn run_aging_experiment(
         });
     }
 
-    Ok(AgingResult { kind, config: config.clone(), points })
+    Ok(AgingResult {
+        kind,
+        config: config.clone(),
+        points,
+    })
 }
 
 /// Measures read throughput with a randomized full-object read pass over (a
@@ -311,7 +370,8 @@ pub fn compare_systems(
     measure_reads: bool,
 ) -> Result<(AgingResult, AgingResult), StoreError> {
     let database = run_aging_experiment(StoreKind::Database, config, measure_ages, measure_reads)?;
-    let filesystem = run_aging_experiment(StoreKind::Filesystem, config, measure_ages, measure_reads)?;
+    let filesystem =
+        run_aging_experiment(StoreKind::Filesystem, config, measure_ages, measure_reads)?;
     Ok((database, filesystem))
 }
 
@@ -333,13 +393,18 @@ mod tests {
             seed: 7,
             read_sample: Some(16),
             concurrency: 4,
+            allocation_policy: AllocationPolicy::Native,
         }
     }
 
     #[test]
     fn testbed_description_mentions_both_systems() {
         let testbed = TestbedConfig::simulated();
-        let text: String = testbed.rows.iter().map(|(k, v)| format!("{k}: {v}\n")).collect();
+        let text: String = testbed
+            .rows
+            .iter()
+            .map(|(k, v)| format!("{k}: {v}\n"))
+            .collect();
         assert!(text.contains("NTFS-like"));
         assert!(text.contains("SQL-Server-like"));
         assert!(text.contains("7200 rpm"));
@@ -365,7 +430,10 @@ mod tests {
     fn object_count_tracks_occupancy() {
         let config = mini_config();
         assert_eq!(config.object_count(), 45);
-        let fuller = ExperimentConfig { occupancy: 0.9, ..mini_config() };
+        let fuller = ExperimentConfig {
+            occupancy: 0.9,
+            ..mini_config()
+        };
         assert!(fuller.object_count() > config.object_count());
         let scaled = config.clone().scaled(0.5);
         assert!(scaled.object_count() < config.object_count());
@@ -381,7 +449,10 @@ mod tests {
         assert!(point.write_throughput_mb_s > 0.0);
         assert!(point.read_throughput_mb_s.unwrap() > 0.0);
         assert!(point.fragments_per_object >= 1.0);
-        assert!(point.fragments_per_object < 1.5, "clean store is nearly contiguous");
+        assert!(
+            point.fragments_per_object < 1.5,
+            "clean store is nearly contiguous"
+        );
         assert_eq!(point.objects, config.object_count());
     }
 
@@ -392,7 +463,10 @@ mod tests {
         let db_aged = db.at_age(4.0).unwrap().fragments_per_object;
         let fs_aged = fs.at_age(4.0).unwrap().fragments_per_object;
         let db_clean = db.at_age(0.0).unwrap().fragments_per_object;
-        assert!(db_aged > db_clean, "database fragmentation must grow with age");
+        assert!(
+            db_aged > db_clean,
+            "database fragmentation must grow with age"
+        );
         assert!(
             db_aged >= fs_aged,
             "database should fragment at least as much as the filesystem ({db_aged} vs {fs_aged})"
@@ -404,10 +478,14 @@ mod tests {
     #[test]
     fn measured_ages_are_sorted_and_deduplicated() {
         let config = mini_config();
-        let result = run_aging_experiment(StoreKind::Filesystem, &config, &[2, 0, 2], false).unwrap();
+        let result =
+            run_aging_experiment(StoreKind::Filesystem, &config, &[2, 0, 2], false).unwrap();
         assert_eq!(result.points.len(), 2);
         assert!(result.points[0].storage_age < result.points[1].storage_age);
         assert!(result.at_age(1.0).is_some());
-        assert_eq!(result.at_age(5.0).unwrap().storage_age, result.points[1].storage_age);
+        assert_eq!(
+            result.at_age(5.0).unwrap().storage_age,
+            result.points[1].storage_age
+        );
     }
 }

@@ -45,7 +45,10 @@ pub fn place_markers(layout: &[ByteRun], interval: u64) -> Vec<Marker> {
         let mut remaining = logical;
         for run in layout {
             if remaining < run.len {
-                markers.push(Marker { logical_offset: logical, physical_offset: run.offset + remaining });
+                markers.push(Marker {
+                    logical_offset: logical,
+                    physical_offset: run.offset + remaining,
+                });
                 break;
             }
             remaining -= run.len;
@@ -65,7 +68,9 @@ pub fn fragments_from_markers(markers: &[Marker]) -> u64 {
     let mut fragments = 1u64;
     for pair in markers.windows(2) {
         let logical_delta = pair[1].logical_offset - pair[0].logical_offset;
-        let physical_delta = pair[1].physical_offset.wrapping_sub(pair[0].physical_offset);
+        let physical_delta = pair[1]
+            .physical_offset
+            .wrapping_sub(pair[0].physical_offset);
         if physical_delta != logical_delta {
             fragments += 1;
         }
@@ -100,7 +105,9 @@ pub struct FragmentationReport {
 }
 
 /// Runs the marker-based analyzer over every live object of a store.
-pub fn analyze_store<S: ObjectStore + ?Sized>(store: &S) -> Result<FragmentationReport, StoreError> {
+pub fn analyze_store<S: ObjectStore + ?Sized>(
+    store: &S,
+) -> Result<FragmentationReport, StoreError> {
     let mut counts = Vec::with_capacity(store.object_count());
     let mut marker_total = 0u64;
     let mut markers_placed = 0u64;
@@ -112,9 +119,16 @@ pub fn analyze_store<S: ObjectStore + ?Sized>(store: &S) -> Result<Fragmentation
         marker_total += fragments_from_markers(&markers);
     }
     let summary = FragmentationSummary::from_counts(&counts);
-    let marker_fragments_per_object =
-        if counts.is_empty() { 0.0 } else { marker_total as f64 / counts.len() as f64 };
-    Ok(FragmentationReport { summary, marker_fragments_per_object, markers_placed })
+    let marker_fragments_per_object = if counts.is_empty() {
+        0.0
+    } else {
+        marker_total as f64 / counts.len() as f64
+    };
+    Ok(FragmentationReport {
+        summary,
+        marker_fragments_per_object,
+        markers_placed,
+    })
 }
 
 #[cfg(test)]
@@ -170,7 +184,11 @@ mod tests {
     fn fragmentation_counts_sub_interval_discontinuities_conservatively() {
         // A discontinuity smaller than the marker interval: the marker tool
         // sees the jump because physical deltas no longer match logical ones.
-        let layout = vec![ByteRun::new(0, 512), ByteRun::new(10_000, 512), ByteRun::new(10_512, 2048)];
+        let layout = vec![
+            ByteRun::new(0, 512),
+            ByteRun::new(10_000, 512),
+            ByteRun::new(10_512, 2048),
+        ];
         assert_eq!(fragments_from_layout(&layout), 2);
         let markers = place_markers(&layout, 1024);
         assert_eq!(fragments_from_markers(&markers), 2);

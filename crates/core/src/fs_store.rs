@@ -48,7 +48,9 @@ impl FsObjectStore {
     /// Creates a store from an explicit configuration.
     pub fn with_config(config: FsStoreConfig) -> Result<Self, StoreError> {
         if config.write_request_size == 0 {
-            return Err(StoreError::BadConfig("write request size must be non-zero".into()));
+            return Err(StoreError::BadConfig(
+                "write request size must be non-zero".into(),
+            ));
         }
         let volume = Volume::format(config.volume)?;
         Ok(FsObjectStore {
@@ -97,14 +99,24 @@ impl ObjectStore for FsObjectStore {
     }
 
     fn put(&mut self, key: &str, size_bytes: u64) -> Result<OpReceipt, StoreError> {
-        let receipt = self.volume.write_file(key, size_bytes, self.write_request_size)?;
+        let receipt = self
+            .volume
+            .write_file(key, size_bytes, self.write_request_size)?;
         let request = IoRequest::write_runs(receipt.runs.iter().copied());
         let transferred = request.total_bytes();
         let disk_time = self.disk.service(&request);
-        let host_time = self.cost.fs_write_host_time(self.write_requests_for(size_bytes));
+        let host_time = self
+            .cost
+            .fs_write_host_time(self.write_requests_for(size_bytes));
         self.charge(disk_time, host_time);
         let fragments = self.volume.file(receipt.file_id)?.fragment_count() as u64;
-        Ok(OpReceipt { payload_bytes: size_bytes, transferred_bytes: transferred, disk_time, host_time, fragments })
+        Ok(OpReceipt {
+            payload_bytes: size_bytes,
+            transferred_bytes: transferred,
+            disk_time,
+            host_time,
+            fragments,
+        })
     }
 
     fn get(&mut self, key: &str) -> Result<OpReceipt, StoreError> {
@@ -126,25 +138,39 @@ impl ObjectStore for FsObjectStore {
     }
 
     fn safe_write(&mut self, key: &str, size_bytes: u64) -> Result<OpReceipt, StoreError> {
-        let receipt = self.volume.safe_write(key, size_bytes, self.write_request_size)?;
+        let receipt = self
+            .volume
+            .safe_write(key, size_bytes, self.write_request_size)?;
         let request = IoRequest::write_runs(receipt.runs.iter().copied());
         let transferred = request.total_bytes();
         let disk_time = self.disk.service(&request);
-        let host_time = self.cost.fs_write_host_time(self.write_requests_for(size_bytes));
+        let host_time = self
+            .cost
+            .fs_write_host_time(self.write_requests_for(size_bytes));
         self.charge(disk_time, host_time);
         let fragments = self.volume.file(receipt.file_id)?.fragment_count() as u64;
-        Ok(OpReceipt { payload_bytes: size_bytes, transferred_bytes: transferred, disk_time, host_time, fragments })
+        Ok(OpReceipt {
+            payload_bytes: size_bytes,
+            transferred_bytes: transferred,
+            disk_time,
+            host_time,
+            fragments,
+        })
     }
 
     fn safe_write_batch(&mut self, items: &[(String, u64)]) -> Result<Vec<OpReceipt>, StoreError> {
         let borrowed: Vec<(&str, u64)> = items.iter().map(|(k, s)| (k.as_str(), *s)).collect();
-        let receipts = self.volume.safe_write_batch(&borrowed, self.write_request_size)?;
+        let receipts = self
+            .volume
+            .safe_write_batch(&borrowed, self.write_request_size)?;
         let mut out = Vec::with_capacity(receipts.len());
         for receipt in receipts {
             let request = IoRequest::write_runs(receipt.runs.iter().copied());
             let transferred = request.total_bytes();
             let disk_time = self.disk.service(&request);
-            let host_time = self.cost.fs_write_host_time(self.write_requests_for(receipt.bytes_written));
+            let host_time = self
+                .cost
+                .fs_write_host_time(self.write_requests_for(receipt.bytes_written));
             self.charge(disk_time, host_time);
             let fragments = self.volume.file(receipt.file_id)?.fragment_count() as u64;
             out.push(OpReceipt {
@@ -162,7 +188,10 @@ impl ObjectStore for FsObjectStore {
         self.volume.delete_by_name(key)?;
         let host_time = self.cost.metadata_io_time;
         self.charge(ServiceTime::default(), host_time);
-        Ok(OpReceipt { host_time, ..OpReceipt::default() })
+        Ok(OpReceipt {
+            host_time,
+            ..OpReceipt::default()
+        })
     }
 
     fn contains(&self, key: &str) -> bool {
@@ -214,9 +243,17 @@ impl ObjectStore for FsObjectStore {
             .map_err(StoreError::from)?;
         // Moving a file costs reading it and writing it back, plus a pair of
         // positioning delays per file moved.
-        let transfer_rate = self.disk.config().transfer_rate_at(self.disk.config().capacity_bytes / 2);
-        let copy_time = SimDuration::from_secs_f64(2.0 * report.bytes_copied as f64 / transfer_rate);
-        let positioning = (self.disk.config().seek.seek_time(self.disk.config().seek.cylinders / 3)
+        let transfer_rate = self
+            .disk
+            .config()
+            .transfer_rate_at(self.disk.config().capacity_bytes / 2);
+        let copy_time =
+            SimDuration::from_secs_f64(2.0 * report.bytes_copied as f64 / transfer_rate);
+        let positioning = (self
+            .disk
+            .config()
+            .seek
+            .seek_time(self.disk.config().seek.cylinders / 3)
             + self.disk.config().average_rotational_latency())
             * (2 * report.files_moved);
         self.charge(ServiceTime::default(), copy_time + positioning);
@@ -297,11 +334,20 @@ mod tests {
     #[test]
     fn errors_map_to_store_errors() {
         let mut store = store();
-        assert!(matches!(store.get("missing"), Err(StoreError::NoSuchObject(_))));
+        assert!(matches!(
+            store.get("missing"),
+            Err(StoreError::NoSuchObject(_))
+        ));
         store.put("a", MB).unwrap();
-        assert!(matches!(store.put("a", MB), Err(StoreError::ObjectExists(_))));
+        assert!(matches!(
+            store.put("a", MB),
+            Err(StoreError::ObjectExists(_))
+        ));
         let mut tiny = FsObjectStore::new(8 * MB).unwrap();
-        assert!(matches!(tiny.put("big", 64 * MB), Err(StoreError::OutOfSpace(_))));
+        assert!(matches!(
+            tiny.put("big", 64 * MB),
+            Err(StoreError::OutOfSpace(_))
+        ));
         assert!(FsObjectStore::with_config(FsStoreConfig {
             write_request_size: 0,
             ..FsStoreConfig::new(MB)

@@ -59,7 +59,13 @@ pub use fragmentation::{analyze_store, FragmentationReport};
 pub use fs_store::{FsObjectStore, FsStoreConfig};
 pub use report::{Figure, Series, Table};
 pub use store::{CostModel, ObjectStore, OpReceipt, StoreKind};
-pub use workload::{SizeDistribution, StorageAgeTracker, WorkloadGenerator, WorkloadOp, WorkloadSpec};
+pub use workload::{
+    SizeDistribution, StorageAgeTracker, WorkloadGenerator, WorkloadOp, WorkloadSpec,
+};
+
+// The allocation-policy knob threaded from `ExperimentConfig` into both
+// substrates, re-exported so experiment code needs only `lor_core`.
+pub use lor_alloc::{AllocationPolicy, FitPolicy};
 
 // Re-export the substrate crates so downstream users (examples, benches) can
 // reach them through one dependency.

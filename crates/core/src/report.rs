@@ -17,7 +17,10 @@ pub struct Series {
 impl Series {
     /// Creates a series from a label and points.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 
     /// Builds the fragments-per-object series of an aging run (Figures 2, 3,
@@ -106,6 +109,57 @@ impl Figure {
         self
     }
 
+    /// Renders the figure as JSON.
+    ///
+    /// Hand-rolled (rather than via a serde backend) so that figure data can
+    /// be exported even in offline builds where only the serde stub is
+    /// available; the schema matches what `#[derive(Serialize)]` would emit.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"id\":{},\"title\":{},\"x_label\":{},\"y_label\":{},\"series\":[",
+            json_string(&self.id),
+            json_string(&self.title),
+            json_string(&self.x_label),
+            json_string(&self.y_label)
+        );
+        for (index, series) in self.series.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"label\":{},\"points\":[",
+                json_string(&series.label)
+            );
+            for (pindex, (x, y)) in series.points.iter().enumerate() {
+                if pindex > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{x},{y}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders a list of figures as a JSON array (the `figures --json`
+    /// output format).
+    pub fn list_to_json(figures: &[Figure]) -> String {
+        let mut out = String::from("[");
+        for (index, figure) in figures.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(&figure.to_json());
+        }
+        out.push(']');
+        out
+    }
+
     /// Renders the figure as an aligned plain-text table: one row per x value,
     /// one column per series.
     pub fn to_text(&self) -> String {
@@ -122,7 +176,9 @@ impl Figure {
         for (index, series) in self.series.iter().enumerate() {
             for (x, y) in &series.points {
                 let key = format!("{x:>12.3}");
-                let row = rows.entry(key).or_insert_with(|| vec![None; self.series.len()]);
+                let row = rows
+                    .entry(key)
+                    .or_insert_with(|| vec![None; self.series.len()]);
                 row[index] = Some(*y);
             }
         }
@@ -150,6 +206,25 @@ impl Figure {
     }
 }
 
+/// Escapes a string as a JSON string literal.
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// A simple two-column table (used for the Table 1 substitute).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Table {
@@ -163,8 +238,16 @@ pub struct Table {
 
 impl Table {
     /// Creates a table.
-    pub fn new(id: impl Into<String>, title: impl Into<String>, rows: Vec<(String, String)>) -> Self {
-        Table { id: id.into(), title: title.into(), rows }
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        rows: Vec<(String, String)>,
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            rows,
+        }
     }
 
     /// Renders the table as plain text.
@@ -221,7 +304,11 @@ mod tests {
         assert_eq!(writes.points, vec![(0.0, 17.7), (2.0, 9.0)]);
 
         let reads = Series::read_throughput_vs_age(&result);
-        assert_eq!(reads.points, vec![(0.0, 8.0)], "unmeasured checkpoints are skipped");
+        assert_eq!(
+            reads.points,
+            vec![(0.0, 8.0)],
+            "unmeasured checkpoints are skipped"
+        );
     }
 
     #[test]
@@ -235,9 +322,14 @@ mod tests {
 
     #[test]
     fn figure_text_rendering_includes_all_series() {
-        let figure = Figure::new("Figure 2", "Large object fragmentation", "Storage Age", "Fragments/object")
-            .with_series(Series::new("Database", vec![(0.0, 1.0), (1.0, 4.0)]))
-            .with_series(Series::new("Filesystem", vec![(0.0, 1.0), (1.0, 2.0)]));
+        let figure = Figure::new(
+            "Figure 2",
+            "Large object fragmentation",
+            "Storage Age",
+            "Fragments/object",
+        )
+        .with_series(Series::new("Database", vec![(0.0, 1.0), (1.0, 4.0)]))
+        .with_series(Series::new("Filesystem", vec![(0.0, 1.0), (1.0, 2.0)]));
         let text = figure.to_text();
         assert!(text.contains("Figure 2"));
         assert!(text.contains("Database"));
@@ -258,10 +350,14 @@ mod tests {
 
     #[test]
     fn table_rendering_aligns_keys() {
-        let table = Table::new("Table 1", "Configuration of the simulated test system", vec![
-            ("Disk".into(), "400GB 7200rpm".into()),
-            ("Filesystem".into(), "lor-fskit".into()),
-        ]);
+        let table = Table::new(
+            "Table 1",
+            "Configuration of the simulated test system",
+            vec![
+                ("Disk".into(), "400GB 7200rpm".into()),
+                ("Filesystem".into(), "lor-fskit".into()),
+            ],
+        );
         let text = table.to_text();
         assert!(text.contains("Table 1"));
         assert!(text.contains("400GB"));
@@ -270,10 +366,16 @@ mod tests {
 
     #[test]
     fn reports_serialize_to_json() {
-        let figure = Figure::new("Figure 3", "t", "x", "y")
-            .with_series(Series::new("Database", vec![(0.0, 1.0)]));
-        let json = serde_json::to_string(&figure).unwrap();
-        let back: Figure = serde_json::from_str(&json).unwrap();
-        assert_eq!(figure, back);
+        let figure = Figure::new("Figure \"3\"", "t", "x", "y")
+            .with_series(Series::new("Database", vec![(0.0, 1.0), (2.0, 2.5)]));
+        let json = figure.to_json();
+        assert_eq!(
+            json,
+            "{\"id\":\"Figure \\\"3\\\"\",\"title\":\"t\",\"x_label\":\"x\",\"y_label\":\"y\",\
+             \"series\":[{\"label\":\"Database\",\"points\":[[0,1],[2,2.5]]}]}"
+        );
+        let list = Figure::list_to_json(std::slice::from_ref(&figure));
+        assert!(list.starts_with('[') && list.ends_with(']'));
+        assert!(list.contains("\"Database\""));
     }
 }

@@ -129,7 +129,9 @@ impl CostModel {
 
     /// Host time for reading `pages` database pages holding `payload_bytes`.
     pub fn db_read_host_time(&self, pages: u64, payload_bytes: u64) -> SimDuration {
-        let chunks = payload_bytes.div_ceil(self.db_client_chunk_bytes.max(1)).max(1);
+        let chunks = payload_bytes
+            .div_ceil(self.db_client_chunk_bytes.max(1))
+            .max(1);
         self.db_lookup_time + self.db_per_page_time * pages + self.db_per_chunk_time * chunks
     }
 
@@ -166,7 +168,10 @@ pub trait ObjectStore {
     /// falls back to sequential safe writes; the built-in stores override it
     /// with genuinely interleaved allocation.
     fn safe_write_batch(&mut self, items: &[(String, u64)]) -> Result<Vec<OpReceipt>, StoreError> {
-        items.iter().map(|(key, size)| self.safe_write(key, *size)).collect()
+        items
+            .iter()
+            .map(|(key, size)| self.safe_write(key, *size))
+            .collect()
     }
 
     /// Deletes the object stored under `key`.
@@ -228,7 +233,10 @@ mod tests {
         let receipt = OpReceipt {
             payload_bytes: 100,
             transferred_bytes: 128,
-            disk_time: ServiceTime { transfer: SimDuration::from_millis(2), ..Default::default() },
+            disk_time: ServiceTime {
+                transfer: SimDuration::from_millis(2),
+                ..Default::default()
+            },
             host_time: SimDuration::from_millis(3),
             fragments: 1,
         };

@@ -38,7 +38,10 @@ impl SizeDistribution {
     /// The paper's uniform distribution with the same mean as a constant
     /// distribution: `Uniform[mean/2, 3*mean/2]`.
     pub fn uniform_around(mean: u64) -> Self {
-        SizeDistribution::Uniform { min: mean / 2, max: mean + mean / 2 }
+        SizeDistribution::Uniform {
+            min: mean / 2,
+            max: mean + mean / 2,
+        }
     }
 
     /// Mean object size of the distribution.
@@ -124,7 +127,11 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// A spec holding `object_count` objects of constant `size`.
     pub fn constant(size: u64, object_count: u64) -> Self {
-        WorkloadSpec { sizes: SizeDistribution::Constant(size), object_count, seed: 42 }
+        WorkloadSpec {
+            sizes: SizeDistribution::Constant(size),
+            object_count,
+            seed: 42,
+        }
     }
 
     /// Overrides the RNG seed.
@@ -141,8 +148,13 @@ impl WorkloadSpec {
 
     /// The number of objects that fit a store of `capacity_bytes` at
     /// `occupancy` (e.g. 0.5 for the paper's 50%-full volumes).
-    pub fn objects_for_occupancy(capacity_bytes: u64, mean_object_size: u64, occupancy: f64) -> u64 {
-        ((capacity_bytes as f64 * occupancy.clamp(0.0, 1.0)) / mean_object_size.max(1) as f64).floor() as u64
+    pub fn objects_for_occupancy(
+        capacity_bytes: u64,
+        mean_object_size: u64,
+        occupancy: f64,
+    ) -> u64 {
+        ((capacity_bytes as f64 * occupancy.clamp(0.0, 1.0)) / mean_object_size.max(1) as f64)
+            .floor() as u64
     }
 }
 
@@ -159,7 +171,12 @@ impl WorkloadGenerator {
     /// Creates a generator for the given spec.
     pub fn new(spec: WorkloadSpec) -> Self {
         let rng = StdRng::seed_from_u64(spec.seed);
-        WorkloadGenerator { spec, rng, next_key: 0, live: Vec::new() }
+        WorkloadGenerator {
+            spec,
+            rng,
+            next_key: 0,
+            live: Vec::new(),
+        }
     }
 
     /// The spec this generator was built from.
@@ -179,7 +196,10 @@ impl WorkloadGenerator {
                 let key = format!("object-{:08}", self.next_key);
                 self.next_key += 1;
                 self.live.push(key.clone());
-                WorkloadOp::Put { key, size: self.spec.sizes.sample(&mut self.rng) }
+                WorkloadOp::Put {
+                    key,
+                    size: self.spec.sizes.sample(&mut self.rng),
+                }
             })
             .collect()
     }
@@ -213,7 +233,9 @@ impl WorkloadGenerator {
         }
         order
             .into_iter()
-            .map(|index| WorkloadOp::Get { key: self.live[index].clone() })
+            .map(|index| WorkloadOp::Get {
+                key: self.live[index].clone(),
+            })
             .collect()
     }
 
@@ -229,7 +251,10 @@ impl WorkloadGenerator {
             let key = format!("object-{:08}", self.next_key);
             self.next_key += 1;
             self.live.push(key.clone());
-            ops.push(WorkloadOp::Put { key, size: self.spec.sizes.sample(&mut self.rng) });
+            ops.push(WorkloadOp::Put {
+                key,
+                size: self.spec.sizes.sample(&mut self.rng),
+            });
         }
         ops
     }
@@ -307,12 +332,15 @@ mod tests {
         let n = 2_000;
         for _ in 0..n {
             let sample = dist.sample(&mut rng);
-            assert!(sample >= 5 << 20 && sample <= 15 << 20);
+            assert!((5 << 20..=15 << 20).contains(&sample));
             total += sample;
         }
         let mean = total as f64 / n as f64;
         let expected = (10u64 << 20) as f64;
-        assert!((mean - expected).abs() / expected < 0.02, "sample mean {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() / expected < 0.02,
+            "sample mean {mean} vs {expected}"
+        );
     }
 
     #[test]
@@ -324,7 +352,7 @@ mod tests {
         let n = 5_000;
         for _ in 0..n {
             let sample = dist.sample(&mut rng);
-            assert!(sample >= (1 << 20) / 16 && sample <= (1 << 20) * 16);
+            assert!(((1 << 20) / 16..=(1 << 20) * 16).contains(&sample));
             total += sample;
         }
         let mean = total as f64 / n as f64;

@@ -164,7 +164,11 @@ impl DiskConfig {
         let count = count.max(1);
         (0..count)
             .map(|i| {
-                let t = if count == 1 { 0.0 } else { i as f64 / (count - 1) as f64 };
+                let t = if count == 1 {
+                    0.0
+                } else {
+                    i as f64 / (count - 1) as f64
+                };
                 ZoneSpec {
                     start_fraction: i as f64 / count as f64,
                     transfer_rate: outer_rate + (inner_rate - outer_rate) * t,
@@ -291,7 +295,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroRpm => "disk rpm must be non-zero",
             ConfigError::NoZones => "disk must define at least one zone",
             ConfigError::FirstZoneNotAtStart => "first zone must start at fraction 0.0",
-            ConfigError::ZoneOrder => "zones must be sorted by increasing start fraction within [0, 1]",
+            ConfigError::ZoneOrder => {
+                "zones must be sorted by increasing start fraction within [0, 1]"
+            }
             ConfigError::BadTransferRate => "zone transfer rates must be positive and finite",
         };
         f.write_str(msg)
@@ -341,7 +347,10 @@ mod tests {
             last = zone;
         }
         assert_eq!(config.zone_index_at(0), 0);
-        assert_eq!(config.zone_index_at(config.capacity_bytes), config.zones.len() - 1);
+        assert_eq!(
+            config.zone_index_at(config.capacity_bytes),
+            config.zones.len() - 1
+        );
     }
 
     #[test]

@@ -69,10 +69,14 @@ impl Disk {
     /// Panics if the configuration fails [`DiskConfig::validate`]; building a
     /// simulator on an invalid disk is a programming error.
     pub fn new(config: DiskConfig) -> Self {
-        config
-            .validate()
-            .expect("disk configuration must be valid");
-        Disk { config, head: 0, last_transfer: None, clock: SimClock::new(), stats: DiskStats::default() }
+        config.validate().expect("disk configuration must be valid");
+        Disk {
+            config,
+            head: 0,
+            last_transfer: None,
+            clock: SimClock::new(),
+            stats: DiskStats::default(),
+        }
     }
 
     /// The configuration this disk was built from.
@@ -140,7 +144,10 @@ impl Disk {
     }
 
     /// Services every request in order and returns the summed breakdown.
-    pub fn service_all<'a>(&mut self, requests: impl IntoIterator<Item = &'a IoRequest>) -> ServiceTime {
+    pub fn service_all<'a>(
+        &mut self,
+        requests: impl IntoIterator<Item = &'a IoRequest>,
+    ) -> ServiceTime {
         let mut total = ServiceTime::default();
         for request in requests {
             total = total.combined(&self.service(request));
@@ -164,7 +171,10 @@ impl Disk {
             return (service, None, false, 0);
         }
 
-        let mut service = ServiceTime { overhead: self.config.overhead.per_request, ..Default::default() };
+        let mut service = ServiceTime {
+            overhead: self.config.overhead.per_request,
+            ..Default::default()
+        };
         let extra_segments = (coalesced.segments.len() as u64).saturating_sub(1);
         service.overhead += self.config.overhead.per_extra_segment * extra_segments;
 
@@ -323,7 +333,10 @@ mod tests {
     fn clock_and_stats_accumulate() {
         let mut disk = small_disk();
         let a = disk.service(&IoRequest::write(0, 1024 * 1024));
-        let b = disk.service(&IoRequest::read(disk.config().capacity_bytes / 2, 1024 * 1024));
+        let b = disk.service(&IoRequest::read(
+            disk.config().capacity_bytes / 2,
+            1024 * 1024,
+        ));
         assert_eq!(disk.elapsed(), a.total() + b.total());
         assert_eq!(disk.stats().writes.requests, 1);
         assert_eq!(disk.stats().reads.requests, 1);
@@ -358,7 +371,10 @@ mod tests {
     #[test]
     fn service_all_sums_components() {
         let mut disk = small_disk();
-        let requests = vec![IoRequest::read(0, 4096), IoRequest::write(1024 * 1024, 4096)];
+        let requests = vec![
+            IoRequest::read(0, 4096),
+            IoRequest::write(1024 * 1024, 4096),
+        ];
         let total = disk.service_all(&requests);
         assert_eq!(total.total(), disk.elapsed());
     }

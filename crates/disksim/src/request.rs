@@ -71,22 +71,34 @@ impl IoRequest {
 
     /// Creates a single-segment read.
     pub fn read(offset: u64, len: u64) -> Self {
-        IoRequest { kind: AccessKind::Read, segments: vec![ByteRun::new(offset, len)] }
+        IoRequest {
+            kind: AccessKind::Read,
+            segments: vec![ByteRun::new(offset, len)],
+        }
     }
 
     /// Creates a single-segment write.
     pub fn write(offset: u64, len: u64) -> Self {
-        IoRequest { kind: AccessKind::Write, segments: vec![ByteRun::new(offset, len)] }
+        IoRequest {
+            kind: AccessKind::Write,
+            segments: vec![ByteRun::new(offset, len)],
+        }
     }
 
     /// Creates a multi-segment read over the given runs.
     pub fn read_runs(runs: impl IntoIterator<Item = ByteRun>) -> Self {
-        IoRequest { kind: AccessKind::Read, segments: runs.into_iter().collect() }
+        IoRequest {
+            kind: AccessKind::Read,
+            segments: runs.into_iter().collect(),
+        }
     }
 
     /// Creates a multi-segment write over the given runs.
     pub fn write_runs(runs: impl IntoIterator<Item = ByteRun>) -> Self {
-        IoRequest { kind: AccessKind::Write, segments: runs.into_iter().collect() }
+        IoRequest {
+            kind: AccessKind::Write,
+            segments: runs.into_iter().collect(),
+        }
     }
 
     /// Total number of bytes transferred by the request.
@@ -117,7 +129,10 @@ impl IoRequest {
                 _ => segments.push(*run),
             }
         }
-        IoRequest { kind: self.kind, segments }
+        IoRequest {
+            kind: self.kind,
+            segments,
+        }
     }
 }
 
@@ -160,7 +175,10 @@ mod tests {
         let merged = req.coalesced();
         // The empty run is dropped, so (30, 10) and (40, 5) are physically
         // adjacent and merge as well.
-        assert_eq!(merged.segments, vec![ByteRun::new(0, 20), ByteRun::new(30, 15)]);
+        assert_eq!(
+            merged.segments,
+            vec![ByteRun::new(0, 20), ByteRun::new(30, 15)]
+        );
         assert_eq!(merged.total_bytes(), req.total_bytes());
         assert_eq!(merged.kind, AccessKind::Write);
     }

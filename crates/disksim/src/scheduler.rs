@@ -67,7 +67,11 @@ pub fn schedule(policy: SchedulingPolicy, head: u64, requests: &[IoRequest]) -> 
 }
 
 /// Services a batch under the given policy and returns the summed cost.
-pub fn service_batch(disk: &mut Disk, policy: SchedulingPolicy, requests: &[IoRequest]) -> ServiceTime {
+pub fn service_batch(
+    disk: &mut Disk,
+    policy: SchedulingPolicy,
+    requests: &[IoRequest],
+) -> ServiceTime {
     let order = schedule(policy, disk.head_position(), requests);
     let mut total = ServiceTime::default();
     for index in order {
@@ -112,7 +116,10 @@ mod tests {
 
     #[test]
     fn fifo_preserves_arrival_order() {
-        assert_eq!(schedule(SchedulingPolicy::Fifo, 0, &batch()), vec![0, 1, 2, 3]);
+        assert_eq!(
+            schedule(SchedulingPolicy::Fifo, 0, &batch()),
+            vec![0, 1, 2, 3]
+        );
     }
 
     #[test]
@@ -148,8 +155,14 @@ mod tests {
         let mut clook_disk = Disk::new(config);
         let clook = service_batch(&mut clook_disk, SchedulingPolicy::CLook, &requests);
 
-        assert_eq!(fifo_disk.stats().total_bytes(), clook_disk.stats().total_bytes());
-        assert!(clook.total() <= fifo.total(), "elevator should not be slower on a scattered batch");
+        assert_eq!(
+            fifo_disk.stats().total_bytes(),
+            clook_disk.stats().total_bytes()
+        );
+        assert!(
+            clook.total() <= fifo.total(),
+            "elevator should not be slower on a scattered batch"
+        );
         assert!(clook.seek < fifo.seek);
     }
 }

@@ -17,7 +17,9 @@ use serde::{Deserialize, Serialize};
 /// addition, subtraction, scaling by integers and summation.  It never
 /// silently overflows — all arithmetic saturates, which is adequate because a
 /// saturated duration (≈ 584 years) is far beyond any meaningful simulation.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct SimDuration {
     nanos: u64,
 }
@@ -33,17 +35,23 @@ impl SimDuration {
 
     /// Creates a duration from whole microseconds.
     pub const fn from_micros(micros: u64) -> Self {
-        SimDuration { nanos: micros.saturating_mul(1_000) }
+        SimDuration {
+            nanos: micros.saturating_mul(1_000),
+        }
     }
 
     /// Creates a duration from whole milliseconds.
     pub const fn from_millis(millis: u64) -> Self {
-        SimDuration { nanos: millis.saturating_mul(1_000_000) }
+        SimDuration {
+            nanos: millis.saturating_mul(1_000_000),
+        }
     }
 
     /// Creates a duration from whole seconds.
     pub const fn from_secs(secs: u64) -> Self {
-        SimDuration { nanos: secs.saturating_mul(1_000_000_000) }
+        SimDuration {
+            nanos: secs.saturating_mul(1_000_000_000),
+        }
     }
 
     /// Creates a duration from floating-point seconds.
@@ -58,7 +66,9 @@ impl SimDuration {
         if nanos >= u64::MAX as f64 {
             SimDuration { nanos: u64::MAX }
         } else {
-            SimDuration { nanos: nanos.round() as u64 }
+            SimDuration {
+                nanos: nanos.round() as u64,
+            }
         }
     }
 
@@ -89,26 +99,31 @@ impl SimDuration {
 
     /// Saturating addition.
     pub const fn saturating_add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { nanos: self.nanos.saturating_add(rhs.nanos) }
+        SimDuration {
+            nanos: self.nanos.saturating_add(rhs.nanos),
+        }
     }
 
     /// Saturating subtraction (clamps at zero).
     pub const fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { nanos: self.nanos.saturating_sub(rhs.nanos) }
+        SimDuration {
+            nanos: self.nanos.saturating_sub(rhs.nanos),
+        }
     }
 
     /// Multiplies the duration by an integer factor, saturating on overflow.
     pub const fn saturating_mul(self, factor: u64) -> SimDuration {
-        SimDuration { nanos: self.nanos.saturating_mul(factor) }
+        SimDuration {
+            nanos: self.nanos.saturating_mul(factor),
+        }
     }
 
     /// Divides the duration by an integer divisor.  Division by zero yields
     /// the zero duration (callers treat it as "no meaningful average").
     pub const fn checked_div_int(self, divisor: u64) -> SimDuration {
-        if divisor == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration { nanos: self.nanos / divisor }
+        match self.nanos.checked_div(divisor) {
+            Some(nanos) => SimDuration { nanos },
+            None => SimDuration::ZERO,
         }
     }
 }
@@ -187,7 +202,9 @@ pub struct SimClock {
 impl SimClock {
     /// Creates a clock starting at time zero.
     pub const fn new() -> Self {
-        SimClock { now: SimDuration::ZERO }
+        SimClock {
+            now: SimDuration::ZERO,
+        }
     }
 
     /// The current simulated time, as a duration since the start of the run.
@@ -243,14 +260,20 @@ mod tests {
     fn from_secs_f64_clamps_bad_input() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY).as_nanos(), u64::MAX);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::INFINITY).as_nanos(),
+            u64::MAX
+        );
     }
 
     #[test]
     fn arithmetic_saturates() {
         let max = SimDuration::from_nanos(u64::MAX);
         assert_eq!(max + SimDuration::from_secs(1), max);
-        assert_eq!(SimDuration::ZERO - SimDuration::from_secs(1), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::ZERO - SimDuration::from_secs(1),
+            SimDuration::ZERO
+        );
         assert_eq!(max * 2, max);
     }
 

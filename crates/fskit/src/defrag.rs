@@ -45,7 +45,9 @@ pub struct Defragmenter {
 impl Defragmenter {
     /// Creates a defragmenter with default settings.
     pub fn new() -> Self {
-        Defragmenter { require_full_contiguity: true }
+        Defragmenter {
+            require_full_contiguity: true,
+        }
     }
 
     /// Attempts to make a single file contiguous by copying it into a fresh
@@ -53,7 +55,11 @@ impl Defragmenter {
     pub fn defragment_file(&self, volume: &mut Volume, id: FileId) -> Result<bool, FsError> {
         let (old_extents, clusters, size_bytes) = {
             let record = volume.file(id)?;
-            (record.extents.clone(), record.allocated_clusters(), record.size_bytes)
+            (
+                record.extents.clone(),
+                record.allocated_clusters(),
+                record.size_bytes,
+            )
         };
         if clusters == 0 || old_extents.len() <= 1 {
             return Ok(false);
@@ -62,7 +68,11 @@ impl Defragmenter {
         // Ask for a single contiguous run; if the volume cannot provide one we
         // leave the file alone (a partial improvement would also be possible,
         // but the Windows defragmenter's observable behaviour is per-file).
-        let request = AllocRequest { clusters, hint: None, contiguity: Contiguity::Required };
+        let request = AllocRequest {
+            clusters,
+            hint: None,
+            contiguity: Contiguity::Required,
+        };
         let new_extents = match volume.allocator_mut().allocate(&request) {
             Ok(extents) => extents,
             Err(_) if self.require_full_contiguity => return Ok(false),
@@ -85,12 +95,16 @@ impl Defragmenter {
 
     /// Defragments every file on the volume, most fragmented first, stopping
     /// once `copy_budget_bytes` of data has been moved (0 means unlimited).
-    pub fn defragment_volume(&self, volume: &mut Volume, copy_budget_bytes: u64) -> Result<DefragReport, FsError> {
+    pub fn defragment_volume(
+        &self,
+        volume: &mut Volume,
+        copy_budget_bytes: u64,
+    ) -> Result<DefragReport, FsError> {
         let mut candidates: Vec<(FileId, usize, u64)> = volume
             .iter_files()
             .map(|record| (record.id, record.fragment_count(), record.size_bytes))
             .collect();
-        candidates.sort_by(|a, b| b.1.cmp(&a.1));
+        candidates.sort_by_key(|(_, fragments, _)| std::cmp::Reverse(*fragments));
 
         let mut report = DefragReport::default();
         for (id, fragments, size_bytes) in candidates {
@@ -133,7 +147,12 @@ mod tests {
         config.checkpoint_interval_ops = 1;
         let mut volume = Volume::format(config).unwrap();
         let pads: Vec<FileId> = (0..256)
-            .map(|i| volume.write_file(&format!("pad{i}"), 128 * 1024, 64 * 1024).unwrap().file_id)
+            .map(|i| {
+                volume
+                    .write_file(&format!("pad{i}"), 128 * 1024, 64 * 1024)
+                    .unwrap()
+                    .file_id
+            })
             .collect();
         for id in pads.iter().step_by(2) {
             volume.delete(*id).unwrap();
@@ -141,7 +160,12 @@ mod tests {
         volume.checkpoint();
         // These large files must fragment across the 128 KB holes.
         let victims: Vec<FileId> = (0..4)
-            .map(|i| volume.write_file(&format!("victim{i}"), 2 * MB, 64 * 1024).unwrap().file_id)
+            .map(|i| {
+                volume
+                    .write_file(&format!("victim{i}"), 2 * MB, 64 * 1024)
+                    .unwrap()
+                    .file_id
+            })
             .collect();
         (volume, victims)
     }
@@ -151,7 +175,9 @@ mod tests {
         let (mut volume, victims) = fragmented_volume();
         let id = victims[0];
         assert!(volume.file(id).unwrap().fragment_count() > 1);
-        let moved = Defragmenter::new().defragment_file(&mut volume, id).unwrap();
+        let moved = Defragmenter::new()
+            .defragment_file(&mut volume, id)
+            .unwrap();
         assert!(moved);
         assert_eq!(volume.file(id).unwrap().fragment_count(), 1);
         // Size and identity are unchanged.
@@ -162,7 +188,9 @@ mod tests {
     fn defragmenting_a_contiguous_file_is_a_no_op() {
         let mut volume = Volume::format(VolumeConfig::new(64 * MB)).unwrap();
         let receipt = volume.write_file("a", MB, 64 * 1024).unwrap();
-        let moved = Defragmenter::new().defragment_file(&mut volume, receipt.file_id).unwrap();
+        let moved = Defragmenter::new()
+            .defragment_file(&mut volume, receipt.file_id)
+            .unwrap();
         assert!(!moved);
     }
 
@@ -170,7 +198,9 @@ mod tests {
     fn volume_pass_reduces_total_fragments() {
         let (mut volume, _) = fragmented_volume();
         let before = volume.fragmentation();
-        let report = Defragmenter::new().defragment_volume(&mut volume, 0).unwrap();
+        let report = Defragmenter::new()
+            .defragment_volume(&mut volume, 0)
+            .unwrap();
         let after = volume.fragmentation();
         assert!(report.files_moved > 0);
         assert!(report.fragments_after < report.fragments_before);
@@ -182,7 +212,9 @@ mod tests {
     #[test]
     fn copy_budget_limits_work_performed() {
         let (mut volume, _) = fragmented_volume();
-        let report = Defragmenter::new().defragment_volume(&mut volume, MB).unwrap();
+        let report = Defragmenter::new()
+            .defragment_volume(&mut volume, MB)
+            .unwrap();
         // Each victim is 2 MB, so a 1 MB budget cannot move any of them.
         assert_eq!(report.files_moved, 0);
         assert!(report.bytes_copied <= MB);
@@ -192,6 +224,8 @@ mod tests {
     #[test]
     fn missing_file_is_an_error() {
         let mut volume = Volume::format(VolumeConfig::new(16 * MB)).unwrap();
-        assert!(Defragmenter::new().defragment_file(&mut volume, FileId(99)).is_err());
+        assert!(Defragmenter::new()
+            .defragment_file(&mut volume, FileId(99))
+            .is_err());
     }
 }

@@ -60,6 +60,8 @@ mod tests {
         assert!(err.to_string().contains("allocation failed"));
         assert!(err.source().is_some());
         assert!(FsError::NoSuchName("a".into()).source().is_none());
-        assert!(FsError::NameExists("x".into()).to_string().contains("already exists"));
+        assert!(FsError::NameExists("x".into())
+            .to_string()
+            .contains("already exists"));
     }
 }

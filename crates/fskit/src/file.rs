@@ -31,7 +31,12 @@ pub struct FileRecord {
 impl FileRecord {
     /// Creates an empty file record.
     pub fn new(id: FileId, name: impl Into<String>) -> Self {
-        FileRecord { id, name: name.into(), size_bytes: 0, extents: Vec::new() }
+        FileRecord {
+            id,
+            name: name.into(),
+            size_bytes: 0,
+            extents: Vec::new(),
+        }
     }
 
     /// Number of clusters currently allocated to the file.

@@ -32,9 +32,15 @@ pub struct ShatterReport {
 /// released.  Only currently free space is affected — live files are not
 /// touched — so this can be applied to an empty volume to create a
 /// pathological starting state, or to an aged volume to make matters worse.
-pub fn shatter(volume: &mut Volume, hole_clusters: u64, pin_clusters: u64) -> Result<ShatterReport, FsError> {
+pub fn shatter(
+    volume: &mut Volume,
+    hole_clusters: u64,
+    pin_clusters: u64,
+) -> Result<ShatterReport, FsError> {
     if hole_clusters == 0 || pin_clusters == 0 {
-        return Err(FsError::BadConfig("shatter hole and pin sizes must be non-zero"));
+        return Err(FsError::BadConfig(
+            "shatter hole and pin sizes must be non-zero",
+        ));
     }
     // Work over a snapshot of the free runs; pinning mutates the map.
     let free_runs: Vec<Extent> = volume.allocator_mut().free_space().free_runs();
@@ -54,7 +60,11 @@ pub fn shatter(volume: &mut Volume, hole_clusters: u64, pin_clusters: u64) -> Re
             offset += period;
         }
     }
-    Ok(ShatterReport { pinned_clusters: pinned, holes, hole_clusters })
+    Ok(ShatterReport {
+        pinned_clusters: pinned,
+        holes,
+        hole_clusters,
+    })
 }
 
 #[cfg(test)]
@@ -73,7 +83,11 @@ mod tests {
         assert!(report.holes > 100);
         assert_eq!(report.hole_clusters, 32);
         let free = volume.free_space_report();
-        assert!(free.largest_run <= 32 + 4, "largest run {} should be a single hole", free.largest_run);
+        assert!(
+            free.largest_run <= 32 + 4,
+            "largest run {} should be a single hole",
+            free.largest_run
+        );
         // Most of the space is still free (pins are small).
         assert!(free.free_fraction() > 0.8);
     }
@@ -87,7 +101,10 @@ mod tests {
         let receipt = volume.write_file("big", 4 * MB, 64 * 1024).unwrap();
         let fragments = volume.file(receipt.file_id).unwrap().fragment_count();
         // 4 MB over 128 KB holes: at least 30 fragments.
-        assert!(fragments >= 30, "expected heavy fragmentation, got {fragments}");
+        assert!(
+            fragments >= 30,
+            "expected heavy fragmentation, got {fragments}"
+        );
     }
 
     #[test]
@@ -105,7 +122,10 @@ mod tests {
         let receipt = volume.write_file("keep", 8 * MB, 64 * 1024).unwrap();
         let extents_before = volume.file(receipt.file_id).unwrap().extents.clone();
         shatter(&mut volume, 16, 16).unwrap();
-        assert_eq!(volume.file(receipt.file_id).unwrap().extents, extents_before);
+        assert_eq!(
+            volume.file(receipt.file_id).unwrap().extents,
+            extents_before
+        );
         // And the file still reads back in full.
         let plan = volume.read_plan(receipt.file_id).unwrap();
         assert_eq!(plan.iter().map(|r| r.len).sum::<u64>(), 8 * MB);

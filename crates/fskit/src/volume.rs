@@ -27,8 +27,8 @@
 use std::collections::BTreeMap;
 
 use lor_alloc::{
-    AllocError, AllocRequest, Allocator, Extent, FragmentationSummary, FreeSpaceReport,
-    RunCacheAllocator, RunCacheConfig,
+    AllocError, AllocRequest, AllocationPolicy, Allocator, Extent, FragmentationSummary,
+    FreeSpaceReport, RunCacheConfig, SelectableAllocator,
 };
 use lor_disksim::ByteRun;
 use serde::{Deserialize, Serialize};
@@ -50,6 +50,10 @@ pub struct VolumeConfig {
     pub checkpoint_interval_ops: u64,
     /// Tuning of the run-cache allocation policy.
     pub run_cache: RunCacheConfig,
+    /// How the volume places file data.  [`AllocationPolicy::Native`] is the
+    /// NTFS-style run cache; the fit policies exist for the cross-substrate
+    /// ablation benches.
+    pub allocation_policy: AllocationPolicy,
     /// Cap, in clusters, of the speculative preallocation performed for
     /// sequentially growing files (0 disables preallocation).
     ///
@@ -73,6 +77,7 @@ impl VolumeConfig {
             mft_zone_fraction: 0.05,
             checkpoint_interval_ops: 16,
             run_cache: RunCacheConfig::default(),
+            allocation_policy: AllocationPolicy::Native,
             preallocation_cap_clusters: 2048,
         }
     }
@@ -148,7 +153,7 @@ pub struct WriteReceipt {
 #[derive(Debug, Clone)]
 pub struct Volume {
     config: VolumeConfig,
-    allocator: RunCacheAllocator,
+    allocator: SelectableAllocator,
     files: BTreeMap<FileId, FileRecord>,
     names: BTreeMap<String, FileId>,
     next_id: u64,
@@ -163,7 +168,11 @@ impl Volume {
     /// Formats a new volume.
     pub fn format(config: VolumeConfig) -> Result<Self, FsError> {
         config.validate()?;
-        let mut allocator = RunCacheAllocator::with_config(config.total_clusters(), config.run_cache);
+        let mut allocator = SelectableAllocator::new(
+            config.allocation_policy,
+            config.total_clusters(),
+            config.run_cache,
+        );
         let mft = config.mft_clusters();
         if mft > 0 {
             allocator
@@ -220,7 +229,10 @@ impl Volume {
 
     /// Looks a file id up by name.
     pub fn lookup(&self, name: &str) -> Result<FileId, FsError> {
-        self.names.get(name).copied().ok_or_else(|| FsError::NoSuchName(name.to_string()))
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| FsError::NoSuchName(name.to_string()))
     }
 
     /// Iterates over all live file records in id order.
@@ -270,7 +282,11 @@ impl Volume {
             // few large extents even when other writes are in flight.  The
             // excess is trimmed when the file is closed.  If the volume cannot
             // satisfy the speculative request, fall back to the exact need.
-            let allocated = self.files.get(&id).expect("checked above").allocated_clusters();
+            let allocated = self
+                .files
+                .get(&id)
+                .expect("checked above")
+                .allocated_clusters();
             let speculative = if self.config.preallocation_cap_clusters > 0 {
                 needed.max(allocated.min(self.config.preallocation_cap_clusters))
             } else {
@@ -304,7 +320,12 @@ impl Volume {
         // the old end-of-file to the new end-of-file, walked over the extent
         // map.  (Recomputing from the updated record keeps partially-filled
         // final clusters correct.)
-        Ok(Self::runs_for_range(record, self.config.cluster_size, write_offset, bytes))
+        Ok(Self::runs_for_range(
+            record,
+            self.config.cluster_size,
+            write_offset,
+            bytes,
+        ))
     }
 
     /// Creates a file and writes `size_bytes` of data in `write_request_size`
@@ -346,7 +367,12 @@ impl Volume {
 
     /// Appends `size_bytes` in chunks to an existing file, then trims any
     /// speculative preallocation (the "close" of the write).
-    fn fill(&mut self, id: FileId, size_bytes: u64, write_request_size: u64) -> Result<WriteReceipt, FsError> {
+    fn fill(
+        &mut self,
+        id: FileId,
+        size_bytes: u64,
+        write_request_size: u64,
+    ) -> Result<WriteReceipt, FsError> {
         let chunk = write_request_size.max(1);
         let mut runs = Vec::new();
         let mut written = 0;
@@ -356,7 +382,11 @@ impl Volume {
             written += this;
         }
         self.trim_excess(id)?;
-        Ok(WriteReceipt { file_id: id, runs, bytes_written: written })
+        Ok(WriteReceipt {
+            file_id: id,
+            runs,
+            bytes_written: written,
+        })
     }
 
     /// Releases clusters allocated beyond the file's logical size (undoing
@@ -369,7 +399,10 @@ impl Volume {
             let needed = record.size_bytes.div_ceil(cluster_size);
             let mut excess = record.allocated_clusters().saturating_sub(needed);
             while excess > 0 {
-                let last = record.extents.last_mut().expect("excess implies extents exist");
+                let last = record
+                    .extents
+                    .last_mut()
+                    .expect("excess implies extents exist");
                 if last.len <= excess {
                     excess -= last.len;
                     to_release.push(*last);
@@ -445,7 +478,10 @@ impl Volume {
 
         self.stats.safe_writes += 1;
         self.bump_op();
-        Ok(WriteReceipt { file_id: temp_id, ..receipt })
+        Ok(WriteReceipt {
+            file_id: temp_id,
+            ..receipt
+        })
     }
 
     /// Atomically replaces several objects whose writes are in flight at the
@@ -463,38 +499,67 @@ impl Volume {
         write_request_size: u64,
     ) -> Result<Vec<WriteReceipt>, FsError> {
         let chunk = write_request_size.max(1);
-        // Validate and create every temporary file first.
-        let mut staged: Vec<(FileId, FileId, u64, Vec<ByteRun>, u64)> = Vec::with_capacity(items.len());
+        // Validate and create every temporary file first.  Any failure before
+        // the commit loop must delete the temporaries already created, or
+        // their names and clusters would be stranded forever.
+        let mut staged: Vec<(FileId, FileId, u64, Vec<ByteRun>, u64)> =
+            Vec::with_capacity(items.len());
         for (name, size) in items {
-            let old_id = self.lookup(name)?;
-            let temp_name = format!("~tmp.{}.{}", self.next_id, name);
-            let temp_id = self.create(&temp_name)?;
-            staged.push((old_id, temp_id, *size, Vec::new(), 0));
+            let staging = self.lookup(name).and_then(|old_id| {
+                let temp_name = format!("~tmp.{}.{}", self.next_id, name);
+                Ok((old_id, self.create(&temp_name)?))
+            });
+            match staging {
+                Ok((old_id, temp_id)) => staged.push((old_id, temp_id, *size, Vec::new(), 0)),
+                Err(err) => {
+                    self.abort_batch(&staged);
+                    return Err(err);
+                }
+            }
         }
 
         // Round-robin the write requests across the in-flight temporaries.
         let mut pending = true;
         while pending {
             pending = false;
+            let mut failure = None;
             for (_, temp_id, size, runs, written) in staged.iter_mut() {
                 if *written < *size {
                     let this = chunk.min(*size - *written);
-                    runs.extend(self.append(*temp_id, this)?);
+                    match self.append(*temp_id, this) {
+                        Ok(new_runs) => runs.extend(new_runs),
+                        Err(err) => {
+                            failure = Some(err);
+                            break;
+                        }
+                    }
                     *written += this;
                     if *written < *size {
                         pending = true;
                     }
                 }
             }
+            if let Some(err) = failure {
+                self.abort_batch(&staged);
+                return Err(err);
+            }
         }
 
         // Close every temporary file (trimming preallocation), then commit
         // each replacement (ReplaceFile per object).
         for (_, temp_id, _, _, _) in &staged {
-            self.trim_excess(*temp_id)?;
+            if let Err(err) = self.trim_excess(*temp_id) {
+                self.abort_batch(&staged);
+                return Err(err);
+            }
         }
         let mut receipts = Vec::with_capacity(staged.len());
-        for ((name, _), (old_id, temp_id, size, runs, _)) in items.iter().zip(staged) {
+        for ((name, _), (_, temp_id, size, runs, _)) in items.iter().zip(staged) {
+            // Replace whatever holds the name *now*: when one batch names the
+            // same target twice, that is the previous item's just-committed
+            // temporary, so the batch degenerates to sequential replacement
+            // (last writer wins) — the same semantics `update_batch` has.
+            let old_id = self.names[*name];
             let old = self.files.remove(&old_id).expect("old file exists");
             self.names.remove(&old.name);
             self.stats.files_deleted += 1;
@@ -509,9 +574,22 @@ impl Volume {
 
             self.stats.safe_writes += 1;
             self.bump_op();
-            receipts.push(WriteReceipt { file_id: temp_id, runs, bytes_written: size });
+            receipts.push(WriteReceipt {
+                file_id: temp_id,
+                runs,
+                bytes_written: size,
+            });
         }
         Ok(receipts)
+    }
+
+    /// Deletes the temporary files of a failed [`Volume::safe_write_batch`],
+    /// releasing their names and (via the pending queue) their clusters.  The
+    /// target objects themselves were never touched.
+    fn abort_batch(&mut self, staged: &[(FileId, FileId, u64, Vec<ByteRun>, u64)]) {
+        for (_, temp_id, _, _, _) in staged {
+            let _ = self.delete(*temp_id);
+        }
     }
 
     /// The byte runs a full sequential read of the file touches.
@@ -547,7 +625,7 @@ impl Volume {
 
     /// Direct (reserve-exact) access to the allocator for test fixtures such
     /// as the pathological fragmenter.
-    pub(crate) fn allocator_mut(&mut self) -> &mut RunCacheAllocator {
+    pub(crate) fn allocator_mut(&mut self) -> &mut SelectableAllocator {
         &mut self.allocator
     }
 
@@ -585,7 +663,12 @@ impl Volume {
     }
 
     /// Byte runs for the logical range `[offset, offset + len)` of a file.
-    fn runs_for_range(record: &FileRecord, cluster_size: u64, offset: u64, len: u64) -> Vec<ByteRun> {
+    fn runs_for_range(
+        record: &FileRecord,
+        cluster_size: u64,
+        offset: u64,
+        len: u64,
+    ) -> Vec<ByteRun> {
         if len == 0 {
             return Vec::new();
         }
@@ -635,15 +718,23 @@ mod tests {
 
     #[test]
     fn bad_configs_are_rejected() {
-        assert!(Volume::format(VolumeConfig { cluster_size: 0, ..VolumeConfig::new(MB) }).is_err());
+        assert!(Volume::format(VolumeConfig {
+            cluster_size: 0,
+            ..VolumeConfig::new(MB)
+        })
+        .is_err());
         assert!(Volume::format(VolumeConfig::new(0)).is_err());
-        assert!(Volume::format(VolumeConfig { mft_zone_fraction: 0.9, ..VolumeConfig::new(MB) }).is_err());
+        assert!(Volume::format(VolumeConfig {
+            mft_zone_fraction: 0.9,
+            ..VolumeConfig::new(MB)
+        })
+        .is_err());
     }
 
     #[test]
     fn create_write_read_delete_round_trip() {
         let mut volume = small_volume();
-        let receipt = volume.write_file("object-1", 1 * MB, 64 * 1024).unwrap();
+        let receipt = volume.write_file("object-1", MB, 64 * 1024).unwrap();
         assert_eq!(receipt.bytes_written, MB);
         let id = volume.lookup("object-1").unwrap();
         assert_eq!(id, receipt.file_id);
@@ -746,7 +837,9 @@ mod tests {
         config.mft_zone_fraction = 0.0;
         let mut volume = Volume::format(config).unwrap();
         for i in 0..16 {
-            volume.write_file(&format!("obj-{i}"), 2 * MB, 64 * 1024).unwrap();
+            volume
+                .write_file(&format!("obj-{i}"), 2 * MB, 64 * 1024)
+                .unwrap();
         }
         // Several rounds of concurrent (batched) replacement.
         for _ in 0..4 {
@@ -772,14 +865,77 @@ mod tests {
         // No temporary file lingers and every object reads back in full.
         for i in 0..16 {
             let id = volume.lookup(&format!("obj-{i}")).unwrap();
-            assert_eq!(volume.read_plan(id).unwrap().iter().map(|r| r.len).sum::<u64>(), 2 * MB);
+            assert_eq!(
+                volume
+                    .read_plan(id)
+                    .unwrap()
+                    .iter()
+                    .map(|r| r.len)
+                    .sum::<u64>(),
+                2 * MB
+            );
         }
     }
 
     #[test]
     fn safe_write_of_missing_file_fails() {
         let mut volume = small_volume();
-        assert!(matches!(volume.safe_write("ghost", MB, 64 * 1024), Err(FsError::NoSuchName(_))));
+        assert!(matches!(
+            volume.safe_write("ghost", MB, 64 * 1024),
+            Err(FsError::NoSuchName(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_targets_in_a_batch_degenerate_to_sequential_replacement() {
+        let mut volume = small_volume();
+        volume.write_file("a", MB, 64 * 1024).unwrap();
+        let receipts = volume
+            .safe_write_batch(&[("a", 2 * MB), ("a", 3 * MB)], 64 * 1024)
+            .unwrap();
+        assert_eq!(receipts.len(), 2);
+        assert_eq!(volume.file_count(), 1);
+        // Last writer wins; the intermediate version's space is reclaimable.
+        let id = volume.lookup("a").unwrap();
+        assert_eq!(volume.file(id).unwrap().size_bytes, 3 * MB);
+        assert_eq!(id, receipts[1].file_id);
+        assert!(volume.iter_files().all(|f| !f.name.starts_with("~tmp.")));
+        assert_eq!(volume.stats().safe_writes, 2);
+    }
+
+    #[test]
+    fn failed_batch_safe_write_strands_no_temporaries() {
+        // Staging failure: the second name does not exist, after the first
+        // item's temporary was already created.
+        let mut volume = small_volume();
+        volume.write_file("a", MB, 64 * 1024).unwrap();
+        let free_before = volume.free_bytes();
+        let err = volume
+            .safe_write_batch(&[("a", MB), ("missing", MB)], 64 * 1024)
+            .unwrap_err();
+        assert!(matches!(err, FsError::NoSuchName(_)));
+        assert_eq!(volume.file_count(), 1, "only the original object remains");
+        assert!(volume.iter_files().all(|f| !f.name.starts_with("~tmp.")));
+        assert_eq!(volume.free_bytes(), free_before, "no clusters may leak");
+
+        // Allocation failure mid-round-robin: both replacements in flight
+        // need more space than the volume has.
+        let mut config = VolumeConfig::new(16 * MB);
+        config.mft_zone_fraction = 0.0;
+        let mut volume = Volume::format(config).unwrap();
+        volume.write_file("x", 6 * MB, 64 * 1024).unwrap();
+        volume.write_file("y", 6 * MB, 64 * 1024).unwrap();
+        let err = volume
+            .safe_write_batch(&[("x", 6 * MB), ("y", 6 * MB)], 64 * 1024)
+            .unwrap_err();
+        assert!(matches!(err, FsError::Alloc(_)));
+        assert_eq!(volume.file_count(), 2, "originals intact");
+        assert!(volume.iter_files().all(|f| !f.name.starts_with("~tmp.")));
+        for name in ["x", "y"] {
+            let id = volume.lookup(name).unwrap();
+            let bytes: u64 = volume.read_plan(id).unwrap().iter().map(|r| r.len).sum();
+            assert_eq!(bytes, 6 * MB, "{name} still reads back in full");
+        }
     }
 
     #[test]
@@ -791,7 +947,12 @@ mod tests {
 
         // Fragment the free space: many small files, delete every other one.
         let ids: Vec<FileId> = (0..256)
-            .map(|i| volume.write_file(&format!("pad{i}"), 128 * 1024, 64 * 1024).unwrap().file_id)
+            .map(|i| {
+                volume
+                    .write_file(&format!("pad{i}"), 128 * 1024, 64 * 1024)
+                    .unwrap()
+                    .file_id
+            })
             .collect();
         for id in ids.iter().step_by(2) {
             volume.delete(*id).unwrap();
@@ -803,7 +964,9 @@ mod tests {
         let incremental_fragments = volume.file(incremental.file_id).unwrap().fragment_count();
         // ...while a preallocated write can grab the one large run at the end
         // of the volume in a single piece.
-        let preallocated = volume.write_file_preallocated("preallocated", 4 * MB, 64 * 1024).unwrap();
+        let preallocated = volume
+            .write_file_preallocated("preallocated", 4 * MB, 64 * 1024)
+            .unwrap();
         let preallocated_fragments = volume.file(preallocated.file_id).unwrap().fragment_count();
         assert!(
             preallocated_fragments <= incremental_fragments,
@@ -847,7 +1010,10 @@ mod tests {
         let runs = Volume::runs_for_range(&record, 4096, 4096, 8192);
         assert_eq!(
             runs,
-            vec![ByteRun::new(101 * 4096, 4096), ByteRun::new(300 * 4096, 4096)]
+            vec![
+                ByteRun::new(101 * 4096, 4096),
+                ByteRun::new(300 * 4096, 4096)
+            ]
         );
         assert!(Volume::runs_for_range(&record, 4096, 0, 0).is_empty());
     }
@@ -859,11 +1025,15 @@ mod tests {
         let record = volume.file(receipt.file_id).unwrap();
         let cluster = volume.cluster_size();
         for run in &receipt.runs {
-            let covered = record.extents.iter().any(|e| {
-                run.offset >= e.start * cluster && run.end() <= e.end() * cluster
-            });
+            let covered = record
+                .extents
+                .iter()
+                .any(|e| run.offset >= e.start * cluster && run.end() <= e.end() * cluster);
             assert!(covered, "write run {run:?} outside allocated extents");
         }
-        assert_eq!(record.extents.total_clusters(), (3 * MB + 12345u64).div_ceil(cluster));
+        assert_eq!(
+            record.extents.total_clusters(),
+            (3 * MB + 12345u64).div_ceil(cluster)
+        );
     }
 }

@@ -185,7 +185,11 @@ fn file_ids_are_never_reused() {
     for round in 0..50 {
         let name = format!("f{round}");
         let receipt = volume.write_file(&name, 64 * 1024, 64 * 1024).unwrap();
-        assert!(seen.insert(receipt.file_id), "FileId {:?} reused", receipt.file_id);
+        assert!(
+            seen.insert(receipt.file_id),
+            "FileId {:?} reused",
+            receipt.file_id
+        );
         volume.delete(receipt.file_id).unwrap();
     }
     assert_eq!(seen.len(), 50);

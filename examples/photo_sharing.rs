@@ -77,7 +77,9 @@ fn run(store: &mut dyn ObjectStore, rng: &mut StdRng) {
 }
 
 fn main() {
-    println!("photo-sharing service: {ALBUMS} albums x {PHOTOS_PER_ALBUM} photos, six editing seasons\n");
+    println!(
+        "photo-sharing service: {ALBUMS} albums x {PHOTOS_PER_ALBUM} photos, six editing seasons\n"
+    );
     for kind in [StoreKind::Filesystem, StoreKind::Database] {
         let mut rng = StdRng::seed_from_u64(2007);
         match kind {

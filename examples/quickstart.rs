@@ -18,9 +18,14 @@ fn main() {
     // 1. The get/put interface, by hand: a small repository on each system.
     let mut fs = FsObjectStore::new(256 * MB).expect("filesystem store");
     let mut db = DbObjectStore::new(256 * MB).expect("database store");
-    for store in [&mut fs as &mut dyn ObjectStore, &mut db as &mut dyn ObjectStore] {
+    for store in [
+        &mut fs as &mut dyn ObjectStore,
+        &mut db as &mut dyn ObjectStore,
+    ] {
         store.put("report.pdf", 512 * 1024).expect("put");
-        store.safe_write("report.pdf", 600 * 1024).expect("safe write");
+        store
+            .safe_write("report.pdf", 600 * 1024)
+            .expect("safe write");
         let read = store.get("report.pdf").expect("get");
         println!(
             "{:<10} read {:>7} bytes in {} ({} fragment(s))",

@@ -64,7 +64,10 @@ fn run(store: &mut dyn ObjectStore, weeks: usize) {
 }
 
 fn main() {
-    println!("personal video recorder: ~{}-MB recordings, {RETAINED} retained, one year of churn\n", RECORDING_MEAN / MB);
+    println!(
+        "personal video recorder: ~{}-MB recordings, {RETAINED} retained, one year of churn\n",
+        RECORDING_MEAN / MB
+    );
     let weeks = 52;
     let mut fs = FsObjectStore::new(CAPACITY).expect("volume");
     run(&mut fs, weeks);
@@ -78,13 +81,11 @@ fn main() {
     let sizes = SizeDistribution::uniform_around(RECORDING_MEAN);
     let mut rng = StdRng::seed_from_u64(7);
     let mut live: Vec<String> = Vec::new();
-    let mut next_id = 0u64;
-    for _ in 0..weeks * 7 {
+    for next_id in 0..weeks * 7 {
         while live.len() >= RETAINED {
             volume.delete_by_name(&live.remove(0)).expect("expire");
         }
         let key = format!("recording-{next_id:06}.ts");
-        next_id += 1;
         volume
             .write_file_preallocated(&key, sizes.sample(&mut rng), 64 * 1024)
             .expect("record with declared size");
