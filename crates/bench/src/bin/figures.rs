@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! figures [--scale full|report|bench|test] [--json <dir>] [--only fig1,fig2,...]
+//! figures [--scale full|report|bench|test|smoke] [--json <dir>] [--only fig1,fig2,...]
 //! ```
 //!
 //! The default scale is `report` (one tenth of the paper's volume sizes; see
@@ -14,7 +14,8 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 
 use lor_bench::{
-    figure1, figure2, figure3, figure4, figure5, figure6, maintenance_ablation, table1,
+    figure1, figure2, figure3, figure4, figure5, figure6, maintenance_ablation,
+    maintenance_latency_figures, maintenance_policy_figures, policy_ablation_figures, table1,
     write_request_size_sweep, Scale,
 };
 use lor_core::Figure;
@@ -43,9 +44,10 @@ fn parse_args() -> Result<Options, String> {
                     "report" => Scale::report(),
                     "bench" => Scale::bench(),
                     "test" => Scale::test(),
+                    "smoke" => Scale::smoke(),
                     other => {
                         return Err(format!(
-                            "unknown scale {other:?} (use full|report|bench|test)"
+                            "unknown scale {other:?} (use full|report|bench|test|smoke)"
                         ))
                     }
                 };
@@ -62,7 +64,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--scale full|report|bench|test] [--json <dir>] [--only table1,fig1,...,fig6,write-size,maintenance]"
+                    "usage: figures [--scale full|report|bench|test|smoke] [--json <dir>] \
+                     [--only table1,fig1,...,fig6,write-size,maintenance,policy-ablation,\
+                     maintenance-policies,maintenance-latency]"
                 );
                 std::process::exit(0);
             }
@@ -139,6 +143,18 @@ fn run() -> Result<(), String> {
     if wanted(&options, "maintenance") {
         let figure = maintenance_ablation(&options.scale).map_err(|e| e.to_string())?;
         emit(&options, "maintenance", std::slice::from_ref(&figure))?;
+    }
+    if wanted(&options, "policy-ablation") {
+        let figures = policy_ablation_figures(&options.scale).map_err(|e| e.to_string())?;
+        emit(&options, "policy_ablation", &figures)?;
+    }
+    if wanted(&options, "maintenance-policies") {
+        let figures = maintenance_policy_figures(&options.scale).map_err(|e| e.to_string())?;
+        emit(&options, "maintenance_policies", &figures)?;
+    }
+    if wanted(&options, "maintenance-latency") {
+        let figures = maintenance_latency_figures(&options.scale).map_err(|e| e.to_string())?;
+        emit(&options, "maintenance_latency", &figures)?;
     }
     Ok(())
 }

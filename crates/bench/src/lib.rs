@@ -16,8 +16,8 @@
 #![warn(rust_2018_idioms)]
 
 use lor_core::{
-    compare_systems, run_aging_experiment, ExperimentConfig, Figure, Series, SizeDistribution,
-    StoreError, StoreKind, Table, TestbedConfig,
+    compare_systems, run_aging_experiment, AllocationPolicy, ExperimentConfig, Figure,
+    MaintenanceConfig, Series, SizeDistribution, StoreError, StoreKind, Table, TestbedConfig,
 };
 
 /// Scale factor applied to the paper's volume sizes.
@@ -82,6 +82,18 @@ impl Scale {
         }
     }
 
+    /// Smoke scale for CI: the smallest runs that still exercise every
+    /// scenario code path, so `figures --scale smoke` keeps the binaries from
+    /// silently rotting without slowing the pipeline down.
+    pub fn smoke() -> Self {
+        Scale {
+            volume_factor: 0.002,
+            object_factor: 0.25,
+            max_age: 2,
+            read_sample: Some(8),
+        }
+    }
+
     fn volume(&self, paper_bytes: u64) -> u64 {
         ((paper_bytes as f64) * self.volume_factor).max(16.0 * 1024.0 * 1024.0) as u64
     }
@@ -98,6 +110,59 @@ impl Scale {
 
 const PAPER_VOLUME: u64 = 40_000_000_000;
 const PAPER_LARGE_VOLUME: u64 = 400_000_000_000;
+
+/// Runs one closure per item on its own scoped thread, preserving result
+/// order.
+///
+/// Every figure is a sweep of independent aging experiments over
+/// configurations, so the sweeps parallelise embarrassingly; this is what
+/// makes `figures --scale full` tolerable on a laptop (the ROADMAP's open
+/// item).  `std::thread::scope` keeps it dependency-free.
+fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| scope.spawn(move || f(item)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("figure worker panicked"))
+            .collect()
+    })
+}
+
+/// The (database, filesystem) aging results for each configuration, with the
+/// individual experiments — two per configuration — run in parallel.
+fn compare_systems_sweep(
+    configs: &[ExperimentConfig],
+    ages: &[u32],
+    measure_reads: bool,
+) -> Result<Vec<(lor_core::AgingResult, lor_core::AgingResult)>, StoreError> {
+    let jobs: Vec<(StoreKind, ExperimentConfig)> = configs
+        .iter()
+        .flat_map(|config| {
+            [
+                (StoreKind::Database, config.clone()),
+                (StoreKind::Filesystem, config.clone()),
+            ]
+        })
+        .collect();
+    let results = parallel_map(jobs, |(kind, config)| {
+        run_aging_experiment(kind, &config, ages, measure_reads)
+    });
+    let mut paired = Vec::with_capacity(configs.len());
+    let mut iter = results.into_iter();
+    while let (Some(db), Some(fs)) = (iter.next(), iter.next()) {
+        paired.push((db?, fs?));
+    }
+    Ok(paired)
+}
 
 fn config_for(
     scale: &Scale,
@@ -129,16 +194,22 @@ pub fn figure1(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
     let sizes = [256u64 << 10, 512 << 10, 1 << 20];
     let ages = [0u32, 2, 4];
     // results[size][system] = AgingResult with read throughput at each age.
-    let mut per_size = Vec::new();
-    for &size in &sizes {
-        let config = config_for(
-            scale,
-            SizeDistribution::Constant(scale.object(size)),
-            scale.volume(PAPER_VOLUME),
-            0.5,
-        );
-        per_size.push((size, compare_systems(&config, &ages, true)?));
-    }
+    let configs: Vec<ExperimentConfig> = sizes
+        .iter()
+        .map(|&size| {
+            config_for(
+                scale,
+                SizeDistribution::Constant(scale.object(size)),
+                scale.volume(PAPER_VOLUME),
+                0.5,
+            )
+        })
+        .collect();
+    let per_size: Vec<_> = sizes
+        .iter()
+        .copied()
+        .zip(compare_systems_sweep(&configs, &ages, true)?)
+        .collect();
 
     let panel_titles = [
         "Read Throughput After Bulk Load",
@@ -199,7 +270,10 @@ fn fragmentation_figure(
     sizes: SizeDistribution,
 ) -> Result<Figure, StoreError> {
     let config = config_for(scale, sizes, scale.volume(PAPER_VOLUME), 0.5);
-    let (db, fs) = compare_systems(&config, &scale.age_points(), false)?;
+    let (db, fs) =
+        compare_systems_sweep(std::slice::from_ref(&config), &scale.age_points(), false)?
+            .pop()
+            .expect("one config yields one result pair");
     Ok(Figure::new(id, title, "Storage Age", "Fragments/object")
         .with_series(Series::fragments_vs_age(&db))
         .with_series(Series::fragments_vs_age(&fs)))
@@ -233,14 +307,15 @@ pub fn figure5(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
         SizeDistribution::Constant(mean),
         SizeDistribution::uniform_around(mean),
     ];
-    let mut per_distribution = Vec::new();
-    for distribution in distributions {
-        let config = config_for(scale, distribution, scale.volume(PAPER_VOLUME), 0.5);
-        per_distribution.push((
-            distribution,
-            compare_systems(&config, &scale.age_points(), false)?,
-        ));
-    }
+    let configs: Vec<ExperimentConfig> = distributions
+        .iter()
+        .map(|&distribution| config_for(scale, distribution, scale.volume(PAPER_VOLUME), 0.5))
+        .collect();
+    let per_distribution: Vec<_> = distributions
+        .iter()
+        .copied()
+        .zip(compare_systems_sweep(&configs, &scale.age_points(), false)?)
+        .collect();
 
     let mut database = Figure::new(
         "Figure 5.1",
@@ -288,9 +363,15 @@ pub fn figure6(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
         "Storage Age",
         "Fragments/object",
     );
-    for (volume, label_suffix) in [(small, "40G"), (large, "400G")] {
-        let config = config_for(scale, object, volume, 0.5);
-        let (db, fs) = compare_systems(&config, &half_ages, false)?;
+    let volumes = [(small, "40G"), (large, "400G")];
+    let configs: Vec<ExperimentConfig> = volumes
+        .iter()
+        .map(|&(volume, _)| config_for(scale, object, volume, 0.5))
+        .collect();
+    for ((_, label_suffix), (db, fs)) in volumes
+        .iter()
+        .zip(compare_systems_sweep(&configs, &half_ages, false)?)
+    {
         let mut db_series = Series::fragments_vs_age(&db);
         db_series.label = format!("50% full - {label_suffix}");
         let mut fs_series = Series::fragments_vs_age(&fs);
@@ -305,14 +386,32 @@ pub fn figure6(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
         "Storage Age",
         "Fragments/object",
     );
-    for occupancy in [0.9, 0.975] {
-        for (volume, label_suffix) in [(small, "40G"), (large, "400G")] {
-            let config = config_for(scale, object, volume, occupancy);
-            let result = run_aging_experiment(StoreKind::Filesystem, &config, &half_ages, false)?;
-            let mut series = Series::fragments_vs_age(&result);
-            series.label = format!("{:.1}% full - {label_suffix}", occupancy * 100.0);
-            occupancy_panel = occupancy_panel.with_series(series);
-        }
+    let jobs: Vec<(f64, &str, ExperimentConfig)> = [0.9, 0.975]
+        .iter()
+        .flat_map(|&occupancy| {
+            volumes.iter().map(move |&(volume, label_suffix)| {
+                let mut config = config_for(scale, object, volume, occupancy);
+                // A safe write needs a free object's worth of space per
+                // in-flight copy.  At the paper's scales the 2.5% free pool
+                // holds hundreds of objects and this cap never binds; at the
+                // miniature CI scales it lowers the occupancy just enough
+                // that the experiment still fits.
+                let objects = (volume as f64 * 0.95) / config.object_size.mean() as f64;
+                let ceiling = 1.0 - (config.concurrency as f64 + 1.0) / objects.max(1.0);
+                config.occupancy = occupancy.min(ceiling.max(0.5));
+                (occupancy, label_suffix, config)
+            })
+        })
+        .collect();
+    let runs = parallel_map(jobs, |(occupancy, label_suffix, config)| {
+        run_aging_experiment(StoreKind::Filesystem, &config, &half_ages, false)
+            .map(|result| (occupancy, label_suffix, result))
+    });
+    for run in runs {
+        let (occupancy, label_suffix, result) = run?;
+        let mut series = Series::fragments_vs_age(&result);
+        series.label = format!("{:.1}% full - {label_suffix}", occupancy * 100.0);
+        occupancy_panel = occupancy_panel.with_series(series);
     }
     Ok(vec![database_panel, filesystem_panel, occupancy_panel])
 }
@@ -328,17 +427,28 @@ pub fn write_request_size_sweep(scale: &Scale) -> Result<Figure, StoreError> {
         "Write request (KB)",
         "Fragments/object",
     );
+    let request_sizes = [16u64, 32, 64, 128, 256];
     for kind in [StoreKind::Database, StoreKind::Filesystem] {
+        let jobs: Vec<(u64, ExperimentConfig)> = request_sizes
+            .iter()
+            .map(|&request_kb| {
+                let mut config = config_for(
+                    scale,
+                    SizeDistribution::Constant(object),
+                    scale.volume(PAPER_VOLUME),
+                    0.5,
+                );
+                config.write_request_size = request_kb * 1024;
+                (request_kb, config)
+            })
+            .collect();
+        let runs = parallel_map(jobs, |(request_kb, config)| {
+            run_aging_experiment(kind, &config, &[scale.max_age.min(4)], false)
+                .map(|result| (request_kb, result))
+        });
         let mut points = Vec::new();
-        for request_kb in [16u64, 32, 64, 128, 256] {
-            let mut config = config_for(
-                scale,
-                SizeDistribution::Constant(object),
-                scale.volume(PAPER_VOLUME),
-                0.5,
-            );
-            config.write_request_size = request_kb * 1024;
-            let result = run_aging_experiment(kind, &config, &[scale.max_age.min(4)], false)?;
+        for run in runs {
+            let (request_kb, result) = run?;
             let fragments = result
                 .points
                 .last()
@@ -399,6 +509,182 @@ pub fn maintenance_ablation(scale: &Scale) -> Result<Figure, StoreError> {
     Ok(figure)
 }
 
+/// Policy ablation: fragments/object vs storage age for every
+/// [`AllocationPolicy`] variant, one figure per system (the ROADMAP's
+/// "policy ablation figures" open item; series recorded in EXPERIMENTS.md).
+///
+/// 256 KB objects on the Figure 3 workload, so the sweep isolates the effect
+/// of the placement policy on the paper's most fragmentation-prone setup.
+pub fn policy_ablation_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
+    let object = SizeDistribution::Constant(scale.object(256 << 10));
+    let base = config_for(scale, object, scale.volume(PAPER_VOLUME), 0.5);
+    let ages = scale.age_points();
+
+    let jobs: Vec<(StoreKind, AllocationPolicy)> = [StoreKind::Database, StoreKind::Filesystem]
+        .iter()
+        .flat_map(|&kind| AllocationPolicy::ALL.map(|policy| (kind, policy)))
+        .collect();
+    let runs = parallel_map(jobs, |(kind, policy)| {
+        run_aging_experiment(
+            kind,
+            &base.clone().with_allocation_policy(policy),
+            &ages,
+            false,
+        )
+        .map(|result| (kind, policy, result))
+    });
+
+    let mut database = Figure::new(
+        "Policy ablation (database)",
+        "Database fragmentation under each allocation policy (256 KB objects)",
+        "Storage Age",
+        "Fragments/object",
+    );
+    let mut filesystem = Figure::new(
+        "Policy ablation (filesystem)",
+        "Filesystem fragmentation under each allocation policy (256 KB objects)",
+        "Storage Age",
+        "Fragments/object",
+    );
+    for run in runs {
+        let (kind, policy, result) = run?;
+        let mut series = Series::fragments_vs_age(&result);
+        series.label = policy.name().to_string();
+        match kind {
+            StoreKind::Database => database = database.with_series(series),
+            StoreKind::Filesystem => filesystem = filesystem.with_series(series),
+        }
+    }
+    Ok(vec![database, filesystem])
+}
+
+/// The maintenance-policy configurations the scenario figures compare.
+fn maintenance_policies() -> Vec<MaintenanceConfig> {
+    vec![
+        MaintenanceConfig::idle(),
+        MaintenanceConfig::fixed_budget(512),
+        MaintenanceConfig::threshold(1.5),
+    ]
+}
+
+/// Maintenance scenario: fragments/object vs storage age under each
+/// `lor-maint` policy, one figure per system.
+///
+/// With [`lor_core::MaintenancePolicy::Idle`] fragmentation grows unchecked
+/// with age; the fixed-budget and threshold policies hold it to a lower
+/// steady state at the cost of the foreground latency plotted by
+/// [`maintenance_latency_figures`].
+pub fn maintenance_policy_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
+    let object = SizeDistribution::Constant(scale.object(2 << 20));
+    let base = config_for(scale, object, scale.volume(PAPER_VOLUME), 0.5);
+    let ages = scale.age_points();
+
+    let jobs: Vec<(StoreKind, MaintenanceConfig)> = [StoreKind::Database, StoreKind::Filesystem]
+        .iter()
+        .flat_map(|&kind| {
+            maintenance_policies()
+                .into_iter()
+                .map(move |policy| (kind, policy))
+        })
+        .collect();
+    let runs = parallel_map(jobs, |(kind, maintenance)| {
+        run_aging_experiment(
+            kind,
+            &base.clone().with_maintenance(maintenance),
+            &ages,
+            false,
+        )
+        .map(|result| (kind, maintenance, result))
+    });
+
+    let mut database = Figure::new(
+        "Maintenance policies (database)",
+        "Database fragmentation vs age under each maintenance policy (2 MB objects)",
+        "Storage Age",
+        "Fragments/object",
+    );
+    let mut filesystem = Figure::new(
+        "Maintenance policies (filesystem)",
+        "Filesystem fragmentation vs age under each maintenance policy (2 MB objects)",
+        "Storage Age",
+        "Fragments/object",
+    );
+    for run in runs {
+        let (kind, maintenance, result) = run?;
+        let mut series = Series::fragments_vs_age(&result);
+        series.label = maintenance.policy.label();
+        match kind {
+            StoreKind::Database => database = database.with_series(series),
+            StoreKind::Filesystem => filesystem = filesystem.with_series(series),
+        }
+    }
+    Ok(vec![database, filesystem])
+}
+
+/// Maintenance scenario: the latency-vs-throughput trade-off made explicit.
+///
+/// Sweeps the fixed background budget (`io_per_tick`, 64 KB units; 0 is the
+/// idle baseline) and returns two figures over the same x axis: mean
+/// foreground safe-write latency at the end of the aging run, and the
+/// steady-state fragments/object the budget bought.  Together they are the
+/// "foreground latency vs background budget" figure family.
+pub fn maintenance_latency_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
+    let object = SizeDistribution::Constant(scale.object(2 << 20));
+    let base = config_for(scale, object, scale.volume(PAPER_VOLUME), 0.5);
+    let final_age = scale.max_age.clamp(1, 4);
+    let budgets = [0u64, 64, 256, 1024];
+
+    let jobs: Vec<(StoreKind, u64)> = [StoreKind::Database, StoreKind::Filesystem]
+        .iter()
+        .flat_map(|&kind| budgets.map(|budget| (kind, budget)))
+        .collect();
+    let runs = parallel_map(jobs, |(kind, budget)| {
+        run_aging_experiment(
+            kind,
+            &base
+                .clone()
+                .with_maintenance(MaintenanceConfig::fixed_budget(budget)),
+            &[final_age],
+            false,
+        )
+        .map(|result| (kind, budget, result))
+    });
+
+    let mut latency = Figure::new(
+        "Maintenance latency",
+        format!("Foreground safe-write latency vs background budget (storage age {final_age})"),
+        "Background budget (64 KB I/Os per tick)",
+        "Latency (ms)",
+    );
+    let mut fragments = Figure::new(
+        "Maintenance steady state",
+        format!("Fragments/object vs background budget (storage age {final_age})"),
+        "Background budget (64 KB I/Os per tick)",
+        "Fragments/object",
+    );
+    let mut latency_points: std::collections::BTreeMap<&str, Vec<(f64, f64)>> = Default::default();
+    let mut fragment_points: std::collections::BTreeMap<&str, Vec<(f64, f64)>> = Default::default();
+    for run in runs {
+        let (kind, budget, result) = run?;
+        let point = result.points.last().expect("one measured age");
+        latency_points
+            .entry(kind.label())
+            .or_default()
+            .push((budget as f64, point.foreground_latency_ms));
+        fragment_points
+            .entry(kind.label())
+            .or_default()
+            .push((budget as f64, point.fragments_per_object));
+    }
+    for (label, points) in latency_points {
+        latency = latency.with_series(Series::new(label, points));
+    }
+    for (label, points) in fragment_points {
+        fragments = fragments.with_series(Series::new(label, points));
+    }
+    Ok(vec![latency, fragments])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,6 +720,44 @@ mod tests {
             assert_eq!(series.points.len(), scale.age_points().len());
             // Fragments never drop below 1 for live objects.
             assert!(series.points.iter().all(|(_, y)| *y >= 1.0));
+        }
+    }
+
+    #[test]
+    fn policy_ablation_covers_every_policy_for_both_systems() {
+        let scale = Scale::smoke();
+        let figures = policy_ablation_figures(&scale).unwrap();
+        assert_eq!(figures.len(), 2);
+        for figure in &figures {
+            assert_eq!(figure.series.len(), AllocationPolicy::ALL.len());
+            let labels: Vec<&str> = figure.series.iter().map(|s| s.label.as_str()).collect();
+            for policy in AllocationPolicy::ALL {
+                assert!(labels.contains(&policy.name()), "missing {}", policy.name());
+            }
+            for series in &figure.series {
+                assert_eq!(series.points.len(), scale.age_points().len());
+            }
+        }
+    }
+
+    #[test]
+    fn maintenance_figures_have_the_expected_shape() {
+        let scale = Scale::smoke();
+        let policy_figures = maintenance_policy_figures(&scale).unwrap();
+        assert_eq!(policy_figures.len(), 2);
+        for figure in &policy_figures {
+            assert_eq!(figure.series.len(), 3, "idle, fixed-budget, threshold");
+            assert!(figure.series.iter().any(|s| s.label == "idle"));
+        }
+
+        let latency_figures = maintenance_latency_figures(&scale).unwrap();
+        assert_eq!(latency_figures.len(), 2);
+        for figure in &latency_figures {
+            assert_eq!(figure.series.len(), 2, "one series per system");
+            for series in &figure.series {
+                assert_eq!(series.points.len(), 4, "one point per budget");
+                assert!(series.points.iter().all(|(_, y)| *y > 0.0));
+            }
         }
     }
 

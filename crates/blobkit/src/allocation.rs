@@ -296,6 +296,64 @@ impl AllocationUnit {
         Ok(pages)
     }
 
+    /// Allocates `count` pages greedily from the largest free runs (the
+    /// unit's own free space and unassigned GAM extent runs, whichever is
+    /// larger), minimizing the number of physical runs in the result.
+    ///
+    /// This is the engine compaction's best-effort mode: when no single run
+    /// can hold a whole blob ([`AllocationUnit::allocate_contiguous`] fails),
+    /// the largest-first allocation still yields far fewer runs than the
+    /// native lowest-first reuse, so an incremental compactor keeps making
+    /// progress instead of stalling until cleanup happens to coalesce a big
+    /// run.  Returns `None` — leaving all state untouched — only when the
+    /// unit plus GAM cannot supply `count` pages at all.
+    pub fn allocate_largest_runs(&mut self, gam: &mut Gam, count: u64) -> Option<Vec<PageId>> {
+        if count == 0 {
+            return Some(Vec::new());
+        }
+        if count > self.available_pages(gam) {
+            return None;
+        }
+        let mut pages: Vec<PageId> = Vec::with_capacity(count as usize);
+        while (pages.len() as u64) < count {
+            let remaining = count - pages.len() as u64;
+            let unit_run = self.map.largest();
+            let gam_run = gam.free_space().largest();
+            let unit_pages = unit_run.map_or(0, |run| run.len);
+            let gam_pages = gam_run.map_or(0, |run| run.len * PAGES_PER_EXTENT);
+            debug_assert!(
+                unit_pages > 0 || gam_pages > 0,
+                "available_pages() guaranteed enough space"
+            );
+            if unit_pages >= gam_pages {
+                let run = unit_run.expect("unit run exists when unit_pages > 0");
+                let take = run.len.min(remaining);
+                let taken = Extent::new(run.start, take);
+                self.map.reserve(taken).expect("largest unit run is free");
+                self.picker.advance(taken);
+                pages.extend((run.start..run.start + take).map(PageId));
+            } else {
+                let run = gam_run.expect("gam run exists when gam_pages > 0");
+                let extents = remaining.div_ceil(PAGES_PER_EXTENT).min(run.len);
+                for index in 0..extents {
+                    let extent = ExtentId(run.start + index);
+                    let taken = gam.assign_specific(extent);
+                    debug_assert!(taken, "extents of a free GAM run are assignable");
+                    self.adopt_extent(extent);
+                }
+                let first = ExtentId(run.start).first_page().0;
+                let take = (extents * PAGES_PER_EXTENT).min(remaining);
+                let taken = Extent::new(first, take);
+                self.map
+                    .reserve(taken)
+                    .expect("pages of freshly adopted extents are free");
+                self.picker.advance(taken);
+                pages.extend((first..first + take).map(PageId));
+            }
+        }
+        Some(pages)
+    }
+
     /// The policy-chosen free page at which to start a new run, if the unit
     /// has any free page.
     fn pick_page(&self) -> Option<PageId> {
@@ -582,6 +640,44 @@ mod tests {
         // eligible position of first fit.
         let b = unit.allocate_pages(&mut gam, 1).unwrap();
         assert_eq!(b, vec![PageId(5)]);
+    }
+
+    #[test]
+    fn allocate_largest_runs_is_contiguous_when_a_run_fits() {
+        let mut gam = Gam::new(100);
+        let mut unit = AllocationUnit::new(PageKind::LobData, TEST_PAGES);
+        let a = unit.allocate_pages(&mut gam, 16).unwrap();
+        // Free a 6-page hole inside the unit's extents.
+        for page in &a[4..10] {
+            unit.free_page(&mut gam, *page);
+        }
+        // The GAM's unassigned tail (98 extents) dwarfs the 6-page hole, so a
+        // 4-page request lands contiguously in fresh extents...
+        let from_gam = unit.allocate_largest_runs(&mut gam, 4).unwrap();
+        assert_eq!(fragment_count(&from_gam), 1);
+        assert_eq!(from_gam[0], ExtentId(2).first_page());
+        // ...and a 20-page one is a single run of consecutive fresh extents.
+        let bigger = unit.allocate_largest_runs(&mut gam, 20).unwrap();
+        assert_eq!(fragment_count(&bigger), 1);
+        assert!(unit.allocate_largest_runs(&mut gam, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn allocate_largest_runs_falls_back_to_several_runs() {
+        let mut gam = Gam::new(2); // 16 pages
+        let mut unit = AllocationUnit::new(PageKind::LobData, 2 * PAGES_PER_EXTENT);
+        let pages = unit.allocate_pages(&mut gam, 16).unwrap();
+        // Free pages in two separated runs of 3 and 2.
+        for page in [&pages[2..5], &pages[8..10]].concat() {
+            unit.free_page(&mut gam, page);
+        }
+        // No single 5-page run exists anywhere; the largest-first fallback
+        // uses exactly the two runs, biggest first.
+        let scattered = unit.allocate_largest_runs(&mut gam, 5).unwrap();
+        assert_eq!(fragment_count(&scattered), 2);
+        assert_eq!(scattered[0], pages[2], "the 3-page run is taken first");
+        // More than the free pool refuses cleanly.
+        assert!(unit.allocate_largest_runs(&mut gam, 1).is_none());
     }
 
     #[test]

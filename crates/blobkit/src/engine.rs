@@ -44,6 +44,11 @@ pub struct EngineConfig {
     /// Metadata rows per clustered-index page.
     pub rows_per_page: u64,
     /// Mutating operations between automatic ghost-cleanup passes.
+    ///
+    /// `0` disables the interval-driven cleanup entirely: ghosts then
+    /// accumulate until either allocation pressure forces a pass or an
+    /// external scheduler (the `lor-maint` background maintenance subsystem)
+    /// calls [`Database::ghost_cleanup`] explicitly.
     pub ghost_cleanup_interval_ops: u64,
     /// Byte offset of the data file on the underlying disk (the file is
     /// modelled as one contiguous preallocation).
@@ -137,6 +142,25 @@ pub struct DbWriteReceipt {
     pub bytes_written: u64,
     /// LOB pages written.
     pub pages_written: u64,
+}
+
+/// Outcome of one incremental compaction step ([`Database::compact_step`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompactReport {
+    /// Blobs whose layout was examined.
+    pub blobs_examined: u64,
+    /// Blobs rewritten into a single contiguous run.
+    pub blobs_moved: u64,
+    /// Blobs skipped because no contiguous run large enough existed.
+    pub blobs_skipped: u64,
+    /// LOB pages written while moving blobs.
+    pub pages_moved: u64,
+    /// Payload bytes of the moved blobs.
+    pub bytes_copied: u64,
+    /// Fragments before the step, summed over examined blobs.
+    pub fragments_before: u64,
+    /// Fragments after the step, summed over examined blobs.
+    pub fragments_after: u64,
 }
 
 /// The BLOB storage engine.
@@ -394,15 +418,33 @@ impl Database {
 
     /// Reclaims all ghost pages, returning fully empty extents to the GAM.
     pub fn ghost_cleanup(&mut self) {
+        self.ghost_cleanup_limited(0);
+    }
+
+    /// Reclaims up to `max_pages` ghost pages, oldest first (0 means all),
+    /// returning fully empty extents to the GAM.  Returns the pages
+    /// reclaimed.
+    ///
+    /// The bounded form is what a budgeted background scheduler uses: a huge
+    /// ghost backlog is then drained over several passes instead of charging
+    /// one unbounded sweep to a single tick.
+    pub fn ghost_cleanup_limited(&mut self, max_pages: u64) -> u64 {
         if self.ghost_pages.is_empty() {
             self.ops_since_cleanup = 0;
-            return;
+            return 0;
         }
-        for page in std::mem::take(&mut self.ghost_pages) {
+        let take = if max_pages == 0 {
+            self.ghost_pages.len()
+        } else {
+            (max_pages as usize).min(self.ghost_pages.len())
+        };
+        let reclaimed: Vec<PageId> = self.ghost_pages.drain(..take).collect();
+        for page in reclaimed {
             self.lob_unit.free_page(&mut self.gam, page);
         }
         self.ops_since_cleanup = 0;
         self.stats.ghost_cleanups += 1;
+        take as u64
     }
 
     /// Pages currently awaiting ghost cleanup.
@@ -468,6 +510,77 @@ impl Database {
         Ok(copied)
     }
 
+    /// Runs one bounded increment of online compaction: rewrites the most
+    /// fragmented blobs into fresh contiguous runs, stopping once about
+    /// `page_budget` LOB pages have been moved (0 means unlimited).
+    ///
+    /// This is the incremental middle ground between doing nothing and the
+    /// offline [`Database::rebuild_into_new_filegroup`]: a background
+    /// maintenance scheduler can spend a few pages per tick and keep
+    /// fragments/object bounded without ever taking the table offline.  Each
+    /// candidate is rewritten into the largest free runs available
+    /// ([`AllocationUnit::allocate_largest_runs`], a single contiguous run
+    /// whenever one exists); the move commits only if it strictly reduces the
+    /// blob's fragment count, and rolls back otherwise — so a step never
+    /// makes any blob worse.  Old pages are freed immediately: compaction
+    /// runs in its own transaction.  At least one candidate is examined per
+    /// call even when `page_budget` is smaller than the blob, so compaction
+    /// never starves.
+    pub fn compact_step(&mut self, page_budget: u64) -> CompactReport {
+        let mut candidates: Vec<(BlobId, usize)> = self
+            .blobs
+            .values()
+            .filter(|record| record.fragment_count() > 1)
+            .map(|record| (record.id, record.fragment_count()))
+            .collect();
+        candidates.sort_by_key(|(_, fragments)| std::cmp::Reverse(*fragments));
+
+        let mut report = CompactReport::default();
+        for (id, fragments) in candidates {
+            if page_budget > 0 && report.pages_moved >= page_budget {
+                break;
+            }
+            report.blobs_examined += 1;
+            report.fragments_before += fragments as u64;
+            let (need, size_bytes) = {
+                let record = &self.blobs[&id];
+                (record.page_count(), record.size_bytes)
+            };
+            let new_pages = match self.lob_unit.allocate_largest_runs(&mut self.gam, need) {
+                Some(pages) => pages,
+                None => {
+                    report.blobs_skipped += 1;
+                    report.fragments_after += fragments as u64;
+                    continue;
+                }
+            };
+            let new_fragments = crate::page::fragment_count(&new_pages);
+            if new_fragments >= fragments {
+                // Not an improvement: roll the speculative allocation back.
+                for page in new_pages {
+                    self.lob_unit.free_page(&mut self.gam, page);
+                }
+                report.blobs_skipped += 1;
+                report.fragments_after += fragments as u64;
+                continue;
+            }
+            let record = self
+                .blobs
+                .get_mut(&id)
+                .expect("candidate ids are live blobs");
+            let old_pages = std::mem::replace(&mut record.pages, new_pages);
+            for page in old_pages {
+                self.lob_unit.free_page(&mut self.gam, page);
+            }
+            self.stats.pages_allocated += need;
+            report.blobs_moved += 1;
+            report.pages_moved += need;
+            report.bytes_copied += size_bytes;
+            report.fragments_after += new_fragments as u64;
+        }
+        report
+    }
+
     /// Allocates LOB pages, forcing a ghost cleanup if the free pool is
     /// exhausted but ghosts exist (allocation pressure).
     fn allocate_lob_pages(&mut self, pages: u64) -> Result<Vec<PageId>, DbError> {
@@ -521,7 +634,9 @@ impl Database {
 
     fn bump_op(&mut self) {
         self.ops_since_cleanup += 1;
-        if self.ops_since_cleanup >= self.config.ghost_cleanup_interval_ops {
+        if self.config.ghost_cleanup_interval_ops > 0
+            && self.ops_since_cleanup >= self.config.ghost_cleanup_interval_ops
+        {
             self.ghost_cleanup();
         }
     }
@@ -802,6 +917,90 @@ mod tests {
             let plan = db.read_plan(&format!("obj-{i}")).unwrap();
             assert!(plan.iter().map(|r| r.len).sum::<u64>() >= object);
         }
+    }
+
+    /// Ages a small engine so several blobs end up fragmented.
+    fn aged_db() -> Database {
+        let mut db = Database::create(EngineConfig::new(64 * MB)).unwrap();
+        let count = 24;
+        for i in 0..count {
+            db.insert(&format!("obj-{i}"), MB).unwrap();
+        }
+        for round in 0..8 {
+            for i in 0..count {
+                db.update(&format!("obj-{}", (i * 7 + round) % count), MB)
+                    .unwrap();
+            }
+        }
+        db.ghost_cleanup();
+        db
+    }
+
+    #[test]
+    fn compact_steps_reduce_fragmentation_incrementally() {
+        let mut db = aged_db();
+        let before = db.fragmentation();
+        assert!(before.fragments_per_object > 1.2, "fixture must be aged");
+
+        let mut steps = 0;
+        let mut previous = before.total_fragments;
+        loop {
+            let report = db.compact_step(32);
+            let now = db.fragmentation().total_fragments;
+            assert!(now <= previous, "a step may never add fragments");
+            previous = now;
+            steps += 1;
+            assert!(steps < 10_000, "compaction must terminate");
+            if report.blobs_moved == 0 {
+                break;
+            }
+            assert!(
+                report.pages_moved <= 32 + db.config().pages_for(MB),
+                "budget is a soft cap: at most one blob of overshoot"
+            );
+        }
+        let after = db.fragmentation();
+        assert!(
+            after.fragments_per_object < before.fragments_per_object,
+            "compaction must reduce fragmentation ({} -> {})",
+            before.fragments_per_object,
+            after.fragments_per_object
+        );
+        // Every object still reads back in full and no page is shared.
+        let mut seen = std::collections::HashSet::new();
+        for blob in db.iter_blobs() {
+            assert_eq!(blob.page_count(), db.config().pages_for(MB));
+            for page in &blob.pages {
+                assert!(seen.insert(*page));
+            }
+        }
+    }
+
+    #[test]
+    fn compact_step_on_a_clean_store_is_a_no_op() {
+        let mut db = small_db();
+        for i in 0..8 {
+            db.insert(&format!("obj-{i}"), MB).unwrap();
+        }
+        let report = db.compact_step(0);
+        assert_eq!(report.blobs_examined, 0);
+        assert_eq!(report.pages_moved, 0);
+    }
+
+    #[test]
+    fn zero_ghost_cleanup_interval_disables_automatic_cleanup() {
+        let mut config = EngineConfig::new(64 * MB);
+        config.ghost_cleanup_interval_ops = 0;
+        let mut db = Database::create(config).unwrap();
+        db.insert("a", MB).unwrap();
+        for _ in 0..20 {
+            db.update("a", MB).unwrap();
+        }
+        assert!(db.ghost_page_count() > 0, "ghosts must accumulate");
+        assert_eq!(db.stats().ghost_cleanups, 0);
+        assert_eq!(db.stats().forced_cleanups, 0);
+        db.ghost_cleanup();
+        assert_eq!(db.ghost_page_count(), 0);
     }
 
     #[test]

@@ -44,6 +44,6 @@ mod page;
 
 pub use allocation::{AllocationUnit, Gam};
 pub use blob::{BlobId, BlobRecord};
-pub use engine::{Database, DbWriteReceipt, EngineConfig, EngineStats};
+pub use engine::{CompactReport, Database, DbWriteReceipt, EngineConfig, EngineStats};
 pub use error::DbError;
 pub use page::{fragment_count, page_runs, ExtentId, PageId, PageKind, PAGES_PER_EXTENT};

@@ -2,9 +2,11 @@
 
 use lor_blobkit::{Database, EngineConfig};
 use lor_disksim::{Disk, DiskConfig, IoRequest, ServiceTime, SimClock, SimDuration};
+use lor_maint::{MaintenanceConfig, MaintenanceStats};
 use serde::{Deserialize, Serialize};
 
 use crate::error::StoreError;
+use crate::maintenance::{DbMaintTarget, MaintenanceState};
 use crate::store::{CostModel, ObjectStore, OpReceipt, StoreKind};
 
 /// Configuration of a database-backed store.
@@ -19,6 +21,11 @@ pub struct DbStoreConfig {
     pub write_request_size: u64,
     /// Host-side cost model.
     pub cost: CostModel,
+    /// Background maintenance scheduler, if any.  When set, the engine's own
+    /// interval-driven ghost cleanup is disabled and the `lor-maint`
+    /// scheduler owns cleanup, checkpointing and incremental compaction
+    /// (allocation-pressure emergency cleanups remain in the substrate).
+    pub maintenance: Option<MaintenanceConfig>,
 }
 
 impl DbStoreConfig {
@@ -30,28 +37,42 @@ impl DbStoreConfig {
             disk: DiskConfig::seagate_400gb_2005().scaled(capacity_bytes),
             write_request_size: 64 * 1024,
             cost: CostModel::default(),
+            maintenance: None,
         }
     }
 }
 
 /// Objects stored as out-of-row BLOBs in the SQL-Server-like engine.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DbObjectStore {
     db: Database,
     disk: Disk,
     cost: CostModel,
     clock: SimClock,
     write_request_size: u64,
+    maintenance: Option<MaintenanceState>,
 }
 
 impl DbObjectStore {
     /// Creates a store from an explicit configuration.
-    pub fn with_config(config: DbStoreConfig) -> Result<Self, StoreError> {
+    pub fn with_config(mut config: DbStoreConfig) -> Result<Self, StoreError> {
         if config.write_request_size == 0 {
             return Err(StoreError::BadConfig(
                 "write request size must be non-zero".into(),
             ));
         }
+        let maintenance = match config.maintenance {
+            Some(maint_config) => {
+                maint_config
+                    .validate()
+                    .map_err(|message| StoreError::BadConfig(message.into()))?;
+                // The scheduler owns ghost cleanup now; only the
+                // allocation-pressure emergency path stays in the engine.
+                config.engine.ghost_cleanup_interval_ops = 0;
+                Some(MaintenanceState::new(maint_config))
+            }
+            None => None,
+        };
         let db = Database::create(config.engine)?;
         Ok(DbObjectStore {
             db,
@@ -59,6 +80,7 @@ impl DbObjectStore {
             cost: config.cost,
             clock: SimClock::new(),
             write_request_size: config.write_request_size,
+            maintenance,
         })
     }
 
@@ -86,6 +108,24 @@ impl DbObjectStore {
         self.clock.advance(disk_time.total() + host_time);
     }
 
+    /// Reports a completed mutating operation of duration `op_time` to the
+    /// background scheduler (if any) and charges whatever background I/O it
+    /// performed to the foreground clock — the single spindle serializes
+    /// foreground and maintenance work.
+    fn after_mutating_op(&mut self, op_time: SimDuration) {
+        let Some(state) = self.maintenance.as_mut() else {
+            return;
+        };
+        let mut target = DbMaintTarget {
+            db: &mut self.db,
+            disk: self.disk.config(),
+            cost: &self.cost,
+            defrag_backoff: &mut state.defrag_backoff,
+        };
+        let interference = state.scheduler.on_foreground_op(op_time, &mut target);
+        self.clock.advance(interference);
+    }
+
     fn write_receipt(
         &mut self,
         runs: Vec<lor_disksim::ByteRun>,
@@ -98,13 +138,15 @@ impl DbObjectStore {
         let disk_time = self.disk.service(&request);
         let host_time = self.cost.db_write_host_time(pages, size_bytes);
         self.charge(disk_time, host_time);
-        OpReceipt {
+        let receipt = OpReceipt {
             payload_bytes: size_bytes,
             transferred_bytes: transferred,
             disk_time,
             host_time,
             fragments,
-        }
+        };
+        self.after_mutating_op(receipt.total_time());
+        receipt
     }
 }
 
@@ -159,10 +201,12 @@ impl ObjectStore for DbObjectStore {
         self.db.delete(key)?;
         let host_time = self.cost.db_lookup_time;
         self.charge(ServiceTime::default(), host_time);
-        Ok(OpReceipt {
+        let receipt = OpReceipt {
             host_time,
             ..OpReceipt::default()
-        })
+        };
+        self.after_mutating_op(receipt.total_time());
+        Ok(receipt)
     }
 
     fn contains(&self, key: &str) -> bool {
@@ -229,6 +273,12 @@ impl ObjectStore for DbObjectStore {
     fn write_request_size(&self) -> u64 {
         self.write_request_size
     }
+
+    fn maintenance_stats(&self) -> Option<MaintenanceStats> {
+        self.maintenance
+            .as_ref()
+            .map(|state| *state.scheduler.stats())
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +289,40 @@ mod tests {
 
     fn store() -> DbObjectStore {
         DbObjectStore::new(256 * MB).unwrap()
+    }
+
+    #[test]
+    fn maintenance_scheduler_cleans_ghosts_and_charges_the_clock() {
+        let mut config = DbStoreConfig::new(128 * MB);
+        config.maintenance = Some(MaintenanceConfig::fixed_budget(16));
+        let mut store = DbObjectStore::with_config(config).unwrap();
+        assert!(store.maintenance_stats().is_some());
+        assert_eq!(
+            store.database().config().ghost_cleanup_interval_ops,
+            0,
+            "the scheduler owns ghost cleanup"
+        );
+
+        for i in 0..16 {
+            store.put(&format!("o{i}"), MB).unwrap();
+        }
+        for round in 0..3 {
+            for i in 0..16 {
+                store
+                    .safe_write(&format!("o{}", (i * 5 + round) % 16), MB)
+                    .unwrap();
+            }
+        }
+        let stats = store.maintenance_stats().unwrap();
+        assert!(stats.ticks > 0);
+        assert!(stats.ghost_cleanup.runs > 0, "ghosts must get reclaimed");
+        assert!(stats.background_time > SimDuration::ZERO);
+        assert!(store.elapsed() > stats.background_time);
+        assert_eq!(
+            store.database().stats().ghost_cleanups,
+            stats.ghost_cleanup.runs,
+            "every engine cleanup was scheduler-driven"
+        );
     }
 
     #[test]

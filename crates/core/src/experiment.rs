@@ -16,6 +16,7 @@
 
 use lor_alloc::AllocationPolicy;
 use lor_disksim::throughput_mb_per_sec;
+use lor_maint::MaintenanceConfig;
 use serde::{Deserialize, Serialize};
 
 use crate::db_store::{DbObjectStore, DbStoreConfig};
@@ -102,6 +103,12 @@ pub struct ExperimentConfig {
     /// run cache and SQL Server's lowest-first page reuse); the fit policies
     /// let the ablation benches sweep one policy knob across both stores.
     pub allocation_policy: AllocationPolicy,
+    /// Background maintenance scheduler applied by both substrates.  `None`
+    /// reproduces the paper's systems (interval-driven cleanup buried in the
+    /// substrates); `Some` hands ghost cleanup, checkpointing and incremental
+    /// defragmentation to the `lor-maint` scheduler under the configured
+    /// latency-vs-throughput policy.
+    pub maintenance: Option<MaintenanceConfig>,
 }
 
 impl ExperimentConfig {
@@ -118,12 +125,19 @@ impl ExperimentConfig {
             read_sample: Some(400),
             concurrency: 4,
             allocation_policy: AllocationPolicy::Native,
+            maintenance: None,
         }
     }
 
     /// Overrides the allocation policy applied by both substrates.
     pub fn with_allocation_policy(mut self, policy: AllocationPolicy) -> Self {
         self.allocation_policy = policy;
+        self
+    }
+
+    /// Attaches a background maintenance scheduler to both substrates.
+    pub fn with_maintenance(mut self, maintenance: MaintenanceConfig) -> Self {
+        self.maintenance = Some(maintenance);
         self
     }
 
@@ -166,6 +180,7 @@ impl ExperimentConfig {
                 config.write_request_size = self.write_request_size;
                 config.cost = self.cost;
                 config.volume.allocation_policy = self.allocation_policy;
+                config.maintenance = self.maintenance;
                 Ok(Box::new(FsObjectStore::with_config(config)?))
             }
             StoreKind::Database => {
@@ -173,6 +188,7 @@ impl ExperimentConfig {
                 config.write_request_size = self.write_request_size;
                 config.cost = self.cost;
                 config.engine.allocation_policy = self.allocation_policy;
+                config.maintenance = self.maintenance;
                 Ok(Box::new(DbObjectStore::with_config(config)?))
             }
         }
@@ -202,6 +218,11 @@ impl ExperimentConfig {
                 "concurrency must be at least 1".into(),
             ));
         }
+        if let Some(maintenance) = &self.maintenance {
+            maintenance
+                .validate()
+                .map_err(|message| StoreError::BadConfig(message.into()))?;
+        }
         Ok(())
     }
 }
@@ -219,6 +240,15 @@ pub struct AgePoint {
     /// Read throughput (payload MB/s) of a randomized full-object read pass
     /// at this checkpoint, if reads were measured.
     pub read_throughput_mb_s: Option<f64>,
+    /// Mean foreground operation latency (milliseconds) over the interval
+    /// that ended at this checkpoint: puts during bulk load, safe writes
+    /// during aging.  Includes any background-maintenance interference
+    /// charged by the `lor-maint` scheduler, so it is the metric the
+    /// latency-vs-throughput maintenance scenarios plot.
+    pub foreground_latency_ms: f64,
+    /// Cumulative background-maintenance time (seconds) the store's scheduler
+    /// has spent up to this checkpoint (0 when no scheduler is attached).
+    pub background_time_s: f64,
     /// Live objects at the checkpoint.
     pub objects: u64,
 }
@@ -274,22 +304,30 @@ pub fn run_aging_experiment(
     // Bulk load.
     store.reset_measurements();
     let mut bulk_bytes = 0u64;
+    let mut bulk_ops = 0u64;
     for op in generator.bulk_load() {
         if let WorkloadOp::Put { key, size } = op {
             store.put(&key, size)?;
             tracker.record_put(size);
             bulk_bytes += size;
+            bulk_ops += 1;
         }
     }
     let bulk_throughput = throughput_mb_per_sec(bulk_bytes, store.elapsed());
+    let bulk_latency = store
+        .elapsed()
+        .checked_div_int(bulk_ops.max(1))
+        .as_millis_f64();
 
     let mut current_age = 0u32;
     let mut interval_throughput = bulk_throughput;
+    let mut interval_latency = bulk_latency;
     for &target in &ages {
         // Age up to the target (no-op for target 0).
         if target > current_age {
             store.reset_measurements();
             let mut written = 0u64;
+            let mut ops = 0u64;
             while current_age < target {
                 let round: Vec<(String, u64)> = generator
                     .overwrite_round()
@@ -308,11 +346,13 @@ pub fn run_aging_experiment(
                     for ((_, size), old) in batch.iter().zip(old_sizes) {
                         tracker.record_safe_write(old, *size);
                         written += size;
+                        ops += 1;
                     }
                 }
                 current_age += 1;
             }
             interval_throughput = throughput_mb_per_sec(written, store.elapsed());
+            interval_latency = store.elapsed().checked_div_int(ops.max(1)).as_millis_f64();
         }
 
         let read_throughput = if measure_reads {
@@ -330,6 +370,10 @@ pub fn run_aging_experiment(
             fragments_per_object: store.fragmentation().fragments_per_object,
             write_throughput_mb_s: interval_throughput,
             read_throughput_mb_s: read_throughput,
+            foreground_latency_ms: interval_latency,
+            background_time_s: store
+                .maintenance_stats()
+                .map_or(0.0, |stats| stats.background_time.as_secs_f64()),
             objects: store.object_count() as u64,
         });
     }
@@ -394,6 +438,7 @@ mod tests {
             read_sample: Some(16),
             concurrency: 4,
             allocation_policy: AllocationPolicy::Native,
+            maintenance: None,
         }
     }
 
@@ -453,7 +498,32 @@ mod tests {
             point.fragments_per_object < 1.5,
             "clean store is nearly contiguous"
         );
+        assert!(point.foreground_latency_ms > 0.0);
+        assert_eq!(point.background_time_s, 0.0, "no scheduler attached");
         assert_eq!(point.objects, config.object_count());
+    }
+
+    #[test]
+    fn maintenance_config_threads_into_both_stores() {
+        use lor_maint::MaintenanceConfig;
+
+        let config = mini_config().with_maintenance(MaintenanceConfig::fixed_budget(16));
+        for kind in [StoreKind::Filesystem, StoreKind::Database] {
+            let result = run_aging_experiment(kind, &config, &[0, 3], false).unwrap();
+            let aged = result.points.last().unwrap();
+            assert!(
+                aged.background_time_s > 0.0,
+                "{kind:?}: the scheduler must have done background work"
+            );
+            assert!(aged.foreground_latency_ms > 0.0);
+        }
+
+        // An invalid maintenance config is rejected up front.
+        let mut bad = mini_config().with_maintenance(MaintenanceConfig::fixed_budget(1));
+        if let Some(maintenance) = bad.maintenance.as_mut() {
+            maintenance.tick_every_ops = 0;
+        }
+        assert!(run_aging_experiment(StoreKind::Filesystem, &bad, &[0], false).is_err());
     }
 
     #[test]

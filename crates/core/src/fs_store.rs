@@ -2,9 +2,11 @@
 
 use lor_disksim::{Disk, DiskConfig, IoRequest, ServiceTime, SimClock, SimDuration};
 use lor_fskit::{Defragmenter, Volume, VolumeConfig};
+use lor_maint::{MaintenanceConfig, MaintenanceStats};
 use serde::{Deserialize, Serialize};
 
 use crate::error::StoreError;
+use crate::maintenance::{FsMaintTarget, MaintenanceState};
 use crate::store::{CostModel, ObjectStore, OpReceipt, StoreKind};
 
 /// Configuration of a filesystem-backed store.
@@ -19,6 +21,11 @@ pub struct FsStoreConfig {
     pub write_request_size: u64,
     /// Host-side cost model.
     pub cost: CostModel,
+    /// Background maintenance scheduler, if any.  When set, the volume's own
+    /// interval-driven checkpoint is disabled and the `lor-maint` scheduler
+    /// owns checkpointing and incremental defragmentation (allocation-pressure
+    /// emergency checkpoints remain in the substrate).
+    pub maintenance: Option<MaintenanceConfig>,
 }
 
 impl FsStoreConfig {
@@ -30,28 +37,43 @@ impl FsStoreConfig {
             disk: DiskConfig::seagate_400gb_2005().scaled(capacity_bytes),
             write_request_size: 64 * 1024,
             cost: CostModel::default(),
+            maintenance: None,
         }
     }
 }
 
 /// Objects stored as one file each on the NTFS-like volume.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FsObjectStore {
     volume: Volume,
     disk: Disk,
     cost: CostModel,
     clock: SimClock,
     write_request_size: u64,
+    maintenance: Option<MaintenanceState>,
 }
 
 impl FsObjectStore {
     /// Creates a store from an explicit configuration.
-    pub fn with_config(config: FsStoreConfig) -> Result<Self, StoreError> {
+    pub fn with_config(mut config: FsStoreConfig) -> Result<Self, StoreError> {
         if config.write_request_size == 0 {
             return Err(StoreError::BadConfig(
                 "write request size must be non-zero".into(),
             ));
         }
+        let maintenance = match config.maintenance {
+            Some(maint_config) => {
+                maint_config
+                    .validate()
+                    .map_err(|message| StoreError::BadConfig(message.into()))?;
+                // The scheduler owns checkpointing now; only the
+                // allocation-pressure emergency path stays interval-free in
+                // the substrate.
+                config.volume.checkpoint_interval_ops = 0;
+                Some(MaintenanceState::new(maint_config))
+            }
+            None => None,
+        };
         let volume = Volume::format(config.volume)?;
         Ok(FsObjectStore {
             volume,
@@ -59,6 +81,7 @@ impl FsObjectStore {
             cost: config.cost,
             clock: SimClock::new(),
             write_request_size: config.write_request_size,
+            maintenance,
         })
     }
 
@@ -91,6 +114,25 @@ impl FsObjectStore {
     fn write_requests_for(&self, size_bytes: u64) -> u64 {
         size_bytes.div_ceil(self.write_request_size).max(1)
     }
+
+    /// Reports a completed mutating operation of duration `op_time` to the
+    /// background scheduler (if any) and charges whatever background I/O it
+    /// performed to the foreground clock — the single spindle serializes
+    /// foreground and maintenance work.
+    fn after_mutating_op(&mut self, op_time: SimDuration) {
+        let Some(state) = self.maintenance.as_mut() else {
+            return;
+        };
+        let mut target = FsMaintTarget {
+            volume: &mut self.volume,
+            disk: self.disk.config(),
+            cost: &self.cost,
+            cursor: &mut state.cursor,
+            defrag_backoff: &mut state.defrag_backoff,
+        };
+        let interference = state.scheduler.on_foreground_op(op_time, &mut target);
+        self.clock.advance(interference);
+    }
 }
 
 impl ObjectStore for FsObjectStore {
@@ -110,13 +152,15 @@ impl ObjectStore for FsObjectStore {
             .fs_write_host_time(self.write_requests_for(size_bytes));
         self.charge(disk_time, host_time);
         let fragments = self.volume.file(receipt.file_id)?.fragment_count() as u64;
-        Ok(OpReceipt {
+        let receipt = OpReceipt {
             payload_bytes: size_bytes,
             transferred_bytes: transferred,
             disk_time,
             host_time,
             fragments,
-        })
+        };
+        self.after_mutating_op(receipt.total_time());
+        Ok(receipt)
     }
 
     fn get(&mut self, key: &str) -> Result<OpReceipt, StoreError> {
@@ -149,13 +193,15 @@ impl ObjectStore for FsObjectStore {
             .fs_write_host_time(self.write_requests_for(size_bytes));
         self.charge(disk_time, host_time);
         let fragments = self.volume.file(receipt.file_id)?.fragment_count() as u64;
-        Ok(OpReceipt {
+        let receipt = OpReceipt {
             payload_bytes: size_bytes,
             transferred_bytes: transferred,
             disk_time,
             host_time,
             fragments,
-        })
+        };
+        self.after_mutating_op(receipt.total_time());
+        Ok(receipt)
     }
 
     fn safe_write_batch(&mut self, items: &[(String, u64)]) -> Result<Vec<OpReceipt>, StoreError> {
@@ -173,13 +219,15 @@ impl ObjectStore for FsObjectStore {
                 .fs_write_host_time(self.write_requests_for(receipt.bytes_written));
             self.charge(disk_time, host_time);
             let fragments = self.volume.file(receipt.file_id)?.fragment_count() as u64;
-            out.push(OpReceipt {
+            let receipt = OpReceipt {
                 payload_bytes: receipt.bytes_written,
                 transferred_bytes: transferred,
                 disk_time,
                 host_time,
                 fragments,
-            });
+            };
+            self.after_mutating_op(receipt.total_time());
+            out.push(receipt);
         }
         Ok(out)
     }
@@ -188,10 +236,12 @@ impl ObjectStore for FsObjectStore {
         self.volume.delete_by_name(key)?;
         let host_time = self.cost.metadata_io_time;
         self.charge(ServiceTime::default(), host_time);
-        Ok(OpReceipt {
+        let receipt = OpReceipt {
             host_time,
             ..OpReceipt::default()
-        })
+        };
+        self.after_mutating_op(receipt.total_time());
+        Ok(receipt)
     }
 
     fn contains(&self, key: &str) -> bool {
@@ -263,11 +313,18 @@ impl ObjectStore for FsObjectStore {
     fn write_request_size(&self) -> u64 {
         self.write_request_size
     }
+
+    fn maintenance_stats(&self) -> Option<MaintenanceStats> {
+        self.maintenance
+            .as_ref()
+            .map(|state| *state.scheduler.stats())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lor_maint::MaintenancePolicy;
 
     const MB: u64 = 1 << 20;
 
@@ -353,6 +410,48 @@ mod tests {
             ..FsStoreConfig::new(MB)
         })
         .is_err());
+    }
+
+    #[test]
+    fn maintenance_scheduler_runs_and_charges_the_foreground_clock() {
+        let mut config = FsStoreConfig::new(128 * MB);
+        config.maintenance = Some(MaintenanceConfig::fixed_budget(16));
+        let mut store = FsObjectStore::with_config(config).unwrap();
+        assert!(store.maintenance_stats().is_some());
+
+        for i in 0..16 {
+            store.put(&format!("o{i}"), MB).unwrap();
+        }
+        for round in 0..3 {
+            for i in 0..16 {
+                store
+                    .safe_write(&format!("o{}", (i * 5 + round) % 16), MB)
+                    .unwrap();
+            }
+        }
+        let stats = store.maintenance_stats().unwrap();
+        assert!(stats.ticks > 0);
+        assert!(stats.foreground_ops >= 64);
+        assert!(
+            stats.checkpoint.runs > 0,
+            "the scheduler owns checkpointing now"
+        );
+        assert!(
+            stats.background_time > SimDuration::ZERO,
+            "background work must cost time"
+        );
+        // The interference was charged to the store's clock.
+        assert!(store.elapsed() > stats.background_time);
+
+        // An invalid maintenance config is rejected.
+        let mut bad = FsStoreConfig::new(64 * MB);
+        bad.maintenance = Some(MaintenanceConfig::new(MaintenancePolicy::Threshold {
+            frag_per_object: 0.0,
+        }));
+        assert!(matches!(
+            FsObjectStore::with_config(bad),
+            Err(StoreError::BadConfig(_))
+        ));
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //!   object sizes, whole-object safe writes, randomized reads) and
 //!   **storage age** accounting ([`StorageAgeTracker`]).
 //! * [`fragmentation`] — the marker-based fragmentation measurement tool.
+//! * [`maintenance`](crate::MaintenanceConfig) — the `lor-maint` background
+//!   scheduler bound to both stores: ghost cleanup, checkpointing and
+//!   incremental defragmentation run as budgeted background tasks whose I/O
+//!   time is charged to the foreground clock (enable via
+//!   [`ExperimentConfig::with_maintenance`]).
 //! * [`experiment`] — the bulk-load / age / measure loop behind every figure
 //!   ([`run_aging_experiment`], [`compare_systems`]), plus the simulated
 //!   testbed description standing in for Table 1.
@@ -42,6 +47,7 @@
 mod db_store;
 mod error;
 mod fs_store;
+mod maintenance;
 mod store;
 
 pub mod experiment;
@@ -67,9 +73,14 @@ pub use workload::{
 // substrates, re-exported so experiment code needs only `lor_core`.
 pub use lor_alloc::{AllocationPolicy, FitPolicy};
 
+// The maintenance knob threaded from `ExperimentConfig` into both substrates,
+// re-exported for the same reason.
+pub use lor_maint::{MaintenanceConfig, MaintenancePolicy, MaintenanceStats};
+
 // Re-export the substrate crates so downstream users (examples, benches) can
 // reach them through one dependency.
 pub use lor_alloc;
 pub use lor_blobkit;
 pub use lor_disksim;
 pub use lor_fskit;
+pub use lor_maint;

@@ -1,0 +1,275 @@
+//! Binding the `lor-maint` background scheduler to the two object stores.
+//!
+//! The scheduler is substrate-agnostic: it budgets bytes and accumulates
+//! time.  This module supplies the two [`MaintTarget`] adapters that map its
+//! three duties onto each substrate's native mechanisms and cost the
+//! resulting I/O with the store's own disk geometry:
+//!
+//! | duty            | filesystem ([`FsMaintTarget`])      | database ([`DbMaintTarget`])          |
+//! |-----------------|-------------------------------------|---------------------------------------|
+//! | checkpoint      | drain the pending-free queue        | force the log (bulk-logged mode)      |
+//! | ghost cleanup   | (folded into the checkpoint)        | reclaim ghost pages / empty extents   |
+//! | defragmentation | [`Defragmenter::defragment_step`]   | [`Database::compact_step`]            |
+
+use lor_blobkit::Database;
+use lor_disksim::DiskConfig;
+use lor_fskit::{DefragCursor, Defragmenter, Volume};
+use lor_maint::{MaintIo, MaintTarget, MaintenanceConfig, MaintenanceScheduler};
+
+use crate::store::CostModel;
+
+/// Bytes charged per metadata I/O when costing maintenance passes (one small
+/// random read-modify-write of a bitmap / PFS / log page).
+const METADATA_IO_BYTES: u64 = 4096;
+
+/// Pages (or clusters) whose allocation state one metadata page covers, so a
+/// cleanup pass over `n` units costs `1 + n / UNITS_PER_METADATA_IO` I/Os.
+const UNITS_PER_METADATA_IO: u64 = 512;
+
+/// Ticks the defragmentation task sleeps after a pass that found nothing to
+/// move, so a converged store is not re-scanned (an O(objects) walk) on every
+/// single tick.
+const DEFRAG_BACKOFF_TICKS: u64 = 15;
+
+/// A scheduler plus the per-store state its tasks need between ticks.
+#[derive(Debug)]
+pub(crate) struct MaintenanceState {
+    pub scheduler: MaintenanceScheduler,
+    /// Resumable position of the filesystem's incremental defragmentation
+    /// pass (unused by the database adapter).
+    pub cursor: DefragCursor,
+    /// Remaining ticks of the post-convergence defragmentation back-off.
+    pub defrag_backoff: u64,
+}
+
+impl MaintenanceState {
+    pub fn new(config: MaintenanceConfig) -> Self {
+        MaintenanceState {
+            scheduler: MaintenanceScheduler::new(config),
+            cursor: DefragCursor::new(),
+            defrag_backoff: 0,
+        }
+    }
+}
+
+/// Cost of a metadata sweep updating the allocation state of `units` pages
+/// or clusters.
+fn metadata_sweep_io(cost: &CostModel, units: u64) -> MaintIo {
+    let ios = 1 + units / UNITS_PER_METADATA_IO;
+    MaintIo::new(ios * METADATA_IO_BYTES, cost.metadata_io_time * ios)
+}
+
+/// Cost of a background copy of `payload_bytes` spread over `objects_moved`
+/// relocated objects: every byte is read once and written once, with a pair
+/// of repositioning delays per object.
+fn copy_io(disk: &DiskConfig, payload_bytes: u64, objects_moved: u64) -> MaintIo {
+    let bytes = payload_bytes.saturating_mul(2);
+    MaintIo::new(bytes, disk.background_copy_time(bytes, objects_moved * 2))
+}
+
+/// [`MaintTarget`] over the NTFS-like volume.
+pub(crate) struct FsMaintTarget<'a> {
+    pub volume: &'a mut Volume,
+    pub disk: &'a DiskConfig,
+    pub cost: &'a CostModel,
+    pub cursor: &'a mut DefragCursor,
+    pub defrag_backoff: &'a mut u64,
+}
+
+impl MaintTarget for FsMaintTarget<'_> {
+    fn reclaimable_bytes(&self) -> u64 {
+        self.volume.pending_clusters() * self.volume.cluster_size()
+    }
+
+    fn fragments_per_object(&self) -> f64 {
+        self.volume.fragmentation().fragments_per_object
+    }
+
+    fn ghost_cleanup(&mut self, _budget_bytes: u64) -> MaintIo {
+        // Deferred frees are released by the log commit below; NTFS has no
+        // separate ghost mechanism.
+        MaintIo::NONE
+    }
+
+    fn checkpoint(&mut self) -> MaintIo {
+        let pending = self.volume.pending_clusters();
+        if pending == 0 {
+            return MaintIo::NONE;
+        }
+        self.volume.checkpoint();
+        metadata_sweep_io(self.cost, pending)
+    }
+
+    fn defragment_step(&mut self, budget_bytes: u64) -> MaintIo {
+        if *self.defrag_backoff > 0 {
+            *self.defrag_backoff -= 1;
+            return MaintIo::NONE;
+        }
+        if self.cursor.is_done() {
+            // The previous pass finished; start a fresh one so newly aged
+            // files become candidates again.
+            self.cursor.reset();
+        }
+        // Each copied byte is read once and written once.
+        let copy_budget = (budget_bytes / 2).max(1);
+        let report =
+            match Defragmenter::new().defragment_step(self.volume, self.cursor, copy_budget) {
+                Ok(report) => report,
+                Err(_) => return MaintIo::NONE,
+            };
+        if report.bytes_copied == 0 {
+            // The pass drained without moving anything: the volume is as good
+            // as the defragmenter can make it right now, so back off instead
+            // of re-scanning every tick.
+            *self.defrag_backoff = DEFRAG_BACKOFF_TICKS;
+            return MaintIo::NONE;
+        }
+        copy_io(self.disk, report.bytes_copied, report.files_moved)
+    }
+}
+
+/// [`MaintTarget`] over the SQL-Server-like engine.
+pub(crate) struct DbMaintTarget<'a> {
+    pub db: &'a mut Database,
+    pub disk: &'a DiskConfig,
+    pub cost: &'a CostModel,
+    pub defrag_backoff: &'a mut u64,
+}
+
+impl MaintTarget for DbMaintTarget<'_> {
+    fn reclaimable_bytes(&self) -> u64 {
+        self.db.ghost_page_count() * self.db.config().page_size
+    }
+
+    fn fragments_per_object(&self) -> f64 {
+        self.db.fragmentation().fragments_per_object
+    }
+
+    fn ghost_cleanup(&mut self, budget_bytes: u64) -> MaintIo {
+        if self.db.ghost_page_count() == 0 {
+            return MaintIo::NONE;
+        }
+        // Reclaim only as many pages as the budget's worth of metadata I/Os
+        // covers (at least one I/O, so a pass always makes progress); a big
+        // backlog drains over several budgeted passes.
+        let max_pages = (budget_bytes / METADATA_IO_BYTES).max(1) * UNITS_PER_METADATA_IO;
+        let reclaimed = self.db.ghost_cleanup_limited(max_pages);
+        metadata_sweep_io(self.cost, reclaimed)
+    }
+
+    fn checkpoint(&mut self) -> MaintIo {
+        // Bulk-logged mode: the periodic checkpoint is a log force.
+        MaintIo::new(METADATA_IO_BYTES, self.cost.metadata_io_time)
+    }
+
+    fn defragment_step(&mut self, budget_bytes: u64) -> MaintIo {
+        if *self.defrag_backoff > 0 {
+            *self.defrag_backoff -= 1;
+            return MaintIo::NONE;
+        }
+        let page_size = self.db.config().page_size.max(1);
+        // Each moved page is read once and written once.
+        let page_budget = (budget_bytes / (2 * page_size)).max(1);
+        let report = self.db.compact_step(page_budget);
+        if report.pages_moved == 0 {
+            // Nothing movable: back off instead of re-scanning every blob on
+            // every tick.
+            *self.defrag_backoff = DEFRAG_BACKOFF_TICKS;
+            return MaintIo::NONE;
+        }
+        copy_io(
+            self.disk,
+            report.pages_moved * page_size,
+            report.blobs_moved,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lor_fskit::VolumeConfig;
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn fs_target_checkpoint_drains_the_pending_queue() {
+        let mut config = VolumeConfig::new(64 * MB);
+        config.checkpoint_interval_ops = 0;
+        let mut volume = Volume::format(config).unwrap();
+        volume.write_file("a", MB, 64 * 1024).unwrap();
+        volume.delete_by_name("a").unwrap();
+        let disk = DiskConfig::seagate_400gb_2005().scaled(64 * MB);
+        let cost = CostModel::default();
+        let mut cursor = DefragCursor::new();
+        let mut backoff = 0u64;
+        let mut target = FsMaintTarget {
+            volume: &mut volume,
+            disk: &disk,
+            cost: &cost,
+            cursor: &mut cursor,
+            defrag_backoff: &mut backoff,
+        };
+        assert!(target.reclaimable_bytes() >= MB);
+        let io = target.checkpoint();
+        assert!(!io.is_none());
+        assert_eq!(target.reclaimable_bytes(), 0);
+        assert!(target.checkpoint().is_none(), "nothing left to drain");
+    }
+
+    #[test]
+    fn db_target_cleanup_and_compaction_report_io() {
+        let mut engine_config = lor_blobkit::EngineConfig::new(64 * MB);
+        engine_config.ghost_cleanup_interval_ops = 0;
+        let mut db = Database::create(engine_config).unwrap();
+        for i in 0..16 {
+            db.insert(&format!("o{i}"), MB).unwrap();
+        }
+        for round in 0..6 {
+            for i in 0..16 {
+                db.update(&format!("o{}", (i * 5 + round) % 16), MB)
+                    .unwrap();
+            }
+        }
+        let disk = DiskConfig::seagate_400gb_2005().scaled(64 * MB);
+        let cost = CostModel::default();
+        let mut backoff = 0u64;
+        let mut target = DbMaintTarget {
+            db: &mut db,
+            disk: &disk,
+            cost: &cost,
+            defrag_backoff: &mut backoff,
+        };
+        assert!(target.reclaimable_bytes() > 0);
+        // A one-I/O budget reclaims at most its metadata page's worth of
+        // ghosts; repeated budgeted passes drain the rest.
+        let before = target.reclaimable_bytes();
+        let first = target.ghost_cleanup(METADATA_IO_BYTES);
+        assert!(!first.is_none());
+        let after = target.reclaimable_bytes();
+        assert!(after < before);
+        assert!(
+            before - after <= 512 * 8192,
+            "a one-I/O budget reclaims at most 512 pages"
+        );
+        while target.reclaimable_bytes() > 0 {
+            assert!(!target.ghost_cleanup(1 << 20).is_none());
+        }
+        assert_eq!(target.reclaimable_bytes(), 0);
+        assert!(!target.checkpoint().is_none(), "log force always costs");
+
+        let before = target.fragments_per_object();
+        assert!(before > 1.0, "fixture must be fragmented");
+        let mut moved = MaintIo::NONE;
+        for _ in 0..256 {
+            let step = target.defragment_step(512 * 1024);
+            if step.is_none() {
+                break;
+            }
+            moved = moved.combined(&step);
+        }
+        assert!(moved.bytes > 0);
+        assert!(moved.time > lor_disksim::SimDuration::ZERO);
+        assert!(target.fragments_per_object() < before);
+    }
+}

@@ -48,6 +48,19 @@ impl Series {
         }
     }
 
+    /// Builds the foreground-latency series of an aging run (the maintenance
+    /// scenarios' latency axis).
+    pub fn foreground_latency_vs_age(result: &AgingResult) -> Self {
+        Series {
+            label: result.kind.label().to_string(),
+            points: result
+                .points
+                .iter()
+                .map(|p| (p.storage_age, p.foreground_latency_ms))
+                .collect(),
+        }
+    }
+
     /// Builds the read-throughput series of an aging run (Figure 1), skipping
     /// checkpoints where reads were not measured.
     pub fn read_throughput_vs_age(result: &AgingResult) -> Self {
@@ -280,6 +293,8 @@ mod tests {
                     fragments_per_object: 1.0,
                     write_throughput_mb_s: 17.7,
                     read_throughput_mb_s: Some(8.0),
+                    foreground_latency_ms: 12.0,
+                    background_time_s: 0.0,
                     objects: 100,
                 },
                 AgePoint {
@@ -287,6 +302,8 @@ mod tests {
                     fragments_per_object: 2.5,
                     write_throughput_mb_s: 9.0,
                     read_throughput_mb_s: None,
+                    foreground_latency_ms: 20.0,
+                    background_time_s: 0.5,
                     objects: 100,
                 },
             ],

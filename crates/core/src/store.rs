@@ -215,6 +215,12 @@ pub trait ObjectStore {
 
     /// The store's write-request (append chunk) size in bytes.
     fn write_request_size(&self) -> u64;
+
+    /// Statistics of the background maintenance scheduler, when the store was
+    /// built with a [`lor_maint::MaintenanceConfig`] (`None` otherwise).
+    fn maintenance_stats(&self) -> Option<lor_maint::MaintenanceStats> {
+        None
+    }
 }
 
 #[cfg(test)]

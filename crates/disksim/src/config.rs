@@ -227,6 +227,25 @@ impl DiskConfig {
         index
     }
 
+    /// Estimated time for a background copy of `bytes` that repositions the
+    /// head `repositions` times (e.g. once to read a fragment's source and
+    /// once to write its destination).
+    ///
+    /// Background maintenance (defragmentation moves, table rebuilds, ghost
+    /// cleanup sweeps) streams data at the mid-platter transfer rate and pays
+    /// an average positioning delay — a one-third-stroke seek plus half a
+    /// rotation — per reposition.  Both object stores and the `lor-maint`
+    /// scheduler cost their background I/O with this one helper so foreground
+    /// and background work share a single mechanical model.
+    pub fn background_copy_time(&self, bytes: u64, repositions: u64) -> SimDuration {
+        let rate = self.transfer_rate_at(self.capacity_bytes / 2);
+        let streaming = SimDuration::from_secs_f64(bytes as f64 / rate);
+        let positioning = (self.seek.seek_time(self.seek.cylinders / 3)
+            + self.average_rotational_latency())
+            * repositions;
+        streaming + positioning
+    }
+
     /// Converts a byte offset into a model cylinder number for the seek curve.
     pub fn cylinder_of(&self, offset: u64) -> u64 {
         if self.capacity_bytes == 0 {
@@ -334,6 +353,19 @@ mod tests {
         assert!(outer > middle);
         assert!(middle > inner);
         assert!((outer - 65.0e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn background_copy_time_scales_with_bytes_and_repositions() {
+        let config = DiskConfig::seagate_400gb_2005();
+        let small = config.background_copy_time(1 << 20, 2);
+        let more_bytes = config.background_copy_time(16 << 20, 2);
+        let more_seeks = config.background_copy_time(1 << 20, 8);
+        assert!(more_bytes > small);
+        assert!(more_seeks > small);
+        // Positioning alone: at least one reposition's worth of latency.
+        assert!(config.background_copy_time(0, 1) >= config.average_rotational_latency());
+        assert_eq!(config.background_copy_time(0, 0), SimDuration::ZERO);
     }
 
     #[test]

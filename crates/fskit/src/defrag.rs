@@ -6,6 +6,18 @@
 //! module provides a per-file defragmenter so experiments can quantify both
 //! sides: the fragments removed and the bytes that had to be copied to remove
 //! them.
+//!
+//! Two driving modes are offered:
+//!
+//! * [`Defragmenter::defragment_volume`] — the offline whole-volume pass;
+//! * [`Defragmenter::defragment_step`] — the same pass carved into bounded
+//!   increments via a [`DefragCursor`], so a background maintenance scheduler
+//!   (`lor-maint`) can interleave a few pages of defragmentation with the
+//!   foreground workload each tick.  Driving steps to completion visits the
+//!   same files in the same order as one unlimited volume pass and therefore
+//!   converges to the identical layout.
+
+use std::collections::VecDeque;
 
 use lor_alloc::{AllocRequest, Allocator, Contiguity};
 use serde::{Deserialize, Serialize};
@@ -29,6 +41,43 @@ pub struct DefragReport {
     pub fragments_before: u64,
     /// Fragments after the pass, summed over examined files.
     pub fragments_after: u64,
+}
+
+/// Resumable position inside one incremental defragmentation pass.
+///
+/// The cursor snapshots the candidate order (most fragmented file first, the
+/// order [`Defragmenter::defragment_volume`] uses) the first time
+/// [`Defragmenter::defragment_step`] is called, then remembers how far the
+/// pass has progressed across steps.  Once [`DefragCursor::is_done`] reports
+/// `true` the pass is complete; [`DefragCursor::reset`] starts a fresh pass
+/// (with a fresh candidate snapshot) on the next step.
+#[derive(Debug, Clone, Default)]
+pub struct DefragCursor {
+    /// Remaining candidates of the current pass; `None` before the pass has
+    /// snapshotted its candidate order.
+    queue: Option<VecDeque<FileId>>,
+}
+
+impl DefragCursor {
+    /// Creates a cursor positioned at the start of a fresh pass.
+    pub fn new() -> Self {
+        DefragCursor::default()
+    }
+
+    /// `true` once the current pass has examined every candidate.
+    pub fn is_done(&self) -> bool {
+        self.queue.as_ref().is_some_and(VecDeque::is_empty)
+    }
+
+    /// Forgets the current pass so the next step starts a fresh one.
+    pub fn reset(&mut self) {
+        self.queue = None;
+    }
+
+    /// Files the current pass has still to examine (0 before the first step).
+    pub fn remaining(&self) -> usize {
+        self.queue.as_ref().map_or(0, VecDeque::len)
+    }
 }
 
 /// The online defragmenter.
@@ -130,6 +179,75 @@ impl Defragmenter {
         }
         Ok(report)
     }
+
+    /// Runs one bounded increment of a volume pass: examines candidates in
+    /// the pass order recorded in `cursor` (most fragmented first) and moves
+    /// files until about `copy_budget_bytes` of data has been copied (0 means
+    /// unlimited — the whole remaining pass runs in this step).
+    ///
+    /// Unlike [`Defragmenter::defragment_volume`]'s budget — which *skips*
+    /// files it cannot afford — an exhausted step budget merely *defers* the
+    /// candidate to the next step, so driving steps until
+    /// [`DefragCursor::is_done`] performs the complete pass.  A candidate
+    /// larger than the whole step budget is still moved (the budget is a soft
+    /// target, never a starvation point).  Files deleted since the pass began
+    /// are skipped silently.
+    ///
+    /// Total fragments across the volume never increase: every committed move
+    /// leaves its file fully contiguous and touches no other file's layout.
+    pub fn defragment_step(
+        &self,
+        volume: &mut Volume,
+        cursor: &mut DefragCursor,
+        copy_budget_bytes: u64,
+    ) -> Result<DefragReport, FsError> {
+        let queue = cursor.queue.get_or_insert_with(|| {
+            let mut candidates: Vec<(FileId, usize)> = volume
+                .iter_files()
+                .map(|record| (record.id, record.fragment_count()))
+                .collect();
+            candidates.sort_by_key(|(_, fragments)| std::cmp::Reverse(*fragments));
+            candidates.into_iter().map(|(id, _)| id).collect()
+        });
+
+        let mut report = DefragReport::default();
+        while let Some(id) = queue.pop_front() {
+            // The pass snapshot may be stale: the file can have been deleted
+            // (or replaced under a new id) by foreground work since.
+            let Ok(record) = volume.file(id) else {
+                continue;
+            };
+            let fragments = record.fragment_count();
+            let size_bytes = record.size_bytes;
+            if fragments <= 1 {
+                report.files_examined += 1;
+                report.fragments_before += fragments as u64;
+                report.fragments_after += fragments as u64;
+                continue;
+            }
+            if copy_budget_bytes > 0
+                && report.bytes_copied > 0
+                && report.bytes_copied + size_bytes > copy_budget_bytes
+            {
+                queue.push_front(id);
+                break;
+            }
+            report.files_examined += 1;
+            report.fragments_before += fragments as u64;
+            if self.defragment_file(volume, id)? {
+                report.files_moved += 1;
+                report.bytes_copied += size_bytes;
+                report.fragments_after += volume.file(id)?.fragment_count() as u64;
+            } else {
+                report.files_skipped += 1;
+                report.fragments_after += fragments as u64;
+            }
+            if copy_budget_bytes > 0 && report.bytes_copied >= copy_budget_bytes {
+                break;
+            }
+        }
+        Ok(report)
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +337,75 @@ mod tests {
         assert_eq!(report.files_moved, 0);
         assert!(report.bytes_copied <= MB);
         assert!(report.files_skipped > 0);
+    }
+
+    #[test]
+    fn incremental_steps_converge_to_the_volume_pass_layout() {
+        let (mut whole, _) = fragmented_volume();
+        let (mut stepped, _) = fragmented_volume();
+        let defragmenter = Defragmenter::new();
+
+        let full = defragmenter.defragment_volume(&mut whole, 0).unwrap();
+
+        let mut cursor = DefragCursor::new();
+        let mut steps = 0;
+        let mut total_copied = 0;
+        let mut previous_fragments = stepped.fragmentation().total_fragments;
+        while !cursor.is_done() {
+            let report = defragmenter
+                .defragment_step(&mut stepped, &mut cursor, 256 * 1024)
+                .unwrap();
+            total_copied += report.bytes_copied;
+            let now = stepped.fragmentation().total_fragments;
+            assert!(now <= previous_fragments, "a step may never add fragments");
+            previous_fragments = now;
+            steps += 1;
+            assert!(steps < 10_000, "steps must terminate");
+        }
+        assert!(steps > 1, "a 256 KB budget must take several steps");
+        assert_eq!(total_copied, full.bytes_copied);
+
+        // The incremental pass ends in exactly the layout of the whole pass.
+        let whole_layouts: Vec<_> = whole.iter_files().map(|f| f.extents.clone()).collect();
+        let stepped_layouts: Vec<_> = stepped.iter_files().map(|f| f.extents.clone()).collect();
+        assert_eq!(whole_layouts, stepped_layouts);
+    }
+
+    #[test]
+    fn step_budget_defers_rather_than_skips() {
+        let (mut volume, _) = fragmented_volume();
+        let defragmenter = Defragmenter::new();
+        let mut cursor = DefragCursor::new();
+        // Budget smaller than any victim: the first step still moves one file
+        // (the budget is a soft target), the rest wait for later steps.
+        let report = defragmenter
+            .defragment_step(&mut volume, &mut cursor, 1024)
+            .unwrap();
+        assert_eq!(report.files_moved, 1);
+        assert!(!cursor.is_done());
+        assert!(cursor.remaining() > 0);
+    }
+
+    #[test]
+    fn cursor_reset_starts_a_fresh_pass() {
+        let (mut volume, _) = fragmented_volume();
+        let defragmenter = Defragmenter::new();
+        let mut cursor = DefragCursor::new();
+        while !cursor.is_done() {
+            defragmenter
+                .defragment_step(&mut volume, &mut cursor, 0)
+                .unwrap();
+        }
+        cursor.reset();
+        assert!(!cursor.is_done());
+        // A fresh pass over the defragmented volume examines everything and
+        // moves nothing.
+        let report = defragmenter
+            .defragment_step(&mut volume, &mut cursor, 0)
+            .unwrap();
+        assert!(cursor.is_done());
+        assert_eq!(report.files_moved, 0);
+        assert_eq!(report.files_examined as usize, volume.file_count());
     }
 
     #[test]

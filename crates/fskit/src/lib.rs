@@ -44,7 +44,7 @@ mod file;
 mod fragmenter;
 mod volume;
 
-pub use defrag::{DefragReport, Defragmenter};
+pub use defrag::{DefragCursor, DefragReport, Defragmenter};
 pub use error::FsError;
 pub use file::{FileId, FileRecord};
 pub use fragmenter::{shatter, ShatterReport};

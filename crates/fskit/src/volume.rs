@@ -47,6 +47,11 @@ pub struct VolumeConfig {
     pub mft_zone_fraction: f64,
     /// Number of mutating operations (writes, deletes, safe writes) between
     /// automatic checkpoints that make deleted space reusable.
+    ///
+    /// `0` disables the interval-driven checkpoint entirely: pending-free
+    /// space then accumulates until either allocation pressure forces a
+    /// checkpoint or an external scheduler (the `lor-maint` background
+    /// maintenance subsystem) calls [`Volume::checkpoint`] explicitly.
     pub checkpoint_interval_ops: u64,
     /// Tuning of the run-cache allocation policy.
     pub run_cache: RunCacheConfig,
@@ -657,7 +662,9 @@ impl Volume {
     /// Counts a completed mutating operation and checkpoints when due.
     fn bump_op(&mut self) {
         self.ops_since_checkpoint += 1;
-        if self.ops_since_checkpoint >= self.config.checkpoint_interval_ops {
+        if self.config.checkpoint_interval_ops > 0
+            && self.ops_since_checkpoint >= self.config.checkpoint_interval_ops
+        {
             self.checkpoint();
         }
     }

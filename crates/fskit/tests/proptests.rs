@@ -2,7 +2,7 @@
 //! must preserve the volume's structural invariants.
 
 use lor_alloc::{Extent, ExtentListExt};
-use lor_fskit::{Defragmenter, FileId, Volume, VolumeConfig};
+use lor_fskit::{DefragCursor, Defragmenter, FileId, Volume, VolumeConfig};
 use proptest::prelude::*;
 
 const MB: u64 = 1 << 20;
@@ -175,6 +175,94 @@ proptest! {
                 max_possible
             );
         }
+    }
+
+    /// Defragmenter invariants on randomly aged volumes: driving
+    /// `defragment_step` to completion (any per-step budget) produces exactly
+    /// the layout of one unlimited `defragment_volume` pass, and no step ever
+    /// increases the volume's total fragment count.
+    #[test]
+    fn incremental_defrag_matches_the_volume_pass_on_aged_volumes(
+        ops in prop::collection::vec(arb_op(), 10..80),
+        step_budget_kb in 32u64..2048,
+    ) {
+        // Age a volume with a random workload (defrag ops in the stream just
+        // add more layout churn before the comparison).
+        let mut config = VolumeConfig::new(VOLUME_BYTES);
+        config.checkpoint_interval_ops = 4;
+        let mut volume = Volume::format(config).unwrap();
+        let mut live: Vec<String> = Vec::new();
+        let mut counter = 0u64;
+        for op in ops {
+            match op {
+                FsOp::Put { size, chunk } => {
+                    let name = format!("obj-{counter}");
+                    counter += 1;
+                    match volume.write_file(&name, size, chunk) {
+                        Ok(_) => live.push(name),
+                        Err(_) => {
+                            if let Ok(id) = volume.lookup(&name) {
+                                volume.delete(id).unwrap();
+                            }
+                        }
+                    }
+                }
+                FsOp::Replace { index, size } => {
+                    if live.is_empty() { continue; }
+                    let name = live[index % live.len()].clone();
+                    let _ = volume.safe_write(&name, size, 64 * 1024);
+                }
+                FsOp::Delete { index } => {
+                    if live.is_empty() { continue; }
+                    let name = live.swap_remove(index % live.len());
+                    volume.delete_by_name(&name).unwrap();
+                }
+                FsOp::Checkpoint => volume.checkpoint(),
+                FsOp::Defrag { index } => {
+                    if live.is_empty() { continue; }
+                    let id = volume.lookup(&live[index % live.len()]).unwrap();
+                    let _ = Defragmenter::new().defragment_file(&mut volume, id);
+                }
+            }
+        }
+
+        let mut whole = volume.clone();
+        let mut stepped = volume;
+        let defragmenter = Defragmenter::new();
+
+        let full_report = defragmenter.defragment_volume(&mut whole, 0).unwrap();
+
+        let mut cursor = DefragCursor::new();
+        let mut previous = stepped.fragmentation().total_fragments;
+        let mut stepped_copied = 0u64;
+        let mut steps = 0u64;
+        while !cursor.is_done() {
+            let report = defragmenter
+                .defragment_step(&mut stepped, &mut cursor, step_budget_kb * 1024)
+                .unwrap();
+            stepped_copied += report.bytes_copied;
+            let now = stepped.fragmentation().total_fragments;
+            prop_assert!(now <= previous, "step increased fragments {previous} -> {now}");
+            previous = now;
+            steps += 1;
+            prop_assert!(steps < 100_000, "incremental pass must terminate");
+        }
+
+        // Identical work and identical final layout, file by file.
+        prop_assert_eq!(stepped_copied, full_report.bytes_copied);
+        let whole_layouts: Vec<(FileId, Vec<Extent>)> = whole
+            .iter_files()
+            .map(|f| (f.id, f.extents.clone()))
+            .collect();
+        let stepped_layouts: Vec<(FileId, Vec<Extent>)> = stepped
+            .iter_files()
+            .map(|f| (f.id, f.extents.clone()))
+            .collect();
+        prop_assert_eq!(whole_layouts, stepped_layouts);
+        prop_assert_eq!(
+            whole.fragmentation().total_fragments,
+            stepped.fragmentation().total_fragments
+        );
     }
 }
 

@@ -1,0 +1,385 @@
+//! The discrete-event maintenance scheduler.
+
+use lor_disksim::{SimClock, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{MaintenanceConfig, MaintenancePolicy};
+use crate::task::{
+    CheckpointTask, GhostCleanupTask, IncrementalDefragTask, MaintTarget, MaintenanceTask, TaskKind,
+};
+
+/// Per-task accounting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskStats {
+    /// Times the task ran and performed work.
+    pub runs: u64,
+    /// Background bytes the task transferred.
+    pub io_bytes: u64,
+    /// Background time the task consumed.
+    pub busy: SimDuration,
+}
+
+/// Everything the scheduler has done so far.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaintenanceStats {
+    /// Foreground operations observed.
+    pub foreground_ops: u64,
+    /// Scheduler ticks elapsed.
+    pub ticks: u64,
+    /// Total background bytes transferred across all tasks.
+    pub background_bytes: u64,
+    /// Total background time, i.e. the foreground interference inflicted.
+    pub background_time: SimDuration,
+    /// Checkpoint-flush accounting.
+    pub checkpoint: TaskStats,
+    /// Ghost-cleanup accounting.
+    pub ghost_cleanup: TaskStats,
+    /// Incremental-defragmentation accounting.
+    pub defrag: TaskStats,
+}
+
+impl MaintenanceStats {
+    /// The accounting bucket for a task kind.
+    pub fn task(&self, kind: TaskKind) -> &TaskStats {
+        match kind {
+            TaskKind::Checkpoint => &self.checkpoint,
+            TaskKind::GhostCleanup => &self.ghost_cleanup,
+            TaskKind::Defrag => &self.defrag,
+        }
+    }
+
+    fn task_mut(&mut self, kind: TaskKind) -> &mut TaskStats {
+        match kind {
+            TaskKind::Checkpoint => &mut self.checkpoint,
+            TaskKind::GhostCleanup => &mut self.ghost_cleanup,
+            TaskKind::Defrag => &mut self.defrag,
+        }
+    }
+}
+
+/// The clock-driven background maintenance scheduler.
+///
+/// The scheduler observes every foreground operation (advancing its own
+/// simulated clock by the operation's duration), and every
+/// [`MaintenanceConfig::tick_every_ops`] operations it takes a *tick*: the
+/// [`MaintenancePolicy`] converts the store's state into a background I/O
+/// budget, and the task queue spends that budget in order.  All background
+/// time is returned to the caller as foreground interference — the simulated
+/// disk is a single spindle, so a foreground operation issued while
+/// maintenance I/O is in flight waits for it.
+pub struct MaintenanceScheduler {
+    config: MaintenanceConfig,
+    clock: SimClock,
+    tasks: Vec<Box<dyn MaintenanceTask>>,
+    ops_since_tick: u64,
+    tick: u64,
+    stats: MaintenanceStats,
+}
+
+impl std::fmt::Debug for MaintenanceScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaintenanceScheduler")
+            .field("config", &self.config)
+            .field("clock", &self.clock)
+            .field(
+                "tasks",
+                &self.tasks.iter().map(|t| t.kind()).collect::<Vec<_>>(),
+            )
+            .field("ops_since_tick", &self.ops_since_tick)
+            .field("tick", &self.tick)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl MaintenanceScheduler {
+    /// Creates a scheduler with the built-in task queue: checkpoint flush,
+    /// then ghost cleanup, then incremental defragmentation (cleanup before
+    /// defragmentation matters — reclaimed space is what gives the
+    /// defragmenter contiguous runs to move objects into).
+    pub fn new(config: MaintenanceConfig) -> Self {
+        let tasks: Vec<Box<dyn MaintenanceTask>> = vec![
+            Box::new(CheckpointTask {
+                every_ticks: config.checkpoint_every_ticks,
+            }),
+            Box::new(GhostCleanupTask {
+                every_ticks: config.ghost_cleanup_every_ticks,
+            }),
+            Box::new(IncrementalDefragTask),
+        ];
+        Self::with_tasks(config, tasks)
+    }
+
+    /// Creates a scheduler with an explicit task queue (run in order each
+    /// tick).
+    pub fn with_tasks(config: MaintenanceConfig, tasks: Vec<Box<dyn MaintenanceTask>>) -> Self {
+        MaintenanceScheduler {
+            config,
+            clock: SimClock::new(),
+            tasks,
+            ops_since_tick: 0,
+            tick: 0,
+            stats: MaintenanceStats::default(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &MaintenanceConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MaintenanceStats {
+        &self.stats
+    }
+
+    /// The scheduler's simulated clock: total foreground plus background time
+    /// it has observed.
+    pub fn now(&self) -> SimDuration {
+        self.clock.now()
+    }
+
+    /// Observes one completed foreground operation of duration `op_time` and,
+    /// when a tick is due, runs the task queue.  Returns the background time
+    /// spent during this call — the interference the caller must charge to
+    /// the foreground clock.
+    pub fn on_foreground_op(
+        &mut self,
+        op_time: SimDuration,
+        target: &mut dyn MaintTarget,
+    ) -> SimDuration {
+        self.clock.advance(op_time);
+        self.stats.foreground_ops += 1;
+        self.ops_since_tick += 1;
+        if self.ops_since_tick < self.config.tick_every_ops.max(1) {
+            return SimDuration::ZERO;
+        }
+        self.ops_since_tick = 0;
+        self.run_tick(target)
+    }
+
+    /// Runs one tick immediately (also used internally by
+    /// [`MaintenanceScheduler::on_foreground_op`]).  Returns the background
+    /// time consumed.
+    pub fn run_tick(&mut self, target: &mut dyn MaintTarget) -> SimDuration {
+        self.tick += 1;
+        self.stats.ticks += 1;
+
+        let mut budget_bytes = match self.config.policy {
+            MaintenancePolicy::Idle => return SimDuration::ZERO,
+            MaintenancePolicy::FixedBudget { io_per_tick } => {
+                io_per_tick.saturating_mul(self.config.io_unit_bytes)
+            }
+            MaintenancePolicy::Threshold { frag_per_object } => {
+                if target.fragments_per_object() > frag_per_object {
+                    self.config
+                        .burst_io_per_tick
+                        .saturating_mul(self.config.io_unit_bytes)
+                } else {
+                    return SimDuration::ZERO;
+                }
+            }
+        };
+        if budget_bytes == 0 {
+            return SimDuration::ZERO;
+        }
+
+        let mut interference = SimDuration::ZERO;
+        // The queue is detached while running so task bookkeeping can borrow
+        // the stats mutably.
+        let mut tasks = std::mem::take(&mut self.tasks);
+        for task in &mut tasks {
+            if budget_bytes == 0 {
+                break;
+            }
+            if !task.due(self.tick, target) {
+                continue;
+            }
+            let io = task.run(target, budget_bytes);
+            if io.is_none() {
+                continue;
+            }
+            budget_bytes = budget_bytes.saturating_sub(io.bytes);
+            let entry = self.stats.task_mut(task.kind());
+            entry.runs += 1;
+            entry.io_bytes += io.bytes;
+            entry.busy += io.time;
+            self.stats.background_bytes += io.bytes;
+            self.stats.background_time += io.time;
+            interference += io.time;
+        }
+        self.tasks = tasks;
+        self.clock.advance(interference);
+        interference
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::MaintIo;
+
+    /// A target whose fragmentation grows by 0.1 per foreground op and whose
+    /// maintenance actions have simple deterministic effects.
+    struct FakeStore {
+        ghost_bytes: u64,
+        frags: f64,
+        cleanups: u64,
+        checkpoints: u64,
+        defrag_steps: u64,
+        last_defrag_budget: u64,
+    }
+
+    impl FakeStore {
+        fn new() -> Self {
+            FakeStore {
+                ghost_bytes: 0,
+                frags: 1.0,
+                cleanups: 0,
+                checkpoints: 0,
+                defrag_steps: 0,
+                last_defrag_budget: 0,
+            }
+        }
+
+        fn dirty(&mut self) {
+            self.ghost_bytes += 8192;
+            self.frags += 0.1;
+        }
+    }
+
+    impl MaintTarget for FakeStore {
+        fn reclaimable_bytes(&self) -> u64 {
+            self.ghost_bytes
+        }
+        fn fragments_per_object(&self) -> f64 {
+            self.frags
+        }
+        fn ghost_cleanup(&mut self, _budget_bytes: u64) -> MaintIo {
+            self.cleanups += 1;
+            let bytes = 4096;
+            self.ghost_bytes = 0;
+            MaintIo::new(bytes, SimDuration::from_millis(2))
+        }
+        fn checkpoint(&mut self) -> MaintIo {
+            self.checkpoints += 1;
+            MaintIo::new(4096, SimDuration::from_millis(1))
+        }
+        fn defragment_step(&mut self, budget_bytes: u64) -> MaintIo {
+            self.defrag_steps += 1;
+            self.last_defrag_budget = budget_bytes;
+            if self.frags <= 1.0 {
+                return MaintIo::NONE;
+            }
+            self.frags = (self.frags - 1.0).max(1.0);
+            MaintIo::new(budget_bytes.min(1 << 20), SimDuration::from_millis(10))
+        }
+    }
+
+    fn drive(scheduler: &mut MaintenanceScheduler, store: &mut FakeStore, ops: u64) -> SimDuration {
+        let mut interference = SimDuration::ZERO;
+        for _ in 0..ops {
+            store.dirty();
+            interference += scheduler.on_foreground_op(SimDuration::from_millis(5), store);
+        }
+        interference
+    }
+
+    #[test]
+    fn idle_policy_never_interferes() {
+        let mut store = FakeStore::new();
+        let mut scheduler = MaintenanceScheduler::new(MaintenanceConfig::idle());
+        let interference = drive(&mut scheduler, &mut store, 100);
+        assert_eq!(interference, SimDuration::ZERO);
+        assert_eq!(store.cleanups + store.checkpoints + store.defrag_steps, 0);
+        assert_eq!(scheduler.stats().background_bytes, 0);
+        // Ticks still elapse and the clock still follows the foreground.
+        assert_eq!(scheduler.stats().ticks, 100 / 8);
+        assert_eq!(scheduler.now(), SimDuration::from_millis(500));
+        assert_eq!(scheduler.stats().foreground_ops, 100);
+    }
+
+    #[test]
+    fn zero_budget_behaves_like_idle() {
+        let mut store = FakeStore::new();
+        let mut scheduler = MaintenanceScheduler::new(MaintenanceConfig::fixed_budget(0));
+        assert_eq!(drive(&mut scheduler, &mut store, 64), SimDuration::ZERO);
+        assert_eq!(store.defrag_steps, 0);
+    }
+
+    #[test]
+    fn fixed_budget_runs_the_queue_and_charges_interference() {
+        let mut store = FakeStore::new();
+        let mut scheduler = MaintenanceScheduler::new(MaintenanceConfig::fixed_budget(16));
+        let interference = drive(&mut scheduler, &mut store, 64);
+        assert!(interference > SimDuration::ZERO);
+        let stats = scheduler.stats();
+        assert_eq!(stats.ticks, 8);
+        // Defrag runs every tick; checkpoint every 2 ticks, cleanup every 8.
+        assert_eq!(store.defrag_steps, 8);
+        assert_eq!(store.checkpoints, 4);
+        assert_eq!(store.cleanups, 1);
+        assert_eq!(stats.defrag.runs, 8);
+        assert_eq!(stats.checkpoint.runs, 4);
+        assert_eq!(stats.ghost_cleanup.runs, 1);
+        assert_eq!(stats.background_time, interference);
+        assert!(stats.background_bytes > 0);
+        // The scheduler clock includes foreground and background time.
+        assert_eq!(
+            scheduler.now(),
+            SimDuration::from_millis(64 * 5) + interference
+        );
+        // Earlier queue entries consume budget before defrag sees it.
+        assert!(store.last_defrag_budget < 16 * 64 * 1024);
+    }
+
+    #[test]
+    fn threshold_policy_engages_only_above_the_threshold() {
+        let mut store = FakeStore::new();
+        let mut scheduler = MaintenanceScheduler::new(MaintenanceConfig::threshold(2.0));
+        // 8 ops push frags to 1.8: below threshold, first tick does nothing.
+        drive(&mut scheduler, &mut store, 8);
+        assert_eq!(store.defrag_steps, 0);
+        // 8 more push frags to 2.6: the next tick bursts and repairs.
+        drive(&mut scheduler, &mut store, 8);
+        assert_eq!(store.defrag_steps, 1);
+        assert!(store.frags <= 2.0);
+        // Back under the threshold: quiescent again.
+        let quiet = drive(&mut scheduler, &mut store, 2);
+        assert_eq!(quiet, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn custom_task_queues_are_respected() {
+        struct CountingTask {
+            kind: TaskKind,
+            runs: std::rc::Rc<std::cell::Cell<u64>>,
+        }
+        impl MaintenanceTask for CountingTask {
+            fn kind(&self) -> TaskKind {
+                self.kind
+            }
+            fn due(&self, _tick: u64, _target: &dyn MaintTarget) -> bool {
+                true
+            }
+            fn run(&mut self, _target: &mut dyn MaintTarget, budget: u64) -> MaintIo {
+                self.runs.set(self.runs.get() + 1);
+                MaintIo::new(budget, SimDuration::from_micros(10))
+            }
+        }
+        let runs = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut scheduler = MaintenanceScheduler::with_tasks(
+            MaintenanceConfig::fixed_budget(1),
+            vec![Box::new(CountingTask {
+                kind: TaskKind::Defrag,
+                runs: runs.clone(),
+            })],
+        );
+        let mut store = FakeStore::new();
+        drive(&mut scheduler, &mut store, 16);
+        assert_eq!(runs.get(), 2);
+        assert_eq!(scheduler.stats().task(TaskKind::Defrag).runs, 2);
+        assert_eq!(scheduler.stats().task(TaskKind::Checkpoint).runs, 0);
+        assert!(format!("{scheduler:?}").contains("Defrag"));
+    }
+}

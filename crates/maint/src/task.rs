@@ -1,0 +1,253 @@
+//! The maintenance-task trait, the target abstraction, and the built-in
+//! recurring tasks.
+
+use lor_disksim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Background I/O performed by one maintenance action.
+///
+/// The *target* produces these, because only the target knows its disk
+/// geometry: the scheduler itself never guesses mechanical costs, it only
+/// budgets bytes and accumulates time.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaintIo {
+    /// Bytes physically transferred by the action (reads plus writes).
+    pub bytes: u64,
+    /// Mechanical plus host time the action consumed.
+    pub time: SimDuration,
+}
+
+impl MaintIo {
+    /// The no-work value.
+    pub const NONE: MaintIo = MaintIo {
+        bytes: 0,
+        time: SimDuration::ZERO,
+    };
+
+    /// Creates a record of `bytes` transferred in `time`.
+    pub fn new(bytes: u64, time: SimDuration) -> Self {
+        MaintIo { bytes, time }
+    }
+
+    /// `true` if the action did nothing.
+    pub fn is_none(&self) -> bool {
+        self.bytes == 0 && self.time.is_zero()
+    }
+
+    /// Component-wise sum.
+    pub fn combined(&self, other: &MaintIo) -> MaintIo {
+        MaintIo {
+            bytes: self.bytes + other.bytes,
+            time: self.time + other.time,
+        }
+    }
+}
+
+/// What a storage substrate must expose to be maintained by the scheduler.
+///
+/// `lor-core` implements this for both object stores (the NTFS-like volume
+/// and the SQL-Server-like engine); the methods map onto each substrate's
+/// native mechanisms and cost their I/O with the substrate's own disk model.
+pub trait MaintTarget {
+    /// Bytes of space that a cleanup pass could make reusable (ghost pages
+    /// for the database, pending-free clusters for the filesystem).
+    fn reclaimable_bytes(&self) -> u64;
+
+    /// Current mean fragments per live object (the paper's headline metric),
+    /// consulted by threshold policies.
+    fn fragments_per_object(&self) -> f64;
+
+    /// Reclaims ghost space (the database's asynchronous ghost cleanup; a
+    /// no-op for substrates whose reclamation happens at checkpoint),
+    /// transferring at most about `budget_bytes` of background I/O — a large
+    /// backlog is drained over several budgeted passes.
+    fn ghost_cleanup(&mut self, budget_bytes: u64) -> MaintIo;
+
+    /// Flushes the log / checkpoints, making deferred-freed space reusable.
+    ///
+    /// A log force is atomic, so this action is exempt from per-tick
+    /// budgeting; its cost is bounded by the checkpoint cadence (only the
+    /// work deferred since the previous checkpoint is released).
+    fn checkpoint(&mut self) -> MaintIo;
+
+    /// Runs one bounded increment of defragmentation, transferring at most
+    /// about `budget_bytes` of background I/O.  Returns [`MaintIo::NONE`]
+    /// when the layout is already as good as the substrate can make it.
+    fn defragment_step(&mut self, budget_bytes: u64) -> MaintIo;
+}
+
+/// Which built-in maintenance duty a task performs (used to attribute
+/// statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Log flush / checkpoint, releasing deferred frees.
+    Checkpoint,
+    /// Ghost-page reclamation.
+    GhostCleanup,
+    /// Incremental defragmentation.
+    Defrag,
+}
+
+impl TaskKind {
+    /// Short, stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskKind::Checkpoint => "checkpoint",
+            TaskKind::GhostCleanup => "ghost-cleanup",
+            TaskKind::Defrag => "defrag",
+        }
+    }
+}
+
+/// A recurring background task owned by the scheduler's queue.
+///
+/// Tasks are consulted every tick (in queue order) once the policy has
+/// granted the tick a budget; a task runs only if it reports itself due.
+pub trait MaintenanceTask {
+    /// Which duty this task performs.
+    fn kind(&self) -> TaskKind;
+
+    /// `true` if the task wants to run at this tick (cadence satisfied and
+    /// work available).
+    fn due(&self, tick: u64, target: &dyn MaintTarget) -> bool;
+
+    /// Performs the task against the target, transferring at most about
+    /// `budget_bytes` of background I/O, and reports what it did.
+    fn run(&mut self, target: &mut dyn MaintTarget, budget_bytes: u64) -> MaintIo;
+}
+
+/// Checkpoint flush on a fixed tick cadence.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointTask {
+    /// Ticks between runs.
+    pub every_ticks: u64,
+}
+
+impl MaintenanceTask for CheckpointTask {
+    fn kind(&self) -> TaskKind {
+        TaskKind::Checkpoint
+    }
+
+    fn due(&self, tick: u64, _target: &dyn MaintTarget) -> bool {
+        tick.is_multiple_of(self.every_ticks.max(1))
+    }
+
+    fn run(&mut self, target: &mut dyn MaintTarget, _budget_bytes: u64) -> MaintIo {
+        target.checkpoint()
+    }
+}
+
+/// Ghost cleanup on a fixed tick cadence, skipped while there is nothing to
+/// reclaim.
+#[derive(Debug, Clone, Copy)]
+pub struct GhostCleanupTask {
+    /// Ticks between runs.
+    pub every_ticks: u64,
+}
+
+impl MaintenanceTask for GhostCleanupTask {
+    fn kind(&self) -> TaskKind {
+        TaskKind::GhostCleanup
+    }
+
+    fn due(&self, tick: u64, target: &dyn MaintTarget) -> bool {
+        tick.is_multiple_of(self.every_ticks.max(1)) && target.reclaimable_bytes() > 0
+    }
+
+    fn run(&mut self, target: &mut dyn MaintTarget, budget_bytes: u64) -> MaintIo {
+        target.ghost_cleanup(budget_bytes)
+    }
+}
+
+/// Incremental defragmentation: runs every tick the policy grants budget,
+/// spending whatever budget the earlier queue entries left over.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IncrementalDefragTask;
+
+impl MaintenanceTask for IncrementalDefragTask {
+    fn kind(&self) -> TaskKind {
+        TaskKind::Defrag
+    }
+
+    fn due(&self, _tick: u64, _target: &dyn MaintTarget) -> bool {
+        true
+    }
+
+    fn run(&mut self, target: &mut dyn MaintTarget, budget_bytes: u64) -> MaintIo {
+        target.defragment_step(budget_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) struct NullTarget;
+
+    impl MaintTarget for NullTarget {
+        fn reclaimable_bytes(&self) -> u64 {
+            0
+        }
+        fn fragments_per_object(&self) -> f64 {
+            1.0
+        }
+        fn ghost_cleanup(&mut self, _budget_bytes: u64) -> MaintIo {
+            MaintIo::NONE
+        }
+        fn checkpoint(&mut self) -> MaintIo {
+            MaintIo::NONE
+        }
+        fn defragment_step(&mut self, _budget_bytes: u64) -> MaintIo {
+            MaintIo::NONE
+        }
+    }
+
+    #[test]
+    fn maint_io_combines_and_detects_no_work() {
+        let a = MaintIo::new(100, SimDuration::from_millis(1));
+        let b = MaintIo::new(50, SimDuration::from_millis(2));
+        let c = a.combined(&b);
+        assert_eq!(c.bytes, 150);
+        assert_eq!(c.time, SimDuration::from_millis(3));
+        assert!(MaintIo::NONE.is_none());
+        assert!(!a.is_none());
+    }
+
+    #[test]
+    fn cadence_tasks_fire_on_their_ticks() {
+        let checkpoint = CheckpointTask { every_ticks: 3 };
+        assert!(checkpoint.due(3, &NullTarget));
+        assert!(checkpoint.due(6, &NullTarget));
+        assert!(!checkpoint.due(4, &NullTarget));
+
+        // Ghost cleanup additionally requires reclaimable work.
+        let cleanup = GhostCleanupTask { every_ticks: 1 };
+        assert!(!cleanup.due(1, &NullTarget));
+
+        struct Dirty;
+        impl MaintTarget for Dirty {
+            fn reclaimable_bytes(&self) -> u64 {
+                4096
+            }
+            fn fragments_per_object(&self) -> f64 {
+                1.0
+            }
+            fn ghost_cleanup(&mut self, _budget_bytes: u64) -> MaintIo {
+                MaintIo::NONE
+            }
+            fn checkpoint(&mut self) -> MaintIo {
+                MaintIo::NONE
+            }
+            fn defragment_step(&mut self, _budget_bytes: u64) -> MaintIo {
+                MaintIo::NONE
+            }
+        }
+        assert!(cleanup.due(1, &Dirty));
+        assert!(!cleanup.due(1, &NullTarget));
+
+        assert!(IncrementalDefragTask.due(7, &NullTarget));
+        assert_eq!(TaskKind::Defrag.name(), "defrag");
+        assert_eq!(TaskKind::Checkpoint.name(), "checkpoint");
+        assert_eq!(TaskKind::GhostCleanup.name(), "ghost-cleanup");
+    }
+}

@@ -11,3 +11,4 @@ pub use lor_blobkit as blobkit;
 pub use lor_core as core;
 pub use lor_disksim as disksim;
 pub use lor_fskit as fskit;
+pub use lor_maint as maint;

@@ -304,3 +304,87 @@ fn maintenance_restores_contiguity() {
         );
     }
 }
+
+/// The `lor-maint` acceptance scenario: under the `Idle` policy
+/// fragments/object grows monotonically with storage age, while the
+/// `FixedBudget` and `Threshold` policies hold steady-state fragmentation
+/// strictly lower at the price of measurably higher foreground latency (the
+/// background I/O is charged to the same simulated spindle).
+#[test]
+fn maintenance_policies_trade_foreground_latency_for_fragmentation() {
+    use lorepo::core::MaintenanceConfig;
+
+    let ages = [0u32, 2, 4, 6];
+    for kind in [StoreKind::Filesystem, StoreKind::Database] {
+        let base = mini(2 * MB, 128 * MB);
+        let idle = run_aging_experiment(
+            kind,
+            &base.clone().with_maintenance(MaintenanceConfig::idle()),
+            &ages,
+            false,
+        )
+        .unwrap();
+        let budget = run_aging_experiment(
+            kind,
+            &base
+                .clone()
+                .with_maintenance(MaintenanceConfig::fixed_budget(512)),
+            &ages,
+            false,
+        )
+        .unwrap();
+        let threshold = run_aging_experiment(
+            kind,
+            &base
+                .clone()
+                .with_maintenance(MaintenanceConfig::threshold(1.5)),
+            &ages,
+            false,
+        )
+        .unwrap();
+
+        // Idle: fragmentation grows monotonically with age (within a small
+        // plateau tolerance — the filesystem curve levels off) and never
+        // heals.
+        let idle_frags: Vec<f64> = idle.points.iter().map(|p| p.fragments_per_object).collect();
+        assert!(
+            idle_frags.windows(2).all(|w| w[1] >= w[0] * 0.95),
+            "{kind:?}: idle fragmentation must grow monotonically: {idle_frags:?}"
+        );
+        assert!(
+            *idle_frags.last().unwrap() > idle_frags[0] + 0.2,
+            "{kind:?}: idle fragmentation must actually grow: {idle_frags:?}"
+        );
+        assert_eq!(
+            idle.points.last().unwrap().background_time_s,
+            0.0,
+            "{kind:?}: idle schedules no background work"
+        );
+
+        // Active policies: strictly lower steady-state fragmentation...
+        let idle_aged = idle.points.last().unwrap();
+        for (name, run) in [("fixed-budget", &budget), ("threshold", &threshold)] {
+            let aged = run.points.last().unwrap();
+            assert!(
+                aged.fragments_per_object < idle_aged.fragments_per_object,
+                "{kind:?}/{name}: maintenance must lower steady-state fragmentation \
+                 ({} vs idle {})",
+                aged.fragments_per_object,
+                idle_aged.fragments_per_object
+            );
+            // ...bought with real background I/O...
+            assert!(
+                aged.background_time_s > 0.0,
+                "{kind:?}/{name}: the scheduler must have worked"
+            );
+            // ...that shows up as measurably higher foreground latency.
+            assert!(
+                aged.foreground_latency_ms > idle_aged.foreground_latency_ms * 1.02,
+                "{kind:?}/{name}: background maintenance must cost foreground latency \
+                 ({:.3} ms vs idle {:.3} ms)",
+                aged.foreground_latency_ms,
+                idle_aged.foreground_latency_ms
+            );
+        }
+    }
+}
