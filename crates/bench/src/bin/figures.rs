@@ -14,7 +14,8 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 
 use lor_bench::{
-    figure1, figure2, figure3, figure4, figure5, figure6, maintenance_ablation,
+    figure1, figure2, figure3, figure4, figure5, figure6, idle_detect_figures,
+    latency_percentile_figures, load_sweep_figures, maintenance_ablation,
     maintenance_latency_figures, maintenance_policy_figures, policy_ablation_figures, table1,
     write_request_size_sweep, Scale,
 };
@@ -66,7 +67,8 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "usage: figures [--scale full|report|bench|test|smoke] [--json <dir>] \
                      [--only table1,fig1,...,fig6,write-size,maintenance,policy-ablation,\
-                     maintenance-policies,maintenance-latency]"
+                     maintenance-policies,maintenance-latency,latency-percentiles,load-sweep,\
+                     idle-detect]"
                 );
                 std::process::exit(0);
             }
@@ -155,6 +157,18 @@ fn run() -> Result<(), String> {
     if wanted(&options, "maintenance-latency") {
         let figures = maintenance_latency_figures(&options.scale).map_err(|e| e.to_string())?;
         emit(&options, "maintenance_latency", &figures)?;
+    }
+    if wanted(&options, "latency-percentiles") {
+        let figures = latency_percentile_figures(&options.scale).map_err(|e| e.to_string())?;
+        emit(&options, "latency_percentiles", &figures)?;
+    }
+    if wanted(&options, "load-sweep") {
+        let figures = load_sweep_figures(&options.scale).map_err(|e| e.to_string())?;
+        emit(&options, "load_sweep", &figures)?;
+    }
+    if wanted(&options, "idle-detect") {
+        let figures = idle_detect_figures(&options.scale).map_err(|e| e.to_string())?;
+        emit(&options, "idle_detect", &figures)?;
     }
     Ok(())
 }

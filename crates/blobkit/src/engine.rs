@@ -421,13 +421,19 @@ impl Database {
         self.ghost_cleanup_limited(0);
     }
 
-    /// Reclaims up to `max_pages` ghost pages, oldest first (0 means all),
-    /// returning fully empty extents to the GAM.  Returns the pages
-    /// reclaimed.
+    /// Reclaims up to `max_pages` ghost pages (0 means all), returning fully
+    /// empty extents to the GAM.  Returns the pages reclaimed.
     ///
     /// The bounded form is what a budgeted background scheduler uses: a huge
     /// ghost backlog is then drained over several passes instead of charging
-    /// one unbounded sweep to a single tick.
+    /// one unbounded sweep to a single tick.  A bounded pass releases ghosts
+    /// **tail-first** (highest page offsets first): releasing *low* pages
+    /// feeds the engine's lowest-first reuse with scattered mid-file holes
+    /// and accelerates interleaving, which is exactly the
+    /// small-budget-worse-than-idle pathology EXPERIMENTS.md records.  High
+    /// pages sit near the allocation frontier, so returning them keeps the
+    /// free space the allocator sees as contiguous as possible while the
+    /// low-offset backlog keeps aging towards a rare bulk drop.
     pub fn ghost_cleanup_limited(&mut self, max_pages: u64) -> u64 {
         if self.ghost_pages.is_empty() {
             self.ops_since_cleanup = 0;
@@ -438,9 +444,17 @@ impl Database {
         } else {
             (max_pages as usize).min(self.ghost_pages.len())
         };
-        let reclaimed: Vec<PageId> = self.ghost_pages.drain(..take).collect();
-        for page in reclaimed {
-            self.lob_unit.free_page(&mut self.gam, page);
+        if take < self.ghost_pages.len() {
+            // Partial pass: pick the highest-offset ghosts, keep the rest
+            // queued.
+            self.ghost_pages.sort_unstable();
+            for page in self.ghost_pages.split_off(self.ghost_pages.len() - take) {
+                self.lob_unit.free_page(&mut self.gam, page);
+            }
+        } else {
+            for page in self.ghost_pages.drain(..) {
+                self.lob_unit.free_page(&mut self.gam, page);
+            }
         }
         self.ops_since_cleanup = 0;
         self.stats.ghost_cleanups += 1;
@@ -838,6 +852,45 @@ mod tests {
         );
         db.ghost_cleanup();
         assert!(db.lob_unit.available_pages(&db.gam) > free_before);
+        assert_eq!(db.ghost_page_count(), 0);
+    }
+
+    #[test]
+    fn bounded_ghost_cleanup_releases_the_tail_first() {
+        let mut config = EngineConfig::new(64 * MB);
+        config.ghost_cleanup_interval_ops = 1_000_000; // manual
+        let mut db = Database::create(config).unwrap();
+        for i in 0..8 {
+            db.insert(&format!("o{i}"), MB).unwrap();
+        }
+        // Delete in insertion order so the ghost list's *oldest* entries are
+        // the *lowest* offsets.
+        for i in 0..8 {
+            db.delete(&format!("o{i}")).unwrap();
+        }
+        let backlog = db.ghost_page_count();
+        assert!(backlog > 16);
+
+        let pages_of_a_blob = db.config().pages_for(MB);
+        let reclaimed = db.ghost_cleanup_limited(pages_of_a_blob);
+        assert_eq!(reclaimed, pages_of_a_blob);
+        assert_eq!(
+            db.ghost_page_count(),
+            backlog - reclaimed,
+            "only the budgeted pages were released"
+        );
+        // A second bounded pass keeps eating from the (new) tail.
+        let before: Vec<_> = db.ghost_pages.clone();
+        db.ghost_cleanup_limited(pages_of_a_blob);
+        let after: Vec<_> = db.ghost_pages.clone();
+        let released: Vec<_> = before.iter().filter(|p| !after.contains(p)).collect();
+        let kept_max = after.iter().max().unwrap();
+        assert!(
+            released.iter().all(|p| *p > kept_max),
+            "released ghosts ({released:?}) must all sit above the kept backlog (max {kept_max:?})"
+        );
+        // An unbounded pass drains the rest.
+        db.ghost_cleanup();
         assert_eq!(db.ghost_page_count(), 0);
     }
 

@@ -116,6 +116,11 @@ impl DbObjectStore {
         let Some(state) = self.maintenance.as_mut() else {
             return;
         };
+        if state.scheduler.config().server_driven {
+            // The request scheduler owns the drive: it calls
+            // `maintenance_slice` and models the overlap itself.
+            return;
+        }
         let mut target = DbMaintTarget {
             db: &mut self.db,
             disk: self.disk.config(),
@@ -278,6 +283,27 @@ impl ObjectStore for DbObjectStore {
         self.maintenance
             .as_ref()
             .map(|state| *state.scheduler.stats())
+    }
+
+    fn maintenance_config(&self) -> Option<MaintenanceConfig> {
+        self.maintenance
+            .as_ref()
+            .map(|state| *state.scheduler.config())
+    }
+
+    fn maintenance_slice(&mut self, budget_bytes: u64) -> lor_maint::MaintIo {
+        let Some(state) = self.maintenance.as_mut() else {
+            return lor_maint::MaintIo::NONE;
+        };
+        let mut target = DbMaintTarget {
+            db: &mut self.db,
+            disk: self.disk.config(),
+            cost: &self.cost,
+            defrag_backoff: &mut state.defrag_backoff,
+        };
+        state
+            .scheduler
+            .run_budgeted_slice(&mut target, budget_bytes)
     }
 }
 

@@ -13,15 +13,25 @@
 //! [`run_aging_experiment`] is that loop; the figure-specific sweeps in
 //! `lor-bench` are thin wrappers that vary object size, size distribution,
 //! volume size and occupancy.
+//!
+//! Since the request/completion redesign the loop is implemented on the
+//! [`StoreServer`] scheduler: bulk load and read passes are single-client
+//! zero-think-time schedules (the degenerate case that reproduces the old
+//! serial harness exactly), and the aging rounds run
+//! [`ExperimentConfig::concurrency`] closed-loop clients with
+//! [`ExperimentConfig::think_time_ms`] of per-client think time.  Each
+//! checkpoint therefore reports client-observed latency percentiles and
+//! queue depth alongside the paper's throughput and fragmentation metrics.
 
 use lor_alloc::AllocationPolicy;
-use lor_disksim::throughput_mb_per_sec;
+use lor_disksim::{throughput_mb_per_sec, SimDuration};
 use lor_maint::MaintenanceConfig;
 use serde::{Deserialize, Serialize};
 
 use crate::db_store::{DbObjectStore, DbStoreConfig};
 use crate::error::StoreError;
 use crate::fs_store::{FsObjectStore, FsStoreConfig};
+use crate::server::{LatencySummary, StoreServer};
 use crate::store::{CostModel, ObjectStore, StoreKind};
 use crate::workload::{
     SizeDistribution, StorageAgeTracker, WorkloadGenerator, WorkloadOp, WorkloadSpec,
@@ -94,10 +104,16 @@ pub struct ExperimentConfig {
     /// (`None` reads every object, as the paper did; a sample keeps large
     /// configurations fast).
     pub read_sample: Option<usize>,
-    /// Number of safe writes whose write requests are in flight concurrently
-    /// during the aging rounds, modelling the web application's parallel
-    /// uploads (1 = strictly sequential updates).
+    /// Number of closed-loop clients driving the aging rounds: safe writes
+    /// queued together dispatch as one interleaved batch, modelling the web
+    /// application's parallel uploads (1 = strictly sequential updates).
     pub concurrency: usize,
+    /// Per-client think time (simulated milliseconds) between a completion
+    /// and the client's next request.  `0.0` reproduces the original
+    /// harness: every request arrives the instant the spindle frees up.
+    /// Positive values open idle gaps on the spindle — the window the
+    /// `IdleDetect` maintenance policy schedules into.
+    pub think_time_ms: f64,
     /// The allocation policy both substrates apply.
     /// [`AllocationPolicy::Native`] reproduces the paper's systems (the NTFS
     /// run cache and SQL Server's lowest-first page reuse); the fit policies
@@ -124,6 +140,7 @@ impl ExperimentConfig {
             seed: 42,
             read_sample: Some(400),
             concurrency: 4,
+            think_time_ms: 0.0,
             allocation_policy: AllocationPolicy::Native,
             maintenance: None,
         }
@@ -132,6 +149,13 @@ impl ExperimentConfig {
     /// Overrides the allocation policy applied by both substrates.
     pub fn with_allocation_policy(mut self, policy: AllocationPolicy) -> Self {
         self.allocation_policy = policy;
+        self
+    }
+
+    /// Overrides the number of closed-loop clients and their think time.
+    pub fn with_clients(mut self, clients: usize, think_time_ms: f64) -> Self {
+        self.concurrency = clients;
+        self.think_time_ms = think_time_ms;
         self
     }
 
@@ -218,6 +242,11 @@ impl ExperimentConfig {
                 "concurrency must be at least 1".into(),
             ));
         }
+        if !self.think_time_ms.is_finite() || self.think_time_ms < 0.0 {
+            return Err(StoreError::BadConfig(
+                "think time must be finite and non-negative".into(),
+            ));
+        }
         if let Some(maintenance) = &self.maintenance {
             maintenance
                 .validate()
@@ -246,6 +275,18 @@ pub struct AgePoint {
     /// charged by the `lor-maint` scheduler, so it is the metric the
     /// latency-vs-throughput maintenance scenarios plot.
     pub foreground_latency_ms: f64,
+    /// Median client-observed latency (milliseconds, queue delay included)
+    /// over the interval's foreground operations.
+    pub latency_p50_ms: f64,
+    /// 95th-percentile client-observed latency (milliseconds).
+    pub latency_p95_ms: f64,
+    /// 99th-percentile client-observed latency (milliseconds) — the tail the
+    /// multi-client load scenarios study.
+    pub latency_p99_ms: f64,
+    /// Mean number of requests waiting at dispatch time over the interval.
+    pub queue_depth_mean: f64,
+    /// Deepest request queue observed during the interval.
+    pub queue_depth_max: u64,
     /// Cumulative background-maintenance time (seconds) the store's scheduler
     /// has spent up to this checkpoint (0 when no scheduler is attached).
     pub background_time_s: f64,
@@ -301,33 +342,43 @@ pub fn run_aging_experiment(
     ages.sort_unstable();
     ages.dedup();
 
-    // Bulk load.
-    store.reset_measurements();
+    let think_time = SimDuration::from_millis_f64(config.think_time_ms);
+    let mut server = StoreServer::new(store.as_mut());
+
+    // Bulk load: a single client with zero think time — the degenerate
+    // request schedule that reproduces the serial harness exactly.
+    server.store_mut().reset_measurements();
+    server.reset_queue_stats();
     let mut bulk_bytes = 0u64;
     let mut bulk_ops = 0u64;
-    for op in generator.bulk_load() {
-        if let WorkloadOp::Put { key, size } = op {
-            store.put(&key, size)?;
+    let completions = server.run_closed_loop(generator.bulk_load(), 1, SimDuration::ZERO)?;
+    for completion in &completions {
+        if let WorkloadOp::Put { size, .. } = completion.request.op {
             tracker.record_put(size);
             bulk_bytes += size;
             bulk_ops += 1;
         }
     }
-    let bulk_throughput = throughput_mb_per_sec(bulk_bytes, store.elapsed());
-    let bulk_latency = store
+    let mut interval_throughput = throughput_mb_per_sec(bulk_bytes, server.store().elapsed());
+    let mut interval_latency = server
+        .store()
         .elapsed()
         .checked_div_int(bulk_ops.max(1))
         .as_millis_f64();
+    let mut interval_summary = LatencySummary::of(&completions);
+    let mut interval_queue = server.queue_stats();
 
     let mut current_age = 0u32;
-    let mut interval_throughput = bulk_throughput;
-    let mut interval_latency = bulk_latency;
     for &target in &ages {
-        // Age up to the target (no-op for target 0).
+        // Age up to the target (no-op for target 0): `concurrency`
+        // closed-loop clients pull the round's safe writes from a shared
+        // queue, so writes queued together interleave on disk as one batch.
         if target > current_age {
-            store.reset_measurements();
+            server.store_mut().reset_measurements();
+            server.reset_queue_stats();
             let mut written = 0u64;
             let mut ops = 0u64;
+            let mut interval_completions = Vec::new();
             while current_age < target {
                 let round: Vec<(String, u64)> = generator
                     .overwrite_round()
@@ -337,27 +388,40 @@ pub fn run_aging_experiment(
                         _ => None,
                     })
                     .collect();
-                for batch in round.chunks(config.concurrency.max(1)) {
-                    let old_sizes: Vec<u64> = batch
-                        .iter()
-                        .map(|(key, _)| store.size_of(key))
-                        .collect::<Result<_, _>>()?;
-                    store.safe_write_batch(batch)?;
-                    for ((_, size), old) in batch.iter().zip(old_sizes) {
-                        tracker.record_safe_write(old, *size);
-                        written += size;
-                        ops += 1;
-                    }
+                let old_sizes: Vec<u64> = round
+                    .iter()
+                    .map(|(key, _)| server.store().size_of(key))
+                    .collect::<Result<_, _>>()?;
+                let round_ops: Vec<WorkloadOp> = round
+                    .iter()
+                    .map(|(key, size)| WorkloadOp::SafeWrite {
+                        key: key.clone(),
+                        size: *size,
+                    })
+                    .collect();
+                let completions =
+                    server.run_closed_loop(round_ops, config.concurrency.max(1), think_time)?;
+                for ((_, size), old) in round.iter().zip(old_sizes) {
+                    tracker.record_safe_write(old, *size);
+                    written += size;
+                    ops += 1;
                 }
+                interval_completions.extend(completions);
                 current_age += 1;
             }
-            interval_throughput = throughput_mb_per_sec(written, store.elapsed());
-            interval_latency = store.elapsed().checked_div_int(ops.max(1)).as_millis_f64();
+            interval_throughput = throughput_mb_per_sec(written, server.store().elapsed());
+            interval_latency = server
+                .store()
+                .elapsed()
+                .checked_div_int(ops.max(1))
+                .as_millis_f64();
+            interval_summary = LatencySummary::of(&interval_completions);
+            interval_queue = server.queue_stats();
         }
 
         let read_throughput = if measure_reads {
-            Some(measure_read_throughput(
-                store.as_mut(),
+            Some(measure_read_pass(
+                &mut server,
                 &mut generator,
                 config.read_sample,
             )?)
@@ -367,14 +431,20 @@ pub fn run_aging_experiment(
 
         points.push(AgePoint {
             storage_age: tracker.storage_age(),
-            fragments_per_object: store.fragmentation().fragments_per_object,
+            fragments_per_object: server.store().fragmentation().fragments_per_object,
             write_throughput_mb_s: interval_throughput,
             read_throughput_mb_s: read_throughput,
             foreground_latency_ms: interval_latency,
-            background_time_s: store
+            latency_p50_ms: interval_summary.p50_ms,
+            latency_p95_ms: interval_summary.p95_ms,
+            latency_p99_ms: interval_summary.p99_ms,
+            queue_depth_mean: interval_queue.mean_depth(),
+            queue_depth_max: interval_queue.max_depth,
+            background_time_s: server
+                .store()
                 .maintenance_stats()
                 .map_or(0.0, |stats| stats.background_time.as_secs_f64()),
-            objects: store.object_count() as u64,
+            objects: server.store().object_count() as u64,
         });
     }
 
@@ -385,6 +455,24 @@ pub fn run_aging_experiment(
     })
 }
 
+/// A randomized full-object read pass over (a sample of) the live objects,
+/// run on an existing server as a single-client, zero-think-time schedule.
+fn measure_read_pass(
+    server: &mut StoreServer<'_>,
+    generator: &mut WorkloadGenerator,
+    sample: Option<usize>,
+) -> Result<f64, StoreError> {
+    let ops = generator.read_all();
+    let limit = sample.unwrap_or(ops.len()).max(1);
+    let ops: Vec<WorkloadOp> = ops.into_iter().take(limit).collect();
+    server.store_mut().reset_measurements();
+    let completions = server.run_closed_loop(ops, 1, SimDuration::ZERO)?;
+    let bytes: u64 = completions.iter().map(|c| c.receipt.payload_bytes).sum();
+    let throughput = throughput_mb_per_sec(bytes, server.store().elapsed());
+    server.store_mut().reset_measurements();
+    Ok(throughput)
+}
+
 /// Measures read throughput with a randomized full-object read pass over (a
 /// sample of) the live objects.
 pub fn measure_read_throughput(
@@ -392,18 +480,8 @@ pub fn measure_read_throughput(
     generator: &mut WorkloadGenerator,
     sample: Option<usize>,
 ) -> Result<f64, StoreError> {
-    let ops = generator.read_all();
-    let limit = sample.unwrap_or(ops.len()).max(1);
-    store.reset_measurements();
-    let mut bytes = 0u64;
-    for op in ops.into_iter().take(limit) {
-        if let WorkloadOp::Get { key } = op {
-            bytes += store.get(&key)?.payload_bytes;
-        }
-    }
-    let throughput = throughput_mb_per_sec(bytes, store.elapsed());
-    store.reset_measurements();
-    Ok(throughput)
+    let mut server = StoreServer::new(store);
+    measure_read_pass(&mut server, generator, sample)
 }
 
 /// Runs both systems through the same aging experiment — the comparison every
@@ -437,6 +515,7 @@ mod tests {
             seed: 7,
             read_sample: Some(16),
             concurrency: 4,
+            think_time_ms: 0.0,
             allocation_policy: AllocationPolicy::Native,
             maintenance: None,
         }

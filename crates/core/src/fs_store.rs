@@ -123,6 +123,11 @@ impl FsObjectStore {
         let Some(state) = self.maintenance.as_mut() else {
             return;
         };
+        if state.scheduler.config().server_driven {
+            // The request scheduler owns the drive: it calls
+            // `maintenance_slice` and models the overlap itself.
+            return;
+        }
         let mut target = FsMaintTarget {
             volume: &mut self.volume,
             disk: self.disk.config(),
@@ -318,6 +323,28 @@ impl ObjectStore for FsObjectStore {
         self.maintenance
             .as_ref()
             .map(|state| *state.scheduler.stats())
+    }
+
+    fn maintenance_config(&self) -> Option<MaintenanceConfig> {
+        self.maintenance
+            .as_ref()
+            .map(|state| *state.scheduler.config())
+    }
+
+    fn maintenance_slice(&mut self, budget_bytes: u64) -> lor_maint::MaintIo {
+        let Some(state) = self.maintenance.as_mut() else {
+            return lor_maint::MaintIo::NONE;
+        };
+        let mut target = FsMaintTarget {
+            volume: &mut self.volume,
+            disk: self.disk.config(),
+            cost: &self.cost,
+            cursor: &mut state.cursor,
+            defrag_backoff: &mut state.defrag_backoff,
+        };
+        state
+            .scheduler
+            .run_budgeted_slice(&mut target, budget_bytes)
     }
 }
 

@@ -18,9 +18,18 @@
 //!   incremental defragmentation run as budgeted background tasks whose I/O
 //!   time is charged to the foreground clock (enable via
 //!   [`ExperimentConfig::with_maintenance`]).
+//! * [`server`] — the request/completion scheduler ([`StoreServer`]):
+//!   multi-client closed-loop and open-loop Poisson arrival processes queue
+//!   [`StoreRequest`]s against one simulated spindle, producing
+//!   [`Completion`] events with queue delay and latency, latency percentiles
+//!   ([`LatencySummary`]) and queue depth; server-driven maintenance runs as
+//!   low-priority disk time that only delays the foreground requests it
+//!   actually overlaps (including the idle-gap `IdleDetect` policy).
 //! * [`experiment`] — the bulk-load / age / measure loop behind every figure
-//!   ([`run_aging_experiment`], [`compare_systems`]), plus the simulated
-//!   testbed description standing in for Table 1.
+//!   ([`run_aging_experiment`], [`compare_systems`]), built on the request
+//!   scheduler (one client and zero think time is exactly the old serial
+//!   harness), plus the simulated testbed description standing in for
+//!   Table 1.
 //! * [`report`] — serialisable figure/table types with plain-text rendering.
 //!
 //! ## Example: a miniature Figure 3
@@ -53,6 +62,7 @@ mod store;
 pub mod experiment;
 pub mod fragmentation;
 pub mod report;
+pub mod server;
 pub mod workload;
 
 pub use db_store::{DbObjectStore, DbStoreConfig};
@@ -64,6 +74,9 @@ pub use experiment::{
 pub use fragmentation::{analyze_store, FragmentationReport};
 pub use fs_store::{FsObjectStore, FsStoreConfig};
 pub use report::{Figure, Series, Table};
+pub use server::{
+    ClientId, Completion, LatencySummary, OpenLoop, QueueStats, StoreRequest, StoreServer,
+};
 pub use store::{CostModel, ObjectStore, OpReceipt, StoreKind};
 pub use workload::{
     SizeDistribution, StorageAgeTracker, WorkloadGenerator, WorkloadOp, WorkloadSpec,

@@ -149,12 +149,23 @@ impl MaintTarget for DbMaintTarget<'_> {
         if self.db.ghost_page_count() == 0 {
             return MaintIo::NONE;
         }
-        // Reclaim only as many pages as the budget's worth of metadata I/Os
-        // covers (at least one I/O, so a pass always makes progress); a big
-        // backlog drains over several budgeted passes.
-        let max_pages = (budget_bytes / METADATA_IO_BYTES).max(1) * UNITS_PER_METADATA_IO;
+        let page_size = self.db.config().page_size.max(1);
+        // The cleanup task *visits* each ghosted page (a read-modify-write
+        // clearing the ghost record and its PFS/IAM bits), so a budgeted pass
+        // reclaims at most the budget's worth of page visits — at least one,
+        // so a pass always makes progress — and a big backlog drains over
+        // several passes.  The engine releases the selected pages tail-first
+        // (highest offsets), keeping the backlog's low-offset holes away from
+        // its lowest-first reuse; see `ghost_cleanup_limited` and the
+        // small-budget pathology recorded in EXPERIMENTS.md.
+        let max_pages = (budget_bytes / page_size).max(1);
         let reclaimed = self.db.ghost_cleanup_limited(max_pages);
-        metadata_sweep_io(self.cost, reclaimed)
+        let visit_bytes = reclaimed.saturating_mul(page_size);
+        let visits = self
+            .disk
+            .background_copy_time(visit_bytes, 1 + reclaimed / UNITS_PER_METADATA_IO);
+        let sweep = metadata_sweep_io(self.cost, reclaimed);
+        MaintIo::new(visit_bytes + sweep.bytes, visits + sweep.time)
     }
 
     fn checkpoint(&mut self) -> MaintIo {

@@ -61,6 +61,56 @@ impl Series {
         }
     }
 
+    /// Builds the median client-observed latency series of an aging run.
+    pub fn latency_p50_vs_age(result: &AgingResult) -> Self {
+        Series {
+            label: format!("{} p50", result.kind.label()),
+            points: result
+                .points
+                .iter()
+                .map(|p| (p.storage_age, p.latency_p50_ms))
+                .collect(),
+        }
+    }
+
+    /// Builds the 95th-percentile client-observed latency series of an aging
+    /// run.
+    pub fn latency_p95_vs_age(result: &AgingResult) -> Self {
+        Series {
+            label: format!("{} p95", result.kind.label()),
+            points: result
+                .points
+                .iter()
+                .map(|p| (p.storage_age, p.latency_p95_ms))
+                .collect(),
+        }
+    }
+
+    /// Builds the tail-latency (p99) series of an aging run — the axis the
+    /// multi-client load scenarios plot.
+    pub fn latency_p99_vs_age(result: &AgingResult) -> Self {
+        Series {
+            label: format!("{} p99", result.kind.label()),
+            points: result
+                .points
+                .iter()
+                .map(|p| (p.storage_age, p.latency_p99_ms))
+                .collect(),
+        }
+    }
+
+    /// Builds the mean-queue-depth series of an aging run.
+    pub fn queue_depth_vs_age(result: &AgingResult) -> Self {
+        Series {
+            label: result.kind.label().to_string(),
+            points: result
+                .points
+                .iter()
+                .map(|p| (p.storage_age, p.queue_depth_mean))
+                .collect(),
+        }
+    }
+
     /// Builds the read-throughput series of an aging run (Figure 1), skipping
     /// checkpoints where reads were not measured.
     pub fn read_throughput_vs_age(result: &AgingResult) -> Self {
@@ -294,6 +344,11 @@ mod tests {
                     write_throughput_mb_s: 17.7,
                     read_throughput_mb_s: Some(8.0),
                     foreground_latency_ms: 12.0,
+                    latency_p50_ms: 11.0,
+                    latency_p95_ms: 18.0,
+                    latency_p99_ms: 25.0,
+                    queue_depth_mean: 1.0,
+                    queue_depth_max: 1,
                     background_time_s: 0.0,
                     objects: 100,
                 },
@@ -303,6 +358,11 @@ mod tests {
                     write_throughput_mb_s: 9.0,
                     read_throughput_mb_s: None,
                     foreground_latency_ms: 20.0,
+                    latency_p50_ms: 17.0,
+                    latency_p95_ms: 40.0,
+                    latency_p99_ms: 55.0,
+                    queue_depth_mean: 3.5,
+                    queue_depth_max: 7,
                     background_time_s: 0.5,
                     objects: 100,
                 },
@@ -326,6 +386,17 @@ mod tests {
             vec![(0.0, 8.0)],
             "unmeasured checkpoints are skipped"
         );
+
+        let p50 = Series::latency_p50_vs_age(&result);
+        assert_eq!(p50.label, "Database p50");
+        assert_eq!(p50.points, vec![(0.0, 11.0), (2.0, 17.0)]);
+        let p95 = Series::latency_p95_vs_age(&result);
+        assert_eq!(p95.points, vec![(0.0, 18.0), (2.0, 40.0)]);
+        let p99 = Series::latency_p99_vs_age(&result);
+        assert_eq!(p99.label, "Database p99");
+        assert_eq!(p99.points, vec![(0.0, 25.0), (2.0, 55.0)]);
+        let depth = Series::queue_depth_vs_age(&result);
+        assert_eq!(depth.points, vec![(0.0, 1.0), (2.0, 3.5)]);
     }
 
     #[test]

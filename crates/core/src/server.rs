@@ -1,0 +1,721 @@
+//! The request/completion scheduler: multi-client queueing over one spindle.
+//!
+//! The serial [`ObjectStore`] interface can express *what* operations cost,
+//! but not *when* clients observe those costs: every call blocks the caller,
+//! so a workload of N concurrent clients — the situation whose tail latency
+//! the paper's degradation story is really about — cannot be expressed at
+//! all.  This module adds the missing layer.  Clients submit
+//! [`StoreRequest`]s (an operation plus an arrival time); the [`StoreServer`]
+//! drains them FIFO against the store's simulated disk and produces
+//! [`Completion`] events that separate **queue delay** (time spent waiting
+//! for the spindle) from **service time** (time the operation itself
+//! needed).  Latency percentiles ([`LatencySummary`]) and queue depth
+//! ([`QueueStats`]) fall out of the completion stream.
+//!
+//! Two arrival processes are provided:
+//!
+//! * **closed-loop** ([`StoreServer::run_closed_loop`]): N clients, each
+//!   issuing its next request one think time after its previous completion —
+//!   the web-application model.  With one client and zero think time this
+//!   degenerates to exactly the old serial harness: every request starts the
+//!   instant the previous one finishes, so receipts and the elapsed clock
+//!   reproduce the serial path bit-for-bit (a property test asserts this).
+//! * **open-loop Poisson** ([`StoreServer::run_open_loop`]): requests arrive
+//!   at a target offered load regardless of completions, the classical
+//!   queueing-theory setup; latency grows without bound as the offered load
+//!   approaches the spindle's capacity.
+//!
+//! Safe writes that are queued together when the spindle frees up are
+//! dispatched as **one batch** through [`ObjectStore::safe_write_batch`], so
+//! their write requests genuinely interleave on disk — batching is decided
+//! here, in one place, for both substrates.
+//!
+//! The server is also where background maintenance becomes queueing-aware.
+//! When the store carries a server-driven [`lor_maint::MaintenanceConfig`],
+//! maintenance runs as low-priority disk time scheduled by the server:
+//! budget-policy slices are placed after foreground completions, and the
+//! [`lor_maint::MaintenancePolicy::IdleDetect`] policy fills observed idle
+//! gaps.  Either way a foreground request pays only for the background I/O
+//! it actually *overlaps* — replacing the old "all background time stalls
+//! the foreground" model.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use lor_disksim::SimDuration;
+use lor_maint::{MaintenanceConfig, MaintenancePolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::StoreError;
+use crate::store::{ObjectStore, OpReceipt};
+use crate::workload::WorkloadOp;
+
+/// Identifier of one simulated client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClientId(pub u32);
+
+/// One operation submitted to the store server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreRequest {
+    /// The client that issued the request.
+    pub client: ClientId,
+    /// The operation to perform.
+    pub op: WorkloadOp,
+    /// Simulated time at which the request arrived at the server.
+    pub arrival: SimDuration,
+}
+
+/// One completed request: the receipt plus the queueing timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The request this completion answers.
+    pub request: StoreRequest,
+    /// What the operation cost (exactly what the serial API returns).
+    pub receipt: OpReceipt,
+    /// When the spindle started serving the request (or its batch).
+    pub start: SimDuration,
+    /// When the request's data was fully on (or off) the disk.
+    pub finish: SimDuration,
+}
+
+impl Completion {
+    /// Time spent waiting for the spindle — for other clients' operations
+    /// and for overlapping background maintenance I/O.
+    pub fn queue_delay(&self) -> SimDuration {
+        self.start.saturating_sub(self.request.arrival)
+    }
+
+    /// Client-observed latency: queue delay plus service time.
+    pub fn latency(&self) -> SimDuration {
+        self.finish.saturating_sub(self.request.arrival)
+    }
+}
+
+/// Latency percentiles over a set of completions (client-observed latency,
+/// i.e. queue delay included).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Completions summarised.
+    pub count: u64,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// Median latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: f64,
+    /// Worst observed latency in milliseconds.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarises a completion stream.
+    pub fn of(completions: &[Completion]) -> Self {
+        let mut nanos: Vec<u64> = completions.iter().map(|c| c.latency().as_nanos()).collect();
+        if nanos.is_empty() {
+            return LatencySummary::default();
+        }
+        nanos.sort_unstable();
+        let total: u64 = nanos.iter().sum();
+        LatencySummary {
+            count: nanos.len() as u64,
+            mean_ms: total as f64 / nanos.len() as f64 / 1e6,
+            p50_ms: percentile(&nanos, 0.50),
+            p95_ms: percentile(&nanos, 0.95),
+            p99_ms: percentile(&nanos, 0.99),
+            max_ms: *nanos.last().expect("non-empty") as f64 / 1e6,
+        }
+    }
+}
+
+/// Nearest-rank percentile of a sorted latency list, in milliseconds.
+fn percentile(sorted_nanos: &[u64], quantile: f64) -> f64 {
+    debug_assert!(!sorted_nanos.is_empty());
+    let rank = (quantile * sorted_nanos.len() as f64).ceil() as usize;
+    let index = rank.clamp(1, sorted_nanos.len()) - 1;
+    sorted_nanos[index] as f64 / 1e6
+}
+
+/// Queue-depth accounting: one sample per dispatch (how many requests were
+/// waiting when the spindle freed up).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Dispatches sampled.
+    pub samples: u64,
+    /// Sum of observed depths (for the mean).
+    pub total_depth: u64,
+    /// Deepest observed queue.
+    pub max_depth: u64,
+}
+
+impl QueueStats {
+    fn observe(&mut self, depth: usize) {
+        self.samples += 1;
+        self.total_depth += depth as u64;
+        self.max_depth = self.max_depth.max(depth as u64);
+    }
+
+    /// Mean number of requests waiting at dispatch time.
+    pub fn mean_depth(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_depth as f64 / self.samples as f64
+        }
+    }
+}
+
+/// An open-loop Poisson arrival process at a target offered load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpenLoop {
+    /// Target arrival rate in operations per simulated second.
+    pub ops_per_sec: f64,
+    /// RNG seed for the exponential inter-arrival draws.  A fixed seed draws
+    /// the same unit-exponential sequence at every rate, so sweeping
+    /// `ops_per_sec` scales one arrival pattern — which makes latency
+    /// monotone in offered load by Lindley's recursion, a property the tests
+    /// assert.
+    pub seed: u64,
+}
+
+/// The request scheduler: one simulated spindle serving many clients.
+///
+/// The server borrows the store exclusively; use [`StoreServer::store`] /
+/// [`StoreServer::store_mut`] for measurements between runs.  Its virtual
+/// clock is decoupled from the store's own measurement clock: the store
+/// clock keeps accumulating pure service time (so throughput keeps meaning
+/// "bytes over storage time", as the paper measures it), while the server
+/// tracks wall-clock arrival/start/finish times including queueing and
+/// background overlap.
+pub struct StoreServer<'a> {
+    store: &'a mut dyn ObjectStore,
+    /// Latest event the server has processed (virtual wall clock).
+    now: SimDuration,
+    /// The spindle is serving foreground work until this instant.
+    busy_until: SimDuration,
+    /// The spindle is serving background maintenance until this instant.
+    bg_busy_until: SimDuration,
+    /// Server-driven maintenance, read from the store at construction.
+    maintenance: Option<MaintenanceConfig>,
+    ops_since_tick: u64,
+    queue: QueueStats,
+}
+
+impl<'a> StoreServer<'a> {
+    /// Wraps a store.  If the store was built with a server-driven
+    /// [`MaintenanceConfig`], the server takes over the maintenance drive.
+    pub fn new(store: &'a mut dyn ObjectStore) -> Self {
+        let maintenance = store.maintenance_config().filter(|c| c.server_driven);
+        StoreServer {
+            store,
+            now: SimDuration::ZERO,
+            busy_until: SimDuration::ZERO,
+            bg_busy_until: SimDuration::ZERO,
+            maintenance,
+            ops_since_tick: 0,
+            queue: QueueStats::default(),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn store(&self) -> &dyn ObjectStore {
+        self.store
+    }
+
+    /// Mutable access to the wrapped store (measurement resets, fixtures).
+    pub fn store_mut(&mut self) -> &mut dyn ObjectStore {
+        self.store
+    }
+
+    /// The server's virtual wall clock (latest processed event).
+    pub fn now(&self) -> SimDuration {
+        self.now
+    }
+
+    /// Queue-depth statistics accumulated since the last reset.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue
+    }
+
+    /// Clears the queue-depth statistics (the store's own measurement clock
+    /// is reset separately via [`ObjectStore::reset_measurements`]).
+    pub fn reset_queue_stats(&mut self) {
+        self.queue = QueueStats::default();
+    }
+
+    /// First instant the spindle is free for a new foreground request.
+    fn free_at(&self) -> SimDuration {
+        self.busy_until.max(self.bg_busy_until)
+    }
+
+    /// Runs a closed-loop schedule: `clients` simulated clients pull
+    /// operations from the shared `ops` queue in arrival order, each issuing
+    /// its next request `think_time` after its previous completion.
+    ///
+    /// With `clients == 1` and zero think time this is exactly the serial
+    /// harness; with several clients and zero think time, safe writes form
+    /// batches of up to `clients` operations whose write requests interleave
+    /// on disk (the old `concurrency` semantics of the aging harness).
+    pub fn run_closed_loop(
+        &mut self,
+        ops: Vec<WorkloadOp>,
+        clients: usize,
+        think_time: SimDuration,
+    ) -> Result<Vec<Completion>, StoreError> {
+        let clients = clients.max(1);
+        let mut work: VecDeque<WorkloadOp> = ops.into();
+        let mut completions = Vec::with_capacity(work.len());
+        // (ready-at, tiebreak sequence, client): min-heap of idle clients.
+        let mut ready: BinaryHeap<Reverse<(SimDuration, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for client in 0..clients {
+            ready.push(Reverse((self.now, seq, client as u32)));
+            seq += 1;
+        }
+        let mut waiting: VecDeque<StoreRequest> = VecDeque::new();
+
+        loop {
+            if waiting.is_empty() {
+                if work.is_empty() {
+                    break;
+                }
+                // Everyone is thinking: the next event is the earliest
+                // client waking up.  The gap until then is spindle idle
+                // time — the idle-detect policy's window.
+                let Some(Reverse((arrival, _, client))) = ready.pop() else {
+                    break;
+                };
+                self.fill_idle_gap(arrival);
+                waiting.push_back(StoreRequest {
+                    client: ClientId(client),
+                    op: work.pop_front().expect("checked non-empty"),
+                    arrival,
+                });
+            }
+            // Everything that arrives while the spindle is still busy queues
+            // behind the head request.
+            let dispatch_at = self.free_at().max(waiting[0].arrival);
+            while let Some(&Reverse((arrival, _, _))) = ready.peek() {
+                if arrival > dispatch_at || work.is_empty() {
+                    break;
+                }
+                let Reverse((arrival, _, client)) = ready.pop().expect("peeked");
+                waiting.push_back(StoreRequest {
+                    client: ClientId(client),
+                    op: work.pop_front().expect("checked non-empty"),
+                    arrival,
+                });
+            }
+            let done = self.dispatch(&mut waiting)?;
+            for completion in done {
+                ready.push(Reverse((
+                    completion.finish + think_time,
+                    seq,
+                    completion.request.client.0,
+                )));
+                seq += 1;
+                completions.push(completion);
+            }
+        }
+        Ok(completions)
+    }
+
+    /// Runs an open-loop schedule: the operations arrive as a Poisson
+    /// process at `load.ops_per_sec`, independent of completions.
+    pub fn run_open_loop(
+        &mut self,
+        ops: Vec<WorkloadOp>,
+        load: OpenLoop,
+    ) -> Result<Vec<Completion>, StoreError> {
+        if !load.ops_per_sec.is_finite() || load.ops_per_sec <= 0.0 {
+            return Err(StoreError::BadConfig(
+                "open-loop offered load must be positive and finite".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(load.seed);
+        let mut at = self.now;
+        let mut stream: VecDeque<StoreRequest> = ops
+            .into_iter()
+            .enumerate()
+            .map(|(index, op)| {
+                let unit: f64 = rng.gen_range(1e-12..1.0);
+                at += SimDuration::from_secs_f64(-unit.ln() / load.ops_per_sec);
+                StoreRequest {
+                    client: ClientId(index as u32),
+                    op,
+                    arrival: at,
+                }
+            })
+            .collect();
+
+        let mut completions = Vec::with_capacity(stream.len());
+        let mut waiting: VecDeque<StoreRequest> = VecDeque::new();
+        while !(stream.is_empty() && waiting.is_empty()) {
+            if waiting.is_empty() {
+                let next_arrival = stream.front().expect("stream non-empty").arrival;
+                self.fill_idle_gap(next_arrival);
+                waiting.push_back(stream.pop_front().expect("checked non-empty"));
+            }
+            let dispatch_at = self.free_at().max(waiting[0].arrival);
+            while stream
+                .front()
+                .is_some_and(|request| request.arrival <= dispatch_at)
+            {
+                waiting.push_back(stream.pop_front().expect("checked non-empty"));
+            }
+            let done = self.dispatch(&mut waiting)?;
+            completions.extend(done);
+        }
+        Ok(completions)
+    }
+
+    /// Serves the head of the waiting queue (batching queued safe writes)
+    /// and returns the completions of this dispatch, so callers can re-arm
+    /// closed-loop clients.
+    fn dispatch(
+        &mut self,
+        waiting: &mut VecDeque<StoreRequest>,
+    ) -> Result<Vec<Completion>, StoreError> {
+        let start = self.free_at().max(waiting[0].arrival);
+        self.queue.observe(waiting.len());
+
+        // Safe writes that are waiting together leave as one batch: their
+        // write requests interleave on disk exactly as a web server's
+        // parallel uploads do.  Everything else is served one at a time.
+        let is_safe_write =
+            |request: &StoreRequest| matches!(request.op, WorkloadOp::SafeWrite { .. });
+        let batch_len = if is_safe_write(&waiting[0]) {
+            waiting
+                .iter()
+                .take_while(|request| is_safe_write(request) && request.arrival <= start)
+                .count()
+                .max(1)
+        } else {
+            1
+        };
+        let requests: Vec<StoreRequest> = waiting.drain(..batch_len).collect();
+
+        let clock_before = self.store.elapsed();
+        let receipts: Vec<OpReceipt> = if is_safe_write(&requests[0]) {
+            let items: Vec<(String, u64)> = requests
+                .iter()
+                .map(|request| match &request.op {
+                    WorkloadOp::SafeWrite { key, size } => (key.clone(), *size),
+                    _ => unreachable!("batch contains only safe writes"),
+                })
+                .collect();
+            self.store.safe_write_batch(&items)?
+        } else {
+            let receipt = match &requests[0].op {
+                WorkloadOp::Put { key, size } => self.store.put(key, *size)?,
+                WorkloadOp::Get { key } => self.store.get(key)?,
+                WorkloadOp::Delete { key } => self.store.delete(key)?,
+                WorkloadOp::SafeWrite { .. } => unreachable!("safe writes are batched"),
+            };
+            vec![receipt]
+        };
+        // The store-clock delta covers the receipts plus anything the store
+        // charged on top (a store-attached maintenance drive); the spindle
+        // is ours until all of it is done.
+        let service = self.store.elapsed().saturating_sub(clock_before);
+
+        let mutating = requests
+            .iter()
+            .filter(|request| !matches!(request.op, WorkloadOp::Get { .. }))
+            .count() as u64;
+        let mut finish = start;
+        let mut done = Vec::with_capacity(requests.len());
+        for (request, receipt) in requests.into_iter().zip(receipts) {
+            finish += receipt.total_time();
+            done.push(Completion {
+                request,
+                receipt,
+                start,
+                finish,
+            });
+        }
+        self.busy_until = start + service;
+        // Anything the store charged beyond the receipts (the store-attached
+        // drive's "all background time stalls the foreground" interference)
+        // stalls the dispatch that triggered it: extend the last completion
+        // to the full clock delta so the percentile fields agree with
+        // `foreground_latency_ms` instead of silently dropping the stall.
+        if let Some(last) = done.last_mut() {
+            last.finish = last.finish.max(self.busy_until);
+        }
+        self.now = self.now.max(self.free_at());
+        self.after_foreground(mutating);
+        Ok(done)
+    }
+
+    /// Advances the server-driven maintenance tick counter and schedules
+    /// budget-policy slices right after the foreground work that triggered
+    /// them.  The slice occupies the spindle from the first free instant, so
+    /// only foreground requests that overlap it are delayed.
+    ///
+    /// Only *mutating* operations count towards a tick, matching the
+    /// store-attached drive (`after_mutating_op`): a pure read pass never
+    /// triggers maintenance, so read-throughput measurements don't get their
+    /// layout rewritten mid-pass.
+    fn after_foreground(&mut self, mutating_ops: u64) {
+        let Some(config) = self.maintenance else {
+            return;
+        };
+        self.ops_since_tick += mutating_ops;
+        let tick_every = config.tick_every_ops.max(1);
+        while self.ops_since_tick >= tick_every {
+            self.ops_since_tick -= tick_every;
+            let budget_bytes =
+                config.tick_budget_bytes(|| self.store.fragmentation().fragments_per_object);
+            if budget_bytes == 0 {
+                continue;
+            }
+            let io = self.store.maintenance_slice(budget_bytes);
+            if io.is_none() {
+                continue;
+            }
+            self.bg_busy_until = self.free_at() + io.time;
+            self.now = self.now.max(self.bg_busy_until);
+        }
+    }
+
+    /// Fills an observed idle gap (`free_at()` → `next_arrival`) with
+    /// maintenance slices under the idle-detect policy.  Slices start small
+    /// and adapt to the measured background I/O rate so the gap is filled
+    /// with few slices while the overrun past `next_arrival` stays bounded
+    /// by one slice.
+    fn fill_idle_gap(&mut self, next_arrival: SimDuration) {
+        let Some(config) = self.maintenance else {
+            return;
+        };
+        let MaintenancePolicy::IdleDetect { min_idle_ms } = config.policy else {
+            return;
+        };
+        let min_idle = SimDuration::from_millis_f64(min_idle_ms);
+        let unit = config.io_unit_bytes.max(1);
+        let max_budget = config.burst_io_per_tick.max(1).saturating_mul(unit);
+        // Probe with a few units; once a slice reveals the bytes-per-time
+        // rate, aim each following slice at the remaining gap.
+        let mut budget_bytes = unit.saturating_mul(4).min(max_budget);
+        loop {
+            let idle_from = self.free_at();
+            let gap = next_arrival.saturating_sub(idle_from);
+            if gap < min_idle || gap.is_zero() {
+                break;
+            }
+            let io = self.store.maintenance_slice(budget_bytes);
+            if io.is_none() || io.time.is_zero() {
+                // Nothing to do, or a free action that cannot shrink the gap
+                // — either way the loop would never terminate on time.
+                break;
+            }
+            self.bg_busy_until = idle_from + io.time;
+            self.now = self.now.max(self.bg_busy_until);
+            if io.bytes > 0 {
+                let nanos_per_byte = io.time.as_nanos() as f64 / io.bytes as f64;
+                let remaining = next_arrival.saturating_sub(self.free_at());
+                let fit = (remaining.as_nanos() as f64 / nanos_per_byte) as u64;
+                budget_bytes = fit.clamp(unit, max_budget);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for StoreServer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreServer")
+            .field("kind", &self.store.kind())
+            .field("now", &self.now)
+            .field("busy_until", &self.busy_until)
+            .field("bg_busy_until", &self.bg_busy_until)
+            .field("maintenance", &self.maintenance)
+            .field("queue", &self.queue)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs_store::FsObjectStore;
+
+    const MB: u64 = 1 << 20;
+
+    fn puts(n: usize, size: u64) -> Vec<WorkloadOp> {
+        (0..n)
+            .map(|i| WorkloadOp::Put {
+                key: format!("o{i}"),
+                size,
+            })
+            .collect()
+    }
+
+    fn gets(n: usize) -> Vec<WorkloadOp> {
+        (0..n)
+            .map(|i| WorkloadOp::Get {
+                key: format!("o{i}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_client_zero_think_reproduces_the_serial_clock() {
+        let mut serial = FsObjectStore::new(256 * MB).unwrap();
+        let mut serial_receipts = Vec::new();
+        for i in 0..12 {
+            serial_receipts.push(serial.put(&format!("o{i}"), MB).unwrap());
+        }
+        let serial_elapsed = serial.elapsed();
+
+        let mut store = FsObjectStore::new(256 * MB).unwrap();
+        let mut server = StoreServer::new(&mut store);
+        let completions = server
+            .run_closed_loop(puts(12, MB), 1, SimDuration::ZERO)
+            .unwrap();
+        assert_eq!(completions.len(), 12);
+        let receipts: Vec<OpReceipt> = completions.iter().map(|c| c.receipt).collect();
+        assert_eq!(receipts, serial_receipts);
+        assert_eq!(server.store().elapsed(), serial_elapsed);
+        // Serial: no queueing, every request starts at its arrival.
+        for completion in &completions {
+            assert_eq!(completion.queue_delay(), SimDuration::ZERO);
+            assert_eq!(completion.latency(), completion.receipt.total_time());
+        }
+        // The virtual wall clock matches the storage clock.
+        assert_eq!(server.now(), serial_elapsed);
+    }
+
+    #[test]
+    fn queued_clients_observe_queue_delay() {
+        let mut store = FsObjectStore::new(256 * MB).unwrap();
+        let mut server = StoreServer::new(&mut store);
+        server
+            .run_closed_loop(puts(8, MB), 1, SimDuration::ZERO)
+            .unwrap();
+        // Eight clients fire reads simultaneously: all but the first wait.
+        let completions = server
+            .run_closed_loop(gets(8), 8, SimDuration::ZERO)
+            .unwrap();
+        assert_eq!(completions.len(), 8);
+        let delayed = completions
+            .iter()
+            .filter(|c| c.queue_delay() > SimDuration::ZERO)
+            .count();
+        assert!(
+            delayed >= 6,
+            "most simultaneous requests must queue ({delayed}/8 delayed)"
+        );
+        let summary = LatencySummary::of(&completions);
+        assert!(summary.p99_ms > summary.p50_ms, "queueing widens the tail");
+        assert!(server.queue_stats().max_depth >= 7);
+    }
+
+    #[test]
+    fn closed_loop_batches_concurrent_safe_writes() {
+        let mut store = FsObjectStore::new(256 * MB).unwrap();
+        let mut server = StoreServer::new(&mut store);
+        server
+            .run_closed_loop(puts(8, MB), 1, SimDuration::ZERO)
+            .unwrap();
+        let writes: Vec<WorkloadOp> = (0..8)
+            .map(|i| WorkloadOp::SafeWrite {
+                key: format!("o{i}"),
+                size: MB,
+            })
+            .collect();
+        let completions = server
+            .run_closed_loop(writes, 4, SimDuration::ZERO)
+            .unwrap();
+        assert_eq!(completions.len(), 8);
+        // Two batches of four: each batch shares a start instant.
+        let starts: Vec<SimDuration> = completions.iter().map(|c| c.start).collect();
+        assert_eq!(starts[0], starts[1]);
+        assert_eq!(starts[0], starts[3]);
+        assert!(starts[4] > starts[3]);
+        assert_eq!(starts[4], starts[7]);
+    }
+
+    #[test]
+    fn open_loop_latency_grows_with_offered_load() {
+        let mut results = Vec::new();
+        for ops_per_sec in [5.0, 50.0] {
+            let mut store = FsObjectStore::new(256 * MB).unwrap();
+            let mut server = StoreServer::new(&mut store);
+            server
+                .run_closed_loop(puts(16, MB), 1, SimDuration::ZERO)
+                .unwrap();
+            let completions = server
+                .run_open_loop(
+                    gets(16),
+                    OpenLoop {
+                        ops_per_sec,
+                        seed: 7,
+                    },
+                )
+                .unwrap();
+            results.push(LatencySummary::of(&completions));
+        }
+        assert!(
+            results[1].p99_ms >= results[0].p99_ms,
+            "p99 must not improve under heavier load ({:.2} vs {:.2})",
+            results[1].p99_ms,
+            results[0].p99_ms
+        );
+        assert_eq!(results[0].count, 16);
+    }
+
+    #[test]
+    fn open_loop_rejects_bad_rates() {
+        let mut store = FsObjectStore::new(64 * MB).unwrap();
+        let mut server = StoreServer::new(&mut store);
+        for rate in [0.0, -3.0, f64::NAN] {
+            assert!(server
+                .run_open_loop(
+                    vec![],
+                    OpenLoop {
+                        ops_per_sec: rate,
+                        seed: 1
+                    }
+                )
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn latency_summary_percentiles_are_ordered() {
+        let completions: Vec<Completion> = (1..=100)
+            .map(|i| Completion {
+                request: StoreRequest {
+                    client: ClientId(0),
+                    op: WorkloadOp::Get { key: "k".into() },
+                    arrival: SimDuration::ZERO,
+                },
+                receipt: OpReceipt::default(),
+                start: SimDuration::ZERO,
+                finish: SimDuration::from_millis(i),
+            })
+            .collect();
+        let summary = LatencySummary::of(&completions);
+        assert_eq!(summary.count, 100);
+        assert_eq!(summary.p50_ms, 50.0);
+        assert_eq!(summary.p95_ms, 95.0);
+        assert_eq!(summary.p99_ms, 99.0);
+        assert_eq!(summary.max_ms, 100.0);
+        assert!((summary.mean_ms - 50.5).abs() < 1e-9);
+        assert_eq!(LatencySummary::of(&[]).count, 0);
+    }
+
+    #[test]
+    fn queue_stats_track_mean_and_max() {
+        let mut stats = QueueStats::default();
+        assert_eq!(stats.mean_depth(), 0.0);
+        stats.observe(1);
+        stats.observe(5);
+        assert_eq!(stats.samples, 2);
+        assert_eq!(stats.max_depth, 5);
+        assert!((stats.mean_depth() - 3.0).abs() < 1e-9);
+    }
+}

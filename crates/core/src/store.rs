@@ -164,15 +164,16 @@ pub trait ObjectStore {
 
     /// Replaces several objects whose writes are in flight concurrently, so
     /// that their write requests interleave on disk (the behaviour of a web
-    /// application serving parallel uploads).  The default implementation
-    /// falls back to sequential safe writes; the built-in stores override it
-    /// with genuinely interleaved allocation.
-    fn safe_write_batch(&mut self, items: &[(String, u64)]) -> Result<Vec<OpReceipt>, StoreError> {
-        items
-            .iter()
-            .map(|(key, size)| self.safe_write(key, *size))
-            .collect()
-    }
+    /// application serving parallel uploads).
+    ///
+    /// Which operations form a batch is decided in exactly one place — the
+    /// request scheduler ([`crate::StoreServer`]) groups the safe writes
+    /// that are queued together when the spindle frees up — so both
+    /// substrates share one batching path and only implement the interleaved
+    /// allocation itself.  (There is deliberately no sequential fallback
+    /// implementation: a batch that did not interleave would silently
+    /// under-report fragmentation.)
+    fn safe_write_batch(&mut self, items: &[(String, u64)]) -> Result<Vec<OpReceipt>, StoreError>;
 
     /// Deletes the object stored under `key`.
     fn delete(&mut self, key: &str) -> Result<OpReceipt, StoreError>;
@@ -220,6 +221,26 @@ pub trait ObjectStore {
     /// built with a [`lor_maint::MaintenanceConfig`] (`None` otherwise).
     fn maintenance_stats(&self) -> Option<lor_maint::MaintenanceStats> {
         None
+    }
+
+    /// The maintenance configuration the store was built with, if any.  The
+    /// request scheduler reads this to decide whether it owns the
+    /// maintenance drive (`server_driven` configs).
+    fn maintenance_config(&self) -> Option<lor_maint::MaintenanceConfig> {
+        None
+    }
+
+    /// Runs one budgeted background-maintenance slice (the store's task
+    /// queue: checkpoint, ghost cleanup, incremental defragmentation) and
+    /// returns the background I/O it performed — **without** charging the
+    /// store's own measurement clock.  The caller (the request scheduler)
+    /// owns the interference model: it decides when the slice occupies the
+    /// spindle and which foreground requests overlap it.  Returns
+    /// [`lor_maint::MaintIo::NONE`] when no scheduler is attached or there
+    /// is nothing to do.
+    fn maintenance_slice(&mut self, budget_bytes: u64) -> lor_maint::MaintIo {
+        let _ = budget_bytes;
+        lor_maint::MaintIo::NONE
     }
 }
 

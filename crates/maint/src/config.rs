@@ -34,6 +34,23 @@ pub enum MaintenancePolicy {
         /// Fragments-per-object level above which maintenance engages.
         frag_per_object: f64,
     },
+    /// Schedule background work only inside observed idle gaps: whenever the
+    /// request scheduler sees the disk idle for at least `min_idle_ms` of
+    /// simulated time (a think-time gap between client requests), it runs
+    /// maintenance slices until the next request arrives.  A foreground
+    /// operation pays only for the background I/O it actually overlaps, so
+    /// under a workload with any slack this policy approaches the
+    /// fragmentation of [`MaintenancePolicy::FixedBudget`] at a fraction of
+    /// the tail latency.
+    ///
+    /// This policy requires the queueing-aware request scheduler
+    /// (`lor_core`'s `StoreServer`): the serial store-attached drive has no
+    /// notion of idleness and treats it like [`MaintenancePolicy::Idle`].
+    IdleDetect {
+        /// Minimum idle gap (simulated milliseconds) before maintenance may
+        /// start.
+        min_idle_ms: f64,
+    },
 }
 
 impl MaintenancePolicy {
@@ -43,6 +60,7 @@ impl MaintenancePolicy {
             MaintenancePolicy::Idle => "idle",
             MaintenancePolicy::FixedBudget { .. } => "fixed-budget",
             MaintenancePolicy::Threshold { .. } => "threshold",
+            MaintenancePolicy::IdleDetect { .. } => "idle-detect",
         }
     }
 
@@ -56,6 +74,9 @@ impl MaintenancePolicy {
             }
             MaintenancePolicy::Threshold { frag_per_object } => {
                 format!("threshold({frag_per_object:.2} frags/obj)")
+            }
+            MaintenancePolicy::IdleDetect { min_idle_ms } => {
+                format!("idle-detect({min_idle_ms:.1} ms)")
             }
         }
     }
@@ -78,8 +99,17 @@ pub struct MaintenanceConfig {
     /// Ticks between ghost-cleanup runs.
     pub ghost_cleanup_every_ticks: u64,
     /// Background I/O units per tick granted while a
-    /// [`MaintenancePolicy::Threshold`] policy is engaged.
+    /// [`MaintenancePolicy::Threshold`] policy is engaged, and the slice size
+    /// the idle-detect policy spends per idle-gap slice.
     pub burst_io_per_tick: u64,
+    /// Who drives the scheduler.  `false` (the default) is the store-attached
+    /// serial drive: the store ticks the scheduler after every mutating
+    /// operation and charges all background time to its own foreground clock
+    /// ("all background time stalls the foreground").  `true` hands the drive
+    /// to the queueing-aware request scheduler (`lor_core`'s `StoreServer`):
+    /// background work becomes low-priority disk time that only delays the
+    /// foreground operations it actually overlaps.
+    pub server_driven: bool,
 }
 
 impl MaintenanceConfig {
@@ -96,6 +126,7 @@ impl MaintenanceConfig {
             checkpoint_every_ticks: 2,
             ghost_cleanup_every_ticks: 8,
             burst_io_per_tick: 512,
+            server_driven: false,
         }
     }
 
@@ -114,6 +145,45 @@ impl MaintenanceConfig {
         MaintenanceConfig::new(MaintenancePolicy::Threshold { frag_per_object })
     }
 
+    /// Maintenance runs only in observed idle gaps of at least `min_idle_ms`
+    /// simulated milliseconds (server-driven by construction, since only the
+    /// request scheduler can observe idleness).
+    pub fn idle_detect(min_idle_ms: f64) -> Self {
+        MaintenanceConfig::new(MaintenancePolicy::IdleDetect { min_idle_ms }).with_server_drive()
+    }
+
+    /// Hands the scheduler drive to the queueing-aware request scheduler
+    /// (see [`MaintenanceConfig::server_driven`]).
+    pub fn with_server_drive(mut self) -> Self {
+        self.server_driven = true;
+        self
+    }
+
+    /// The background byte budget one tick grants under this configuration's
+    /// policy — the single definition both drives (the serial store-attached
+    /// scheduler and the request scheduler) use, so the two cannot drift.
+    ///
+    /// `fragments_per_object` is a closure because measuring it is an
+    /// O(objects) walk; it is only invoked for the policies that need it
+    /// ([`MaintenancePolicy::Threshold`]).  [`MaintenancePolicy::Idle`] and
+    /// [`MaintenancePolicy::IdleDetect`] grant no per-tick budget (the
+    /// latter spends its budget in observed idle gaps instead).
+    pub fn tick_budget_bytes(&self, fragments_per_object: impl FnOnce() -> f64) -> u64 {
+        match self.policy {
+            MaintenancePolicy::Idle | MaintenancePolicy::IdleDetect { .. } => 0,
+            MaintenancePolicy::FixedBudget { io_per_tick } => {
+                io_per_tick.saturating_mul(self.io_unit_bytes)
+            }
+            MaintenancePolicy::Threshold { frag_per_object } => {
+                if fragments_per_object() > frag_per_object {
+                    self.burst_io_per_tick.saturating_mul(self.io_unit_bytes)
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), &'static str> {
         if self.tick_every_ops == 0 {
@@ -128,6 +198,14 @@ impl MaintenanceConfig {
         if let MaintenancePolicy::Threshold { frag_per_object } = self.policy {
             if !frag_per_object.is_finite() || frag_per_object < 1.0 {
                 return Err("fragmentation threshold must be finite and at least 1");
+            }
+        }
+        if let MaintenancePolicy::IdleDetect { min_idle_ms } = self.policy {
+            if !min_idle_ms.is_finite() || min_idle_ms < 0.0 {
+                return Err("idle-detect gap must be finite and non-negative");
+            }
+            if !self.server_driven {
+                return Err("idle-detect requires the server-driven scheduler drive");
             }
         }
         Ok(())
@@ -183,5 +261,27 @@ mod tests {
         assert!(MaintenanceConfig::threshold(f64::NAN).validate().is_err());
         assert!(MaintenanceConfig::threshold(1.5).validate().is_ok());
         assert!(MaintenanceConfig::fixed_budget(0).validate().is_ok());
+
+        assert!(MaintenanceConfig::idle_detect(f64::NAN).validate().is_err());
+        assert!(MaintenanceConfig::idle_detect(-1.0).validate().is_err());
+        assert!(MaintenanceConfig::idle_detect(5.0).validate().is_ok());
+        // Idle detection is meaningless without the request scheduler.
+        let mut config = MaintenanceConfig::idle_detect(5.0);
+        config.server_driven = false;
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn idle_detect_is_server_driven_and_labelled() {
+        let config = MaintenanceConfig::idle_detect(2.5);
+        assert!(config.server_driven);
+        assert_eq!(config.policy.name(), "idle-detect");
+        assert!(config.policy.label().contains("2.5"));
+        assert!(!MaintenanceConfig::idle().server_driven);
+        assert!(
+            MaintenanceConfig::fixed_budget(4)
+                .with_server_drive()
+                .server_driven
+        );
     }
 }

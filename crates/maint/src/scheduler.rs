@@ -3,9 +3,10 @@
 use lor_disksim::{SimClock, SimDuration};
 use serde::{Deserialize, Serialize};
 
-use crate::config::{MaintenanceConfig, MaintenancePolicy};
+use crate::config::MaintenanceConfig;
 use crate::task::{
-    CheckpointTask, GhostCleanupTask, IncrementalDefragTask, MaintTarget, MaintenanceTask, TaskKind,
+    CheckpointTask, GhostCleanupTask, IncrementalDefragTask, MaintIo, MaintTarget, MaintenanceTask,
+    TaskKind,
 };
 
 /// Per-task accounting.
@@ -62,7 +63,7 @@ impl MaintenanceStats {
 /// The scheduler observes every foreground operation (advancing its own
 /// simulated clock by the operation's duration), and every
 /// [`MaintenanceConfig::tick_every_ops`] operations it takes a *tick*: the
-/// [`MaintenancePolicy`] converts the store's state into a background I/O
+/// [`crate::MaintenancePolicy`] converts the store's state into a background I/O
 /// budget, and the task queue spends that budget in order.  All background
 /// time is returned to the caller as foreground interference — the simulated
 /// disk is a single spindle, so a foreground operation issued while
@@ -165,26 +166,42 @@ impl MaintenanceScheduler {
         self.tick += 1;
         self.stats.ticks += 1;
 
-        let mut budget_bytes = match self.config.policy {
-            MaintenancePolicy::Idle => return SimDuration::ZERO,
-            MaintenancePolicy::FixedBudget { io_per_tick } => {
-                io_per_tick.saturating_mul(self.config.io_unit_bytes)
-            }
-            MaintenancePolicy::Threshold { frag_per_object } => {
-                if target.fragments_per_object() > frag_per_object {
-                    self.config
-                        .burst_io_per_tick
-                        .saturating_mul(self.config.io_unit_bytes)
-                } else {
-                    return SimDuration::ZERO;
-                }
-            }
-        };
+        // The policy-to-budget mapping is shared with the request
+        // scheduler's drive (`MaintenanceConfig::tick_budget_bytes`).  Idle
+        // detection needs a request scheduler to observe gaps; the serial
+        // store-attached drive has none, so that policy grants nothing here
+        // (the server drives it via `run_budgeted_slice`).
+        let budget_bytes = self
+            .config
+            .tick_budget_bytes(|| target.fragments_per_object());
         if budget_bytes == 0 {
             return SimDuration::ZERO;
         }
+        self.run_queue(target, budget_bytes).time
+    }
 
-        let mut interference = SimDuration::ZERO;
+    /// Runs the task queue once with an explicit byte budget, bypassing the
+    /// policy — the entry point for an external (request-scheduler) drive,
+    /// which decides *when* maintenance runs and how much it may spend, while
+    /// the task queue still decides *what* runs.  Returns the background I/O
+    /// performed; the caller owns the interference model, so nothing is
+    /// charged anywhere else.
+    pub fn run_budgeted_slice(
+        &mut self,
+        target: &mut dyn MaintTarget,
+        budget_bytes: u64,
+    ) -> MaintIo {
+        self.tick += 1;
+        self.stats.ticks += 1;
+        if budget_bytes == 0 {
+            return MaintIo::NONE;
+        }
+        self.run_queue(target, budget_bytes)
+    }
+
+    /// Spends `budget_bytes` on the task queue in order and accounts the I/O.
+    fn run_queue(&mut self, target: &mut dyn MaintTarget, mut budget_bytes: u64) -> MaintIo {
+        let mut total = MaintIo::NONE;
         // The queue is detached while running so task bookkeeping can borrow
         // the stats mutably.
         let mut tasks = std::mem::take(&mut self.tasks);
@@ -206,11 +223,11 @@ impl MaintenanceScheduler {
             entry.busy += io.time;
             self.stats.background_bytes += io.bytes;
             self.stats.background_time += io.time;
-            interference += io.time;
+            total = total.combined(&io);
         }
         self.tasks = tasks;
-        self.clock.advance(interference);
-        interference
+        self.clock.advance(total.time);
+        total
     }
 }
 
@@ -347,6 +364,34 @@ mod tests {
         // Back under the threshold: quiescent again.
         let quiet = drive(&mut scheduler, &mut store, 2);
         assert_eq!(quiet, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn idle_detect_never_runs_under_the_serial_drive() {
+        let mut store = FakeStore::new();
+        let mut scheduler = MaintenanceScheduler::new(MaintenanceConfig::idle_detect(1.0));
+        let interference = drive(&mut scheduler, &mut store, 64);
+        assert_eq!(interference, SimDuration::ZERO);
+        assert_eq!(store.cleanups + store.checkpoints + store.defrag_steps, 0);
+    }
+
+    #[test]
+    fn budgeted_slices_bypass_the_policy() {
+        let mut store = FakeStore::new();
+        // Idle would never grant a budget; the external drive spends one
+        // anyway.
+        let mut scheduler = MaintenanceScheduler::new(MaintenanceConfig::idle());
+        for _ in 0..16 {
+            store.dirty();
+        }
+        let io = scheduler.run_budgeted_slice(&mut store, 1 << 20);
+        assert!(!io.is_none(), "the slice must perform work");
+        assert_eq!(scheduler.stats().background_bytes, io.bytes);
+        assert_eq!(scheduler.stats().background_time, io.time);
+        assert_eq!(scheduler.stats().ticks, 1);
+        // A zero budget ticks the queue cadence but does nothing.
+        assert!(scheduler.run_budgeted_slice(&mut store, 0).is_none());
+        assert_eq!(scheduler.stats().ticks, 2);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Cross-crate integration tests: miniature versions of the paper's
 //! experiments, asserting the qualitative shapes the paper reports.
 
+use lorepo::core::lor_disksim::SimDuration;
 use lorepo::core::{
     analyze_store, compare_systems, run_aging_experiment, AllocationPolicy, ExperimentConfig,
-    FitPolicy, SizeDistribution, StoreKind,
+    FitPolicy, LatencySummary, OpenLoop, SizeDistribution, StoreKind, StoreServer, WorkloadOp,
 };
 
 const MB: u64 = 1 << 20;
@@ -303,6 +304,134 @@ fn maintenance_restores_contiguity() {
             "{kind:?}: maintenance should restore near-contiguity, got {after:.2}"
         );
     }
+}
+
+/// The queueing acceptance scenario, open-loop half: against an aged store,
+/// p99 read latency is monotone non-decreasing in offered load (same
+/// unit-exponential arrival pattern at every rate, so Lindley's recursion
+/// applies exactly), and at high load — with well over eight requests in
+/// flight — the tail separates from the median by a wide margin.
+#[test]
+fn open_loop_tail_latency_grows_with_offered_load() {
+    let config = mini(MB, 96 * MB);
+    for kind in [StoreKind::Filesystem, StoreKind::Database] {
+        let mut p99_curve = Vec::new();
+        let mut high_load = None;
+        for utilisation in [0.3, 0.6, 0.9, 1.2] {
+            // Rebuild and age identically for every offered load.
+            let mut store = config.build_store(kind).unwrap();
+            let mut generator = lorepo::core::WorkloadGenerator::new(config.workload());
+            let mut server = StoreServer::new(store.as_mut());
+            server
+                .run_closed_loop(generator.bulk_load(), 1, SimDuration::ZERO)
+                .unwrap();
+            for _ in 0..2 {
+                server
+                    .run_closed_loop(
+                        generator.overwrite_round(),
+                        config.concurrency,
+                        SimDuration::ZERO,
+                    )
+                    .unwrap();
+            }
+            let reads: Vec<WorkloadOp> = generator.read_all().into_iter().take(48).collect();
+            // Calibrate the spindle's read capacity with a serial pass
+            // (reads have no side effects), then offer a fraction of it.
+            let serial = server
+                .run_closed_loop(reads.clone(), 1, SimDuration::ZERO)
+                .unwrap();
+            let capacity = 1e3 / LatencySummary::of(&serial).mean_ms.max(1e-6);
+            server.reset_queue_stats();
+            let completions = server
+                .run_open_loop(
+                    reads,
+                    OpenLoop {
+                        ops_per_sec: utilisation * capacity,
+                        seed: 1234,
+                    },
+                )
+                .unwrap();
+            let summary = LatencySummary::of(&completions);
+            p99_curve.push(summary.p99_ms);
+            high_load = Some((summary, server.queue_stats()));
+        }
+        assert!(
+            p99_curve.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+            "{kind:?}: p99 must be monotone non-decreasing in offered load: {p99_curve:?}"
+        );
+        let (summary, queue) = high_load.unwrap();
+        assert!(
+            summary.p99_ms > summary.p50_ms * 1.5,
+            "{kind:?}: above capacity the tail must separate from the median \
+             (p99 {:.2} ms vs p50 {:.2} ms)",
+            summary.p99_ms,
+            summary.p50_ms
+        );
+        assert!(
+            queue.max_depth >= 8,
+            "{kind:?}: above capacity well over 8 clients' worth of requests queue \
+             (saw {})",
+            queue.max_depth
+        );
+    }
+}
+
+/// The queueing acceptance scenario, maintenance half: with think-time slack
+/// in the workload, `IdleDetect` schedules its background work into the
+/// observed gaps and achieves a lower foreground p99 than `FixedBudget` at
+/// comparable steady-state fragmentation on at least one store.
+#[test]
+fn idle_detect_buys_fixed_budget_fragmentation_at_lower_tail_latency() {
+    use lorepo::core::MaintenanceConfig;
+
+    let ages = [0u32, 2, 4];
+    let mut witnessed = false;
+    for kind in [StoreKind::Filesystem, StoreKind::Database] {
+        // Three clients with 400 ms think time: utilisation well under 1, so
+        // the spindle sees genuine idle gaps between staggered requests.
+        let mut base = mini(2 * MB, 128 * MB);
+        base.concurrency = 3;
+        base.think_time_ms = 400.0;
+        let fixed = run_aging_experiment(
+            kind,
+            &base
+                .clone()
+                .with_maintenance(MaintenanceConfig::fixed_budget(512).with_server_drive()),
+            &ages,
+            false,
+        )
+        .unwrap();
+        let idle_detect = run_aging_experiment(
+            kind,
+            &base
+                .clone()
+                .with_maintenance(MaintenanceConfig::idle_detect(5.0)),
+            &ages,
+            false,
+        )
+        .unwrap();
+
+        let fixed_aged = fixed.points.last().unwrap();
+        let detect_aged = idle_detect.points.last().unwrap();
+        assert!(
+            detect_aged.background_time_s > 0.0,
+            "{kind:?}: idle-detect must actually do background work in the gaps"
+        );
+        assert!(
+            fixed_aged.background_time_s > 0.0,
+            "{kind:?}: fixed-budget must actually do background work"
+        );
+        if detect_aged.latency_p99_ms < fixed_aged.latency_p99_ms
+            && detect_aged.fragments_per_object <= fixed_aged.fragments_per_object * 1.15
+        {
+            witnessed = true;
+        }
+    }
+    assert!(
+        witnessed,
+        "idle-detect should beat fixed-budget's p99 at comparable steady-state \
+         fragmentation on at least one store"
+    );
 }
 
 /// The `lor-maint` acceptance scenario: under the `Idle` policy
