@@ -14,10 +14,10 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 
 use lor_bench::{
-    figure1, figure2, figure3, figure4, figure5, figure6, idle_detect_figures,
-    latency_percentile_figures, load_sweep_figures, maintenance_ablation,
-    maintenance_latency_figures, maintenance_policy_figures, policy_ablation_figures, table1,
-    write_request_size_sweep, Scale,
+    adaptive_frontier_figures, figure1, figure2, figure3, figure4, figure5, figure6,
+    idle_detect_figures, latency_percentile_figures, load_sweep_figures, maintenance_ablation,
+    maintenance_latency_figures, maintenance_policy_figures, mixed_load_sweep_figures,
+    policy_ablation_figures, table1, write_request_size_sweep, Scale,
 };
 use lor_core::Figure;
 
@@ -68,7 +68,7 @@ fn parse_args() -> Result<Options, String> {
                     "usage: figures [--scale full|report|bench|test|smoke] [--json <dir>] \
                      [--only table1,fig1,...,fig6,write-size,maintenance,policy-ablation,\
                      maintenance-policies,maintenance-latency,latency-percentiles,load-sweep,\
-                     idle-detect]"
+                     idle-detect,mixed-load-sweep,adaptive-frontier]"
                 );
                 std::process::exit(0);
             }
@@ -169,6 +169,14 @@ fn run() -> Result<(), String> {
     if wanted(&options, "idle-detect") {
         let figures = idle_detect_figures(&options.scale).map_err(|e| e.to_string())?;
         emit(&options, "idle_detect", &figures)?;
+    }
+    if wanted(&options, "mixed-load-sweep") {
+        let figures = mixed_load_sweep_figures(&options.scale).map_err(|e| e.to_string())?;
+        emit(&options, "mixed_load_sweep", &figures)?;
+    }
+    if wanted(&options, "adaptive-frontier") {
+        let figures = adaptive_frontier_figures(&options.scale).map_err(|e| e.to_string())?;
+        emit(&options, "adaptive_frontier", &figures)?;
     }
     Ok(())
 }

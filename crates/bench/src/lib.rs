@@ -17,9 +17,10 @@
 
 use lor_core::lor_disksim::SimDuration;
 use lor_core::{
-    compare_systems, run_aging_experiment, AllocationPolicy, ExperimentConfig, Figure,
-    LatencySummary, MaintenanceConfig, ObjectStore, OpenLoop, Series, SizeDistribution, StoreError,
-    StoreKind, StoreServer, Table, TestbedConfig, WorkloadGenerator, WorkloadOp,
+    calibrate_mixed_load, compare_systems, measure_mixed_load_calibrated, run_aging_experiment,
+    AllocationPolicy, ExperimentConfig, Figure, LatencySummary, MaintenanceConfig, MixedLoadPoint,
+    ObjectStore, OpenLoop, Series, SizeDistribution, StoreError, StoreKind, StoreServer, Table,
+    TestbedConfig, WorkloadGenerator, WorkloadOp,
 };
 
 /// Scale factor applied to the paper's volume sizes.
@@ -860,6 +861,215 @@ pub fn load_sweep_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
     Ok(vec![latency, depth_figure])
 }
 
+/// The write fractions the mixed load sweep visits (0 reproduces the pure
+/// read sweep as a degenerate case).
+const MIXED_SWEEP_WRITE_FRACTIONS: [f64; 3] = [0.0, 0.25, 0.5];
+
+/// Mixed-load-sweep scenario: open-loop **read + safe-write** arrivals
+/// against an aged store at a rising fraction of its calibrated capacity,
+/// one set of curves per write fraction — the paper's degradation story
+/// happening *during* the measurement.
+///
+/// Capacity is calibrated per mix (a serial pass over the identical
+/// operation mix on a twin store), so a given utilisation offers the same
+/// queueing intensity *if the store did not degrade*.  It does: the write
+/// class fragments the layout while the sweep runs, service times outgrow
+/// the calibration, and the hockey stick arrives at a lower nominal
+/// utilisation the more write-heavy the mix is — the shift the end-to-end
+/// tests assert.  Returns, per system, a p99-latency figure and a
+/// fragmentation-growth figure over the same x axis.
+pub fn mixed_load_sweep_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
+    let object = SizeDistribution::Constant(scale.object(1 << 20));
+    let base = config_for(scale, object, scale.volume(PAPER_VOLUME), 0.5);
+    let age_rounds = scale.max_age.clamp(1, 2);
+    let ops = base.read_sample.unwrap_or(200).max(16);
+
+    // Phase 1: one capacity calibration per (kind, write fraction) — the
+    // capacity does not depend on the offered load, so calibrating per
+    // utilisation point would repeat the expensive twin-store aging for
+    // nothing.
+    let calibration_jobs: Vec<(StoreKind, f64)> = [StoreKind::Database, StoreKind::Filesystem]
+        .iter()
+        .flat_map(|&kind| {
+            MIXED_SWEEP_WRITE_FRACTIONS
+                .iter()
+                .map(move |&wf| (kind, wf))
+        })
+        .collect();
+    let calibrations = parallel_map(calibration_jobs, |(kind, write_fraction)| {
+        calibrate_mixed_load(kind, &base, age_rounds, write_fraction, ops)
+            .map(|calibration| (kind, calibration))
+    });
+    // Phase 2: every utilisation point of every mix, fanned out in full.
+    let mut measure_jobs = Vec::new();
+    for calibration in calibrations {
+        let (kind, calibration) = calibration?;
+        for &utilisation in &LOAD_SWEEP_UTILISATIONS {
+            measure_jobs.push((kind, calibration.clone(), utilisation));
+        }
+    }
+    let runs = parallel_map(measure_jobs, |(kind, calibration, utilisation)| {
+        measure_mixed_load_calibrated(kind, &base, age_rounds, &calibration, utilisation)
+            .map(|point| (kind, point))
+    });
+
+    let mut figures = Vec::new();
+    for kind in [StoreKind::Database, StoreKind::Filesystem] {
+        figures.push(Figure::new(
+            format!("Mixed load sweep p99 ({})", kind.label().to_lowercase()),
+            format!(
+                "{} open-loop p99 latency vs offered load per write fraction (storage age {age_rounds})",
+                kind.label()
+            ),
+            "Offered load (fraction of mix capacity)",
+            "p99 latency (ms)",
+        ));
+        figures.push(Figure::new(
+            format!("Mixed load sweep frag growth ({})", kind.label().to_lowercase()),
+            format!(
+                "{} fragments/object grown during the sweep per write fraction (storage age {age_rounds})",
+                kind.label()
+            ),
+            "Offered load (fraction of mix capacity)",
+            "Fragments/object grown",
+        ));
+    }
+    let figure_offset = |kind: StoreKind| match kind {
+        StoreKind::Database => 0usize,
+        StoreKind::Filesystem => 2,
+    };
+    let mut p99: std::collections::BTreeMap<(usize, String), Vec<(f64, f64)>> = Default::default();
+    let mut growth: std::collections::BTreeMap<(usize, String), Vec<(f64, f64)>> =
+        Default::default();
+    for run in runs {
+        let (kind, point): (StoreKind, MixedLoadPoint) = run?;
+        let label = format!("{:.0}% writes", point.write_fraction * 100.0);
+        let offset = figure_offset(kind);
+        p99.entry((offset, label.clone()))
+            .or_default()
+            .push((point.utilisation, point.all.p99_ms));
+        growth.entry((offset + 1, label)).or_default().push((
+            point.utilisation,
+            point.fragments_after - point.fragments_before,
+        ));
+    }
+    for ((offset, label), points) in p99 {
+        figures[offset].series.push(Series::new(label, points));
+    }
+    for ((offset, label), points) in growth {
+        figures[offset].series.push(Series::new(label, points));
+    }
+    Ok(figures)
+}
+
+/// The fixed background budgets whose (fragmentation, latency) points trace
+/// the frontier the adaptive policy is judged against (0 is the idle
+/// baseline).
+const FRONTIER_BUDGETS: [u64; 4] = [0, 64, 256, 1024];
+
+/// The adaptive gains plotted against the frontier (I/O units per total
+/// fragment grown per tick — scale-invariant, because the total-fragment
+/// derivative is per-op damage regardless of population size).  The small
+/// gain is deliberately under-provisioned; the large one saturates the
+/// policy's burst cap while fragmentation grows and sits on or inside the
+/// frontier on both substrates.
+const FRONTIER_GAINS: [f64; 2] = [16.0, 64.0];
+
+/// Adaptive-frontier scenario: the latency/fragmentation frontier traced by
+/// the `FixedBudget` sweep, with the rate-adaptive policy's operating points
+/// plotted against it (one figure per system; serial store-attached drive,
+/// so all background time is charged to foreground latency).
+///
+/// `Adaptive { gain }` spends background I/O in proportion to the *observed
+/// fragmentation rate*: while the store degrades it bursts like a large
+/// fixed budget, and once the layout stabilises the estimator's window
+/// drains and the budget decays to zero — so it buys fixed-budget
+/// fragmentation without paying fixed-budget latency on the stable tail.
+/// The end-to-end tests assert its points land on or inside the frontier on
+/// **both** substrates.
+pub fn adaptive_frontier_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
+    let object = SizeDistribution::Constant(scale.object(2 << 20));
+    let base = config_for(scale, object, scale.volume(PAPER_VOLUME), 0.5);
+    let final_age = scale.max_age.clamp(1, 4);
+
+    enum Knob {
+        Budget(u64),
+        Gain(f64),
+    }
+    let jobs: Vec<(StoreKind, Knob)> = [StoreKind::Database, StoreKind::Filesystem]
+        .iter()
+        .flat_map(|&kind| {
+            FRONTIER_BUDGETS
+                .iter()
+                .map(move |&budget| (kind, Knob::Budget(budget)))
+                .chain(
+                    FRONTIER_GAINS
+                        .iter()
+                        .map(move |&gain| (kind, Knob::Gain(gain))),
+                )
+        })
+        .collect();
+    let runs = parallel_map(jobs, |(kind, knob)| {
+        let maintenance = match knob {
+            Knob::Budget(budget) => MaintenanceConfig::fixed_budget(budget),
+            Knob::Gain(gain) => MaintenanceConfig::adaptive(gain),
+        };
+        run_aging_experiment(
+            kind,
+            &base.clone().with_maintenance(maintenance),
+            &[final_age],
+            false,
+        )
+        .map(|result| (kind, knob, result))
+    });
+
+    let mut frontier_points: std::collections::BTreeMap<&str, Vec<(f64, f64)>> = Default::default();
+    let mut adaptive_series: Vec<(StoreKind, Series)> = Vec::new();
+    for run in runs {
+        let (kind, knob, result) = run?;
+        let point = result.points.last().expect("one measured age");
+        let coords = (point.fragments_per_object, point.foreground_latency_ms);
+        match knob {
+            Knob::Budget(_) => frontier_points
+                .entry(kind.label())
+                .or_default()
+                .push(coords),
+            Knob::Gain(gain) => adaptive_series.push((
+                kind,
+                Series::new(
+                    lor_core::MaintenancePolicy::Adaptive { gain }.label(),
+                    vec![coords],
+                ),
+            )),
+        }
+    }
+
+    let mut figures = Vec::new();
+    for kind in [StoreKind::Database, StoreKind::Filesystem] {
+        let mut figure = Figure::new(
+            format!("Adaptive frontier ({})", kind.label().to_lowercase()),
+            format!(
+                "{} foreground latency vs fragments/object: fixed-budget frontier \
+                 and adaptive operating points (storage age {final_age})",
+                kind.label()
+            ),
+            "Fragments/object",
+            "Foreground latency (ms)",
+        );
+        figure = figure.with_series(Series::frontier(
+            "fixed-budget frontier",
+            frontier_points.remove(kind.label()).unwrap_or_default(),
+        ));
+        for (series_kind, series) in &adaptive_series {
+            if *series_kind == kind {
+                figure = figure.with_series(series.clone());
+            }
+        }
+        figures.push(figure);
+    }
+    Ok(figures)
+}
+
 /// The maintenance policies the idle-detect scenario compares, all under the
 /// queueing-aware (server-driven) interference model.
 fn idle_detect_policies() -> Vec<MaintenanceConfig> {
@@ -868,6 +1078,7 @@ fn idle_detect_policies() -> Vec<MaintenanceConfig> {
         MaintenanceConfig::fixed_budget(64).with_server_drive(),
         MaintenanceConfig::threshold(1.5).with_server_drive(),
         MaintenanceConfig::idle_detect(5.0),
+        MaintenanceConfig::substrate_aware(5.0, 24),
     ]
 }
 
@@ -1092,6 +1303,55 @@ mod tests {
             let labels: Vec<&str> = figure.series.iter().map(|s| s.label.as_str()).collect();
             assert!(labels.iter().any(|l| l.starts_with("idle-detect")));
             assert!(labels.iter().any(|l| l.starts_with("fixed-budget")));
+            assert!(labels.iter().any(|l| l.starts_with("substrate-aware")));
+        }
+    }
+
+    #[test]
+    fn mixed_load_sweep_covers_every_write_fraction() {
+        let scale = Scale::smoke();
+        let figures = mixed_load_sweep_figures(&scale).unwrap();
+        assert_eq!(figures.len(), 4, "p99 + frag growth per system");
+        for figure in &figures {
+            assert_eq!(figure.series.len(), MIXED_SWEEP_WRITE_FRACTIONS.len());
+            for series in &figure.series {
+                assert_eq!(series.points.len(), LOAD_SWEEP_UTILISATIONS.len());
+            }
+        }
+        // The pure-read mix cannot grow fragmentation during the sweep.
+        for growth_figure in [&figures[1], &figures[3]] {
+            let pure = growth_figure
+                .series
+                .iter()
+                .find(|s| s.label == "0% writes")
+                .expect("pure-read series present");
+            assert!(
+                pure.points.iter().all(|(_, grown)| grown.abs() < 1e-9),
+                "{}: a read-only sweep must not move the layout",
+                growth_figure.id
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_frontier_has_a_frontier_and_adaptive_points_per_system() {
+        let scale = Scale::smoke();
+        let figures = adaptive_frontier_figures(&scale).unwrap();
+        assert_eq!(figures.len(), 2, "one frontier figure per system");
+        for figure in &figures {
+            assert_eq!(figure.series.len(), 1 + FRONTIER_GAINS.len());
+            let frontier = &figure.series[0];
+            assert_eq!(frontier.label, "fixed-budget frontier");
+            assert_eq!(frontier.points.len(), FRONTIER_BUDGETS.len());
+            // Frontier points arrive sorted by fragmentation.
+            assert!(frontier
+                .points
+                .windows(2)
+                .all(|pair| pair[0].0 <= pair[1].0));
+            for series in &figure.series[1..] {
+                assert!(series.label.starts_with("adaptive(gain"));
+                assert_eq!(series.points.len(), 1);
+            }
         }
     }
 

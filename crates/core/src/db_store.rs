@@ -318,6 +318,54 @@ mod tests {
     }
 
     #[test]
+    fn substrate_aware_slices_defer_ghost_release_but_still_compact() {
+        // A server-driven substrate-aware store: the store itself never
+        // ticks (the request scheduler owns the drive), but budgeted slices
+        // must respect the deferral — early slices may compact and
+        // checkpoint while the ghost backlog is young, and the backlog is
+        // only released once it has aged past the configured hold.
+        let mut config = DbStoreConfig::new(256 * MB);
+        config.maintenance = Some(MaintenanceConfig::substrate_aware(5.0, 6));
+        let mut store = DbObjectStore::with_config(config).unwrap();
+        for i in 0..16 {
+            store.put(&format!("o{i}"), MB).unwrap();
+        }
+        for round in 0..3 {
+            for i in 0..16 {
+                store
+                    .safe_write(&format!("o{}", (i * 5 + round) % 16), MB)
+                    .unwrap();
+            }
+        }
+        let ghosts_before = store.database().ghost_page_count();
+        assert!(ghosts_before > 0, "aging must leave a ghost backlog");
+        // Slices 1..6: the backlog is younger than the 6-tick hold.
+        for _ in 0..6 {
+            store.maintenance_slice(1 << 22);
+            assert_eq!(
+                store.database().ghost_page_count(),
+                ghosts_before,
+                "ghost release must be deferred while the backlog is young"
+            );
+        }
+        // The aged backlog drains (over several budgeted passes: cleanup is
+        // due every 8th tick and each 4 MB budget visits at most 512 pages).
+        for _ in 0..256 {
+            if store.database().ghost_page_count() == 0 {
+                break;
+            }
+            store.maintenance_slice(1 << 22);
+        }
+        assert_eq!(store.database().ghost_page_count(), 0);
+        let stats = store.maintenance_stats().unwrap();
+        assert!(stats.ghost_cleanup.runs > 0);
+        assert!(
+            stats.background_bytes > 0,
+            "compaction/checkpoint work ran even while ghosts were held"
+        );
+    }
+
+    #[test]
     fn maintenance_scheduler_cleans_ghosts_and_charges_the_clock() {
         let mut config = DbStoreConfig::new(128 * MB);
         config.maintenance = Some(MaintenanceConfig::fixed_budget(16));

@@ -31,7 +31,7 @@ use serde::{Deserialize, Serialize};
 use crate::db_store::{DbObjectStore, DbStoreConfig};
 use crate::error::StoreError;
 use crate::fs_store::{FsObjectStore, FsStoreConfig};
-use crate::server::{LatencySummary, StoreServer};
+use crate::server::{Completion, LatencySummary, MixedOpenLoop, StoreServer};
 use crate::store::{CostModel, ObjectStore, StoreKind};
 use crate::workload::{
     SizeDistribution, StorageAgeTracker, WorkloadGenerator, WorkloadOp, WorkloadSpec,
@@ -484,6 +484,188 @@ pub fn measure_read_throughput(
     measure_read_pass(&mut server, generator, sample)
 }
 
+/// Builds a store for `config`, bulk-loads it and ages it `age_rounds` whole
+/// overwrite rounds through the request scheduler, returning the aged store
+/// together with the generator (positioned past the aging phase, so
+/// subsequent samples are deterministic for the config's seed).
+///
+/// This is the shared fixture behind the open-loop measurement scenarios:
+/// building and aging twice with the same config yields bit-identical
+/// stores, which is what lets [`measure_mixed_load`] calibrate capacity on a
+/// twin store without perturbing the one it measures.
+pub fn age_store(
+    kind: StoreKind,
+    config: &ExperimentConfig,
+    age_rounds: u32,
+) -> Result<(Box<dyn ObjectStore>, WorkloadGenerator), StoreError> {
+    config.validate()?;
+    let mut store = config.build_store(kind)?;
+    let mut generator = WorkloadGenerator::new(config.workload());
+    let think_time = SimDuration::from_millis_f64(config.think_time_ms);
+    let mut server = StoreServer::new(store.as_mut());
+    server.run_closed_loop(generator.bulk_load(), 1, SimDuration::ZERO)?;
+    for _ in 0..age_rounds {
+        server.run_closed_loop(
+            generator.overwrite_round(),
+            config.concurrency.max(1),
+            think_time,
+        )?;
+    }
+    store.reset_measurements();
+    Ok((store, generator))
+}
+
+/// One measured point of the open-loop **mixed read/safe-write** load sweep:
+/// a Poisson read class and a Poisson safe-write class contend for the
+/// spindle of an aged store, so the write class grows fragmentation *during*
+/// the measurement while the read class traverses the decaying layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedLoadPoint {
+    /// Fraction of the offered operations that are safe writes.
+    pub write_fraction: f64,
+    /// Offered load as a fraction of the store's calibrated serial capacity
+    /// over the same operation mix.
+    pub utilisation: f64,
+    /// Absolute offered load, operations per simulated second (both classes
+    /// combined).
+    pub offered_ops_per_sec: f64,
+    /// Client-observed latency of the read class.
+    pub reads: LatencySummary,
+    /// Client-observed latency of the safe-write class.
+    pub writes: LatencySummary,
+    /// Client-observed latency over both classes.
+    pub all: LatencySummary,
+    /// Mean number of requests waiting at dispatch time.
+    pub queue_depth_mean: f64,
+    /// Mean fragments per object when the measurement started.
+    pub fragments_before: f64,
+    /// Mean fragments per object when the measurement ended — the growth the
+    /// write class inflicted while the sweep ran.
+    pub fragments_after: f64,
+}
+
+/// Splits a completion stream into (reads, writes) by operation class.
+fn split_by_class(completions: &[Completion]) -> (Vec<Completion>, Vec<Completion>) {
+    completions
+        .iter()
+        .cloned()
+        .partition(|c| matches!(c.request.op, WorkloadOp::Get { .. }))
+}
+
+/// The capacity calibration of one mixed-sweep family: the deterministic
+/// operation mix plus the serial single-client capacity measured over it on
+/// a *twin* store (same config, same seed, so the aged state is
+/// bit-identical to the store a later measurement builds).
+///
+/// Capacity does not depend on the offered load, so one calibration serves
+/// every utilisation point of a sweep — re-deriving it per point would
+/// repeat the expensive bulk-load + aging for no information.
+#[derive(Debug, Clone)]
+pub struct MixedCalibration {
+    /// Fraction of the offered operations that are safe writes.
+    pub write_fraction: f64,
+    /// Serial single-client capacity over the mix, operations per second.
+    pub capacity_ops_per_sec: f64,
+    reads: Vec<WorkloadOp>,
+    writes: Vec<WorkloadOp>,
+}
+
+/// Calibrates a mixed sweep family: ages a twin store to `age_rounds`,
+/// samples the deterministic mix (`write_fraction` of `ops` are safe
+/// writes), and measures the mix's serial capacity.  The twin is discarded;
+/// the measurement store is built fresh by
+/// [`measure_mixed_load_calibrated`], so calibration cannot perturb it.
+pub fn calibrate_mixed_load(
+    kind: StoreKind,
+    config: &ExperimentConfig,
+    age_rounds: u32,
+    write_fraction: f64,
+    ops: usize,
+) -> Result<MixedCalibration, StoreError> {
+    if !(0.0..=1.0).contains(&write_fraction) {
+        return Err(StoreError::BadConfig(
+            "write fraction must lie in [0, 1]".into(),
+        ));
+    }
+    if ops == 0 {
+        return Err(StoreError::BadConfig(
+            "a mixed load point needs at least one operation".into(),
+        ));
+    }
+    let write_ops = ((ops as f64) * write_fraction).round() as usize;
+    let read_ops = ops - write_ops.min(ops);
+
+    let (mut twin, mut generator) = age_store(kind, config, age_rounds)?;
+    let reads = generator.read_sample(read_ops);
+    let writes = generator.safe_write_sample(write_ops);
+    let mut serial_mix = reads.clone();
+    serial_mix.extend(writes.iter().cloned());
+    let mut server = StoreServer::new(twin.as_mut());
+    let serial = server.run_closed_loop(serial_mix, 1, SimDuration::ZERO)?;
+    let mean_ms = LatencySummary::of(&serial).mean_ms.max(1e-6);
+    Ok(MixedCalibration {
+        write_fraction,
+        capacity_ops_per_sec: 1e3 / mean_ms,
+        reads,
+        writes,
+    })
+}
+
+/// Measures one [`MixedLoadPoint`] against a fresh aged store: the
+/// calibration's mix is offered as a merged open-loop Poisson process at
+/// `utilisation` of its calibrated capacity.
+pub fn measure_mixed_load_calibrated(
+    kind: StoreKind,
+    config: &ExperimentConfig,
+    age_rounds: u32,
+    calibration: &MixedCalibration,
+    utilisation: f64,
+) -> Result<MixedLoadPoint, StoreError> {
+    if !utilisation.is_finite() || utilisation <= 0.0 {
+        return Err(StoreError::BadConfig(
+            "utilisation must be positive and finite".into(),
+        ));
+    }
+    let (mut store, _) = age_store(kind, config, age_rounds)?;
+    let fragments_before = store.fragmentation().fragments_per_object;
+    let mut server = StoreServer::new(store.as_mut());
+    let offered = utilisation * calibration.capacity_ops_per_sec;
+    let load = MixedOpenLoop::from_total(offered, calibration.write_fraction, config.seed);
+    let completions =
+        server.run_mixed_open_loop(calibration.reads.clone(), calibration.writes.clone(), load)?;
+    let (read_done, write_done) = split_by_class(&completions);
+    let queue_depth_mean = server.queue_stats().mean_depth();
+    let fragments_after = server.store().fragmentation().fragments_per_object;
+
+    Ok(MixedLoadPoint {
+        write_fraction: calibration.write_fraction,
+        utilisation,
+        offered_ops_per_sec: offered,
+        reads: LatencySummary::of(&read_done),
+        writes: LatencySummary::of(&write_done),
+        all: LatencySummary::of(&completions),
+        queue_depth_mean,
+        fragments_before,
+        fragments_after,
+    })
+}
+
+/// Calibrates and measures one [`MixedLoadPoint`] in one call — the
+/// single-point convenience over [`calibrate_mixed_load`] +
+/// [`measure_mixed_load_calibrated`] (sweeps should calibrate once per mix
+/// instead).
+pub fn measure_mixed_load(
+    kind: StoreKind,
+    config: &ExperimentConfig,
+    age_rounds: u32,
+    write_fraction: f64,
+    utilisation: f64,
+    ops: usize,
+) -> Result<MixedLoadPoint, StoreError> {
+    let calibration = calibrate_mixed_load(kind, config, age_rounds, write_fraction, ops)?;
+    measure_mixed_load_calibrated(kind, config, age_rounds, &calibration, utilisation)
+}
+
 /// Runs both systems through the same aging experiment — the comparison every
 /// figure in the paper makes.
 pub fn compare_systems(
@@ -622,6 +804,54 @@ mod tests {
         );
         // Storage age accounting matches the number of overwrite rounds.
         assert!((db.points[1].storage_age - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_load_points_report_both_classes_and_frag_growth() {
+        let config = mini_config();
+        let point = measure_mixed_load(StoreKind::Filesystem, &config, 1, 0.5, 0.8, 32).unwrap();
+        assert_eq!(point.write_fraction, 0.5);
+        assert_eq!(point.utilisation, 0.8);
+        assert!(point.offered_ops_per_sec > 0.0);
+        assert_eq!(point.reads.count, 16);
+        assert_eq!(point.writes.count, 16);
+        assert_eq!(point.all.count, 32);
+        assert!(point.reads.p99_ms > 0.0 && point.writes.p99_ms > 0.0);
+        assert!(point.fragments_before >= 1.0 && point.fragments_after >= 1.0);
+        // The write class rewrites objects during the measurement, so the
+        // layout must actually move (in either direction — a safe write can
+        // heal as well as fragment, depending on where it lands).
+        assert!(
+            (point.fragments_after - point.fragments_before).abs() > 1e-9,
+            "the write class must move the layout ({:.3} -> {:.3})",
+            point.fragments_before,
+            point.fragments_after
+        );
+        assert!(point.queue_depth_mean >= 1.0);
+
+        // A pure-read point performs no writes and cannot move fragmentation.
+        let pure = measure_mixed_load(StoreKind::Filesystem, &config, 1, 0.0, 0.5, 16).unwrap();
+        assert_eq!(pure.writes.count, 0);
+        assert_eq!(pure.reads.count, 16);
+        assert_eq!(pure.fragments_before, pure.fragments_after);
+
+        // Invalid parameters are rejected up front.
+        assert!(measure_mixed_load(StoreKind::Filesystem, &config, 1, 1.5, 0.5, 16).is_err());
+        assert!(measure_mixed_load(StoreKind::Filesystem, &config, 1, 0.5, 0.0, 16).is_err());
+        assert!(measure_mixed_load(StoreKind::Filesystem, &config, 1, 0.5, 0.5, 0).is_err());
+    }
+
+    #[test]
+    fn age_store_twins_are_bit_identical() {
+        let config = mini_config();
+        let (a, _) = age_store(StoreKind::Database, &config, 2).unwrap();
+        let (b, _) = age_store(StoreKind::Database, &config, 2).unwrap();
+        assert_eq!(a.fragmentation(), b.fragmentation());
+        assert_eq!(a.keys(), b.keys());
+        for key in a.keys() {
+            assert_eq!(a.layout_of(&key).unwrap(), b.layout_of(&key).unwrap());
+        }
+        assert_eq!(a.elapsed(), SimDuration::ZERO, "measurement clock reset");
     }
 
     #[test]

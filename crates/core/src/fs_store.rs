@@ -482,6 +482,60 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_maintenance_engages_only_while_the_volume_degrades() {
+        let mut config = FsStoreConfig::new(128 * MB);
+        config.maintenance = Some(MaintenanceConfig::adaptive(64.0));
+        let mut store = FsObjectStore::with_config(config).unwrap();
+
+        // Bulk load is contiguous: excess fragments stay at zero, so the
+        // rate estimator must not trigger any background work.
+        for i in 0..24 {
+            store.put(&format!("o{i}"), MB).unwrap();
+        }
+        let stats = store.maintenance_stats().unwrap();
+        assert_eq!(
+            stats.background_bytes, 0,
+            "a contiguous bulk load must not trigger adaptive work"
+        );
+
+        // Aging rounds of 4-way interleaved batches fragment the volume
+        // (serial rewrites would stay contiguous under the run cache); the
+        // rate estimator engages.
+        for round in 0..4 {
+            let keys: Vec<(String, u64)> = (0..24)
+                .map(|i| (format!("o{}", (i * 7 + round) % 24), MB))
+                .collect();
+            for batch in keys.chunks(4) {
+                store.safe_write_batch(batch).unwrap();
+            }
+        }
+        let stats = store.maintenance_stats().unwrap();
+        assert!(
+            stats.background_bytes > 0,
+            "fragmentation growth must engage the adaptive budget"
+        );
+        assert!(stats.background_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn substrate_aware_requires_the_server_drive() {
+        let mut config = FsStoreConfig::new(64 * MB);
+        let mut maintenance = MaintenanceConfig::substrate_aware(5.0, 24);
+        maintenance.server_driven = false;
+        config.maintenance = Some(maintenance);
+        assert!(matches!(
+            FsObjectStore::with_config(config),
+            Err(StoreError::BadConfig(_))
+        ));
+        // With the server drive (the constructor's default) it builds, and
+        // the server reads the config off the store.
+        let mut config = FsStoreConfig::new(64 * MB);
+        config.maintenance = Some(MaintenanceConfig::substrate_aware(5.0, 24));
+        let store = FsObjectStore::with_config(config).unwrap();
+        assert!(store.maintenance_config().unwrap().server_driven);
+    }
+
+    #[test]
     fn kind_and_capacity() {
         let store = store();
         assert_eq!(store.kind(), StoreKind::Filesystem);

@@ -68,14 +68,16 @@ pub mod workload;
 pub use db_store::{DbObjectStore, DbStoreConfig};
 pub use error::StoreError;
 pub use experiment::{
-    compare_systems, measure_read_throughput, run_aging_experiment, AgePoint, AgingResult,
-    ExperimentConfig, TestbedConfig,
+    age_store, calibrate_mixed_load, compare_systems, measure_mixed_load,
+    measure_mixed_load_calibrated, measure_read_throughput, run_aging_experiment, AgePoint,
+    AgingResult, ExperimentConfig, MixedCalibration, MixedLoadPoint, TestbedConfig,
 };
 pub use fragmentation::{analyze_store, FragmentationReport};
 pub use fs_store::{FsObjectStore, FsStoreConfig};
 pub use report::{Figure, Series, Table};
 pub use server::{
-    ClientId, Completion, LatencySummary, OpenLoop, QueueStats, StoreRequest, StoreServer,
+    ClientId, Completion, LatencySummary, MixedOpenLoop, OpenLoop, QueueStats, StoreRequest,
+    StoreServer,
 };
 pub use store::{CostModel, ObjectStore, OpReceipt, StoreKind};
 pub use workload::{
@@ -88,7 +90,9 @@ pub use lor_alloc::{AllocationPolicy, FitPolicy};
 
 // The maintenance knob threaded from `ExperimentConfig` into both substrates,
 // re-exported for the same reason.
-pub use lor_maint::{MaintenanceConfig, MaintenancePolicy, MaintenanceStats};
+pub use lor_maint::{
+    FragRateEstimator, MaintSubstrate, MaintenanceConfig, MaintenancePolicy, MaintenanceStats,
+};
 
 // Re-export the substrate crates so downstream users (examples, benches) can
 // reach them through one dependency.

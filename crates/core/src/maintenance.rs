@@ -14,7 +14,7 @@
 use lor_blobkit::Database;
 use lor_disksim::DiskConfig;
 use lor_fskit::{DefragCursor, Defragmenter, Volume};
-use lor_maint::{MaintIo, MaintTarget, MaintenanceConfig, MaintenanceScheduler};
+use lor_maint::{MaintIo, MaintSubstrate, MaintTarget, MaintenanceConfig, MaintenanceScheduler};
 
 use crate::store::CostModel;
 
@@ -77,12 +77,22 @@ pub(crate) struct FsMaintTarget<'a> {
 }
 
 impl MaintTarget for FsMaintTarget<'_> {
+    fn substrate(&self) -> MaintSubstrate {
+        // Freed clusters are quarantined in the pending-free queue until a
+        // checkpoint, so eager release has no reuse pathology to trigger.
+        MaintSubstrate::DeferredReuse
+    }
+
     fn reclaimable_bytes(&self) -> u64 {
         self.volume.pending_clusters() * self.volume.cluster_size()
     }
 
     fn fragments_per_object(&self) -> f64 {
         self.volume.fragmentation().fragments_per_object
+    }
+
+    fn excess_fragments(&self) -> u64 {
+        self.volume.fragmentation().excess_fragments()
     }
 
     fn ghost_cleanup(&mut self, _budget_bytes: u64) -> MaintIo {
@@ -137,12 +147,23 @@ pub(crate) struct DbMaintTarget<'a> {
 }
 
 impl MaintTarget for DbMaintTarget<'_> {
+    fn substrate(&self) -> MaintSubstrate {
+        // The engine's lowest-first page reuse recycles released ghost space
+        // immediately — the eager-cleanup pathology the `SubstrateAware`
+        // policy's deferred release exists to break.
+        MaintSubstrate::EagerReuse
+    }
+
     fn reclaimable_bytes(&self) -> u64 {
         self.db.ghost_page_count() * self.db.config().page_size
     }
 
     fn fragments_per_object(&self) -> f64 {
         self.db.fragmentation().fragments_per_object
+    }
+
+    fn excess_fragments(&self) -> u64 {
+        self.db.fragmentation().excess_fragments()
     }
 
     fn ghost_cleanup(&mut self, budget_bytes: u64) -> MaintIo {
@@ -226,6 +247,33 @@ mod tests {
         assert!(!io.is_none());
         assert_eq!(target.reclaimable_bytes(), 0);
         assert!(target.checkpoint().is_none(), "nothing left to drain");
+    }
+
+    #[test]
+    fn substrate_declarations_match_each_engines_reuse_behaviour() {
+        let mut volume = Volume::format(VolumeConfig::new(64 * MB)).unwrap();
+        let disk = DiskConfig::seagate_400gb_2005().scaled(64 * MB);
+        let cost = CostModel::default();
+        let mut cursor = DefragCursor::new();
+        let mut backoff = 0u64;
+        let fs = FsMaintTarget {
+            volume: &mut volume,
+            disk: &disk,
+            cost: &cost,
+            cursor: &mut cursor,
+            defrag_backoff: &mut backoff,
+        };
+        assert_eq!(fs.substrate(), MaintSubstrate::DeferredReuse);
+
+        let mut db = Database::create(lor_blobkit::EngineConfig::new(64 * MB)).unwrap();
+        let mut backoff = 0u64;
+        let db_target = DbMaintTarget {
+            db: &mut db,
+            disk: &disk,
+            cost: &cost,
+            defrag_backoff: &mut backoff,
+        };
+        assert_eq!(db_target.substrate(), MaintSubstrate::EagerReuse);
     }
 
     #[test]

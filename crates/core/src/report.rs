@@ -124,6 +124,32 @@ impl Series {
         }
     }
 
+    /// Builds a latency/fragmentation **frontier** series: points are
+    /// `(fragments_per_object, latency_ms)` pairs sorted by fragmentation,
+    /// so the rendered curve is the trade-off boundary a policy family
+    /// sweeps out (the adaptive-frontier scenario's axes).
+    pub fn frontier(label: impl Into<String>, mut points: Vec<(f64, f64)>) -> Self {
+        points.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("frontier coordinates are finite")
+        });
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// `true` if no point in this series strictly dominates `(x, y)` — i.e.
+    /// is better (smaller) in both coordinates by more than the relative
+    /// `tolerance`.  This is the "on or inside the frontier" acceptance test
+    /// of the adaptive-frontier scenario.
+    pub fn on_or_inside_frontier(&self, x: f64, y: f64, tolerance: f64) -> bool {
+        !self
+            .points
+            .iter()
+            .any(|&(px, py)| px < x * (1.0 - tolerance) && py < y * (1.0 - tolerance))
+    }
+
     /// The y value at the largest x not exceeding `x`, if any.
     pub fn value_at(&self, x: f64) -> Option<f64> {
         self.points
@@ -397,6 +423,21 @@ mod tests {
         assert_eq!(p99.points, vec![(0.0, 25.0), (2.0, 55.0)]);
         let depth = Series::queue_depth_vs_age(&result);
         assert_eq!(depth.points, vec![(0.0, 1.0), (2.0, 3.5)]);
+    }
+
+    #[test]
+    fn frontier_series_sort_and_test_domination() {
+        let frontier =
+            Series::frontier("fixed-budget", vec![(5.0, 10.0), (1.0, 40.0), (3.0, 20.0)]);
+        assert_eq!(frontier.points, vec![(1.0, 40.0), (3.0, 20.0), (5.0, 10.0)]);
+        // A point matching a frontier point is on the frontier.
+        assert!(frontier.on_or_inside_frontier(3.0, 20.0, 0.02));
+        // Inside: strictly better than the frontier in one coordinate.
+        assert!(frontier.on_or_inside_frontier(2.0, 25.0, 0.02));
+        // Outside: (3.0, 20.0) beats it in both coordinates.
+        assert!(!frontier.on_or_inside_frontier(4.0, 30.0, 0.02));
+        // The tolerance forgives near-ties.
+        assert!(frontier.on_or_inside_frontier(3.02, 20.1, 0.02));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! needed).  Latency percentiles ([`LatencySummary`]) and queue depth
 //! ([`QueueStats`]) fall out of the completion stream.
 //!
-//! Two arrival processes are provided:
+//! Three arrival processes are provided:
 //!
 //! * **closed-loop** ([`StoreServer::run_closed_loop`]): N clients, each
 //!   issuing its next request one think time after its previous completion —
@@ -24,6 +24,10 @@
 //!   at a target offered load regardless of completions, the classical
 //!   queueing-theory setup; latency grows without bound as the offered load
 //!   approaches the spindle's capacity.
+//! * **mixed open-loop** ([`StoreServer::run_mixed_open_loop`]): two
+//!   independent Poisson classes — reads and safe writes — merged into one
+//!   deterministic interleave ([`MixedOpenLoop`]), so fragmentation growth
+//!   interacts with the latency hockey stick *during* the measurement.
 //!
 //! Safe writes that are queued together when the spindle frees up are
 //! dispatched as **one batch** through [`ObjectStore::safe_write_batch`], so
@@ -43,7 +47,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use lor_disksim::SimDuration;
-use lor_maint::{MaintenanceConfig, MaintenancePolicy};
+use lor_maint::{FragObservation, FragRateEstimator, MaintenanceConfig, MaintenancePolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -181,6 +185,125 @@ pub struct OpenLoop {
     pub seed: u64,
 }
 
+/// A mixed open-loop arrival process: two independent Poisson streams — one
+/// of reads, one of safe writes — merged into a single deterministic
+/// interleave, so fragmentation growth (driven by the write class) interacts
+/// with the latency hockey stick (driven by the total offered load) *during*
+/// the measurement itself.
+///
+/// Each class draws its own unit-exponential inter-arrival pattern from a
+/// seed derived from [`MixedOpenLoop::seed`], so for a fixed seed:
+///
+/// * the merged schedule is fully deterministic (property-tested), and
+/// * sweeping one class's rate scales that class's own arrival pattern
+///   without disturbing the other class's draws.
+///
+/// Safe writes that end up queued together when the spindle frees up still
+/// dispatch as one interleaved batch ([`ObjectStore::safe_write_batch`]):
+/// the batching decision lives in the dispatch path and is therefore
+/// preserved across arrival-class boundaries — a read arriving *between* two
+/// writes breaks the batch (they were never concurrently in flight), while
+/// writes that queue back-to-back behind a slow read coalesce exactly as a
+/// web server's parallel uploads would.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixedOpenLoop {
+    /// Target arrival rate of the read class, operations per simulated
+    /// second.  Must be positive and finite when any reads are offered.
+    pub read_ops_per_sec: f64,
+    /// Target arrival rate of the safe-write class, operations per simulated
+    /// second.  Must be positive and finite when any writes are offered.
+    pub write_ops_per_sec: f64,
+    /// RNG seed; each class derives its own stream from it.
+    pub seed: u64,
+}
+
+impl MixedOpenLoop {
+    /// Splits the total `ops_per_sec` between the classes by `write_fraction`
+    /// (clamped to `[0, 1]`) — the parameterisation the mixed load sweep
+    /// uses.
+    pub fn from_total(ops_per_sec: f64, write_fraction: f64, seed: u64) -> Self {
+        let write_fraction = write_fraction.clamp(0.0, 1.0);
+        MixedOpenLoop {
+            read_ops_per_sec: ops_per_sec * (1.0 - write_fraction),
+            write_ops_per_sec: ops_per_sec * write_fraction,
+            seed,
+        }
+    }
+
+    /// The combined offered load of both classes.
+    pub fn total_ops_per_sec(&self) -> f64 {
+        self.read_ops_per_sec + self.write_ops_per_sec
+    }
+
+    fn validate_rate(rate: f64, class: &str, ops: usize) -> Result<(), StoreError> {
+        if ops > 0 && (!rate.is_finite() || rate <= 0.0) {
+            return Err(StoreError::BadConfig(format!(
+                "mixed open-loop {class} rate must be positive and finite when \
+                 {class}s are offered"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Builds the merged arrival schedule starting at `start`: each class's
+    /// requests arrive as an independent Poisson process at its configured
+    /// rate, and the two streams are merge-sorted by arrival time (reads
+    /// win exact ties, deterministically).  Client ids number the merged
+    /// stream in arrival order; the class of a completion is recovered from
+    /// its operation.
+    pub fn schedule(
+        &self,
+        start: SimDuration,
+        reads: Vec<WorkloadOp>,
+        writes: Vec<WorkloadOp>,
+    ) -> Result<Vec<StoreRequest>, StoreError> {
+        Self::validate_rate(self.read_ops_per_sec, "read", reads.len())?;
+        Self::validate_rate(self.write_ops_per_sec, "write", writes.len())?;
+
+        let arrival_stream = |ops: Vec<WorkloadOp>, rate: f64, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut at = start;
+            ops.into_iter()
+                .map(|op| {
+                    let unit: f64 = rng.gen_range(1e-12..1.0);
+                    at += SimDuration::from_secs_f64(-unit.ln() / rate);
+                    (at, op)
+                })
+                .collect::<Vec<_>>()
+        };
+        // Distinct per-class seeds (splitmix-style offset) keep the two
+        // exponential patterns independent while both derive from one knob.
+        let reads = arrival_stream(reads, self.read_ops_per_sec, self.seed);
+        let writes = arrival_stream(
+            writes,
+            self.write_ops_per_sec,
+            self.seed ^ 0x9E37_79B9_7F4A_7C15,
+        );
+
+        let mut merged = Vec::with_capacity(reads.len() + writes.len());
+        let (mut r, mut w) = (reads.into_iter().peekable(), writes.into_iter().peekable());
+        loop {
+            let take_read = match (r.peek(), w.peek()) {
+                (Some((ra, _)), Some((wa, _))) => ra <= wa,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (arrival, op) = if take_read {
+                r.next().expect("peeked")
+            } else {
+                w.next().expect("peeked")
+            };
+            merged.push(StoreRequest {
+                client: ClientId(merged.len() as u32),
+                op,
+                arrival,
+            });
+        }
+        Ok(merged)
+    }
+}
+
 /// The request scheduler: one simulated spindle serving many clients.
 ///
 /// The server borrows the store exclusively; use [`StoreServer::store`] /
@@ -200,6 +323,9 @@ pub struct StoreServer<'a> {
     bg_busy_until: SimDuration,
     /// Server-driven maintenance, read from the store at construction.
     maintenance: Option<MaintenanceConfig>,
+    /// Fragmentation-rate estimator feeding the `Adaptive` policy's budget
+    /// under the server drive (idle otherwise).
+    estimator: FragRateEstimator,
     ops_since_tick: u64,
     queue: QueueStats,
 }
@@ -209,12 +335,17 @@ impl<'a> StoreServer<'a> {
     /// [`MaintenanceConfig`], the server takes over the maintenance drive.
     pub fn new(store: &'a mut dyn ObjectStore) -> Self {
         let maintenance = store.maintenance_config().filter(|c| c.server_driven);
+        let estimator = maintenance
+            .as_ref()
+            .map(|config| config.frag_rate_estimator())
+            .unwrap_or_else(|| FragRateEstimator::new(2));
         StoreServer {
             store,
             now: SimDuration::ZERO,
             busy_until: SimDuration::ZERO,
             bg_busy_until: SimDuration::ZERO,
             maintenance,
+            estimator,
             ops_since_tick: 0,
             queue: QueueStats::default(),
         }
@@ -337,7 +468,7 @@ impl<'a> StoreServer<'a> {
         }
         let mut rng = StdRng::seed_from_u64(load.seed);
         let mut at = self.now;
-        let mut stream: VecDeque<StoreRequest> = ops
+        let stream: VecDeque<StoreRequest> = ops
             .into_iter()
             .enumerate()
             .map(|(index, op)| {
@@ -350,7 +481,37 @@ impl<'a> StoreServer<'a> {
                 }
             })
             .collect();
+        self.run_stream(stream)
+    }
 
+    /// Runs a mixed open-loop schedule: reads and safe writes arrive as two
+    /// independent Poisson processes ([`MixedOpenLoop`]) and contend for the
+    /// spindle in one merged FIFO queue, so the write class fragments the
+    /// store *while* the read class measures it.
+    pub fn run_mixed_open_loop(
+        &mut self,
+        reads: Vec<WorkloadOp>,
+        writes: Vec<WorkloadOp>,
+        load: MixedOpenLoop,
+    ) -> Result<Vec<Completion>, StoreError> {
+        let stream = load.schedule(self.now, reads, writes)?;
+        self.run_stream(stream.into())
+    }
+
+    /// Drains a pre-scheduled arrival stream (sorted by arrival time)
+    /// against the spindle — the shared event loop behind both open-loop
+    /// flavours.
+    fn run_stream(
+        &mut self,
+        mut stream: VecDeque<StoreRequest>,
+    ) -> Result<Vec<Completion>, StoreError> {
+        debug_assert!(
+            stream
+                .iter()
+                .zip(stream.iter().skip(1))
+                .all(|(a, b)| a.arrival <= b.arrival),
+            "arrival streams must be sorted"
+        );
         let mut completions = Vec::with_capacity(stream.len());
         let mut waiting: VecDeque<StoreRequest> = VecDeque::new();
         while !(stream.is_empty() && waiting.is_empty()) {
@@ -468,8 +629,13 @@ impl<'a> StoreServer<'a> {
         let tick_every = config.tick_every_ops.max(1);
         while self.ops_since_tick >= tick_every {
             self.ops_since_tick -= tick_every;
-            let budget_bytes =
-                config.tick_budget_bytes(|| self.store.fragmentation().fragments_per_object);
+            let budget_bytes = config.tick_budget_bytes(&mut self.estimator, || {
+                let summary = self.store.fragmentation();
+                FragObservation {
+                    per_object: summary.fragments_per_object,
+                    excess: summary.excess_fragments(),
+                }
+            });
             if budget_bytes == 0 {
                 continue;
             }
@@ -483,7 +649,9 @@ impl<'a> StoreServer<'a> {
     }
 
     /// Fills an observed idle gap (`free_at()` → `next_arrival`) with
-    /// maintenance slices under the idle-detect policy.  Slices start small
+    /// maintenance slices under the gap-filling policies (idle-detect and
+    /// its substrate-aware refinement, which differs only in what the
+    /// scheduler's task queue lets each slice release).  Slices start small
     /// and adapt to the measured background I/O rate so the gap is filled
     /// with few slices while the overrun past `next_arrival` stays bounded
     /// by one slice.
@@ -491,8 +659,10 @@ impl<'a> StoreServer<'a> {
         let Some(config) = self.maintenance else {
             return;
         };
-        let MaintenancePolicy::IdleDetect { min_idle_ms } = config.policy else {
-            return;
+        let min_idle_ms = match config.policy {
+            MaintenancePolicy::IdleDetect { min_idle_ms }
+            | MaintenancePolicy::SubstrateAware { min_idle_ms, .. } => min_idle_ms,
+            _ => return,
         };
         let min_idle = SimDuration::from_millis_f64(min_idle_ms);
         let unit = config.io_unit_bytes.max(1);
@@ -665,6 +835,158 @@ mod tests {
             results[0].p99_ms
         );
         assert_eq!(results[0].count, 16);
+    }
+
+    #[test]
+    fn mixed_open_loop_interleaves_both_classes() {
+        let mut store = FsObjectStore::new(256 * MB).unwrap();
+        let mut server = StoreServer::new(&mut store);
+        server
+            .run_closed_loop(puts(16, MB), 1, SimDuration::ZERO)
+            .unwrap();
+        let writes: Vec<WorkloadOp> = (0..16)
+            .map(|i| WorkloadOp::SafeWrite {
+                key: format!("o{i}"),
+                size: MB,
+            })
+            .collect();
+        let completions = server
+            .run_mixed_open_loop(
+                gets(16),
+                writes,
+                MixedOpenLoop {
+                    read_ops_per_sec: 20.0,
+                    write_ops_per_sec: 20.0,
+                    seed: 11,
+                },
+            )
+            .unwrap();
+        assert_eq!(completions.len(), 32);
+        // Completions preserve the merged arrival order.
+        for pair in completions.windows(2) {
+            assert!(pair[0].request.arrival <= pair[1].request.arrival);
+        }
+        // Both classes genuinely interleave: some read completes between two
+        // writes and vice versa.
+        let classes: Vec<bool> = completions
+            .iter()
+            .map(|c| matches!(c.request.op, WorkloadOp::SafeWrite { .. }))
+            .collect();
+        let switches = classes.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(
+            switches >= 4,
+            "classes must interleave (saw {switches} switches)"
+        );
+        // The store served every op: all 16 objects still live.
+        assert_eq!(server.store().object_count(), 16);
+    }
+
+    #[test]
+    fn mixed_open_loop_batches_safe_writes_queued_together() {
+        // Writes offered far faster than the spindle can serve them pile up
+        // behind the head request, and consecutive queued safe writes must
+        // leave as one batch even though a read class exists in the stream.
+        let mut store = FsObjectStore::new(256 * MB).unwrap();
+        let mut server = StoreServer::new(&mut store);
+        server
+            .run_closed_loop(puts(8, MB), 1, SimDuration::ZERO)
+            .unwrap();
+        let writes: Vec<WorkloadOp> = (0..8)
+            .map(|i| WorkloadOp::SafeWrite {
+                key: format!("o{i}"),
+                size: MB,
+            })
+            .collect();
+        let completions = server
+            .run_mixed_open_loop(
+                gets(2),
+                writes,
+                MixedOpenLoop {
+                    read_ops_per_sec: 1.0,
+                    write_ops_per_sec: 10_000.0,
+                    seed: 3,
+                },
+            )
+            .unwrap();
+        let write_starts: Vec<SimDuration> = completions
+            .iter()
+            .filter(|c| matches!(c.request.op, WorkloadOp::SafeWrite { .. }))
+            .map(|c| c.start)
+            .collect();
+        assert_eq!(write_starts.len(), 8);
+        let batched = write_starts
+            .windows(2)
+            .filter(|pair| pair[0] == pair[1])
+            .count();
+        assert!(
+            batched >= 4,
+            "queued safe writes must share batch start instants ({batched}/7 shared)"
+        );
+    }
+
+    #[test]
+    fn mixed_schedule_is_deterministic_and_rejects_bad_rates() {
+        let load = MixedOpenLoop {
+            read_ops_per_sec: 40.0,
+            write_ops_per_sec: 10.0,
+            seed: 99,
+        };
+        let a = load
+            .schedule(SimDuration::ZERO, gets(20), puts(20, MB))
+            .unwrap();
+        let b = load
+            .schedule(SimDuration::ZERO, gets(20), puts(20, MB))
+            .unwrap();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // Client ids number the merged stream.
+        for (index, request) in a.iter().enumerate() {
+            assert_eq!(request.client, ClientId(index as u32));
+        }
+
+        // A class with offered ops needs a positive finite rate...
+        for rate in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let bad_reads = MixedOpenLoop {
+                read_ops_per_sec: rate,
+                write_ops_per_sec: 10.0,
+                seed: 1,
+            };
+            assert!(bad_reads
+                .schedule(SimDuration::ZERO, gets(1), vec![])
+                .is_err());
+            let bad_writes = MixedOpenLoop {
+                read_ops_per_sec: 10.0,
+                write_ops_per_sec: rate,
+                seed: 1,
+            };
+            assert!(bad_writes
+                .schedule(SimDuration::ZERO, vec![], puts(1, MB))
+                .is_err());
+        }
+        // ...but an empty class ignores its rate (a pure-read sweep).
+        let read_only = MixedOpenLoop {
+            read_ops_per_sec: 10.0,
+            write_ops_per_sec: 0.0,
+            seed: 1,
+        };
+        assert_eq!(
+            read_only
+                .schedule(SimDuration::ZERO, gets(4), vec![])
+                .unwrap()
+                .len(),
+            4
+        );
+    }
+
+    #[test]
+    fn mixed_load_splits_by_write_fraction() {
+        let load = MixedOpenLoop::from_total(100.0, 0.25, 7);
+        assert!((load.read_ops_per_sec - 75.0).abs() < 1e-9);
+        assert!((load.write_ops_per_sec - 25.0).abs() < 1e-9);
+        assert!((load.total_ops_per_sec() - 100.0).abs() < 1e-9);
+        let clamped = MixedOpenLoop::from_total(100.0, 1.5, 7);
+        assert_eq!(clamped.read_ops_per_sec, 0.0);
+        assert!((clamped.write_ops_per_sec - 100.0).abs() < 1e-9);
     }
 
     #[test]

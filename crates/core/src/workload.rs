@@ -239,6 +239,38 @@ impl WorkloadGenerator {
             .collect()
     }
 
+    /// A random sample of `count` whole-object reads over the live
+    /// population (with replacement), for open-loop arrival processes whose
+    /// length is set by the offered rate and measurement duration rather
+    /// than the population size.  Deterministic for a given generator state.
+    pub fn read_sample(&mut self, count: usize) -> Vec<WorkloadOp> {
+        if self.live.is_empty() {
+            return Vec::new();
+        }
+        (0..count)
+            .map(|_| WorkloadOp::Get {
+                key: self.live[self.rng.gen_range(0..self.live.len())].clone(),
+            })
+            .collect()
+    }
+
+    /// A random sample of `count` safe writes over the live population (with
+    /// replacement), sizes drawn from the spec's distribution — the write
+    /// class of the mixed open-loop sweeps.  Unlike
+    /// [`WorkloadGenerator::overwrite_round`] this does not touch every
+    /// object once, so it advances storage age in proportion to `count`.
+    pub fn safe_write_sample(&mut self, count: usize) -> Vec<WorkloadOp> {
+        if self.live.is_empty() {
+            return Vec::new();
+        }
+        (0..count)
+            .map(|_| WorkloadOp::SafeWrite {
+                key: self.live[self.rng.gen_range(0..self.live.len())].clone(),
+                size: self.spec.sizes.sample(&mut self.rng),
+            })
+            .collect()
+    }
+
     /// A churn phase mixing deletes of existing objects with puts of new ones
     /// (constant live-object count), used by the extension benches.
     pub fn churn_round(&mut self) -> Vec<WorkloadOp> {
@@ -400,6 +432,37 @@ mod tests {
             })
             .collect();
         assert_eq!(keys.len(), 50, "each object is overwritten exactly once");
+    }
+
+    #[test]
+    fn sampled_ops_cover_only_live_keys_and_are_deterministic() {
+        let spec = WorkloadSpec::constant(4096, 30).with_seed(5);
+        let mut a = WorkloadGenerator::new(spec.clone());
+        let mut b = WorkloadGenerator::new(spec);
+        a.bulk_load();
+        b.bulk_load();
+        let reads = a.read_sample(100);
+        assert_eq!(reads, b.read_sample(100));
+        assert_eq!(reads.len(), 100);
+        for op in &reads {
+            let WorkloadOp::Get { key } = op else {
+                panic!("read sample must contain only gets");
+            };
+            assert!(a.live_keys().contains(key));
+        }
+        let writes = a.safe_write_sample(50);
+        assert_eq!(writes, b.safe_write_sample(50));
+        for op in &writes {
+            let WorkloadOp::SafeWrite { key, size } = op else {
+                panic!("write sample must contain only safe writes");
+            };
+            assert!(a.live_keys().contains(key));
+            assert_eq!(*size, 4096);
+        }
+        // An empty population yields empty samples instead of panicking.
+        let mut empty = WorkloadGenerator::new(WorkloadSpec::constant(4096, 0));
+        assert!(empty.read_sample(4).is_empty());
+        assert!(empty.safe_write_sample(4).is_empty());
     }
 
     #[test]

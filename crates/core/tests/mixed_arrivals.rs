@@ -1,0 +1,155 @@
+//! Property tests for the mixed open-loop arrival process: the merged
+//! schedule is deterministic per seed, each class's pattern is independent
+//! of the other class's rate, and per-class mean inter-arrival times
+//! converge to the configured rates (a statistical bound, not exact
+//! equality — the draws are exponential).
+
+use lor_core::lor_disksim::SimDuration;
+use lor_core::{MixedOpenLoop, StoreRequest, WorkloadOp};
+use proptest::prelude::*;
+
+fn reads(n: usize) -> Vec<WorkloadOp> {
+    (0..n)
+        .map(|i| WorkloadOp::Get {
+            key: format!("r{i}"),
+        })
+        .collect()
+}
+
+fn writes(n: usize) -> Vec<WorkloadOp> {
+    (0..n)
+        .map(|i| WorkloadOp::SafeWrite {
+            key: format!("w{i}"),
+            size: 1 << 20,
+        })
+        .collect()
+}
+
+/// Arrival times of one class, extracted from the merged schedule.
+fn class_arrivals(schedule: &[StoreRequest], want_writes: bool) -> Vec<SimDuration> {
+    schedule
+        .iter()
+        .filter(|request| matches!(request.op, WorkloadOp::SafeWrite { .. }) == want_writes)
+        .map(|request| request.arrival)
+        .collect()
+}
+
+/// Mean inter-arrival time in seconds of a class's arrival sequence
+/// (including the gap from the schedule start to the first arrival, which is
+/// also an exponential draw).
+fn mean_inter_arrival_secs(arrivals: &[SimDuration]) -> f64 {
+    assert!(!arrivals.is_empty());
+    arrivals.last().expect("non-empty").as_secs_f64() / arrivals.len() as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same seed, same rates → bit-identical schedule, sorted by arrival.
+    #[test]
+    fn schedule_is_deterministic_per_seed(
+        seed in any::<u64>(),
+        read_rate_x10 in 1u32..2_000,
+        write_rate_x10 in 1u32..2_000,
+        read_count in 1usize..40,
+        write_count in 1usize..40,
+    ) {
+        let load = MixedOpenLoop {
+            read_ops_per_sec: f64::from(read_rate_x10) / 10.0,
+            write_ops_per_sec: f64::from(write_rate_x10) / 10.0,
+            seed,
+        };
+        let a = load
+            .schedule(SimDuration::ZERO, reads(read_count), writes(write_count))
+            .expect("valid schedule");
+        let b = load
+            .schedule(SimDuration::ZERO, reads(read_count), writes(write_count))
+            .expect("valid schedule");
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), read_count + write_count);
+        prop_assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // Exactly the offered per-class counts survive the merge.
+        prop_assert_eq!(class_arrivals(&a, false).len(), read_count);
+        prop_assert_eq!(class_arrivals(&a, true).len(), write_count);
+        // A different seed produces a different interleave (with enough
+        // arrivals the probability of a collision is negligible; the stub
+        // RNG is deterministic, so this cannot flake).
+        let other = MixedOpenLoop { seed: seed ^ 1, ..load }
+            .schedule(SimDuration::ZERO, reads(read_count), writes(write_count))
+            .expect("valid schedule");
+        let same_arrivals = a
+            .iter()
+            .zip(&other)
+            .all(|(x, y)| x.arrival == y.arrival);
+        prop_assert!(
+            !same_arrivals || read_count + write_count < 3,
+            "different seeds must draw different arrival patterns"
+        );
+    }
+
+    /// Each class's arrival pattern depends only on its own rate and the
+    /// seed: sweeping the write rate leaves the read class untouched (and
+    /// vice versa) — the per-class Lindley-style sweep guarantee.
+    #[test]
+    fn classes_draw_independent_patterns(
+        seed in any::<u64>(),
+        read_rate_x10 in 1u32..2_000,
+        write_rate_a_x10 in 1u32..2_000,
+        write_rate_b_x10 in 1u32..2_000,
+    ) {
+        let base = MixedOpenLoop {
+            read_ops_per_sec: f64::from(read_rate_x10) / 10.0,
+            write_ops_per_sec: f64::from(write_rate_a_x10) / 10.0,
+            seed,
+        };
+        let swept = MixedOpenLoop {
+            write_ops_per_sec: f64::from(write_rate_b_x10) / 10.0,
+            ..base
+        };
+        let a = base
+            .schedule(SimDuration::ZERO, reads(24), writes(24))
+            .expect("valid schedule");
+        let b = swept
+            .schedule(SimDuration::ZERO, reads(24), writes(24))
+            .expect("valid schedule");
+        prop_assert_eq!(
+            class_arrivals(&a, false),
+            class_arrivals(&b, false),
+            "read arrivals must not move when the write rate is swept"
+        );
+    }
+
+    /// Per-class mean inter-arrival times converge to the configured rates:
+    /// with n exponential draws the sample mean concentrates around 1/rate
+    /// (standard error 1/(rate·√n)), so a 5-sigma band around the mean is a
+    /// sound statistical bound for the deterministic stub RNG.
+    #[test]
+    fn per_class_mean_inter_arrivals_converge(
+        seed in any::<u64>(),
+        read_rate_x10 in 5u32..1_000,
+        write_rate_x10 in 5u32..1_000,
+    ) {
+        const N: usize = 400;
+        let read_rate = f64::from(read_rate_x10) / 10.0;
+        let write_rate = f64::from(write_rate_x10) / 10.0;
+        let load = MixedOpenLoop {
+            read_ops_per_sec: read_rate,
+            write_ops_per_sec: write_rate,
+            seed,
+        };
+        let schedule = load
+            .schedule(SimDuration::ZERO, reads(N), writes(N))
+            .expect("valid schedule");
+        let tolerance = 5.0 / (N as f64).sqrt(); // 5 sigma, relative
+        for (want_writes, rate) in [(false, read_rate), (true, write_rate)] {
+            let arrivals = class_arrivals(&schedule, want_writes);
+            let mean = mean_inter_arrival_secs(&arrivals);
+            let expected = 1.0 / rate;
+            prop_assert!(
+                (mean - expected).abs() / expected < tolerance,
+                "class writes={want_writes}: mean inter-arrival {mean:.6}s vs \
+                 configured {expected:.6}s (tolerance {tolerance:.3})"
+            );
+        }
+    }
+}

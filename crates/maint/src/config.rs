@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::estimator::{FragObservation, FragRateEstimator};
+
 /// How the scheduler trades background maintenance against foreground
 /// latency.
 ///
@@ -51,6 +53,56 @@ pub enum MaintenancePolicy {
         /// start.
         min_idle_ms: f64,
     },
+    /// Rate-adaptive budgeting: the per-tick background budget is
+    /// proportional to the observed fragmentation *rate* (a windowed
+    /// derivative of the store's **excess** fragment count — fragments
+    /// above the contiguous minimum — estimated by
+    /// [`crate::FragRateEstimator`] from per-tick store observations), not
+    /// the fragmentation *level*.  Credit accrues at `gain × rate` I/O
+    /// units per tick (anti-windup capped) and is spent in chunks of up to
+    /// twice [`MaintenanceConfig::burst_io_per_tick`].
+    ///
+    /// The excess fragment count — not fragments/object, not the raw total
+    /// — is the right observable: its per-tick derivative is the workload's
+    /// per-op damage, independent of how many objects the store holds (a
+    /// gain tuned at one volume size transfers to another), and it stays
+    /// flat during bulk load, where the raw total grows by one perfectly
+    /// contiguous fragment per created object and would trigger phantom
+    /// repair.
+    ///
+    /// Because the estimator clamps at zero and reads exactly zero on a
+    /// frag-stable store, `Adaptive` spends nothing while nothing fragments
+    /// (degenerating to [`MaintenancePolicy::Idle`]) and ramps up only while
+    /// the workload is actively degrading the layout — which is what puts it
+    /// on or inside the fixed-budget latency/fragmentation frontier.
+    Adaptive {
+        /// Proportionality constant: background I/O units granted per unit
+        /// of fragmentation rate (total fragments per tick).  Must be
+        /// positive and finite.
+        gain: f64,
+    },
+    /// Substrate-aware idle-gap filling: like
+    /// [`MaintenancePolicy::IdleDetect`], maintenance runs only inside
+    /// observed idle gaps of at least `min_idle_ms` — but ghost release on
+    /// substrates with an eager-cleanup pathology (the database's
+    /// lowest-first reuse; see [`crate::MaintSubstrate`]) is *deferred* until
+    /// the backlog has aged `defer_ghost_ticks` scheduler ticks, then
+    /// drained in bulk.  Compaction and checkpointing still run in every
+    /// gap on both substrates.
+    ///
+    /// This kills the recorded idle-detect pathology: gap-filling kept the
+    /// filesystem perfectly contiguous but reclaimed the database's ghost
+    /// pages almost as fast as they appeared, feeding low-offset holes
+    /// straight into lowest-first reuse.  Holding the backlog keeps released
+    /// space arriving in rare bulk drops instead.
+    SubstrateAware {
+        /// Minimum idle gap (simulated milliseconds) before maintenance may
+        /// start.  Must be positive and finite.
+        min_idle_ms: f64,
+        /// Scheduler ticks a non-empty ghost backlog must age before it may
+        /// be released on deferring substrates.  Must be at least 1.
+        defer_ghost_ticks: u64,
+    },
 }
 
 impl MaintenancePolicy {
@@ -61,6 +113,8 @@ impl MaintenancePolicy {
             MaintenancePolicy::FixedBudget { .. } => "fixed-budget",
             MaintenancePolicy::Threshold { .. } => "threshold",
             MaintenancePolicy::IdleDetect { .. } => "idle-detect",
+            MaintenancePolicy::Adaptive { .. } => "adaptive",
+            MaintenancePolicy::SubstrateAware { .. } => "substrate-aware",
         }
     }
 
@@ -77,6 +131,13 @@ impl MaintenancePolicy {
             }
             MaintenancePolicy::IdleDetect { min_idle_ms } => {
                 format!("idle-detect({min_idle_ms:.1} ms)")
+            }
+            MaintenancePolicy::Adaptive { gain } => format!("adaptive(gain {gain:.0})"),
+            MaintenancePolicy::SubstrateAware {
+                min_idle_ms,
+                defer_ghost_ticks,
+            } => {
+                format!("substrate-aware({min_idle_ms:.1} ms, defer {defer_ghost_ticks})")
             }
         }
     }
@@ -99,9 +160,15 @@ pub struct MaintenanceConfig {
     /// Ticks between ghost-cleanup runs.
     pub ghost_cleanup_every_ticks: u64,
     /// Background I/O units per tick granted while a
-    /// [`MaintenancePolicy::Threshold`] policy is engaged, and the slice size
-    /// the idle-detect policy spends per idle-gap slice.
+    /// [`MaintenancePolicy::Threshold`] policy is engaged, the slice size
+    /// the idle-detect and substrate-aware policies spend per idle-gap
+    /// slice, and the per-tick cap on [`MaintenancePolicy::Adaptive`]'s
+    /// rate-proportional budget.
     pub burst_io_per_tick: u64,
+    /// Window (in scheduler ticks) over which the
+    /// [`MaintenancePolicy::Adaptive`] policy's fragmentation-rate estimator
+    /// smooths its derivative.
+    pub frag_window_ticks: u64,
     /// Who drives the scheduler.  `false` (the default) is the store-attached
     /// serial drive: the store ticks the scheduler after every mutating
     /// operation and charges all background time to its own foreground clock
@@ -126,6 +193,7 @@ impl MaintenanceConfig {
             checkpoint_every_ticks: 2,
             ghost_cleanup_every_ticks: 8,
             burst_io_per_tick: 512,
+            frag_window_ticks: 4,
             server_driven: false,
         }
     }
@@ -152,6 +220,24 @@ impl MaintenanceConfig {
         MaintenanceConfig::new(MaintenancePolicy::IdleDetect { min_idle_ms }).with_server_drive()
     }
 
+    /// Rate-adaptive budgeting: `gain` background I/O units per tick per
+    /// unit of observed fragmentation rate (see
+    /// [`MaintenancePolicy::Adaptive`]).
+    pub fn adaptive(gain: f64) -> Self {
+        MaintenanceConfig::new(MaintenancePolicy::Adaptive { gain })
+    }
+
+    /// Substrate-aware idle-gap filling with deferred ghost release
+    /// (server-driven by construction, like
+    /// [`MaintenanceConfig::idle_detect`]).
+    pub fn substrate_aware(min_idle_ms: f64, defer_ghost_ticks: u64) -> Self {
+        MaintenanceConfig::new(MaintenancePolicy::SubstrateAware {
+            min_idle_ms,
+            defer_ghost_ticks,
+        })
+        .with_server_drive()
+    }
+
     /// Hands the scheduler drive to the queueing-aware request scheduler
     /// (see [`MaintenanceConfig::server_driven`]).
     pub fn with_server_drive(mut self) -> Self {
@@ -163,25 +249,59 @@ impl MaintenanceConfig {
     /// policy — the single definition both drives (the serial store-attached
     /// scheduler and the request scheduler) use, so the two cannot drift.
     ///
-    /// `fragments_per_object` is a closure because measuring it is an
+    /// `observe` is a closure because measuring fragmentation is an
     /// O(objects) walk; it is only invoked for the policies that need it
-    /// ([`MaintenancePolicy::Threshold`]).  [`MaintenancePolicy::Idle`] and
-    /// [`MaintenancePolicy::IdleDetect`] grant no per-tick budget (the
-    /// latter spends its budget in observed idle gaps instead).
-    pub fn tick_budget_bytes(&self, fragments_per_object: impl FnOnce() -> f64) -> u64 {
+    /// ([`MaintenancePolicy::Threshold`] and [`MaintenancePolicy::Adaptive`],
+    /// which additionally feeds the observation into the caller's
+    /// `estimator`).  [`MaintenancePolicy::Idle`],
+    /// [`MaintenancePolicy::IdleDetect`] and
+    /// [`MaintenancePolicy::SubstrateAware`] grant no per-tick budget (the
+    /// latter two spend their budgets in observed idle gaps instead).
+    pub fn tick_budget_bytes(
+        &self,
+        estimator: &mut FragRateEstimator,
+        observe: impl FnOnce() -> FragObservation,
+    ) -> u64 {
         match self.policy {
-            MaintenancePolicy::Idle | MaintenancePolicy::IdleDetect { .. } => 0,
+            MaintenancePolicy::Idle
+            | MaintenancePolicy::IdleDetect { .. }
+            | MaintenancePolicy::SubstrateAware { .. } => 0,
             MaintenancePolicy::FixedBudget { io_per_tick } => {
                 io_per_tick.saturating_mul(self.io_unit_bytes)
             }
             MaintenancePolicy::Threshold { frag_per_object } => {
-                if fragments_per_object() > frag_per_object {
+                if observe().per_object > frag_per_object {
                     self.burst_io_per_tick.saturating_mul(self.io_unit_bytes)
                 } else {
                     0
                 }
             }
+            MaintenancePolicy::Adaptive { gain } => {
+                estimator.observe(observe().excess as f64);
+                // Integrate rate-proportional credit, spend it in chunks:
+                // dribbling one unit per tick would pay full positioning
+                // overhead per slice, and banking unbounded debt (no
+                // anti-windup cap) would keep the policy paying long after
+                // the store stabilised — either failure mode falls off the
+                // fixed-budget frontier.
+                let burst = self.burst_io_per_tick.max(1);
+                estimator.accrue_credit(gain * estimator.rate_per_tick(), 2.0 * burst as f64);
+                let chunk = (burst as f64 / 8.0).max(1.0);
+                // A tick may spend the whole bank (up to the anti-windup
+                // cap): while fragmentation grows fast a high gain repairs
+                // as hard as the largest fixed budget, and the moment the
+                // rate drops the spending follows it down.
+                estimator
+                    .take_credit(chunk, burst.saturating_mul(2))
+                    .saturating_mul(self.io_unit_bytes)
+            }
         }
+    }
+
+    /// A fresh fragmentation-rate estimator sized to this configuration's
+    /// window, for a drive that owns the per-tick observation loop.
+    pub fn frag_rate_estimator(&self) -> FragRateEstimator {
+        FragRateEstimator::new(self.frag_window_ticks)
     }
 
     /// Validates internal consistency.
@@ -201,11 +321,34 @@ impl MaintenanceConfig {
             }
         }
         if let MaintenancePolicy::IdleDetect { min_idle_ms } = self.policy {
-            if !min_idle_ms.is_finite() || min_idle_ms < 0.0 {
-                return Err("idle-detect gap must be finite and non-negative");
+            // A zero gap would declare the spindle "idle" at every instant
+            // between two back-to-back requests and fill it with maintenance
+            // — the policy would degenerate to an unbounded eager drive.
+            if !min_idle_ms.is_finite() || min_idle_ms <= 0.0 {
+                return Err("idle-detect gap must be finite and positive");
             }
             if !self.server_driven {
                 return Err("idle-detect requires the server-driven scheduler drive");
+            }
+        }
+        if let MaintenancePolicy::Adaptive { gain } = self.policy {
+            if !gain.is_finite() || gain <= 0.0 {
+                return Err("adaptive gain must be finite and positive");
+            }
+        }
+        if let MaintenancePolicy::SubstrateAware {
+            min_idle_ms,
+            defer_ghost_ticks,
+        } = self.policy
+        {
+            if !min_idle_ms.is_finite() || min_idle_ms <= 0.0 {
+                return Err("substrate-aware idle gap must be finite and positive");
+            }
+            if defer_ghost_ticks == 0 {
+                return Err("substrate-aware ghost deferral must be at least one tick");
+            }
+            if !self.server_driven {
+                return Err("substrate-aware requires the server-driven scheduler drive");
             }
         }
         Ok(())
@@ -241,6 +384,22 @@ mod tests {
         }
         .label()
         .contains("1.25"));
+        assert_eq!(
+            MaintenancePolicy::Adaptive { gain: 256.0 }.name(),
+            "adaptive"
+        );
+        assert_eq!(
+            MaintenancePolicy::Adaptive { gain: 256.0 }.label(),
+            "adaptive(gain 256)"
+        );
+        let aware = MaintenancePolicy::SubstrateAware {
+            min_idle_ms: 5.0,
+            defer_ghost_ticks: 12,
+        };
+        assert_eq!(aware.name(), "substrate-aware");
+        assert!(aware.label().contains("defer 12"));
+        assert!(MaintenanceConfig::substrate_aware(5.0, 12).server_driven);
+        assert!(!MaintenanceConfig::adaptive(256.0).server_driven);
     }
 
     #[test]
@@ -264,11 +423,91 @@ mod tests {
 
         assert!(MaintenanceConfig::idle_detect(f64::NAN).validate().is_err());
         assert!(MaintenanceConfig::idle_detect(-1.0).validate().is_err());
+        // A zero gap would fill every inter-request instant with maintenance.
+        assert!(MaintenanceConfig::idle_detect(0.0).validate().is_err());
         assert!(MaintenanceConfig::idle_detect(5.0).validate().is_ok());
         // Idle detection is meaningless without the request scheduler.
         let mut config = MaintenanceConfig::idle_detect(5.0);
         config.server_driven = false;
         assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_adaptive_gains() {
+        assert!(MaintenanceConfig::adaptive(0.0).validate().is_err());
+        assert!(MaintenanceConfig::adaptive(-4.0).validate().is_err());
+        assert!(MaintenanceConfig::adaptive(f64::NAN).validate().is_err());
+        assert!(MaintenanceConfig::adaptive(f64::INFINITY)
+            .validate()
+            .is_err());
+        assert!(MaintenanceConfig::adaptive(256.0).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_substrate_aware_parameters() {
+        assert!(MaintenanceConfig::substrate_aware(0.0, 8)
+            .validate()
+            .is_err());
+        assert!(MaintenanceConfig::substrate_aware(-2.0, 8)
+            .validate()
+            .is_err());
+        assert!(MaintenanceConfig::substrate_aware(f64::NAN, 8)
+            .validate()
+            .is_err());
+        assert!(MaintenanceConfig::substrate_aware(5.0, 0)
+            .validate()
+            .is_err());
+        assert!(MaintenanceConfig::substrate_aware(5.0, 8)
+            .validate()
+            .is_ok());
+        // Gap filling is meaningless without the request scheduler.
+        let mut config = MaintenanceConfig::substrate_aware(5.0, 8);
+        config.server_driven = false;
+        assert!(config.validate().is_err());
+    }
+
+    /// A fragmentation observation of a synthetic 100-object store.
+    fn observed(per_object: f64) -> FragObservation {
+        FragObservation {
+            per_object,
+            excess: ((per_object - 1.0).max(0.0) * 100.0) as u64,
+        }
+    }
+
+    #[test]
+    fn adaptive_budget_follows_the_estimated_rate() {
+        let config = MaintenanceConfig::adaptive(2.0);
+        let mut estimator = config.frag_rate_estimator();
+        // First observation: no derivative yet, so no budget.
+        assert_eq!(
+            config.tick_budget_bytes(&mut estimator, || observed(1.0)),
+            0
+        );
+        // Total fragments grow by 50/tick: credit = 2 × 50 = 100 units,
+        // above the spending chunk (burst/8 = 64), so it is spent at once.
+        let budget = config.tick_budget_bytes(&mut estimator, || observed(1.5));
+        assert_eq!(budget, 100 * config.io_unit_bytes);
+        // A frag-stable store degenerates to idle: eventually zero budget.
+        let mut last = budget;
+        for _ in 0..config.frag_window_ticks + 1 {
+            last = config.tick_budget_bytes(&mut estimator, || observed(1.5));
+        }
+        assert_eq!(last, 0, "stable fragmentation must spend nothing");
+    }
+
+    #[test]
+    fn gap_filling_policies_grant_no_per_tick_budget() {
+        for config in [
+            MaintenanceConfig::idle_detect(5.0),
+            MaintenanceConfig::substrate_aware(5.0, 8),
+            MaintenanceConfig::idle(),
+        ] {
+            let mut estimator = config.frag_rate_estimator();
+            assert_eq!(
+                config.tick_budget_bytes(&mut estimator, || panic!("must not be measured")),
+                0
+            );
+        }
     }
 
     #[test]

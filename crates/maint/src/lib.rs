@@ -35,6 +35,16 @@
 //!     tick, shared by the queue in order.
 //!   * [`MaintenancePolicy::Threshold`] — no I/O while fragments/object is
 //!     at or below the threshold; bursts once it is exceeded.
+//!   * [`MaintenancePolicy::Adaptive`] — the budget is proportional to the
+//!     observed fragmentation *rate* (a windowed derivative of the excess
+//!     fragment count from [`FragRateEstimator`]), so a frag-stable store
+//!     spends nothing and an actively degrading one ramps up automatically.
+//!   * [`MaintenancePolicy::IdleDetect`] /
+//!     [`MaintenancePolicy::SubstrateAware`] — gap-filling policies for the
+//!     queueing-aware request-scheduler drive; the substrate-aware variant
+//!     additionally defers ghost release on eager-reuse substrates
+//!     ([`MaintSubstrate::EagerReuse`]) until the backlog has aged, killing
+//!     the eager-cleanup pathology.
 //!
 //!   Because the simulated disk is a single spindle, every byte of granted
 //!   background I/O is returned to the caller as *foreground interference*
@@ -61,6 +71,9 @@
 //!     }
 //!     fn fragments_per_object(&self) -> f64 {
 //!         self.frags
+//!     }
+//!     fn excess_fragments(&self) -> u64 {
+//!         ((self.frags - 1.0) * 100.0) as u64
 //!     }
 //!     fn ghost_cleanup(&mut self, _budget_bytes: u64) -> MaintIo {
 //!         self.ghost_bytes = 0;
@@ -95,12 +108,14 @@
 #![warn(rust_2018_idioms)]
 
 mod config;
+mod estimator;
 mod scheduler;
 mod task;
 
 pub use config::{MaintenanceConfig, MaintenancePolicy};
+pub use estimator::{FragObservation, FragRateEstimator, GhostBacklogClock};
 pub use scheduler::{MaintenanceScheduler, MaintenanceStats, TaskStats};
 pub use task::{
-    CheckpointTask, GhostCleanupTask, IncrementalDefragTask, MaintIo, MaintTarget, MaintenanceTask,
-    TaskKind,
+    CheckpointTask, GhostCleanupTask, IncrementalDefragTask, MaintIo, MaintSubstrate, MaintTarget,
+    MaintenanceTask, TaskKind,
 };

@@ -3,10 +3,11 @@
 use lor_disksim::{SimClock, SimDuration};
 use serde::{Deserialize, Serialize};
 
-use crate::config::MaintenanceConfig;
+use crate::config::{MaintenanceConfig, MaintenancePolicy};
+use crate::estimator::{FragObservation, FragRateEstimator, GhostBacklogClock};
 use crate::task::{
-    CheckpointTask, GhostCleanupTask, IncrementalDefragTask, MaintIo, MaintTarget, MaintenanceTask,
-    TaskKind,
+    CheckpointTask, GhostCleanupTask, IncrementalDefragTask, MaintIo, MaintSubstrate, MaintTarget,
+    MaintenanceTask, TaskKind,
 };
 
 /// Per-task accounting.
@@ -75,6 +76,12 @@ pub struct MaintenanceScheduler {
     ops_since_tick: u64,
     tick: u64,
     stats: MaintenanceStats,
+    /// Fragmentation-rate estimator feeding the `Adaptive` policy's budget
+    /// (observes once per tick; unused by the other policies).
+    estimator: FragRateEstimator,
+    /// Backlog-age hysteresis for the `SubstrateAware` policy's deferred
+    /// ghost release on eager-reuse substrates.
+    ghost_clock: GhostBacklogClock,
 }
 
 impl std::fmt::Debug for MaintenanceScheduler {
@@ -115,12 +122,14 @@ impl MaintenanceScheduler {
     /// tick).
     pub fn with_tasks(config: MaintenanceConfig, tasks: Vec<Box<dyn MaintenanceTask>>) -> Self {
         MaintenanceScheduler {
+            estimator: config.frag_rate_estimator(),
             config,
             clock: SimClock::new(),
             tasks,
             ops_since_tick: 0,
             tick: 0,
             stats: MaintenanceStats::default(),
+            ghost_clock: GhostBacklogClock::new(),
         }
     }
 
@@ -168,12 +177,16 @@ impl MaintenanceScheduler {
 
         // The policy-to-budget mapping is shared with the request
         // scheduler's drive (`MaintenanceConfig::tick_budget_bytes`).  Idle
-        // detection needs a request scheduler to observe gaps; the serial
-        // store-attached drive has none, so that policy grants nothing here
-        // (the server drives it via `run_budgeted_slice`).
+        // detection (and its substrate-aware refinement) needs a request
+        // scheduler to observe gaps; the serial store-attached drive has
+        // none, so those policies grant nothing here (the server drives
+        // them via `run_budgeted_slice`).
         let budget_bytes = self
             .config
-            .tick_budget_bytes(|| target.fragments_per_object());
+            .tick_budget_bytes(&mut self.estimator, || FragObservation {
+                per_object: target.fragments_per_object(),
+                excess: target.excess_fragments(),
+            });
         if budget_bytes == 0 {
             return SimDuration::ZERO;
         }
@@ -199,15 +212,38 @@ impl MaintenanceScheduler {
         self.run_queue(target, budget_bytes)
     }
 
+    /// Whether ghost release is allowed at this tick.  Always true except
+    /// under [`MaintenancePolicy::SubstrateAware`] on an eager-reuse
+    /// substrate, where a non-empty backlog is held until it has aged
+    /// `defer_ghost_ticks` ticks and is then drained in bulk — the hysteresis
+    /// that kills the recorded eager-cleanup pathology.
+    fn ghost_release_allowed(&mut self, target: &dyn MaintTarget) -> bool {
+        let MaintenancePolicy::SubstrateAware {
+            defer_ghost_ticks, ..
+        } = self.config.policy
+        else {
+            return true;
+        };
+        if target.substrate() != MaintSubstrate::EagerReuse {
+            return true;
+        }
+        self.ghost_clock
+            .release_allowed(self.tick, target.reclaimable_bytes(), defer_ghost_ticks)
+    }
+
     /// Spends `budget_bytes` on the task queue in order and accounts the I/O.
     fn run_queue(&mut self, target: &mut dyn MaintTarget, mut budget_bytes: u64) -> MaintIo {
         let mut total = MaintIo::NONE;
+        let ghost_allowed = self.ghost_release_allowed(target);
         // The queue is detached while running so task bookkeeping can borrow
         // the stats mutably.
         let mut tasks = std::mem::take(&mut self.tasks);
         for task in &mut tasks {
             if budget_bytes == 0 {
                 break;
+            }
+            if task.kind() == TaskKind::GhostCleanup && !ghost_allowed {
+                continue;
             }
             if !task.due(self.tick, target) {
                 continue;
@@ -226,6 +262,11 @@ impl MaintenanceScheduler {
             total = total.combined(&io);
         }
         self.tasks = tasks;
+        // Re-observe the backlog after the queue ran: a drain that empties
+        // the backlog on this very tick must re-arm the deferral clock now,
+        // not when some later slice happens to observe zero — otherwise the
+        // lingering draining flag releases the *next* backlog with no hold.
+        let _ = self.ghost_release_allowed(target);
         self.clock.advance(total.time);
         total
     }
@@ -245,6 +286,7 @@ mod tests {
         checkpoints: u64,
         defrag_steps: u64,
         last_defrag_budget: u64,
+        substrate: MaintSubstrate,
     }
 
     impl FakeStore {
@@ -256,6 +298,7 @@ mod tests {
                 checkpoints: 0,
                 defrag_steps: 0,
                 last_defrag_budget: 0,
+                substrate: MaintSubstrate::DeferredReuse,
             }
         }
 
@@ -266,11 +309,18 @@ mod tests {
     }
 
     impl MaintTarget for FakeStore {
+        fn substrate(&self) -> MaintSubstrate {
+            self.substrate
+        }
         fn reclaimable_bytes(&self) -> u64 {
             self.ghost_bytes
         }
         fn fragments_per_object(&self) -> f64 {
             self.frags
+        }
+        fn excess_fragments(&self) -> u64 {
+            // A synthetic 100-object store: the excess tracks the mean.
+            ((self.frags - 1.0).max(0.0) * 100.0) as u64
         }
         fn ghost_cleanup(&mut self, _budget_bytes: u64) -> MaintIo {
             self.cleanups += 1;
@@ -373,6 +423,80 @@ mod tests {
         let interference = drive(&mut scheduler, &mut store, 64);
         assert_eq!(interference, SimDuration::ZERO);
         assert_eq!(store.cleanups + store.checkpoints + store.defrag_steps, 0);
+    }
+
+    #[test]
+    fn adaptive_policy_spends_only_while_fragmentation_grows() {
+        let mut store = FakeStore::new();
+        // 0.1 frags/op ≈ 0.8 frags/tick of growth; gain 100 buys ~80 units.
+        let mut scheduler = MaintenanceScheduler::new(MaintenanceConfig::adaptive(100.0));
+        let growing = drive(&mut scheduler, &mut store, 64);
+        assert!(
+            growing > SimDuration::ZERO,
+            "a fragmenting store must trigger adaptive work"
+        );
+        assert!(store.defrag_steps > 0);
+        // Pin the store frag-stable: after the estimator's window slides past
+        // the growth, the budget decays to zero and the policy is idle.
+        store.frags = 1.0;
+        let mut quiet = SimDuration::ZERO;
+        for _ in 0..scheduler.config().frag_window_ticks + 1 {
+            for _ in 0..8 {
+                quiet = scheduler.on_foreground_op(SimDuration::from_millis(5), &mut store);
+            }
+        }
+        assert_eq!(
+            quiet,
+            SimDuration::ZERO,
+            "a frag-stable store must degenerate to idle"
+        );
+    }
+
+    #[test]
+    fn substrate_aware_defers_ghost_release_on_eager_reuse_substrates() {
+        let mut config = MaintenanceConfig::substrate_aware(5.0, 3);
+        config.ghost_cleanup_every_ticks = 1;
+        config.checkpoint_every_ticks = 1;
+
+        // Eager-reuse substrate: the backlog is held for 3 ticks.
+        let mut store = FakeStore::new();
+        store.substrate = MaintSubstrate::EagerReuse;
+        store.ghost_bytes = 64 * 1024;
+        let mut scheduler = MaintenanceScheduler::new(config);
+        for tick in 1..=3u64 {
+            scheduler.run_budgeted_slice(&mut store, 1 << 20);
+            assert_eq!(
+                store.cleanups, 0,
+                "tick {tick}: ghost release must be deferred"
+            );
+            assert!(
+                store.checkpoints >= tick,
+                "tick {tick}: checkpoints still run in every gap"
+            );
+        }
+        scheduler.run_budgeted_slice(&mut store, 1 << 20);
+        assert_eq!(store.cleanups, 1, "aged backlog drains in bulk");
+        assert_eq!(store.reclaimable_bytes(), 0);
+        // The drain completed on that slice, so the clock re-arms
+        // immediately: a fresh backlog must be held for the full deferral
+        // again, even though no intervening slice observed the empty state.
+        store.ghost_bytes = 64 * 1024;
+        for tick in 1..=3u64 {
+            scheduler.run_budgeted_slice(&mut store, 1 << 20);
+            assert_eq!(
+                store.cleanups, 1,
+                "re-armed hold, tick {tick}: the new backlog must be deferred"
+            );
+        }
+        scheduler.run_budgeted_slice(&mut store, 1 << 20);
+        assert_eq!(store.cleanups, 2, "the re-aged backlog drains again");
+
+        // Deferred-reuse substrate: no hold, cleanup runs immediately.
+        let mut store = FakeStore::new();
+        store.ghost_bytes = 64 * 1024;
+        let mut scheduler = MaintenanceScheduler::new(config);
+        scheduler.run_budgeted_slice(&mut store, 1 << 20);
+        assert_eq!(store.cleanups, 1, "deferred-reuse substrates never hold");
     }
 
     #[test]

@@ -43,12 +43,38 @@ impl MaintIo {
     }
 }
 
+/// How a substrate reacts to having its reclaimed space released eagerly —
+/// the distinction the [`crate::MaintenancePolicy::SubstrateAware`] policy
+/// keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MaintSubstrate {
+    /// Deferred-reuse substrates (the NTFS-like volume): freed space is
+    /// quarantined until a checkpoint anyway, so eager release is harmless
+    /// and gap-filling maintenance may run everything.
+    DeferredReuse,
+    /// Eager-reuse substrates (the SQL-Server-like engine's lowest-first
+    /// page reuse): releasing ghost space the moment it appears feeds the
+    /// allocator low-offset holes and *accelerates* interleaving — the
+    /// recorded eager-cleanup pathology.  Ghost release should be deferred
+    /// and batched.
+    EagerReuse,
+}
+
 /// What a storage substrate must expose to be maintained by the scheduler.
 ///
 /// `lor-core` implements this for both object stores (the NTFS-like volume
 /// and the SQL-Server-like engine); the methods map onto each substrate's
 /// native mechanisms and cost their I/O with the substrate's own disk model.
 pub trait MaintTarget {
+    /// How this substrate reacts to eager space release.  Defaults to
+    /// [`MaintSubstrate::DeferredReuse`] (no pathology, nothing to defer);
+    /// substrates whose allocator immediately recycles freed space should
+    /// override this so the [`crate::MaintenancePolicy::SubstrateAware`]
+    /// policy can hold their ghost backlog.
+    fn substrate(&self) -> MaintSubstrate {
+        MaintSubstrate::DeferredReuse
+    }
+
     /// Bytes of space that a cleanup pass could make reusable (ghost pages
     /// for the database, pending-free clusters for the filesystem).
     fn reclaimable_bytes(&self) -> u64;
@@ -56,6 +82,15 @@ pub trait MaintTarget {
     /// Current mean fragments per live object (the paper's headline metric),
     /// consulted by threshold policies.
     fn fragments_per_object(&self) -> f64;
+
+    /// Current count of **excess** fragments across all live objects —
+    /// total fragments minus the live object count, i.e. fragments above
+    /// the contiguous minimum.  Consulted by the rate-adaptive policy: its
+    /// per-tick derivative is the workload's per-op *damage*, independent
+    /// of population size, and — unlike the raw total — it does not grow
+    /// during bulk load, where every created object adds one (perfectly
+    /// contiguous) fragment (see [`crate::MaintenancePolicy::Adaptive`]).
+    fn excess_fragments(&self) -> u64;
 
     /// Reclaims ghost space (the database's asynchronous ghost cleanup; a
     /// no-op for substrates whose reclamation happens at checkpoint),
@@ -191,6 +226,9 @@ mod tests {
         fn fragments_per_object(&self) -> f64 {
             1.0
         }
+        fn excess_fragments(&self) -> u64 {
+            0
+        }
         fn ghost_cleanup(&mut self, _budget_bytes: u64) -> MaintIo {
             MaintIo::NONE
         }
@@ -231,6 +269,9 @@ mod tests {
             }
             fn fragments_per_object(&self) -> f64 {
                 1.0
+            }
+            fn excess_fragments(&self) -> u64 {
+                0
             }
             fn ghost_cleanup(&mut self, _budget_bytes: u64) -> MaintIo {
                 MaintIo::NONE

@@ -3,8 +3,9 @@
 
 use lorepo::core::lor_disksim::SimDuration;
 use lorepo::core::{
-    analyze_store, compare_systems, run_aging_experiment, AllocationPolicy, ExperimentConfig,
-    FitPolicy, LatencySummary, OpenLoop, SizeDistribution, StoreKind, StoreServer, WorkloadOp,
+    analyze_store, compare_systems, measure_mixed_load, run_aging_experiment, AllocationPolicy,
+    ExperimentConfig, FitPolicy, LatencySummary, OpenLoop, Series, SizeDistribution, StoreKind,
+    StoreServer, WorkloadOp,
 };
 
 const MB: u64 = 1 << 20;
@@ -431,6 +432,234 @@ fn idle_detect_buys_fixed_budget_fragmentation_at_lower_tail_latency() {
         witnessed,
         "idle-detect should beat fixed-budget's p99 at comparable steady-state \
          fragmentation on at least one store"
+    );
+}
+
+/// The mixed-sweep acceptance scenario: open-loop read + safe-write arrivals
+/// against an aged store show a **write-fraction-dependent hockey-stick
+/// shift** — at the same nominal utilisation (calibrated per mix on a twin
+/// store) the write-heavy mix's tail sits measurably apart from the
+/// pure-read mix's, because the write class rewrites the layout while the
+/// measurement runs.  The *direction* of the shift is scale-dependent
+/// (downward at this miniature fixture, where open-loop rewrites heal the
+/// batch-aged layout; upward at report scale, recorded in EXPERIMENTS.md),
+/// so the assertion pins the magnitude, not the sign.
+#[test]
+fn mixed_sweep_hockey_stick_shifts_with_write_fraction() {
+    let config = mini(MB, 96 * MB);
+    let (low, high) = (0.3, 0.9);
+    for kind in [StoreKind::Filesystem, StoreKind::Database] {
+        let mut p99 = std::collections::BTreeMap::new();
+        let mut growth = std::collections::BTreeMap::new();
+        for write_fraction in [0.0, 0.5] {
+            for utilisation in [low, high] {
+                let point =
+                    measure_mixed_load(kind, &config, 2, write_fraction, utilisation, 48).unwrap();
+                let key = (
+                    (write_fraction * 100.0) as u32,
+                    (utilisation * 100.0) as u32,
+                );
+                p99.insert(key, point.all.p99_ms);
+                growth.insert(key, point.fragments_after - point.fragments_before);
+            }
+        }
+        // The hockey stick: each mix's p99 rises with offered load.
+        for write_fraction in [0u32, 50] {
+            assert!(
+                p99[&(write_fraction, 90)] >= p99[&(write_fraction, 30)],
+                "{kind:?}/{write_fraction}% writes: p99 must not improve under load \
+                 ({:.1} -> {:.1} ms)",
+                p99[&(write_fraction, 30)],
+                p99[&(write_fraction, 90)]
+            );
+        }
+        // The shift: at the same nominal utilisation (capacity calibrated
+        // per mix on a bit-identical twin store) the write-heavy mix's
+        // high-load tail sits measurably apart from the pure-read mix's.
+        // At this scale the shift is *downward* on both substrates — the
+        // aged store was fragmented by 4-way interleaved overwrite batches,
+        // and the sweep's open-loop single-stream rewrites land in fresher
+        // runs than the objects they replace — which is itself the
+        // fragmentation/measurement interaction: the write class rewrites
+        // the layout mid-sweep and the read class observes it.
+        let shift = p99[&(50, 90)] / p99[&(0, 90)];
+        assert!(
+            (shift - 1.0).abs() > 0.02,
+            "{kind:?}: the write fraction must shift the high-load tail \
+             measurably ({:.1} vs {:.1} ms)",
+            p99[&(50, 90)],
+            p99[&(0, 90)]
+        );
+        // The interaction: the write class moves the layout during the
+        // measurement; the pure-read sweep cannot.
+        assert_eq!(
+            growth[&(0, 30)],
+            0.0,
+            "{kind:?}: reads must not move the layout"
+        );
+        assert_eq!(
+            growth[&(0, 90)],
+            0.0,
+            "{kind:?}: reads must not move the layout"
+        );
+        assert!(
+            growth[&(50, 90)].abs() > 1e-9,
+            "{kind:?}: the write class must move the layout during the sweep"
+        );
+    }
+}
+
+/// The adaptive-frontier acceptance scenario: on **both** substrates the
+/// rate-adaptive policy's (fragments/object, foreground latency) operating
+/// point lands on or inside the frontier traced by the `FixedBudget` sweep —
+/// no fixed budget strictly beats it in both coordinates.  Rate-proportional
+/// spending buys fragmentation repair while the store degrades and stops
+/// paying once it stabilises, which a fixed budget cannot do: on the
+/// database `adaptive(64)` reaches `fixed-budget(1024)`'s steady-state
+/// fragmentation at measurably lower foreground latency and ~25% less
+/// background I/O.
+///
+/// The volume is larger than the other e2e fixtures on purpose: below ~100
+/// objects the database's free-pool effects make the fixed frontier itself
+/// non-monotone (the recorded "small budget worse than idle" pocket), and
+/// no budget policy — fixed or adaptive — behaves comparably there.
+#[test]
+fn adaptive_lands_on_or_inside_the_fixed_budget_frontier() {
+    use lorepo::core::MaintenanceConfig;
+
+    let ages = [4u32];
+    for kind in [StoreKind::Filesystem, StoreKind::Database] {
+        let base = mini(2 * MB, 512 * MB);
+        let mut frontier_points = Vec::new();
+        for budget in [0u64, 64, 256, 1024] {
+            let run = run_aging_experiment(
+                kind,
+                &base
+                    .clone()
+                    .with_maintenance(MaintenanceConfig::fixed_budget(budget)),
+                &ages,
+                false,
+            )
+            .unwrap();
+            let point = run.points.last().unwrap();
+            frontier_points.push((point.fragments_per_object, point.foreground_latency_ms));
+        }
+        let frontier = Series::frontier("fixed-budget", frontier_points);
+
+        let adaptive = run_aging_experiment(
+            kind,
+            &base
+                .clone()
+                .with_maintenance(MaintenanceConfig::adaptive(64.0)),
+            &ages,
+            false,
+        )
+        .unwrap();
+        let point = adaptive.points.last().unwrap();
+        assert!(
+            frontier.on_or_inside_frontier(
+                point.fragments_per_object,
+                point.foreground_latency_ms,
+                0.02
+            ),
+            "{kind:?}: adaptive ({:.2} frags, {:.1} ms) is strictly dominated by the \
+             fixed-budget frontier {:?}",
+            point.fragments_per_object,
+            point.foreground_latency_ms,
+            frontier.points
+        );
+    }
+}
+
+/// Regression pin for the DB eager-cleanup pathology (the PR 3 findings and
+/// the substrate-aware fix): on the database under a gap-filling workload,
+/// `IdleDetect` — which reclaims ghosts in every idle gap and feeds the
+/// engine's lowest-first reuse — must not beat `SubstrateAware` (deferred
+/// ghost release) on steady-state fragments/object at a comparable p99; and
+/// under the serial drive the fixed-budget family must stay monotone: small
+/// budgets no worse than idle on fragmentation, latency non-decreasing in
+/// budget.
+#[test]
+fn substrate_aware_pins_the_db_eager_cleanup_pathology() {
+    use lorepo::core::MaintenanceConfig;
+
+    let ages = [0u32, 2, 4];
+    let mut base = mini(2 * MB, 128 * MB);
+    base.concurrency = 3;
+    base.think_time_ms = 400.0;
+
+    let idle_detect = run_aging_experiment(
+        StoreKind::Database,
+        &base
+            .clone()
+            .with_maintenance(MaintenanceConfig::idle_detect(5.0)),
+        &ages,
+        false,
+    )
+    .unwrap();
+    let substrate_aware = run_aging_experiment(
+        StoreKind::Database,
+        &base
+            .clone()
+            .with_maintenance(MaintenanceConfig::substrate_aware(5.0, 24)),
+        &ages,
+        false,
+    )
+    .unwrap();
+
+    let id_aged = idle_detect.points.last().unwrap();
+    let sa_aged = substrate_aware.points.last().unwrap();
+    assert!(
+        sa_aged.background_time_s > 0.0,
+        "substrate-aware must still do background work in the gaps"
+    );
+    assert!(
+        id_aged.fragments_per_object >= sa_aged.fragments_per_object * 0.95,
+        "idle-detect ({:.2} frags) must not beat substrate-aware ({:.2} frags) \
+         on the database",
+        id_aged.fragments_per_object,
+        sa_aged.fragments_per_object
+    );
+    assert!(
+        sa_aged.latency_p99_ms <= id_aged.latency_p99_ms * 1.10,
+        "the fragmentation win must come at a comparable p99 \
+         ({:.1} vs {:.1} ms)",
+        sa_aged.latency_p99_ms,
+        id_aged.latency_p99_ms
+    );
+
+    // The serial-drive half of the earlier finding: fixed-budget latency is
+    // monotone in budget and a small budget is no longer worse than idle.
+    // (At the tiny 128 MB fixture the free-pool effects reopen the
+    // small-budget pocket for any policy, so this is pinned at the same
+    // 512 MB scale as the adaptive frontier.)
+    let serial = mini(2 * MB, 512 * MB);
+    let mut latencies = Vec::new();
+    let mut fragments = Vec::new();
+    for budget in [0u64, 64, 256, 1024] {
+        let run = run_aging_experiment(
+            StoreKind::Database,
+            &serial
+                .clone()
+                .with_maintenance(MaintenanceConfig::fixed_budget(budget)),
+            &[4],
+            false,
+        )
+        .unwrap();
+        let point = run.points.last().unwrap();
+        latencies.push(point.foreground_latency_ms);
+        fragments.push(point.fragments_per_object);
+    }
+    assert!(
+        latencies.windows(2).all(|w| w[1] >= w[0] * 0.98),
+        "DB foreground latency must stay monotone in budget: {latencies:?}"
+    );
+    assert!(
+        fragments[1] <= fragments[0] * 1.15,
+        "budget 64 must stay at least at parity with idle \
+         ({:.2} vs idle {:.2} frags)",
+        fragments[1],
+        fragments[0]
     );
 }
 
