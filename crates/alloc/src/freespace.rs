@@ -144,6 +144,66 @@ impl RunIndexMap {
             .collect()
     }
 
+    /// Free runs **clipped** to the band `[lo, hi)`, ascending by offset: a
+    /// run straddling a band edge contributes exactly the portion inside the
+    /// band.  This is the primitive behind the band-filtered placement
+    /// queries — a clipped run is always reservable, so a placement-aware
+    /// consumer can take the in-band part of a straddling run without
+    /// touching the part that belongs to the other band.
+    fn clipped_runs(&self, lo: u64, hi: u64) -> impl Iterator<Item = Extent> + '_ {
+        let head = self
+            .by_offset
+            .range(..lo)
+            .next_back()
+            .map(|(&start, &len)| Extent::new(start, len))
+            .filter(|run| run.end() > lo);
+        head.into_iter()
+            .chain(
+                self.by_offset
+                    .range(lo..hi)
+                    .map(|(&start, &len)| Extent::new(start, len)),
+            )
+            .filter_map(move |run| {
+                let start = run.start.max(lo);
+                let end = run.end().min(hi);
+                (end > start).then(|| Extent::new(start, end - start))
+            })
+    }
+
+    /// The lowest-offset free run of at least `len` clusters inside the band
+    /// `[lo, hi)` (runs clipped to the band).
+    pub fn first_fit_in(&self, len: u64, lo: u64, hi: u64) -> Option<Extent> {
+        self.clipped_runs(lo, hi).find(|run| run.len >= len)
+    }
+
+    /// The smallest free run of at least `len` clusters inside the band
+    /// `[lo, hi)`; ties broken by the lowest start offset.
+    pub fn best_fit_in(&self, len: u64, lo: u64, hi: u64) -> Option<Extent> {
+        self.clipped_runs(lo, hi)
+            .filter(|run| run.len >= len)
+            .min_by_key(|run| (run.len, run.start))
+    }
+
+    /// The largest free run inside the band `[lo, hi)` (runs clipped to the
+    /// band); ties broken by the highest start offset, matching
+    /// [`RunIndexMap::largest`].
+    pub fn largest_run_in(&self, lo: u64, hi: u64) -> Option<Extent> {
+        self.clipped_runs(lo, hi)
+            .max_by_key(|run| (run.len, run.start))
+    }
+
+    /// The largest free run of at most `max_len` clusters — the query behind
+    /// the `Reserve` placement variant, under which maintenance must leave
+    /// every run longer than the foreground watermark untouched.  Runs are
+    /// *not* clipped: a long run is reserved in its entirety, not nibbled
+    /// down to the cap.
+    pub fn largest_run_at_most(&self, max_len: u64) -> Option<Extent> {
+        self.by_size
+            .range(..=(max_len, u64::MAX))
+            .next_back()
+            .map(|&(run_len, start)| Extent::new(start, run_len))
+    }
+
     /// Internal: remove a run from both indexes.
     fn remove_run(&mut self, start: u64, len: u64) {
         self.by_offset.remove(&start);
@@ -506,6 +566,39 @@ mod tests {
         assert_eq!(map.run_at(35), Some(Extent::new(30, 60)));
         assert_eq!(map.run_at(25), None);
         assert_eq!(map.runs_in(0, 25), vec![Extent::new(10, 10)]);
+    }
+
+    #[test]
+    fn band_filtered_queries_clip_straddling_runs() {
+        let mut map = RunIndexMap::new_free(100);
+        map.reserve(Extent::new(0, 10)).unwrap(); // free: [10..100)
+        map.reserve(Extent::new(20, 10)).unwrap(); // free: [10..20), [30..100)
+        map.reserve(Extent::new(90, 10)).unwrap(); // free: [10..20), [30..90)
+
+        // The [30..90) run straddles a boundary at 50: each band sees its
+        // clipped half.
+        assert_eq!(map.largest_run_in(0, 50), Some(Extent::new(30, 20)));
+        assert_eq!(map.largest_run_in(50, 100), Some(Extent::new(50, 40)));
+        assert_eq!(map.first_fit_in(5, 0, 50), Some(Extent::new(10, 10)));
+        assert_eq!(map.first_fit_in(15, 0, 50), Some(Extent::new(30, 20)));
+        assert_eq!(map.first_fit_in(25, 0, 50), None);
+        assert_eq!(map.first_fit_in(25, 50, 100), Some(Extent::new(50, 40)));
+        // Best fit inside the low band prefers the snug [10..20) hole.
+        assert_eq!(map.best_fit_in(8, 0, 50), Some(Extent::new(10, 10)));
+        // An empty band sees nothing.
+        assert_eq!(map.largest_run_in(20, 30), None);
+        assert_eq!(map.first_fit_in(1, 20, 30), None);
+    }
+
+    #[test]
+    fn largest_run_at_most_respects_the_cap() {
+        let mut map = RunIndexMap::new_free(100);
+        map.reserve(Extent::new(0, 10)).unwrap();
+        map.reserve(Extent::new(20, 10)).unwrap(); // free: [10..20), [30..100)
+        assert_eq!(map.largest_run_at_most(100), Some(Extent::new(30, 70)));
+        assert_eq!(map.largest_run_at_most(69), Some(Extent::new(10, 10)));
+        assert_eq!(map.largest_run_at_most(10), Some(Extent::new(10, 10)));
+        assert_eq!(map.largest_run_at_most(9), None);
     }
 
     #[test]

@@ -13,9 +13,13 @@
 //!   survey the paper cites recommends: the classic fits
 //!   ([`FitPolicy`] / [`PolicyAllocator`]), the NTFS-style
 //!   [`RunCacheAllocator`], and the DTSS-style [`BuddyAllocator`].
-//! * The substrate-independent policy knob ([`AllocationPolicy`]) and the
+//! * The substrate-independent policy knobs — [`AllocationPolicy`] (which
+//!   free run a request is carved from) and [`PlacementPolicy`] (which
+//!   *region* of the space each consumer may draw from, separating
+//!   foreground writes from maintenance relocation) — and the
 //!   policy-selected allocator ([`SelectableAllocator`]) through which both
-//!   the filesystem and database substrates expose that knob to experiments.
+//!   the filesystem and database substrates expose those knobs to
+//!   experiments.
 //! * Fragmentation metrics: [`FragmentationSummary`] (fragments per object,
 //!   the paper's y-axis) and [`FreeSpaceReport`] (free-run histogram,
 //!   external fragmentation).
@@ -45,6 +49,7 @@ mod error;
 mod extent;
 mod freespace;
 mod metrics;
+mod placement;
 mod policy;
 mod runcache;
 mod select;
@@ -54,6 +59,7 @@ pub use error::AllocError;
 pub use extent::{Extent, ExtentListExt};
 pub use freespace::{BitmapMap, FreeSpace, RunIndexMap};
 pub use metrics::{FragmentationSummary, FreeSpaceReport};
+pub use placement::{PlacementConsumer, PlacementPolicy};
 pub use policy::{
     AllocRequest, AllocationPolicy, Allocator, Contiguity, FitPicker, FitPolicy, PolicyAllocator,
 };

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::AllocError;
 use crate::extent::Extent;
 use crate::freespace::{FreeSpace, RunIndexMap};
+use crate::placement::{PlacementConsumer, PlacementPolicy};
 
 /// How hard an allocation must try to be contiguous.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -116,19 +117,83 @@ impl FitPolicy {
         }
     }
 
-    /// Picks the free run this policy wants for a request of `len` clusters.
+    /// Picks the free run this policy wants for a request of `len` clusters
+    /// on behalf of `consumer`, under `placement`.
     ///
     /// This is the single shared policy implementation both substrates draw
     /// from: [`PolicyAllocator`] applies it at cluster granularity for the
     /// filesystem, and `lor-blobkit`'s GAM/allocation-unit layer applies it at
     /// extent and page granularity.  `cursor` is the roving pointer consulted
     /// (and only meaningful) for [`FitPolicy::NextFit`]; pass `0` otherwise.
-    pub fn pick(&self, map: &RunIndexMap, len: u64, cursor: u64) -> Option<Extent> {
+    ///
+    /// Placement semantics (see [`PlacementPolicy`]):
+    ///
+    /// * unconstrained consumers get the raw fit pick — bit-identical to the
+    ///   pre-placement behaviour;
+    /// * a banded consumer picks inside its band first (runs clipped to the
+    ///   band); the foreground spills to the raw pick when its band has no
+    ///   fitting run, maintenance refuses instead;
+    /// * under [`PlacementPolicy::Reserve`] a maintenance pick takes the
+    ///   largest free run within the foreground watermark, whatever the fit
+    ///   flavour — a relocation wants the fewest fragments it is allowed to
+    ///   have, not a snug or low hole.
+    ///
+    /// `band_granule` aligns the band boundary (see
+    /// [`PlacementPolicy::primary_band_aligned`]); pass `1` unless the map
+    /// overlays a coarser-granularity space that must agree on the boundary.
+    pub fn pick_placed(
+        &self,
+        map: &RunIndexMap,
+        len: u64,
+        cursor: u64,
+        placement: PlacementPolicy,
+        consumer: PlacementConsumer,
+        band_granule: u64,
+    ) -> Option<Extent> {
+        if placement.run_cap(consumer).is_some() {
+            return placement
+                .largest_eligible(map, consumer, band_granule)
+                .filter(|run| run.len >= len);
+        }
+        match placement.primary_band_aligned(map.total_clusters(), band_granule, consumer) {
+            None => self.pick_raw(map, len, cursor),
+            Some((lo, hi)) => {
+                let banded = self.pick_in(map, len, cursor, lo, hi);
+                if banded.is_none() && placement.spills(consumer) {
+                    self.pick_raw(map, len, cursor)
+                } else {
+                    banded
+                }
+            }
+        }
+    }
+
+    /// The unconstrained fit pick (the whole address space).
+    fn pick_raw(&self, map: &RunIndexMap, len: u64, cursor: u64) -> Option<Extent> {
         match self {
             FitPolicy::FirstFit => map.first_fit(len, 0),
             FitPolicy::BestFit => map.best_fit(len),
             FitPolicy::WorstFit => map.largest().filter(|run| run.len >= len),
             FitPolicy::NextFit => map.first_fit(len, cursor).or_else(|| map.first_fit(len, 0)),
+        }
+    }
+
+    /// The fit pick restricted to the band `[lo, hi)` (runs clipped).
+    fn pick_in(
+        &self,
+        map: &RunIndexMap,
+        len: u64,
+        cursor: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Option<Extent> {
+        match self {
+            FitPolicy::FirstFit => map.first_fit_in(len, lo, hi),
+            FitPolicy::BestFit => map.best_fit_in(len, lo, hi),
+            FitPolicy::WorstFit => map.largest_run_in(lo, hi).filter(|run| run.len >= len),
+            FitPolicy::NextFit => map
+                .first_fit_in(len, cursor.clamp(lo, hi), hi)
+                .or_else(|| map.first_fit_in(len, lo, hi)),
         }
     }
 }
@@ -179,29 +244,57 @@ impl AllocationPolicy {
 }
 
 /// A resolved policy choice plus the roving cursor [`FitPolicy::NextFit`]
-/// needs, bundled so every consumer of [`FitPolicy::pick`] shares one
+/// needs, bundled so every consumer of [`FitPolicy::pick_placed`] shares one
 /// picking-and-advancing implementation.
 ///
 /// [`PolicyAllocator`] uses it at cluster granularity; `lor-blobkit`'s GAM
 /// and allocation units use it at extent and page granularity.  Keeping the
 /// cursor rule (advance to the end of the taken run) in one place means a
-/// future policy only has to be wired into [`FitPolicy::pick`] once.
+/// future policy only has to be wired into [`FitPolicy::pick_placed`] once.
+/// The picker also carries the substrate's [`PlacementPolicy`], so every
+/// pick states *who* it is for and the placement constraint cannot be
+/// forgotten at a call site.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct FitPicker {
     policy: AllocationPolicy,
     fit: FitPolicy,
+    placement: PlacementPolicy,
+    /// Band-boundary alignment in clusters (see
+    /// [`PlacementPolicy::primary_band_aligned`]); `1` for spaces that stand
+    /// alone.
+    band_granule: u64,
     cursor: u64,
 }
 
 impl FitPicker {
-    /// Creates a picker for `policy`, with `native` naming the fit the
-    /// substrate's native mechanism corresponds to.
+    /// Creates an unrestricted-placement picker for `policy`, with `native`
+    /// naming the fit the substrate's native mechanism corresponds to.
     pub fn new(policy: AllocationPolicy, native: FitPolicy) -> Self {
+        Self::with_placement(policy, native, PlacementPolicy::Unrestricted)
+    }
+
+    /// Creates a picker with an explicit placement policy.
+    pub fn with_placement(
+        policy: AllocationPolicy,
+        native: FitPolicy,
+        placement: PlacementPolicy,
+    ) -> Self {
         FitPicker {
             policy,
             fit: policy.fit_or(native),
+            placement,
+            band_granule: 1,
             cursor: 0,
         }
+    }
+
+    /// Aligns the picker's band boundary to `granule`-cluster units
+    /// (`lor-blobkit`'s page-level units pass their extent size so the page
+    /// and extent spaces agree exactly on where the maintenance band
+    /// starts).
+    pub fn with_band_granule(mut self, granule: u64) -> Self {
+        self.band_granule = granule.max(1);
+        self
     }
 
     /// The selection this picker was built from.
@@ -214,9 +307,33 @@ impl FitPicker {
         self.fit
     }
 
-    /// Picks the run the policy wants for a request of `len` clusters.
+    /// The placement policy in effect.
+    pub fn placement(&self) -> PlacementPolicy {
+        self.placement
+    }
+
+    /// Picks the run the policy wants for a foreground request of `len`
+    /// clusters.
     pub fn pick(&self, map: &RunIndexMap, len: u64) -> Option<Extent> {
-        self.fit.pick(map, len, self.cursor)
+        self.pick_as(map, len, PlacementConsumer::Foreground)
+    }
+
+    /// Picks the run the policy wants for a request of `len` clusters on
+    /// behalf of `consumer`, under the picker's placement policy.
+    pub fn pick_as(
+        &self,
+        map: &RunIndexMap,
+        len: u64,
+        consumer: PlacementConsumer,
+    ) -> Option<Extent> {
+        self.fit.pick_placed(
+            map,
+            len,
+            self.cursor,
+            self.placement,
+            consumer,
+            self.band_granule,
+        )
     }
 
     /// Records that `taken` was just reserved, advancing the next-fit cursor
@@ -236,17 +353,32 @@ pub struct PolicyAllocator {
 }
 
 impl PolicyAllocator {
-    /// Creates an allocator over `total_clusters` fully free clusters.
+    /// Creates an allocator over `total_clusters` fully free clusters, with
+    /// unrestricted placement.
     pub fn new(policy: FitPolicy, total_clusters: u64) -> Self {
+        Self::with_placement(policy, total_clusters, PlacementPolicy::Unrestricted)
+    }
+
+    /// Creates an allocator with an explicit placement policy.
+    pub fn with_placement(
+        policy: FitPolicy,
+        total_clusters: u64,
+        placement: PlacementPolicy,
+    ) -> Self {
         PolicyAllocator {
             map: RunIndexMap::new_free(total_clusters),
-            picker: FitPicker::new(AllocationPolicy::Fit(policy), policy),
+            picker: FitPicker::with_placement(AllocationPolicy::Fit(policy), policy, placement),
         }
     }
 
     /// The policy this allocator applies.
     pub fn policy(&self) -> FitPolicy {
         self.picker.fit()
+    }
+
+    /// The placement policy this allocator applies.
+    pub fn placement(&self) -> PlacementPolicy {
+        self.picker.placement()
     }
 
     /// Read-only access to the underlying free-space map.
@@ -262,9 +394,36 @@ impl PolicyAllocator {
         self.map.reserve(extent)
     }
 
-    /// Picks the run the policy wants for a request of `len` clusters.
-    fn pick(&self, len: u64) -> Option<Extent> {
-        self.picker.pick(&self.map, len)
+    /// Picks the run the policy wants for a request of `len` clusters on
+    /// behalf of `consumer`.
+    fn pick(&self, len: u64, consumer: PlacementConsumer) -> Option<Extent> {
+        self.picker.pick_as(&self.map, len, consumer)
+    }
+
+    /// The fallback run a best-effort request fragments into when no run
+    /// satisfies the whole remainder: the largest run the consumer is
+    /// allowed to touch.  The foreground spills to the global largest run
+    /// (availability over placement); maintenance stays inside its
+    /// constraint and refuses.
+    fn largest_for(&self, consumer: PlacementConsumer) -> Option<Extent> {
+        let placement = self.picker.placement();
+        let eligible = placement.largest_eligible(&self.map, consumer, 1);
+        if eligible.is_none() && placement.spills(consumer) {
+            self.map.largest()
+        } else {
+            eligible
+        }
+    }
+
+    /// `true` if a contiguity-required request of `clusters` can be placed
+    /// for `consumer` (spill-over included for consumers that may spill).
+    fn can_place_contiguous(&self, clusters: u64, consumer: PlacementConsumer) -> bool {
+        if self.picker.placement().spills(consumer) {
+            // Spill-over means any run on the volume is ultimately eligible.
+            self.map.best_fit(clusters).is_some()
+        } else {
+            self.pick(clusters, consumer).is_some()
+        }
     }
 
     /// Attempts to honour a placement hint by extending from exactly that
@@ -283,7 +442,7 @@ impl PolicyAllocator {
 
 impl Allocator for PolicyAllocator {
     fn allocate(&mut self, request: &AllocRequest) -> Result<Vec<Extent>, AllocError> {
-        self.allocate_impl(request)
+        self.allocate_as(request, PlacementConsumer::Foreground)
     }
 
     fn free(&mut self, extents: &[Extent]) -> Result<(), AllocError> {
@@ -307,8 +466,17 @@ impl Allocator for PolicyAllocator {
 }
 
 impl PolicyAllocator {
-    /// The real allocation routine (see [`Allocator::allocate`]).
-    fn allocate_impl(&mut self, request: &AllocRequest) -> Result<Vec<Extent>, AllocError> {
+    /// The real allocation routine (see [`Allocator::allocate`]),
+    /// parameterised by the consumer the space is for.  Foreground requests
+    /// behave exactly as before under unrestricted placement; maintenance
+    /// requests are confined by the placement policy and fail with
+    /// [`AllocError::OutOfSpace`] / [`AllocError::NoContiguousRun`] rather
+    /// than violate it.
+    pub fn allocate_as(
+        &mut self,
+        request: &AllocRequest,
+        consumer: PlacementConsumer,
+    ) -> Result<Vec<Extent>, AllocError> {
         if request.clusters == 0 {
             return Err(AllocError::EmptyRequest);
         }
@@ -319,7 +487,7 @@ impl PolicyAllocator {
             });
         }
         if request.contiguity == Contiguity::Required
-            && self.map.best_fit(request.clusters).is_none()
+            && !self.can_place_contiguous(request.clusters, consumer)
         {
             return Err(AllocError::NoContiguousRun {
                 requested: request.clusters,
@@ -334,10 +502,11 @@ impl PolicyAllocator {
                 request
                     .hint
                     .and_then(|hint| self.try_hint(hint, remaining))
-                    .or_else(|| self.pick(remaining))
-                    .or_else(|| self.map.largest())
+                    .or_else(|| self.pick(remaining, consumer))
+                    .or_else(|| self.largest_for(consumer))
             } else {
-                self.pick(remaining).or_else(|| self.map.largest())
+                self.pick(remaining, consumer)
+                    .or_else(|| self.largest_for(consumer))
             };
             let Some(run) = candidate.filter(|run| !run.is_empty()) else {
                 for extent in &out {

@@ -33,7 +33,10 @@
 
 use std::collections::BTreeSet;
 
-use lor_alloc::{AllocationPolicy, Extent, FitPicker, FitPolicy, FreeSpace, RunIndexMap};
+use lor_alloc::{
+    AllocationPolicy, Extent, FitPicker, FitPolicy, FreeSpace, PlacementConsumer, PlacementPolicy,
+    RunIndexMap,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::error::DbError;
@@ -59,11 +62,21 @@ impl Gam {
         Self::with_policy(total_extents, AllocationPolicy::Native)
     }
 
-    /// Creates a GAM with an explicit allocation policy.
+    /// Creates a GAM with an explicit allocation policy and unrestricted
+    /// placement.
     pub fn with_policy(total_extents: u64, policy: AllocationPolicy) -> Self {
+        Self::with_placement(total_extents, policy, PlacementPolicy::Unrestricted)
+    }
+
+    /// Creates a GAM with explicit allocation and placement policies.
+    pub fn with_placement(
+        total_extents: u64,
+        policy: AllocationPolicy,
+        placement: PlacementPolicy,
+    ) -> Self {
         Gam {
             map: RunIndexMap::new_free(total_extents),
-            picker: FitPicker::new(policy, NATIVE_FIT),
+            picker: FitPicker::with_placement(policy, NATIVE_FIT, placement),
         }
     }
 
@@ -165,13 +178,31 @@ impl AllocationUnit {
         Self::with_policy(kind, total_pages, AllocationPolicy::Native)
     }
 
-    /// Creates an empty allocation unit with an explicit allocation policy.
+    /// Creates an empty allocation unit with an explicit allocation policy
+    /// and unrestricted placement.
     pub fn with_policy(kind: PageKind, total_pages: u64, policy: AllocationPolicy) -> Self {
+        Self::with_placement(kind, total_pages, policy, PlacementPolicy::Unrestricted)
+    }
+
+    /// Creates an empty allocation unit with explicit allocation and
+    /// placement policies.
+    pub fn with_placement(
+        kind: PageKind,
+        total_pages: u64,
+        policy: AllocationPolicy,
+        placement: PlacementPolicy,
+    ) -> Self {
         AllocationUnit {
             kind,
             extents: BTreeSet::new(),
             map: RunIndexMap::new_allocated(total_pages),
-            picker: FitPicker::new(policy, NATIVE_FIT),
+            // The page space overlays the GAM's extent space: aligning the
+            // band boundary to whole extents keeps the two granularities in
+            // exact agreement on where the maintenance band starts (rounding
+            // the fraction independently per granularity could let the
+            // foreground and maintenance bands overlap by a few pages).
+            picker: FitPicker::with_placement(policy, NATIVE_FIT, placement)
+                .with_band_granule(PAGES_PER_EXTENT),
         }
     }
 
@@ -352,6 +383,126 @@ impl AllocationUnit {
             }
         }
         Some(pages)
+    }
+
+    /// Allocates `count` pages for a **maintenance relocation** (the
+    /// engine's incremental compactor) under the unit's placement policy.
+    ///
+    /// * [`PlacementPolicy::Unrestricted`] delegates to
+    ///   [`AllocationUnit::allocate_largest_runs`] unchanged — the
+    ///   pre-placement behaviour, bit-identical (the oracle tests pin this).
+    /// * [`PlacementPolicy::Banded`] runs the same largest-first greedy loop
+    ///   but only over runs inside the maintenance band, at both
+    ///   granularities (unit pages and unassigned GAM extents).  It never
+    ///   spills into the foreground band: when the band cannot supply
+    ///   `count` pages the allocation is refused.
+    /// * [`PlacementPolicy::Reserve`] considers only runs no longer than
+    ///   `foreground_watermark_pages` (for GAM runs, in page terms), leaving
+    ///   every larger run reserved for foreground writes.
+    ///
+    /// Returns `None` — rolling back any partial progress — when the
+    /// placement-eligible runs cannot supply `count` pages.
+    pub fn allocate_maintenance_runs(
+        &mut self,
+        gam: &mut Gam,
+        count: u64,
+        foreground_watermark_pages: u64,
+    ) -> Option<Vec<PageId>> {
+        let placement = self.picker.placement();
+        if placement.is_unrestricted() {
+            return self.allocate_largest_runs(gam, count);
+        }
+        if count == 0 {
+            return Some(Vec::new());
+        }
+        if count > self.available_pages(gam) {
+            return None;
+        }
+        let mut pages: Vec<PageId> = Vec::with_capacity(count as usize);
+        while (pages.len() as u64) < count {
+            let remaining = count - pages.len() as u64;
+            let unit_run = self.maintenance_unit_candidate(placement, foreground_watermark_pages);
+            let gam_run =
+                Self::maintenance_gam_candidate(gam, placement, foreground_watermark_pages);
+            let unit_pages = unit_run.map_or(0, |run| run.len);
+            let gam_pages = gam_run.map_or(0, |run| run.len * PAGES_PER_EXTENT);
+            if unit_pages == 0 && gam_pages == 0 {
+                // The placement-eligible runs are exhausted: refuse rather
+                // than violate the placement, undoing any partial progress
+                // (frees restore the GAM exactly — coalescing is
+                // deterministic).
+                for page in pages {
+                    self.free_page(gam, page);
+                }
+                return None;
+            }
+            if unit_pages >= gam_pages {
+                let run = unit_run.expect("unit run exists when unit_pages > 0");
+                let take = run.len.min(remaining);
+                let taken = Extent::new(run.start, take);
+                self.map.reserve(taken).expect("candidate unit run is free");
+                self.picker.advance(taken);
+                pages.extend((run.start..run.start + take).map(PageId));
+            } else {
+                let run = gam_run.expect("gam run exists when gam_pages > 0");
+                let extents = remaining.div_ceil(PAGES_PER_EXTENT).min(run.len);
+                for index in 0..extents {
+                    let extent = ExtentId(run.start + index);
+                    let taken = gam.assign_specific(extent);
+                    debug_assert!(taken, "extents of a free GAM run are assignable");
+                    self.adopt_extent(extent);
+                }
+                let first = ExtentId(run.start).first_page().0;
+                let take = (extents * PAGES_PER_EXTENT).min(remaining);
+                let taken = Extent::new(first, take);
+                self.map
+                    .reserve(taken)
+                    .expect("pages of freshly adopted extents are free");
+                self.picker.advance(taken);
+                pages.extend((first..first + take).map(PageId));
+            }
+        }
+        Some(pages)
+    }
+
+    /// The largest placement-eligible free run inside the unit for a
+    /// maintenance allocation, if any.  The band boundary is aligned to
+    /// whole extents so the page and extent granularities agree on it.
+    fn maintenance_unit_candidate(
+        &self,
+        placement: PlacementPolicy,
+        foreground_watermark_pages: u64,
+    ) -> Option<Extent> {
+        let consumer = PlacementConsumer::Maintenance {
+            foreground_watermark: foreground_watermark_pages,
+        };
+        placement.largest_eligible(&self.map, consumer, PAGES_PER_EXTENT)
+    }
+
+    /// The largest placement-eligible free run of unassigned GAM extents for
+    /// a maintenance allocation, if any.  This is the one consumer that
+    /// cannot use [`PlacementPolicy::largest_eligible`] verbatim: the
+    /// watermark arrives in pages but GAM runs are measured in extents, so
+    /// the `Reserve` cap must be converted — and a watermark below one
+    /// extent admits no GAM run at all (rather than rounding up to one).
+    fn maintenance_gam_candidate(
+        gam: &Gam,
+        placement: PlacementPolicy,
+        foreground_watermark_pages: u64,
+    ) -> Option<Extent> {
+        let consumer = PlacementConsumer::Maintenance {
+            foreground_watermark: foreground_watermark_pages,
+        };
+        if placement.run_cap(consumer).is_some() {
+            // A GAM run of L extents is L × PAGES_PER_EXTENT contiguous
+            // pages; it is eligible only if that stays within the watermark.
+            let cap_extents = foreground_watermark_pages / PAGES_PER_EXTENT;
+            if cap_extents == 0 {
+                return None;
+            }
+            return gam.free_space().largest_run_at_most(cap_extents);
+        }
+        placement.largest_eligible(gam.free_space(), consumer, 1)
     }
 
     /// The policy-chosen free page at which to start a new run, if the unit
@@ -678,6 +829,150 @@ mod tests {
         assert_eq!(scattered[0], pages[2], "the 3-page run is taken first");
         // More than the free pool refuses cleanly.
         assert!(unit.allocate_largest_runs(&mut gam, 1).is_none());
+    }
+
+    fn banded_pair(total_extents: u64, boundary: f64) -> (Gam, AllocationUnit) {
+        let placement = PlacementPolicy::banded(boundary);
+        (
+            Gam::with_placement(total_extents, AllocationPolicy::Native, placement),
+            AllocationUnit::with_placement(
+                PageKind::LobData,
+                total_extents * PAGES_PER_EXTENT,
+                AllocationPolicy::Native,
+                placement,
+            ),
+        )
+    }
+
+    #[test]
+    fn maintenance_runs_come_from_the_maintenance_band() {
+        let (mut gam, mut unit) = banded_pair(100, 0.6);
+        let boundary_page = 60 * PAGES_PER_EXTENT;
+        // Foreground allocations fill from the front as before...
+        let foreground = unit.allocate_pages(&mut gam, 16).unwrap();
+        assert_eq!(foreground[0], PageId(0));
+        // ...while maintenance relocations land beyond the boundary.
+        let moved = unit.allocate_maintenance_runs(&mut gam, 16, 0).unwrap();
+        assert!(
+            moved.iter().all(|page| page.0 >= boundary_page),
+            "maintenance pages {moved:?} must sit at or above page {boundary_page}"
+        );
+        assert_eq!(fragment_count(&moved), 1);
+    }
+
+    #[test]
+    fn banded_maintenance_refuses_at_full_band_occupancy_and_rolls_back() {
+        let (mut gam, mut unit) = banded_pair(100, 0.6);
+        // Occupy the entire maintenance band (100% band occupancy): every
+        // high extent is assigned away.
+        for extent in 60..100 {
+            assert!(gam.assign_specific(ExtentId(extent)));
+        }
+        let free_before = gam.free_extent_count();
+        let used_before = unit.used_pages();
+        // Plenty of low-band space exists, but maintenance may not touch it.
+        assert_eq!(unit.allocate_maintenance_runs(&mut gam, 8, 0), None);
+        assert_eq!(gam.free_extent_count(), free_before, "no partial progress");
+        assert_eq!(unit.used_pages(), used_before);
+        // A band with *some* space still refuses (and rolls back) when the
+        // request exceeds it.
+        gam.release(ExtentId(60));
+        assert_eq!(
+            unit.allocate_maintenance_runs(&mut gam, 2 * PAGES_PER_EXTENT, 0),
+            None,
+            "one free high extent cannot hold two extents' worth"
+        );
+        assert_eq!(gam.free_extent_count(), free_before + 1);
+        assert_eq!(unit.used_pages(), used_before);
+        assert_eq!(unit.extent_count(), 0, "adopted extents were returned");
+        // The partial band still serves requests it can hold.
+        let fits = unit
+            .allocate_maintenance_runs(&mut gam, PAGES_PER_EXTENT, 0)
+            .unwrap();
+        assert_eq!(fits[0], ExtentId(60).first_page());
+    }
+
+    #[test]
+    fn foreground_band_boundary_is_extent_aligned() {
+        // 100 extents / 800 pages at boundary 0.603: raw page-granular
+        // rounding would end the foreground band at page 482, but the
+        // extent-granular boundary is extent 60 = page 480.  The page space
+        // must use the extent-aligned boundary, or the two consumers' bands
+        // would overlap on pages [480, 482): here a best-fit *foreground*
+        // pick must treat the snug 1-page hole at 480 as maintenance
+        // territory and place in its own band instead.
+        let placement = PlacementPolicy::banded(0.603);
+        let policy = AllocationPolicy::Fit(FitPolicy::BestFit);
+        let mut gam = Gam::with_placement(100, policy, placement);
+        let mut unit =
+            AllocationUnit::with_placement(PageKind::LobData, TEST_PAGES, policy, placement);
+        let all = unit.allocate_pages(&mut gam, 800).unwrap();
+        assert_eq!(all.len(), 800);
+        unit.free_page(&mut gam, PageId(480));
+        unit.free_page(&mut gam, PageId(100));
+        unit.free_page(&mut gam, PageId(101));
+        let pick = unit.allocate_pages(&mut gam, 1).unwrap();
+        assert_eq!(
+            pick,
+            vec![PageId(100)],
+            "page 480 sits in the maintenance band under the aligned boundary"
+        );
+        // The maintenance side agrees: its candidate is exactly the hole at
+        // the aligned boundary.
+        let moved = unit.allocate_maintenance_runs(&mut gam, 1, 0).unwrap();
+        assert_eq!(moved, vec![PageId(480)]);
+    }
+
+    #[test]
+    fn reserve_maintenance_refuses_runs_above_the_watermark() {
+        let placement = PlacementPolicy::Reserve;
+        let mut gam = Gam::with_placement(100, AllocationPolicy::Native, placement);
+        let mut unit = AllocationUnit::with_placement(
+            PageKind::LobData,
+            TEST_PAGES,
+            AllocationPolicy::Native,
+            placement,
+        );
+        // The whole file is one 100-extent run; watermark 4 extents' worth
+        // of pages means no GAM run is eligible at all.
+        assert_eq!(
+            unit.allocate_maintenance_runs(&mut gam, 8, 4 * PAGES_PER_EXTENT),
+            None,
+            "a 100-extent run exceeds the watermark and must be refused"
+        );
+        assert_eq!(gam.free_extent_count(), 100);
+        // Carve an eligible 3-extent run: [10, 13) free between assignments.
+        for extent in (0..10).chain(13..100) {
+            assert!(gam.assign_specific(ExtentId(extent)));
+        }
+        let pages = unit
+            .allocate_maintenance_runs(&mut gam, 8, 4 * PAGES_PER_EXTENT)
+            .unwrap();
+        assert_eq!(pages[0], ExtentId(10).first_page());
+        // A watermark below one extent admits no GAM run.
+        assert_eq!(
+            unit.allocate_maintenance_runs(&mut gam, 8, PAGES_PER_EXTENT - 1),
+            None
+        );
+    }
+
+    #[test]
+    fn unrestricted_maintenance_is_exactly_allocate_largest_runs() {
+        let mut gam_a = Gam::new(20);
+        let mut unit_a = AllocationUnit::new(PageKind::LobData, 20 * PAGES_PER_EXTENT);
+        let mut gam_b = gam_a.clone();
+        let mut unit_b = unit_a.clone();
+        let seed_a = unit_a.allocate_pages(&mut gam_a, 30).unwrap();
+        let seed_b = unit_b.allocate_pages(&mut gam_b, 30).unwrap();
+        assert_eq!(seed_a, seed_b);
+        for page in seed_a.iter().skip(4).step_by(3) {
+            unit_a.free_page(&mut gam_a, *page);
+            unit_b.free_page(&mut gam_b, *page);
+        }
+        let via_maintenance = unit_a.allocate_maintenance_runs(&mut gam_a, 12, 7);
+        let via_largest = unit_b.allocate_largest_runs(&mut gam_b, 12);
+        assert_eq!(via_maintenance, via_largest);
+        assert_eq!(gam_a.free_extent_count(), gam_b.free_extent_count());
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use std::collections::BTreeMap;
 
-use lor_alloc::AllocationPolicy;
+use lor_alloc::{AllocationPolicy, PlacementPolicy};
 use lor_disksim::ByteRun;
 use serde::{Deserialize, Serialize};
 
@@ -57,6 +57,12 @@ pub struct EngineConfig {
     /// is SQL Server's lowest-first reuse; the fit policies exist for the
     /// cross-substrate ablation benches.
     pub allocation_policy: AllocationPolicy,
+    /// Which region of free space each consumer may draw from.
+    /// [`PlacementPolicy::Unrestricted`] reproduces the pre-placement
+    /// behaviour bit-identically; the banded and reserve variants confine
+    /// [`Database::compact_step`] so background compaction stops consuming
+    /// the contiguous runs the engine's allocator needs.
+    pub placement: PlacementPolicy,
 }
 
 impl EngineConfig {
@@ -71,6 +77,7 @@ impl EngineConfig {
             ghost_cleanup_interval_ops: 16,
             base_offset: 0,
             allocation_policy: AllocationPolicy::Native,
+            placement: PlacementPolicy::Unrestricted,
         }
     }
 
@@ -104,6 +111,7 @@ impl EngineConfig {
                 "data file must hold at least one extent",
             ));
         }
+        self.placement.validate().map_err(DbError::BadConfig)?;
         Ok(())
     }
 }
@@ -185,18 +193,24 @@ impl Database {
     /// Creates an engine over a fresh data file.
     pub fn create(config: EngineConfig) -> Result<Self, DbError> {
         config.validate()?;
-        let gam = Gam::with_policy(config.total_extents(), config.allocation_policy);
+        let gam = Gam::with_placement(
+            config.total_extents(),
+            config.allocation_policy,
+            config.placement,
+        );
         Ok(Database {
             gam,
-            lob_unit: AllocationUnit::with_policy(
+            lob_unit: AllocationUnit::with_placement(
                 PageKind::LobData,
                 config.total_pages(),
                 config.allocation_policy,
+                config.placement,
             ),
-            row_unit: AllocationUnit::with_policy(
+            row_unit: AllocationUnit::with_placement(
                 PageKind::RowData,
                 config.total_pages(),
                 config.allocation_policy,
+                config.placement,
             ),
             blobs: BTreeMap::new(),
             keys: BTreeMap::new(),
@@ -484,17 +498,22 @@ impl Database {
     /// recommending for LOB data ("create a new table in a new file group,
     /// copy the old records to the new table and drop the old table").
     pub fn rebuild_into_new_filegroup(&mut self) -> Result<u64, DbError> {
-        let mut new_gam =
-            Gam::with_policy(self.config.total_extents(), self.config.allocation_policy);
-        let mut new_lob = AllocationUnit::with_policy(
+        let mut new_gam = Gam::with_placement(
+            self.config.total_extents(),
+            self.config.allocation_policy,
+            self.config.placement,
+        );
+        let mut new_lob = AllocationUnit::with_placement(
             PageKind::LobData,
             self.config.total_pages(),
             self.config.allocation_policy,
+            self.config.placement,
         );
-        let mut new_row = AllocationUnit::with_policy(
+        let mut new_row = AllocationUnit::with_placement(
             PageKind::RowData,
             self.config.total_pages(),
             self.config.allocation_policy,
+            self.config.placement,
         );
 
         // Row pages for the clustered index of the copied table.
@@ -532,14 +551,21 @@ impl Database {
     /// offline [`Database::rebuild_into_new_filegroup`]: a background
     /// maintenance scheduler can spend a few pages per tick and keep
     /// fragments/object bounded without ever taking the table offline.  Each
-    /// candidate is rewritten into the largest free runs available
-    /// ([`AllocationUnit::allocate_largest_runs`], a single contiguous run
-    /// whenever one exists); the move commits only if it strictly reduces the
-    /// blob's fragment count, and rolls back otherwise — so a step never
-    /// makes any blob worse.  Old pages are freed immediately: compaction
-    /// runs in its own transaction.  At least one candidate is examined per
-    /// call even when `page_budget` is smaller than the blob, so compaction
-    /// never starves.
+    /// candidate is rewritten into the largest free runs *the engine's
+    /// placement policy lets maintenance touch*
+    /// ([`AllocationUnit::allocate_maintenance_runs`]): under
+    /// [`PlacementPolicy::Unrestricted`] that is any run (the pre-placement
+    /// behaviour, bit-identical); under [`PlacementPolicy::Banded`] the
+    /// compactor relocates into the maintenance band and skips candidates
+    /// the band cannot hold, and under [`PlacementPolicy::Reserve`] it
+    /// leaves every run longer than the largest live blob's allocation to
+    /// the foreground — so compaction strictly grows the contiguous space
+    /// foreground writes can draw from instead of racing them for it.  The
+    /// move commits only if it strictly reduces the blob's fragment count,
+    /// and rolls back otherwise — so a step never makes any blob worse.
+    /// Old pages are freed immediately: compaction runs in its own
+    /// transaction.  At least one candidate is examined per call even when
+    /// `page_budget` is smaller than the blob, so compaction never starves.
     pub fn compact_step(&mut self, page_budget: u64) -> CompactReport {
         let mut candidates: Vec<(BlobId, usize)> = self
             .blobs
@@ -548,6 +574,7 @@ impl Database {
             .map(|record| (record.id, record.fragment_count()))
             .collect();
         candidates.sort_by_key(|(_, fragments)| std::cmp::Reverse(*fragments));
+        let watermark_pages = self.foreground_watermark_pages();
 
         let mut report = CompactReport::default();
         for (id, fragments) in candidates {
@@ -560,14 +587,18 @@ impl Database {
                 let record = &self.blobs[&id];
                 (record.page_count(), record.size_bytes)
             };
-            let new_pages = match self.lob_unit.allocate_largest_runs(&mut self.gam, need) {
-                Some(pages) => pages,
-                None => {
-                    report.blobs_skipped += 1;
-                    report.fragments_after += fragments as u64;
-                    continue;
-                }
-            };
+            let new_pages =
+                match self
+                    .lob_unit
+                    .allocate_maintenance_runs(&mut self.gam, need, watermark_pages)
+                {
+                    Some(pages) => pages,
+                    None => {
+                        report.blobs_skipped += 1;
+                        report.fragments_after += fragments as u64;
+                        continue;
+                    }
+                };
             let new_fragments = crate::page::fragment_count(&new_pages);
             if new_fragments >= fragments {
                 // Not an improvement: roll the speculative allocation back.
@@ -593,6 +624,31 @@ impl Database {
             report.fragments_after += new_fragments as u64;
         }
         report
+    }
+
+    /// The largest contiguous allocation (in LOB pages) a single foreground
+    /// operation could still need: the page count of the largest live blob,
+    /// since a wholesale update writes a complete replacement version.  The
+    /// [`PlacementPolicy::Reserve`] variant forbids the compactor from
+    /// consuming any free run longer than this watermark.
+    pub fn foreground_watermark_pages(&self) -> u64 {
+        self.blobs
+            .values()
+            .map(BlobRecord::page_count)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Read-only access to the Global Allocation Map, for placement
+    /// instrumentation (the proptests measure the foreground band's largest
+    /// free run across compaction steps).
+    pub fn gam(&self) -> &Gam {
+        &self.gam
+    }
+
+    /// Read-only access to the LOB allocation unit (see [`Database::gam`]).
+    pub fn lob_unit(&self) -> &AllocationUnit {
+        &self.lob_unit
     }
 
     /// Allocates LOB pages, forcing a ghost cleanup if the free pool is
@@ -673,6 +729,7 @@ impl Database {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lor_alloc::FreeSpace;
 
     const MB: u64 = 1 << 20;
 
@@ -1027,6 +1084,222 @@ mod tests {
                 assert!(seen.insert(*page));
             }
         }
+    }
+
+    /// Ages a small engine under an explicit placement policy.
+    fn aged_db_placed(placement: PlacementPolicy) -> Database {
+        let mut config = EngineConfig::new(64 * MB);
+        config.placement = placement;
+        let mut db = Database::create(config).unwrap();
+        let count = 24;
+        for i in 0..count {
+            db.insert(&format!("obj-{i}"), MB).unwrap();
+        }
+        for round in 0..8 {
+            for i in 0..count {
+                db.update(&format!("obj-{}", (i * 7 + round) % count), MB)
+                    .unwrap();
+            }
+        }
+        db.ghost_cleanup();
+        db
+    }
+
+    /// The largest free run (in pages) the foreground band offers, over the
+    /// *combined* page-level availability: free pages inside assigned
+    /// extents plus every page of every unassigned GAM extent, coalesced.
+    /// (The two maps individually are not monotone under compaction — a
+    /// fully drained extent migrates from the unit map to the GAM — but
+    /// their union below the boundary only ever grows.)
+    fn foreground_band_largest(db: &Database) -> u64 {
+        let boundary_page = db
+            .config()
+            .placement
+            .boundary_cluster(db.config().total_extents())
+            * PAGES_PER_EXTENT;
+        let mut runs: Vec<lor_alloc::Extent> = db
+            .lob_unit()
+            .free_space()
+            .free_runs()
+            .into_iter()
+            .chain(db.gam().free_space().free_runs().into_iter().map(|run| {
+                lor_alloc::Extent::new(run.start * PAGES_PER_EXTENT, run.len * PAGES_PER_EXTENT)
+            }))
+            .collect();
+        runs.sort_by_key(|run| run.start);
+        let mut largest = 0u64;
+        let mut current: Option<lor_alloc::Extent> = None;
+        for run in runs {
+            match current.as_mut() {
+                Some(open) if run.start <= open.end() => {
+                    open.len = open.len.max(run.end() - open.start);
+                }
+                _ => {
+                    current = Some(run);
+                }
+            }
+            let open = current.expect("just set");
+            largest = largest.max(open.end().min(boundary_page).saturating_sub(open.start));
+        }
+        largest
+    }
+
+    #[test]
+    fn banded_compaction_relocates_into_the_maintenance_band() {
+        let placement = PlacementPolicy::banded(0.75);
+        let mut db = aged_db_placed(placement);
+        let boundary_page =
+            placement.boundary_cluster(db.config().total_extents()) * PAGES_PER_EXTENT;
+        let before = db.fragmentation();
+        assert!(before.fragments_per_object > 1.2, "fixture must be aged");
+
+        let mut moved_any = false;
+        for _ in 0..256 {
+            let largest_before = foreground_band_largest(&db);
+            let report = db.compact_step(32);
+            let largest_after = foreground_band_largest(&db);
+            // Compaction reserves only in the maintenance band and frees
+            // anywhere, so the foreground band's largest free run can only
+            // grow.
+            assert!(
+                largest_after >= largest_before,
+                "a compact step shrank the foreground band \
+                 ({largest_before} -> {largest_after})"
+            );
+            if report.blobs_moved == 0 {
+                break;
+            }
+            moved_any = true;
+        }
+        assert!(moved_any, "the banded compactor must make progress");
+        let after = db.fragmentation();
+        assert!(
+            after.fragments_per_object < before.fragments_per_object,
+            "banded compaction must still repair fragmentation ({} -> {})",
+            before.fragments_per_object,
+            after.fragments_per_object
+        );
+        // At least one moved blob physically sits in the maintenance band.
+        assert!(
+            db.iter_blobs()
+                .any(|blob| blob.pages.iter().all(|page| page.0 >= boundary_page)),
+            "no blob ended up in the maintenance band"
+        );
+    }
+
+    #[test]
+    fn banded_compaction_skips_gracefully_when_the_band_cannot_hold_a_blob() {
+        // Boundary at 99%: the maintenance band (~80 pages) is smaller than
+        // any 1 MB blob (130 pages), so every candidate must be refused —
+        // without deadlock, spill-over, or foreground-band damage.
+        let placement = PlacementPolicy::banded(0.99);
+        let mut db = aged_db_placed(placement);
+        assert!(db.fragmentation().fragments_per_object > 1.2);
+
+        let largest_before = foreground_band_largest(&db);
+        let layouts_before: Vec<_> = db.iter_blobs().map(|b| b.pages.clone()).collect();
+        for _ in 0..4 {
+            let report = db.compact_step(0);
+            assert_eq!(report.blobs_moved, 0, "no candidate fits the band");
+            assert!(report.blobs_skipped > 0, "candidates are skipped, not lost");
+        }
+        let layouts_after: Vec<_> = db.iter_blobs().map(|b| b.pages.clone()).collect();
+        assert_eq!(layouts_before, layouts_after, "layouts untouched");
+        assert_eq!(foreground_band_largest(&db), largest_before);
+    }
+
+    #[test]
+    fn reserve_compaction_leaves_gam_runs_above_the_watermark_untouched() {
+        let mut db = aged_db_placed(PlacementPolicy::Reserve);
+        let watermark_extents = db.foreground_watermark_pages() / PAGES_PER_EXTENT;
+        let big_runs: Vec<_> = db
+            .gam()
+            .free_space()
+            .free_runs()
+            .into_iter()
+            .filter(|run| run.len > watermark_extents)
+            .collect();
+        assert!(
+            !big_runs.is_empty(),
+            "fixture must offer a GAM run above the watermark"
+        );
+        loop {
+            if db.compact_step(64).blobs_moved == 0 {
+                break;
+            }
+        }
+        for run in big_runs {
+            assert!(
+                db.gam().free_space().is_free(run),
+                "GAM run {run:?} above the watermark must survive compaction"
+            );
+        }
+    }
+
+    /// Oracle: under [`PlacementPolicy::Unrestricted`] the placement-aware
+    /// compactor reproduces the pre-placement `compact_step` bit-identically.
+    /// The replica below is the PR 4 loop — candidates most fragmented
+    /// first, `allocate_largest_runs`, commit only on strict improvement.
+    #[test]
+    fn unrestricted_compaction_is_bit_identical_to_the_legacy_step() {
+        let mut new_path = aged_db();
+        let mut legacy = new_path.clone();
+
+        loop {
+            if new_path.compact_step(32).blobs_moved == 0 {
+                break;
+            }
+        }
+
+        loop {
+            let mut candidates: Vec<(BlobId, usize)> = legacy
+                .blobs
+                .values()
+                .filter(|record| record.fragment_count() > 1)
+                .map(|record| (record.id, record.fragment_count()))
+                .collect();
+            candidates.sort_by_key(|(_, fragments)| std::cmp::Reverse(*fragments));
+            let mut moved = 0;
+            let mut pages_moved = 0;
+            for (id, fragments) in candidates {
+                if pages_moved >= 32 {
+                    break;
+                }
+                let need = legacy.blobs[&id].page_count();
+                let Some(new_pages) = legacy.lob_unit.allocate_largest_runs(&mut legacy.gam, need)
+                else {
+                    continue;
+                };
+                if crate::page::fragment_count(&new_pages) >= fragments {
+                    for page in new_pages {
+                        legacy.lob_unit.free_page(&mut legacy.gam, page);
+                    }
+                    continue;
+                }
+                let record = legacy.blobs.get_mut(&id).unwrap();
+                let old_pages = std::mem::replace(&mut record.pages, new_pages);
+                for page in old_pages {
+                    legacy.lob_unit.free_page(&mut legacy.gam, page);
+                }
+                moved += 1;
+                pages_moved += need;
+            }
+            if moved == 0 {
+                break;
+            }
+        }
+
+        let new_layouts: Vec<_> = new_path.iter_blobs().map(|b| b.pages.clone()).collect();
+        let legacy_layouts: Vec<_> = legacy.iter_blobs().map(|b| b.pages.clone()).collect();
+        assert_eq!(new_layouts, legacy_layouts);
+        assert_eq!(
+            new_path.gam().free_space().free_runs(),
+            legacy.gam().free_space().free_runs()
+        );
+        assert_eq!(
+            new_path.lob_unit().free_space().free_runs(),
+            legacy.lob_unit().free_space().free_runs()
+        );
     }
 
     #[test]

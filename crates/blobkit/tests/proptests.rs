@@ -330,3 +330,107 @@ proptest! {
         }
     }
 }
+
+/// Operations for the placement proptest: the foreground workload plus
+/// explicit budgeted compaction steps.
+#[derive(Debug, Clone)]
+enum PlacedOp {
+    /// Insert a new object of `size` bytes.
+    Insert { size: u64 },
+    /// Replace the live object at this modular index with a new version.
+    Update { index: usize, size: u64 },
+    /// Delete the live object at this modular index.
+    Delete { index: usize },
+    /// Run ghost cleanup now.
+    Cleanup,
+    /// Run one budgeted compaction step.
+    Compact { page_budget: u64 },
+}
+
+fn arb_placed_op() -> impl Strategy<Value = PlacedOp> {
+    prop_oneof![
+        4 => (1u64..2 * MB).prop_map(|size| PlacedOp::Insert { size }),
+        4 => (0usize..64, 1u64..2 * MB).prop_map(|(index, size)| PlacedOp::Update { index, size }),
+        2 => (0usize..64).prop_map(|index| PlacedOp::Delete { index }),
+        2 => Just(PlacedOp::Cleanup),
+        3 => (0u64..256).prop_map(|page_budget| PlacedOp::Compact { page_budget }),
+    ]
+}
+
+/// The largest free run (in pages) inside the foreground band, measured on
+/// the combined page-level availability (unit free pages plus unassigned GAM
+/// extents) clipped to `[0, boundary_page)`.
+fn foreground_band_largest(db: &Database, boundary_page: u64) -> u64 {
+    combined_free_runs(db.lob_unit(), db.gam())
+        .into_iter()
+        .filter_map(|run| {
+            let end = run.end().min(boundary_page);
+            end.checked_sub(run.start).filter(|len| *len > 0)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under [`lor_alloc::PlacementPolicy::Banded`], a compaction step never
+    /// shrinks the foreground band's largest free run, whatever
+    /// insert/update/ghost-cleanup/compact sequence surrounds it: the
+    /// compactor reserves only inside the maintenance band (refusing rather
+    /// than spilling) and its frees can only grow the foreground band.
+    #[test]
+    fn banded_compaction_never_shrinks_the_foreground_band(
+        ops in prop::collection::vec(arb_placed_op(), 1..60),
+        boundary in prop_oneof![Just(0.5f64), Just(0.75), Just(0.9)],
+    ) {
+        let placement = lor_alloc::PlacementPolicy::banded(boundary);
+        let mut config = EngineConfig::new(FILE_BYTES);
+        config.ghost_cleanup_interval_ops = 0; // cleanup only when the script says so
+        config.placement = placement;
+        let boundary_page =
+            placement.boundary_cluster(config.total_extents()) * PAGES_PER_EXTENT;
+        let mut db = Database::create(config).unwrap();
+        let mut live: Vec<String> = Vec::new();
+        let mut next_key = 0u64;
+        for op in ops {
+            match op {
+                PlacedOp::Insert { size } => {
+                    let key = format!("k{next_key}");
+                    next_key += 1;
+                    if db.insert(&key, size).is_ok() {
+                        live.push(key);
+                    }
+                }
+                PlacedOp::Update { index, size } => {
+                    if !live.is_empty() {
+                        let key = live[index % live.len()].clone();
+                        let _ = db.update(&key, size);
+                    }
+                }
+                PlacedOp::Delete { index } => {
+                    if !live.is_empty() {
+                        let key = live.remove(index % live.len());
+                        db.delete(&key).unwrap();
+                    }
+                }
+                PlacedOp::Cleanup => db.ghost_cleanup(),
+                PlacedOp::Compact { page_budget } => {
+                    let before = foreground_band_largest(&db, boundary_page);
+                    db.compact_step(page_budget);
+                    let after = foreground_band_largest(&db, boundary_page);
+                    prop_assert!(
+                        after >= before,
+                        "compact step shrank the foreground band's largest \
+                         free run ({before} -> {after} pages, boundary {boundary})"
+                    );
+                }
+            }
+        }
+        // Every surviving object still reads back in full.
+        for key in &live {
+            let plan = db.read_plan(key).unwrap();
+            prop_assert!(plan.iter().map(|r| r.len).sum::<u64>() > 0);
+        }
+    }
+}

@@ -291,7 +291,7 @@ impl ObjectStore for DbObjectStore {
             .map(|state| *state.scheduler.config())
     }
 
-    fn maintenance_slice(&mut self, budget_bytes: u64) -> lor_maint::MaintIo {
+    fn maintenance_slice(&mut self, budget_bytes: u64, now: SimDuration) -> lor_maint::MaintIo {
         let Some(state) = self.maintenance.as_mut() else {
             return lor_maint::MaintIo::NONE;
         };
@@ -303,7 +303,7 @@ impl ObjectStore for DbObjectStore {
         };
         state
             .scheduler
-            .run_budgeted_slice(&mut target, budget_bytes)
+            .run_budgeted_slice(&mut target, budget_bytes, now)
     }
 }
 
@@ -323,9 +323,10 @@ mod tests {
         // ticks (the request scheduler owns the drive), but budgeted slices
         // must respect the deferral — early slices may compact and
         // checkpoint while the ghost backlog is young, and the backlog is
-        // only released once it has aged past the configured hold.
+        // only released once it has aged past the configured hold of
+        // simulated time.
         let mut config = DbStoreConfig::new(256 * MB);
-        config.maintenance = Some(MaintenanceConfig::substrate_aware(5.0, 6));
+        config.maintenance = Some(MaintenanceConfig::substrate_aware(5.0, 60_000.0));
         let mut store = DbObjectStore::with_config(config).unwrap();
         for i in 0..16 {
             store.put(&format!("o{i}"), MB).unwrap();
@@ -339,9 +340,10 @@ mod tests {
         }
         let ghosts_before = store.database().ghost_page_count();
         assert!(ghosts_before > 0, "aging must leave a ghost backlog");
-        // Slices 1..6: the backlog is younger than the 6-tick hold.
-        for _ in 0..6 {
-            store.maintenance_slice(1 << 22);
+        // Slices within the first seconds: far younger than the 60 s hold
+        // (the scheduler's own background time stays well below it too).
+        for second in 1..=6u64 {
+            store.maintenance_slice(1 << 22, SimDuration::from_secs(second));
             assert_eq!(
                 store.database().ghost_page_count(),
                 ghosts_before,
@@ -350,11 +352,11 @@ mod tests {
         }
         // The aged backlog drains (over several budgeted passes: cleanup is
         // due every 8th tick and each 4 MB budget visits at most 512 pages).
-        for _ in 0..256 {
+        for second in 0..256u64 {
             if store.database().ghost_page_count() == 0 {
                 break;
             }
-            store.maintenance_slice(1 << 22);
+            store.maintenance_slice(1 << 22, SimDuration::from_secs(120 + second));
         }
         assert_eq!(store.database().ghost_page_count(), 0);
         let stats = store.maintenance_stats().unwrap();

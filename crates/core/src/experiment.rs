@@ -23,7 +23,7 @@
 //! checkpoint therefore reports client-observed latency percentiles and
 //! queue depth alongside the paper's throughput and fragmentation metrics.
 
-use lor_alloc::AllocationPolicy;
+use lor_alloc::{AllocationPolicy, PlacementPolicy};
 use lor_disksim::{throughput_mb_per_sec, SimDuration};
 use lor_maint::MaintenanceConfig;
 use serde::{Deserialize, Serialize};
@@ -119,6 +119,14 @@ pub struct ExperimentConfig {
     /// run cache and SQL Server's lowest-first page reuse); the fit policies
     /// let the ablation benches sweep one policy knob across both stores.
     pub allocation_policy: AllocationPolicy,
+    /// The placement policy both substrates apply: which region of free
+    /// space background maintenance may relocate data into.
+    /// [`PlacementPolicy::Unrestricted`] reproduces the pre-placement
+    /// behaviour bit-identically; the banded and reserve variants stop the
+    /// gap-filling compactor from consuming the contiguous runs foreground
+    /// writes need (the `placement-frontier` scenario family sweeps this
+    /// knob).
+    pub placement: PlacementPolicy,
     /// Background maintenance scheduler applied by both substrates.  `None`
     /// reproduces the paper's systems (interval-driven cleanup buried in the
     /// substrates); `Some` hands ghost cleanup, checkpointing and incremental
@@ -142,6 +150,7 @@ impl ExperimentConfig {
             concurrency: 4,
             think_time_ms: 0.0,
             allocation_policy: AllocationPolicy::Native,
+            placement: PlacementPolicy::Unrestricted,
             maintenance: None,
         }
     }
@@ -149,6 +158,12 @@ impl ExperimentConfig {
     /// Overrides the allocation policy applied by both substrates.
     pub fn with_allocation_policy(mut self, policy: AllocationPolicy) -> Self {
         self.allocation_policy = policy;
+        self
+    }
+
+    /// Overrides the placement policy applied by both substrates.
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
         self
     }
 
@@ -204,6 +219,7 @@ impl ExperimentConfig {
                 config.write_request_size = self.write_request_size;
                 config.cost = self.cost;
                 config.volume.allocation_policy = self.allocation_policy;
+                config.volume.placement = self.placement;
                 config.maintenance = self.maintenance;
                 Ok(Box::new(FsObjectStore::with_config(config)?))
             }
@@ -212,6 +228,7 @@ impl ExperimentConfig {
                 config.write_request_size = self.write_request_size;
                 config.cost = self.cost;
                 config.engine.allocation_policy = self.allocation_policy;
+                config.engine.placement = self.placement;
                 config.maintenance = self.maintenance;
                 Ok(Box::new(DbObjectStore::with_config(config)?))
             }
@@ -247,6 +264,9 @@ impl ExperimentConfig {
                 "think time must be finite and non-negative".into(),
             ));
         }
+        self.placement
+            .validate()
+            .map_err(|message| StoreError::BadConfig(message.into()))?;
         if let Some(maintenance) = &self.maintenance {
             maintenance
                 .validate()
@@ -699,6 +719,7 @@ mod tests {
             concurrency: 4,
             think_time_ms: 0.0,
             allocation_policy: AllocationPolicy::Native,
+            placement: PlacementPolicy::Unrestricted,
             maintenance: None,
         }
     }

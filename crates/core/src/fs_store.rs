@@ -331,7 +331,7 @@ impl ObjectStore for FsObjectStore {
             .map(|state| *state.scheduler.config())
     }
 
-    fn maintenance_slice(&mut self, budget_bytes: u64) -> lor_maint::MaintIo {
+    fn maintenance_slice(&mut self, budget_bytes: u64, now: SimDuration) -> lor_maint::MaintIo {
         let Some(state) = self.maintenance.as_mut() else {
             return lor_maint::MaintIo::NONE;
         };
@@ -344,7 +344,7 @@ impl ObjectStore for FsObjectStore {
         };
         state
             .scheduler
-            .run_budgeted_slice(&mut target, budget_bytes)
+            .run_budgeted_slice(&mut target, budget_bytes, now)
     }
 }
 
@@ -520,7 +520,7 @@ mod tests {
     #[test]
     fn substrate_aware_requires_the_server_drive() {
         let mut config = FsStoreConfig::new(64 * MB);
-        let mut maintenance = MaintenanceConfig::substrate_aware(5.0, 24);
+        let mut maintenance = MaintenanceConfig::substrate_aware(5.0, 2000.0);
         maintenance.server_driven = false;
         config.maintenance = Some(maintenance);
         assert!(matches!(
@@ -530,7 +530,7 @@ mod tests {
         // With the server drive (the constructor's default) it builds, and
         // the server reads the config off the store.
         let mut config = FsStoreConfig::new(64 * MB);
-        config.maintenance = Some(MaintenanceConfig::substrate_aware(5.0, 24));
+        config.maintenance = Some(MaintenanceConfig::substrate_aware(5.0, 2000.0));
         let store = FsObjectStore::with_config(config).unwrap();
         assert!(store.maintenance_config().unwrap().server_driven);
     }

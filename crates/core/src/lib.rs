@@ -84,9 +84,10 @@ pub use workload::{
     SizeDistribution, StorageAgeTracker, WorkloadGenerator, WorkloadOp, WorkloadSpec,
 };
 
-// The allocation-policy knob threaded from `ExperimentConfig` into both
-// substrates, re-exported so experiment code needs only `lor_core`.
-pub use lor_alloc::{AllocationPolicy, FitPolicy};
+// The allocation- and placement-policy knobs threaded from
+// `ExperimentConfig` into both substrates, re-exported so experiment code
+// needs only `lor_core`.
+pub use lor_alloc::{AllocationPolicy, FitPolicy, PlacementConsumer, PlacementPolicy};
 
 // The maintenance knob threaded from `ExperimentConfig` into both substrates,
 // re-exported for the same reason.

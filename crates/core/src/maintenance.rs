@@ -83,6 +83,10 @@ impl MaintTarget for FsMaintTarget<'_> {
         MaintSubstrate::DeferredReuse
     }
 
+    fn placement(&self) -> lor_alloc::PlacementPolicy {
+        self.volume.placement()
+    }
+
     fn reclaimable_bytes(&self) -> u64 {
         self.volume.pending_clusters() * self.volume.cluster_size()
     }
@@ -152,6 +156,10 @@ impl MaintTarget for DbMaintTarget<'_> {
         // immediately — the eager-cleanup pathology the `SubstrateAware`
         // policy's deferred release exists to break.
         MaintSubstrate::EagerReuse
+    }
+
+    fn placement(&self) -> lor_alloc::PlacementPolicy {
+        self.db.config().placement
     }
 
     fn reclaimable_bytes(&self) -> u64 {

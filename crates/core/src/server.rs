@@ -639,11 +639,12 @@ impl<'a> StoreServer<'a> {
             if budget_bytes == 0 {
                 continue;
             }
-            let io = self.store.maintenance_slice(budget_bytes);
+            let slice_at = self.free_at();
+            let io = self.store.maintenance_slice(budget_bytes, slice_at);
             if io.is_none() {
                 continue;
             }
-            self.bg_busy_until = self.free_at() + io.time;
+            self.bg_busy_until = slice_at + io.time;
             self.now = self.now.max(self.bg_busy_until);
         }
     }
@@ -676,7 +677,7 @@ impl<'a> StoreServer<'a> {
             if gap < min_idle || gap.is_zero() {
                 break;
             }
-            let io = self.store.maintenance_slice(budget_bytes);
+            let io = self.store.maintenance_slice(budget_bytes, idle_from);
             if io.is_none() || io.time.is_zero() {
                 // Nothing to do, or a free action that cannot shrink the gap
                 // — either way the loop would never terminate on time.

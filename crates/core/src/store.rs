@@ -235,11 +235,14 @@ pub trait ObjectStore {
     /// returns the background I/O it performed — **without** charging the
     /// store's own measurement clock.  The caller (the request scheduler)
     /// owns the interference model: it decides when the slice occupies the
-    /// spindle and which foreground requests overlap it.  Returns
+    /// spindle and which foreground requests overlap it.  `now` is the
+    /// caller's simulated clock at the slice, so time-based maintenance
+    /// state (the substrate-aware ghost deferral) ages with the workload
+    /// instead of with the slice rate.  Returns
     /// [`lor_maint::MaintIo::NONE`] when no scheduler is attached or there
     /// is nothing to do.
-    fn maintenance_slice(&mut self, budget_bytes: u64) -> lor_maint::MaintIo {
-        let _ = budget_bytes;
+    fn maintenance_slice(&mut self, budget_bytes: u64, now: SimDuration) -> lor_maint::MaintIo {
+        let _ = (budget_bytes, now);
         lor_maint::MaintIo::NONE
     }
 }

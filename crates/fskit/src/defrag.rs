@@ -19,7 +19,7 @@
 
 use std::collections::VecDeque;
 
-use lor_alloc::{AllocRequest, Allocator, Contiguity};
+use lor_alloc::{AllocRequest, Allocator, Contiguity, PlacementConsumer};
 use serde::{Deserialize, Serialize};
 
 use crate::error::FsError;
@@ -101,6 +101,14 @@ impl Defragmenter {
 
     /// Attempts to make a single file contiguous by copying it into a fresh
     /// single-extent allocation.  Returns `Ok(true)` if the file was moved.
+    ///
+    /// The allocation is made as the **maintenance consumer** under the
+    /// volume's [`lor_alloc::PlacementPolicy`]: a banded volume relocates
+    /// into the maintenance band (refusing when that band has no run large
+    /// enough, never spilling into the foreground band), and a reserve
+    /// volume refuses any run longer than the largest live file's
+    /// allocation.  Either way, defragmentation can only *grow* the
+    /// contiguous space foreground writes see.
     pub fn defragment_file(&self, volume: &mut Volume, id: FileId) -> Result<bool, FsError> {
         let (old_extents, clusters, size_bytes) = {
             let record = volume.file(id)?;
@@ -114,15 +122,19 @@ impl Defragmenter {
             return Ok(false);
         }
 
-        // Ask for a single contiguous run; if the volume cannot provide one we
-        // leave the file alone (a partial improvement would also be possible,
-        // but the Windows defragmenter's observable behaviour is per-file).
+        // Ask for a single contiguous run; if the volume cannot provide one
+        // (within the placement constraint) we leave the file alone — a
+        // partial improvement would also be possible, but the Windows
+        // defragmenter's observable behaviour is per-file.
         let request = AllocRequest {
             clusters,
             hint: None,
             contiguity: Contiguity::Required,
         };
-        let new_extents = match volume.allocator_mut().allocate(&request) {
+        let consumer = PlacementConsumer::Maintenance {
+            foreground_watermark: volume.foreground_watermark(),
+        };
+        let new_extents = match volume.allocator_mut().allocate_as(&request, consumer) {
             Ok(extents) => extents,
             Err(_) if self.require_full_contiguity => return Ok(false),
             Err(_) => return Ok(false),
@@ -414,5 +426,191 @@ mod tests {
         assert!(Defragmenter::new()
             .defragment_file(&mut volume, FileId(99))
             .is_err());
+    }
+
+    use lor_alloc::{Extent, FreeSpace, PlacementPolicy};
+
+    /// Builds the [`fragmented_volume`] fixture under an explicit placement.
+    fn fragmented_volume_placed(placement: PlacementPolicy) -> (Volume, Vec<FileId>) {
+        let mut config = VolumeConfig::new(64 * MB);
+        config.mft_zone_fraction = 0.0;
+        config.checkpoint_interval_ops = 1;
+        config.placement = placement;
+        let mut volume = Volume::format(config).unwrap();
+        let pads: Vec<FileId> = (0..256)
+            .map(|i| {
+                volume
+                    .write_file(&format!("pad{i}"), 128 * 1024, 64 * 1024)
+                    .unwrap()
+                    .file_id
+            })
+            .collect();
+        for id in pads.iter().step_by(2) {
+            volume.delete(*id).unwrap();
+        }
+        volume.checkpoint();
+        let victims: Vec<FileId> = (0..4)
+            .map(|i| {
+                volume
+                    .write_file(&format!("victim{i}"), 2 * MB, 64 * 1024)
+                    .unwrap()
+                    .file_id
+            })
+            .collect();
+        (volume, victims)
+    }
+
+    #[test]
+    fn banded_defrag_relocates_into_the_maintenance_band() {
+        let placement = PlacementPolicy::banded(0.75);
+        let (mut volume, victims) = fragmented_volume_placed(placement);
+        let boundary = placement.boundary_cluster(volume.config().total_clusters());
+        let foreground_largest_before = volume
+            .free_space()
+            .largest_run_in(0, boundary)
+            .map_or(0, |run| run.len);
+
+        let report = Defragmenter::new()
+            .defragment_volume(&mut volume, 0)
+            .unwrap();
+        assert!(report.files_moved > 0);
+        for id in victims {
+            let record = volume.file(id).unwrap();
+            if record.fragment_count() == 1 {
+                assert!(
+                    record.extents[0].start >= boundary,
+                    "moved file must land in the maintenance band, got {:?}",
+                    record.extents[0]
+                );
+            }
+        }
+        // Relocation only reserves in the high band and frees the victims'
+        // old extents, so the foreground band's largest free run can only
+        // have grown.
+        let foreground_largest_after = volume
+            .free_space()
+            .largest_run_in(0, boundary)
+            .map_or(0, |run| run.len);
+        assert!(
+            foreground_largest_after >= foreground_largest_before,
+            "defrag must not shrink the foreground band's largest run \
+             ({foreground_largest_before} -> {foreground_largest_after})"
+        );
+    }
+
+    #[test]
+    fn banded_defrag_falls_back_gracefully_when_the_band_is_full() {
+        let placement = PlacementPolicy::banded(0.75);
+        let (mut volume, _) = fragmented_volume_placed(placement);
+        let total = volume.config().total_clusters();
+        let boundary = placement.boundary_cluster(total);
+        // Occupy the maintenance band completely (100% band occupancy).
+        for run in volume.free_space().runs_in(0, total) {
+            let start = run.start.max(boundary);
+            if run.end() > start {
+                let pin = Extent::new(start, run.end() - start);
+                volume.allocator_mut().reserve_exact(pin).unwrap();
+            }
+        }
+        assert_eq!(volume.free_space().largest_run_in(boundary, total), None);
+
+        let before: Vec<_> = volume.iter_files().map(|f| f.extents.clone()).collect();
+        let foreground_runs = volume.free_space().runs_in(0, boundary);
+        // The pass terminates, moves nothing (no deadlock, no spill into the
+        // foreground band), and leaves every layout and foreground run
+        // untouched.
+        let report = Defragmenter::new()
+            .defragment_volume(&mut volume, 0)
+            .unwrap();
+        assert_eq!(report.files_moved, 0);
+        assert!(report.files_skipped > 0, "fragmented files are deferred");
+        let after: Vec<_> = volume.iter_files().map(|f| f.extents.clone()).collect();
+        assert_eq!(before, after);
+        assert_eq!(volume.free_space().runs_in(0, boundary), foreground_runs);
+    }
+
+    #[test]
+    fn reserve_defrag_leaves_runs_above_the_watermark_untouched() {
+        let (mut volume, _) = fragmented_volume_placed(PlacementPolicy::Reserve);
+        let watermark = volume.foreground_watermark();
+        assert!(watermark > 0);
+        let big_runs: Vec<Extent> = volume
+            .free_space()
+            .free_runs()
+            .into_iter()
+            .filter(|run| run.len > watermark)
+            .collect();
+        assert!(
+            !big_runs.is_empty(),
+            "fixture must have a run above the watermark for the test to bite"
+        );
+
+        let report = Defragmenter::new()
+            .defragment_volume(&mut volume, 0)
+            .unwrap();
+        // Every run above the watermark is still (at least) free: maintenance
+        // may not consume it, and frees can only enlarge it.
+        for run in big_runs {
+            assert!(
+                volume.free_space().is_free(run),
+                "run {run:?} above the watermark must survive the pass"
+            );
+        }
+        // A 100%-eligible-space-exhausted pass still terminates cleanly.
+        let _ = report;
+        let again = Defragmenter::new()
+            .defragment_volume(&mut volume, 0)
+            .unwrap();
+        assert!(again.files_examined as usize == volume.file_count());
+    }
+
+    /// Oracle: under [`PlacementPolicy::Unrestricted`] the placement-aware
+    /// defragmenter reproduces the pre-placement pass bit-identically.  The
+    /// replica below is the PR 4 `defragment_file` loop — a plain foreground
+    /// `allocate` of one contiguous run per candidate, most fragmented first.
+    #[test]
+    fn unrestricted_defrag_is_bit_identical_to_the_legacy_pass() {
+        use lor_alloc::{AllocRequest, Allocator, Contiguity};
+
+        let (mut new_path, _) = fragmented_volume();
+        let (mut legacy, _) = fragmented_volume();
+
+        let report = Defragmenter::new()
+            .defragment_volume(&mut new_path, 0)
+            .unwrap();
+        assert!(report.files_moved > 0, "fixture must exercise real moves");
+
+        let mut candidates: Vec<(FileId, usize)> = legacy
+            .iter_files()
+            .map(|record| (record.id, record.fragment_count()))
+            .collect();
+        candidates.sort_by_key(|(_, fragments)| std::cmp::Reverse(*fragments));
+        for (id, fragments) in candidates {
+            if fragments <= 1 {
+                continue;
+            }
+            let (old_extents, clusters) = {
+                let record = legacy.file(id).unwrap();
+                (record.extents.clone(), record.allocated_clusters())
+            };
+            let request = AllocRequest {
+                clusters,
+                hint: None,
+                contiguity: Contiguity::Required,
+            };
+            let Ok(new_extents) = legacy.allocator_mut().allocate(&request) else {
+                continue;
+            };
+            legacy.file_mut(id).unwrap().extents = new_extents;
+            legacy.allocator_mut().free(&old_extents).unwrap();
+        }
+
+        let new_layouts: Vec<_> = new_path.iter_files().map(|f| f.extents.clone()).collect();
+        let legacy_layouts: Vec<_> = legacy.iter_files().map(|f| f.extents.clone()).collect();
+        assert_eq!(new_layouts, legacy_layouts);
+        assert_eq!(
+            new_path.free_space().free_runs(),
+            legacy.free_space().free_runs()
+        );
     }
 }

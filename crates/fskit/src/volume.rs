@@ -28,7 +28,7 @@ use std::collections::BTreeMap;
 
 use lor_alloc::{
     AllocError, AllocRequest, AllocationPolicy, Allocator, Extent, FragmentationSummary,
-    FreeSpaceReport, RunCacheConfig, SelectableAllocator,
+    FreeSpaceReport, PlacementPolicy, RunCacheConfig, SelectableAllocator,
 };
 use lor_disksim::ByteRun;
 use serde::{Deserialize, Serialize};
@@ -59,6 +59,12 @@ pub struct VolumeConfig {
     /// NTFS-style run cache; the fit policies exist for the cross-substrate
     /// ablation benches.
     pub allocation_policy: AllocationPolicy,
+    /// Which region of free space each consumer may draw from.
+    /// [`PlacementPolicy::Unrestricted`] reproduces the pre-placement
+    /// behaviour bit-identically; the banded and reserve variants confine the
+    /// online defragmenter so background relocation stops consuming the
+    /// contiguous runs foreground writes need.
+    pub placement: PlacementPolicy,
     /// Cap, in clusters, of the speculative preallocation performed for
     /// sequentially growing files (0 disables preallocation).
     ///
@@ -83,6 +89,7 @@ impl VolumeConfig {
             checkpoint_interval_ops: 16,
             run_cache: RunCacheConfig::default(),
             allocation_policy: AllocationPolicy::Native,
+            placement: PlacementPolicy::Unrestricted,
             preallocation_cap_clusters: 2048,
         }
     }
@@ -113,6 +120,7 @@ impl VolumeConfig {
         if !(0.0..=0.5).contains(&self.mft_zone_fraction) {
             return Err(FsError::BadConfig("MFT zone fraction must lie in [0, 0.5]"));
         }
+        self.placement.validate().map_err(FsError::BadConfig)?;
         Ok(())
     }
 }
@@ -173,10 +181,11 @@ impl Volume {
     /// Formats a new volume.
     pub fn format(config: VolumeConfig) -> Result<Self, FsError> {
         config.validate()?;
-        let mut allocator = SelectableAllocator::new(
+        let mut allocator = SelectableAllocator::with_placement(
             config.allocation_policy,
             config.total_clusters(),
             config.run_cache,
+            config.placement,
         );
         let mft = config.mft_clusters();
         if mft > 0 {
@@ -626,6 +635,31 @@ impl Volume {
     /// Free-space shape report.
     pub fn free_space_report(&self) -> FreeSpaceReport {
         FreeSpaceReport::from_free_space(self.allocator.free_space())
+    }
+
+    /// Read-only access to the allocator's free-space map, for placement
+    /// instrumentation (the proptests measure the foreground band's largest
+    /// free run across defragmentation steps).
+    pub fn free_space(&self) -> &lor_alloc::RunIndexMap {
+        self.allocator.free_space()
+    }
+
+    /// The placement policy in effect.
+    pub fn placement(&self) -> PlacementPolicy {
+        self.config.placement
+    }
+
+    /// The largest contiguous allocation (in clusters) a single foreground
+    /// operation could still need: the allocation of the largest live file,
+    /// since a safe write stages a complete replacement copy of its target.
+    /// The [`PlacementPolicy::Reserve`] variant forbids maintenance from
+    /// consuming any free run longer than this watermark.
+    pub fn foreground_watermark(&self) -> u64 {
+        self.files
+            .values()
+            .map(FileRecord::allocated_clusters)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Direct (reserve-exact) access to the allocator for test fixtures such

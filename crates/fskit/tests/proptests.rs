@@ -283,3 +283,111 @@ fn file_ids_are_never_reused() {
     assert_eq!(seen.len(), 50);
     let _ = FileId(0);
 }
+
+/// Operations for the placement proptest: the foreground workload plus
+/// explicit budgeted incremental defragmentation steps.
+#[derive(Debug, Clone)]
+enum PlacedFsOp {
+    /// Write a new object of `size` bytes (64 KB requests).
+    Put { size: u64 },
+    /// Safe-write the live object at this modular index.
+    Replace { index: usize, size: u64 },
+    /// Delete the live object at this modular index.
+    Delete { index: usize },
+    /// Run a manual checkpoint (the FS analogue of ghost cleanup).
+    Checkpoint,
+    /// Run one budgeted incremental defragmentation step.
+    DefragStep { copy_budget: u64 },
+}
+
+fn arb_placed_fs_op() -> impl Strategy<Value = PlacedFsOp> {
+    prop_oneof![
+        4 => (1u64..2 * MB).prop_map(|size| PlacedFsOp::Put { size }),
+        4 => (0usize..64, 1u64..2 * MB).prop_map(|(index, size)| PlacedFsOp::Replace { index, size }),
+        2 => (0usize..64).prop_map(|index| PlacedFsOp::Delete { index }),
+        2 => Just(PlacedFsOp::Checkpoint),
+        3 => (0u64..512 * 1024).prop_map(|copy_budget| PlacedFsOp::DefragStep { copy_budget }),
+    ]
+}
+
+/// The largest free run (in clusters) inside the foreground band.
+fn foreground_band_largest(volume: &Volume, boundary: u64) -> u64 {
+    volume
+        .free_space()
+        .largest_run_in(0, boundary)
+        .map_or(0, |run| run.len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under [`lor_alloc::PlacementPolicy::Banded`], an incremental
+    /// defragmentation step never shrinks the foreground band's largest free
+    /// run, whatever put/replace/delete/checkpoint/defrag sequence surrounds
+    /// it: the defragmenter allocates only inside the maintenance band
+    /// (refusing rather than spilling) and the extents it frees can only
+    /// grow the foreground band.
+    #[test]
+    fn banded_defrag_never_shrinks_the_foreground_band(
+        ops in prop::collection::vec(arb_placed_fs_op(), 1..60),
+        boundary_fraction in prop_oneof![Just(0.5f64), Just(0.75), Just(0.9)],
+    ) {
+        let placement = lor_alloc::PlacementPolicy::banded(boundary_fraction);
+        let mut config = VolumeConfig::new(VOLUME_BYTES);
+        config.checkpoint_interval_ops = 0; // checkpoint only when the script says so
+        config.placement = placement;
+        let boundary = placement.boundary_cluster(config.total_clusters());
+        let mut volume = Volume::format(config).unwrap();
+        let defragmenter = Defragmenter::new();
+        let mut cursor = DefragCursor::new();
+        let mut live: Vec<String> = Vec::new();
+        let mut next_name = 0u64;
+        for op in ops {
+            match op {
+                PlacedFsOp::Put { size } => {
+                    let name = format!("f{next_name}");
+                    next_name += 1;
+                    if volume.write_file(&name, size, 64 * 1024).is_ok() {
+                        live.push(name);
+                    }
+                }
+                PlacedFsOp::Replace { index, size } => {
+                    if !live.is_empty() {
+                        let name = live[index % live.len()].clone();
+                        let _ = volume.safe_write(&name, size, 64 * 1024);
+                    }
+                }
+                PlacedFsOp::Delete { index } => {
+                    if !live.is_empty() {
+                        let name = live.remove(index % live.len());
+                        volume.delete_by_name(&name).unwrap();
+                    }
+                }
+                PlacedFsOp::Checkpoint => volume.checkpoint(),
+                PlacedFsOp::DefragStep { copy_budget } => {
+                    if cursor.is_done() {
+                        cursor.reset();
+                    }
+                    let before = foreground_band_largest(&volume, boundary);
+                    defragmenter
+                        .defragment_step(&mut volume, &mut cursor, copy_budget)
+                        .unwrap();
+                    let after = foreground_band_largest(&volume, boundary);
+                    prop_assert!(
+                        after >= before,
+                        "defrag step shrank the foreground band's largest \
+                         free run ({before} -> {after} clusters, boundary \
+                         {boundary_fraction})"
+                    );
+                }
+            }
+        }
+        // Every surviving object still reads back in full.
+        for name in &live {
+            let id = volume.lookup(name).unwrap();
+            let record = volume.file(id).unwrap();
+            let plan = volume.read_plan(id).unwrap();
+            prop_assert_eq!(plan.iter().map(|r| r.len).sum::<u64>(), record.size_bytes);
+        }
+    }
+}

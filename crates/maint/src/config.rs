@@ -86,7 +86,7 @@ pub enum MaintenancePolicy {
     /// observed idle gaps of at least `min_idle_ms` — but ghost release on
     /// substrates with an eager-cleanup pathology (the database's
     /// lowest-first reuse; see [`crate::MaintSubstrate`]) is *deferred* until
-    /// the backlog has aged `defer_ghost_ticks` scheduler ticks, then
+    /// the backlog has aged `defer_ghost_ms` of **simulated time**, then
     /// drained in bulk.  Compaction and checkpointing still run in every
     /// gap on both substrates.
     ///
@@ -95,13 +95,21 @@ pub enum MaintenancePolicy {
     /// pages almost as fast as they appeared, feeding low-offset holes
     /// straight into lowest-first reuse.  Holding the backlog keeps released
     /// space arriving in rare bulk drops instead.
+    ///
+    /// The deferral used to be counted in scheduler ticks, whose rate scales
+    /// with the request rate under the gap-filling drive — the same
+    /// configuration held the backlog for wildly different simulated spans
+    /// at different loads.  A threshold in simulated time is scale-invariant
+    /// the way the adaptive gain is: the backlog ages with the workload's
+    /// clock, not with how often the scheduler happens to tick.
     SubstrateAware {
         /// Minimum idle gap (simulated milliseconds) before maintenance may
         /// start.  Must be positive and finite.
         min_idle_ms: f64,
-        /// Scheduler ticks a non-empty ghost backlog must age before it may
-        /// be released on deferring substrates.  Must be at least 1.
-        defer_ghost_ticks: u64,
+        /// Simulated milliseconds a non-empty ghost backlog must age before
+        /// it may be released on deferring substrates.  Must be positive
+        /// and finite.
+        defer_ghost_ms: f64,
     },
 }
 
@@ -135,9 +143,9 @@ impl MaintenancePolicy {
             MaintenancePolicy::Adaptive { gain } => format!("adaptive(gain {gain:.0})"),
             MaintenancePolicy::SubstrateAware {
                 min_idle_ms,
-                defer_ghost_ticks,
+                defer_ghost_ms,
             } => {
-                format!("substrate-aware({min_idle_ms:.1} ms, defer {defer_ghost_ticks})")
+                format!("substrate-aware({min_idle_ms:.1} ms, defer {defer_ghost_ms:.0} ms)")
             }
         }
     }
@@ -227,13 +235,13 @@ impl MaintenanceConfig {
         MaintenanceConfig::new(MaintenancePolicy::Adaptive { gain })
     }
 
-    /// Substrate-aware idle-gap filling with deferred ghost release
-    /// (server-driven by construction, like
-    /// [`MaintenanceConfig::idle_detect`]).
-    pub fn substrate_aware(min_idle_ms: f64, defer_ghost_ticks: u64) -> Self {
+    /// Substrate-aware idle-gap filling with ghost release deferred by
+    /// `defer_ghost_ms` of simulated time (server-driven by construction,
+    /// like [`MaintenanceConfig::idle_detect`]).
+    pub fn substrate_aware(min_idle_ms: f64, defer_ghost_ms: f64) -> Self {
         MaintenanceConfig::new(MaintenancePolicy::SubstrateAware {
             min_idle_ms,
-            defer_ghost_ticks,
+            defer_ghost_ms,
         })
         .with_server_drive()
     }
@@ -338,14 +346,16 @@ impl MaintenanceConfig {
         }
         if let MaintenancePolicy::SubstrateAware {
             min_idle_ms,
-            defer_ghost_ticks,
+            defer_ghost_ms,
         } = self.policy
         {
             if !min_idle_ms.is_finite() || min_idle_ms <= 0.0 {
                 return Err("substrate-aware idle gap must be finite and positive");
             }
-            if defer_ghost_ticks == 0 {
-                return Err("substrate-aware ghost deferral must be at least one tick");
+            // A zero deferral would release ghosts the instant they appear —
+            // exactly the eager-cleanup pathology the policy exists to break.
+            if !defer_ghost_ms.is_finite() || defer_ghost_ms <= 0.0 {
+                return Err("substrate-aware ghost deferral must be finite and positive");
             }
             if !self.server_driven {
                 return Err("substrate-aware requires the server-driven scheduler drive");
@@ -394,11 +404,11 @@ mod tests {
         );
         let aware = MaintenancePolicy::SubstrateAware {
             min_idle_ms: 5.0,
-            defer_ghost_ticks: 12,
+            defer_ghost_ms: 1200.0,
         };
         assert_eq!(aware.name(), "substrate-aware");
-        assert!(aware.label().contains("defer 12"));
-        assert!(MaintenanceConfig::substrate_aware(5.0, 12).server_driven);
+        assert!(aware.label().contains("defer 1200 ms"));
+        assert!(MaintenanceConfig::substrate_aware(5.0, 1200.0).server_driven);
         assert!(!MaintenanceConfig::adaptive(256.0).server_driven);
     }
 
@@ -445,23 +455,34 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_substrate_aware_parameters() {
-        assert!(MaintenanceConfig::substrate_aware(0.0, 8)
+        assert!(MaintenanceConfig::substrate_aware(0.0, 800.0)
             .validate()
             .is_err());
-        assert!(MaintenanceConfig::substrate_aware(-2.0, 8)
+        assert!(MaintenanceConfig::substrate_aware(-2.0, 800.0)
             .validate()
             .is_err());
-        assert!(MaintenanceConfig::substrate_aware(f64::NAN, 8)
+        assert!(MaintenanceConfig::substrate_aware(f64::NAN, 800.0)
             .validate()
             .is_err());
-        assert!(MaintenanceConfig::substrate_aware(5.0, 0)
+        // A zero, negative or non-finite deferral is the eager-cleanup
+        // pathology by another name.
+        assert!(MaintenanceConfig::substrate_aware(5.0, 0.0)
             .validate()
             .is_err());
-        assert!(MaintenanceConfig::substrate_aware(5.0, 8)
+        assert!(MaintenanceConfig::substrate_aware(5.0, -10.0)
+            .validate()
+            .is_err());
+        assert!(MaintenanceConfig::substrate_aware(5.0, f64::INFINITY)
+            .validate()
+            .is_err());
+        assert!(MaintenanceConfig::substrate_aware(5.0, f64::NAN)
+            .validate()
+            .is_err());
+        assert!(MaintenanceConfig::substrate_aware(5.0, 800.0)
             .validate()
             .is_ok());
         // Gap filling is meaningless without the request scheduler.
-        let mut config = MaintenanceConfig::substrate_aware(5.0, 8);
+        let mut config = MaintenanceConfig::substrate_aware(5.0, 800.0);
         config.server_driven = false;
         assert!(config.validate().is_err());
     }
@@ -499,7 +520,7 @@ mod tests {
     fn gap_filling_policies_grant_no_per_tick_budget() {
         for config in [
             MaintenanceConfig::idle_detect(5.0),
-            MaintenanceConfig::substrate_aware(5.0, 8),
+            MaintenanceConfig::substrate_aware(5.0, 800.0),
             MaintenanceConfig::idle(),
         ] {
             let mut estimator = config.frag_rate_estimator();

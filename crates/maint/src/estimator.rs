@@ -2,6 +2,8 @@
 
 use std::collections::VecDeque;
 
+use lor_disksim::SimDuration;
+
 /// One observation of a store's fragmentation state — the product of a
 /// single O(objects) extent walk, carrying both views the policies need:
 /// the paper's per-object mean (threshold policies) and the excess fragment
@@ -132,13 +134,18 @@ impl FragRateEstimator {
 /// The database's eager-cleanup pathology (recorded in EXPERIMENTS.md) is
 /// that releasing ghost pages *as they appear* feeds the engine's
 /// lowest-first reuse and interleaves objects.  The fix is hysteresis: hold
-/// the backlog until it has aged `defer_ticks` scheduler ticks, then drain it
+/// the backlog until it has aged `defer` of **simulated time**, then drain it
 /// in bulk and re-arm.  While draining, release stays allowed until the
 /// backlog is empty, so a bulk drop is not cut off halfway.
+///
+/// The deferral is measured on the scheduler's simulated clock rather than
+/// in scheduler ticks: the tick rate scales with the request rate under the
+/// gap-filling drive, so a tick-counted hold meant a different simulated
+/// span at every load, while a time-counted hold is scale-invariant.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct GhostBacklogClock {
-    /// Tick at which the current backlog was first observed.
-    since_tick: Option<u64>,
+    /// Simulated instant at which the current backlog was first observed.
+    since: Option<SimDuration>,
     /// A drain is in progress: keep releasing until the backlog empties.
     draining: bool,
 }
@@ -149,29 +156,34 @@ impl GhostBacklogClock {
         GhostBacklogClock::default()
     }
 
-    /// Observes the backlog at `tick` and decides whether ghost release is
-    /// allowed: `backlog_bytes == 0` resets the clock (nothing to release);
-    /// otherwise release unlocks once the backlog is `defer_ticks` old and
-    /// stays unlocked until it drains.
-    pub fn release_allowed(&mut self, tick: u64, backlog_bytes: u64, defer_ticks: u64) -> bool {
+    /// Observes the backlog at simulated instant `now` and decides whether
+    /// ghost release is allowed: `backlog_bytes == 0` resets the clock
+    /// (nothing to release); otherwise release unlocks once the backlog is
+    /// `defer` old and stays unlocked until it drains.
+    pub fn release_allowed(
+        &mut self,
+        now: SimDuration,
+        backlog_bytes: u64,
+        defer: SimDuration,
+    ) -> bool {
         if backlog_bytes == 0 {
-            self.since_tick = None;
+            self.since = None;
             self.draining = false;
             return true;
         }
-        let since = *self.since_tick.get_or_insert(tick);
-        if self.draining || tick.saturating_sub(since) >= defer_ticks {
+        let since = *self.since.get_or_insert(now);
+        if self.draining || now.saturating_sub(since) >= defer {
             self.draining = true;
             return true;
         }
         false
     }
 
-    /// Simulated age of the current backlog in ticks (0 when empty).
-    pub fn backlog_age(&self, tick: u64) -> u64 {
-        self.since_tick
-            .map(|since| tick.saturating_sub(since))
-            .unwrap_or(0)
+    /// Simulated age of the current backlog (zero when empty).
+    pub fn backlog_age(&self, now: SimDuration) -> SimDuration {
+        self.since
+            .map(|since| now.saturating_sub(since))
+            .unwrap_or(SimDuration::ZERO)
     }
 }
 
@@ -250,19 +262,23 @@ mod tests {
 
     #[test]
     fn ghost_backlog_clock_defers_then_drains() {
+        let ms = SimDuration::from_millis;
         let mut clock = GhostBacklogClock::new();
         // No backlog: release trivially allowed, age 0.
-        assert!(clock.release_allowed(1, 0, 4));
-        assert_eq!(clock.backlog_age(1), 0);
-        // Backlog appears at tick 2: held until it is 4 ticks old.
-        assert!(!clock.release_allowed(2, 4096, 4));
-        assert!(!clock.release_allowed(4, 4096, 4));
-        assert_eq!(clock.backlog_age(5), 3);
-        assert!(clock.release_allowed(6, 4096, 4), "aged past the threshold");
+        assert!(clock.release_allowed(ms(1), 0, ms(4)));
+        assert_eq!(clock.backlog_age(ms(1)), SimDuration::ZERO);
+        // Backlog appears at 2 ms: held until it is 4 ms old.
+        assert!(!clock.release_allowed(ms(2), 4096, ms(4)));
+        assert!(!clock.release_allowed(ms(4), 4096, ms(4)));
+        assert_eq!(clock.backlog_age(ms(5)), ms(3));
+        assert!(
+            clock.release_allowed(ms(6), 4096, ms(4)),
+            "aged past the threshold"
+        );
         // Draining: stays allowed even though the age test alone would hold.
-        assert!(clock.release_allowed(7, 1024, 100));
+        assert!(clock.release_allowed(ms(7), 1024, ms(100)));
         // Backlog empties: clock re-arms.
-        assert!(clock.release_allowed(8, 0, 4));
-        assert!(!clock.release_allowed(9, 4096, 4), "re-armed hold");
+        assert!(clock.release_allowed(ms(8), 0, ms(4)));
+        assert!(!clock.release_allowed(ms(9), 4096, ms(4)), "re-armed hold");
     }
 }

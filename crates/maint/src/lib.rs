@@ -12,10 +12,13 @@
 //! The pieces:
 //!
 //! * [`MaintTarget`] — what a substrate must expose to be maintained:
-//!   reclaimable (ghost / pending-free) bytes, fragments per object, and the
-//!   three maintenance actions, each reporting the background I/O it
-//!   performed as a [`MaintIo`] (bytes moved plus mechanical time, costed by
-//!   the target with its own disk model).
+//!   reclaimable (ghost / pending-free) bytes, fragments per object, its
+//!   reuse behaviour ([`MaintTarget::substrate`]) and placement constraint
+//!   ([`MaintTarget::placement`] — which region of free space its
+//!   defragmenter may relocate into), and the three maintenance actions,
+//!   each reporting the background I/O it performed as a [`MaintIo`] (bytes
+//!   moved plus mechanical time, costed by the target with its own disk
+//!   model).
 //! * [`MaintenanceTask`] — a recurring task over a target.  The built-in
 //!   queue is checkpoint flush → ghost cleanup → incremental defragmentation
 //!   ([`CheckpointTask`], [`GhostCleanupTask`], [`IncrementalDefragTask`]);

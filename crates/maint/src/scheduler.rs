@@ -196,39 +196,44 @@ impl MaintenanceScheduler {
     /// Runs the task queue once with an explicit byte budget, bypassing the
     /// policy — the entry point for an external (request-scheduler) drive,
     /// which decides *when* maintenance runs and how much it may spend, while
-    /// the task queue still decides *what* runs.  Returns the background I/O
-    /// performed; the caller owns the interference model, so nothing is
-    /// charged anywhere else.
+    /// the task queue still decides *what* runs.  `now` is the caller's
+    /// simulated clock at the slice; the scheduler's own clock is advanced to
+    /// it (never backwards) so time-based policy state — the ghost-backlog
+    /// deferral — ages with the workload rather than with the slice rate.
+    /// Returns the background I/O performed; the caller owns the
+    /// interference model, so nothing is charged anywhere else.
     pub fn run_budgeted_slice(
         &mut self,
         target: &mut dyn MaintTarget,
         budget_bytes: u64,
+        now: SimDuration,
     ) -> MaintIo {
         self.tick += 1;
         self.stats.ticks += 1;
+        self.clock.advance(now.saturating_sub(self.clock.now()));
         if budget_bytes == 0 {
             return MaintIo::NONE;
         }
         self.run_queue(target, budget_bytes)
     }
 
-    /// Whether ghost release is allowed at this tick.  Always true except
+    /// Whether ghost release is allowed at this instant.  Always true except
     /// under [`MaintenancePolicy::SubstrateAware`] on an eager-reuse
     /// substrate, where a non-empty backlog is held until it has aged
-    /// `defer_ghost_ticks` ticks and is then drained in bulk — the hysteresis
-    /// that kills the recorded eager-cleanup pathology.
+    /// `defer_ghost_ms` of simulated time and is then drained in bulk — the
+    /// hysteresis that kills the recorded eager-cleanup pathology.
     fn ghost_release_allowed(&mut self, target: &dyn MaintTarget) -> bool {
-        let MaintenancePolicy::SubstrateAware {
-            defer_ghost_ticks, ..
-        } = self.config.policy
-        else {
+        let MaintenancePolicy::SubstrateAware { defer_ghost_ms, .. } = self.config.policy else {
             return true;
         };
         if target.substrate() != MaintSubstrate::EagerReuse {
             return true;
         }
-        self.ghost_clock
-            .release_allowed(self.tick, target.reclaimable_bytes(), defer_ghost_ticks)
+        self.ghost_clock.release_allowed(
+            self.clock.now(),
+            target.reclaimable_bytes(),
+            SimDuration::from_millis_f64(defer_ghost_ms),
+        )
     }
 
     /// Spends `budget_bytes` on the task queue in order and accounts the I/O.
@@ -454,49 +459,81 @@ mod tests {
 
     #[test]
     fn substrate_aware_defers_ghost_release_on_eager_reuse_substrates() {
-        let mut config = MaintenanceConfig::substrate_aware(5.0, 3);
+        let ms = SimDuration::from_millis;
+        // The deferral is simulated time, not ticks: a 30 ms hold releases
+        // after 30 ms of workload clock however many slices ran meanwhile.
+        let mut config = MaintenanceConfig::substrate_aware(5.0, 30.0);
         config.ghost_cleanup_every_ticks = 1;
         config.checkpoint_every_ticks = 1;
 
-        // Eager-reuse substrate: the backlog is held for 3 ticks.
+        // Eager-reuse substrate: the backlog is held until it is 30 ms old.
         let mut store = FakeStore::new();
         store.substrate = MaintSubstrate::EagerReuse;
         store.ghost_bytes = 64 * 1024;
         let mut scheduler = MaintenanceScheduler::new(config);
-        for tick in 1..=3u64 {
-            scheduler.run_budgeted_slice(&mut store, 1 << 20);
+        for (slice, now) in [ms(10), ms(20), ms(30)].into_iter().enumerate() {
+            scheduler.run_budgeted_slice(&mut store, 1 << 20, now);
             assert_eq!(
                 store.cleanups, 0,
-                "tick {tick}: ghost release must be deferred"
+                "slice {slice}: ghost release must be deferred while young"
             );
             assert!(
-                store.checkpoints >= tick,
-                "tick {tick}: checkpoints still run in every gap"
+                store.checkpoints > slice as u64,
+                "slice {slice}: checkpoints still run in every gap"
             );
         }
-        scheduler.run_budgeted_slice(&mut store, 1 << 20);
+        // First observed at 10 ms; at 45 ms the backlog is 35 ms old.
+        scheduler.run_budgeted_slice(&mut store, 1 << 20, ms(45));
         assert_eq!(store.cleanups, 1, "aged backlog drains in bulk");
         assert_eq!(store.reclaimable_bytes(), 0);
         // The drain completed on that slice, so the clock re-arms
         // immediately: a fresh backlog must be held for the full deferral
         // again, even though no intervening slice observed the empty state.
         store.ghost_bytes = 64 * 1024;
-        for tick in 1..=3u64 {
-            scheduler.run_budgeted_slice(&mut store, 1 << 20);
+        for now in [ms(50), ms(60), ms(75)] {
+            scheduler.run_budgeted_slice(&mut store, 1 << 20, now);
             assert_eq!(
                 store.cleanups, 1,
-                "re-armed hold, tick {tick}: the new backlog must be deferred"
+                "re-armed hold at {now}: the new backlog must be deferred"
             );
         }
-        scheduler.run_budgeted_slice(&mut store, 1 << 20);
+        scheduler.run_budgeted_slice(&mut store, 1 << 20, ms(85));
         assert_eq!(store.cleanups, 2, "the re-aged backlog drains again");
 
         // Deferred-reuse substrate: no hold, cleanup runs immediately.
         let mut store = FakeStore::new();
         store.ghost_bytes = 64 * 1024;
         let mut scheduler = MaintenanceScheduler::new(config);
-        scheduler.run_budgeted_slice(&mut store, 1 << 20);
+        scheduler.run_budgeted_slice(&mut store, 1 << 20, ms(1));
         assert_eq!(store.cleanups, 1, "deferred-reuse substrates never hold");
+    }
+
+    #[test]
+    fn slice_rate_does_not_change_the_deferral_span() {
+        // Scale-invariance: densely and sparsely sliced drives release the
+        // backlog at the same simulated instant.
+        let ms = SimDuration::from_millis;
+        let mut config = MaintenanceConfig::substrate_aware(5.0, 100.0);
+        config.ghost_cleanup_every_ticks = 1;
+        let mut release_instants = Vec::new();
+        for step_ms in [5u64, 50] {
+            let mut store = FakeStore::new();
+            store.substrate = MaintSubstrate::EagerReuse;
+            store.ghost_bytes = 64 * 1024;
+            let mut scheduler = MaintenanceScheduler::new(config);
+            let mut now = SimDuration::ZERO;
+            while store.cleanups == 0 {
+                now += ms(step_ms);
+                scheduler.run_budgeted_slice(&mut store, 1 << 20, now);
+                assert!(now < ms(1000), "the hold must release eventually");
+            }
+            release_instants.push(now.as_millis_f64());
+        }
+        // 5 ms slices release at 105 ms (first observation at 5 ms + 100 ms
+        // hold); 50 ms slices at 150 ms (observed at 50 ms).  Both spans are
+        // the configured 100 ms from first observation, tick counts be
+        // damned (21 slices vs 3).
+        assert_eq!(release_instants, vec![105.0, 150.0]);
     }
 
     #[test]
@@ -508,13 +545,18 @@ mod tests {
         for _ in 0..16 {
             store.dirty();
         }
-        let io = scheduler.run_budgeted_slice(&mut store, 1 << 20);
+        let io = scheduler.run_budgeted_slice(&mut store, 1 << 20, SimDuration::from_millis(5));
         assert!(!io.is_none(), "the slice must perform work");
         assert_eq!(scheduler.stats().background_bytes, io.bytes);
         assert_eq!(scheduler.stats().background_time, io.time);
         assert_eq!(scheduler.stats().ticks, 1);
+        // The scheduler clock caught up to the drive's and added the
+        // background time on top.
+        assert_eq!(scheduler.now(), SimDuration::from_millis(5) + io.time);
         // A zero budget ticks the queue cadence but does nothing.
-        assert!(scheduler.run_budgeted_slice(&mut store, 0).is_none());
+        assert!(scheduler
+            .run_budgeted_slice(&mut store, 0, SimDuration::from_millis(6))
+            .is_none());
         assert_eq!(scheduler.stats().ticks, 2);
     }
 

@@ -4,8 +4,8 @@
 use lorepo::core::lor_disksim::SimDuration;
 use lorepo::core::{
     analyze_store, compare_systems, measure_mixed_load, run_aging_experiment, AllocationPolicy,
-    ExperimentConfig, FitPolicy, LatencySummary, OpenLoop, Series, SizeDistribution, StoreKind,
-    StoreServer, WorkloadOp,
+    ExperimentConfig, FitPolicy, LatencySummary, OpenLoop, PlacementPolicy, Series,
+    SizeDistribution, StoreKind, StoreServer, WorkloadOp,
 };
 
 const MB: u64 = 1 << 20;
@@ -574,11 +574,12 @@ fn adaptive_lands_on_or_inside_the_fixed_budget_frontier() {
 /// Regression pin for the DB eager-cleanup pathology (the PR 3 findings and
 /// the substrate-aware fix): on the database under a gap-filling workload,
 /// `IdleDetect` — which reclaims ghosts in every idle gap and feeds the
-/// engine's lowest-first reuse — must not beat `SubstrateAware` (deferred
-/// ghost release) on steady-state fragments/object at a comparable p99; and
-/// under the serial drive the fixed-budget family must stay monotone: small
-/// budgets no worse than idle on fragmentation, latency non-decreasing in
-/// budget.
+/// engine's lowest-first reuse — must not beat `SubstrateAware` (ghost
+/// release deferred by 8 s of simulated time, which at this fixture spans
+/// several overwrite rounds and halves the steady state) on
+/// fragments/object at a comparable p99; and under the serial drive the
+/// fixed-budget family must stay monotone: small budgets no worse than idle
+/// on fragmentation, latency non-decreasing in budget.
 #[test]
 fn substrate_aware_pins_the_db_eager_cleanup_pathology() {
     use lorepo::core::MaintenanceConfig;
@@ -601,7 +602,7 @@ fn substrate_aware_pins_the_db_eager_cleanup_pathology() {
         StoreKind::Database,
         &base
             .clone()
-            .with_maintenance(MaintenanceConfig::substrate_aware(5.0, 24)),
+            .with_maintenance(MaintenanceConfig::substrate_aware(5.0, 8000.0)),
         &ages,
         false,
     )
@@ -661,6 +662,96 @@ fn substrate_aware_pins_the_db_eager_cleanup_pathology() {
         fragments[1],
         fragments[0]
     );
+}
+
+/// The placement acceptance scenario, frontier half: placement-aware
+/// `SubstrateAware` finally lands **strictly inside** the DB gap-filling
+/// frontier — lower steady-state fragments/object than unrestricted
+/// `IdleDetect` at a comparable (here: strictly lower) p99.  PR 4 recorded
+/// that no amount of ghost deferral could win this frontier because the
+/// gap-filling compactor consumed the same large contiguous runs the
+/// engine's allocator needed; confining the compactor to the maintenance
+/// band is what closes the ROADMAP item.
+#[test]
+fn placement_aware_substrate_aware_wins_the_db_gap_filling_frontier() {
+    use lorepo::core::MaintenanceConfig;
+
+    let ages = [0u32, 2, 4];
+    let mut base = mini(2 * MB, 128 * MB);
+    base.concurrency = 3;
+    base.think_time_ms = 400.0;
+
+    let idle_detect = run_aging_experiment(
+        StoreKind::Database,
+        &base
+            .clone()
+            .with_maintenance(MaintenanceConfig::idle_detect(5.0)),
+        &ages,
+        false,
+    )
+    .unwrap();
+    let placed = run_aging_experiment(
+        StoreKind::Database,
+        &base
+            .clone()
+            .with_placement(PlacementPolicy::banded(0.9))
+            .with_maintenance(MaintenanceConfig::substrate_aware(5.0, 2000.0)),
+        &ages,
+        false,
+    )
+    .unwrap();
+
+    let id_aged = idle_detect.points.last().unwrap();
+    let placed_aged = placed.points.last().unwrap();
+    assert!(
+        placed_aged.background_time_s > 0.0,
+        "placement-aware substrate-aware must actually work in the gaps"
+    );
+    assert!(
+        placed_aged.fragments_per_object < id_aged.fragments_per_object * 0.85,
+        "placement-aware substrate-aware ({:.2} frags) must clearly beat \
+         unrestricted idle-detect ({:.2} frags) on DB steady-state fragmentation",
+        placed_aged.fragments_per_object,
+        id_aged.fragments_per_object
+    );
+    assert!(
+        placed_aged.latency_p99_ms <= id_aged.latency_p99_ms * 1.05,
+        "the frontier win must come at a comparable p99 ({:.1} vs {:.1} ms)",
+        placed_aged.latency_p99_ms,
+        id_aged.latency_p99_ms
+    );
+}
+
+/// The placement acceptance scenario, oracle half: an explicit
+/// [`PlacementPolicy::Unrestricted`] reproduces the default configuration's
+/// layouts bit-identically on both substrates, with the serial maintenance
+/// drive exercising the placement-aware compaction paths throughout the run.
+/// (The substrate crates additionally pin Unrestricted against hand-rolled
+/// replicas of the pre-placement compactor and defragmenter, so the default
+/// placement cannot drift from the PR 4 behaviour unnoticed.)
+#[test]
+fn unrestricted_placement_is_bit_identical_to_the_default_layouts() {
+    use lorepo::core::MaintenanceConfig;
+
+    for kind in [StoreKind::Filesystem, StoreKind::Database] {
+        let base = mini(MB, 96 * MB).with_maintenance(MaintenanceConfig::fixed_budget(256));
+        let explicit = base.clone().with_placement(PlacementPolicy::Unrestricted);
+        let (default_store, _) = lorepo::core::age_store(kind, &base, 3).unwrap();
+        let (explicit_store, _) = lorepo::core::age_store(kind, &explicit, 3).unwrap();
+        assert_eq!(
+            default_store.fragmentation(),
+            explicit_store.fragmentation(),
+            "{kind:?}: summaries must agree"
+        );
+        assert_eq!(default_store.keys(), explicit_store.keys());
+        for key in default_store.keys() {
+            assert_eq!(
+                default_store.layout_of(&key).unwrap(),
+                explicit_store.layout_of(&key).unwrap(),
+                "{kind:?}: layout of {key} must be bit-identical"
+            );
+        }
+    }
 }
 
 /// The `lor-maint` acceptance scenario: under the `Idle` policy
