@@ -109,6 +109,17 @@ impl RunIndexMap {
             .map(|(&start, &run_len)| Extent::new(start, run_len))
     }
 
+    /// Lengths of every free run, largest first.
+    ///
+    /// This is the read-only view a largest-first allocation *planner* needs:
+    /// since taking one run never changes any other run's length, the number
+    /// of runs a largest-first allocator would consume for `n` clusters is
+    /// exactly the shortest prefix of this sequence summing to at least `n` —
+    /// computable without touching the map.
+    pub fn run_lens_desc(&self) -> impl Iterator<Item = u64> + '_ {
+        self.by_size.iter().rev().map(|&(len, _)| len)
+    }
+
     /// The largest free run; ties broken by the highest start offset (which is
     /// irrelevant to callers — they only need *a* largest run).
     pub fn largest(&self) -> Option<Extent> {
@@ -325,6 +336,15 @@ impl FreeSpace for RunIndexMap {
             .iter()
             .map(|(&start, &len)| Extent::new(start, len))
             .collect()
+    }
+
+    /// O(1) via the size index — the trait default materializes every run.
+    fn largest_free_run(&self) -> u64 {
+        self.by_size
+            .iter()
+            .next_back()
+            .map(|&(len, _)| len)
+            .unwrap_or(0)
     }
 }
 

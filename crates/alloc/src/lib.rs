@@ -53,6 +53,7 @@ mod placement;
 mod policy;
 mod runcache;
 mod select;
+mod tracker;
 
 pub use buddy::BuddyAllocator;
 pub use error::AllocError;
@@ -65,3 +66,4 @@ pub use policy::{
 };
 pub use runcache::{RunCacheAllocator, RunCacheConfig};
 pub use select::SelectableAllocator;
+pub use tracker::{CountMultiset, FragmentationTracker};

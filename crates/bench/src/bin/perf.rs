@@ -1,0 +1,289 @@
+//! `perf` — times the aging loop itself and emits `BENCH_aging.json`.
+//!
+//! Where the `figures` binary reports what the *simulated systems* do, this
+//! binary reports what the *simulator* costs: wall-clock and foreground
+//! operations per second for the bulk-load + overwrite aging loop behind
+//! every figure, on both substrates, with and without an attached
+//! maintenance scheduler (the scheduler's per-tick fragmentation observation
+//! is the hot path the perf trajectory tracks).
+//!
+//! ```text
+//! perf [--scale report|bench|full|test|smoke] [--label NAME]
+//!      [--json PATH] [--check BASELINE.json] [--tolerance 0.2]
+//! ```
+//!
+//! The run is printed as one JSON object.  `--check` compares the run's
+//! ops/s against the `ci-baseline` run recorded in an existing
+//! `BENCH_aging.json` and exits non-zero if any matching entry regressed by
+//! more than `--tolerance` (default 20%) — the CI guard that keeps the
+//! speedups pinned.
+
+use std::time::Instant;
+
+use lor_bench::Scale;
+use lor_core::{
+    run_aging_experiment, ExperimentConfig, MaintenanceConfig, SizeDistribution, StoreError,
+    StoreKind,
+};
+
+const PAPER_VOLUME: u64 = 40_000_000_000;
+
+/// One timed aging run.
+struct PerfEntry {
+    name: String,
+    ops: u64,
+    wall_s: f64,
+    ops_per_s: f64,
+}
+
+fn scale_by_name(name: &str) -> Option<Scale> {
+    match name {
+        "full" => Some(Scale::full()),
+        "report" => Some(Scale::report()),
+        "bench" => Some(Scale::bench()),
+        "test" => Some(Scale::test()),
+        "smoke" => Some(Scale::smoke()),
+        _ => None,
+    }
+}
+
+fn aging_config(scale: &Scale) -> ExperimentConfig {
+    // The Figure 3 workload: 256 KB objects at 50% occupancy, the paper's
+    // most fragmentation-prone (and object-count-heavy) setup.
+    let object = ((256u64 << 10) as f64 * scale.object_factor).max(64.0 * 1024.0) as u64;
+    let volume = ((PAPER_VOLUME as f64) * scale.volume_factor).max(16.0 * 1024.0 * 1024.0) as u64;
+    let mut config = ExperimentConfig::paper_default(SizeDistribution::Constant(object));
+    config.volume_bytes = volume;
+    config.occupancy = 0.5;
+    config.read_sample = None;
+    config
+}
+
+/// Times one aging run to `max_age` and returns the entry.
+fn timed_aging(
+    name: &str,
+    kind: StoreKind,
+    config: &ExperimentConfig,
+    max_age: u32,
+) -> Result<PerfEntry, StoreError> {
+    let started = Instant::now();
+    let result = run_aging_experiment(kind, config, &[max_age], false)?;
+    let wall_s = started.elapsed().as_secs_f64();
+    // Foreground ops driven: the bulk load plus one safe write per object
+    // per overwrite round.
+    let ops = config.object_count() * (1 + u64::from(max_age));
+    // Touch the result so the measured work cannot be optimised away.
+    assert!(!result.points.is_empty());
+    Ok(PerfEntry {
+        name: name.to_string(),
+        ops,
+        wall_s,
+        ops_per_s: ops as f64 / wall_s.max(1e-9),
+    })
+}
+
+/// Peak resident set size of this process in kilobytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+fn run_json(label: &str, scale_name: &str, entries: &[PerfEntry], rss_kb: u64) -> String {
+    let mut out = String::new();
+    out.push_str("    {\n");
+    out.push_str(&format!("      \"label\": \"{label}\",\n"));
+    out.push_str(&format!("      \"scale\": \"{scale_name}\",\n"));
+    out.push_str("      \"entries\": [\n");
+    for (index, entry) in entries.iter().enumerate() {
+        let comma = if index + 1 < entries.len() { "," } else { "" };
+        out.push_str(&format!(
+            "        {{\"name\": \"{}\", \"ops\": {}, \"wall_s\": {:.3}, \"ops_per_s\": {:.1}}}{comma}\n",
+            entry.name, entry.ops, entry.wall_s, entry.ops_per_s
+        ));
+    }
+    out.push_str("      ],\n");
+    out.push_str(&format!("      \"peak_rss_kb\": {rss_kb}\n"));
+    out.push_str("    }");
+    out
+}
+
+/// Extracts `ops_per_s` per entry name from the `ci-baseline` run of a
+/// committed `BENCH_aging.json` (a deliberately naive scan; the file is
+/// emitted by this binary, so the shape is known).
+fn baseline_entries(json: &str) -> Vec<(String, f64)> {
+    let Some(label_at) = json.find("\"label\": \"ci-baseline\"") else {
+        return Vec::new();
+    };
+    let section = match json[label_at..].find("\"peak_rss_kb\"") {
+        Some(end) => &json[label_at..label_at + end],
+        None => &json[label_at..],
+    };
+    let mut entries = Vec::new();
+    let mut rest = section;
+    while let Some(name_at) = rest.find("\"name\": \"") {
+        let after_name = &rest[name_at + "\"name\": \"".len()..];
+        let Some(name_end) = after_name.find('"') else {
+            break;
+        };
+        let name = after_name[..name_end].to_string();
+        let Some(ops_at) = after_name.find("\"ops_per_s\": ") else {
+            break;
+        };
+        let after_ops = &after_name[ops_at + "\"ops_per_s\": ".len()..];
+        let number: String = after_ops
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(value) = number.parse::<f64>() {
+            entries.push((name, value));
+        }
+        rest = after_ops;
+    }
+    entries
+}
+
+fn main() {
+    let mut scale_name = "bench".to_string();
+    let mut label = "run".to_string();
+    let mut json_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.2f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale_name = args.next().expect("--scale needs a value"),
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--json" => json_path = Some(args.next().expect("--json needs a value")),
+            "--check" => check_path = Some(args.next().expect("--check needs a value")),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance needs a value")
+                    .parse()
+                    .expect("--tolerance must be a number")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf [--scale report|bench|full|test|smoke] [--label NAME] [--json PATH] [--check BASELINE.json] [--tolerance F]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let scale = scale_by_name(&scale_name).unwrap_or_else(|| {
+        eprintln!("unknown scale: {scale_name}");
+        std::process::exit(2);
+    });
+
+    let config = aging_config(&scale);
+    eprintln!(
+        "perf: scale {scale_name}, {} objects of {} KB",
+        config.object_count(),
+        config.object_size.mean() >> 10
+    );
+
+    // The maintained runs exercise the per-tick fragmentation observation
+    // (the superlinear path the O(1) accounting removed); the plain runs time
+    // the bare aging loop.  Maintained aging is capped at age 4 so the
+    // baseline stays recordable even on the pre-optimisation build.
+    let maint_age = scale.max_age.min(4);
+    let jobs: Vec<(String, StoreKind, ExperimentConfig, u32)> = vec![
+        (
+            "aging_plain_database".into(),
+            StoreKind::Database,
+            config.clone(),
+            scale.max_age,
+        ),
+        (
+            "aging_plain_filesystem".into(),
+            StoreKind::Filesystem,
+            config.clone(),
+            scale.max_age,
+        ),
+        (
+            "aging_maint_database".into(),
+            StoreKind::Database,
+            config
+                .clone()
+                .with_maintenance(MaintenanceConfig::fixed_budget(64)),
+            maint_age,
+        ),
+        (
+            "aging_maint_filesystem".into(),
+            StoreKind::Filesystem,
+            config
+                .clone()
+                .with_maintenance(MaintenanceConfig::fixed_budget(64)),
+            maint_age,
+        ),
+    ];
+
+    let mut entries = Vec::new();
+    for (name, kind, config, age) in jobs {
+        let entry = match timed_aging(&name, kind, &config, age) {
+            Ok(entry) => entry,
+            Err(err) => {
+                eprintln!("perf: {name} failed: {err}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "perf: {:<28} {:>9} ops in {:>8.2}s = {:>10.1} ops/s",
+            entry.name, entry.ops, entry.wall_s, entry.ops_per_s
+        );
+        entries.push(entry);
+    }
+
+    let rss_kb = peak_rss_kb();
+    let run = run_json(&label, &scale_name, &entries, rss_kb);
+    println!("{run}");
+    if let Some(path) = json_path {
+        let document =
+            format!("{{\n  \"schema\": \"bench-aging-v1\",\n  \"runs\": [\n{run}\n  ]\n}}\n");
+        std::fs::write(&path, document).expect("write --json output");
+        eprintln!("perf: wrote {path}");
+    }
+
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path).expect("read --check baseline");
+        let baseline = baseline_entries(&baseline);
+        if baseline.is_empty() {
+            eprintln!("perf: no ci-baseline run found in {path}; skipping check");
+            return;
+        }
+        let mut failed = false;
+        for (name, baseline_ops) in baseline {
+            let Some(entry) = entries.iter().find(|e| e.name == name) else {
+                continue;
+            };
+            let floor = baseline_ops * (1.0 - tolerance);
+            let verdict = if entry.ops_per_s < floor {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "perf: check {:<28} {:>10.1} ops/s vs baseline {:>10.1} (floor {:>10.1}) {verdict}",
+                name, entry.ops_per_s, baseline_ops, floor
+            );
+        }
+        if failed {
+            eprintln!("perf: ops/s regressed more than {:.0}%", tolerance * 100.0);
+            std::process::exit(1);
+        }
+    }
+}

@@ -495,13 +495,13 @@ pub fn maintenance_ablation(scale: &Scale) -> Result<Figure, StoreError> {
         let mut generator = lor_core::WorkloadGenerator::new(config.workload());
         for op in generator.bulk_load() {
             if let lor_core::WorkloadOp::Put { key, size } = op {
-                store.put(&key, size)?;
+                store.put(&key.to_string(), size)?;
             }
         }
         for _ in 0..ages[0] {
             for op in generator.overwrite_round() {
                 if let lor_core::WorkloadOp::SafeWrite { key, size } = op {
-                    store.safe_write(&key, size)?;
+                    store.safe_write(&key.to_string(), size)?;
                 }
             }
         }

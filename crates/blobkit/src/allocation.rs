@@ -260,11 +260,16 @@ impl AllocationUnit {
 
         let mut pages: Vec<PageId> = Vec::with_capacity(count as usize);
         while (pages.len() as u64) < count {
-            // 1. Try to continue the current run.
+            let remaining = count - pages.len() as u64;
+            // 1. Try to continue the current run — taking the whole overlap
+            //    of the free run that begins right after the last page in one
+            //    reservation, rather than a page at a time (the result is
+            //    identical; only the free-map traffic shrinks).
             if let Some(&last) = pages.last() {
                 let next = PageId(last.0 + 1);
-                if self.take_specific(gam, next) {
-                    pages.push(next);
+                let took = self.take_run_at(gam, next, remaining);
+                if took > 0 {
+                    pages.extend((next.0..next.0 + took).map(PageId));
                     continue;
                 }
             }
@@ -282,9 +287,9 @@ impl AllocationUnit {
                 .pick_page()
                 .or_else(|| gam.peek_next().map(|extent| extent.first_page()))
                 .expect("available_pages() guaranteed enough space");
-            let taken = self.take_specific(gam, start);
-            debug_assert!(taken, "the picked free position must be takeable");
-            pages.push(start);
+            let took = self.take_run_at(gam, start, remaining);
+            debug_assert!(took > 0, "the picked free position must be takeable");
+            pages.extend((start.0..start.0 + took).map(PageId));
         }
         Ok(pages)
     }
@@ -431,9 +436,7 @@ impl AllocationUnit {
                 // than violate the placement, undoing any partial progress
                 // (frees restore the GAM exactly — coalescing is
                 // deterministic).
-                for page in pages {
-                    self.free_page(gam, page);
-                }
+                self.free_pages(gam, pages);
                 return None;
             }
             if unit_pages >= gam_pages {
@@ -520,50 +523,100 @@ impl AllocationUnit {
             .expect("pages of a newly assigned extent were not free before");
     }
 
-    /// Takes one specific page if it is available (free in an assigned extent,
-    /// or in an extent that can be assigned from the GAM).  Returns `true` on
-    /// success.
-    fn take_specific(&mut self, gam: &mut Gam, page: PageId) -> bool {
-        let taken = if self.map.reserve(Extent::new(page.0, 1)).is_ok() {
-            true
-        } else {
+    /// Takes up to `max_len` contiguous free pages starting exactly at
+    /// `page`, adopting the page's extent from the GAM first when it is
+    /// still unassigned.  Returns how many pages were taken — 0 when the
+    /// position is neither free nor adoptable.
+    ///
+    /// Taking `n` pages this way leaves the unit, GAM and picker in exactly
+    /// the state `n` single-page takes of consecutive pages would, with one
+    /// free-map update instead of `n`.
+    fn take_run_at(&mut self, gam: &mut Gam, page: PageId, max_len: u64) -> u64 {
+        if !self.map.is_free(Extent::new(page.0, 1)) {
             let extent = page.extent();
-            if !self.extents.contains(&extent) && gam.assign_specific(extent) {
-                self.adopt_extent(extent);
-                self.map
-                    .reserve(Extent::new(page.0, 1))
-                    .expect("page of a freshly adopted extent is free");
-                true
-            } else {
-                false
+            if self.extents.contains(&extent) || !gam.assign_specific(extent) {
+                return 0;
             }
-        };
-        if taken {
-            self.picker.advance(Extent::new(page.0, 1));
+            self.adopt_extent(extent);
         }
-        taken
+        let run = self
+            .map
+            .run_at(page.0)
+            .expect("the position was just checked or adopted free");
+        let take = (run.end() - page.0).min(max_len);
+        let taken = Extent::new(page.0, take);
+        self.map.reserve(taken).expect("the run's pages are free");
+        self.picker.advance(taken);
+        take
     }
 
     /// Frees one page, returning its extent to the GAM if the extent is now
     /// completely empty.
     pub fn free_page(&mut self, gam: &mut Gam, page: PageId) {
-        let extent = page.extent();
-        assert!(
-            self.extents.contains(&extent),
-            "page {page} freed outside the unit's extents"
-        );
-        self.map
-            .release(Extent::new(page.0, 1))
-            .unwrap_or_else(|_| panic!("page {page} freed twice"));
+        self.free_run(gam, Extent::new(page.0, 1));
+    }
 
-        // If every page of the extent is free, hand the extent back.
-        let extent_pages = Extent::new(extent.first_page().0, PAGES_PER_EXTENT);
-        if self.map.is_free(extent_pages) {
-            self.map
-                .reserve(extent_pages)
-                .expect("a fully free extent's pages can be withdrawn");
-            self.extents.remove(&extent);
-            gam.release(extent);
+    /// Frees a contiguous run of pages in one free-map release, returning
+    /// each extent the run empties to the GAM.
+    ///
+    /// The end state is identical to freeing the run's pages one
+    /// [`AllocationUnit::free_page`] at a time — release coalescing is
+    /// deterministic and the extent-emptiness checks commute — but a run
+    /// costs one release plus one check per touched extent instead of a
+    /// release and a check per page.
+    pub fn free_run(&mut self, gam: &mut Gam, run: Extent) {
+        if run.len == 0 {
+            return;
+        }
+        let first_extent = PageId(run.start).extent();
+        let last_extent = PageId(run.end() - 1).extent();
+        for index in first_extent.0..=last_extent.0 {
+            assert!(
+                self.extents.contains(&ExtentId(index)),
+                "run {run:?} freed outside the unit's extents"
+            );
+        }
+        self.map
+            .release(run)
+            .unwrap_or_else(|_| panic!("run {run:?} freed twice"));
+
+        // If every page of a touched extent is free, hand the extent back.
+        for index in first_extent.0..=last_extent.0 {
+            let extent = ExtentId(index);
+            let extent_pages = Extent::new(extent.first_page().0, PAGES_PER_EXTENT);
+            if self.map.is_free(extent_pages) {
+                self.map
+                    .reserve(extent_pages)
+                    .expect("a fully free extent's pages can be withdrawn");
+                self.extents.remove(&extent);
+                gam.release(extent);
+            }
+        }
+    }
+
+    /// Frees a sequence of pages, merging neighbouring pages that arrive
+    /// consecutively (in either direction) into single [`free_run`] calls.
+    ///
+    /// Blob page lists and the ghost backlog's drain order are almost
+    /// entirely made of such runs, so this turns their page-at-a-time frees
+    /// into a handful of run releases.
+    ///
+    /// [`free_run`]: AllocationUnit::free_run
+    pub fn free_pages(&mut self, gam: &mut Gam, pages: impl IntoIterator<Item = PageId>) {
+        let mut run: Option<Extent> = None;
+        for page in pages {
+            run = Some(match run {
+                None => Extent::new(page.0, 1),
+                Some(open) if page.0 == open.end() => Extent::new(open.start, open.len + 1),
+                Some(open) if page.0 + 1 == open.start => Extent::new(page.0, open.len + 1),
+                Some(open) => {
+                    self.free_run(gam, open);
+                    Extent::new(page.0, 1)
+                }
+            });
+        }
+        if let Some(open) = run {
+            self.free_run(gam, open);
         }
     }
 

@@ -20,9 +20,9 @@
 //!   filegroup ([`Database::rebuild_into_new_filegroup`]), exactly what the
 //!   paper reports Microsoft recommends.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use lor_alloc::{AllocationPolicy, PlacementPolicy};
+use lor_alloc::{AllocationPolicy, CountMultiset, FragmentationTracker, PlacementPolicy};
 use lor_disksim::ByteRun;
 use serde::{Deserialize, Serialize};
 
@@ -182,11 +182,28 @@ pub struct Database {
     keys: BTreeMap<String, BlobId>,
     next_id: u64,
     /// Pages of deleted/replaced BLOB versions awaiting ghost cleanup.
-    ghost_pages: Vec<PageId>,
+    /// Kept sorted (a page can never be ghosted twice before cleanup frees
+    /// it), so a budgeted tail-first pass pops the highest offsets in
+    /// O(take · log G) instead of re-sorting the whole backlog.
+    ghost_pages: BTreeSet<PageId>,
     ops_since_cleanup: u64,
     /// Metadata rows currently live (one per object).
     row_count: u64,
     stats: EngineStats,
+    /// Incremental per-blob fragment-count accounting: updated at every
+    /// layout mutation so [`Database::fragmentation`] is O(1) in the object
+    /// count (the maintenance scheduler observes it every tick).
+    frag_tracker: FragmentationTracker,
+    /// Page counts of every live blob, so the foreground watermark (largest
+    /// live allocation) is an O(1) max query instead of a full scan per
+    /// compaction step.
+    page_tracker: CountMultiset,
+    /// Every blob with more than one fragment, ordered so that iterating in
+    /// reverse yields fragment count descending, id ascending — the exact
+    /// order the compactor's old sort-the-world scan produced.  Maintained at
+    /// the same sites as `frag_tracker`, so [`Database::compact_step`] pays
+    /// O(candidates) instead of re-walking every page of every blob per tick.
+    compact_candidates: BTreeSet<(u64, std::cmp::Reverse<BlobId>)>,
 }
 
 impl Database {
@@ -215,10 +232,13 @@ impl Database {
             blobs: BTreeMap::new(),
             keys: BTreeMap::new(),
             next_id: 1,
-            ghost_pages: Vec::new(),
+            ghost_pages: BTreeSet::new(),
             ops_since_cleanup: 0,
             row_count: 0,
             stats: EngineStats::default(),
+            frag_tracker: FragmentationTracker::new(),
+            page_tracker: CountMultiset::new(),
+            compact_candidates: BTreeSet::new(),
             config,
         })
     }
@@ -282,6 +302,10 @@ impl Database {
         self.next_id += 1;
         let record = BlobRecord::new(id, key, size_bytes, pages);
         let receipt = self.receipt_for(&record);
+        let fragments = record.fragment_count() as u64;
+        self.frag_tracker.record_insert(fragments);
+        self.page_tracker.insert(record.page_count());
+        self.reindex_candidate(id, 0, fragments);
         self.keys.insert(key.to_string(), id);
         self.blobs.insert(id, record);
         self.insert_metadata_row()?;
@@ -309,6 +333,13 @@ impl Database {
         let old_pages = std::mem::replace(&mut record.pages, new_pages);
         let old_size = std::mem::replace(&mut record.size_bytes, size_bytes);
         let receipt = Self::receipt_for_parts(&self.config, id, &record.pages, size_bytes);
+        let old_fragments = crate::page::fragment_count(&old_pages) as u64;
+        let new_fragments = crate::page::fragment_count(&self.blobs[&id].pages) as u64;
+        self.frag_tracker
+            .record_replace(old_fragments, new_fragments);
+        self.page_tracker
+            .replace(old_pages.len() as u64, self.blobs[&id].pages.len() as u64);
+        self.reindex_candidate(id, old_fragments, new_fragments);
         self.ghost_pages.extend(old_pages);
         self.stats.updates += 1;
         self.stats.bytes_written += size_bytes;
@@ -388,12 +419,20 @@ impl Database {
                 .expect("key map and blob map are consistent");
             let old_pages = std::mem::replace(&mut record.pages, pages);
             let old_size = std::mem::replace(&mut record.size_bytes, *size);
+            let new_fragments = record.fragment_count() as u64;
+            let new_page_count = record.page_count();
             receipts.push(Self::receipt_for_parts(
                 &self.config,
                 id,
                 &record.pages,
                 *size,
             ));
+            let old_fragments = crate::page::fragment_count(&old_pages) as u64;
+            self.frag_tracker
+                .record_replace(old_fragments, new_fragments);
+            self.page_tracker
+                .replace(old_pages.len() as u64, new_page_count);
+            self.reindex_candidate(id, old_fragments, new_fragments);
             self.ghost_pages.extend(old_pages);
             self.stats.updates += 1;
             self.stats.bytes_written += *size;
@@ -414,6 +453,10 @@ impl Database {
             .blobs
             .remove(&id)
             .expect("key map and blob map are consistent");
+        let fragments = record.fragment_count() as u64;
+        self.frag_tracker.record_remove(fragments);
+        self.page_tracker.remove(record.page_count());
+        self.reindex_candidate(id, fragments, 0);
         self.ghost_pages.extend(record.pages);
         self.row_count -= 1;
         self.stats.deletes += 1;
@@ -459,16 +502,17 @@ impl Database {
             (max_pages as usize).min(self.ghost_pages.len())
         };
         if take < self.ghost_pages.len() {
-            // Partial pass: pick the highest-offset ghosts, keep the rest
-            // queued.
-            self.ghost_pages.sort_unstable();
-            for page in self.ghost_pages.split_off(self.ghost_pages.len() - take) {
-                self.lob_unit.free_page(&mut self.gam, page);
-            }
+            // Partial pass: pop the highest-offset ghosts off the sorted
+            // backlog (O(take · log G)), keep the rest queued.  The pops
+            // arrive in descending order, so `free_pages` coalesces the
+            // backlog's contiguous stretches into run-sized releases.
+            let popped: Vec<PageId> = (0..take)
+                .map(|_| self.ghost_pages.pop_last().expect("backlog is non-empty"))
+                .collect();
+            self.lob_unit.free_pages(&mut self.gam, popped);
         } else {
-            for page in self.ghost_pages.drain(..) {
-                self.lob_unit.free_page(&mut self.gam, page);
-            }
+            let backlog = std::mem::take(&mut self.ghost_pages);
+            self.lob_unit.free_pages(&mut self.gam, backlog);
         }
         self.ops_since_cleanup = 0;
         self.stats.ghost_cleanups += 1;
@@ -481,7 +525,32 @@ impl Database {
     }
 
     /// Per-object fragment counts (the paper's headline metric).
+    ///
+    /// Answered from the incremental tracker in O(distinct fragment counts)
+    /// — independent of the number of live objects, so the maintenance
+    /// scheduler can observe it every tick.
     pub fn fragmentation(&self) -> lor_alloc::FragmentationSummary {
+        self.frag_tracker.summary()
+    }
+
+    /// Keeps the compactor's candidate index in sync with a blob's fragment
+    /// count.  Pass `old_fragments == 0` for a brand-new blob and
+    /// `new_fragments == 0` for a removed one; only blobs with more than one
+    /// fragment are candidates.
+    fn reindex_candidate(&mut self, id: BlobId, old_fragments: u64, new_fragments: u64) {
+        if old_fragments > 1 {
+            self.compact_candidates
+                .remove(&(old_fragments, std::cmp::Reverse(id)));
+        }
+        if new_fragments > 1 {
+            self.compact_candidates
+                .insert((new_fragments, std::cmp::Reverse(id)));
+        }
+    }
+
+    /// Full-scan recompute of [`Database::fragmentation`] — the oracle the
+    /// property tests compare the incremental tracker against.
+    pub fn fragmentation_rescan(&self) -> lor_alloc::FragmentationSummary {
         let counts: Vec<u64> = self
             .blobs
             .values()
@@ -531,8 +600,13 @@ impl Database {
                 .get_mut(&id)
                 .expect("key map and blob map are consistent");
             let pages = new_lob.allocate_pages(&mut new_gam, record.page_count())?;
+            let old_fragments = record.fragment_count() as u64;
             record.pages = pages;
+            let new_fragments = record.fragment_count() as u64;
             copied += record.size_bytes;
+            self.frag_tracker
+                .record_replace(old_fragments, new_fragments);
+            self.reindex_candidate(id, old_fragments, new_fragments);
         }
 
         self.gam = new_gam;
@@ -567,14 +641,29 @@ impl Database {
     /// transaction.  At least one candidate is examined per call even when
     /// `page_budget` is smaller than the blob, so compaction never starves.
     pub fn compact_step(&mut self, page_budget: u64) -> CompactReport {
-        let mut candidates: Vec<(BlobId, usize)> = self
-            .blobs
-            .values()
-            .filter(|record| record.fragment_count() > 1)
-            .map(|record| (record.id, record.fragment_count()))
+        // The candidate index is kept sorted incrementally; iterating it in
+        // reverse yields fragment count descending / id ascending, the exact
+        // order the old sort-every-blob scan produced, in O(candidates)
+        // instead of O(objects × pages) per tick.
+        let candidates: Vec<(BlobId, usize)> = self
+            .compact_candidates
+            .iter()
+            .rev()
+            .map(|&(fragments, std::cmp::Reverse(id))| (id, fragments as usize))
             .collect();
-        candidates.sort_by_key(|(_, fragments)| std::cmp::Reverse(*fragments));
         let watermark_pages = self.foreground_watermark_pages();
+
+        // Under the unrestricted placement the relocation allocator is
+        // largest-first, so how many fragments it would hand a candidate is
+        // decidable read-only from the free-run size profile (see
+        // `planned_fragments`).  Most candidates in a churning store are
+        // *unimprovable* — their fragment count already matches what the
+        // free space can offer — and without the plan each of them costs a
+        // full speculative allocate-then-roll-back cycle.  The profile stays
+        // valid across skips and rollbacks (both leave free space untouched)
+        // and is rebuilt lazily after a committed move.
+        let planned = self.config.placement.is_unrestricted();
+        let mut profile: Option<Vec<u64>> = None;
 
         let mut report = CompactReport::default();
         for (id, fragments) in candidates {
@@ -587,6 +676,18 @@ impl Database {
                 let record = &self.blobs[&id];
                 (record.page_count(), record.size_bytes)
             };
+            if planned {
+                // Any candidate's need is bounded by the largest live blob,
+                // so the profile never has to look past the watermark.
+                let profile = profile.get_or_insert_with(|| {
+                    Self::free_run_profile(&self.lob_unit, &self.gam, watermark_pages.max(1))
+                });
+                if Self::planned_fragments(profile, need) >= fragments as u64 {
+                    report.blobs_skipped += 1;
+                    report.fragments_after += fragments as u64;
+                    continue;
+                }
+            }
             let new_pages =
                 match self
                     .lob_unit
@@ -602,9 +703,7 @@ impl Database {
             let new_fragments = crate::page::fragment_count(&new_pages);
             if new_fragments >= fragments {
                 // Not an improvement: roll the speculative allocation back.
-                for page in new_pages {
-                    self.lob_unit.free_page(&mut self.gam, page);
-                }
+                self.lob_unit.free_pages(&mut self.gam, new_pages);
                 report.blobs_skipped += 1;
                 report.fragments_after += fragments as u64;
                 continue;
@@ -614,9 +713,11 @@ impl Database {
                 .get_mut(&id)
                 .expect("candidate ids are live blobs");
             let old_pages = std::mem::replace(&mut record.pages, new_pages);
-            for page in old_pages {
-                self.lob_unit.free_page(&mut self.gam, page);
-            }
+            self.frag_tracker
+                .record_replace(fragments as u64, new_fragments as u64);
+            self.reindex_candidate(id, fragments as u64, new_fragments as u64);
+            self.lob_unit.free_pages(&mut self.gam, old_pages);
+            profile = None;
             self.stats.pages_allocated += need;
             report.blobs_moved += 1;
             report.pages_moved += need;
@@ -626,17 +727,70 @@ impl Database {
         report
     }
 
+    /// Prefix sums of the free-run sizes a maintenance relocation can draw
+    /// from — the unit's free page runs and whole unassigned GAM runs (in
+    /// pages) — merged largest first, truncated once the sum reaches
+    /// `cap_pages` (no candidate needs more, so further runs cannot change
+    /// any planning answer).
+    ///
+    /// Because taking one run leaves every other run's length unchanged, the
+    /// largest-first allocator consumes runs exactly in this order, so the
+    /// prefix sums answer "how many fragments would `need` pages cost"
+    /// without mutating anything (see [`Database::planned_fragments`]).
+    fn free_run_profile(lob_unit: &AllocationUnit, gam: &Gam, cap_pages: u64) -> Vec<u64> {
+        let mut unit = lob_unit.free_space().run_lens_desc().peekable();
+        let mut gam_runs = gam
+            .free_space()
+            .run_lens_desc()
+            .map(|extents| extents * PAGES_PER_EXTENT)
+            .peekable();
+        let mut prefix = Vec::new();
+        let mut sum = 0u64;
+        while sum < cap_pages {
+            // Prefer the unit run on ties, as the allocator does (the tie
+            // order cannot change the *count*, only which equal-sized run is
+            // consumed first).
+            let next = match (unit.peek(), gam_runs.peek()) {
+                (Some(&u), Some(&g)) if u >= g => unit.next(),
+                (Some(_), Some(_)) => gam_runs.next(),
+                (Some(_), None) => unit.next(),
+                (None, Some(_)) => gam_runs.next(),
+                (None, None) => break,
+            };
+            sum += next.expect("peeked iterator yields");
+            prefix.push(sum);
+        }
+        prefix
+    }
+
+    /// Fragments a largest-first relocation of `need` pages would produce
+    /// given [`Database::free_run_profile`], or `u64::MAX` when the free
+    /// space cannot supply `need` pages at all.
+    ///
+    /// This is an upper bound on the resulting `fragment_count`: in the rare
+    /// case where two consumed runs happen to be page-adjacent (a unit run
+    /// ending exactly where a freshly adopted extent begins) the real count
+    /// comes out lower, so a skip based on this bound can at worst postpone
+    /// an improvable candidate to a later tick — it never commits a move the
+    /// old allocate-then-check path would have rolled back.
+    fn planned_fragments(profile: &[u64], need: u64) -> u64 {
+        if need == 0 {
+            return 0;
+        }
+        let takes = profile.partition_point(|&total| total < need);
+        if takes == profile.len() {
+            return u64::MAX;
+        }
+        takes as u64 + 1
+    }
+
     /// The largest contiguous allocation (in LOB pages) a single foreground
     /// operation could still need: the page count of the largest live blob,
     /// since a wholesale update writes a complete replacement version.  The
     /// [`PlacementPolicy::Reserve`] variant forbids the compactor from
     /// consuming any free run longer than this watermark.
     pub fn foreground_watermark_pages(&self) -> u64 {
-        self.blobs
-            .values()
-            .map(BlobRecord::page_count)
-            .max()
-            .unwrap_or(0)
+        self.page_tracker.max().unwrap_or(0)
     }
 
     /// Read-only access to the Global Allocation Map, for placement
@@ -937,9 +1091,9 @@ mod tests {
             "only the budgeted pages were released"
         );
         // A second bounded pass keeps eating from the (new) tail.
-        let before: Vec<_> = db.ghost_pages.clone();
+        let before: Vec<_> = db.ghost_pages.iter().copied().collect();
         db.ghost_cleanup_limited(pages_of_a_blob);
-        let after: Vec<_> = db.ghost_pages.clone();
+        let after: Vec<_> = db.ghost_pages.iter().copied().collect();
         let released: Vec<_> = before.iter().filter(|p| !after.contains(p)).collect();
         let kept_max = after.iter().max().unwrap();
         assert!(

@@ -78,6 +78,9 @@ fn check_invariants(db: &Database, live: &BTreeMap<String, u64>) -> Result<(), T
         let plan_bytes: u64 = plan.iter().map(|r| r.len).sum();
         prop_assert_eq!(plan_bytes, record.page_count() * db.config().page_size);
     }
+    // The incremental fragmentation accounting answers exactly what a full
+    // rescan of every live blob would.
+    prop_assert_eq!(db.fragmentation(), db.fragmentation_rescan());
     Ok(())
 }
 
@@ -431,6 +434,82 @@ proptest! {
         for key in &live {
             let plan = db.read_plan(key).unwrap();
             prop_assert!(plan.iter().map(|r| r.len).sum::<u64>() > 0);
+        }
+    }
+}
+
+/// One operation of the incremental-fragmentation equivalence workload: the
+/// foreground mutation mix plus every maintenance path that rewrites layouts
+/// behind the tracker's back if a bookkeeping site is missed.
+#[derive(Debug, Clone)]
+enum FragOp {
+    Insert { size: u64 },
+    Update { index: usize, size: u64 },
+    Delete { index: usize },
+    CleanupLimited { pages: u64 },
+    Compact { page_budget: u64 },
+    Rebuild,
+}
+
+fn arb_frag_op() -> impl Strategy<Value = FragOp> {
+    prop_oneof![
+        4 => (1u64..2 * MB).prop_map(|size| FragOp::Insert { size }),
+        4 => (0usize..64, 1u64..2 * MB).prop_map(|(index, size)| FragOp::Update { index, size }),
+        2 => (0usize..64).prop_map(|index| FragOp::Delete { index }),
+        2 => (1u64..64).prop_map(|pages| FragOp::CleanupLimited { pages }),
+        2 => (1u64..64).prop_map(|page_budget| FragOp::Compact { page_budget }),
+        1 => Just(FragOp::Rebuild),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After any sequence of inserts, updates, deletes, budgeted ghost
+    /// cleanups, budgeted compaction steps and filegroup rebuilds, the
+    /// engine's O(1)-observable [`Database::fragmentation`] is bit-identical
+    /// to [`Database::fragmentation_rescan`], the full walk over every live
+    /// blob it replaced.
+    #[test]
+    fn incremental_fragmentation_matches_full_rescan(
+        ops in prop::collection::vec(arb_frag_op(), 1..80)
+    ) {
+        let mut config = EngineConfig::new(FILE_BYTES);
+        config.ghost_cleanup_interval_ops = 1_000_000; // cleanups only where the op says
+        let mut db = Database::create(config).unwrap();
+        let mut keys: Vec<String> = Vec::new();
+        let mut counter = 0u64;
+
+        for op in ops {
+            match op {
+                FragOp::Insert { size } => {
+                    let key = format!("obj-{counter}");
+                    counter += 1;
+                    if db.insert(&key, size).is_ok() {
+                        keys.push(key);
+                    }
+                }
+                FragOp::Update { index, size } => {
+                    if keys.is_empty() { continue; }
+                    let key = keys[index % keys.len()].clone();
+                    let _ = db.update(&key, size);
+                }
+                FragOp::Delete { index } => {
+                    if keys.is_empty() { continue; }
+                    let key = keys.swap_remove(index % keys.len());
+                    db.delete(&key).unwrap();
+                }
+                FragOp::CleanupLimited { pages } => {
+                    db.ghost_cleanup_limited(pages);
+                }
+                FragOp::Compact { page_budget } => {
+                    db.compact_step(page_budget);
+                }
+                FragOp::Rebuild => {
+                    db.rebuild_into_new_filegroup().unwrap();
+                }
+            }
+            prop_assert_eq!(db.fragmentation(), db.fragmentation_rescan());
         }
     }
 }

@@ -31,10 +31,11 @@ use serde::{Deserialize, Serialize};
 use crate::db_store::{DbObjectStore, DbStoreConfig};
 use crate::error::StoreError;
 use crate::fs_store::{FsObjectStore, FsStoreConfig};
+use crate::hist::LatencyHistogram;
 use crate::server::{Completion, LatencySummary, MixedOpenLoop, StoreServer};
 use crate::store::{CostModel, ObjectStore, StoreKind};
 use crate::workload::{
-    SizeDistribution, StorageAgeTracker, WorkloadGenerator, WorkloadOp, WorkloadSpec,
+    ObjectKey, SizeDistribution, StorageAgeTracker, WorkloadGenerator, WorkloadOp, WorkloadSpec,
 };
 
 /// The simulated testbed, standing in for the paper's Table 1.
@@ -398,9 +399,13 @@ pub fn run_aging_experiment(
             server.reset_queue_stats();
             let mut written = 0u64;
             let mut ops = 0u64;
-            let mut interval_completions = Vec::new();
+            // Latencies stream into a fixed-size histogram as rounds finish
+            // — the harness no longer retains an interval's completions just
+            // to sort them at checkpoint time.
+            let mut interval_hist = LatencyHistogram::new();
+            let mut key_buf = ObjectKey::buf();
             while current_age < target {
-                let round: Vec<(String, u64)> = generator
+                let round: Vec<(ObjectKey, u64)> = generator
                     .overwrite_round()
                     .into_iter()
                     .filter_map(|op| match op {
@@ -410,23 +415,22 @@ pub fn run_aging_experiment(
                     .collect();
                 let old_sizes: Vec<u64> = round
                     .iter()
-                    .map(|(key, _)| server.store().size_of(key))
+                    .map(|(key, _)| server.store().size_of(key.write_into(&mut key_buf)))
                     .collect::<Result<_, _>>()?;
                 let round_ops: Vec<WorkloadOp> = round
                     .iter()
-                    .map(|(key, size)| WorkloadOp::SafeWrite {
-                        key: key.clone(),
-                        size: *size,
-                    })
+                    .map(|&(key, size)| WorkloadOp::SafeWrite { key, size })
                     .collect();
                 let completions =
                     server.run_closed_loop(round_ops, config.concurrency.max(1), think_time)?;
-                for ((_, size), old) in round.iter().zip(old_sizes) {
-                    tracker.record_safe_write(old, *size);
+                for completion in &completions {
+                    interval_hist.record(completion.latency().as_nanos());
+                }
+                for (&(_, size), old) in round.iter().zip(old_sizes) {
+                    tracker.record_safe_write(old, size);
                     written += size;
                     ops += 1;
                 }
-                interval_completions.extend(completions);
                 current_age += 1;
             }
             interval_throughput = throughput_mb_per_sec(written, server.store().elapsed());
@@ -435,7 +439,7 @@ pub fn run_aging_experiment(
                 .elapsed()
                 .checked_div_int(ops.max(1))
                 .as_millis_f64();
-            interval_summary = LatencySummary::of(&interval_completions);
+            interval_summary = interval_hist.summary();
             interval_queue = server.queue_stats();
         }
 

@@ -61,6 +61,7 @@ mod store;
 
 pub mod experiment;
 pub mod fragmentation;
+pub mod hist;
 pub mod report;
 pub mod server;
 pub mod workload;
@@ -74,6 +75,7 @@ pub use experiment::{
 };
 pub use fragmentation::{analyze_store, FragmentationReport};
 pub use fs_store::{FsObjectStore, FsStoreConfig};
+pub use hist::LatencyHistogram;
 pub use report::{Figure, Series, Table};
 pub use server::{
     ClientId, Completion, LatencySummary, MixedOpenLoop, OpenLoop, QueueStats, StoreRequest,
@@ -81,7 +83,8 @@ pub use server::{
 };
 pub use store::{CostModel, ObjectStore, OpReceipt, StoreKind};
 pub use workload::{
-    SizeDistribution, StorageAgeTracker, WorkloadGenerator, WorkloadOp, WorkloadSpec,
+    ObjectKey, ObjectKeyBuf, SizeDistribution, StorageAgeTracker, WorkloadGenerator, WorkloadOp,
+    WorkloadSpec,
 };
 
 // The allocation- and placement-policy knobs threaded from

@@ -560,20 +560,25 @@ impl<'a> StoreServer<'a> {
         let requests: Vec<StoreRequest> = waiting.drain(..batch_len).collect();
 
         let clock_before = self.store.elapsed();
+        // Keys travel the queueing layer as interned `ObjectKey`s; the
+        // string form the `ObjectStore` trait speaks is materialised only
+        // here, at the dispatch boundary (into a stack buffer for the
+        // single-op path).
         let receipts: Vec<OpReceipt> = if is_safe_write(&requests[0]) {
             let items: Vec<(String, u64)> = requests
                 .iter()
-                .map(|request| match &request.op {
-                    WorkloadOp::SafeWrite { key, size } => (key.clone(), *size),
+                .map(|request| match request.op {
+                    WorkloadOp::SafeWrite { key, size } => (key.to_string(), size),
                     _ => unreachable!("batch contains only safe writes"),
                 })
                 .collect();
             self.store.safe_write_batch(&items)?
         } else {
-            let receipt = match &requests[0].op {
-                WorkloadOp::Put { key, size } => self.store.put(key, *size)?,
-                WorkloadOp::Get { key } => self.store.get(key)?,
-                WorkloadOp::Delete { key } => self.store.delete(key)?,
+            let mut buf = crate::workload::ObjectKey::buf();
+            let receipt = match requests[0].op {
+                WorkloadOp::Put { key, size } => self.store.put(key.write_into(&mut buf), size)?,
+                WorkloadOp::Get { key } => self.store.get(key.write_into(&mut buf))?,
+                WorkloadOp::Delete { key } => self.store.delete(key.write_into(&mut buf))?,
                 WorkloadOp::SafeWrite { .. } => unreachable!("safe writes are batched"),
             };
             vec![receipt]
@@ -712,13 +717,14 @@ impl std::fmt::Debug for StoreServer<'_> {
 mod tests {
     use super::*;
     use crate::fs_store::FsObjectStore;
+    use crate::workload::ObjectKey;
 
     const MB: u64 = 1 << 20;
 
     fn puts(n: usize, size: u64) -> Vec<WorkloadOp> {
         (0..n)
             .map(|i| WorkloadOp::Put {
-                key: format!("o{i}"),
+                key: ObjectKey(i as u64),
                 size,
             })
             .collect()
@@ -727,7 +733,7 @@ mod tests {
     fn gets(n: usize) -> Vec<WorkloadOp> {
         (0..n)
             .map(|i| WorkloadOp::Get {
-                key: format!("o{i}"),
+                key: ObjectKey(i as u64),
             })
             .collect()
     }
@@ -737,7 +743,7 @@ mod tests {
         let mut serial = FsObjectStore::new(256 * MB).unwrap();
         let mut serial_receipts = Vec::new();
         for i in 0..12 {
-            serial_receipts.push(serial.put(&format!("o{i}"), MB).unwrap());
+            serial_receipts.push(serial.put(&ObjectKey(i as u64).to_string(), MB).unwrap());
         }
         let serial_elapsed = serial.elapsed();
 
@@ -793,7 +799,7 @@ mod tests {
             .unwrap();
         let writes: Vec<WorkloadOp> = (0..8)
             .map(|i| WorkloadOp::SafeWrite {
-                key: format!("o{i}"),
+                key: ObjectKey(i as u64),
                 size: MB,
             })
             .collect();
@@ -847,7 +853,7 @@ mod tests {
             .unwrap();
         let writes: Vec<WorkloadOp> = (0..16)
             .map(|i| WorkloadOp::SafeWrite {
-                key: format!("o{i}"),
+                key: ObjectKey(i as u64),
                 size: MB,
             })
             .collect();
@@ -894,7 +900,7 @@ mod tests {
             .unwrap();
         let writes: Vec<WorkloadOp> = (0..8)
             .map(|i| WorkloadOp::SafeWrite {
-                key: format!("o{i}"),
+                key: ObjectKey(i as u64),
                 size: MB,
             })
             .collect();
@@ -1013,7 +1019,7 @@ mod tests {
             .map(|i| Completion {
                 request: StoreRequest {
                     client: ClientId(0),
-                    op: WorkloadOp::Get { key: "k".into() },
+                    op: WorkloadOp::Get { key: ObjectKey(0) },
                     arrival: SimDuration::ZERO,
                 },
                 receipt: OpReceipt::default(),

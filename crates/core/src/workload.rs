@@ -84,32 +84,75 @@ impl SizeDistribution {
     }
 }
 
+/// An interned object key: the workload's dense `u64` id.
+///
+/// The hot request path used to thread heap-allocated `String` keys through
+/// every [`WorkloadOp`], request and completion — one allocation (often
+/// several, with clones) per simulated operation.  Keys are now this `Copy`
+/// newtype end to end; the canonical string form (`object-{:08}`, exactly
+/// what the generator always produced, so layouts stay deterministic) is
+/// materialised only at the [`ObjectStore`](crate::ObjectStore) call
+/// boundary via [`ObjectKey::write_into`], which formats into a stack buffer
+/// instead of the heap.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ObjectKey(pub u64);
+
+/// Stack buffer large enough for any [`ObjectKey`] string form
+/// (`"object-"` plus up to 20 decimal digits).
+pub type ObjectKeyBuf = [u8; 27];
+
+impl ObjectKey {
+    /// An empty [`ObjectKeyBuf`] for [`ObjectKey::write_into`].
+    pub fn buf() -> ObjectKeyBuf {
+        [0; 27]
+    }
+
+    /// Formats the canonical string form into a stack buffer, avoiding the
+    /// per-operation heap allocation `to_string` would cost on the hot
+    /// dispatch path.
+    pub fn write_into(self, buf: &mut ObjectKeyBuf) -> &str {
+        use std::io::Write;
+        let mut cursor = std::io::Cursor::new(&mut buf[..]);
+        write!(cursor, "object-{:08}", self.0).expect("27 bytes fit any u64 key");
+        let len = cursor.position() as usize;
+        std::str::from_utf8(&buf[..len]).expect("the key form is pure ASCII")
+    }
+}
+
+impl std::fmt::Display for ObjectKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "object-{:08}", self.0)
+    }
+}
+
 /// One operation of the synthetic workload.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WorkloadOp {
     /// Store a new object.
     Put {
         /// Object key.
-        key: String,
+        key: ObjectKey,
         /// Object size in bytes.
         size: u64,
     },
     /// Read an existing object in full.
     Get {
         /// Object key.
-        key: String,
+        key: ObjectKey,
     },
     /// Replace an existing object with a new version (safe write).
     SafeWrite {
         /// Object key.
-        key: String,
+        key: ObjectKey,
         /// New version size in bytes.
         size: u64,
     },
     /// Delete an existing object.
     Delete {
         /// Object key.
-        key: String,
+        key: ObjectKey,
     },
 }
 
@@ -164,7 +207,7 @@ pub struct WorkloadGenerator {
     spec: WorkloadSpec,
     rng: StdRng,
     next_key: u64,
-    live: Vec<String>,
+    live: Vec<ObjectKey>,
 }
 
 impl WorkloadGenerator {
@@ -185,7 +228,7 @@ impl WorkloadGenerator {
     }
 
     /// Keys of the objects currently live, in creation order.
-    pub fn live_keys(&self) -> &[String] {
+    pub fn live_keys(&self) -> &[ObjectKey] {
         &self.live
     }
 
@@ -193,9 +236,9 @@ impl WorkloadGenerator {
     pub fn bulk_load(&mut self) -> Vec<WorkloadOp> {
         (0..self.spec.object_count)
             .map(|_| {
-                let key = format!("object-{:08}", self.next_key);
+                let key = ObjectKey(self.next_key);
                 self.next_key += 1;
-                self.live.push(key.clone());
+                self.live.push(key);
                 WorkloadOp::Put {
                     key,
                     size: self.spec.sizes.sample(&mut self.rng),
@@ -217,7 +260,7 @@ impl WorkloadGenerator {
         order
             .into_iter()
             .map(|index| WorkloadOp::SafeWrite {
-                key: self.live[index].clone(),
+                key: self.live[index],
                 size: self.spec.sizes.sample(&mut self.rng),
             })
             .collect()
@@ -234,7 +277,7 @@ impl WorkloadGenerator {
         order
             .into_iter()
             .map(|index| WorkloadOp::Get {
-                key: self.live[index].clone(),
+                key: self.live[index],
             })
             .collect()
     }
@@ -249,7 +292,7 @@ impl WorkloadGenerator {
         }
         (0..count)
             .map(|_| WorkloadOp::Get {
-                key: self.live[self.rng.gen_range(0..self.live.len())].clone(),
+                key: self.live[self.rng.gen_range(0..self.live.len())],
             })
             .collect()
     }
@@ -265,7 +308,7 @@ impl WorkloadGenerator {
         }
         (0..count)
             .map(|_| WorkloadOp::SafeWrite {
-                key: self.live[self.rng.gen_range(0..self.live.len())].clone(),
+                key: self.live[self.rng.gen_range(0..self.live.len())],
                 size: self.spec.sizes.sample(&mut self.rng),
             })
             .collect()
@@ -280,9 +323,9 @@ impl WorkloadGenerator {
             let victim = self.rng.gen_range(0..self.live.len());
             let old_key = self.live.swap_remove(victim);
             ops.push(WorkloadOp::Delete { key: old_key });
-            let key = format!("object-{:08}", self.next_key);
+            let key = ObjectKey(self.next_key);
             self.next_key += 1;
-            self.live.push(key.clone());
+            self.live.push(key);
             ops.push(WorkloadOp::Put {
                 key,
                 size: self.spec.sizes.sample(&mut self.rng),
@@ -342,6 +385,23 @@ impl StorageAgeTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn object_keys_format_to_the_legacy_string_form() {
+        let mut buf = ObjectKey::buf();
+        // `write_into`, `Display` and the pre-interning generator format all
+        // agree — this is what keeps layouts bit-identical across the change.
+        assert_eq!(ObjectKey(7).write_into(&mut buf), "object-00000007");
+        assert_eq!(ObjectKey(7).to_string(), "object-00000007");
+        assert_eq!(
+            ObjectKey(123_456_789).write_into(&mut buf),
+            "object-123456789"
+        );
+        assert_eq!(
+            ObjectKey(u64::MAX).write_into(&mut buf),
+            format!("object-{}", u64::MAX)
+        );
+    }
 
     #[test]
     fn constant_distribution_is_constant() {
@@ -410,7 +470,7 @@ mod tests {
         let keys: std::collections::HashSet<_> = ops
             .iter()
             .map(|op| match op {
-                WorkloadOp::Put { key, .. } => key.clone(),
+                WorkloadOp::Put { key, .. } => *key,
                 _ => panic!("bulk load must only contain puts"),
             })
             .collect();
@@ -427,7 +487,7 @@ mod tests {
         let keys: std::collections::HashSet<_> = ops
             .iter()
             .map(|op| match op {
-                WorkloadOp::SafeWrite { key, .. } => key.clone(),
+                WorkloadOp::SafeWrite { key, .. } => *key,
                 _ => panic!("overwrite rounds must only contain safe writes"),
             })
             .collect();

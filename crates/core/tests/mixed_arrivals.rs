@@ -5,13 +5,13 @@
 //! equality — the draws are exponential).
 
 use lor_core::lor_disksim::SimDuration;
-use lor_core::{MixedOpenLoop, StoreRequest, WorkloadOp};
+use lor_core::{MixedOpenLoop, ObjectKey, StoreRequest, WorkloadOp};
 use proptest::prelude::*;
 
 fn reads(n: usize) -> Vec<WorkloadOp> {
     (0..n)
         .map(|i| WorkloadOp::Get {
-            key: format!("r{i}"),
+            key: ObjectKey(i as u64),
         })
         .collect()
 }
@@ -19,7 +19,7 @@ fn reads(n: usize) -> Vec<WorkloadOp> {
 fn writes(n: usize) -> Vec<WorkloadOp> {
     (0..n)
         .map(|i| WorkloadOp::SafeWrite {
-            key: format!("w{i}"),
+            key: ObjectKey(1_000_000 + i as u64),
             size: 1 << 20,
         })
         .collect()

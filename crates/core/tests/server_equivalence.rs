@@ -6,7 +6,8 @@
 
 use lor_core::lor_disksim::SimDuration;
 use lor_core::{
-    ExperimentConfig, ObjectStore, OpReceipt, SizeDistribution, StoreKind, StoreServer, WorkloadOp,
+    ExperimentConfig, ObjectKey, ObjectStore, OpReceipt, SizeDistribution, StoreKind, StoreServer,
+    WorkloadOp,
 };
 use proptest::prelude::*;
 
@@ -23,8 +24,8 @@ fn build(kind: StoreKind) -> Box<dyn ObjectStore> {
 /// harness could express: put new objects, safe-write or read or delete
 /// existing ones.  Returns `None` when the triple has no valid
 /// interpretation (e.g. a read of a key that never existed).
-fn concretize(live: &mut Vec<String>, kind: u8, key: u8, size_kb: u32) -> Option<WorkloadOp> {
-    let key_name = format!("k{}", key % 8);
+fn concretize(live: &mut Vec<ObjectKey>, kind: u8, key: u8, size_kb: u32) -> Option<WorkloadOp> {
+    let key_name = ObjectKey(u64::from(key % 8));
     let size = u64::from(size_kb) * 64 * 1024;
     let exists = live.contains(&key_name);
     match kind % 4 {
@@ -35,7 +36,7 @@ fn concretize(live: &mut Vec<String>, kind: u8, key: u8, size_kb: u32) -> Option
                     size,
                 })
             } else {
-                live.push(key_name.clone());
+                live.push(key_name);
                 Some(WorkloadOp::Put {
                     key: key_name,
                     size,
@@ -64,14 +65,14 @@ fn concretize(live: &mut Vec<String>, kind: u8, key: u8, size_kb: u32) -> Option
 fn run_serial(store: &mut dyn ObjectStore, ops: &[WorkloadOp]) -> Vec<OpReceipt> {
     let mut receipts = Vec::with_capacity(ops.len());
     for op in ops {
-        let receipt = match op {
-            WorkloadOp::Put { key, size } => store.put(key, *size).expect("valid op"),
-            WorkloadOp::Get { key } => store.get(key).expect("valid op"),
+        let receipt = match *op {
+            WorkloadOp::Put { key, size } => store.put(&key.to_string(), size).expect("valid op"),
+            WorkloadOp::Get { key } => store.get(&key.to_string()).expect("valid op"),
             WorkloadOp::SafeWrite { key, size } => store
-                .safe_write_batch(&[(key.clone(), *size)])
+                .safe_write_batch(&[(key.to_string(), size)])
                 .expect("valid op")
                 .remove(0),
-            WorkloadOp::Delete { key } => store.delete(key).expect("valid op"),
+            WorkloadOp::Delete { key } => store.delete(&key.to_string()).expect("valid op"),
         };
         receipts.push(receipt);
     }
@@ -129,15 +130,15 @@ proptest! {
 fn multi_client_schedule_matches_the_chunked_batches() {
     for kind in [StoreKind::Filesystem, StoreKind::Database] {
         for clients in [2usize, 4, 7] {
-            let keys: Vec<String> = (0..12).map(|i| format!("o{i}")).collect();
+            let keys: Vec<ObjectKey> = (0..12).map(ObjectKey).collect();
 
             // Reference: the old harness loop.
             let mut reference = build(kind);
             for key in &keys {
-                reference.put(key, MB).unwrap();
+                reference.put(&key.to_string(), MB).unwrap();
             }
             reference.reset_measurements();
-            let round: Vec<(String, u64)> = keys.iter().map(|k| (k.clone(), MB)).collect();
+            let round: Vec<(String, u64)> = keys.iter().map(|k| (k.to_string(), MB)).collect();
             let mut reference_receipts = Vec::new();
             for batch in round.chunks(clients) {
                 reference_receipts.extend(reference.safe_write_batch(batch).unwrap());
@@ -149,19 +150,13 @@ fn multi_client_schedule_matches_the_chunked_batches() {
             let mut server = StoreServer::new(store.as_mut());
             let puts: Vec<WorkloadOp> = keys
                 .iter()
-                .map(|k| WorkloadOp::Put {
-                    key: k.clone(),
-                    size: MB,
-                })
+                .map(|&k| WorkloadOp::Put { key: k, size: MB })
                 .collect();
             server.run_closed_loop(puts, 1, SimDuration::ZERO).unwrap();
             server.store_mut().reset_measurements();
             let writes: Vec<WorkloadOp> = keys
                 .iter()
-                .map(|k| WorkloadOp::SafeWrite {
-                    key: k.clone(),
-                    size: MB,
-                })
+                .map(|&k| WorkloadOp::SafeWrite { key: k, size: MB })
                 .collect();
             let completions = server
                 .run_closed_loop(writes, clients, SimDuration::ZERO)

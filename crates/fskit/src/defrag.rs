@@ -145,10 +145,7 @@ impl Defragmenter {
         // what matters for the cost model), then swap the extent maps and
         // release the old clusters immediately — the defragmenter runs with
         // its own transaction and the space it frees is reusable at once.
-        {
-            let record = volume.file_mut(id)?;
-            record.extents = new_extents;
-        }
+        volume.replace_extents(id, new_extents)?;
         volume.allocator_mut().free(&old_extents)?;
         let _ = size_bytes;
         Ok(true)

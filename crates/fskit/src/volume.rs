@@ -27,8 +27,9 @@
 use std::collections::BTreeMap;
 
 use lor_alloc::{
-    AllocError, AllocRequest, AllocationPolicy, Allocator, Extent, FragmentationSummary,
-    FreeSpaceReport, PlacementPolicy, RunCacheConfig, SelectableAllocator,
+    AllocError, AllocRequest, AllocationPolicy, Allocator, CountMultiset, Extent,
+    FragmentationSummary, FragmentationTracker, FreeSpaceReport, PlacementPolicy, RunCacheConfig,
+    SelectableAllocator,
 };
 use lor_disksim::ByteRun;
 use serde::{Deserialize, Serialize};
@@ -175,6 +176,14 @@ pub struct Volume {
     pending_free: Vec<Extent>,
     ops_since_checkpoint: u64,
     stats: VolumeStats,
+    /// Incremental per-file fragment-count accounting: updated at every
+    /// layout mutation so [`Volume::fragmentation`] is O(1) in the file
+    /// count (the maintenance scheduler observes it every tick).
+    frag_tracker: FragmentationTracker,
+    /// Allocated-cluster counts of every live file, so the foreground
+    /// watermark (largest live allocation) is an O(1) max query instead of a
+    /// full scan per defragmented file.
+    alloc_tracker: CountMultiset,
 }
 
 impl Volume {
@@ -202,6 +211,8 @@ impl Volume {
             pending_free: Vec::new(),
             ops_since_checkpoint: 0,
             stats: VolumeStats::default(),
+            frag_tracker: FragmentationTracker::new(),
+            alloc_tracker: CountMultiset::new(),
         })
     }
 
@@ -267,6 +278,10 @@ impl Volume {
         self.files.insert(id, FileRecord::new(id, name));
         self.names.insert(name.to_string(), id);
         self.stats.files_created += 1;
+        // An empty file counts as an object with zero fragments and zero
+        // allocated clusters.
+        self.frag_tracker.record_insert(0);
+        self.alloc_tracker.insert(0);
         Ok(id)
     }
 
@@ -324,9 +339,10 @@ impl Volume {
             self.stats.allocation_events += 1;
         }
 
-        let record = self.files.get_mut(&id).expect("checked above");
-        record.push_extents(&new_extents);
-        record.size_bytes += bytes;
+        self.with_layout(id, |record| {
+            record.push_extents(&new_extents);
+            record.size_bytes += bytes;
+        })?;
         self.stats.appends += 1;
         self.stats.bytes_written += bytes;
 
@@ -334,6 +350,7 @@ impl Volume {
         // the old end-of-file to the new end-of-file, walked over the extent
         // map.  (Recomputing from the updated record keeps partially-filled
         // final clusters correct.)
+        let record = self.files.get(&id).expect("checked above");
         Ok(Self::runs_for_range(
             record,
             self.config.cluster_size,
@@ -369,8 +386,7 @@ impl Volume {
         if clusters > 0 {
             let extents = self.allocate_with_pressure(&AllocRequest::best_effort(clusters))?;
             self.stats.allocation_events += 1;
-            let record = self.files.get_mut(&id).expect("just created");
-            record.push_extents(&extents);
+            self.with_layout(id, |record| record.push_extents(&extents))?;
         }
         // Data is still written in write-request-sized chunks, but no further
         // allocation happens.
@@ -408,8 +424,7 @@ impl Volume {
     fn trim_excess(&mut self, id: FileId) -> Result<(), FsError> {
         let cluster_size = self.config.cluster_size;
         let mut to_release: Vec<Extent> = Vec::new();
-        {
-            let record = self.files.get_mut(&id).ok_or(FsError::NoSuchFile(id.0))?;
+        self.with_layout(id, |record| {
             let needed = record.size_bytes.div_ceil(cluster_size);
             let mut excess = record.allocated_clusters().saturating_sub(needed);
             while excess > 0 {
@@ -427,7 +442,7 @@ impl Volume {
                     excess = 0;
                 }
             }
-        }
+        })?;
         for extent in to_release {
             // Preallocated clusters never held committed data, so they return
             // to the free pool immediately rather than via the pending queue.
@@ -440,6 +455,7 @@ impl Volume {
     /// reusable at the next checkpoint.
     pub fn delete(&mut self, id: FileId) -> Result<(), FsError> {
         let record = self.files.remove(&id).ok_or(FsError::NoSuchFile(id.0))?;
+        self.untrack(&record);
         self.names.remove(&record.name);
         self.stats.files_deleted += 1;
         self.stats.bytes_deleted += record.size_bytes;
@@ -480,6 +496,7 @@ impl Volume {
         // over its name.  Both copies coexisted until this point, which is
         // what makes safe writes churn free space.
         let old = self.files.remove(&old_id).expect("old file exists");
+        self.untrack(&old);
         self.names.remove(&old.name);
         self.stats.files_deleted += 1;
         self.stats.bytes_deleted += old.size_bytes;
@@ -575,6 +592,7 @@ impl Volume {
             // (last writer wins) — the same semantics `update_batch` has.
             let old_id = self.names[*name];
             let old = self.files.remove(&old_id).expect("old file exists");
+            self.untrack(&old);
             self.names.remove(&old.name);
             self.stats.files_deleted += 1;
             self.stats.bytes_deleted += old.size_bytes;
@@ -628,7 +646,17 @@ impl Volume {
     }
 
     /// Per-object fragment counts (the paper's headline metric).
+    ///
+    /// Answered from the incremental tracker in O(distinct fragment counts)
+    /// — independent of the number of live files, so the maintenance
+    /// scheduler can observe it every tick.
     pub fn fragmentation(&self) -> FragmentationSummary {
+        self.frag_tracker.summary()
+    }
+
+    /// Full-scan recompute of [`Volume::fragmentation`] — the oracle the
+    /// property tests compare the incremental tracker against.
+    pub fn fragmentation_rescan(&self) -> FragmentationSummary {
         FragmentationSummary::from_layouts(self.files.values().map(|f| f.extents.as_slice()))
     }
 
@@ -655,11 +683,7 @@ impl Volume {
     /// The [`PlacementPolicy::Reserve`] variant forbids maintenance from
     /// consuming any free run longer than this watermark.
     pub fn foreground_watermark(&self) -> u64 {
-        self.files
-            .values()
-            .map(FileRecord::allocated_clusters)
-            .max()
-            .unwrap_or(0)
+        self.alloc_tracker.max().unwrap_or(0)
     }
 
     /// Direct (reserve-exact) access to the allocator for test fixtures such
@@ -668,10 +692,52 @@ impl Volume {
         &mut self.allocator
     }
 
-    /// Mutable access to a file record for maintenance operations
-    /// (defragmentation moves extents without changing contents).
+    /// Mutable access to a file record, bypassing the incremental
+    /// fragmentation accounting.  Only the legacy-equivalence test uses this
+    /// — production extent-map mutations go through
+    /// [`Volume::replace_extents`] / `with_layout` so the trackers stay in
+    /// step.
+    #[cfg(test)]
     pub(crate) fn file_mut(&mut self, id: FileId) -> Result<&mut FileRecord, FsError> {
         self.files.get_mut(&id).ok_or(FsError::NoSuchFile(id.0))
+    }
+
+    /// Replaces a file's extent map with a relocated copy of the same data
+    /// (the defragmenter's swap), keeping the incremental accounting in
+    /// step.
+    pub(crate) fn replace_extents(
+        &mut self,
+        id: FileId,
+        new_extents: Vec<Extent>,
+    ) -> Result<(), FsError> {
+        self.with_layout(id, |record| record.extents = new_extents)
+    }
+
+    /// Runs `mutate` over a file record and reconciles the fragmentation and
+    /// allocation trackers with the record's before/after layout.  Every
+    /// extent-map mutation of a live file must go through here.
+    fn with_layout<R>(
+        &mut self,
+        id: FileId,
+        mutate: impl FnOnce(&mut FileRecord) -> R,
+    ) -> Result<R, FsError> {
+        let record = self.files.get_mut(&id).ok_or(FsError::NoSuchFile(id.0))?;
+        let old_fragments = record.fragment_count() as u64;
+        let old_clusters = record.allocated_clusters();
+        let result = mutate(record);
+        let new_fragments = record.fragment_count() as u64;
+        let new_clusters = record.allocated_clusters();
+        self.frag_tracker
+            .record_replace(old_fragments, new_fragments);
+        self.alloc_tracker.replace(old_clusters, new_clusters);
+        Ok(result)
+    }
+
+    /// Removes a just-deleted file from the incremental trackers.
+    fn untrack(&mut self, record: &FileRecord) {
+        self.frag_tracker
+            .record_remove(record.fragment_count() as u64);
+        self.alloc_tracker.remove(record.allocated_clusters());
     }
 
     /// Cluster size shortcut.

@@ -63,6 +63,9 @@ fn check_invariants(volume: &Volume, live: &[(String, u64)]) -> Result<(), TestC
         allocated,
         live_clusters + volume.pending_clusters() + volume.config().mft_clusters()
     );
+    // The incremental fragmentation accounting answers exactly what a full
+    // rescan of every live file would.
+    prop_assert_eq!(volume.fragmentation(), volume.fragmentation_rescan());
     Ok(())
 }
 
@@ -388,6 +391,88 @@ proptest! {
             let record = volume.file(id).unwrap();
             let plan = volume.read_plan(id).unwrap();
             prop_assert_eq!(plan.iter().map(|r| r.len).sum::<u64>(), record.size_bytes);
+        }
+    }
+}
+
+/// One operation of the incremental-fragmentation equivalence workload: the
+/// foreground mutation mix plus the maintenance paths (checkpoints and
+/// budgeted defragmentation steps) that rewrite layouts outside the write
+/// path.
+#[derive(Debug, Clone)]
+enum FragOp {
+    Put { size: u64, chunk: u64 },
+    Replace { index: usize, size: u64 },
+    Delete { index: usize },
+    Checkpoint,
+    DefragStep { budget: u64 },
+}
+
+fn arb_frag_op() -> impl Strategy<Value = FragOp> {
+    prop_oneof![
+        4 => (1u64..2 * MB, prop_oneof![Just(16 * 1024u64), Just(64 * 1024), Just(256 * 1024)])
+            .prop_map(|(size, chunk)| FragOp::Put { size, chunk }),
+        4 => (0usize..64, 1u64..2 * MB).prop_map(|(index, size)| FragOp::Replace { index, size }),
+        2 => (0usize..64).prop_map(|index| FragOp::Delete { index }),
+        1 => Just(FragOp::Checkpoint),
+        2 => (16u64 * 1024..512 * 1024).prop_map(|budget| FragOp::DefragStep { budget }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After any sequence of writes, safe writes, deletes, checkpoints and
+    /// budgeted defragmentation steps, the volume's O(1)-observable
+    /// [`Volume::fragmentation`] is bit-identical to
+    /// [`Volume::fragmentation_rescan`], the full walk over every live file
+    /// it replaced.
+    #[test]
+    fn incremental_fragmentation_matches_full_rescan(
+        ops in prop::collection::vec(arb_frag_op(), 1..80)
+    ) {
+        let mut config = VolumeConfig::new(VOLUME_BYTES);
+        config.checkpoint_interval_ops = 4;
+        let mut volume = Volume::format(config).unwrap();
+        let mut names: Vec<String> = Vec::new();
+        let mut counter = 0u64;
+        let mut cursor = DefragCursor::new();
+
+        for op in ops {
+            match op {
+                FragOp::Put { size, chunk } => {
+                    let name = format!("obj-{counter}");
+                    counter += 1;
+                    match volume.write_file(&name, size, chunk) {
+                        Ok(_) => names.push(name),
+                        Err(_) => {
+                            if let Ok(id) = volume.lookup(&name) {
+                                volume.delete(id).unwrap();
+                            }
+                        }
+                    }
+                }
+                FragOp::Replace { index, size } => {
+                    if names.is_empty() { continue; }
+                    let name = names[index % names.len()].clone();
+                    let _ = volume.safe_write(&name, size, 64 * 1024);
+                }
+                FragOp::Delete { index } => {
+                    if names.is_empty() { continue; }
+                    let name = names.swap_remove(index % names.len());
+                    volume.delete_by_name(&name).unwrap();
+                }
+                FragOp::Checkpoint => volume.checkpoint(),
+                FragOp::DefragStep { budget } => {
+                    if cursor.is_done() {
+                        cursor.reset();
+                    }
+                    Defragmenter::new()
+                        .defragment_step(&mut volume, &mut cursor, budget)
+                        .unwrap();
+                }
+            }
+            prop_assert_eq!(volume.fragmentation(), volume.fragmentation_rescan());
         }
     }
 }

@@ -238,7 +238,7 @@ fn marker_tool_agrees_with_extent_walk_on_aged_stores() {
         let mut generator = lorepo::core::WorkloadGenerator::new(config.workload());
         for op in generator.bulk_load() {
             if let lorepo::core::WorkloadOp::Put { key, size } = op {
-                store.put(&key, size).unwrap();
+                store.put(&key.to_string(), size).unwrap();
             }
         }
         for _ in 0..3 {
@@ -246,7 +246,9 @@ fn marker_tool_agrees_with_extent_walk_on_aged_stores() {
                 .overwrite_round()
                 .into_iter()
                 .filter_map(|op| match op {
-                    lorepo::core::WorkloadOp::SafeWrite { key, size } => Some((key, size)),
+                    lorepo::core::WorkloadOp::SafeWrite { key, size } => {
+                        Some((key.to_string(), size))
+                    }
                     _ => None,
                 })
                 .collect();
@@ -276,7 +278,7 @@ fn maintenance_restores_contiguity() {
         let mut generator = lorepo::core::WorkloadGenerator::new(config.workload());
         for op in generator.bulk_load() {
             if let lorepo::core::WorkloadOp::Put { key, size } = op {
-                store.put(&key, size).unwrap();
+                store.put(&key.to_string(), size).unwrap();
             }
         }
         for _ in 0..4 {
@@ -284,7 +286,9 @@ fn maintenance_restores_contiguity() {
                 .overwrite_round()
                 .into_iter()
                 .filter_map(|op| match op {
-                    lorepo::core::WorkloadOp::SafeWrite { key, size } => Some((key, size)),
+                    lorepo::core::WorkloadOp::SafeWrite { key, size } => {
+                        Some((key.to_string(), size))
+                    }
                     _ => None,
                 })
                 .collect();
