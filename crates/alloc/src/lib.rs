@@ -59,7 +59,7 @@ pub use buddy::BuddyAllocator;
 pub use error::AllocError;
 pub use extent::{Extent, ExtentListExt};
 pub use freespace::{BitmapMap, FreeSpace, RunIndexMap};
-pub use metrics::{FragmentationSummary, FreeSpaceReport};
+pub use metrics::{BandOccupancy, FragmentationSummary, FreeSpaceReport};
 pub use placement::{PlacementConsumer, PlacementPolicy};
 pub use policy::{
     AllocRequest, AllocationPolicy, Allocator, Contiguity, FitPicker, FitPolicy, PolicyAllocator,

@@ -158,6 +158,55 @@ impl FreeSpaceReport {
     }
 }
 
+/// Occupancy of the two placement bands — the observability gauge behind
+/// "is maintenance fighting the allocator for contiguous runs?".
+///
+/// The foreground band is `[0, boundary_cluster)`, the maintenance band
+/// `[boundary_cluster, total_clusters)`, matching
+/// [`crate::PlacementPolicy::boundary_cluster`].  Under an unrestricted
+/// policy the boundary equals the volume size and the maintenance band is
+/// empty (occupancy reported as zero).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandOccupancy {
+    /// First cluster of the maintenance band.
+    pub boundary_cluster: u64,
+    /// Total clusters on the volume.
+    pub total_clusters: u64,
+    /// Used fraction of the foreground band (0 when the band is empty).
+    pub foreground_used: f64,
+    /// Used fraction of the maintenance band (0 when the band is empty).
+    pub maintenance_used: f64,
+}
+
+impl BandOccupancy {
+    /// Computes band occupancy from the volume's free runs and the
+    /// placement boundary.
+    pub fn from_runs(total_clusters: u64, boundary_cluster: u64, runs: &[Extent]) -> Self {
+        let boundary = boundary_cluster.min(total_clusters);
+        let mut free_below = 0u64;
+        let mut free_above = 0u64;
+        for run in runs {
+            // Split runs straddling the boundary between the bands.
+            let below = boundary.saturating_sub(run.start).min(run.len);
+            free_below += below;
+            free_above += run.len - below;
+        }
+        let used = |band: u64, free: u64| {
+            if band == 0 {
+                0.0
+            } else {
+                1.0 - (free.min(band) as f64 / band as f64)
+            }
+        };
+        BandOccupancy {
+            boundary_cluster: boundary,
+            total_clusters,
+            foreground_used: used(boundary, free_below),
+            maintenance_used: used(total_clusters - boundary, free_above),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +265,29 @@ mod tests {
         let shattered: Vec<Extent> = (0..50).map(|i| Extent::new(i * 2, 1)).collect();
         let report = FreeSpaceReport::from_runs(100, &shattered);
         assert!((report.external_fragmentation - 0.98).abs() < 1e-9);
+    }
+
+    #[test]
+    fn band_occupancy_splits_at_the_boundary() {
+        // 100-cluster volume, boundary at 80: foreground band 80, maint 20.
+        // Free: [10, 20) in the foreground band, [75, 85) straddling, [95,
+        // 100) in the maintenance band.
+        let runs = [Extent::new(10, 10), Extent::new(75, 10), Extent::new(95, 5)];
+        let bands = BandOccupancy::from_runs(100, 80, &runs);
+        // Foreground free: 10 + 5 = 15 of 80; maintenance free: 5 + 5 = 10 of 20.
+        assert!((bands.foreground_used - (1.0 - 15.0 / 80.0)).abs() < 1e-9);
+        assert!((bands.maintenance_used - 0.5).abs() < 1e-9);
+
+        // Unrestricted: boundary at (or past) the end, empty maint band.
+        let whole = BandOccupancy::from_runs(100, 120, &runs);
+        assert_eq!(whole.boundary_cluster, 100);
+        assert_eq!(whole.maintenance_used, 0.0);
+        assert!((whole.foreground_used - 0.75).abs() < 1e-9);
+
+        // Degenerate empty volume.
+        let empty = BandOccupancy::from_runs(0, 0, &[]);
+        assert_eq!(empty.foreground_used, 0.0);
+        assert_eq!(empty.maintenance_used, 0.0);
     }
 
     #[test]

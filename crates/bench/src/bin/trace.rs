@@ -1,0 +1,177 @@
+//! Runs a traced aging workload and exports the combined Chrome-trace /
+//! metrics JSON document (loadable in Perfetto via "Open trace file").
+//!
+//! Usage:
+//!
+//! ```text
+//! trace [--scale full|report|bench|test|smoke] [--kind db|fs]
+//!       [--out <file>] [--validate] [--capacity <spans>]
+//! ```
+//!
+//! The run is the latency-anatomy workload: three closed-loop clients with
+//! think time over an aged store, with the placement-aware gap-filling
+//! maintenance policy enabled so all four tracks (server, background
+//! slices, disk, maintenance scheduler) carry events.  `--validate` feeds
+//! the exported document back through `lor_obs::validate_chrome_trace`
+//! (real JSON syntax pass, per-track monotonicity, span nesting) and fails
+//! the process on any violation — this is the CI smoke gate for the
+//! export format.
+
+use std::path::PathBuf;
+
+use lor_bench::Scale;
+use lor_core::lor_disksim::SimDuration;
+use lor_core::lor_obs::{validate_chrome_trace, Obs};
+use lor_core::{
+    ExperimentConfig, MaintenanceConfig, PlacementPolicy, SizeDistribution, StoreKind, StoreServer,
+    WorkloadGenerator,
+};
+
+struct Options {
+    scale: Scale,
+    scale_name: String,
+    kind: StoreKind,
+    out: Option<PathBuf>,
+    validate: bool,
+    capacity: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        scale: Scale::smoke(),
+        scale_name: "smoke".to_string(),
+        kind: StoreKind::Filesystem,
+        out: None,
+        validate: false,
+        capacity: 1 << 20,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.next().ok_or("--scale needs a value")?;
+                options.scale = match value.as_str() {
+                    "full" => Scale::full(),
+                    "report" => Scale::report(),
+                    "bench" => Scale::bench(),
+                    "test" => Scale::test(),
+                    "smoke" => Scale::smoke(),
+                    other => {
+                        return Err(format!(
+                            "unknown scale {other:?} (use full|report|bench|test|smoke)"
+                        ))
+                    }
+                };
+                options.scale_name = value;
+            }
+            "--kind" => {
+                options.kind = match args.next().ok_or("--kind needs a value")?.as_str() {
+                    "db" | "database" => StoreKind::Database,
+                    "fs" | "filesystem" => StoreKind::Filesystem,
+                    other => return Err(format!("unknown kind {other:?} (use db|fs)")),
+                };
+            }
+            "--out" => {
+                options.out = Some(PathBuf::from(args.next().ok_or("--out needs a file")?));
+            }
+            "--validate" => options.validate = true,
+            "--capacity" => {
+                options.capacity = args
+                    .next()
+                    .ok_or("--capacity needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: trace [--scale full|report|bench|test|smoke] [--kind db|fs] \
+                     [--out <file>] [--validate] [--capacity <spans>]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn run() -> Result<(), String> {
+    let options = parse_args()?;
+    let scale = &options.scale;
+
+    let mut config = ExperimentConfig::paper_default(SizeDistribution::Constant(
+        ((2u64 << 20) as f64 * scale.object_factor).max(64.0 * 1024.0) as u64,
+    ));
+    config.volume_bytes =
+        (40_000_000_000_f64 * scale.volume_factor).max(16.0 * 1024.0 * 1024.0) as u64;
+    config.occupancy = 0.5;
+    config.concurrency = 3;
+    config.think_time_ms = 400.0;
+    let config = config
+        .with_placement(PlacementPolicy::banded(0.9))
+        .with_maintenance(MaintenanceConfig::substrate_aware(5.0, 2000.0));
+
+    eprintln!(
+        "tracing a {} aging run at scale '{}' (volume {} MB, storage age {})",
+        options.kind.label(),
+        options.scale_name,
+        config.volume_bytes >> 20,
+        scale.max_age
+    );
+
+    let (obs, handle) = Obs::trace(options.capacity);
+    let think_time = SimDuration::from_millis_f64(config.think_time_ms);
+    let mut store = config
+        .build_store(options.kind)
+        .map_err(|e| e.to_string())?;
+    let mut generator = WorkloadGenerator::new(config.workload());
+    let mut server = StoreServer::new(store.as_mut());
+    server.set_obs(obs, SimDuration::from_millis(100));
+    server
+        .run_closed_loop(generator.bulk_load(), 1, SimDuration::ZERO)
+        .map_err(|e| e.to_string())?;
+    for _ in 0..scale.max_age {
+        server
+            .run_closed_loop(generator.overwrite_round(), config.concurrency, think_time)
+            .map_err(|e| e.to_string())?;
+    }
+
+    let json = handle.to_chrome_json();
+    eprintln!(
+        "captured {} spans and {} metric samples ({} spans, {} samples dropped by the ring)",
+        handle.span_count(),
+        handle.metric_count(),
+        handle.dropped_spans(),
+        handle.dropped_metrics()
+    );
+
+    if options.validate {
+        let check = validate_chrome_trace(&json)?;
+        eprintln!(
+            "validated: {} span events on {} tracks, {} counter events, {} metric series",
+            check.span_events, check.tracks, check.counter_events, check.metric_series
+        );
+        if check.span_events == 0 || check.tracks < 2 {
+            return Err(format!(
+                "trace is implausibly empty: {} span events on {} tracks",
+                check.span_events, check.tracks
+            ));
+        }
+    }
+
+    match &options.out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| e.to_string())?;
+            eprintln!("wrote {}", path.display());
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}

@@ -22,7 +22,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use lor_alloc::{AllocationPolicy, CountMultiset, FragmentationTracker, PlacementPolicy};
+use lor_alloc::{
+    AllocationPolicy, BandOccupancy, CountMultiset, Extent, FragmentationTracker, FreeSpace,
+    FreeSpaceReport, PlacementPolicy,
+};
 use lor_disksim::ByteRun;
 use serde::{Deserialize, Serialize};
 
@@ -546,6 +549,36 @@ impl Database {
             self.compact_candidates
                 .insert((new_fragments, std::cmp::Reverse(id)));
         }
+    }
+
+    /// Free page runs a LOB allocation can draw from: the unit's free page
+    /// runs plus whole unassigned GAM extents (in pages), sorted by start.
+    fn free_page_runs(&self) -> Vec<Extent> {
+        let mut runs = self.lob_unit.free_space().free_runs();
+        runs.extend(
+            self.gam
+                .free_space()
+                .free_runs()
+                .into_iter()
+                .map(|run| Extent::new(run.start * PAGES_PER_EXTENT, run.len * PAGES_PER_EXTENT)),
+        );
+        runs.sort_unstable_by_key(|run| run.start);
+        runs
+    }
+
+    /// Free-space shape report over LOB pages.
+    pub fn free_space_report(&self) -> FreeSpaceReport {
+        FreeSpaceReport::from_runs(self.config.total_pages(), &self.free_page_runs())
+    }
+
+    /// Occupancy of the placement bands over the engine's pages — the
+    /// probe-tick gauge behind "is the compactor crowding the foreground
+    /// band?".  Under [`PlacementPolicy::Unrestricted`] the whole filegroup
+    /// is the foreground band.
+    pub fn band_occupancy(&self) -> BandOccupancy {
+        let total = self.config.total_pages();
+        let boundary = self.config.placement.boundary_cluster(total);
+        BandOccupancy::from_runs(total, boundary, &self.free_page_runs())
     }
 
     /// Full-scan recompute of [`Database::fragmentation`] — the oracle the

@@ -310,7 +310,15 @@ pub struct AgePoint {
     pub queue_depth_max: u64,
     /// Cumulative background-maintenance time (seconds) the store's scheduler
     /// has spent up to this checkpoint (0 when no scheduler is attached).
+    /// Always equals the sum of the three per-task components below.
     pub background_time_s: f64,
+    /// Background time (seconds) spent on checkpoint flushes.
+    pub background_checkpoint_s: f64,
+    /// Background time (seconds) spent on ghost cleanup.
+    pub background_ghost_s: f64,
+    /// Background time (seconds) spent on incremental defragmentation /
+    /// compaction.
+    pub background_defrag_s: f64,
     /// Live objects at the checkpoint.
     pub objects: u64,
 }
@@ -453,6 +461,7 @@ pub fn run_aging_experiment(
             None
         };
 
+        let maintenance_stats = server.store().maintenance_stats();
         points.push(AgePoint {
             storage_age: tracker.storage_age(),
             fragments_per_object: server.store().fragmentation().fragments_per_object,
@@ -464,10 +473,14 @@ pub fn run_aging_experiment(
             latency_p99_ms: interval_summary.p99_ms,
             queue_depth_mean: interval_queue.mean_depth(),
             queue_depth_max: interval_queue.max_depth,
-            background_time_s: server
-                .store()
-                .maintenance_stats()
+            background_time_s: maintenance_stats
                 .map_or(0.0, |stats| stats.background_time.as_secs_f64()),
+            background_checkpoint_s: maintenance_stats
+                .map_or(0.0, |stats| stats.checkpoint.busy.as_secs_f64()),
+            background_ghost_s: maintenance_stats
+                .map_or(0.0, |stats| stats.ghost_cleanup.busy.as_secs_f64()),
+            background_defrag_s: maintenance_stats
+                .map_or(0.0, |stats| stats.defrag.busy.as_secs_f64()),
             objects: server.store().object_count() as u64,
         });
     }
@@ -568,14 +581,6 @@ pub struct MixedLoadPoint {
     pub fragments_after: f64,
 }
 
-/// Splits a completion stream into (reads, writes) by operation class.
-fn split_by_class(completions: &[Completion]) -> (Vec<Completion>, Vec<Completion>) {
-    completions
-        .iter()
-        .cloned()
-        .partition(|c| matches!(c.request.op, WorkloadOp::Get { .. }))
-}
-
 /// The capacity calibration of one mixed-sweep family: the deterministic
 /// operation mix plus the serial single-client capacity measured over it on
 /// a *twin* store (same config, same seed, so the aged state is
@@ -655,9 +660,25 @@ pub fn measure_mixed_load_calibrated(
     let mut server = StoreServer::new(store.as_mut());
     let offered = utilisation * calibration.capacity_ops_per_sec;
     let load = MixedOpenLoop::from_total(offered, calibration.write_fraction, config.seed);
-    let completions =
-        server.run_mixed_open_loop(calibration.reads.clone(), calibration.writes.clone(), load)?;
-    let (read_done, write_done) = split_by_class(&completions);
+    // Completions fold into one fixed-size histogram per class as they
+    // finish; the whole-interval completion vector is never materialised.
+    let mut read_hist = LatencyHistogram::new();
+    let mut write_hist = LatencyHistogram::new();
+    server.run_mixed_open_loop_with(
+        calibration.reads.clone(),
+        calibration.writes.clone(),
+        load,
+        &mut |completion: Completion| {
+            let hist = if matches!(completion.request.op, WorkloadOp::Get { .. }) {
+                &mut read_hist
+            } else {
+                &mut write_hist
+            };
+            hist.record(completion.latency().as_nanos());
+        },
+    )?;
+    let mut all_hist = read_hist.clone();
+    all_hist.merge(&write_hist);
     let queue_depth_mean = server.queue_stats().mean_depth();
     let fragments_after = server.store().fragmentation().fragments_per_object;
 
@@ -665,9 +686,9 @@ pub fn measure_mixed_load_calibrated(
         write_fraction: calibration.write_fraction,
         utilisation,
         offered_ops_per_sec: offered,
-        reads: LatencySummary::of(&read_done),
-        writes: LatencySummary::of(&write_done),
-        all: LatencySummary::of(&completions),
+        reads: read_hist.summary(),
+        writes: write_hist.summary(),
+        all: all_hist.summary(),
         queue_depth_mean,
         fragments_before,
         fragments_after,
@@ -810,6 +831,30 @@ mod tests {
             maintenance.tick_every_ops = 0;
         }
         assert!(run_aging_experiment(StoreKind::Filesystem, &bad, &[0], false).is_err());
+    }
+
+    #[test]
+    fn per_task_background_time_sums_to_the_total() {
+        use lor_maint::MaintenanceConfig;
+
+        let config = mini_config().with_maintenance(MaintenanceConfig::fixed_budget(16));
+        for kind in [StoreKind::Filesystem, StoreKind::Database] {
+            let result = run_aging_experiment(kind, &config, &[0, 2, 4], false).unwrap();
+            let aged = result.points.last().unwrap();
+            assert!(aged.background_time_s > 0.0);
+            for point in &result.points {
+                let parts = point.background_checkpoint_s
+                    + point.background_ghost_s
+                    + point.background_defrag_s;
+                assert!(
+                    (parts - point.background_time_s).abs() < 1e-9,
+                    "{kind:?} at age {}: per-task components ({parts}) must sum \
+                     to the total ({})",
+                    point.storage_age,
+                    point.background_time_s
+                );
+            }
+        }
     }
 
     #[test]

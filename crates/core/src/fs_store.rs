@@ -3,6 +3,7 @@
 use lor_disksim::{Disk, DiskConfig, IoRequest, ServiceTime, SimClock, SimDuration};
 use lor_fskit::{Defragmenter, Volume, VolumeConfig};
 use lor_maint::{MaintenanceConfig, MaintenanceStats};
+use lor_obs::Obs;
 use serde::{Deserialize, Serialize};
 
 use crate::error::StoreError;
@@ -345,6 +346,21 @@ impl ObjectStore for FsObjectStore {
         state
             .scheduler
             .run_budgeted_slice(&mut target, budget_bytes, now)
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        self.disk.set_obs(obs.clone(), "fs-store");
+        if let Some(state) = self.maintenance.as_mut() {
+            state.scheduler.set_obs(obs);
+        }
+    }
+
+    fn free_space_report(&self) -> Option<lor_alloc::FreeSpaceReport> {
+        Some(self.volume.free_space_report())
+    }
+
+    fn band_occupancy(&self) -> Option<lor_alloc::BandOccupancy> {
+        Some(self.volume.band_occupancy())
     }
 }
 

@@ -31,6 +31,12 @@
 //!   harness), plus the simulated testbed description standing in for
 //!   Table 1.
 //! * [`report`] — serialisable figure/table types with plain-text rendering.
+//! * [`anatomy`] — latency attribution over a traced run: each recorded
+//!   completion's latency decomposed into named components (maintenance
+//!   interference, queueing, fragmentation-induced extra positioning, disk
+//!   transfer, host time), aggregated over the top-percentile tail — the
+//!   "anatomy of a p99" measurement.  Tracing itself lives in [`lor_obs`]
+//!   and threads through every layer via [`StoreServer::set_obs`].
 //!
 //! ## Example: a miniature Figure 3
 //!
@@ -59,6 +65,7 @@ mod fs_store;
 mod maintenance;
 mod store;
 
+pub mod anatomy;
 pub mod experiment;
 pub mod fragmentation;
 pub mod hist;
@@ -66,6 +73,7 @@ pub mod report;
 pub mod server;
 pub mod workload;
 
+pub use anatomy::{AnatomyReport, LatencyAnatomy};
 pub use db_store::{DbObjectStore, DbStoreConfig};
 pub use error::StoreError;
 pub use experiment::{
@@ -105,3 +113,4 @@ pub use lor_blobkit;
 pub use lor_disksim;
 pub use lor_fskit;
 pub use lor_maint;
+pub use lor_obs;

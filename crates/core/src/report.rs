@@ -99,6 +99,40 @@ impl Series {
         }
     }
 
+    /// Builds the total cumulative background-maintenance-time series of an
+    /// aging run.
+    pub fn background_time_vs_age(result: &AgingResult) -> Self {
+        Series {
+            label: result.kind.label().to_string(),
+            points: result
+                .points
+                .iter()
+                .map(|p| (p.storage_age, p.background_time_s))
+                .collect(),
+        }
+    }
+
+    /// Builds the per-task-kind background-maintenance-time series of an
+    /// aging run: one series per kind (checkpoint, ghost cleanup,
+    /// defragmentation), in that order.  The three series sum pointwise to
+    /// [`Series::background_time_vs_age`].
+    pub fn background_by_kind_vs_age(result: &AgingResult) -> Vec<Series> {
+        let label = result.kind.label();
+        let column = |name: &str, pick: fn(&crate::experiment::AgePoint) -> f64| Series {
+            label: format!("{label} {name}"),
+            points: result
+                .points
+                .iter()
+                .map(|p| (p.storage_age, pick(p)))
+                .collect(),
+        };
+        vec![
+            column("checkpoint", |p| p.background_checkpoint_s),
+            column("ghost-cleanup", |p| p.background_ghost_s),
+            column("defrag", |p| p.background_defrag_s),
+        ]
+    }
+
     /// Builds the mean-queue-depth series of an aging run.
     pub fn queue_depth_vs_age(result: &AgingResult) -> Self {
         Series {
@@ -376,6 +410,9 @@ mod tests {
                     queue_depth_mean: 1.0,
                     queue_depth_max: 1,
                     background_time_s: 0.0,
+                    background_checkpoint_s: 0.0,
+                    background_ghost_s: 0.0,
+                    background_defrag_s: 0.0,
                     objects: 100,
                 },
                 AgePoint {
@@ -390,6 +427,9 @@ mod tests {
                     queue_depth_mean: 3.5,
                     queue_depth_max: 7,
                     background_time_s: 0.5,
+                    background_checkpoint_s: 0.3,
+                    background_ghost_s: 0.15,
+                    background_defrag_s: 0.05,
                     objects: 100,
                 },
             ],
@@ -423,6 +463,23 @@ mod tests {
         assert_eq!(p99.points, vec![(0.0, 25.0), (2.0, 55.0)]);
         let depth = Series::queue_depth_vs_age(&result);
         assert_eq!(depth.points, vec![(0.0, 1.0), (2.0, 3.5)]);
+
+        let background = Series::background_time_vs_age(&result);
+        assert_eq!(background.points, vec![(0.0, 0.0), (2.0, 0.5)]);
+        let by_kind = Series::background_by_kind_vs_age(&result);
+        assert_eq!(by_kind.len(), 3);
+        assert_eq!(by_kind[0].label, "Database checkpoint");
+        assert_eq!(by_kind[1].label, "Database ghost-cleanup");
+        assert_eq!(by_kind[2].label, "Database defrag");
+        assert_eq!(by_kind[0].points, vec![(0.0, 0.0), (2.0, 0.3)]);
+        assert_eq!(by_kind[1].points, vec![(0.0, 0.0), (2.0, 0.15)]);
+        assert_eq!(by_kind[2].points, vec![(0.0, 0.0), (2.0, 0.05)]);
+        // The per-kind series sum pointwise to the total.
+        for (index, &(x, total)) in background.points.iter().enumerate() {
+            let parts: f64 = by_kind.iter().map(|s| s.points[index].1).sum();
+            assert_eq!(by_kind[0].points[index].0, x);
+            assert!((parts - total).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use lor_disksim::SimDuration;
 use lor_maint::{FragObservation, FragRateEstimator, MaintenanceConfig, MaintenancePolicy};
+use lor_obs::{Obs, Track};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -82,6 +83,11 @@ pub struct Completion {
     pub start: SimDuration,
     /// When the request's data was fully on (or off) the disk.
     pub finish: SimDuration,
+    /// Portion of the queue delay spent waiting for an overlapping
+    /// background-maintenance slice to release the spindle — the
+    /// maintenance-interference component of the client-observed latency.
+    /// Zero when no slice overlapped the wait.
+    pub maint_delay: SimDuration,
 }
 
 impl Completion {
@@ -328,6 +334,16 @@ pub struct StoreServer<'a> {
     estimator: FragRateEstimator,
     ops_since_tick: u64,
     queue: QueueStats,
+    /// Observability handle; disabled ([`Obs::null`]) unless attached via
+    /// [`StoreServer::set_obs`].
+    obs: Obs,
+    /// Sequence number of the last scheduled background slice, linking
+    /// foreground spans to the slice that delayed them.
+    bg_slice_seq: u64,
+    /// Interval of the periodic metrics probe; zero disables probing.
+    probe_every: SimDuration,
+    /// Next instant the probe fires.
+    next_probe: SimDuration,
 }
 
 impl<'a> StoreServer<'a> {
@@ -348,7 +364,24 @@ impl<'a> StoreServer<'a> {
             estimator,
             ops_since_tick: 0,
             queue: QueueStats::default(),
+            obs: Obs::null(),
+            bg_slice_seq: 0,
+            probe_every: SimDuration::ZERO,
+            next_probe: SimDuration::ZERO,
         }
+    }
+
+    /// Attaches an observability handle to the server and everything below
+    /// it (the store's disk model and maintenance scheduler).  The server
+    /// emits one span per completion (queue/service/interference split) on
+    /// the server track and one span per background slice on the background
+    /// track, and samples the metrics registry every `probe_every` of
+    /// simulated time (zero disables the probe).
+    pub fn set_obs(&mut self, obs: Obs, probe_every: SimDuration) {
+        self.store.set_obs(obs.clone());
+        self.obs = obs;
+        self.probe_every = probe_every;
+        self.next_probe = self.now;
     }
 
     /// The wrapped store.
@@ -498,13 +531,40 @@ impl<'a> StoreServer<'a> {
         self.run_stream(stream.into())
     }
 
+    /// Like [`StoreServer::run_mixed_open_loop`], but streams every
+    /// completion into `sink` instead of returning them all: the
+    /// measurement sweeps fold completions into fixed-size histograms as
+    /// they finish, so a long mixed run does not retain a completion per
+    /// offered operation.
+    pub fn run_mixed_open_loop_with(
+        &mut self,
+        reads: Vec<WorkloadOp>,
+        writes: Vec<WorkloadOp>,
+        load: MixedOpenLoop,
+        sink: &mut dyn FnMut(Completion),
+    ) -> Result<(), StoreError> {
+        let stream = load.schedule(self.now, reads, writes)?;
+        self.run_stream_with(stream.into(), sink)
+    }
+
     /// Drains a pre-scheduled arrival stream (sorted by arrival time)
     /// against the spindle — the shared event loop behind both open-loop
     /// flavours.
     fn run_stream(
         &mut self,
-        mut stream: VecDeque<StoreRequest>,
+        stream: VecDeque<StoreRequest>,
     ) -> Result<Vec<Completion>, StoreError> {
+        let mut completions = Vec::with_capacity(stream.len());
+        self.run_stream_with(stream, &mut |completion| completions.push(completion))?;
+        Ok(completions)
+    }
+
+    /// The sink-based core of [`StoreServer::run_stream`].
+    fn run_stream_with(
+        &mut self,
+        mut stream: VecDeque<StoreRequest>,
+        sink: &mut dyn FnMut(Completion),
+    ) -> Result<(), StoreError> {
         debug_assert!(
             stream
                 .iter()
@@ -512,7 +572,6 @@ impl<'a> StoreServer<'a> {
                 .all(|(a, b)| a.arrival <= b.arrival),
             "arrival streams must be sorted"
         );
-        let mut completions = Vec::with_capacity(stream.len());
         let mut waiting: VecDeque<StoreRequest> = VecDeque::new();
         while !(stream.is_empty() && waiting.is_empty()) {
             if waiting.is_empty() {
@@ -528,9 +587,11 @@ impl<'a> StoreServer<'a> {
                 waiting.push_back(stream.pop_front().expect("checked non-empty"));
             }
             let done = self.dispatch(&mut waiting)?;
-            completions.extend(done);
+            for completion in done {
+                sink(completion);
+            }
         }
-        Ok(completions)
+        Ok(())
     }
 
     /// Serves the head of the waiting queue (batching queued safe writes)
@@ -542,6 +603,14 @@ impl<'a> StoreServer<'a> {
     ) -> Result<Vec<Completion>, StoreError> {
         let start = self.free_at().max(waiting[0].arrival);
         self.queue.observe(waiting.len());
+        // Pre-dispatch spindle state: who was holding the spindle while this
+        // dispatch waited splits the queue delay between other foreground
+        // work and background-maintenance interference.
+        let fg_busy = self.busy_until;
+        let bg_busy = self.bg_busy_until;
+        // Publish the dispatch instant so the disk model's spans land on the
+        // server timeline.
+        self.obs.set_now(start.as_nanos());
 
         // Safe writes that are waiting together leave as one batch: their
         // write requests interleave on disk exactly as a web server's
@@ -596,11 +665,19 @@ impl<'a> StoreServer<'a> {
         let mut done = Vec::with_capacity(requests.len());
         for (request, receipt) in requests.into_iter().zip(receipts) {
             finish += receipt.total_time();
+            // Of this request's wait, the stretch where only a maintenance
+            // slice was holding the spindle: the overlap of its waiting
+            // interval with the background-busy interval beyond the
+            // foreground-busy horizon.
+            let maint_delay = bg_busy
+                .min(start)
+                .saturating_sub(fg_busy.max(request.arrival));
             done.push(Completion {
                 request,
                 receipt,
                 start,
                 finish,
+                maint_delay,
             });
         }
         self.busy_until = start + service;
@@ -613,8 +690,110 @@ impl<'a> StoreServer<'a> {
             last.finish = last.finish.max(self.busy_until);
         }
         self.now = self.now.max(self.free_at());
+        if self.obs.enabled() {
+            // The slice that (possibly) delayed this dispatch is the latest
+            // scheduled one.
+            let delayed_by = self.bg_slice_seq;
+            for completion in &done {
+                self.obs.span(
+                    Track::Server,
+                    completion.request.op.kind_name(),
+                    completion.start.as_nanos(),
+                    completion
+                        .finish
+                        .saturating_sub(completion.start)
+                        .as_nanos(),
+                    &[
+                        ("client", u64::from(completion.request.client.0).into()),
+                        ("bytes", completion.receipt.payload_bytes.into()),
+                        ("fragments", completion.receipt.fragments.into()),
+                        ("queue_ms", completion.queue_delay().as_millis_f64().into()),
+                        (
+                            "service_ms",
+                            completion.receipt.total_time().as_millis_f64().into(),
+                        ),
+                        (
+                            "disk_ms",
+                            completion.receipt.disk_time.total().as_millis_f64().into(),
+                        ),
+                        (
+                            "host_ms",
+                            completion.receipt.host_time.as_millis_f64().into(),
+                        ),
+                        (
+                            "maint_delay_ms",
+                            completion.maint_delay.as_millis_f64().into(),
+                        ),
+                        ("bg_slice", delayed_by.into()),
+                    ],
+                );
+            }
+        }
         self.after_foreground(mutating);
+        self.probe(waiting.len());
         Ok(done)
+    }
+
+    /// Samples the metrics registry (queue depth, fragmentation, free-space
+    /// shape, band occupancy) when a probe interval has elapsed.  All
+    /// sampling work is skipped while observability is disabled or the
+    /// probe interval is zero.
+    fn probe(&mut self, queue_depth: usize) {
+        if !self.obs.enabled() || self.probe_every.is_zero() || self.now < self.next_probe {
+            return;
+        }
+        while self.next_probe <= self.now {
+            self.next_probe += self.probe_every;
+        }
+        let at = self.now.as_nanos();
+        self.obs.gauge("queue.depth", at, queue_depth as f64);
+        let frag = self.store.fragmentation();
+        self.obs
+            .gauge("frag.per_object", at, frag.fragments_per_object);
+        self.obs
+            .gauge("frag.excess", at, frag.excess_fragments() as f64);
+        if let Some(report) = self.store.free_space_report() {
+            self.obs.gauge("free.runs", at, report.free_runs as f64);
+            self.obs
+                .gauge("free.largest_run", at, report.largest_run as f64);
+            self.obs
+                .gauge("free.external_frag", at, report.external_fragmentation);
+        }
+        if let Some(bands) = self.store.band_occupancy() {
+            self.obs
+                .gauge("band.foreground_used", at, bands.foreground_used);
+            self.obs
+                .gauge("band.maintenance_used", at, bands.maintenance_used);
+        }
+    }
+
+    /// Counts a scheduled background slice and records its span on the
+    /// background track (the server timeline it actually occupies, as
+    /// opposed to the per-task spans the scheduler stamps with its own
+    /// cumulative clock).
+    fn record_slice(
+        &mut self,
+        slice_at: SimDuration,
+        io: lor_maint::MaintIo,
+        budget_bytes: u64,
+        trigger: &'static str,
+    ) {
+        self.bg_slice_seq += 1;
+        if !self.obs.enabled() {
+            return;
+        }
+        self.obs.span(
+            Track::Background,
+            "slice",
+            slice_at.as_nanos(),
+            io.time.as_nanos(),
+            &[
+                ("seq", self.bg_slice_seq.into()),
+                ("bytes", io.bytes.into()),
+                ("budget_bytes", budget_bytes.into()),
+                ("trigger", trigger.into()),
+            ],
+        );
     }
 
     /// Advances the server-driven maintenance tick counter and schedules
@@ -651,6 +830,7 @@ impl<'a> StoreServer<'a> {
             }
             self.bg_busy_until = slice_at + io.time;
             self.now = self.now.max(self.bg_busy_until);
+            self.record_slice(slice_at, io, budget_bytes, "tick");
         }
     }
 
@@ -690,6 +870,7 @@ impl<'a> StoreServer<'a> {
             }
             self.bg_busy_until = idle_from + io.time;
             self.now = self.now.max(self.bg_busy_until);
+            self.record_slice(idle_from, io, budget_bytes, "idle");
             if io.bytes > 0 {
                 let nanos_per_byte = io.time.as_nanos() as f64 / io.bytes as f64;
                 let remaining = next_arrival.saturating_sub(self.free_at());
@@ -1025,6 +1206,7 @@ mod tests {
                 receipt: OpReceipt::default(),
                 start: SimDuration::ZERO,
                 finish: SimDuration::from_millis(i),
+                maint_delay: SimDuration::ZERO,
             })
             .collect();
         let summary = LatencySummary::of(&completions);

@@ -9,8 +9,9 @@
 //! measured exactly the way the paper measures it: bytes moved divided by the
 //! time the storage system needed.
 
-use lor_alloc::FragmentationSummary;
+use lor_alloc::{BandOccupancy, FragmentationSummary, FreeSpaceReport};
 use lor_disksim::{ByteRun, ServiceTime, SimDuration};
+use lor_obs::Obs;
 use serde::{Deserialize, Serialize};
 
 use crate::error::StoreError;
@@ -244,6 +245,27 @@ pub trait ObjectStore {
     fn maintenance_slice(&mut self, budget_bytes: u64, now: SimDuration) -> lor_maint::MaintIo {
         let _ = (budget_bytes, now);
         lor_maint::MaintIo::NONE
+    }
+
+    /// Attaches an observability handle: the store passes it down to its
+    /// disk model (per-request disk spans) and maintenance scheduler
+    /// (per-task spans and budget gauges).  The default store ignores it —
+    /// observability is strictly opt-in and a [`lor_obs::Obs::null`] handle
+    /// costs nothing.
+    fn set_obs(&mut self, obs: Obs) {
+        let _ = obs;
+    }
+
+    /// Free-space shape of the underlying volume / data file, for the probe
+    /// tick's gauges.  `None` when the store has no meaningful free-space map.
+    fn free_space_report(&self) -> Option<FreeSpaceReport> {
+        None
+    }
+
+    /// Occupancy of the placement bands, for the probe tick's gauges.
+    /// `None` when the store has no placement bands.
+    fn band_occupancy(&self) -> Option<BandOccupancy> {
+        None
     }
 }
 

@@ -156,6 +156,18 @@ pub enum WorkloadOp {
     },
 }
 
+impl WorkloadOp {
+    /// Lowercase label used in trace spans and figures.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            WorkloadOp::Put { .. } => "put",
+            WorkloadOp::Get { .. } => "get",
+            WorkloadOp::SafeWrite { .. } => "safe-write",
+            WorkloadOp::Delete { .. } => "delete",
+        }
+    }
+}
+
 /// Parameters of the synthetic workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSpec {

@@ -7,6 +7,7 @@
 //! fragment — exactly the cost structure that makes fragmentation matter in
 //! the paper.
 
+use lor_obs::{Obs, Track};
 use serde::{Deserialize, Serialize};
 
 use crate::config::DiskConfig;
@@ -60,6 +61,16 @@ pub struct Disk {
     last_transfer: Option<(u64, AccessKind)>,
     clock: SimClock,
     stats: DiskStats,
+    /// Observability handle (inert by default).
+    obs: Obs,
+    /// Label identifying who owns this spindle in trace spans.
+    obs_consumer: &'static str,
+    /// Monotone trace timestamp cursor in nanoseconds.  Unlike `clock`,
+    /// this never resets (measurement phases reset the clock, but trace
+    /// timestamps must stay monotone per track), and it jumps forward to
+    /// the server-published timeline hint so disk spans line up with
+    /// request spans when a `StoreServer` is driving.
+    trace_cursor: u64,
 }
 
 impl Disk {
@@ -76,7 +87,19 @@ impl Disk {
             last_transfer: None,
             clock: SimClock::new(),
             stats: DiskStats::default(),
+            obs: Obs::null(),
+            obs_consumer: "disk",
+            trace_cursor: 0,
         }
+    }
+
+    /// Attaches an observability handle; every serviced request emits a
+    /// span on the disk track labelled with `consumer` (e.g. which store
+    /// owns this spindle).  The handle is inert by default, and tracing
+    /// never changes any service-time computation.
+    pub fn set_obs(&mut self, obs: Obs, consumer: &'static str) {
+        self.obs = obs;
+        self.obs_consumer = consumer;
     }
 
     /// The configuration this disk was built from.
@@ -139,6 +162,26 @@ impl Disk {
         direction.overhead_time += service.overhead;
         if sequential_hit {
             self.stats.sequential_hits += 1;
+        }
+        if self.obs.enabled() {
+            let start = self.trace_cursor.max(self.obs.now_hint());
+            let dur = service.total().as_nanos();
+            self.obs.span(
+                Track::Disk,
+                request.kind.name(),
+                start,
+                dur,
+                &[
+                    ("consumer", self.obs_consumer.into()),
+                    ("bytes", request.total_bytes().into()),
+                    ("segments", segments.into()),
+                    ("seek_ms", service.seek.as_millis_f64().into()),
+                    ("rotation_ms", service.rotation.as_millis_f64().into()),
+                    ("transfer_ms", service.transfer.as_millis_f64().into()),
+                    ("overhead_ms", service.overhead.as_millis_f64().into()),
+                ],
+            );
+            self.trace_cursor = start + dur;
         }
         service
     }

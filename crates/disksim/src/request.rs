@@ -21,6 +21,16 @@ pub enum AccessKind {
     Write,
 }
 
+impl AccessKind {
+    /// Lowercase label used in statistics and trace spans.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        }
+    }
+}
+
 /// A physically contiguous run of bytes on the disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ByteRun {

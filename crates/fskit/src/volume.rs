@@ -27,9 +27,9 @@
 use std::collections::BTreeMap;
 
 use lor_alloc::{
-    AllocError, AllocRequest, AllocationPolicy, Allocator, CountMultiset, Extent,
-    FragmentationSummary, FragmentationTracker, FreeSpaceReport, PlacementPolicy, RunCacheConfig,
-    SelectableAllocator,
+    AllocError, AllocRequest, AllocationPolicy, Allocator, BandOccupancy, CountMultiset, Extent,
+    FragmentationSummary, FragmentationTracker, FreeSpace, FreeSpaceReport, PlacementPolicy,
+    RunCacheConfig, SelectableAllocator,
 };
 use lor_disksim::ByteRun;
 use serde::{Deserialize, Serialize};
@@ -663,6 +663,17 @@ impl Volume {
     /// Free-space shape report.
     pub fn free_space_report(&self) -> FreeSpaceReport {
         FreeSpaceReport::from_free_space(self.allocator.free_space())
+    }
+
+    /// Occupancy of the placement bands over the volume's clusters — the
+    /// probe-tick gauge behind "is maintenance crowding the foreground
+    /// band?".  Under [`PlacementPolicy::Unrestricted`] the whole volume is
+    /// the foreground band.
+    pub fn band_occupancy(&self) -> BandOccupancy {
+        let map = self.allocator.free_space();
+        let total = map.total_clusters();
+        let boundary = self.config.placement.boundary_cluster(total);
+        BandOccupancy::from_runs(total, boundary, &map.free_runs())
     }
 
     /// Read-only access to the allocator's free-space map, for placement

@@ -1,6 +1,7 @@
 //! The discrete-event maintenance scheduler.
 
 use lor_disksim::{SimClock, SimDuration};
+use lor_obs::{Obs, Track};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{MaintenanceConfig, MaintenancePolicy};
@@ -82,6 +83,11 @@ pub struct MaintenanceScheduler {
     /// Backlog-age hysteresis for the `SubstrateAware` policy's deferred
     /// ghost release on eager-reuse substrates.
     ghost_clock: GhostBacklogClock,
+    /// Observability handle (inert by default).  Per-task spans go on the
+    /// maintenance track, stamped with this scheduler's own clock — which
+    /// [`MaintenanceScheduler::run_budgeted_slice`] keeps aligned with the
+    /// driving server's timeline and never rewinds.
+    obs: Obs,
 }
 
 impl std::fmt::Debug for MaintenanceScheduler {
@@ -130,7 +136,15 @@ impl MaintenanceScheduler {
             tick: 0,
             stats: MaintenanceStats::default(),
             ghost_clock: GhostBacklogClock::new(),
+            obs: Obs::null(),
         }
+    }
+
+    /// Attaches an observability handle.  Each tick emits budget/credit
+    /// gauges and each task run emits a span; tracing never changes what
+    /// the queue does.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The configuration in effect.
@@ -240,6 +254,14 @@ impl MaintenanceScheduler {
     fn run_queue(&mut self, target: &mut dyn MaintTarget, mut budget_bytes: u64) -> MaintIo {
         let mut total = MaintIo::NONE;
         let ghost_allowed = self.ghost_release_allowed(target);
+        if self.obs.enabled() {
+            let at = self.clock.now().as_nanos();
+            self.obs
+                .gauge("maint.budget_bytes", at, budget_bytes as f64);
+            self.obs
+                .gauge("maint.credit_units", at, self.estimator.credit_units());
+            self.obs.counter("maint.ticks", at, self.stats.ticks as f64);
+        }
         // The queue is detached while running so task bookkeeping can borrow
         // the stats mutably.
         let mut tasks = std::mem::take(&mut self.tasks);
@@ -253,6 +275,7 @@ impl MaintenanceScheduler {
             if !task.due(self.tick, target) {
                 continue;
             }
+            let budget_before = budget_bytes;
             let io = task.run(target, budget_bytes);
             if io.is_none() {
                 continue;
@@ -262,8 +285,26 @@ impl MaintenanceScheduler {
             entry.runs += 1;
             entry.io_bytes += io.bytes;
             entry.busy += io.time;
+            let task_runs = entry.runs;
             self.stats.background_bytes += io.bytes;
             self.stats.background_time += io.time;
+            if self.obs.enabled() {
+                // Tasks tile the slice in queue order: each span starts
+                // where the background time accumulated so far ends.
+                let start = (self.clock.now() + total.time).as_nanos();
+                self.obs.span(
+                    Track::Maintenance,
+                    task.kind().name(),
+                    start,
+                    io.time.as_nanos(),
+                    &[
+                        ("bytes", io.bytes.into()),
+                        ("budget_bytes", budget_before.into()),
+                        ("run", task_runs.into()),
+                        ("tick", self.stats.ticks.into()),
+                    ],
+                );
+            }
             total = total.combined(&io);
         }
         self.tasks = tasks;

@@ -1,0 +1,416 @@
+//! `lor-obs` — simulated-clock tracing and metrics for the repository
+//! simulator.
+//!
+//! Everything in this workspace runs on *simulated* time (`SimDuration`
+//! nanoseconds), so an observability layer keyed to wall clocks would be
+//! useless: spans here open and close on simulated timestamps supplied by
+//! the instrumented layer (disk model, store server, maintenance
+//! scheduler), never on `Instant::now()`.
+//!
+//! The design centre is the [`Obs`] handle:
+//!
+//! * [`Obs::null()`] is the default everywhere.  It holds no recorder at
+//!   all, so every instrumentation call is a branch on `Option::is_none`
+//!   — no allocation, no formatting, no clock reads.  Simulations with a
+//!   null handle must be bit-identical to uninstrumented ones (a property
+//!   the workspace pins with proptests).
+//! * [`Obs::trace(capacity)`] attaches a [`TraceRecorder`]: a bounded
+//!   ring buffer of [`SpanRecord`]s and [`MetricSample`]s.  When the ring
+//!   is full the oldest record is dropped and counted, so a trace of an
+//!   arbitrarily long run costs bounded memory.
+//!
+//! Records export to Chrome trace-event JSON (loadable in Perfetto or
+//! `chrome://tracing`) via [`TraceRecorder::to_chrome_json`], with a
+//! `metrics` time-series section alongside the `traceEvents` array.
+//! [`validate_chrome_trace`] checks an exported document the way CI does:
+//! it parses, per-track timestamps are monotone, and spans nest.
+//!
+//! `Obs` clones share one recorder through `Rc`, matching the workspace's
+//! single-threaded discrete-event simulators; handles are created inside
+//! whatever thread runs the simulation (they are intentionally `!Send`).
+
+mod export;
+mod validate;
+
+pub use export::TraceRecorder;
+pub use validate::{validate_chrome_trace, TraceCheck};
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Logical timeline a span belongs to.  Each track maps to one `tid` in
+/// the Chrome trace so Perfetto renders them as separate rows.
+///
+/// `Server`, `Background`, and `Disk` share the store server's simulated
+/// timeline.  `Maintenance` runs on the maintenance scheduler's own
+/// monotone clock, which is advanced to the caller's `now` on every
+/// server-driven slice but never rewinds across measurement intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// Foreground request service in the store server's timeline.
+    Server,
+    /// Background maintenance slices as scheduled by the store server
+    /// (server timeline; pairs with request-level interference args).
+    Background,
+    /// Individual disk requests (seek/rotation/transfer split).
+    Disk,
+    /// Per-task maintenance spans on the scheduler's clock.
+    Maintenance,
+}
+
+impl Track {
+    /// Chrome trace `tid` for this track.
+    pub fn tid(self) -> u32 {
+        match self {
+            Track::Server => 0,
+            Track::Background => 1,
+            Track::Disk => 2,
+            Track::Maintenance => 3,
+        }
+    }
+
+    /// Human-readable track name (also emitted as a span arg).
+    pub fn name(self) -> &'static str {
+        match self {
+            Track::Server => "server",
+            Track::Background => "background",
+            Track::Disk => "disk",
+            Track::Maintenance => "maintenance",
+        }
+    }
+}
+
+/// A span argument value.  Keys and string values are `&'static str` so
+/// recording a span never allocates for the common case beyond the one
+/// `Vec` holding the pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArgValue {
+    U64(u64),
+    F64(f64),
+    Str(&'static str),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&'static str> for ArgValue {
+    fn from(v: &'static str) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// A closed span: `[start_ns, start_ns + dur_ns]` in simulated
+/// nanoseconds on one [`Track`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    pub track: Track,
+    pub name: &'static str,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl SpanRecord {
+    /// Exclusive end of the span in simulated nanoseconds.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+}
+
+/// Whether a metric sample is a monotone counter or an instantaneous
+/// gauge.  Only presentation differs; both are `(at_ns, value)` points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+}
+
+impl MetricKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One sample of a named metric at a simulated timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSample {
+    pub name: &'static str,
+    pub at_ns: u64,
+    pub value: f64,
+    pub kind: MetricKind,
+}
+
+/// Sink for spans and metric samples.  Implementations must not observe
+/// or influence simulated time: they only store what they are handed.
+pub trait Recorder {
+    fn record_span(&mut self, span: SpanRecord);
+    fn record_metric(&mut self, sample: MetricSample);
+}
+
+/// The inert recorder.  [`Obs::null()`] never constructs one (it holds
+/// no recorder at all); this type exists for code that wants an explicit
+/// do-nothing `Recorder` value.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record_span(&mut self, _span: SpanRecord) {}
+    fn record_metric(&mut self, _sample: MetricSample) {}
+}
+
+/// Shared state behind an [`Obs`] handle.  `now_ns` is a timeline hint:
+/// the store server publishes its simulated `now` here so that layers
+/// without their own global clock (the disk model's per-request trace
+/// cursor) can align their spans with the server timeline.
+struct Shared<R: ?Sized + Recorder> {
+    now_ns: Cell<u64>,
+    recorder: RefCell<R>,
+}
+
+/// Cheap, clonable handle threaded through every instrumented layer.
+///
+/// A disabled handle (`Obs::null()`, also `Default`) stores `None` and
+/// every method returns immediately; an enabled handle shares one
+/// recorder across all clones.
+pub struct Obs {
+    inner: Option<Rc<Shared<dyn Recorder>>>,
+}
+
+impl Clone for Obs {
+    fn clone(&self) -> Self {
+        Obs {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::null()
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// The default, disabled handle: no recorder, no allocation per
+    /// event, nothing observable from the simulation's point of view.
+    pub fn null() -> Self {
+        Obs { inner: None }
+    }
+
+    /// Creates an enabled handle backed by a bounded [`TraceRecorder`]
+    /// ring holding at most `capacity` spans (and `capacity` metric
+    /// samples).  Returns the handle to thread through the stack and a
+    /// [`TraceHandle`] for reading the recording back out.
+    pub fn trace(capacity: usize) -> (Obs, TraceHandle) {
+        let shared: Rc<Shared<TraceRecorder>> = Rc::new(Shared {
+            now_ns: Cell::new(0),
+            recorder: RefCell::new(TraceRecorder::new(capacity)),
+        });
+        let obs = Obs {
+            inner: Some(shared.clone() as Rc<Shared<dyn Recorder>>),
+        };
+        (obs, TraceHandle { shared })
+    }
+
+    /// Whether a recorder is attached.  Instrumentation sites use this to
+    /// skip argument marshalling entirely on the null path.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Publishes the current simulated time (server timeline).  Layers
+    /// with only a local clock read it back via [`Obs::now_hint`] to
+    /// align their spans.  No-op when disabled.
+    pub fn set_now(&self, ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.now_ns.set(ns);
+        }
+    }
+
+    /// Last published simulated time, or 0 when disabled / never set.
+    pub fn now_hint(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| inner.now_ns.get())
+    }
+
+    /// Records a closed span.  `args` is only copied when a recorder is
+    /// attached, so call sites may build the slice unconditionally as
+    /// long as the values are cheap (numbers and static strings).
+    pub fn span(
+        &self,
+        track: Track,
+        name: &'static str,
+        start_ns: u64,
+        dur_ns: u64,
+        args: &[(&'static str, ArgValue)],
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.borrow_mut().record_span(SpanRecord {
+                track,
+                name,
+                start_ns,
+                dur_ns,
+                args: args.to_vec(),
+            });
+        }
+    }
+
+    /// Records a gauge sample (instantaneous value at `at_ns`).
+    pub fn gauge(&self, name: &'static str, at_ns: u64, value: f64) {
+        self.metric(name, at_ns, value, MetricKind::Gauge);
+    }
+
+    /// Records a counter sample (cumulative value at `at_ns`).
+    pub fn counter(&self, name: &'static str, at_ns: u64, value: f64) {
+        self.metric(name, at_ns, value, MetricKind::Counter);
+    }
+
+    fn metric(&self, name: &'static str, at_ns: u64, value: f64, kind: MetricKind) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.borrow_mut().record_metric(MetricSample {
+                name,
+                at_ns,
+                value,
+                kind,
+            });
+        }
+    }
+}
+
+/// Read side of a tracing session created by [`Obs::trace`].
+pub struct TraceHandle {
+    shared: Rc<Shared<TraceRecorder>>,
+}
+
+impl TraceHandle {
+    /// Runs `f` with shared access to the recorder.  Panics if called
+    /// re-entrantly from inside a recording callback (which the
+    /// instrumentation never does).
+    pub fn with<T>(&self, f: impl FnOnce(&TraceRecorder) -> T) -> T {
+        f(&self.shared.recorder.borrow())
+    }
+
+    /// Number of spans currently retained in the ring.
+    pub fn span_count(&self) -> usize {
+        self.with(|r| r.spans().len())
+    }
+
+    /// Number of metric samples currently retained in the ring.
+    pub fn metric_count(&self) -> usize {
+        self.with(|r| r.metrics().len())
+    }
+
+    /// Spans evicted from the ring because it was full.
+    pub fn dropped_spans(&self) -> u64 {
+        self.with(|r| r.dropped_spans())
+    }
+
+    /// Metric samples evicted from the ring because it was full.
+    pub fn dropped_metrics(&self) -> u64 {
+        self.with(|r| r.dropped_metrics())
+    }
+
+    /// Exports the recording as Chrome trace-event JSON.
+    pub fn to_chrome_json(&self) -> String {
+        self.with(|r| r.to_chrome_json())
+    }
+
+    /// All samples of one metric, in recording order.
+    pub fn metric_series(&self, name: &str) -> Vec<(u64, f64)> {
+        self.with(|r| r.metric_series(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_handle_is_disabled_and_inert() {
+        let obs = Obs::null();
+        assert!(!obs.enabled());
+        obs.set_now(123);
+        assert_eq!(obs.now_hint(), 0);
+        // Recording into a disabled handle is a no-op, not an error.
+        obs.span(Track::Server, "noop", 0, 10, &[("k", 1u64.into())]);
+        obs.gauge("g", 0, 1.0);
+    }
+
+    #[test]
+    fn trace_handle_records_spans_and_metrics() {
+        let (obs, trace) = Obs::trace(16);
+        assert!(obs.enabled());
+        obs.set_now(42);
+        assert_eq!(obs.now_hint(), 42);
+        obs.span(
+            Track::Disk,
+            "read",
+            100,
+            50,
+            &[("bytes", 4096u64.into()), ("kind", "read".into())],
+        );
+        obs.counter("ops", 150, 1.0);
+        obs.gauge("queue_depth", 150, 3.0);
+        assert_eq!(trace.span_count(), 1);
+        assert_eq!(trace.metric_count(), 2);
+        assert_eq!(trace.metric_series("queue_depth"), vec![(150, 3.0)]);
+        trace.with(|r| {
+            let span = &r.spans()[0];
+            assert_eq!(span.name, "read");
+            assert_eq!(span.end_ns(), 150);
+            assert_eq!(span.args[1], ("kind", ArgValue::Str("read")));
+        });
+    }
+
+    #[test]
+    fn clones_share_one_recorder() {
+        let (obs, trace) = Obs::trace(16);
+        let other = obs.clone();
+        other.span(Track::Server, "a", 0, 1, &[]);
+        obs.span(Track::Server, "b", 1, 1, &[]);
+        assert_eq!(trace.span_count(), 2);
+        other.set_now(7);
+        assert_eq!(obs.now_hint(), 7);
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded_and_counts_drops() {
+        let (obs, trace) = Obs::trace(4);
+        for i in 0..10u64 {
+            obs.span(Track::Server, "s", i, 1, &[]);
+            obs.gauge("g", i, i as f64);
+        }
+        assert_eq!(trace.span_count(), 4);
+        assert_eq!(trace.metric_count(), 4);
+        assert_eq!(trace.dropped_spans(), 6);
+        assert_eq!(trace.dropped_metrics(), 6);
+        // Oldest records were evicted: the survivors are the last four.
+        trace.with(|r| assert_eq!(r.spans()[0].start_ns, 6));
+        assert_eq!(trace.metric_series("g")[0], (6, 6.0));
+    }
+}
