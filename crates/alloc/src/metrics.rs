@@ -76,6 +76,46 @@ impl FragmentationSummary {
         }
     }
 
+    /// Combines per-shard summaries into one fleet-wide summary.
+    ///
+    /// Totals (`objects`, `total_fragments`) and extrema are exact; the
+    /// mean and contiguous fraction are recomputed from the totals.  The
+    /// merged median is an object-weighted average of the per-shard
+    /// medians — the per-object counts are gone, so the true fleet median
+    /// is unrecoverable; the approximation is monotone in its inputs,
+    /// which is all the skew gauges need.
+    pub fn merged<'a>(summaries: impl IntoIterator<Item = &'a Self>) -> Self {
+        let mut objects = 0usize;
+        let mut total_fragments = 0u64;
+        let mut min_fragments = u64::MAX;
+        let mut max_fragments = 0u64;
+        let mut weighted_median = 0.0f64;
+        let mut contiguous = 0.0f64;
+        for summary in summaries {
+            if summary.objects == 0 {
+                continue;
+            }
+            objects += summary.objects;
+            total_fragments += summary.total_fragments;
+            min_fragments = min_fragments.min(summary.min_fragments);
+            max_fragments = max_fragments.max(summary.max_fragments);
+            weighted_median += summary.median_fragments * summary.objects as f64;
+            contiguous += summary.contiguous_fraction * summary.objects as f64;
+        }
+        if objects == 0 {
+            return Self::from_counts(&[]);
+        }
+        FragmentationSummary {
+            objects,
+            total_fragments,
+            fragments_per_object: total_fragments as f64 / objects as f64,
+            min_fragments,
+            max_fragments,
+            median_fragments: weighted_median / objects as f64,
+            contiguous_fraction: contiguous / objects as f64,
+        }
+    }
+
     /// Computes the summary directly from object extent lists.
     pub fn from_layouts<'a>(layouts: impl IntoIterator<Item = &'a [Extent]>) -> Self {
         let counts: Vec<u64> = layouts
@@ -239,6 +279,28 @@ mod tests {
         assert_eq!(summary.objects, 2);
         assert_eq!(summary.total_fragments, 3);
         assert!((summary.fragments_per_object - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_summary_combines_totals_and_extrema() {
+        let a = FragmentationSummary::from_counts(&[1, 1, 2, 4, 10]);
+        let b = FragmentationSummary::from_counts(&[3, 3, 3]);
+        let empty = FragmentationSummary::from_counts(&[]);
+        let merged = FragmentationSummary::merged([&a, &b, &empty]);
+        assert_eq!(merged.objects, 8);
+        assert_eq!(merged.total_fragments, 27);
+        assert!((merged.fragments_per_object - 27.0 / 8.0).abs() < 1e-9);
+        assert_eq!(merged.min_fragments, 1);
+        assert_eq!(merged.max_fragments, 10);
+        // Weighted-median approximation: (2.0 * 5 + 3.0 * 3) / 8.
+        assert!((merged.median_fragments - 19.0 / 8.0).abs() < 1e-9);
+        assert!((merged.contiguous_fraction - 2.0 / 8.0).abs() < 1e-9);
+        assert_eq!(merged.excess_fragments(), 27 - 8);
+
+        // All-empty input degenerates to the empty summary.
+        let nothing = FragmentationSummary::merged([&empty]);
+        assert_eq!(nothing.objects, 0);
+        assert_eq!(nothing.fragments_per_object, 0.0);
     }
 
     #[test]

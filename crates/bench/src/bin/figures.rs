@@ -17,8 +17,8 @@ use lor_bench::{
     adaptive_frontier_figures, figure1, figure2, figure3, figure4, figure5, figure6,
     idle_detect_figures, latency_anatomy_figures, latency_percentile_figures, load_sweep_figures,
     maintenance_ablation, maintenance_latency_figures, maintenance_policy_figures,
-    mixed_load_sweep_figures, placement_frontier_figures, policy_ablation_figures, table1,
-    write_request_size_sweep, Scale,
+    mixed_load_sweep_figures, placement_frontier_figures, policy_ablation_figures,
+    shard_sweep_figures, table1, write_request_size_sweep, Scale,
 };
 use lor_core::Figure;
 
@@ -70,7 +70,7 @@ fn parse_args() -> Result<Options, String> {
                      [--only table1,fig1,...,fig6,write-size,maintenance,policy-ablation,\
                      maintenance-policies,maintenance-latency,latency-percentiles,load-sweep,\
                      idle-detect,mixed-load-sweep,adaptive-frontier,placement-frontier,\
-                     latency-anatomy]"
+                     latency-anatomy,shard-sweep]"
                 );
                 std::process::exit(0);
             }
@@ -187,6 +187,10 @@ fn run() -> Result<(), String> {
     if wanted(&options, "latency-anatomy") {
         let figures = latency_anatomy_figures(&options.scale).map_err(|e| e.to_string())?;
         emit(&options, "latency_anatomy", &figures)?;
+    }
+    if wanted(&options, "shard-sweep") {
+        let figures = shard_sweep_figures(&options.scale).map_err(|e| e.to_string())?;
+        emit(&options, "shard_sweep", &figures)?;
     }
     Ok(())
 }

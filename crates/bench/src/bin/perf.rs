@@ -23,8 +23,9 @@ use std::time::Instant;
 use lor_bench::Scale;
 use lor_core::{
     run_aging_experiment, ExperimentConfig, MaintenanceConfig, SizeDistribution, StoreError,
-    StoreKind,
+    StoreKind, WorkloadGenerator,
 };
+use lor_shard::{RouterPolicy, ShardedStore};
 
 const PAPER_VOLUME: u64 = 40_000_000_000;
 
@@ -74,6 +75,40 @@ fn timed_aging(
     let ops = config.object_count() * (1 + u64::from(max_age));
     // Touch the result so the measured work cannot be optimised away.
     assert!(!result.points.is_empty());
+    Ok(PerfEntry {
+        name: name.to_string(),
+        ops,
+        wall_s,
+        ops_per_s: ops as f64 / wall_s.max(1e-9),
+    })
+}
+
+/// Times the same aging loop pushed through a [`ShardedStore`] fleet: the
+/// cost of routing, per-shard partitioning, and the per-shard servers on top
+/// of the bare stores.  Four shards keeps the per-shard volume honest at the
+/// bench scale while still exercising the cross-shard paths.
+fn timed_sharded_aging(
+    name: &str,
+    kind: StoreKind,
+    config: &ExperimentConfig,
+    max_age: u32,
+) -> Result<PerfEntry, StoreError> {
+    const SHARDS: u32 = 4;
+    let started = Instant::now();
+    let mut fleet = ShardedStore::new(
+        kind,
+        config,
+        SHARDS,
+        RouterPolicy::ConsistentHash { vnodes: 16 },
+    )?;
+    let mut generator = WorkloadGenerator::new(config.workload());
+    fleet.load(generator.bulk_load())?;
+    for _ in 0..max_age {
+        fleet.load(generator.overwrite_round())?;
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    let ops = config.object_count() * (1 + u64::from(max_age));
+    assert!(fleet.object_count() > 0);
     Ok(PerfEntry {
         name: name.to_string(),
         ops,
@@ -231,9 +266,33 @@ fn main() {
         ),
     ];
 
+    // The sharded runs time the fleet layer (routing + per-shard servers)
+    // over the same plain aging loop, on a volume padded so each of the four
+    // shards gets a workable slice at every scale.
+    let mut sharded_config = config.clone();
+    sharded_config.volume_bytes = sharded_config.volume_bytes.max(4 * (24 << 20));
+    let sharded_jobs: Vec<(String, StoreKind)> = vec![
+        ("aging_sharded_database".into(), StoreKind::Database),
+        ("aging_sharded_filesystem".into(), StoreKind::Filesystem),
+    ];
+
     let mut entries = Vec::new();
     for (name, kind, config, age) in jobs {
         let entry = match timed_aging(&name, kind, &config, age) {
+            Ok(entry) => entry,
+            Err(err) => {
+                eprintln!("perf: {name} failed: {err}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "perf: {:<28} {:>9} ops in {:>8.2}s = {:>10.1} ops/s",
+            entry.name, entry.ops, entry.wall_s, entry.ops_per_s
+        );
+        entries.push(entry);
+    }
+    for (name, kind) in sharded_jobs {
+        let entry = match timed_sharded_aging(&name, kind, &sharded_config, scale.max_age) {
             Ok(entry) => entry,
             Err(err) => {
                 eprintln!("perf: {name} failed: {err}");

@@ -19,9 +19,11 @@ use lor_core::lor_disksim::SimDuration;
 use lor_core::{
     calibrate_mixed_load, compare_systems, measure_mixed_load_calibrated, run_aging_experiment,
     AllocationPolicy, AnatomyReport, ExperimentConfig, Figure, LatencySummary, MaintenanceConfig,
-    MixedLoadPoint, ObjectStore, OpenLoop, PlacementPolicy, Series, SizeDistribution, StoreError,
-    StoreKind, StoreServer, Table, TestbedConfig, WorkloadGenerator, WorkloadOp,
+    MixedLoadPoint, MixedOpenLoop, ObjectKey, ObjectStore, OpenLoop, PlacementPolicy, Series,
+    SizeDistribution, StoreError, StoreKind, StoreServer, Table, TestbedConfig, WorkloadGenerator,
+    WorkloadOp,
 };
+use lor_shard::{fanout_p99_ms, RouterPolicy, ShardedStore};
 
 /// Scale factor applied to the paper's volume sizes.
 ///
@@ -1418,6 +1420,265 @@ pub fn latency_anatomy_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError>
     Ok(figures)
 }
 
+/// Shard counts the shard-sweep scenario compares.
+const SHARD_SWEEP_COUNTS: [u32; 2] = [2, 4];
+
+/// Fan-out widths the tail-amplification panel sweeps.
+const SHARD_SWEEP_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Zipf exponent for the skewed-popularity churn (θ > 1 concentrates the
+/// rewrites on a handful of hot ranks).
+const SHARD_SWEEP_THETA: f64 = 1.1;
+
+/// An aggregate-rate experiment config for a fleet of `shards` shards.
+///
+/// The volume is floored so every shard still gets a workable slice of the
+/// paper volume at the CI scales.
+fn sharded_config(scale: &Scale, shards: u32, object_bytes: u64) -> ExperimentConfig {
+    let object = SizeDistribution::Constant(scale.object(object_bytes));
+    let volume = scale
+        .volume(PAPER_VOLUME)
+        .max(u64::from(shards) * (24 << 20));
+    config_for(scale, object, volume, 0.5)
+}
+
+/// One round of Zipfian-popularity churn driven through the fleet at the
+/// aggregate offered rate.
+///
+/// The safe-write sample is deduplicated (first hit wins) because two safe
+/// writes to one key cannot share a dispatch batch; the popularity skew —
+/// hot ranks rewritten every round, cold ones rarely — is what the scenario
+/// needs, not the duplicates.
+fn zipf_churn_round(
+    fleet: &mut ShardedStore,
+    generator: &mut WorkloadGenerator,
+    seed: u64,
+) -> Result<(), StoreError> {
+    let population = generator.live_keys().len();
+    let reads = generator.zipf_read_sample(population / 4, SHARD_SWEEP_THETA);
+    let mut seen = std::collections::HashSet::new();
+    let writes: Vec<WorkloadOp> = generator
+        .zipf_safe_write_sample(population, SHARD_SWEEP_THETA)
+        .into_iter()
+        .filter(|op| match op {
+            WorkloadOp::SafeWrite { key, .. } => seen.insert(*key),
+            _ => true,
+        })
+        .collect();
+    fleet.run_mixed_open_loop(
+        reads,
+        writes,
+        MixedOpenLoop {
+            read_ops_per_sec: 20.0,
+            write_ops_per_sec: 80.0,
+            seed,
+        },
+    )?;
+    Ok(())
+}
+
+/// Worst single shard, by fragments per object.
+fn worst_shard_fpo(fleet: &ShardedStore) -> f64 {
+    fleet
+        .per_shard_fragmentation()
+        .iter()
+        .map(|summary| summary.fragments_per_object)
+        .fold(0.0f64, f64::max)
+}
+
+/// Shard-sweep scenario: what sharding adds to (and subtracts from) the
+/// single-spindle story.  Four figures:
+///
+/// 1. **Fan-out tail amplification** — p99 latency of multi-object reads vs
+///    fan-out width, per substrate × fleet size.  The offered *group* rate is
+///    fixed, so widening the fan-out multiplies the per-shard read rate and
+///    the read completes at the *slowest* shard: the p99 climbs with width.
+/// 2. **Per-shard fragmentation skew** — max/mean fragments-per-object skew
+///    across a four-shard fleet vs rounds of Zipfian churn, per substrate.
+///    Hot ranks hammer whichever shards they hashed to, so fragmentation
+///    accumulates unevenly even though the router splits *keys* evenly.
+/// 3. **Rebalance frontier** (one figure per substrate) — the worst
+///    shard's fragments/object vs fleet size, with the rebalancing drive off
+///    vs on.  Rebalancing migrates fragmented objects off the worst shard
+///    through destination *maintenance* bands (never foreground), pulling
+///    the worst shard back towards the fleet mean.
+pub fn shard_sweep_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
+    let churn_rounds = scale.max_age.clamp(2, 4);
+
+    // Panel 1: fan-out tail amplification, one fleet per substrate × size.
+    let fanout_jobs: Vec<(StoreKind, u32)> = [StoreKind::Database, StoreKind::Filesystem]
+        .iter()
+        .flat_map(|&kind| SHARD_SWEEP_COUNTS.iter().map(move |&shards| (kind, shards)))
+        .collect();
+    let fanout_runs = parallel_map(fanout_jobs, |(kind, shards)| -> Result<_, StoreError> {
+        let config = sharded_config(scale, shards, 512 << 10);
+        let mut fleet = ShardedStore::new(
+            kind,
+            &config,
+            shards,
+            RouterPolicy::ConsistentHash { vnodes: 16 },
+        )?;
+        let mut generator = WorkloadGenerator::new(config.workload());
+        fleet.load(generator.bulk_load())?;
+        let keys: Vec<ObjectKey> = generator.live_keys().to_vec();
+        let mut points = Vec::new();
+        for width in SHARD_SWEEP_WIDTHS {
+            let groups: Vec<Vec<ObjectKey>> = (0..160)
+                .map(|group: usize| {
+                    (0..width)
+                        .map(|part| keys[(group * 7 + part * 13) % keys.len()])
+                        .collect()
+                })
+                .collect();
+            let completions = fleet.run_fanout_reads(
+                groups,
+                OpenLoop {
+                    ops_per_sec: 30.0,
+                    seed: 11,
+                },
+            )?;
+            points.push((width as f64, fanout_p99_ms(&completions)));
+        }
+        Ok((kind, shards, points))
+    });
+    let mut fanout_figure = Figure::new(
+        "Shard fan-out tail",
+        "p99 latency of multi-object reads vs fan-out width at a fixed \
+         aggregate group rate (reads complete at the slowest shard)",
+        "Fan-out width (objects per read)",
+        "p99 latency (ms)",
+    );
+    for run in fanout_runs {
+        let (kind, shards, points) = run?;
+        fanout_figure.series.push(Series::new(
+            format!("{} ({shards} shards)", kind.label().to_lowercase()),
+            points,
+        ));
+    }
+
+    // Panel 2: per-shard fragmentation skew under Zipfian churn.
+    let skew_jobs: Vec<StoreKind> = vec![StoreKind::Database, StoreKind::Filesystem];
+    let skew_runs = parallel_map(skew_jobs, |kind| -> Result<_, StoreError> {
+        let config = sharded_config(scale, 4, 1 << 20);
+        let mut fleet = ShardedStore::new(
+            kind,
+            &config,
+            4,
+            RouterPolicy::ConsistentHash { vnodes: 16 },
+        )?;
+        let mut generator = WorkloadGenerator::new(config.workload());
+        fleet.load(generator.bulk_load())?;
+        let mut points = vec![(0.0, fleet.fragmentation_skew())];
+        for round in 1..=churn_rounds {
+            zipf_churn_round(&mut fleet, &mut generator, u64::from(round))?;
+            points.push((f64::from(round), fleet.fragmentation_skew()));
+        }
+        Ok((kind, points))
+    });
+    let mut skew_figure = Figure::new(
+        "Shard fragmentation skew",
+        format!(
+            "max/mean fragments-per-object skew across a 4-shard fleet vs \
+             rounds of Zipfian churn (theta {SHARD_SWEEP_THETA})"
+        ),
+        "Zipfian churn rounds",
+        "Fragmentation skew (max/mean)",
+    );
+    for run in skew_runs {
+        let (kind, points) = run?;
+        skew_figure
+            .series
+            .push(Series::new(kind.label().to_lowercase(), points));
+    }
+
+    // Panels 3-4: the rebalance frontier, off vs on, per substrate.
+    let frontier_jobs: Vec<(StoreKind, u32, bool)> = [StoreKind::Database, StoreKind::Filesystem]
+        .iter()
+        .flat_map(|&kind| {
+            SHARD_SWEEP_COUNTS.iter().flat_map(move |&shards| {
+                [false, true]
+                    .iter()
+                    .map(move |&rebalance| (kind, shards, rebalance))
+            })
+        })
+        .collect();
+    let frontier_runs = parallel_map(
+        frontier_jobs,
+        |(kind, shards, rebalance)| -> Result<_, StoreError> {
+            let mut config = sharded_config(scale, shards, 1 << 20);
+            // Banded placement so destination writes are confined to the
+            // maintenance band — migration may be refused, never spilled.
+            config.placement = PlacementPolicy::banded(0.7);
+            let mut fleet = ShardedStore::new(
+                kind,
+                &config,
+                shards,
+                RouterPolicy::ConsistentHash { vnodes: 16 },
+            )?;
+            let mut generator = WorkloadGenerator::new(config.workload());
+            fleet.load(generator.bulk_load())?;
+            for round in 1..=churn_rounds {
+                zipf_churn_round(&mut fleet, &mut generator, u64::from(round))?;
+            }
+            if rebalance {
+                fleet.enable_rebalancing(MaintenanceConfig::fixed_budget(64))?;
+                let mut now = fleet.elapsed();
+                for _ in 0..32 {
+                    let io = fleet.run_rebalance_slice(16 << 20, now);
+                    now += SimDuration::from_millis(250);
+                    if io.is_none() {
+                        break;
+                    }
+                }
+            }
+            Ok((kind, shards, rebalance, worst_shard_fpo(&fleet)))
+        },
+    );
+    let mut frontier_figures: Vec<Figure> = [StoreKind::Database, StoreKind::Filesystem]
+        .iter()
+        .map(|kind| {
+            Figure::new(
+                format!("Rebalance frontier ({})", kind.label().to_lowercase()),
+                format!(
+                    "{} worst-shard fragments/object vs fleet size after \
+                     Zipfian churn, rebalancing drive off vs on",
+                    kind.label()
+                ),
+                "Shards",
+                "Worst-shard fragments/object",
+            )
+        })
+        .collect();
+    let mut frontier: std::collections::BTreeMap<(usize, &'static str), Vec<(f64, f64)>> =
+        Default::default();
+    for run in frontier_runs {
+        let (kind, shards, rebalance, worst) = run?;
+        let offset = match kind {
+            StoreKind::Database => 0usize,
+            StoreKind::Filesystem => 1,
+        };
+        let label = if rebalance {
+            "rebalance on"
+        } else {
+            "rebalance off"
+        };
+        frontier
+            .entry((offset, label))
+            .or_default()
+            .push((f64::from(shards), worst));
+    }
+    for ((offset, label), mut points) in frontier {
+        points.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+        frontier_figures[offset]
+            .series
+            .push(Series::new(label, points));
+    }
+
+    let mut figures = vec![fanout_figure, skew_figure];
+    figures.extend(frontier_figures);
+    Ok(figures)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1740,5 +2001,67 @@ mod tests {
             db_bulk > fs_bulk,
             "database bulk-load write throughput ({db_bulk:.1}) should exceed the filesystem's ({fs_bulk:.1})"
         );
+    }
+
+    #[test]
+    fn shard_sweep_covers_widths_fleet_sizes_and_rebalance_modes() {
+        let scale = Scale::smoke();
+        let figures = shard_sweep_figures(&scale).unwrap();
+        assert_eq!(figures.len(), 4, "fan-out, skew, and two frontier figures");
+
+        let fanout = &figures[0];
+        assert_eq!(
+            fanout.series.len(),
+            2 * SHARD_SWEEP_COUNTS.len(),
+            "one fan-out series per substrate and fleet size"
+        );
+        for series in &fanout.series {
+            assert_eq!(series.points.len(), SHARD_SWEEP_WIDTHS.len());
+            assert!(series.points.iter().all(|(_, p99)| *p99 > 0.0));
+            // The widest read never beats the narrowest: reads complete at
+            // the slowest shard.
+            let first = series.points.first().unwrap().1;
+            let last = series.points.last().unwrap().1;
+            assert!(
+                last >= first,
+                "{}: p99 at width {} ({last:.2} ms) below width {} ({first:.2} ms)",
+                series.label,
+                SHARD_SWEEP_WIDTHS.last().unwrap(),
+                SHARD_SWEEP_WIDTHS[0]
+            );
+        }
+
+        let skew = &figures[1];
+        assert_eq!(skew.series.len(), 2, "one skew series per substrate");
+        for series in &skew.series {
+            assert!(series.points.len() >= 3, "bulk load plus churn rounds");
+            assert!(
+                series.points.iter().all(|(_, skew)| *skew >= 1.0),
+                "max/mean skew is at least 1 by construction"
+            );
+        }
+
+        for (figure, kind) in figures[2..].iter().zip(["database", "filesystem"]) {
+            assert!(figure.title.to_lowercase().contains(kind));
+            assert_eq!(figure.series.len(), 2, "rebalance off and on");
+            let by_label = |label: &str| {
+                figure
+                    .series
+                    .iter()
+                    .find(|s| s.label == label)
+                    .unwrap_or_else(|| panic!("missing series {label}"))
+            };
+            let off = by_label("rebalance off");
+            let on = by_label("rebalance on");
+            assert_eq!(off.points.len(), SHARD_SWEEP_COUNTS.len());
+            assert_eq!(on.points.len(), SHARD_SWEEP_COUNTS.len());
+            for ((shards, off_fpo), (_, on_fpo)) in off.points.iter().zip(&on.points) {
+                assert!(
+                    on_fpo <= off_fpo,
+                    "{kind}, {shards} shards: rebalancing left the worst shard \
+                     worse off ({off_fpo:.3} -> {on_fpo:.3})"
+                );
+            }
+        }
     }
 }

@@ -318,6 +318,54 @@ impl Database {
         Ok(receipt)
     }
 
+    /// Inserts an object migrating in from another shard, allocating its
+    /// pages as the **maintenance** consumer
+    /// ([`AllocationUnit::allocate_maintenance_runs`]): under a banded or
+    /// reserve [`PlacementPolicy`] the allocation is confined to the runs
+    /// maintenance may touch and *fails* rather than spilling into the space
+    /// foreground updates need — that refusal is the placement guarantee
+    /// cross-shard rebalancing relies on.
+    pub fn insert_as_maintenance(
+        &mut self,
+        key: &str,
+        size_bytes: u64,
+    ) -> Result<DbWriteReceipt, DbError> {
+        if self.keys.contains_key(key) {
+            return Err(DbError::KeyExists(key.to_string()));
+        }
+        let need = self.config.pages_for(size_bytes);
+        let watermark_pages = self.foreground_watermark_pages();
+        let pages =
+            match self
+                .lob_unit
+                .allocate_maintenance_runs(&mut self.gam, need, watermark_pages)
+            {
+                Some(pages) => pages,
+                None => {
+                    return Err(DbError::OutOfSpace {
+                        requested_pages: need,
+                        free_pages: self.lob_unit.available_pages(&self.gam),
+                    })
+                }
+            };
+        self.stats.pages_allocated += pages.len() as u64;
+        let id = BlobId(self.next_id);
+        self.next_id += 1;
+        let record = BlobRecord::new(id, key, size_bytes, pages);
+        let receipt = self.receipt_for(&record);
+        let fragments = record.fragment_count() as u64;
+        self.frag_tracker.record_insert(fragments);
+        self.page_tracker.insert(record.page_count());
+        self.reindex_candidate(id, 0, fragments);
+        self.keys.insert(key.to_string(), id);
+        self.blobs.insert(id, record);
+        self.insert_metadata_row()?;
+        self.stats.inserts += 1;
+        self.stats.bytes_written += size_bytes;
+        self.bump_op();
+        Ok(receipt)
+    }
+
     /// Replaces the object stored under `key` with a new version of
     /// `size_bytes` (wholesale replacement, the BLOB analogue of a safe
     /// write).  The new version is written before the old version's pages are
@@ -983,6 +1031,38 @@ mod tests {
         ));
         assert!(matches!(db.delete("ghost"), Err(DbError::NoSuchKey(_))));
         assert!(matches!(db.read_plan("ghost"), Err(DbError::NoSuchKey(_))));
+    }
+
+    #[test]
+    fn insert_as_maintenance_respects_the_placement_band() {
+        let placement = PlacementPolicy::banded(0.7);
+        let mut config = EngineConfig::new(64 * MB);
+        config.placement = placement;
+        let mut db = Database::create(config).unwrap();
+        let boundary_page =
+            placement.boundary_cluster(db.config().total_extents()) * PAGES_PER_EXTENT;
+
+        let receipt = db.insert_as_maintenance("migrant", 2 * MB).unwrap();
+        assert_eq!(receipt.bytes_written, 2 * MB);
+        let record = db.get("migrant").unwrap();
+        for page in &record.pages {
+            assert!(
+                page.0 >= boundary_page,
+                "migration wrote into the foreground band: page {} < boundary {}",
+                page.0,
+                boundary_page
+            );
+        }
+
+        // A migration the maintenance band cannot hold must fail outright
+        // rather than spill into the foreground band, leaving no object.
+        let before = db.object_count();
+        assert!(matches!(
+            db.insert_as_maintenance("too-big", 60 * MB),
+            Err(DbError::OutOfSpace { .. })
+        ));
+        assert_eq!(db.object_count(), before);
+        assert!(db.get("too-big").is_err());
     }
 
     #[test]

@@ -215,6 +215,27 @@ impl ObjectStore for DbObjectStore {
         Ok(receipt)
     }
 
+    fn migrate_in(&mut self, key: &str, size_bytes: u64) -> Result<OpReceipt, StoreError> {
+        let receipt = self.db.insert_as_maintenance(key, size_bytes)?;
+        let request = IoRequest::write_runs(receipt.runs);
+        let transferred = request.total_bytes();
+        let fragments = request.coalesced().fragment_count() as u64;
+        let disk_time = self.disk.service(&request);
+        let host_time = self
+            .cost
+            .db_write_host_time(receipt.pages_written, size_bytes);
+        self.charge(disk_time, host_time);
+        // No `after_mutating_op`: migration *is* maintenance, so it must not
+        // tick the destination's own maintenance scheduler.
+        Ok(OpReceipt {
+            payload_bytes: size_bytes,
+            transferred_bytes: transferred,
+            disk_time,
+            host_time,
+            fragments,
+        })
+    }
+
     fn contains(&self, key: &str) -> bool {
         self.db.get(key).is_ok()
     }

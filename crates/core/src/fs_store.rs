@@ -250,6 +250,27 @@ impl ObjectStore for FsObjectStore {
         Ok(receipt)
     }
 
+    fn migrate_in(&mut self, key: &str, size_bytes: u64) -> Result<OpReceipt, StoreError> {
+        let receipt = self.volume.ingest_as_maintenance(key, size_bytes)?;
+        let request = IoRequest::write_runs(receipt.runs.iter().copied());
+        let transferred = request.total_bytes();
+        let disk_time = self.disk.service(&request);
+        let host_time = self
+            .cost
+            .fs_write_host_time(self.write_requests_for(size_bytes));
+        self.charge(disk_time, host_time);
+        let fragments = self.volume.file(receipt.file_id)?.fragment_count() as u64;
+        // No `after_mutating_op`: migration *is* maintenance, so it must not
+        // tick the destination's own maintenance scheduler.
+        Ok(OpReceipt {
+            payload_bytes: size_bytes,
+            transferred_bytes: transferred,
+            disk_time,
+            host_time,
+            fragments,
+        })
+    }
+
     fn contains(&self, key: &str) -> bool {
         self.volume.lookup(key).is_ok()
     }

@@ -92,7 +92,7 @@ pub use server::{
 pub use store::{CostModel, ObjectStore, OpReceipt, StoreKind};
 pub use workload::{
     ObjectKey, ObjectKeyBuf, SizeDistribution, StorageAgeTracker, WorkloadGenerator, WorkloadOp,
-    WorkloadSpec,
+    WorkloadSpec, ZipfDistribution,
 };
 
 // The allocation- and placement-policy knobs threaded from

@@ -547,6 +547,28 @@ impl<'a> StoreServer<'a> {
         self.run_stream_with(stream.into(), sink)
     }
 
+    /// Runs an externally built arrival schedule, sorted by arrival time —
+    /// the entry point a sharding layer uses: it generates **one** aggregate
+    /// arrival process, partitions the requests across shards, and feeds
+    /// each shard's sub-stream (which inherits the aggregate's ordering)
+    /// through that shard's own server.  Safe writes queued together still
+    /// batch, maintenance still interleaves — the schedule only fixes *when
+    /// requests arrive*, not how they are served.
+    pub fn run_schedule(
+        &mut self,
+        schedule: Vec<StoreRequest>,
+    ) -> Result<Vec<Completion>, StoreError> {
+        if schedule
+            .windows(2)
+            .any(|pair| pair[0].arrival > pair[1].arrival)
+        {
+            return Err(StoreError::BadConfig(
+                "run_schedule requires requests sorted by arrival time".into(),
+            ));
+        }
+        self.run_stream(schedule.into())
+    }
+
     /// Drains a pre-scheduled arrival stream (sorted by arrival time)
     /// against the spindle — the shared event loop behind both open-loop
     /// flavours.

@@ -247,6 +247,23 @@ pub trait ObjectStore {
         lor_maint::MaintIo::NONE
     }
 
+    /// Stores a new object under `key` as **background migration traffic**:
+    /// placement goes through the allocator's `Maintenance` consumer, so an
+    /// incoming rebalanced object can only land in space the placement
+    /// policy has ceded to maintenance and can never consume the contiguous
+    /// runs the destination's foreground writes depend on.  Under a banded
+    /// or reserve policy the write *fails* (out of space) rather than
+    /// spilling into the foreground band — that refusal is the guarantee.
+    ///
+    /// Unlike [`ObjectStore::put`], a migration write does not count as a
+    /// foreground operation: it must not tick the store's own maintenance
+    /// scheduler (migration *is* maintenance).  The default implementation
+    /// falls back to a plain put for stores without a placement-aware
+    /// allocator.
+    fn migrate_in(&mut self, key: &str, size_bytes: u64) -> Result<OpReceipt, StoreError> {
+        self.put(key, size_bytes)
+    }
+
     /// Attaches an observability handle: the store passes it down to its
     /// disk model (per-request disk spans) and maintenance scheduler
     /// (per-task spans and budget gauges).  The default store ignores it —

@@ -347,6 +347,109 @@ impl WorkloadGenerator {
     }
 }
 
+/// A Zipfian rank distribution over `1..=n`: `P(rank = k) ∝ 1/k^theta`.
+///
+/// The paper's own workloads touch every object uniformly, but fleet-scale
+/// repositories serve skewed popularity — a handful of hot objects absorb
+/// most reads and updates.  The `shard-sweep` scenarios use this sampler to
+/// produce per-shard fragmentation *skew*: shards that own hot ranks age
+/// faster than their siblings.
+///
+/// Sampling draws one uniform from the caller's RNG and binary-searches the
+/// precomputed cumulative weights, so a draw is O(log n) and fully
+/// deterministic for a given RNG state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfDistribution {
+    /// Population size (ranks run `1..=n`).
+    n: usize,
+    /// Skew exponent (`0.0` degenerates to uniform).
+    theta: f64,
+    /// `cumulative[k-1]` = sum of `1/i^theta` for `i in 1..=k`.
+    cumulative: Vec<f64>,
+}
+
+impl ZipfDistribution {
+    /// Builds the distribution over ranks `1..=n` with skew `theta`.
+    /// `n` is clamped to at least 1; `theta` to `[0, 16]`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        let n = n.max(1);
+        let theta = if theta.is_finite() {
+            theta.clamp(0.0, 16.0)
+        } else {
+            0.0
+        };
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += (k as f64).powf(-theta);
+            cumulative.push(total);
+        }
+        ZipfDistribution {
+            n,
+            theta,
+            cumulative,
+        }
+    }
+
+    /// Population size.
+    pub fn population(&self) -> usize {
+        self.n
+    }
+
+    /// Skew exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws one rank in `1..=n` (rank 1 is the hottest).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("population is at least 1");
+        let u: f64 = rng.gen_range(1e-12..1.0) * total;
+        // First index whose cumulative weight reaches the draw.
+        match self
+            .cumulative
+            .binary_search_by(|w| w.partial_cmp(&u).expect("weights are finite"))
+        {
+            Ok(index) | Err(index) => index.min(self.n - 1) + 1,
+        }
+    }
+}
+
+impl WorkloadGenerator {
+    /// A Zipf-skewed sample of `count` whole-object reads over the live
+    /// population (rank 1 = the first-created live object is hottest).
+    /// Deterministic for a given generator state; empty population yields
+    /// an empty sample.
+    pub fn zipf_read_sample(&mut self, count: usize, theta: f64) -> Vec<WorkloadOp> {
+        if self.live.is_empty() {
+            return Vec::new();
+        }
+        let zipf = ZipfDistribution::new(self.live.len(), theta);
+        (0..count)
+            .map(|_| WorkloadOp::Get {
+                key: self.live[zipf.sample(&mut self.rng) - 1],
+            })
+            .collect()
+    }
+
+    /// A Zipf-skewed sample of `count` safe writes over the live population,
+    /// sizes drawn from the spec's distribution.  The same hot ranks as
+    /// [`WorkloadGenerator::zipf_read_sample`], so a mixed Zipfian workload
+    /// reads and rewrites the same objects.
+    pub fn zipf_safe_write_sample(&mut self, count: usize, theta: f64) -> Vec<WorkloadOp> {
+        if self.live.is_empty() {
+            return Vec::new();
+        }
+        let zipf = ZipfDistribution::new(self.live.len(), theta);
+        (0..count)
+            .map(|_| WorkloadOp::SafeWrite {
+                key: self.live[zipf.sample(&mut self.rng) - 1],
+                size: self.spec.sizes.sample(&mut self.rng),
+            })
+            .collect()
+    }
+}
+
 /// Storage-age accounting (Section 4.4).
 ///
 /// Storage age is the ratio of bytes in objects that once existed on the
@@ -535,6 +638,78 @@ mod tests {
         let mut empty = WorkloadGenerator::new(WorkloadSpec::constant(4096, 0));
         assert!(empty.read_sample(4).is_empty());
         assert!(empty.safe_write_sample(4).is_empty());
+    }
+
+    #[test]
+    fn zipf_distribution_is_skewed_deterministic_and_bounded() {
+        let zipf = ZipfDistribution::new(100, 1.2);
+        assert_eq!(zipf.population(), 100);
+        assert!((zipf.theta() - 1.2).abs() < 1e-12);
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            let rank = zipf.sample(&mut a);
+            assert_eq!(rank, zipf.sample(&mut b), "same seed, same draw");
+            assert!((1..=100).contains(&rank));
+            counts[rank - 1] += 1;
+        }
+        // Rank 1 must dominate the tail decisively at theta 1.2.
+        assert!(
+            counts[0] > 4 * counts[9],
+            "head {} tail {}",
+            counts[0],
+            counts[9]
+        );
+        let head: usize = counts[..10].iter().sum();
+        assert!(head > 10_000, "top 10% of ranks should absorb most draws");
+
+        // theta 0 degenerates to uniform: no rank should dominate.
+        let uniform = ZipfDistribution::new(50, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 50];
+        for _ in 0..20_000 {
+            counts[uniform.sample(&mut rng) - 1] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < 2 * *min, "uniform draws must stay balanced");
+    }
+
+    #[test]
+    fn zipf_samples_cover_only_live_keys_and_are_deterministic() {
+        let spec = WorkloadSpec::constant(4096, 40).with_seed(13);
+        let mut a = WorkloadGenerator::new(spec.clone());
+        let mut b = WorkloadGenerator::new(spec);
+        a.bulk_load();
+        b.bulk_load();
+        let reads = a.zipf_read_sample(200, 1.0);
+        assert_eq!(reads, b.zipf_read_sample(200, 1.0));
+        assert_eq!(reads.len(), 200);
+        let mut hits = std::collections::HashMap::new();
+        for op in &reads {
+            let WorkloadOp::Get { key } = op else {
+                panic!("zipf read sample must contain only gets");
+            };
+            assert!(a.live_keys().contains(key));
+            *hits.entry(*key).or_insert(0usize) += 1;
+        }
+        // The hottest key (rank 1 = first created) must clearly lead.
+        let first = a.live_keys()[0];
+        let hottest = hits.values().max().copied().unwrap();
+        assert_eq!(hits.get(&first).copied().unwrap_or(0), hottest);
+
+        let writes = a.zipf_safe_write_sample(50, 1.0);
+        assert_eq!(writes, b.zipf_safe_write_sample(50, 1.0));
+        for op in &writes {
+            let WorkloadOp::SafeWrite { key, size } = op else {
+                panic!("zipf write sample must contain only safe writes");
+            };
+            assert!(a.live_keys().contains(key));
+            assert_eq!(*size, 4096);
+        }
+        let mut empty = WorkloadGenerator::new(WorkloadSpec::constant(4096, 0));
+        assert!(empty.zipf_read_sample(4, 1.0).is_empty());
+        assert!(empty.zipf_safe_write_sample(4, 1.0).is_empty());
     }
 
     #[test]

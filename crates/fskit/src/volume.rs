@@ -28,8 +28,8 @@ use std::collections::BTreeMap;
 
 use lor_alloc::{
     AllocError, AllocRequest, AllocationPolicy, Allocator, BandOccupancy, CountMultiset, Extent,
-    FragmentationSummary, FragmentationTracker, FreeSpace, FreeSpaceReport, PlacementPolicy,
-    RunCacheConfig, SelectableAllocator,
+    FragmentationSummary, FragmentationTracker, FreeSpace, FreeSpaceReport, PlacementConsumer,
+    PlacementPolicy, RunCacheConfig, SelectableAllocator,
 };
 use lor_disksim::ByteRun;
 use serde::{Deserialize, Serialize};
@@ -393,6 +393,56 @@ impl Volume {
         let receipt = self.fill(id, size_bytes, write_request_size)?;
         self.bump_op();
         Ok(receipt)
+    }
+
+    /// Creates a file for an object migrating in from another shard, placing
+    /// its data as the **maintenance** consumer: under a banded or reserve
+    /// [`PlacementPolicy`] the allocation is confined to the maintenance
+    /// region and *fails* rather than spilling into the space foreground
+    /// writes need — that refusal is the placement guarantee cross-shard
+    /// rebalancing relies on.
+    ///
+    /// The object's size is known up front (it already exists on the source
+    /// shard), so the whole allocation happens in one best-effort request,
+    /// like [`Volume::write_file_preallocated`].  On allocation failure the
+    /// just-created empty file is rolled back and the volume is unchanged.
+    pub fn ingest_as_maintenance(
+        &mut self,
+        name: &str,
+        size_bytes: u64,
+    ) -> Result<WriteReceipt, FsError> {
+        let id = self.create(name)?;
+        let clusters = size_bytes.div_ceil(self.config.cluster_size);
+        if clusters > 0 {
+            let watermark = self.foreground_watermark();
+            let request = AllocRequest::best_effort(clusters);
+            let extents = match self.allocator.allocate_as(
+                &request,
+                PlacementConsumer::Maintenance {
+                    foreground_watermark: watermark,
+                },
+            ) {
+                Ok(extents) => extents,
+                Err(err) => {
+                    let _ = self.delete(id);
+                    return Err(FsError::from(err));
+                }
+            };
+            self.stats.allocation_events += 1;
+            self.with_layout(id, |record| {
+                record.push_extents(&extents);
+                record.size_bytes = size_bytes;
+            })?;
+        }
+        self.stats.bytes_written += size_bytes;
+        let record = self.files.get(&id).expect("just created");
+        let runs = Self::runs_for_range(record, self.config.cluster_size, 0, size_bytes);
+        self.bump_op();
+        Ok(WriteReceipt {
+            file_id: id,
+            runs,
+            bytes_written: size_bytes,
+        })
     }
 
     /// Appends `size_bytes` in chunks to an existing file, then trims any
@@ -900,6 +950,50 @@ mod tests {
         let first_end = first.last().unwrap();
         let second_start = second.first().unwrap();
         assert_eq!(first_end.end(), second_start.offset);
+    }
+
+    #[test]
+    fn ingest_as_maintenance_respects_the_placement_band() {
+        // Banded placement: maintenance may only allocate in the top 30%.
+        let mut config = VolumeConfig::new(64 * MB);
+        config.placement = PlacementPolicy::banded(0.7);
+        let mut volume = Volume::format(config).unwrap();
+
+        let boundary = volume
+            .placement()
+            .boundary_cluster(volume.config().total_clusters());
+        let receipt = volume.ingest_as_maintenance("migrant", 2 * MB).unwrap();
+        assert_eq!(receipt.bytes_written, 2 * MB);
+        assert_eq!(receipt.runs.iter().map(|r| r.len).sum::<u64>(), 2 * MB);
+        let record = volume.file(receipt.file_id).unwrap();
+        for extent in &record.extents {
+            assert!(
+                extent.start >= boundary,
+                "migration wrote into the foreground band: extent at {} < boundary {}",
+                extent.start,
+                boundary
+            );
+        }
+
+        // Exhaust the maintenance band: further migration must *fail*, not
+        // spill into the foreground band, and must leave no file behind.
+        let files_before = volume.file_count();
+        let err = volume.ingest_as_maintenance("too-big", 60 * MB);
+        assert!(err.is_err());
+        assert_eq!(volume.file_count(), files_before);
+        assert!(volume.lookup("too-big").is_err());
+    }
+
+    #[test]
+    fn ingest_as_maintenance_unrestricted_matches_a_plain_write() {
+        let mut volume = small_volume();
+        let receipt = volume.ingest_as_maintenance("obj", MB).unwrap();
+        assert_eq!(receipt.bytes_written, MB);
+        let record = volume.file(receipt.file_id).unwrap();
+        assert_eq!(record.size_bytes, MB);
+        assert_eq!(record.allocated_clusters(), MB / 4096);
+        // Size known up front → one allocation, contiguous on a clean volume.
+        assert_eq!(record.fragment_count(), 1);
     }
 
     #[test]

@@ -56,16 +56,30 @@ pub enum Track {
     Disk,
     /// Per-task maintenance spans on the scheduler's clock.
     Maintenance,
+    /// One shard of a sharded fleet (`lor-shard`): per-shard gauges and
+    /// spans land on their own Chrome trace row, so a straggler shard is
+    /// visually separable from its siblings.
+    Shard(u8),
 }
 
+/// Display names for the per-shard tracks.  Shards beyond the named range
+/// collapse onto the final catch-all row (their `tid` stays distinct).
+const SHARD_TRACK_NAMES: [&str; 17] = [
+    "shard-0", "shard-1", "shard-2", "shard-3", "shard-4", "shard-5", "shard-6", "shard-7",
+    "shard-8", "shard-9", "shard-10", "shard-11", "shard-12", "shard-13", "shard-14", "shard-15",
+    "shard-n",
+];
+
 impl Track {
-    /// Chrome trace `tid` for this track.
+    /// Chrome trace `tid` for this track.  Shard rows start at 16, well
+    /// clear of the four fixed tracks and below the counter row (99).
     pub fn tid(self) -> u32 {
         match self {
             Track::Server => 0,
             Track::Background => 1,
             Track::Disk => 2,
             Track::Maintenance => 3,
+            Track::Shard(n) => 16 + n as u32,
         }
     }
 
@@ -76,6 +90,7 @@ impl Track {
             Track::Background => "background",
             Track::Disk => "disk",
             Track::Maintenance => "maintenance",
+            Track::Shard(n) => SHARD_TRACK_NAMES[(n as usize).min(SHARD_TRACK_NAMES.len() - 1)],
         }
     }
 }
@@ -396,6 +411,16 @@ mod tests {
         assert_eq!(trace.span_count(), 2);
         other.set_now(7);
         assert_eq!(obs.now_hint(), 7);
+    }
+
+    #[test]
+    fn shard_tracks_have_distinct_tids_and_stable_names() {
+        assert_eq!(Track::Shard(0).tid(), 16);
+        assert_eq!(Track::Shard(3).name(), "shard-3");
+        assert_eq!(Track::Shard(15).name(), "shard-15");
+        assert_eq!(Track::Shard(40).name(), "shard-n");
+        assert_eq!(Track::Shard(40).tid(), 56);
+        assert_ne!(Track::Shard(0).tid(), Track::Maintenance.tid());
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Fan-out read completions: a multi-object read finishes when its slowest
+//! shard does, and the per-shard split is kept so tail latency can be
+//! attributed to the straggler.
+
+use lor_core::Completion;
+use lor_disksim::SimDuration;
+
+/// One sub-read of a fan-out request, tagged with the shard that served it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FanoutPart {
+    /// The shard this part was routed to.
+    pub shard: u32,
+    /// The sub-read's completion on that shard's server.
+    pub completion: Completion,
+}
+
+/// One completed fan-out read: `width` sub-reads issued at the same instant
+/// to (possibly) different shards, complete when the slowest part is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FanoutCompletion {
+    /// Index of the fan-out request in its arrival stream (also the client
+    /// id its sub-reads carried).
+    pub group: u32,
+    /// The instant every sub-read arrived.
+    pub arrival: SimDuration,
+    /// Per-shard sub-read completions, in shard order.
+    pub parts: Vec<FanoutPart>,
+}
+
+impl FanoutCompletion {
+    /// Number of sub-reads.
+    pub fn width(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The instant the whole read completed: the slowest part's finish.
+    pub fn finish(&self) -> SimDuration {
+        self.parts
+            .iter()
+            .map(|part| part.completion.finish)
+            .max()
+            .unwrap_or(self.arrival)
+    }
+
+    /// Client-observed latency of the whole read.
+    pub fn latency(&self) -> SimDuration {
+        self.finish().saturating_sub(self.arrival)
+    }
+
+    /// The part that finished last — the shard the tail should be blamed
+    /// on.  `None` only for an (impossible) empty fan-out.
+    pub fn straggler(&self) -> Option<&FanoutPart> {
+        self.parts.iter().max_by_key(|part| part.completion.finish)
+    }
+
+    /// How much longer the whole read took than its *fastest* part — the
+    /// latency cost of waiting for stragglers, zero at width 1.
+    pub fn straggler_penalty(&self) -> SimDuration {
+        let fastest = self
+            .parts
+            .iter()
+            .map(|part| part.completion.finish)
+            .min()
+            .unwrap_or(self.arrival);
+        self.finish().saturating_sub(fastest)
+    }
+}
+
+/// p99 (nearest-rank) of fan-out latencies, in milliseconds.
+pub fn fanout_p99_ms(completions: &[FanoutCompletion]) -> f64 {
+    if completions.is_empty() {
+        return 0.0;
+    }
+    let mut nanos: Vec<u64> = completions.iter().map(|c| c.latency().as_nanos()).collect();
+    nanos.sort_unstable();
+    let rank = (0.99 * nanos.len() as f64).ceil() as usize;
+    nanos[rank.clamp(1, nanos.len()) - 1] as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lor_core::{ClientId, ObjectKey, OpReceipt, StoreRequest, WorkloadOp};
+
+    fn part(shard: u32, arrival_ms: u64, finish_ms: u64) -> FanoutPart {
+        FanoutPart {
+            shard,
+            completion: Completion {
+                request: StoreRequest {
+                    client: ClientId(0),
+                    op: WorkloadOp::Get { key: ObjectKey(0) },
+                    arrival: SimDuration::from_millis(arrival_ms),
+                },
+                receipt: OpReceipt::default(),
+                start: SimDuration::from_millis(arrival_ms),
+                finish: SimDuration::from_millis(finish_ms),
+                maint_delay: SimDuration::ZERO,
+            },
+        }
+    }
+
+    #[test]
+    fn completion_finishes_at_the_slowest_part() {
+        let fanout = FanoutCompletion {
+            group: 0,
+            arrival: SimDuration::from_millis(10),
+            parts: vec![part(0, 10, 14), part(1, 10, 25), part(2, 10, 12)],
+        };
+        assert_eq!(fanout.width(), 3);
+        assert_eq!(fanout.finish(), SimDuration::from_millis(25));
+        assert_eq!(fanout.latency(), SimDuration::from_millis(15));
+        assert_eq!(fanout.straggler().unwrap().shard, 1);
+        assert_eq!(fanout.straggler_penalty(), SimDuration::from_millis(13));
+    }
+
+    #[test]
+    fn p99_of_an_empty_set_is_zero() {
+        assert_eq!(fanout_p99_ms(&[]), 0.0);
+        let one = FanoutCompletion {
+            group: 0,
+            arrival: SimDuration::ZERO,
+            parts: vec![part(0, 0, 8)],
+        };
+        assert!((fanout_p99_ms(&[one]) - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,52 @@
+//! # lor-shard — a fleet of independent large-object repositories
+//!
+//! The paper studies one server with one spindle; real deployments of its
+//! workloads (web mail, photo stores, document repositories — Section 2)
+//! spread objects across many such servers.  This crate scales the
+//! single-spindle model out rather than up: a [`ShardedStore`] owns N
+//! complete, *independent* shards — each a full [`lor_core::ObjectStore`]
+//! with its own simulated drive and its own maintenance drive — so every
+//! per-shard result from the rest of the workspace (fragmentation growth,
+//! the latency hockey stick, maintenance interference) holds unchanged
+//! inside each shard, and the new phenomena are purely cross-shard:
+//!
+//! * **Routing** ([`Router`], [`RouterPolicy`]) — where new objects land.
+//!   Consistent hashing (vnode ring) keeps reshards cheap (adding one shard
+//!   to an `n`-shard fleet moves ~`1/(n+1)` of the keys — property-tested);
+//!   the size-aware variant spreads large objects by an independent hash so
+//!   a hot large-object prefix cannot pile onto one spindle.  Routing is
+//!   pure arithmetic over the key — bit-identical across runs — so sharded
+//!   arrival streams stay seed-stable.
+//! * **Aggregate load splitting** — workloads are generated *once* at the
+//!   aggregate offered rate ([`ShardedStore::run_open_loop`],
+//!   [`ShardedStore::run_mixed_open_loop`]) and partitioned across shards,
+//!   which makes a fleet of one bit-identical to a bare
+//!   [`lor_core::StoreServer`] (the degenerate-equivalence e2e test) and
+//!   keeps the offered pattern independent of the shard count.
+//! * **Fan-out reads** ([`ShardedStore::run_fanout_reads`],
+//!   [`FanoutCompletion`]) — a multi-object read issues its sub-reads at one
+//!   instant and completes when the slowest shard does; per-shard parts are
+//!   kept so tail amplification can be attributed to the straggler.
+//! * **Rebalancing** ([`RebalanceState`]) — object migration between shards
+//!   as a fleet-level maintenance duty, driven by a
+//!   [`lor_maint::MaintenanceScheduler`] under the ordinary budget/idle
+//!   policies.  Destination writes go through the allocator's *maintenance*
+//!   placement consumer, so migration can be refused — but never allowed to
+//!   crowd a destination shard's foreground band.
+//!
+//! Per-shard fragmentation, queue depth, and band occupancy are emitted as
+//! gauges (and per-interval spans on [`lor_obs::Track::Shard`] tracks) when
+//! an [`lor_obs::Obs`] handle is attached.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod fanout;
+mod rebalance;
+mod router;
+mod store;
+
+pub use fanout::{fanout_p99_ms, FanoutCompletion, FanoutPart};
+pub use rebalance::RebalanceState;
+pub use router::{Router, RouterPolicy};
+pub use store::ShardedStore;

@@ -1,0 +1,550 @@
+//! The sharded store: N independent shards behind one router.
+//!
+//! Each shard is a complete single-spindle repository — its own
+//! [`ObjectStore`] (NTFS-like volume or SQL-Server-like engine), its own
+//! simulated drive, and its own maintenance drive — so the fleet models N
+//! small servers, not one big disk.  Workloads are generated **once** at the
+//! aggregate offered load and partitioned across shards by the
+//! [`Router`], which keeps every shard's sub-stream deterministic for a
+//! fixed seed: the aggregate arrival pattern never depends on the shard
+//! count, only its split does.  A fleet of one shard is therefore
+//! bit-identical to a bare [`StoreServer`] over the same store (asserted by
+//! the end-to-end tests).
+
+use std::collections::HashMap;
+
+use lor_alloc::{FragmentationSummary, PlacementPolicy};
+use lor_core::{
+    ClientId, Completion, ExperimentConfig, MixedOpenLoop, ObjectKey, ObjectStore, OpenLoop,
+    QueueStats, StoreError, StoreKind, StoreRequest, StoreServer, WorkloadOp,
+};
+use lor_disksim::SimDuration;
+use lor_maint::{MaintIo, MaintenanceConfig, MaintenanceScheduler, MaintenanceStats};
+use lor_obs::{Obs, Track};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fanout::{FanoutCompletion, FanoutPart};
+use crate::rebalance::{RebalanceState, RebalanceTarget};
+use crate::router::{Router, RouterPolicy};
+
+/// Per-shard gauge names must be `&'static str` (the metrics registry is
+/// keyed by name, not track), so each metric gets a 16-entry literal table;
+/// shards beyond the table are simply not gauged.
+macro_rules! shard_gauge_names {
+    ($suffix:literal) => {
+        [
+            concat!("shard0.", $suffix),
+            concat!("shard1.", $suffix),
+            concat!("shard2.", $suffix),
+            concat!("shard3.", $suffix),
+            concat!("shard4.", $suffix),
+            concat!("shard5.", $suffix),
+            concat!("shard6.", $suffix),
+            concat!("shard7.", $suffix),
+            concat!("shard8.", $suffix),
+            concat!("shard9.", $suffix),
+            concat!("shard10.", $suffix),
+            concat!("shard11.", $suffix),
+            concat!("shard12.", $suffix),
+            concat!("shard13.", $suffix),
+            concat!("shard14.", $suffix),
+            concat!("shard15.", $suffix),
+        ]
+    };
+}
+
+const GAUGE_FRAG: [&str; 16] = shard_gauge_names!("frag.per_object");
+const GAUGE_QUEUE: [&str; 16] = shard_gauge_names!("queue.mean_depth");
+const GAUGE_BAND_FG: [&str; 16] = shard_gauge_names!("band.foreground_used");
+const GAUGE_BAND_MAINT: [&str; 16] = shard_gauge_names!("band.maintenance_used");
+
+/// A fleet of independent shards behind a deterministic router.
+pub struct ShardedStore {
+    shards: Vec<Box<dyn ObjectStore>>,
+    router: Router,
+    /// Where every live object actually is.  The router decides where *new*
+    /// objects land; rebalancing may move them afterwards, and reads and
+    /// deletes always follow the directory.
+    directory: HashMap<ObjectKey, u32>,
+    /// Placement policy the per-shard substrates were built with (reported
+    /// by the rebalance target so the fleet scheduler knows the variant).
+    placement: PlacementPolicy,
+    /// Cross-shard rebalancing drive, if enabled.
+    rebalance: Option<MaintenanceScheduler>,
+    rebalance_state: RebalanceState,
+    /// Queue stats of each shard's most recent run.
+    last_queue: Vec<QueueStats>,
+    obs: Obs,
+    /// Trace-timeline offset: each measurement interval's servers restart
+    /// their wall clocks at zero, so fleet spans/gauges are shifted past
+    /// everything already recorded.
+    trace_offset: SimDuration,
+}
+
+impl ShardedStore {
+    /// Builds a fleet of `shards` stores of the given `kind`.  The aggregate
+    /// configuration is split evenly: each shard gets `volume_bytes /
+    /// shards` of capacity on its own (correspondingly smaller) drive, and
+    /// inherits every other knob — placement, maintenance, cost model, seed.
+    pub fn new(
+        kind: StoreKind,
+        config: &ExperimentConfig,
+        shards: u32,
+        policy: RouterPolicy,
+    ) -> Result<Self, StoreError> {
+        let shards = shards.max(1);
+        let mut per_shard = config.clone();
+        per_shard.volume_bytes = config.volume_bytes / shards as u64;
+        let mut stores = Vec::with_capacity(shards as usize);
+        for _ in 0..shards {
+            stores.push(per_shard.build_store(kind)?);
+        }
+        Ok(ShardedStore {
+            shards: stores,
+            router: Router::new(policy, shards),
+            directory: HashMap::new(),
+            placement: config.placement,
+            rebalance: None,
+            rebalance_state: RebalanceState::default(),
+            last_queue: vec![QueueStats::default(); shards as usize],
+            obs: Obs::null(),
+            trace_offset: SimDuration::ZERO,
+        })
+    }
+
+    /// Enables cross-shard rebalancing as a fleet-level maintenance drive:
+    /// `run_rebalance_slice` feeds the given budget/idle policy through a
+    /// [`MaintenanceScheduler`] whose defragmentation step migrates objects
+    /// between shards (destination writes placed as the maintenance
+    /// consumer, so migration cannot crowd any shard's foreground band).
+    pub fn enable_rebalancing(&mut self, config: MaintenanceConfig) -> Result<(), StoreError> {
+        config
+            .validate()
+            .map_err(|message| StoreError::BadConfig(message.into()))?;
+        self.rebalance = Some(MaintenanceScheduler::new(config));
+        Ok(())
+    }
+
+    /// Attaches an observability handle.  The fleet emits one span per shard
+    /// per measurement interval on that shard's track
+    /// ([`Track::Shard`]) plus per-shard fragmentation / queue-depth /
+    /// band-occupancy gauges after every interval.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Number of shards in the fleet.
+    pub fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// Read-only access to one shard's store.
+    pub fn shard(&self, index: usize) -> &dyn ObjectStore {
+        self.shards[index].as_ref()
+    }
+
+    /// Mutable access to one shard's store (fixtures, measurement resets).
+    pub fn shard_mut(&mut self, index: usize) -> &mut dyn ObjectStore {
+        self.shards[index].as_mut()
+    }
+
+    /// The routing table in effect.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The shard currently holding `key`, if any.
+    pub fn locate(&self, key: ObjectKey) -> Option<u32> {
+        self.directory.get(&key).copied()
+    }
+
+    /// Queue statistics of each shard's most recent run.
+    pub fn last_queue_stats(&self) -> &[QueueStats] {
+        &self.last_queue
+    }
+
+    /// Fleet-wide fragmentation (all shards' live objects together).
+    pub fn fragmentation(&self) -> FragmentationSummary {
+        let summaries: Vec<FragmentationSummary> = self
+            .shards
+            .iter()
+            .map(|shard| shard.fragmentation())
+            .collect();
+        FragmentationSummary::merged(summaries.iter())
+    }
+
+    /// Per-shard fragmentation summaries, in shard order.
+    pub fn per_shard_fragmentation(&self) -> Vec<FragmentationSummary> {
+        self.shards
+            .iter()
+            .map(|shard| shard.fragmentation())
+            .collect()
+    }
+
+    /// Fragmentation skew: the worst shard's fragments-per-object divided by
+    /// the fleet mean (1.0 = perfectly even).  The rebalancer's job is to
+    /// pull this back toward 1 under skewed (Zipfian) load.
+    pub fn fragmentation_skew(&self) -> f64 {
+        let per_shard: Vec<f64> = self
+            .shards
+            .iter()
+            .map(|shard| shard.fragmentation().fragments_per_object)
+            .filter(|fpo| *fpo > 0.0)
+            .collect();
+        if per_shard.is_empty() {
+            return 1.0;
+        }
+        let max = per_shard.iter().cloned().fold(0.0f64, f64::max);
+        let mean = per_shard.iter().sum::<f64>() / per_shard.len() as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+
+    /// Total live objects across the fleet.
+    pub fn object_count(&self) -> usize {
+        self.shards.iter().map(|shard| shard.object_count()).sum()
+    }
+
+    /// Total live bytes across the fleet.
+    pub fn live_bytes(&self) -> u64 {
+        self.shards.iter().map(|shard| shard.live_bytes()).sum()
+    }
+
+    /// The fleet's storage clock: the busiest shard's elapsed service time
+    /// (shards run in parallel — wall time is set by the slowest spindle).
+    pub fn elapsed(&self) -> SimDuration {
+        self.shards
+            .iter()
+            .map(|shard| shard.elapsed())
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Resets every shard's measurement clock.
+    pub fn reset_measurements(&mut self) {
+        for shard in &mut self.shards {
+            shard.reset_measurements();
+        }
+    }
+
+    /// Routes one request, updating the directory: puts claim their routed
+    /// shard, deletes release it, reads and safe writes follow the object.
+    fn route_request(&mut self, op: &WorkloadOp) -> u32 {
+        match *op {
+            WorkloadOp::Put { key, size } => {
+                let shard = self.router.route(key, size);
+                self.directory.insert(key, shard);
+                shard
+            }
+            WorkloadOp::SafeWrite { key, size } => match self.directory.get(&key) {
+                Some(&shard) => shard,
+                None => {
+                    let shard = self.router.route(key, size);
+                    self.directory.insert(key, shard);
+                    shard
+                }
+            },
+            WorkloadOp::Get { key } => self
+                .directory
+                .get(&key)
+                .copied()
+                .unwrap_or_else(|| self.router.route(key, 0)),
+            WorkloadOp::Delete { key } => self
+                .directory
+                .remove(&key)
+                .unwrap_or_else(|| self.router.route(key, 0)),
+        }
+    }
+
+    /// Splits an aggregate arrival schedule into per-shard sub-streams,
+    /// preserving arrival order within each.
+    fn partition(&mut self, schedule: Vec<StoreRequest>) -> Vec<Vec<StoreRequest>> {
+        let mut streams: Vec<Vec<StoreRequest>> = vec![Vec::new(); self.shards.len()];
+        for request in schedule {
+            let shard = self.route_request(&request.op);
+            streams[shard as usize].push(request);
+        }
+        streams
+    }
+
+    /// Loads `ops` serially (one client, zero think time) across the fleet —
+    /// the bulk-load path.  Each shard loads its own partition exactly as a
+    /// bare serial harness would.
+    pub fn load(&mut self, ops: Vec<WorkloadOp>) -> Result<usize, StoreError> {
+        let schedule: Vec<StoreRequest> = ops
+            .into_iter()
+            .enumerate()
+            .map(|(index, op)| StoreRequest {
+                client: ClientId(index as u32),
+                op,
+                arrival: SimDuration::ZERO,
+            })
+            .collect();
+        let streams = self.partition(schedule);
+        let mut applied = 0;
+        for (shard, stream) in streams.into_iter().enumerate() {
+            if stream.is_empty() {
+                continue;
+            }
+            applied += stream.len();
+            let ops: Vec<WorkloadOp> = stream.into_iter().map(|request| request.op).collect();
+            let mut server = StoreServer::new(self.shards[shard].as_mut());
+            server.run_closed_loop(ops, 1, SimDuration::ZERO)?;
+        }
+        Ok(applied)
+    }
+
+    /// Runs an aggregate arrival schedule (sorted by arrival time) across
+    /// the fleet: the schedule is partitioned by the router/directory and
+    /// each shard's sub-stream runs against that shard's own
+    /// [`StoreServer`].  Completions are returned merged back into
+    /// aggregate arrival order.
+    pub fn run_schedule(
+        &mut self,
+        schedule: Vec<StoreRequest>,
+    ) -> Result<Vec<Completion>, StoreError> {
+        let total = schedule.len();
+        let streams = self.partition(schedule);
+        let mut merged: Vec<Completion> = Vec::with_capacity(total);
+        let mut interval_end = SimDuration::ZERO;
+        for (shard, stream) in streams.into_iter().enumerate() {
+            self.last_queue[shard] = QueueStats::default();
+            if stream.is_empty() {
+                continue;
+            }
+            let count = stream.len();
+            let mut server = StoreServer::new(self.shards[shard].as_mut());
+            let completions = server.run_schedule(stream)?;
+            self.last_queue[shard] = server.queue_stats();
+            let shard_end = server.now();
+            interval_end = interval_end.max(shard_end);
+            drop(server);
+            if self.obs.enabled() {
+                self.obs.span(
+                    Track::Shard(shard.min(u8::MAX as usize) as u8),
+                    "interval",
+                    self.trace_offset.as_nanos(),
+                    shard_end.as_nanos(),
+                    &[
+                        ("requests", (count as u64).into()),
+                        ("max_queue_depth", self.last_queue[shard].max_depth.into()),
+                    ],
+                );
+            }
+            merged.extend(completions);
+        }
+        // Aggregate arrival order: client ids number the aggregate stream,
+        // so (arrival, client) restores exactly the order the scheduler
+        // offered.  For one shard this is the stream's own dispatch order.
+        merged.sort_by_key(|completion| (completion.request.arrival, completion.request.client.0));
+        self.probe(self.trace_offset + interval_end);
+        self.trace_offset += interval_end;
+        Ok(merged)
+    }
+
+    /// Runs an open-loop Poisson process at the **aggregate** offered load:
+    /// one arrival stream is drawn (identically to
+    /// [`StoreServer::run_open_loop`]) and split across the fleet, so the
+    /// per-shard streams are deterministic for a fixed seed and the offered
+    /// pattern does not depend on the shard count.
+    pub fn run_open_loop(
+        &mut self,
+        ops: Vec<WorkloadOp>,
+        load: OpenLoop,
+    ) -> Result<Vec<Completion>, StoreError> {
+        if !load.ops_per_sec.is_finite() || load.ops_per_sec <= 0.0 {
+            return Err(StoreError::BadConfig(
+                "open-loop offered load must be positive and finite".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(load.seed);
+        let mut at = SimDuration::ZERO;
+        let schedule: Vec<StoreRequest> = ops
+            .into_iter()
+            .enumerate()
+            .map(|(index, op)| {
+                let unit: f64 = rng.gen_range(1e-12..1.0);
+                at += SimDuration::from_secs_f64(-unit.ln() / load.ops_per_sec);
+                StoreRequest {
+                    client: ClientId(index as u32),
+                    op,
+                    arrival: at,
+                }
+            })
+            .collect();
+        self.run_schedule(schedule)
+    }
+
+    /// Runs a mixed open-loop (reads + safe writes) at the aggregate rates,
+    /// split across the fleet — see [`ShardedStore::run_open_loop`].
+    pub fn run_mixed_open_loop(
+        &mut self,
+        reads: Vec<WorkloadOp>,
+        writes: Vec<WorkloadOp>,
+        load: MixedOpenLoop,
+    ) -> Result<Vec<Completion>, StoreError> {
+        let schedule = load.schedule(SimDuration::ZERO, reads, writes)?;
+        self.run_schedule(schedule)
+    }
+
+    /// Runs fan-out reads: each group of keys is one multi-object request
+    /// whose sub-reads all arrive at the group's Poisson instant, routed to
+    /// their shards, and the request completes when the slowest sub-read
+    /// does.  `load.ops_per_sec` is the rate of *groups*.
+    pub fn run_fanout_reads(
+        &mut self,
+        groups: Vec<Vec<ObjectKey>>,
+        load: OpenLoop,
+    ) -> Result<Vec<FanoutCompletion>, StoreError> {
+        if !load.ops_per_sec.is_finite() || load.ops_per_sec <= 0.0 {
+            return Err(StoreError::BadConfig(
+                "fan-out offered load must be positive and finite".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(load.seed);
+        let mut at = SimDuration::ZERO;
+        let group_count = groups.len();
+        let mut streams: Vec<Vec<StoreRequest>> = vec![Vec::new(); self.shards.len()];
+        let mut arrivals = Vec::with_capacity(group_count);
+        for (group, keys) in groups.into_iter().enumerate() {
+            let unit: f64 = rng.gen_range(1e-12..1.0);
+            at += SimDuration::from_secs_f64(-unit.ln() / load.ops_per_sec);
+            arrivals.push(at);
+            for key in keys {
+                let op = WorkloadOp::Get { key };
+                let shard = self.route_request(&op);
+                streams[shard as usize].push(StoreRequest {
+                    client: ClientId(group as u32),
+                    op,
+                    arrival: at,
+                });
+            }
+        }
+
+        let mut grouped: Vec<FanoutCompletion> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(group, &arrival)| FanoutCompletion {
+                group: group as u32,
+                arrival,
+                parts: Vec::new(),
+            })
+            .collect();
+        let mut interval_end = SimDuration::ZERO;
+        for (shard, stream) in streams.into_iter().enumerate() {
+            self.last_queue[shard] = QueueStats::default();
+            if stream.is_empty() {
+                continue;
+            }
+            let mut server = StoreServer::new(self.shards[shard].as_mut());
+            let completions = server.run_schedule(stream)?;
+            self.last_queue[shard] = server.queue_stats();
+            interval_end = interval_end.max(server.now());
+            drop(server);
+            for completion in completions {
+                let group = completion.request.client.0 as usize;
+                if self.obs.enabled() {
+                    self.obs.span(
+                        Track::Shard(shard.min(u8::MAX as usize) as u8),
+                        "fanout-get",
+                        (self.trace_offset + completion.start).as_nanos(),
+                        completion
+                            .finish
+                            .saturating_sub(completion.start)
+                            .as_nanos(),
+                        &[
+                            ("group", u64::from(completion.request.client.0).into()),
+                            ("queue_ms", completion.queue_delay().as_millis_f64().into()),
+                        ],
+                    );
+                }
+                grouped[group].parts.push(FanoutPart {
+                    shard: shard as u32,
+                    completion,
+                });
+            }
+        }
+        self.probe(self.trace_offset + interval_end);
+        self.trace_offset += interval_end;
+        Ok(grouped)
+    }
+
+    /// Runs one budgeted rebalancing slice at fleet time `now` (requires
+    /// [`ShardedStore::enable_rebalancing`]).  Returns the background I/O
+    /// the migration performed; its time has already been charged to the
+    /// source and destination shards' clocks.
+    pub fn run_rebalance_slice(&mut self, budget_bytes: u64, now: SimDuration) -> MaintIo {
+        let Some(scheduler) = self.rebalance.as_mut() else {
+            return MaintIo::NONE;
+        };
+        let mut target = RebalanceTarget {
+            shards: &mut self.shards,
+            directory: &mut self.directory,
+            placement: self.placement,
+            state: &mut self.rebalance_state,
+        };
+        scheduler.run_budgeted_slice(&mut target, budget_bytes, now)
+    }
+
+    /// Statistics of the rebalancing drive, if enabled.
+    pub fn rebalance_stats(&self) -> Option<&MaintenanceStats> {
+        self.rebalance.as_ref().map(|scheduler| scheduler.stats())
+    }
+
+    /// Objects migrated between shards so far.
+    pub fn objects_migrated(&self) -> u64 {
+        self.rebalance_state.objects_moved
+    }
+
+    /// Bytes of object payload migrated between shards so far.
+    pub fn bytes_migrated(&self) -> u64 {
+        self.rebalance_state.bytes_moved
+    }
+
+    /// Migrations refused because the destination's maintenance band could
+    /// not hold the object (the placement guarantee holding).
+    pub fn migration_refusals(&self) -> u64 {
+        self.rebalance_state.refusals
+    }
+
+    /// Samples per-shard gauges onto the fleet trace timeline.
+    fn probe(&mut self, at: SimDuration) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let at_ns = at.as_nanos();
+        for (index, shard) in self.shards.iter().enumerate().take(GAUGE_FRAG.len()) {
+            self.obs.gauge(
+                GAUGE_FRAG[index],
+                at_ns,
+                shard.fragmentation().fragments_per_object,
+            );
+            self.obs.gauge(
+                GAUGE_QUEUE[index],
+                at_ns,
+                self.last_queue[index].mean_depth(),
+            );
+            if let Some(bands) = shard.band_occupancy() {
+                self.obs
+                    .gauge(GAUGE_BAND_FG[index], at_ns, bands.foreground_used);
+                self.obs
+                    .gauge(GAUGE_BAND_MAINT[index], at_ns, bands.maintenance_used);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("shards", &self.shards.len())
+            .field("router", &self.router.policy())
+            .field("objects", &self.directory.len())
+            .field("rebalancing", &self.rebalance.is_some())
+            .finish()
+    }
+}

@@ -1,0 +1,259 @@
+//! End-to-end properties of the sharded store.
+//!
+//! * **Degenerate equivalence** — a fleet of one shard is *bit-identical*
+//!   to a bare [`StoreServer`] over the same store: same completions, same
+//!   clock, same fragmentation.  This pins the sharding layer's overhead to
+//!   exactly zero model drift: everything the rest of the workspace
+//!   established about a single server still holds inside each shard.
+//! * **Fan-out tail amplification** — under queueing (depth ≥ 8), the p99
+//!   of multi-object reads grows monotonically with fan-out width: the
+//!   wider the read, the more likely one sub-read lands on a busy shard.
+//! * **Rebalancing** — under Zipfian safe-write load the per-shard
+//!   fragmentation skews; the rebalancing drive pulls the skew back down by
+//!   migrating fragmented objects off the worst shard, and its destination
+//!   writes never touch any shard's foreground band.
+
+use lor_core::{
+    ExperimentConfig, MixedOpenLoop, ObjectKey, OpenLoop, PlacementPolicy, SizeDistribution,
+    StoreKind, StoreServer, WorkloadGenerator,
+};
+use lor_disksim::SimDuration;
+use lor_maint::{MaintenanceConfig, MaintenancePolicy};
+use lor_shard::{fanout_p99_ms, RouterPolicy, ShardedStore};
+
+fn small_config(object_size: u64, volume: u64) -> ExperimentConfig {
+    let mut config = ExperimentConfig::paper_default(SizeDistribution::Constant(object_size));
+    config.volume_bytes = volume;
+    config
+}
+
+#[test]
+fn a_single_shard_fleet_is_bit_identical_to_a_bare_server() {
+    for kind in [StoreKind::Filesystem, StoreKind::Database] {
+        let config = small_config(512 << 10, 128 << 20);
+        let mut generator = WorkloadGenerator::new(config.workload());
+        let ops = generator.bulk_load();
+        let reads = generator.read_sample(120);
+        let writes = generator.safe_write_sample(60);
+        let load = MixedOpenLoop {
+            read_ops_per_sec: 30.0,
+            write_ops_per_sec: 15.0,
+            seed: 7,
+        };
+
+        // The bare server: serial bulk load, then a fresh server (clock at
+        // zero) runs the mixed measurement — the same two phases the fleet
+        // performs.
+        let mut bare = config.build_store(kind).expect("bare store");
+        {
+            let mut server = StoreServer::new(bare.as_mut());
+            server
+                .run_closed_loop(ops.clone(), 1, SimDuration::ZERO)
+                .expect("bare bulk load");
+        }
+        let bare_completions = {
+            let mut server = StoreServer::new(bare.as_mut());
+            server
+                .run_mixed_open_loop(reads.clone(), writes.clone(), load)
+                .expect("bare mixed run")
+        };
+
+        let mut fleet = ShardedStore::new(
+            kind,
+            &config,
+            1,
+            RouterPolicy::ConsistentHash { vnodes: 16 },
+        )
+        .expect("fleet");
+        fleet.load(ops).expect("fleet bulk load");
+        let fleet_completions = fleet
+            .run_mixed_open_loop(reads, writes, load)
+            .expect("fleet mixed run");
+
+        assert_eq!(
+            bare_completions, fleet_completions,
+            "{kind}: one-shard completions must be bit-identical to the bare server"
+        );
+        assert_eq!(bare.elapsed(), fleet.elapsed(), "{kind}: clocks diverged");
+        let bare_frag = bare.fragmentation();
+        let fleet_frag = fleet.fragmentation();
+        assert_eq!(
+            bare_frag.fragments_per_object, fleet_frag.fragments_per_object,
+            "{kind}: fragmentation diverged"
+        );
+        assert_eq!(bare_frag.excess_fragments(), fleet_frag.excess_fragments());
+        assert_eq!(bare.object_count(), fleet.object_count());
+        assert_eq!(bare.live_bytes(), fleet.live_bytes());
+    }
+}
+
+#[test]
+fn fanout_p99_amplification_is_monotone_in_width() {
+    let config = small_config(512 << 10, 256 << 20);
+    let mut fleet = ShardedStore::new(
+        StoreKind::Filesystem,
+        &config,
+        4,
+        RouterPolicy::ConsistentHash { vnodes: 16 },
+    )
+    .expect("fleet");
+    let mut generator = WorkloadGenerator::new(config.workload());
+    fleet.load(generator.bulk_load()).expect("bulk load");
+    let keys: Vec<ObjectKey> = generator.live_keys().to_vec();
+
+    // The offered group rate is fixed; widening the fan-out multiplies the
+    // per-shard read rate, pushing the busiest shard deep into queueing.
+    let mut previous = 0.0f64;
+    for width in [1usize, 2, 4] {
+        let groups: Vec<Vec<ObjectKey>> = (0..160)
+            .map(|group| {
+                (0..width)
+                    .map(|part| keys[(group * 7 + part * 13) % keys.len()])
+                    .collect()
+            })
+            .collect();
+        let completions = fleet
+            .run_fanout_reads(
+                groups,
+                OpenLoop {
+                    ops_per_sec: 30.0,
+                    seed: 11,
+                },
+            )
+            .expect("fan-out run");
+        assert_eq!(completions.len(), 160);
+        assert!(completions.iter().all(|c| c.width() == width));
+        let p99 = fanout_p99_ms(&completions);
+        assert!(
+            p99 >= previous,
+            "p99 must be monotone in fan-out width: width {width} gave {p99:.1} ms after {previous:.1} ms"
+        );
+        previous = p99;
+        if width == 4 {
+            // The monotonicity claim is about *queueing* amplification, so
+            // the widest setting must actually have queued.
+            let deepest = fleet
+                .last_queue_stats()
+                .iter()
+                .map(|queue| queue.max_depth)
+                .max()
+                .unwrap_or(0);
+            assert!(deepest >= 8, "widest run only reached depth {deepest}");
+            // Stragglers are attributable: some group's slowest shard cost
+            // it real time over its fastest.
+            assert!(completions
+                .iter()
+                .any(|c| c.straggler_penalty() > SimDuration::ZERO));
+        }
+    }
+}
+
+#[test]
+fn rebalancing_reduces_skew_without_touching_foreground_bands() {
+    let mut config = small_config(1 << 20, 512 << 20);
+    config.placement = PlacementPolicy::banded(0.7);
+    let mut fleet = ShardedStore::new(
+        StoreKind::Filesystem,
+        &config,
+        4,
+        RouterPolicy::ConsistentHash { vnodes: 16 },
+    )
+    .expect("fleet");
+    let mut generator = WorkloadGenerator::new(config.workload());
+    fleet.load(generator.bulk_load()).expect("bulk load");
+
+    // Zipfian churn: the hot ranks hammer whichever shards they hashed to,
+    // so fragmentation accumulates unevenly across the fleet.  Each round's
+    // sample is deduplicated (first hit wins) because two safe writes to
+    // one key cannot share a dispatch batch; the popularity skew — hot keys
+    // rewritten every round, cold ones rarely — is what matters here.
+    for _ in 0..4 {
+        let reads = generator.zipf_read_sample(40, 1.1);
+        let mut seen = std::collections::HashSet::new();
+        let writes: Vec<_> = generator
+            .zipf_safe_write_sample(160, 1.1)
+            .into_iter()
+            .filter(|op| match op {
+                lor_core::WorkloadOp::SafeWrite { key, .. } => seen.insert(*key),
+                _ => true,
+            })
+            .collect();
+        fleet
+            .run_mixed_open_loop(
+                reads,
+                writes,
+                MixedOpenLoop {
+                    read_ops_per_sec: 20.0,
+                    write_ops_per_sec: 80.0,
+                    seed: 3,
+                },
+            )
+            .expect("aging run");
+    }
+
+    let worst_shard_fpo = |fleet: &ShardedStore| {
+        fleet
+            .per_shard_fragmentation()
+            .iter()
+            .map(|summary| summary.fragments_per_object)
+            .fold(0.0f64, f64::max)
+    };
+    let worst_before = worst_shard_fpo(&fleet);
+    let skew_before = fleet.fragmentation_skew();
+    assert!(
+        skew_before > 1.02,
+        "Zipfian churn must skew the fleet (max/mean skew {skew_before:.3})"
+    );
+    let foreground_before: Vec<f64> = (0..4)
+        .map(|shard| {
+            fleet
+                .shard(shard)
+                .band_occupancy()
+                .expect("banded stores report occupancy")
+                .foreground_used
+        })
+        .collect();
+
+    fleet
+        .enable_rebalancing(MaintenanceConfig::new(MaintenancePolicy::FixedBudget {
+            io_per_tick: 64,
+        }))
+        .expect("enable rebalancing");
+    let mut now = fleet.elapsed();
+    for _ in 0..24 {
+        let io = fleet.run_rebalance_slice(16 << 20, now);
+        now += SimDuration::from_millis(250);
+        if io.is_none() {
+            break;
+        }
+    }
+
+    assert!(
+        fleet.objects_migrated() >= 1,
+        "the drive must have migrated something"
+    );
+    let worst_after = worst_shard_fpo(&fleet);
+    let skew_after = fleet.fragmentation_skew();
+    assert!(
+        worst_after < worst_before,
+        "the worst shard must improve ({worst_before:.3} -> {worst_after:.3})"
+    );
+    assert!(
+        skew_after < skew_before,
+        "rebalancing must reduce the max/mean skew ({skew_before:.3} -> {skew_after:.3})"
+    );
+    // The placement guarantee: migration wrote only into maintenance bands,
+    // so no shard's foreground band grew (the source's shrinks as migrated
+    // objects leave it).
+    for (shard, &before) in foreground_before.iter().enumerate() {
+        let after = fleet
+            .shard(shard)
+            .band_occupancy()
+            .expect("banded stores report occupancy")
+            .foreground_used;
+        assert!(
+            after <= before + 1e-12,
+            "shard {shard}: foreground band grew during rebalancing ({before:.4} -> {after:.4})"
+        );
+    }
+}
