@@ -264,6 +264,20 @@ fn main() {
                 .with_maintenance(MaintenanceConfig::fixed_budget(64)),
             maint_age,
         ),
+        (
+            "aging_plain_logstore".into(),
+            StoreKind::LogStructured,
+            config.clone(),
+            scale.max_age,
+        ),
+        (
+            "aging_maint_logstore".into(),
+            StoreKind::LogStructured,
+            config
+                .clone()
+                .with_maintenance(MaintenanceConfig::fixed_budget(64)),
+            maint_age,
+        ),
     ];
 
     // The sharded runs time the fleet layer (routing + per-shard servers)

@@ -275,13 +275,23 @@ fn fragmentation_figure(
     sizes: SizeDistribution,
 ) -> Result<Figure, StoreError> {
     let config = config_for(scale, sizes, scale.volume(PAPER_VOLUME), 0.5);
-    let (db, fs) =
-        compare_systems_sweep(std::slice::from_ref(&config), &scale.age_points(), false)?
-            .pop()
-            .expect("one config yields one result pair");
+    let ages = scale.age_points();
+    let log_config = config.clone();
+    let log_ages = ages.clone();
+    // The log-structured substrate rides along as a third series: without a
+    // cleaner its fragmentation comes only from emergency vacates, the
+    // baseline the cleaner scenarios are judged against.
+    let log_handle = std::thread::spawn(move || {
+        run_aging_experiment(StoreKind::LogStructured, &log_config, &log_ages, false)
+    });
+    let (db, fs) = compare_systems_sweep(std::slice::from_ref(&config), &ages, false)?
+        .pop()
+        .expect("one config yields one result pair");
+    let log = log_handle.join().expect("aging run must not panic")?;
     Ok(Figure::new(id, title, "Storage Age", "Fragments/object")
         .with_series(Series::fragments_vs_age(&db))
-        .with_series(Series::fragments_vs_age(&fs)))
+        .with_series(Series::fragments_vs_age(&fs))
+        .with_series(Series::fragments_vs_age(&log)))
 }
 
 /// Figure 4: 512 KB write throughput during bulk load and between storage
@@ -558,6 +568,9 @@ pub fn policy_ablation_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError>
         match kind {
             StoreKind::Database => database = database.with_series(series),
             StoreKind::Filesystem => filesystem = filesystem.with_series(series),
+            StoreKind::LogStructured => {
+                unreachable!("this sweep drives only the paper's two substrates")
+            }
         }
     }
     Ok(vec![database, filesystem])
@@ -621,6 +634,9 @@ pub fn maintenance_policy_figures(scale: &Scale) -> Result<Vec<Figure>, StoreErr
         match kind {
             StoreKind::Database => database = database.with_series(series),
             StoreKind::Filesystem => filesystem = filesystem.with_series(series),
+            StoreKind::LogStructured => {
+                unreachable!("this sweep drives only the paper's two substrates")
+            }
         }
     }
     Ok(vec![database, filesystem])
@@ -789,7 +805,11 @@ pub fn load_sweep_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
     // One aged store per kind; the sweep itself issues only side-effect-free
     // reads, so the rates share the store instead of re-running the
     // expensive bulk-load + aging once per utilisation point.
-    let jobs = vec![StoreKind::Database, StoreKind::Filesystem];
+    let jobs = vec![
+        StoreKind::Database,
+        StoreKind::Filesystem,
+        StoreKind::LogStructured,
+    ];
     let sweeps = parallel_map(jobs, |kind| -> Result<_, StoreError> {
         let (mut store, reads) = aged_store_with_reads(&base, kind, age_rounds)?;
         let mut server = StoreServer::new(store.as_mut());
@@ -939,6 +959,9 @@ pub fn mixed_load_sweep_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError
     let figure_offset = |kind: StoreKind| match kind {
         StoreKind::Database => 0usize,
         StoreKind::Filesystem => 2,
+        StoreKind::LogStructured => {
+            unreachable!("the mixed sweep drives only the paper's two substrates")
+        }
     };
     let mut p99: std::collections::BTreeMap<(usize, String), Vec<(f64, f64)>> = Default::default();
     let mut growth: std::collections::BTreeMap<(usize, String), Vec<(f64, f64)>> =
@@ -998,19 +1021,23 @@ pub fn adaptive_frontier_figures(scale: &Scale) -> Result<Vec<Figure>, StoreErro
         Budget(u64),
         Gain(f64),
     }
-    let jobs: Vec<(StoreKind, Knob)> = [StoreKind::Database, StoreKind::Filesystem]
-        .iter()
-        .flat_map(|&kind| {
-            FRONTIER_BUDGETS
-                .iter()
-                .map(move |&budget| (kind, Knob::Budget(budget)))
-                .chain(
-                    FRONTIER_GAINS
-                        .iter()
-                        .map(move |&gain| (kind, Knob::Gain(gain))),
-                )
-        })
-        .collect();
+    let jobs: Vec<(StoreKind, Knob)> = [
+        StoreKind::Database,
+        StoreKind::Filesystem,
+        StoreKind::LogStructured,
+    ]
+    .iter()
+    .flat_map(|&kind| {
+        FRONTIER_BUDGETS
+            .iter()
+            .map(move |&budget| (kind, Knob::Budget(budget)))
+            .chain(
+                FRONTIER_GAINS
+                    .iter()
+                    .map(move |&gain| (kind, Knob::Gain(gain))),
+            )
+    })
+    .collect();
     let runs = parallel_map(jobs, |(kind, knob)| {
         let maintenance = match knob {
             Knob::Budget(budget) => MaintenanceConfig::fixed_budget(budget),
@@ -1047,7 +1074,11 @@ pub fn adaptive_frontier_figures(scale: &Scale) -> Result<Vec<Figure>, StoreErro
     }
 
     let mut figures = Vec::new();
-    for kind in [StoreKind::Database, StoreKind::Filesystem] {
+    for kind in [
+        StoreKind::Database,
+        StoreKind::Filesystem,
+        StoreKind::LogStructured,
+    ] {
         let mut figure = Figure::new(
             format!("Adaptive frontier ({})", kind.label().to_lowercase()),
             format!(
@@ -1159,6 +1190,9 @@ pub fn idle_detect_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
         let offset = match kind {
             StoreKind::Database => 0,
             StoreKind::Filesystem => 2,
+            StoreKind::LogStructured => {
+                unreachable!("the idle-detect sweep drives only the paper's two substrates")
+            }
         };
         let mut frags = Series::fragments_vs_age(&result);
         frags.label = maintenance.policy.label();
@@ -1214,17 +1248,20 @@ pub fn placement_frontier_figures(scale: &Scale) -> Result<Vec<Figure>, StoreErr
     base.think_time_ms = 400.0;
     let ages = scale.age_points();
 
-    let jobs: Vec<(StoreKind, PlacementPolicy, MaintenanceConfig)> =
-        [StoreKind::Database, StoreKind::Filesystem]
-            .iter()
-            .flat_map(|&kind| {
-                placement_variants().into_iter().flat_map(move |placement| {
-                    placement_frontier_policies()
-                        .into_iter()
-                        .map(move |policy| (kind, placement, policy))
-                })
-            })
-            .collect();
+    let jobs: Vec<(StoreKind, PlacementPolicy, MaintenanceConfig)> = [
+        StoreKind::Database,
+        StoreKind::Filesystem,
+        StoreKind::LogStructured,
+    ]
+    .iter()
+    .flat_map(|&kind| {
+        placement_variants().into_iter().flat_map(move |placement| {
+            placement_frontier_policies()
+                .into_iter()
+                .map(move |policy| (kind, placement, policy))
+        })
+    })
+    .collect();
     let runs = parallel_map(jobs, |(kind, placement, maintenance)| {
         run_aging_experiment(
             kind,
@@ -1239,7 +1276,11 @@ pub fn placement_frontier_figures(scale: &Scale) -> Result<Vec<Figure>, StoreErr
     });
 
     let mut figures: Vec<Figure> = Vec::new();
-    for kind in [StoreKind::Database, StoreKind::Filesystem] {
+    for kind in [
+        StoreKind::Database,
+        StoreKind::Filesystem,
+        StoreKind::LogStructured,
+    ] {
         figures.push(Figure::new(
             format!("Placement frontier ({})", kind.label().to_lowercase()),
             format!(
@@ -1263,6 +1304,7 @@ pub fn placement_frontier_figures(scale: &Scale) -> Result<Vec<Figure>, StoreErr
     let figure_offset = |kind: StoreKind| match kind {
         StoreKind::Database => 0usize,
         StoreKind::Filesystem => 2,
+        StoreKind::LogStructured => 4,
     };
     let mut frontier: std::collections::BTreeMap<(usize, String), Vec<(f64, f64)>> =
         Default::default();
@@ -1656,6 +1698,9 @@ pub fn shard_sweep_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
         let offset = match kind {
             StoreKind::Database => 0usize,
             StoreKind::Filesystem => 1,
+            StoreKind::LogStructured => {
+                unreachable!("the shard sweep drives only the paper's two substrates")
+            }
         };
         let label = if rebalance {
             "rebalance on"
@@ -1709,7 +1754,7 @@ mod tests {
     fn figure3_at_test_scale_has_both_series_and_all_ages() {
         let scale = Scale::test();
         let figure = figure3(&scale).unwrap();
-        assert_eq!(figure.series.len(), 2);
+        assert_eq!(figure.series.len(), 3, "database, filesystem, log");
         for series in &figure.series {
             assert_eq!(series.points.len(), scale.age_points().len());
             // Fragments never drop below 1 for live objects.
@@ -1801,8 +1846,8 @@ mod tests {
         let figures = load_sweep_figures(&scale).unwrap();
         assert_eq!(figures.len(), 2, "latency and queue depth");
         let latency = &figures[0];
-        assert_eq!(latency.series.len(), 4, "p50 and p99 per system");
-        for label in ["Database p99", "Filesystem p99"] {
+        assert_eq!(latency.series.len(), 6, "p50 and p99 per system");
+        for label in ["Database p99", "Filesystem p99", "Log p99"] {
             let series = latency.series.iter().find(|s| s.label == label).unwrap();
             assert_eq!(series.points.len(), LOAD_SWEEP_UTILISATIONS.len());
             let first = series.points.first().unwrap().1;
@@ -1858,7 +1903,7 @@ mod tests {
     fn adaptive_frontier_has_a_frontier_and_adaptive_points_per_system() {
         let scale = Scale::smoke();
         let figures = adaptive_frontier_figures(&scale).unwrap();
-        assert_eq!(figures.len(), 2, "one frontier figure per system");
+        assert_eq!(figures.len(), 3, "one frontier figure per system");
         for figure in &figures {
             assert_eq!(figure.series.len(), 1 + FRONTIER_GAINS.len());
             let frontier = &figure.series[0];
@@ -1880,7 +1925,7 @@ mod tests {
     fn placement_frontier_covers_every_placement_for_both_policies() {
         let scale = Scale::smoke();
         let figures = placement_frontier_figures(&scale).unwrap();
-        assert_eq!(figures.len(), 4, "frontier + frags-vs-age per system");
+        assert_eq!(figures.len(), 6, "frontier + frags-vs-age per system");
         for (index, figure) in figures.iter().enumerate() {
             if index % 2 == 0 {
                 // Frontier figures: one series per gap-filling policy, one

@@ -32,6 +32,7 @@ use crate::db_store::{DbObjectStore, DbStoreConfig};
 use crate::error::StoreError;
 use crate::fs_store::{FsObjectStore, FsStoreConfig};
 use crate::hist::LatencyHistogram;
+use crate::log_store::{LogObjectStore, LogStoreConfig};
 use crate::server::{Completion, LatencySummary, MixedOpenLoop, StoreServer};
 use crate::store::{CostModel, ObjectStore, StoreKind};
 use crate::workload::{
@@ -232,6 +233,17 @@ impl ExperimentConfig {
                 config.engine.placement = self.placement;
                 config.maintenance = self.maintenance;
                 Ok(Box::new(DbObjectStore::with_config(config)?))
+            }
+            StoreKind::LogStructured => {
+                let mut config = LogStoreConfig::new(self.volume_bytes);
+                config.write_request_size = self.write_request_size;
+                config.cost = self.cost;
+                // The log has no fit policy to pick — appends always go to
+                // the head — but placement still governs which free segments
+                // each head may open.
+                config.log.placement = self.placement;
+                config.maintenance = self.maintenance;
+                Ok(Box::new(LogObjectStore::with_config(config)?))
             }
         }
     }

@@ -62,6 +62,7 @@
 mod db_store;
 mod error;
 mod fs_store;
+mod log_store;
 mod maintenance;
 mod store;
 
@@ -84,6 +85,7 @@ pub use experiment::{
 pub use fragmentation::{analyze_store, FragmentationReport};
 pub use fs_store::{FsObjectStore, FsStoreConfig};
 pub use hist::LatencyHistogram;
+pub use log_store::{LogObjectStore, LogStoreConfig};
 pub use report::{Figure, Series, Table};
 pub use server::{
     ClientId, Completion, LatencySummary, MixedOpenLoop, OpenLoop, QueueStats, StoreRequest,
@@ -112,5 +114,6 @@ pub use lor_alloc;
 pub use lor_blobkit;
 pub use lor_disksim;
 pub use lor_fskit;
+pub use lor_logstore;
 pub use lor_maint;
 pub use lor_obs;

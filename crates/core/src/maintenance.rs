@@ -5,15 +5,16 @@
 //! three duties onto each substrate's native mechanisms and cost the
 //! resulting I/O with the store's own disk geometry:
 //!
-//! | duty            | filesystem ([`FsMaintTarget`])      | database ([`DbMaintTarget`])          |
-//! |-----------------|-------------------------------------|---------------------------------------|
-//! | checkpoint      | drain the pending-free queue        | force the log (bulk-logged mode)      |
-//! | ghost cleanup   | (folded into the checkpoint)        | reclaim ghost pages / empty extents   |
-//! | defragmentation | [`Defragmenter::defragment_step`]   | [`Database::compact_step`]            |
+//! | duty            | filesystem ([`FsMaintTarget`])      | database ([`DbMaintTarget`])          | segment log ([`LogMaintTarget`])     |
+//! |-----------------|-------------------------------------|---------------------------------------|--------------------------------------|
+//! | checkpoint      | drain the pending-free queue        | force the log (bulk-logged mode)      | force the segment-usage table        |
+//! | ghost cleanup   | (folded into the checkpoint)        | reclaim ghost pages / empty extents   | none — cleaning is the only reclamation |
+//! | defragmentation | [`Defragmenter::defragment_step`]   | [`Database::compact_step`]            | [`SegmentLog::clean_step`]           |
 
 use lor_blobkit::Database;
 use lor_disksim::DiskConfig;
 use lor_fskit::{DefragCursor, Defragmenter, Volume};
+use lor_logstore::SegmentLog;
 use lor_maint::{MaintIo, MaintSubstrate, MaintTarget, MaintenanceConfig, MaintenanceScheduler};
 
 use crate::store::CostModel;
@@ -62,7 +63,7 @@ fn metadata_sweep_io(cost: &CostModel, units: u64) -> MaintIo {
 /// Cost of a background copy of `payload_bytes` spread over `objects_moved`
 /// relocated objects: every byte is read once and written once, with a pair
 /// of repositioning delays per object.
-fn copy_io(disk: &DiskConfig, payload_bytes: u64, objects_moved: u64) -> MaintIo {
+pub(crate) fn copy_io(disk: &DiskConfig, payload_bytes: u64, objects_moved: u64) -> MaintIo {
     let bytes = payload_bytes.saturating_mul(2);
     MaintIo::new(bytes, disk.background_copy_time(bytes, objects_moved * 2))
 }
@@ -225,6 +226,72 @@ impl MaintTarget for DbMaintTarget<'_> {
     }
 }
 
+/// [`MaintTarget`] over the append-only segment log.
+pub(crate) struct LogMaintTarget<'a> {
+    pub log: &'a mut SegmentLog,
+    pub disk: &'a DiskConfig,
+    pub cost: &'a CostModel,
+    pub defrag_backoff: &'a mut u64,
+}
+
+impl MaintTarget for LogMaintTarget<'_> {
+    fn substrate(&self) -> MaintSubstrate {
+        // Dead bytes never come back on their own: the cleaner frees whole
+        // segments or nothing.
+        MaintSubstrate::LogStructured
+    }
+
+    fn placement(&self) -> lor_alloc::PlacementPolicy {
+        self.log.config().placement
+    }
+
+    fn reclaimable_bytes(&self) -> u64 {
+        self.log.dead_bytes()
+    }
+
+    fn fragments_per_object(&self) -> f64 {
+        self.log.fragmentation().fragments_per_object
+    }
+
+    fn excess_fragments(&self) -> u64 {
+        self.log.fragmentation().excess_fragments()
+    }
+
+    fn ghost_cleanup(&mut self, _budget_bytes: u64) -> MaintIo {
+        // Cleaning is the only reclamation: there is no ghost backlog that
+        // could be released short of running the cleaner itself.
+        MaintIo::NONE
+    }
+
+    fn checkpoint(&mut self) -> MaintIo {
+        // Force the segment-usage table / index log tail, like the
+        // database's bulk-logged log force.
+        MaintIo::new(METADATA_IO_BYTES, self.cost.metadata_io_time)
+    }
+
+    fn defragment_step(&mut self, budget_bytes: u64) -> MaintIo {
+        if *self.defrag_backoff > 0 {
+            *self.defrag_backoff -= 1;
+            return MaintIo::NONE;
+        }
+        // Each survivor byte is read once and written once.
+        let copy_budget = (budget_bytes / 2).max(1);
+        let report = match self.log.clean_step(copy_budget) {
+            Ok(report) => report,
+            Err(_) => return MaintIo::NONE,
+        };
+        if report.is_empty() {
+            // Nothing worth cleaning: back off instead of re-scoring every
+            // segment on every tick.
+            *self.defrag_backoff = DEFRAG_BACKOFF_TICKS;
+            return MaintIo::NONE;
+        }
+        // Survivor copies plus the segment-table updates for freed victims.
+        copy_io(self.disk, report.bytes_copied, report.objects_moved)
+            .combined(&metadata_sweep_io(self.cost, report.segments_freed))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,5 +405,48 @@ mod tests {
         assert!(moved.bytes > 0);
         assert!(moved.time > lor_disksim::SimDuration::ZERO);
         assert!(target.fragments_per_object() < before);
+    }
+
+    #[test]
+    fn log_target_cleans_and_reports_io() {
+        let mut config = lor_logstore::LogConfig::new(64 * MB);
+        config.segment_bytes = MB;
+        let mut log = SegmentLog::new(config).unwrap();
+        // Two half-MB objects per segment, every other one deleted: every
+        // sealed segment is half dead.
+        for id in 0..16 {
+            log.insert(id, MB / 2).unwrap();
+        }
+        for id in (0..16).step_by(2) {
+            log.remove(id).unwrap();
+        }
+        let disk = DiskConfig::seagate_400gb_2005().scaled(64 * MB);
+        let cost = CostModel::default();
+        let mut backoff = 0u64;
+        let mut target = LogMaintTarget {
+            log: &mut log,
+            disk: &disk,
+            cost: &cost,
+            defrag_backoff: &mut backoff,
+        };
+        assert_eq!(target.substrate(), MaintSubstrate::LogStructured);
+        assert!(target.reclaimable_bytes() > 0);
+        assert!(
+            target.ghost_cleanup(1 << 20).is_none(),
+            "cleaning is the only reclamation"
+        );
+        assert!(!target.checkpoint().is_none(), "table force always costs");
+        let step = target.defragment_step(4 * MB);
+        assert!(!step.is_none());
+        assert!(step.bytes > 0);
+        while target.reclaimable_bytes() > 0 {
+            if target.defragment_step(4 * MB).is_none() {
+                break;
+            }
+        }
+        assert_eq!(target.reclaimable_bytes(), 0);
+        // A converged log backs the task off instead of re-scoring segments.
+        assert!(target.defragment_step(4 * MB).is_none());
+        assert!(*target.defrag_backoff > 0);
     }
 }

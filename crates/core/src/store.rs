@@ -25,6 +25,9 @@ pub enum StoreKind {
     /// One out-of-row BLOB per object in the SQL-Server-like engine
     /// ("Database" in the paper's figures).
     Database,
+    /// Append-only segment log with a cost-benefit cleaner (`lor-logstore`)
+    /// — the third substrate the paper's FS/DB bracket is missing.
+    LogStructured,
 }
 
 impl StoreKind {
@@ -33,6 +36,7 @@ impl StoreKind {
         match self {
             StoreKind::Filesystem => "Filesystem",
             StoreKind::Database => "Database",
+            StoreKind::LogStructured => "Log",
         }
     }
 }
@@ -141,6 +145,19 @@ impl CostModel {
         // Same shape as the read path; bulk-logged mode means there is no
         // second log copy of the data.
         self.db_read_host_time(pages, payload_bytes)
+    }
+
+    /// Host time for looking up an object in the log store's memory-resident
+    /// index and planning the read — one lookup, no metadata I/O (the log's
+    /// index is rebuilt at mount and pinned).
+    pub fn log_read_host_time(&self) -> SimDuration {
+        self.db_lookup_time
+    }
+
+    /// Host time for appending an object of `write_requests` chunks to the
+    /// log head: the index update plus per-request submission cost.
+    pub fn log_write_host_time(&self, write_requests: u64) -> SimDuration {
+        self.db_lookup_time + self.fs_per_write_request_time * write_requests
     }
 }
 
@@ -294,6 +311,7 @@ mod tests {
     fn store_kind_labels_match_the_figures() {
         assert_eq!(StoreKind::Filesystem.label(), "Filesystem");
         assert_eq!(StoreKind::Database.label(), "Database");
+        assert_eq!(StoreKind::LogStructured.label(), "Log");
         assert_eq!(StoreKind::Database.to_string(), "Database");
     }
 

@@ -8,6 +8,8 @@
 //! bytes currently live (Section 4.4), which for this workload is simply
 //! "safe writes per object".
 
+use std::collections::BTreeMap;
+
 use rand::distributions::{Distribution, Uniform};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -220,6 +222,16 @@ pub struct WorkloadGenerator {
     rng: StdRng,
     next_key: u64,
     live: Vec<ObjectKey>,
+    /// Stable rank-to-key table for the Zipf samplers: rank `k` is pinned to
+    /// `zipf_ranks[k - 1]` for the run's lifetime, independent of the order
+    /// of `live` (which `churn_round`'s swap-removes shuffle freely).  A rank
+    /// is re-seated only when its key dies.
+    zipf_ranks: Vec<ObjectKey>,
+    /// Rank index of each live key, for re-seating on death.
+    zipf_rank_of: BTreeMap<ObjectKey, usize>,
+    /// Cached distribution, rebuilt only when `(population, theta)` changes —
+    /// the O(n) harmonic loop must not run once per sampled batch.
+    zipf_cache: Option<ZipfDistribution>,
 }
 
 impl WorkloadGenerator {
@@ -231,6 +243,9 @@ impl WorkloadGenerator {
             rng,
             next_key: 0,
             live: Vec::new(),
+            zipf_ranks: Vec::new(),
+            zipf_rank_of: BTreeMap::new(),
+            zipf_cache: None,
         }
     }
 
@@ -251,6 +266,8 @@ impl WorkloadGenerator {
                 let key = ObjectKey(self.next_key);
                 self.next_key += 1;
                 self.live.push(key);
+                self.zipf_rank_of.insert(key, self.zipf_ranks.len());
+                self.zipf_ranks.push(key);
                 WorkloadOp::Put {
                     key,
                     size: self.spec.sizes.sample(&mut self.rng),
@@ -338,6 +355,12 @@ impl WorkloadGenerator {
             let key = ObjectKey(self.next_key);
             self.next_key += 1;
             self.live.push(key);
+            // The dead key's popularity rank passes to its replacement; every
+            // surviving key keeps the rank it had.
+            if let Some(rank) = self.zipf_rank_of.remove(&old_key) {
+                self.zipf_ranks[rank] = key;
+                self.zipf_rank_of.insert(key, rank);
+            }
             ops.push(WorkloadOp::Put {
                 key,
                 size: self.spec.sizes.sample(&mut self.rng),
@@ -401,6 +424,35 @@ impl ZipfDistribution {
         self.theta
     }
 
+    /// `true` if this distribution is the one `ZipfDistribution::new(n,
+    /// theta)` would build (after `new`'s clamping of both parameters) — the
+    /// cache-validity check.
+    pub fn matches(&self, n: usize, theta: f64) -> bool {
+        let n = n.max(1);
+        let theta = if theta.is_finite() {
+            theta.clamp(0.0, 16.0)
+        } else {
+            0.0
+        };
+        self.n == n && self.theta == theta
+    }
+
+    /// The analytic probability of drawing `rank` (1-based).  Ranks outside
+    /// `1..=n` have probability zero.  For `theta = 0` every rank's weight is
+    /// exactly `1.0`, so the pmf is *exactly* `1 / n`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 || rank > self.n {
+            return 0.0;
+        }
+        let total = *self.cumulative.last().expect("population is at least 1");
+        let below = if rank > 1 {
+            self.cumulative[rank - 2]
+        } else {
+            0.0
+        };
+        (self.cumulative[rank - 1] - below) / total
+    }
+
     /// Draws one rank in `1..=n` (rank 1 is the hottest).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().expect("population is at least 1");
@@ -424,10 +476,17 @@ impl WorkloadGenerator {
         if self.live.is_empty() {
             return Vec::new();
         }
-        let zipf = ZipfDistribution::new(self.live.len(), theta);
+        self.refresh_zipf_cache(theta);
+        let Self {
+            zipf_cache,
+            zipf_ranks,
+            rng,
+            ..
+        } = self;
+        let zipf = zipf_cache.as_ref().expect("refreshed above");
         (0..count)
             .map(|_| WorkloadOp::Get {
-                key: self.live[zipf.sample(&mut self.rng) - 1],
+                key: zipf_ranks[zipf.sample(rng) - 1],
             })
             .collect()
     }
@@ -440,13 +499,39 @@ impl WorkloadGenerator {
         if self.live.is_empty() {
             return Vec::new();
         }
-        let zipf = ZipfDistribution::new(self.live.len(), theta);
+        self.refresh_zipf_cache(theta);
+        let Self {
+            spec,
+            zipf_cache,
+            zipf_ranks,
+            rng,
+            ..
+        } = self;
+        let zipf = zipf_cache.as_ref().expect("refreshed above");
         (0..count)
             .map(|_| WorkloadOp::SafeWrite {
-                key: self.live[zipf.sample(&mut self.rng) - 1],
-                size: self.spec.sizes.sample(&mut self.rng),
+                key: zipf_ranks[zipf.sample(rng) - 1],
+                size: spec.sizes.sample(rng),
             })
             .collect()
+    }
+
+    /// The Zipf samplers' stable rank-to-key binding (rank `k` is element
+    /// `k - 1`; rank 1 is the hottest).  Exposed so tests and skew analyses
+    /// can see exactly which objects are hot.
+    pub fn zipf_rank_keys(&self) -> &[ObjectKey] {
+        &self.zipf_ranks
+    }
+
+    fn refresh_zipf_cache(&mut self, theta: f64) {
+        let n = self.zipf_ranks.len();
+        if self
+            .zipf_cache
+            .as_ref()
+            .is_none_or(|zipf| !zipf.matches(n, theta))
+        {
+            self.zipf_cache = Some(ZipfDistribution::new(n, theta));
+        }
     }
 }
 
@@ -499,6 +584,8 @@ impl StorageAgeTracker {
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
+
     use super::*;
 
     #[test]
@@ -755,5 +842,103 @@ mod tests {
     #[test]
     fn storage_age_of_an_empty_store_is_zero() {
         assert_eq!(StorageAgeTracker::new().storage_age(), 0.0);
+    }
+
+    #[test]
+    fn churn_does_not_migrate_the_zipf_hot_set() {
+        let spec = WorkloadSpec::constant(4096, 48).with_seed(7);
+        let mut generator = WorkloadGenerator::new(spec);
+        generator.bulk_load();
+        let before: Vec<ObjectKey> = generator.zipf_rank_keys().to_vec();
+        assert_eq!(before, generator.live_keys().to_vec());
+
+        let ops = generator.churn_round();
+        let deleted: std::collections::HashSet<ObjectKey> = ops
+            .iter()
+            .filter_map(|op| match op {
+                WorkloadOp::Delete { key } => Some(*key),
+                _ => None,
+            })
+            .collect();
+        // The churn's swap-removes reorder `live`, but ranks are pinned to
+        // keys: every survivor keeps exactly the rank it had, and a dead
+        // key's rank passes to a live replacement instead of silently
+        // sliding onto whichever key the swap-remove moved into its slot.
+        let after = generator.zipf_rank_keys();
+        assert_eq!(after.len(), before.len());
+        let mut reseated = 0;
+        for (old, new) in before.iter().zip(after) {
+            if deleted.contains(old) {
+                reseated += 1;
+                assert!(generator.live_keys().contains(new));
+            } else {
+                assert_eq!(old, new, "a surviving key must keep its rank");
+            }
+        }
+        assert!(reseated > 0, "a full churn round must kill some hot keys");
+        // The table never references a dead key.
+        for key in after {
+            assert!(generator.live_keys().contains(key));
+        }
+        // Sampling draws from the pinned table, so every op hits a live key.
+        for op in generator.zipf_read_sample(64, 1.0) {
+            let WorkloadOp::Get { key } = op else {
+                panic!("zipf read sample must contain only gets");
+            };
+            assert!(generator.live_keys().contains(&key));
+        }
+    }
+
+    #[test]
+    fn zipf_cache_validity_and_exact_uniform_pmf() {
+        let zipf = ZipfDistribution::new(100, 1.2);
+        assert!(zipf.matches(100, 1.2));
+        assert!(!zipf.matches(99, 1.2));
+        assert!(!zipf.matches(100, 0.8));
+        // `matches` applies the constructor's clamping, so the degenerate
+        // inputs compare equal to their clamped forms.
+        assert!(ZipfDistribution::new(0, f64::NAN).matches(1, 0.0));
+        assert!(ZipfDistribution::new(10, 99.0).matches(10, 99.0));
+
+        // theta = 0: every weight is exactly 1.0, so the pmf is exactly
+        // uniform, not merely close.
+        let uniform = ZipfDistribution::new(64, 0.0);
+        for rank in 1..=64 {
+            assert_eq!(uniform.pmf(rank), 1.0 / 64.0);
+        }
+        assert_eq!(uniform.pmf(0), 0.0);
+        assert_eq!(uniform.pmf(65), 0.0);
+        // The pmf sums to one for skewed thetas too.
+        let skewed = ZipfDistribution::new(32, 1.2);
+        let total: f64 = (1..=32).map(|rank| skewed.pmf(rank)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Empirical rank frequencies converge on the analytic pmf for the
+        /// uniform, moderate and strong skews the sweeps use.
+        #[test]
+        fn zipf_empirical_frequencies_converge_on_the_pmf(seed in 0u64..u64::MAX) {
+            for &theta in &[0.0, 0.8, 1.2] {
+                let n = 8;
+                let zipf = ZipfDistribution::new(n, theta);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let draws = 20_000usize;
+                let mut counts = vec![0usize; n];
+                for _ in 0..draws {
+                    counts[zipf.sample(&mut rng) - 1] += 1;
+                }
+                for rank in 1..=n {
+                    let expected = zipf.pmf(rank);
+                    let observed = counts[rank - 1] as f64 / draws as f64;
+                    // ~6 sigma for the largest pmf at 20k draws.
+                    prop_assert!(
+                        (observed - expected).abs() < 0.015 + 0.05 * expected,
+                        "theta {}: rank {} observed {} expected {}",
+                        theta, rank, observed, expected
+                    );
+                }
+            }
+        }
     }
 }

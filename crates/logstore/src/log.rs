@@ -1,0 +1,1071 @@
+//! The segment log proper: append-head bookkeeping, extent maps, and the
+//! cleaner.  All offsets handed out are absolute device byte offsets (the
+//! metadata slice at the front of the volume is skipped), so a wrapping store
+//! can feed them straight into a disk model.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use lor_alloc::{
+    Extent, FragmentationSummary, FragmentationTracker, FreeSpace, PlacementConsumer, RunIndexMap,
+};
+
+use crate::config::{CleanerSelector, LogConfig};
+
+/// Errors the log can raise.  Object identity is a caller-assigned `u64`; the
+/// wrapping store owns the name-to-id map, mirroring how the filesystem
+/// substrate owns its directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogError {
+    /// Insert of an id that is already live.
+    ObjectExists(u64),
+    /// Update/remove of an id that is not live.
+    NoSuchObject(u64),
+    /// No eligible free segment (for the foreground: even after emergency
+    /// cleaning; for the cleaner: placement refused, it never spills).
+    OutOfSpace,
+    /// Rejected configuration.
+    BadConfig(&'static str),
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::ObjectExists(id) => write!(f, "object {id} already exists"),
+            LogError::NoSuchObject(id) => write!(f, "no such object {id}"),
+            LogError::OutOfSpace => write!(f, "log is out of eligible free segments"),
+            LogError::BadConfig(message) => write!(f, "bad log config: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// What one cleaning pass (or one emergency vacate) did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CleanReport {
+    /// Live payload bytes copied out of victim segments.
+    pub bytes_copied: u64,
+    /// Surviving objects (re)written.
+    pub objects_moved: u64,
+    /// Victim segments returned to the free pool.
+    pub segments_freed: u64,
+}
+
+impl CleanReport {
+    /// `true` when the pass found nothing to do.
+    pub fn is_empty(&self) -> bool {
+        self.segments_freed == 0 && self.bytes_copied == 0
+    }
+
+    /// Accumulates another report into this one.
+    pub fn absorb(&mut self, other: CleanReport) {
+        self.bytes_copied += other.bytes_copied;
+        self.objects_moved += other.objects_moved;
+        self.segments_freed += other.segments_freed;
+    }
+}
+
+/// The result of a mutating append: where the bytes landed, how fragmented
+/// the object now is, and any emergency cleaning the append forced (the
+/// wrapping store charges that I/O to the foreground operation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// The new version's extents, in object byte order (absolute offsets).
+    pub extents: Vec<Extent>,
+    /// Coalesced fragment count of the new version.
+    pub fragments: u64,
+    /// Emergency cleaning performed to make room for this append.
+    pub emergency: CleanReport,
+}
+
+/// Point-in-time view of segment occupancy for gauges and figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SegmentStats {
+    /// Data segments on the volume.
+    pub total_segments: u64,
+    /// Segments in the free pool.
+    pub free_segments: u64,
+    /// Segments holding data (open heads included).
+    pub occupied_segments: u64,
+    /// Mean live fraction over occupied segments (1.0 = fully live).
+    pub mean_utilization: f64,
+    /// Occupied-segment count per utilization decile (`[0.0,0.1) .. [0.9,1.0]`).
+    pub utilization_deciles: [u64; 10],
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Segment {
+    /// Bytes appended so far (the head offset while open; the full segment
+    /// once sealed; 0 when free).
+    written: u64,
+    /// Bytes still live.
+    live: u64,
+    /// Sequence number of the most recent append into this segment — the
+    /// cleaner's age reference.
+    youngest_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ObjectRecord {
+    size: u64,
+    extents: Vec<Extent>,
+}
+
+/// The append-only segment log.  See the crate docs for the model.
+#[derive(Debug, Clone)]
+pub struct SegmentLog {
+    config: LogConfig,
+    /// First data byte (the metadata slice lies below it).
+    base_offset: u64,
+    /// Free-segment map, one cluster per segment: the same structure the
+    /// other substrates allocate clusters from, so placement policies apply
+    /// to segment selection unchanged.
+    free: RunIndexMap,
+    free_count: u64,
+    segments: Vec<Segment>,
+    /// Object ids with at least one live extent in each segment — the
+    /// cleaner's reverse index.
+    residents: Vec<BTreeSet<u64>>,
+    objects: BTreeMap<u64, ObjectRecord>,
+    tracker: FragmentationTracker,
+    /// Open foreground append head.
+    fg_head: Option<u64>,
+    /// Open cleaner append head (maintenance placement consumer).
+    maint_head: Option<u64>,
+    /// Logical clock: bumped once per append operation.
+    seq: u64,
+    live_bytes: u64,
+    dead_bytes: u64,
+    cleaned: CleanReport,
+    emergency: CleanReport,
+}
+
+/// Coalesced fragment count of an extent list in object byte order: adjacent
+/// pieces that are also physically contiguous read as one fragment.
+fn fragment_count(extents: &[Extent]) -> u64 {
+    let mut count = 0;
+    let mut prev_end = None;
+    for extent in extents {
+        if extent.is_empty() {
+            continue;
+        }
+        if prev_end != Some(extent.start) {
+            count += 1;
+        }
+        prev_end = Some(extent.end());
+    }
+    count
+}
+
+/// Pushes `piece` onto `extents`, merging with the last when contiguous.
+fn push_coalesced(extents: &mut Vec<Extent>, piece: Extent) {
+    if piece.is_empty() {
+        return;
+    }
+    match extents.last_mut() {
+        Some(last) if last.end() == piece.start => last.len += piece.len,
+        _ => extents.push(piece),
+    }
+}
+
+impl SegmentLog {
+    /// Formats a fresh log.
+    pub fn new(config: LogConfig) -> Result<Self, LogError> {
+        config.validate().map_err(LogError::BadConfig)?;
+        let total = config.total_segments();
+        let meta = (total / 32).max(1);
+        let data = total - meta;
+        Ok(SegmentLog {
+            base_offset: meta * config.segment_bytes,
+            free: RunIndexMap::new_free(data),
+            free_count: data,
+            segments: vec![Segment::default(); data as usize],
+            residents: vec![BTreeSet::new(); data as usize],
+            objects: BTreeMap::new(),
+            tracker: FragmentationTracker::new(),
+            fg_head: None,
+            maint_head: None,
+            seq: 0,
+            live_bytes: 0,
+            dead_bytes: 0,
+            cleaned: CleanReport::default(),
+            emergency: CleanReport::default(),
+            config,
+        })
+    }
+
+    /// The configuration the log was formatted with.
+    pub fn config(&self) -> &LogConfig {
+        &self.config
+    }
+
+    /// First data byte on the device.
+    pub fn base_offset(&self) -> u64 {
+        self.base_offset
+    }
+
+    /// Data segments on the volume.
+    pub fn segment_count(&self) -> u64 {
+        self.segments.len() as u64
+    }
+
+    /// Bytes the data segments can hold.
+    pub fn data_capacity_bytes(&self) -> u64 {
+        self.segment_count() * self.config.segment_bytes
+    }
+
+    /// Segments currently in the free pool.
+    pub fn free_segments(&self) -> u64 {
+        self.free_count
+    }
+
+    /// Total live payload bytes.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Dead (deadened, not yet cleaned) bytes across occupied segments —
+    /// what the cleaner could reclaim.
+    pub fn dead_bytes(&self) -> u64 {
+        self.dead_bytes
+    }
+
+    /// Live object count.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` when `id` is live.
+    pub fn contains(&self, id: u64) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Live object ids, ascending.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.objects.keys().copied()
+    }
+
+    /// Size of a live object.
+    pub fn size_of(&self, id: u64) -> Result<u64, LogError> {
+        self.objects
+            .get(&id)
+            .map(|record| record.size)
+            .ok_or(LogError::NoSuchObject(id))
+    }
+
+    /// The object's extents in byte order (absolute device offsets).
+    pub fn extents_of(&self, id: u64) -> Result<&[Extent], LogError> {
+        self.objects
+            .get(&id)
+            .map(|record| record.extents.as_slice())
+            .ok_or(LogError::NoSuchObject(id))
+    }
+
+    /// Fragment summary over all live objects.
+    pub fn fragmentation(&self) -> FragmentationSummary {
+        self.tracker.summary()
+    }
+
+    /// The free-segment map (one cluster per segment), for free-space
+    /// reports and band occupancy.
+    pub fn free_map(&self) -> &RunIndexMap {
+        &self.free
+    }
+
+    /// Cumulative background-cleaner totals.
+    pub fn cleaner_totals(&self) -> CleanReport {
+        self.cleaned
+    }
+
+    /// Cumulative emergency (allocation-pressure) cleaning totals.
+    pub fn emergency_totals(&self) -> CleanReport {
+        self.emergency
+    }
+
+    /// Segment-occupancy snapshot.
+    pub fn segment_stats(&self) -> SegmentStats {
+        let segment_bytes = self.config.segment_bytes;
+        let total = self.segment_count();
+        let occupied = total - self.free_count;
+        let mut deciles = [0u64; 10];
+        for (idx, segment) in self.segments.iter().enumerate() {
+            if self.free.run_at(idx as u64).is_some() {
+                continue;
+            }
+            let utilization = segment.live as f64 / segment_bytes as f64;
+            let bucket = ((utilization * 10.0) as usize).min(9);
+            deciles[bucket] += 1;
+        }
+        let mean_utilization = if occupied == 0 {
+            1.0
+        } else {
+            self.live_bytes as f64 / (occupied * segment_bytes) as f64
+        };
+        SegmentStats {
+            total_segments: total,
+            free_segments: self.free_count,
+            occupied_segments: occupied,
+            mean_utilization,
+            utilization_deciles: deciles,
+        }
+    }
+
+    /// Inserts a new object of `size` bytes at the foreground head.
+    pub fn insert(&mut self, id: u64, size: u64) -> Result<AppendOutcome, LogError> {
+        if self.objects.contains_key(&id) {
+            return Err(LogError::ObjectExists(id));
+        }
+        let emergency = self.ensure_space_for(size)?;
+        let extents = self.append_bytes(size, PlacementConsumer::Foreground)?;
+        let fragments = fragment_count(&extents);
+        self.add_residents(id, &extents);
+        self.tracker.record_insert(fragments);
+        self.objects.insert(
+            id,
+            ObjectRecord {
+                size,
+                extents: extents.clone(),
+            },
+        );
+        Ok(AppendOutcome {
+            extents,
+            fragments,
+            emergency,
+        })
+    }
+
+    /// Inserts a new object through the *maintenance* head — shard
+    /// migration and other background ingest are placed like cleaner output,
+    /// so the foreground head's locality is undisturbed.  Never triggers
+    /// emergency cleaning: if the placement policy refuses the cleaner's band
+    /// the space, the caller gets [`LogError::OutOfSpace`].
+    pub fn insert_as_maintenance(&mut self, id: u64, size: u64) -> Result<AppendOutcome, LogError> {
+        if self.objects.contains_key(&id) {
+            return Err(LogError::ObjectExists(id));
+        }
+        let extents = self.append_bytes(size, Self::maintenance_consumer())?;
+        let fragments = fragment_count(&extents);
+        self.add_residents(id, &extents);
+        self.tracker.record_insert(fragments);
+        self.objects.insert(
+            id,
+            ObjectRecord {
+                size,
+                extents: extents.clone(),
+            },
+        );
+        Ok(AppendOutcome {
+            extents,
+            fragments,
+            emergency: CleanReport::default(),
+        })
+    }
+
+    /// Writes a new version of a live object (append-then-deaden: the old
+    /// copy stays live until the new one is fully on disk, so the transient
+    /// footprint is both versions — the log's safe write).
+    pub fn update(&mut self, id: u64, size: u64) -> Result<AppendOutcome, LogError> {
+        if !self.objects.contains_key(&id) {
+            return Err(LogError::NoSuchObject(id));
+        }
+        let emergency = self.ensure_space_for(size)?;
+        let extents = self.append_bytes(size, PlacementConsumer::Foreground)?;
+        let fragments = fragment_count(&extents);
+        let old = self.objects.get(&id).cloned().expect("checked above");
+        self.deaden(&old.extents);
+        self.remove_residents(id, &old.extents, &extents);
+        self.add_residents(id, &extents);
+        self.tracker
+            .record_replace(fragment_count(&old.extents), fragments);
+        self.objects.insert(
+            id,
+            ObjectRecord {
+                size,
+                extents: extents.clone(),
+            },
+        );
+        Ok(AppendOutcome {
+            extents,
+            fragments,
+            emergency,
+        })
+    }
+
+    /// Deadens and forgets a live object; its bytes wait for the cleaner.
+    pub fn remove(&mut self, id: u64) -> Result<u64, LogError> {
+        let record = self.objects.remove(&id).ok_or(LogError::NoSuchObject(id))?;
+        self.deaden(&record.extents);
+        self.remove_residents(id, &record.extents, &[]);
+        self.tracker.record_remove(fragment_count(&record.extents));
+        Ok(record.size)
+    }
+
+    /// One budgeted background cleaning pass: picks victims with the
+    /// configured selector and rewrites each survivor *in full* through the
+    /// maintenance placement consumer (compacting it), until `copy_budget`
+    /// live bytes have moved or nothing is worth cleaning.  The first victim
+    /// always completes once started (progress guarantee); fully-dead
+    /// segments are reclaimed for free and do not count against the budget.
+    pub fn clean_step(&mut self, copy_budget: u64) -> Result<CleanReport, LogError> {
+        let mut report = CleanReport::default();
+        while let Some(victim) = self.select_victim(self.config.selector, None) {
+            let survivor_bytes: u64 = self.residents[victim as usize]
+                .iter()
+                .map(|id| self.objects[id].size)
+                .sum();
+            if report.bytes_copied > 0 && report.bytes_copied + survivor_bytes > copy_budget {
+                break;
+            }
+            match self.rewrite_segment(victim) {
+                Ok(cleaned) => report.absorb(cleaned),
+                // Placement refused the cleaner a destination: maintenance
+                // never spills, so the pass ends here.
+                Err(LogError::OutOfSpace) => break,
+                Err(other) => return Err(other),
+            }
+            if report.bytes_copied >= copy_budget {
+                break;
+            }
+        }
+        self.cleaned.absorb(report);
+        Ok(report)
+    }
+
+    /// Cleans until nothing is worth cleaning (the full-rebuild analogue of
+    /// the filesystem's offline defragmentation).
+    pub fn clean_all(&mut self) -> Result<CleanReport, LogError> {
+        self.clean_step(u64::MAX)
+    }
+
+    /// Space the foreground could append right now: the open head's spare
+    /// plus every free segment (the foreground spills across bands).
+    fn foreground_available(&self) -> u64 {
+        let spare = self.fg_head.map_or(0, |idx| {
+            self.config.segment_bytes - self.segments[idx as usize].written
+        });
+        spare + self.free_count * self.config.segment_bytes
+    }
+
+    /// Space the cleaner could append right now under the placement policy.
+    fn maintenance_available(&self) -> u64 {
+        let segment_bytes = self.config.segment_bytes;
+        let consumer = Self::maintenance_consumer();
+        let spare = self
+            .maint_head
+            .map_or(0, |idx| segment_bytes - self.segments[idx as usize].written);
+        let eligible_segments = if let Some(cap) = self.config.placement.run_cap(consumer) {
+            self.free
+                .free_runs()
+                .iter()
+                .filter(|run| run.len <= cap)
+                .map(|run| run.len)
+                .sum()
+        } else if let Some((lo, hi)) = self
+            .config
+            .placement
+            .primary_band(self.segment_count(), consumer)
+        {
+            self.free
+                .free_runs()
+                .iter()
+                .map(|run| run.end().min(hi).saturating_sub(run.start.max(lo)))
+                .sum()
+        } else {
+            self.free_count
+        };
+        spare + eligible_segments * segment_bytes
+    }
+
+    /// The one maintenance consumer the log ever presents: an append needs at
+    /// most one free segment at a time, so the foreground watermark is a
+    /// single segment.  Under `Reserve` the cleaner is thereby confined to
+    /// isolated single-segment holes — the long runs stay with the
+    /// foreground.
+    fn maintenance_consumer() -> PlacementConsumer {
+        PlacementConsumer::Maintenance {
+            foreground_watermark: 1,
+        }
+    }
+
+    /// Frees enough space for a `size`-byte foreground append, vacating
+    /// victims through the foreground head under allocation pressure.  Keeps
+    /// one segment of slack so the emergency path itself never wedges.
+    fn ensure_space_for(&mut self, size: u64) -> Result<CleanReport, LogError> {
+        let mut report = CleanReport::default();
+        loop {
+            let available = self.foreground_available();
+            if available >= size + self.config.segment_bytes {
+                break;
+            }
+            let Some(victim) = self
+                .select_victim(self.config.selector, Some(available))
+                .filter(|_| self.dead_bytes > 0)
+            else {
+                if available >= size {
+                    break;
+                }
+                return Err(LogError::OutOfSpace);
+            };
+            report.absorb(self.vacate_segment(victim)?);
+        }
+        self.emergency.absorb(report);
+        Ok(report)
+    }
+
+    /// The best victim under `selector` among sealed, partially-dead
+    /// segments (`max_live` caps the survivors the emergency path can
+    /// afford to copy).  Deterministic: ties keep the lowest index.
+    fn select_victim(&self, selector: CleanerSelector, max_live: Option<u64>) -> Option<u64> {
+        let segment_bytes = self.config.segment_bytes;
+        let mut best: Option<(f64, u64)> = None;
+        for (idx, segment) in self.segments.iter().enumerate() {
+            let idx = idx as u64;
+            if Some(idx) == self.fg_head || Some(idx) == self.maint_head {
+                continue;
+            }
+            if segment.written == 0 {
+                continue; // free
+            }
+            let free_bytes = segment_bytes - segment.live;
+            if free_bytes == 0 {
+                continue; // fully live: nothing to gain
+            }
+            if max_live.is_some_and(|cap| segment.live > cap) {
+                continue;
+            }
+            let score = match selector {
+                CleanerSelector::CostBenefit => {
+                    let age = (self.seq - segment.youngest_seq + 1) as f64;
+                    let utilization = segment.live as f64 / segment_bytes as f64;
+                    free_bytes as f64 * age / (1.0 + utilization)
+                }
+                CleanerSelector::Greedy => free_bytes as f64,
+            };
+            if best.is_none_or(|(best_score, _)| score > best_score) {
+                best = Some((score, idx));
+            }
+        }
+        best.map(|(_, idx)| idx)
+    }
+
+    /// Background cleaning of one victim: every survivor is rewritten *in
+    /// full* through the maintenance head (healing its fragmentation), then
+    /// the victim returns to the free pool.
+    fn rewrite_segment(&mut self, victim: u64) -> Result<CleanReport, LogError> {
+        let ids: Vec<u64> = self.residents[victim as usize].iter().copied().collect();
+        let need: u64 = ids.iter().map(|id| self.objects[id].size).sum();
+        if need > self.maintenance_available() {
+            return Err(LogError::OutOfSpace);
+        }
+        let mut report = CleanReport::default();
+        for id in ids {
+            let record = self.objects.get(&id).cloned().expect("resident is live");
+            let extents = self.append_bytes(record.size, Self::maintenance_consumer())?;
+            let fragments = fragment_count(&extents);
+            self.deaden(&record.extents);
+            self.remove_residents(id, &record.extents, &extents);
+            self.add_residents(id, &extents);
+            self.tracker
+                .record_replace(fragment_count(&record.extents), fragments);
+            report.bytes_copied += record.size;
+            report.objects_moved += 1;
+            self.objects.insert(
+                id,
+                ObjectRecord {
+                    size: record.size,
+                    extents,
+                },
+            );
+        }
+        self.release_victim(victim);
+        report.segments_freed += 1;
+        Ok(report)
+    }
+
+    /// Emergency cleaning of one victim: only the live pieces *inside* the
+    /// victim are copied (to the foreground head, interleaving with incoming
+    /// writes — this is where an uncleaned log's fragmentation comes from);
+    /// extents elsewhere stay put.
+    fn vacate_segment(&mut self, victim: u64) -> Result<CleanReport, LogError> {
+        let ids: Vec<u64> = self.residents[victim as usize].iter().copied().collect();
+        let span = self.segment_span(victim);
+        let mut report = CleanReport::default();
+        for id in ids {
+            let record = self.objects.get(&id).cloned().expect("resident is live");
+            let inside_need: u64 = record
+                .extents
+                .iter()
+                .map(|extent| Self::overlap_len(extent, &span))
+                .sum();
+            let fresh = self.append_bytes(inside_need, PlacementConsumer::Foreground)?;
+            let mut queue: VecDeque<Extent> = fresh.into_iter().collect();
+            let mut rebuilt: Vec<Extent> = Vec::with_capacity(record.extents.len());
+            for extent in &record.extents {
+                for piece in Self::split_by_span(extent, &span) {
+                    if span.contains(piece.start) {
+                        self.deaden(&[piece]);
+                        let mut want = piece.len;
+                        while want > 0 {
+                            let head = queue.pop_front().expect("fresh extents cover the need");
+                            let (taken, rest) = head.take(want);
+                            want -= taken.len;
+                            if !rest.is_empty() {
+                                queue.push_front(rest);
+                            }
+                            push_coalesced(&mut rebuilt, taken);
+                        }
+                    } else {
+                        push_coalesced(&mut rebuilt, piece);
+                    }
+                }
+            }
+            self.tracker
+                .record_replace(fragment_count(&record.extents), fragment_count(&rebuilt));
+            self.remove_residents(id, &record.extents, &rebuilt);
+            self.add_residents(id, &rebuilt);
+            report.bytes_copied += inside_need;
+            report.objects_moved += u64::from(inside_need > 0);
+            self.objects.insert(
+                id,
+                ObjectRecord {
+                    size: record.size,
+                    extents: rebuilt,
+                },
+            );
+        }
+        self.release_victim(victim);
+        report.segments_freed += 1;
+        Ok(report)
+    }
+
+    /// Appends `remaining` bytes through `consumer`'s head, sealing and
+    /// opening segments as needed.  Fails atomically: availability is
+    /// checked up front, so no bytes land unless all do.
+    fn append_bytes(
+        &mut self,
+        mut remaining: u64,
+        consumer: PlacementConsumer,
+    ) -> Result<Vec<Extent>, LogError> {
+        let available = if consumer.is_maintenance() {
+            self.maintenance_available()
+        } else {
+            self.foreground_available()
+        };
+        if remaining > available {
+            return Err(LogError::OutOfSpace);
+        }
+        let segment_bytes = self.config.segment_bytes;
+        self.seq += 1;
+        let mut extents: Vec<Extent> = Vec::new();
+        while remaining > 0 {
+            let idx = self.ensure_head(consumer)?;
+            let segment = &mut self.segments[idx as usize];
+            let take = (segment_bytes - segment.written).min(remaining);
+            let start = self.base_offset + idx * segment_bytes + segment.written;
+            segment.written += take;
+            segment.live += take;
+            segment.youngest_seq = self.seq;
+            let sealed = segment.written == segment_bytes;
+            self.live_bytes += take;
+            remaining -= take;
+            if sealed {
+                if consumer.is_maintenance() {
+                    self.maint_head = None;
+                } else {
+                    self.fg_head = None;
+                }
+            }
+            push_coalesced(&mut extents, Extent::new(start, take));
+        }
+        Ok(extents)
+    }
+
+    /// The consumer's open head, opening a fresh segment when none is open
+    /// or the current one is sealed.
+    fn ensure_head(&mut self, consumer: PlacementConsumer) -> Result<u64, LogError> {
+        let current = if consumer.is_maintenance() {
+            self.maint_head
+        } else {
+            self.fg_head
+        };
+        if let Some(idx) = current {
+            if self.segments[idx as usize].written < self.config.segment_bytes {
+                return Ok(idx);
+            }
+        }
+        let idx = self
+            .pick_free_segment(consumer)
+            .ok_or(LogError::OutOfSpace)?;
+        self.free
+            .reserve(Extent::new(idx, 1))
+            .map_err(|_| LogError::OutOfSpace)?;
+        self.free_count -= 1;
+        self.segments[idx as usize] = Segment {
+            written: 0,
+            live: 0,
+            youngest_seq: self.seq,
+        };
+        if consumer.is_maintenance() {
+            self.maint_head = Some(idx);
+        } else {
+            self.fg_head = Some(idx);
+        }
+        Ok(idx)
+    }
+
+    /// The next free segment `consumer` may open: the foreground walks its
+    /// band first-fit and spills; the cleaner takes what
+    /// [`lor_alloc::PlacementPolicy::largest_eligible`] permits and refuses
+    /// otherwise.
+    fn pick_free_segment(&self, consumer: PlacementConsumer) -> Option<u64> {
+        if consumer.is_maintenance() {
+            return self
+                .config
+                .placement
+                .largest_eligible(&self.free, consumer, 1)
+                .map(|run| run.start);
+        }
+        match self
+            .config
+            .placement
+            .primary_band(self.segment_count(), consumer)
+        {
+            Some((lo, hi)) => self
+                .free
+                .first_fit_in(1, lo, hi)
+                .or_else(|| self.free.first_fit(1, 0))
+                .map(|run| run.start),
+            None => self.free.first_fit(1, 0).map(|run| run.start),
+        }
+    }
+
+    /// Marks extents dead, crediting their segments.
+    fn deaden(&mut self, extents: &[Extent]) {
+        let segment_bytes = self.config.segment_bytes;
+        for extent in extents {
+            let mut cursor = extent.start;
+            let end = extent.end();
+            while cursor < end {
+                let idx = (cursor - self.base_offset) / segment_bytes;
+                let seg_end = self.base_offset + (idx + 1) * segment_bytes;
+                let part = seg_end.min(end) - cursor;
+                let segment = &mut self.segments[idx as usize];
+                debug_assert!(segment.live >= part);
+                segment.live -= part;
+                self.live_bytes -= part;
+                self.dead_bytes += part;
+                cursor += part;
+            }
+        }
+    }
+
+    /// Returns an emptied victim to the free pool.
+    fn release_victim(&mut self, victim: u64) {
+        let segment = &mut self.segments[victim as usize];
+        debug_assert_eq!(segment.live, 0, "victim must be fully vacated");
+        debug_assert!(self.residents[victim as usize].is_empty());
+        self.dead_bytes -= segment.written;
+        *segment = Segment::default();
+        self.free
+            .release(Extent::new(victim, 1))
+            .expect("victim segment was reserved");
+        self.free_count += 1;
+    }
+
+    /// Registers `id` as resident in every segment its extents touch.
+    fn add_residents(&mut self, id: u64, extents: &[Extent]) {
+        for segment in self.segments_covered(extents) {
+            self.residents[segment as usize].insert(id);
+        }
+    }
+
+    /// Drops `id` from segments covered by `old` that no extent in `keep`
+    /// still touches.
+    fn remove_residents(&mut self, id: u64, old: &[Extent], keep: &[Extent]) {
+        let kept: BTreeSet<u64> = self.segments_covered(keep).into_iter().collect();
+        for segment in self.segments_covered(old) {
+            if !kept.contains(&segment) {
+                self.residents[segment as usize].remove(&id);
+            }
+        }
+    }
+
+    /// The distinct segments an extent list touches, ascending.
+    fn segments_covered(&self, extents: &[Extent]) -> Vec<u64> {
+        let segment_bytes = self.config.segment_bytes;
+        let mut covered = BTreeSet::new();
+        for extent in extents {
+            if extent.is_empty() {
+                continue;
+            }
+            let first = (extent.start - self.base_offset) / segment_bytes;
+            let last = (extent.end() - 1 - self.base_offset) / segment_bytes;
+            covered.extend(first..=last);
+        }
+        covered.into_iter().collect()
+    }
+
+    /// The device byte span of a segment.
+    fn segment_span(&self, idx: u64) -> Extent {
+        Extent::new(
+            self.base_offset + idx * self.config.segment_bytes,
+            self.config.segment_bytes,
+        )
+    }
+
+    /// Bytes of `extent` inside `span`.
+    fn overlap_len(extent: &Extent, span: &Extent) -> u64 {
+        extent
+            .end()
+            .min(span.end())
+            .saturating_sub(extent.start.max(span.start))
+    }
+
+    /// Splits an extent at `span`'s boundaries, preserving byte order.
+    fn split_by_span(extent: &Extent, span: &Extent) -> Vec<Extent> {
+        let mut pieces = Vec::with_capacity(3);
+        let mut cursor = extent.start;
+        let end = extent.end();
+        for boundary in [span.start, span.end()] {
+            if boundary > cursor && boundary < end {
+                pieces.push(Extent::new(cursor, boundary - cursor));
+                cursor = boundary;
+            }
+        }
+        if end > cursor {
+            pieces.push(Extent::new(cursor, end - cursor));
+        }
+        pieces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lor_alloc::PlacementPolicy;
+
+    const MB: u64 = 1 << 20;
+
+    fn log_with(capacity: u64, segment: u64) -> SegmentLog {
+        let mut config = LogConfig::new(capacity);
+        config.segment_bytes = segment;
+        SegmentLog::new(config).unwrap()
+    }
+
+    #[test]
+    fn inserts_append_head_first_and_stay_contiguous() {
+        let mut log = log_with(64 * MB, 4 * MB);
+        let a = log.insert(1, MB).unwrap();
+        let b = log.insert(2, MB).unwrap();
+        assert_eq!(a.fragments, 1);
+        assert_eq!(b.fragments, 1);
+        assert_eq!(a.extents[0].start, log.base_offset());
+        assert_eq!(b.extents[0].start, log.base_offset() + MB);
+        assert_eq!(log.live_bytes(), 2 * MB);
+        assert_eq!(log.dead_bytes(), 0);
+        assert_eq!(log.object_count(), 2);
+        assert_eq!(log.fragmentation().fragments_per_object, 1.0);
+    }
+
+    #[test]
+    fn objects_spanning_adjacent_segments_stay_coalesced() {
+        let mut log = log_with(64 * MB, MB);
+        let outcome = log.insert(1, 3 * MB / 2).unwrap();
+        // Head-first into segment 0, sealed, continues in segment 1 — the
+        // fresh log hands out adjacent segments, so the pieces coalesce.
+        assert_eq!(outcome.fragments, 1);
+        assert_eq!(
+            outcome.extents.iter().map(|e| e.len).sum::<u64>(),
+            3 * MB / 2
+        );
+        let spanning = log.insert(2, MB).unwrap();
+        assert_eq!(spanning.fragments, 1);
+        assert_eq!(spanning.extents.iter().map(|e| e.len).sum::<u64>(), MB);
+    }
+
+    #[test]
+    fn updates_deaden_the_old_version() {
+        let mut log = log_with(64 * MB, 4 * MB);
+        log.insert(1, MB).unwrap();
+        let updated = log.update(1, 2 * MB).unwrap();
+        assert_eq!(updated.fragments, 1);
+        assert_eq!(log.size_of(1).unwrap(), 2 * MB);
+        assert_eq!(log.live_bytes(), 2 * MB);
+        assert_eq!(log.dead_bytes(), MB);
+        assert!(log.update(9, MB).is_err());
+    }
+
+    #[test]
+    fn removes_deaden_everything_and_cleaning_reclaims() {
+        let mut log = log_with(64 * MB, MB);
+        for id in 0..8 {
+            log.insert(id, MB / 2).unwrap();
+        }
+        for id in 0..8 {
+            log.remove(id).unwrap();
+        }
+        assert_eq!(log.live_bytes(), 0);
+        assert_eq!(log.dead_bytes(), 4 * MB);
+        let free_before = log.free_segments();
+        let report = log.clean_all().unwrap();
+        assert_eq!(report.bytes_copied, 0, "fully dead segments copy nothing");
+        assert!(report.segments_freed >= 3);
+        assert!(log.free_segments() > free_before);
+        assert_eq!(log.dead_bytes(), 0);
+    }
+
+    #[test]
+    fn cleaning_compacts_survivors_and_heals_fragmentation() {
+        let mut log = log_with(64 * MB, MB);
+        // Two half-MB objects per segment; deleting every other object
+        // leaves every segment half dead.
+        for id in 0..16 {
+            log.insert(id, MB / 2).unwrap();
+        }
+        for id in (0..16).step_by(2) {
+            log.remove(id).unwrap();
+        }
+        assert_eq!(log.dead_bytes(), 4 * MB);
+        let report = log.clean_all().unwrap();
+        assert!(report.segments_freed > 0);
+        assert!(report.bytes_copied > 0, "survivors must be copied");
+        assert_eq!(log.dead_bytes(), 0);
+        // Survivors were rewritten in full, contiguously.
+        for id in (1..16).step_by(2) {
+            assert_eq!(fragment_count(log.extents_of(id).unwrap()), 1);
+        }
+        assert_eq!(log.cleaner_totals().bytes_copied, report.bytes_copied);
+    }
+
+    #[test]
+    fn cost_benefit_prefers_old_dead_segments_over_young_ones() {
+        let mut log = log_with(64 * MB, MB);
+        // Segment 0: half-dead, then aged by twenty later appends.
+        log.insert(1, MB / 2).unwrap();
+        log.insert(2, MB / 2).unwrap();
+        log.remove(1).unwrap();
+        for id in 10..30 {
+            log.insert(id, MB / 4).unwrap(); // fills segments 1..=5
+        }
+        // Segment 6: *more* dead but freshly written.
+        log.insert(3, MB / 4).unwrap();
+        log.insert(4, 3 * MB / 4).unwrap();
+        log.remove(4).unwrap();
+        let cost_benefit = log.select_victim(CleanerSelector::CostBenefit, None);
+        let greedy = log.select_victim(CleanerSelector::Greedy, None);
+        assert_eq!(greedy, Some(6), "greedy takes the most-dead segment");
+        assert_eq!(
+            cost_benefit,
+            Some(0),
+            "age must outweigh the younger segment's extra free space"
+        );
+    }
+
+    #[test]
+    fn allocation_pressure_vacates_victims_through_the_foreground_head() {
+        // 16 data segments (1 of 16+1... capacity 18MB/1MB => 18 total, 1
+        // meta, 17 data).  Fill most of the log, then keep updating: the
+        // emergency path must keep the log writable indefinitely.
+        let mut log = log_with(18 * MB, MB);
+        let data = log.segment_count();
+        assert!(data >= 16);
+        for id in 0..10 {
+            log.insert(id, MB).unwrap();
+        }
+        for round in 0..6 {
+            for id in 0..10 {
+                log.update((id + round) % 10, MB).unwrap();
+            }
+        }
+        assert!(
+            log.emergency_totals().segments_freed > 0,
+            "churn past the free pool must trigger emergency cleaning"
+        );
+        assert_eq!(log.object_count(), 10);
+        assert_eq!(log.live_bytes(), 10 * MB);
+        // Accounting stayed consistent: dead + live never exceeds capacity.
+        assert!(log.dead_bytes() + log.live_bytes() <= log.data_capacity_bytes());
+    }
+
+    #[test]
+    fn out_of_space_is_an_error_not_a_wedge() {
+        let mut log = log_with(8 * MB, MB);
+        let capacity = log.data_capacity_bytes();
+        assert!(log.insert(1, capacity + MB).is_err());
+        // The failed insert left nothing behind.
+        assert_eq!(log.live_bytes(), 0);
+        assert_eq!(log.object_count(), 0);
+    }
+
+    #[test]
+    fn banded_placement_confines_the_cleaner_to_its_band() {
+        let mut config = LogConfig::new(34 * MB);
+        config.segment_bytes = MB;
+        config.placement = PlacementPolicy::banded(0.5);
+        let mut log = SegmentLog::new(config).unwrap();
+        let total = log.segment_count();
+        let boundary = config.placement.boundary_cluster(total);
+        // Make one segment half dead, then clean it.
+        log.insert(1, MB / 2).unwrap();
+        log.insert(2, MB / 2).unwrap();
+        log.remove(1).unwrap();
+        log.insert(3, MB).unwrap(); // seal nothing; just age
+        let report = log.clean_step(u64::MAX).unwrap();
+        assert!(report.bytes_copied > 0);
+        // The survivor landed in the maintenance band.
+        let extents = log.extents_of(2).unwrap();
+        let segment = (extents[0].start - log.base_offset()) / MB;
+        assert!(
+            segment >= boundary,
+            "survivor segment {segment} must sit at or above the band boundary {boundary}"
+        );
+    }
+
+    #[test]
+    fn segment_stats_track_utilization() {
+        let mut log = log_with(64 * MB, MB);
+        for id in 0..4 {
+            log.insert(id, MB).unwrap();
+        }
+        log.remove(0).unwrap();
+        let stats = log.segment_stats();
+        assert_eq!(stats.total_segments, log.segment_count());
+        assert_eq!(
+            stats.occupied_segments,
+            stats.total_segments - stats.free_segments
+        );
+        assert!(stats.mean_utilization < 1.0);
+        assert!(stats.mean_utilization > 0.5);
+        assert_eq!(
+            stats.utilization_deciles.iter().sum::<u64>(),
+            stats.occupied_segments
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let build = || {
+            let mut log = log_with(32 * MB, MB);
+            for id in 0..12 {
+                log.insert(id, 3 * MB / 4).unwrap();
+            }
+            for round in 0u64..4 {
+                for id in 0..12 {
+                    log.update((id * 5 + round) % 12, 3 * MB / 4).unwrap();
+                }
+            }
+            log.clean_step(4 * MB).unwrap();
+            log
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.live_bytes(), b.live_bytes());
+        assert_eq!(a.dead_bytes(), b.dead_bytes());
+        assert_eq!(a.cleaner_totals(), b.cleaner_totals());
+        assert_eq!(a.emergency_totals(), b.emergency_totals());
+        for id in a.ids() {
+            assert_eq!(a.extents_of(id).unwrap(), b.extents_of(id).unwrap());
+        }
+    }
+}

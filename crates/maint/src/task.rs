@@ -59,6 +59,11 @@ pub enum MaintSubstrate {
     /// recorded eager-cleanup pathology.  Ghost release should be deferred
     /// and batched.
     EagerReuse,
+    /// Append-only log substrates: there is no ghost backlog to release at
+    /// all — dead bytes come back one whole segment at a time through the
+    /// cleaner, so **cleaning is the only reclamation** and
+    /// [`MaintTarget::ghost_cleanup`] is always a no-op.
+    LogStructured,
 }
 
 /// What a storage substrate must expose to be maintained by the scheduler.

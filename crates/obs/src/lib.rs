@@ -56,6 +56,10 @@ pub enum Track {
     Disk,
     /// Per-task maintenance spans on the scheduler's clock.
     Maintenance,
+    /// Segment-cleaner passes of the log-structured store: bytes copied and
+    /// segments freed land on their own row, separate from the generic
+    /// maintenance track, so cleaning pressure is visible at a glance.
+    Cleaner,
     /// One shard of a sharded fleet (`lor-shard`): per-shard gauges and
     /// spans land on their own Chrome trace row, so a straggler shard is
     /// visually separable from its siblings.
@@ -79,6 +83,7 @@ impl Track {
             Track::Background => 1,
             Track::Disk => 2,
             Track::Maintenance => 3,
+            Track::Cleaner => 4,
             Track::Shard(n) => 16 + n as u32,
         }
     }
@@ -90,6 +95,7 @@ impl Track {
             Track::Background => "background",
             Track::Disk => "disk",
             Track::Maintenance => "maintenance",
+            Track::Cleaner => "cleaner",
             Track::Shard(n) => SHARD_TRACK_NAMES[(n as usize).min(SHARD_TRACK_NAMES.len() - 1)],
         }
     }

@@ -2,7 +2,7 @@
 //! shard does, and the per-shard split is kept so tail latency can be
 //! attributed to the straggler.
 
-use lor_core::Completion;
+use lor_core::{Completion, LatencyHistogram};
 use lor_disksim::SimDuration;
 
 /// One sub-read of a fan-out request, tagged with the shard that served it.
@@ -66,15 +66,16 @@ impl FanoutCompletion {
     }
 }
 
-/// p99 (nearest-rank) of fan-out latencies, in milliseconds.
+/// p99 of fan-out latencies, in milliseconds, measured through the same
+/// [`LatencyHistogram`] every other percentile in the repo reports — one
+/// estimator, one error bound (≤ 1/256 relative), instead of a hand-rolled
+/// nearest-rank sort that disagreed with the store server's summaries.
 pub fn fanout_p99_ms(completions: &[FanoutCompletion]) -> f64 {
-    if completions.is_empty() {
-        return 0.0;
+    let mut hist = LatencyHistogram::new();
+    for completion in completions {
+        hist.record(completion.latency().as_nanos());
     }
-    let mut nanos: Vec<u64> = completions.iter().map(|c| c.latency().as_nanos()).collect();
-    nanos.sort_unstable();
-    let rank = (0.99 * nanos.len() as f64).ceil() as usize;
-    nanos[rank.clamp(1, nanos.len()) - 1] as f64 / 1e6
+    hist.percentile_nanos(0.99) as f64 / 1e6
 }
 
 #[cfg(test)]
@@ -121,6 +122,27 @@ mod tests {
             arrival: SimDuration::ZERO,
             parts: vec![part(0, 0, 8)],
         };
-        assert!((fanout_p99_ms(&[one]) - 8.0).abs() < 1e-9);
+        // The histogram carries at most 1/256 relative error.
+        assert!((fanout_p99_ms(&[one]) - 8.0).abs() <= 8.0 / 256.0);
+    }
+
+    #[test]
+    fn p99_agrees_with_the_latency_histogram() {
+        // The fan-out percentile must be the *same estimator* as every other
+        // p99 in the repo: feed identical latencies to a LatencyHistogram
+        // directly and require exact agreement.
+        let completions: Vec<FanoutCompletion> = (1..=200)
+            .map(|i| FanoutCompletion {
+                group: i,
+                arrival: SimDuration::ZERO,
+                parts: vec![part(0, 0, (i as u64 * 7) % 97 + 1)],
+            })
+            .collect();
+        let mut hist = LatencyHistogram::new();
+        for completion in &completions {
+            hist.record(completion.latency().as_nanos());
+        }
+        let expected = hist.percentile_nanos(0.99) as f64 / 1e6;
+        assert_eq!(fanout_p99_ms(&completions), expected);
     }
 }

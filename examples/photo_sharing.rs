@@ -9,7 +9,7 @@
 //! cargo run --release --example photo_sharing
 //! ```
 
-use lorepo::core::{DbObjectStore, FsObjectStore, ObjectStore, StoreKind};
+use lorepo::core::{DbObjectStore, FsObjectStore, LogObjectStore, ObjectStore, StoreKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -80,7 +80,11 @@ fn main() {
     println!(
         "photo-sharing service: {ALBUMS} albums x {PHOTOS_PER_ALBUM} photos, six editing seasons\n"
     );
-    for kind in [StoreKind::Filesystem, StoreKind::Database] {
+    for kind in [
+        StoreKind::Filesystem,
+        StoreKind::Database,
+        StoreKind::LogStructured,
+    ] {
         let mut rng = StdRng::seed_from_u64(2007);
         match kind {
             StoreKind::Filesystem => {
@@ -89,6 +93,10 @@ fn main() {
             }
             StoreKind::Database => {
                 let mut store = DbObjectStore::new(2_000 * MB).expect("data file");
+                run(&mut store, &mut rng);
+            }
+            StoreKind::LogStructured => {
+                let mut store = LogObjectStore::new(2_000 * MB).expect("log");
                 run(&mut store, &mut rng);
             }
         }

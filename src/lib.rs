@@ -11,6 +11,7 @@ pub use lor_blobkit as blobkit;
 pub use lor_core as core;
 pub use lor_disksim as disksim;
 pub use lor_fskit as fskit;
+pub use lor_logstore as logstore;
 pub use lor_maint as maint;
 pub use lor_obs as obs;
 pub use lor_shard as shard;
