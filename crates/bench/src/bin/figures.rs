@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! figures [--scale full|report|bench|test|smoke] [--json <dir>] [--only fig1,fig2,...]
+//!         [--concurrent-rebalance]
 //! ```
 //!
 //! The default scale is `report` (one tenth of the paper's volume sizes; see
@@ -27,6 +28,7 @@ struct Options {
     scale_name: String,
     json_dir: Option<PathBuf>,
     only: Option<BTreeSet<String>>,
+    concurrent_rebalance: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -35,6 +37,7 @@ fn parse_args() -> Result<Options, String> {
         scale_name: "report".to_string(),
         json_dir: None,
         only: None,
+        concurrent_rebalance: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,6 +63,9 @@ fn parse_args() -> Result<Options, String> {
                     args.next().ok_or("--json needs a directory")?,
                 ));
             }
+            "--concurrent-rebalance" => {
+                options.concurrent_rebalance = true;
+            }
             "--only" => {
                 let value = args.next().ok_or("--only needs a comma-separated list")?;
                 options.only = Some(value.split(',').map(|s| s.trim().to_lowercase()).collect());
@@ -70,7 +76,7 @@ fn parse_args() -> Result<Options, String> {
                      [--only table1,fig1,...,fig6,write-size,maintenance,policy-ablation,\
                      maintenance-policies,maintenance-latency,latency-percentiles,load-sweep,\
                      idle-detect,mixed-load-sweep,adaptive-frontier,placement-frontier,\
-                     latency-anatomy,shard-sweep]"
+                     latency-anatomy,shard-sweep] [--concurrent-rebalance]"
                 );
                 std::process::exit(0);
             }
@@ -189,7 +195,8 @@ fn run() -> Result<(), String> {
         emit(&options, "latency_anatomy", &figures)?;
     }
     if wanted(&options, "shard-sweep") {
-        let figures = shard_sweep_figures(&options.scale).map_err(|e| e.to_string())?;
+        let figures = shard_sweep_figures(&options.scale, options.concurrent_rebalance)
+            .map_err(|e| e.to_string())?;
         emit(&options, "shard_sweep", &figures)?;
     }
     Ok(())

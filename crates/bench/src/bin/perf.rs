@@ -7,23 +7,34 @@
 //! maintenance scheduler (the scheduler's per-tick fragmentation observation
 //! is the hot path the perf trajectory tracks).
 //!
+//! The sharded entries time the fleet layer in both drive modes: the
+//! `aging_sharded_*` jobs force [`FleetParallelism::Serial`] (pinning the
+//! sharding layer's single-thread overhead), while the `aging_sharded_par_*`
+//! / `aging_sharded16_*` / `aging_sharded64_smoke` jobs drain every shard on
+//! a fixed worker pool — bit-identical simulated results, wall-clock scaling
+//! with the host's cores (≥4 cores is where the ~4× shows; a 1-core CI box
+//! times the same pool honestly at ~1×).
+//!
 //! ```text
 //! perf [--scale report|bench|full|test|smoke] [--label NAME]
 //!      [--json PATH] [--check BASELINE.json] [--tolerance 0.2]
+//!      [--fleet-scaling]
 //! ```
 //!
 //! The run is printed as one JSON object.  `--check` compares the run's
 //! ops/s against the `ci-baseline` run recorded in an existing
 //! `BENCH_aging.json` and exits non-zero if any matching entry regressed by
 //! more than `--tolerance` (default 20%) — the CI guard that keeps the
-//! speedups pinned.
+//! speedups pinned.  `--fleet-scaling` replaces the standard jobs with the
+//! fleet-scaling sweep (shards 1–64 × serial vs threaded) recorded in
+//! EXPERIMENTS.md.
 
 use std::time::Instant;
 
 use lor_bench::Scale;
 use lor_core::{
-    run_aging_experiment, ExperimentConfig, MaintenanceConfig, SizeDistribution, StoreError,
-    StoreKind, WorkloadGenerator,
+    run_aging_experiment, ExperimentConfig, FleetParallelism, MaintenanceConfig, SizeDistribution,
+    StoreError, StoreKind, WorkloadGenerator,
 };
 use lor_shard::{RouterPolicy, ShardedStore};
 
@@ -85,20 +96,24 @@ fn timed_aging(
 
 /// Times the same aging loop pushed through a [`ShardedStore`] fleet: the
 /// cost of routing, per-shard partitioning, and the per-shard servers on top
-/// of the bare stores.  Four shards keeps the per-shard volume honest at the
-/// bench scale while still exercising the cross-shard paths.
+/// of the bare stores — serial, or drained by `parallelism`'s worker pool
+/// (bit-identical results either way; only the wall-clock differs).
 fn timed_sharded_aging(
     name: &str,
     kind: StoreKind,
     config: &ExperimentConfig,
     max_age: u32,
+    shards: u32,
+    parallelism: FleetParallelism,
 ) -> Result<PerfEntry, StoreError> {
-    const SHARDS: u32 = 4;
+    // Pad the volume so every shard still gets a workable slice.
+    let mut config = config.clone().with_fleet_parallelism(parallelism);
+    config.volume_bytes = config.volume_bytes.max(u64::from(shards) * (24 << 20));
     let started = Instant::now();
     let mut fleet = ShardedStore::new(
         kind,
-        config,
-        SHARDS,
+        &config,
+        shards,
         RouterPolicy::ConsistentHash { vnodes: 16 },
     )?;
     let mut generator = WorkloadGenerator::new(config.workload());
@@ -190,12 +205,68 @@ fn baseline_entries(json: &str) -> Vec<(String, f64)> {
     entries
 }
 
+/// The fleet-scaling sweep recorded in EXPERIMENTS.md: the same aging loop
+/// at every fleet width, serial vs worker pools, so the ops/s and wall-clock
+/// columns show what parallel drainage buys (and what the fleet layer costs)
+/// as the fleet grows.  Ages are capped at 2: the sweep measures width
+/// scaling, not aging depth.
+fn run_fleet_scaling(
+    scale: &Scale,
+    scale_name: &str,
+    label: &str,
+    config: &ExperimentConfig,
+    json_path: Option<&str>,
+) {
+    let age = scale.max_age.min(2);
+    let mut widths = vec![1u32];
+    widths.extend(scale.fleet_sizes());
+    let modes = [
+        FleetParallelism::Serial,
+        FleetParallelism::Threads(4),
+        FleetParallelism::Threads(8),
+    ];
+    let mut entries = Vec::new();
+    for kind in [StoreKind::Database, StoreKind::Filesystem] {
+        for &shards in &widths {
+            for parallelism in modes {
+                let name = format!(
+                    "scaling_{}_{shards:02}shards_{}",
+                    kind.label().to_lowercase(),
+                    parallelism.label().replace('(', "-").replace(')', "")
+                );
+                let entry = match timed_sharded_aging(&name, kind, config, age, shards, parallelism)
+                {
+                    Ok(entry) => entry,
+                    Err(err) => {
+                        eprintln!("perf: {name} failed: {err}");
+                        std::process::exit(1);
+                    }
+                };
+                eprintln!(
+                    "perf: {:<40} {:>9} ops in {:>8.2}s = {:>10.1} ops/s",
+                    entry.name, entry.ops, entry.wall_s, entry.ops_per_s
+                );
+                entries.push(entry);
+            }
+        }
+    }
+    let run = run_json(label, scale_name, &entries, peak_rss_kb());
+    println!("{run}");
+    if let Some(path) = json_path {
+        let document =
+            format!("{{\n  \"schema\": \"bench-aging-v1\",\n  \"runs\": [\n{run}\n  ]\n}}\n");
+        std::fs::write(path, document).expect("write --json output");
+        eprintln!("perf: wrote {path}");
+    }
+}
+
 fn main() {
     let mut scale_name = "bench".to_string();
     let mut label = "run".to_string();
     let mut json_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut tolerance = 0.2f64;
+    let mut fleet_scaling = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -211,9 +282,10 @@ fn main() {
                     .parse()
                     .expect("--tolerance must be a number")
             }
+            "--fleet-scaling" => fleet_scaling = true,
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perf [--scale report|bench|full|test|smoke] [--label NAME] [--json PATH] [--check BASELINE.json] [--tolerance F]");
+                eprintln!("usage: perf [--scale report|bench|full|test|smoke] [--label NAME] [--json PATH] [--check BASELINE.json] [--tolerance F] [--fleet-scaling]");
                 std::process::exit(2);
             }
         }
@@ -281,14 +353,69 @@ fn main() {
     ];
 
     // The sharded runs time the fleet layer (routing + per-shard servers)
-    // over the same plain aging loop, on a volume padded so each of the four
-    // shards gets a workable slice at every scale.
-    let mut sharded_config = config.clone();
-    sharded_config.volume_bytes = sharded_config.volume_bytes.max(4 * (24 << 20));
-    let sharded_jobs: Vec<(String, StoreKind)> = vec![
-        ("aging_sharded_database".into(), StoreKind::Database),
-        ("aging_sharded_filesystem".into(), StoreKind::Filesystem),
+    // over the same plain aging loop.  The `aging_sharded_*` pair forces the
+    // serial drain — pinning the sharding layer's single-thread overhead —
+    // while the remaining jobs drain on a fixed worker pool: bit-identical
+    // simulated results, wall-clock scaling with the host's cores.  The
+    // 64-shard smoke runs shorter: it guards fleet-width scaling, not aging
+    // depth.
+    let smoke_age = scale.max_age.min(2);
+    let sharded_jobs: Vec<(String, StoreKind, u32, FleetParallelism, u32)> = vec![
+        (
+            "aging_sharded_database".into(),
+            StoreKind::Database,
+            4,
+            FleetParallelism::Serial,
+            scale.max_age,
+        ),
+        (
+            "aging_sharded_filesystem".into(),
+            StoreKind::Filesystem,
+            4,
+            FleetParallelism::Serial,
+            scale.max_age,
+        ),
+        (
+            "aging_sharded_par_database".into(),
+            StoreKind::Database,
+            4,
+            FleetParallelism::Threads(4),
+            scale.max_age,
+        ),
+        (
+            "aging_sharded_par_filesystem".into(),
+            StoreKind::Filesystem,
+            4,
+            FleetParallelism::Threads(4),
+            scale.max_age,
+        ),
+        (
+            "aging_sharded16_database".into(),
+            StoreKind::Database,
+            16,
+            FleetParallelism::Threads(8),
+            scale.max_age,
+        ),
+        (
+            "aging_sharded16_filesystem".into(),
+            StoreKind::Filesystem,
+            16,
+            FleetParallelism::Threads(8),
+            scale.max_age,
+        ),
+        (
+            "aging_sharded64_smoke".into(),
+            StoreKind::Database,
+            64,
+            FleetParallelism::Threads(8),
+            smoke_age,
+        ),
     ];
+
+    if fleet_scaling {
+        run_fleet_scaling(&scale, &scale_name, &label, &config, json_path.as_deref());
+        return;
+    }
 
     let mut entries = Vec::new();
     for (name, kind, config, age) in jobs {
@@ -305,8 +432,8 @@ fn main() {
         );
         entries.push(entry);
     }
-    for (name, kind) in sharded_jobs {
-        let entry = match timed_sharded_aging(&name, kind, &sharded_config, scale.max_age) {
+    for (name, kind, shards, parallelism, age) in sharded_jobs {
+        let entry = match timed_sharded_aging(&name, kind, &config, age, shards, parallelism) {
             Ok(entry) => entry,
             Err(err) => {
                 eprintln!("perf: {name} failed: {err}");

@@ -18,10 +18,10 @@
 use lor_core::lor_disksim::SimDuration;
 use lor_core::{
     calibrate_mixed_load, compare_systems, measure_mixed_load_calibrated, run_aging_experiment,
-    AllocationPolicy, AnatomyReport, ExperimentConfig, Figure, LatencySummary, MaintenanceConfig,
-    MixedLoadPoint, MixedOpenLoop, ObjectKey, ObjectStore, OpenLoop, PlacementPolicy, Series,
-    SizeDistribution, StoreError, StoreKind, StoreServer, Table, TestbedConfig, WorkloadGenerator,
-    WorkloadOp,
+    AllocationPolicy, AnatomyReport, Completion, ExperimentConfig, Figure, FleetParallelism,
+    LatencySummary, MaintenanceConfig, MixedLoadPoint, MixedOpenLoop, ObjectKey, ObjectStore,
+    OpenLoop, PlacementPolicy, Series, SizeDistribution, StoreError, StoreKind, StoreServer, Table,
+    TestbedConfig, WorkloadGenerator, WorkloadOp,
 };
 use lor_shard::{fanout_p99_ms, RouterPolicy, ShardedStore};
 
@@ -42,6 +42,10 @@ pub struct Scale {
     pub max_age: u32,
     /// How many objects to read when measuring read throughput.
     pub read_sample: Option<usize>,
+    /// Largest fleet the shard sweep grows to (the sweep doubles from 2 up
+    /// to this size).  Report and full scale reach the 64-shard fleets the
+    /// scaling story is about; the CI-sized scales stop much earlier.
+    pub max_fleet: u32,
 }
 
 impl Scale {
@@ -52,6 +56,7 @@ impl Scale {
             object_factor: 1.0,
             max_age: 10,
             read_sample: Some(400),
+            max_fleet: 64,
         }
     }
 
@@ -63,6 +68,7 @@ impl Scale {
             object_factor: 1.0,
             max_age: 10,
             read_sample: Some(200),
+            max_fleet: 64,
         }
     }
 
@@ -74,6 +80,7 @@ impl Scale {
             object_factor: 0.25,
             max_age: 4,
             read_sample: Some(32),
+            max_fleet: 16,
         }
     }
 
@@ -84,6 +91,7 @@ impl Scale {
             object_factor: 0.25,
             max_age: 4,
             read_sample: Some(16),
+            max_fleet: 8,
         }
     }
 
@@ -96,7 +104,20 @@ impl Scale {
             object_factor: 0.25,
             max_age: 2,
             read_sample: Some(8),
+            max_fleet: 4,
         }
+    }
+
+    /// Fleet sizes the shard sweep visits: doubling from 2 up to
+    /// [`Scale::max_fleet`] (report scale: 2, 4, 8, 16, 32, 64).
+    pub fn fleet_sizes(&self) -> Vec<u32> {
+        let mut sizes = Vec::new();
+        let mut size = 2u32;
+        while size <= self.max_fleet.max(2) {
+            sizes.push(size);
+            size *= 2;
+        }
+        sizes
     }
 
     fn volume(&self, paper_bytes: u64) -> u64 {
@@ -1462,15 +1483,19 @@ pub fn latency_anatomy_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError>
     Ok(figures)
 }
 
-/// Shard counts the shard-sweep scenario compares.
-const SHARD_SWEEP_COUNTS: [u32; 2] = [2, 4];
-
 /// Fan-out widths the tail-amplification panel sweeps.
 const SHARD_SWEEP_WIDTHS: [usize; 4] = [1, 2, 4, 8];
 
 /// Zipf exponent for the skewed-popularity churn (θ > 1 concentrates the
 /// rewrites on a handful of hot ranks).
 const SHARD_SWEEP_THETA: f64 = 1.1;
+
+/// Worker threads each sweep fleet drains with.  A small fixed pool (rather
+/// than one thread per shard) keeps the thread count bounded when
+/// [`parallel_map`] already runs one fleet per configuration — parallel
+/// execution is bit-identical to serial, so this is purely a wall-clock
+/// knob.
+const SHARD_SWEEP_WORKERS: u32 = 4;
 
 /// An aggregate-rate experiment config for a fleet of `shards` shards.
 ///
@@ -1482,6 +1507,7 @@ fn sharded_config(scale: &Scale, shards: u32, object_bytes: u64) -> ExperimentCo
         .volume(PAPER_VOLUME)
         .max(u64::from(shards) * (24 << 20));
     config_for(scale, object, volume, 0.5)
+        .with_fleet_parallelism(FleetParallelism::Threads(SHARD_SWEEP_WORKERS))
 }
 
 /// One round of Zipfian-popularity churn driven through the fleet at the
@@ -1495,7 +1521,8 @@ fn zipf_churn_round(
     fleet: &mut ShardedStore,
     generator: &mut WorkloadGenerator,
     seed: u64,
-) -> Result<(), StoreError> {
+    rebalance: Option<(u64, u32)>,
+) -> Result<Vec<Completion>, StoreError> {
     let population = generator.live_keys().len();
     let reads = generator.zipf_read_sample(population / 4, SHARD_SWEEP_THETA);
     let mut seen = std::collections::HashSet::new();
@@ -1507,16 +1534,40 @@ fn zipf_churn_round(
             _ => true,
         })
         .collect();
-    fleet.run_mixed_open_loop(
-        reads,
-        writes,
-        MixedOpenLoop {
-            read_ops_per_sec: 20.0,
-            write_ops_per_sec: 80.0,
-            seed,
-        },
-    )?;
-    Ok(())
+    let load = MixedOpenLoop {
+        read_ops_per_sec: 20.0,
+        write_ops_per_sec: 80.0,
+        seed,
+    };
+    match rebalance {
+        // Load-concurrent rebalancing: budgeted slices interleave with the
+        // foreground drainage inside the round itself.
+        Some((budget_bytes, slices)) => {
+            fleet.run_mixed_open_loop_with_rebalance(reads, writes, load, budget_bytes, slices)
+        }
+        None => fleet.run_mixed_open_loop(reads, writes, load),
+    }
+}
+
+/// Client-observed p99 latency (arrival to finish, in milliseconds) of a
+/// completion stream.
+fn foreground_p99_ms(completions: &[Completion]) -> f64 {
+    if completions.is_empty() {
+        return 0.0;
+    }
+    let mut latencies: Vec<f64> = completions
+        .iter()
+        .map(|completion| {
+            completion
+                .finish
+                .saturating_sub(completion.request.arrival)
+                .as_secs_f64()
+                * 1e3
+        })
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let index = ((latencies.len() as f64) * 0.99).ceil() as usize;
+    latencies[index.clamp(1, latencies.len()) - 1]
 }
 
 /// Worst single shard, by fragments per object.
@@ -1528,8 +1579,31 @@ fn worst_shard_fpo(fleet: &ShardedStore) -> f64 {
         .fold(0.0f64, f64::max)
 }
 
+/// Which rebalancing drive a frontier job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RebalanceMode {
+    /// No rebalancing at all.
+    Off,
+    /// Phased: churn first, then drain budgeted rebalance slices while the
+    /// foreground is idle.
+    Phased,
+    /// Load-concurrent: rebalance slices interleave with the foreground
+    /// drainage inside every churn round.
+    Concurrent,
+}
+
+impl RebalanceMode {
+    fn label(self) -> &'static str {
+        match self {
+            RebalanceMode::Off => "rebalance off",
+            RebalanceMode::Phased => "rebalance phased",
+            RebalanceMode::Concurrent => "rebalance concurrent",
+        }
+    }
+}
+
 /// Shard-sweep scenario: what sharding adds to (and subtracts from) the
-/// single-spindle story.  Four figures:
+/// single-spindle story.  Five figures:
 ///
 /// 1. **Fan-out tail amplification** — p99 latency of multi-object reads vs
 ///    fan-out width, per substrate × fleet size.  The offered *group* rate is
@@ -1540,17 +1614,28 @@ fn worst_shard_fpo(fleet: &ShardedStore) -> f64 {
 ///    Hot ranks hammer whichever shards they hashed to, so fragmentation
 ///    accumulates unevenly even though the router splits *keys* evenly.
 /// 3. **Rebalance frontier** (one figure per substrate) — the worst
-///    shard's fragments/object vs fleet size, with the rebalancing drive off
-///    vs on.  Rebalancing migrates fragmented objects off the worst shard
-///    through destination *maintenance* bands (never foreground), pulling
-///    the worst shard back towards the fleet mean.
-pub fn shard_sweep_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
+///    shard's fragments/object vs fleet size ([`Scale::fleet_sizes`], up to
+///    64 shards at report scale), with the rebalancing drive off, phased
+///    (after the churn), and — when `concurrent_rebalance` is set —
+///    interleaved with the live load.  Rebalancing migrates fragmented
+///    objects off the worst shard through destination *maintenance* bands
+///    (never foreground), pulling the worst shard back towards the fleet
+///    mean.
+/// 4. **Foreground p99 under rebalancing** — the price of each drive mode:
+///    client-observed p99 of the final churn round vs fleet size.
+///    Concurrent rebalancing charges migration I/O to the same spindles the
+///    foreground is using; this panel shows what that costs the tail.
+pub fn shard_sweep_figures(
+    scale: &Scale,
+    concurrent_rebalance: bool,
+) -> Result<Vec<Figure>, StoreError> {
     let churn_rounds = scale.max_age.clamp(2, 4);
+    let fleet_sizes = scale.fleet_sizes();
 
     // Panel 1: fan-out tail amplification, one fleet per substrate × size.
     let fanout_jobs: Vec<(StoreKind, u32)> = [StoreKind::Database, StoreKind::Filesystem]
         .iter()
-        .flat_map(|&kind| SHARD_SWEEP_COUNTS.iter().map(move |&shards| (kind, shards)))
+        .flat_map(|&kind| fleet_sizes.iter().map(move |&shards| (kind, shards)))
         .collect();
     let fanout_runs = parallel_map(fanout_jobs, |(kind, shards)| -> Result<_, StoreError> {
         let config = sharded_config(scale, shards, 512 << 10);
@@ -1612,7 +1697,7 @@ pub fn shard_sweep_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
         fleet.load(generator.bulk_load())?;
         let mut points = vec![(0.0, fleet.fragmentation_skew())];
         for round in 1..=churn_rounds {
-            zipf_churn_round(&mut fleet, &mut generator, u64::from(round))?;
+            zipf_churn_round(&mut fleet, &mut generator, u64::from(round), None)?;
             points.push((f64::from(round), fleet.fragmentation_skew()));
         }
         Ok((kind, points))
@@ -1633,20 +1718,30 @@ pub fn shard_sweep_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
             .push(Series::new(kind.label().to_lowercase(), points));
     }
 
-    // Panels 3-4: the rebalance frontier, off vs on, per substrate.
-    let frontier_jobs: Vec<(StoreKind, u32, bool)> = [StoreKind::Database, StoreKind::Filesystem]
-        .iter()
-        .flat_map(|&kind| {
-            SHARD_SWEEP_COUNTS.iter().flat_map(move |&shards| {
-                [false, true]
-                    .iter()
-                    .map(move |&rebalance| (kind, shards, rebalance))
+    // Panels 3-4: the rebalance frontier, per substrate, plus the
+    // foreground-p99 price of each drive mode (panel 5).
+    let mut modes = vec![RebalanceMode::Off, RebalanceMode::Phased];
+    if concurrent_rebalance {
+        modes.push(RebalanceMode::Concurrent);
+    }
+    let frontier_jobs: Vec<(StoreKind, u32, RebalanceMode)> =
+        [StoreKind::Database, StoreKind::Filesystem]
+            .iter()
+            .flat_map(|&kind| {
+                fleet_sizes.iter().flat_map({
+                    let modes = modes.clone();
+                    move |&shards| {
+                        modes
+                            .clone()
+                            .into_iter()
+                            .map(move |mode| (kind, shards, mode))
+                    }
+                })
             })
-        })
-        .collect();
+            .collect();
     let frontier_runs = parallel_map(
         frontier_jobs,
-        |(kind, shards, rebalance)| -> Result<_, StoreError> {
+        |(kind, shards, mode)| -> Result<_, StoreError> {
             let mut config = sharded_config(scale, shards, 1 << 20);
             // Banded placement so destination writes are confined to the
             // maintenance band — migration may be refused, never spilled.
@@ -1659,10 +1754,18 @@ pub fn shard_sweep_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
             )?;
             let mut generator = WorkloadGenerator::new(config.workload());
             fleet.load(generator.bulk_load())?;
+            let concurrent = if mode == RebalanceMode::Concurrent {
+                fleet.enable_rebalancing(MaintenanceConfig::fixed_budget(64))?;
+                Some((16u64 << 20, 4u32))
+            } else {
+                None
+            };
+            let mut last_round = Vec::new();
             for round in 1..=churn_rounds {
-                zipf_churn_round(&mut fleet, &mut generator, u64::from(round))?;
+                last_round =
+                    zipf_churn_round(&mut fleet, &mut generator, u64::from(round), concurrent)?;
             }
-            if rebalance {
+            if mode == RebalanceMode::Phased {
                 fleet.enable_rebalancing(MaintenanceConfig::fixed_budget(64))?;
                 let mut now = fleet.elapsed();
                 for _ in 0..32 {
@@ -1673,7 +1776,13 @@ pub fn shard_sweep_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
                     }
                 }
             }
-            Ok((kind, shards, rebalance, worst_shard_fpo(&fleet)))
+            Ok((
+                kind,
+                shards,
+                mode,
+                worst_shard_fpo(&fleet),
+                foreground_p99_ms(&last_round),
+            ))
         },
     );
     let mut frontier_figures: Vec<Figure> = [StoreKind::Database, StoreKind::Filesystem]
@@ -1683,7 +1792,8 @@ pub fn shard_sweep_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
                 format!("Rebalance frontier ({})", kind.label().to_lowercase()),
                 format!(
                     "{} worst-shard fragments/object vs fleet size after \
-                     Zipfian churn, rebalancing drive off vs on",
+                     Zipfian churn: rebalancing drive off, phased after the \
+                     churn, or interleaved with the live load",
                     kind.label()
                 ),
                 "Shards",
@@ -1691,10 +1801,19 @@ pub fn shard_sweep_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
             )
         })
         .collect();
+    let mut p99_figure = Figure::new(
+        "Rebalance foreground impact",
+        "Client-observed p99 of the final Zipfian churn round vs fleet \
+         size, per rebalancing drive mode (concurrent rebalancing charges \
+         migration I/O to the spindles the foreground is using)",
+        "Shards",
+        "Foreground p99 (ms)",
+    );
     let mut frontier: std::collections::BTreeMap<(usize, &'static str), Vec<(f64, f64)>> =
         Default::default();
+    let mut p99_series: std::collections::BTreeMap<String, Vec<(f64, f64)>> = Default::default();
     for run in frontier_runs {
-        let (kind, shards, rebalance, worst) = run?;
+        let (kind, shards, mode, worst, p99) = run?;
         let offset = match kind {
             StoreKind::Database => 0usize,
             StoreKind::Filesystem => 1,
@@ -1702,15 +1821,14 @@ pub fn shard_sweep_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
                 unreachable!("the shard sweep drives only the paper's two substrates")
             }
         };
-        let label = if rebalance {
-            "rebalance on"
-        } else {
-            "rebalance off"
-        };
         frontier
-            .entry((offset, label))
+            .entry((offset, mode.label()))
             .or_default()
             .push((f64::from(shards), worst));
+        p99_series
+            .entry(format!("{} {}", kind.label().to_lowercase(), mode.label()))
+            .or_default()
+            .push((f64::from(shards), p99));
     }
     for ((offset, label), mut points) in frontier {
         points.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
@@ -1718,9 +1836,14 @@ pub fn shard_sweep_figures(scale: &Scale) -> Result<Vec<Figure>, StoreError> {
             .series
             .push(Series::new(label, points));
     }
+    for (label, mut points) in p99_series {
+        points.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+        p99_figure.series.push(Series::new(label, points));
+    }
 
     let mut figures = vec![fanout_figure, skew_figure];
     figures.extend(frontier_figures);
+    figures.push(p99_figure);
     Ok(figures)
 }
 
@@ -1738,6 +1861,12 @@ mod tests {
         assert_eq!(report.volume(PAPER_VOLUME), 4_000_000_000);
         assert!(Scale::bench().volume(PAPER_VOLUME) < report.volume(PAPER_VOLUME));
         assert!(Scale::test().object(256 << 10) >= 64 << 10);
+        // The scaling story needs the big fleets at report scale, while the
+        // CI-sized scales stay small.
+        assert_eq!(report.fleet_sizes(), vec![2, 4, 8, 16, 32, 64]);
+        assert_eq!(Scale::full().fleet_sizes(), vec![2, 4, 8, 16, 32, 64]);
+        assert_eq!(Scale::smoke().fleet_sizes(), vec![2, 4]);
+        assert_eq!(Scale::test().fleet_sizes(), vec![2, 4, 8]);
     }
 
     #[test]
@@ -2051,13 +2180,18 @@ mod tests {
     #[test]
     fn shard_sweep_covers_widths_fleet_sizes_and_rebalance_modes() {
         let scale = Scale::smoke();
-        let figures = shard_sweep_figures(&scale).unwrap();
-        assert_eq!(figures.len(), 4, "fan-out, skew, and two frontier figures");
+        let figures = shard_sweep_figures(&scale, true).unwrap();
+        assert_eq!(
+            figures.len(),
+            5,
+            "fan-out, skew, two frontier figures, and the foreground-p99 panel"
+        );
+        let fleet_sizes = scale.fleet_sizes();
 
         let fanout = &figures[0];
         assert_eq!(
             fanout.series.len(),
-            2 * SHARD_SWEEP_COUNTS.len(),
+            2 * fleet_sizes.len(),
             "one fan-out series per substrate and fleet size"
         );
         for series in &fanout.series {
@@ -2086,9 +2220,13 @@ mod tests {
             );
         }
 
-        for (figure, kind) in figures[2..].iter().zip(["database", "filesystem"]) {
+        for (figure, kind) in figures[2..4].iter().zip(["database", "filesystem"]) {
             assert!(figure.title.to_lowercase().contains(kind));
-            assert_eq!(figure.series.len(), 2, "rebalance off and on");
+            assert_eq!(
+                figure.series.len(),
+                3,
+                "rebalance off, phased, and concurrent"
+            );
             let by_label = |label: &str| {
                 figure
                     .series
@@ -2097,16 +2235,49 @@ mod tests {
                     .unwrap_or_else(|| panic!("missing series {label}"))
             };
             let off = by_label("rebalance off");
-            let on = by_label("rebalance on");
-            assert_eq!(off.points.len(), SHARD_SWEEP_COUNTS.len());
-            assert_eq!(on.points.len(), SHARD_SWEEP_COUNTS.len());
-            for ((shards, off_fpo), (_, on_fpo)) in off.points.iter().zip(&on.points) {
+            let phased = by_label("rebalance phased");
+            let concurrent = by_label("rebalance concurrent");
+            assert_eq!(off.points.len(), fleet_sizes.len());
+            assert_eq!(phased.points.len(), fleet_sizes.len());
+            assert_eq!(concurrent.points.len(), fleet_sizes.len());
+            for ((shards, off_fpo), (_, phased_fpo)) in off.points.iter().zip(&phased.points) {
                 assert!(
-                    on_fpo <= off_fpo,
+                    phased_fpo <= off_fpo,
                     "{kind}, {shards} shards: rebalancing left the worst shard \
-                     worse off ({off_fpo:.3} -> {on_fpo:.3})"
+                     worse off ({off_fpo:.3} -> {phased_fpo:.3})"
                 );
             }
+            assert!(
+                concurrent.points.iter().all(|(_, fpo)| *fpo >= 1.0),
+                "{kind}: concurrent-rebalance fpo must stay physical"
+            );
         }
+
+        let p99 = &figures[4];
+        assert_eq!(
+            p99.series.len(),
+            2 * 3,
+            "one foreground-p99 series per substrate and rebalance mode"
+        );
+        for series in &p99.series {
+            assert_eq!(series.points.len(), fleet_sizes.len());
+            assert!(
+                series.points.iter().all(|(_, ms)| *ms > 0.0),
+                "{}: the final churn round always completes work",
+                series.label
+            );
+        }
+
+        // The smoke sweep only visits the two-mode frontier in CI fashion:
+        // without the flag, the concurrent series (and its p99 series) are
+        // absent but everything else is unchanged.
+        let without = shard_sweep_figures(&scale, false).unwrap();
+        assert_eq!(without.len(), 5);
+        assert!(without[2..4].iter().all(|figure| figure.series.len() == 2
+            && figure
+                .series
+                .iter()
+                .all(|s| s.label != "rebalance concurrent")));
+        assert_eq!(without[4].series.len(), 4);
     }
 }

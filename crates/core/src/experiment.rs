@@ -86,6 +86,69 @@ impl TestbedConfig {
     }
 }
 
+/// How a sharded fleet drains its per-shard sub-streams.
+///
+/// Every shard owns an independent simulated spindle, so the shards of a
+/// fleet can be drained on separate worker threads without changing any
+/// simulated outcome: the partitioning, the per-shard `SimClock`s, and
+/// the `(arrival, client)` completion merge are all deterministic.  This
+/// knob therefore only chooses how much *wall-clock* parallelism the
+/// fleet uses — results are bit-identical across all settings (a
+/// property `lor-shard` pins with proptests and e2e tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FleetParallelism {
+    /// Drain shards one after another on the calling thread.  The
+    /// reference path: CI pins it for the perf baseline and forces it on
+    /// the shard e2e suite via `LOR_FLEET_PARALLELISM=serial`.
+    Serial,
+    /// Drain shards on `n` worker threads (`n >= 1`).  When `n` is below
+    /// the shard count the workers steal whole shard queues from a
+    /// shared list; when it is at or above, each shard gets its own
+    /// thread.
+    Threads(u32),
+}
+
+impl FleetParallelism {
+    /// One worker per available core — the right default for benches and
+    /// figure sweeps, where only wall-clock time depends on the choice.
+    pub fn auto() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(1);
+        FleetParallelism::Threads(cores)
+    }
+
+    /// Applies the `LOR_FLEET_PARALLELISM` environment override
+    /// (`serial` or a worker count), letting CI pin either mode without
+    /// touching the configs baked into tests and benches.
+    pub fn resolved(self) -> Self {
+        match std::env::var("LOR_FLEET_PARALLELISM") {
+            Ok(value) if value.eq_ignore_ascii_case("serial") => FleetParallelism::Serial,
+            Ok(value) => match value.parse::<u32>() {
+                Ok(n) if n >= 1 => FleetParallelism::Threads(n),
+                _ => self,
+            },
+            Err(_) => self,
+        }
+    }
+
+    /// Number of worker threads a fleet of `shards` shards would use.
+    pub fn workers(self, shards: usize) -> usize {
+        match self {
+            FleetParallelism::Serial => 1,
+            FleetParallelism::Threads(n) => (n as usize).max(1).min(shards.max(1)),
+        }
+    }
+
+    /// Human-readable form for logs and figure labels.
+    pub fn label(self) -> String {
+        match self {
+            FleetParallelism::Serial => "serial".into(),
+            FleetParallelism::Threads(n) => format!("threads({n})"),
+        }
+    }
+}
+
 /// Parameters shared by every experiment run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -135,6 +198,11 @@ pub struct ExperimentConfig {
     /// defragmentation to the `lor-maint` scheduler under the configured
     /// latency-vs-throughput policy.
     pub maintenance: Option<MaintenanceConfig>,
+    /// How a sharded fleet (`lor-shard`) drains its shards: serially on
+    /// the calling thread or on worker threads.  Simulated results are
+    /// bit-identical either way; only wall-clock time changes.  Ignored
+    /// by single-store experiments.
+    pub fleet_parallelism: FleetParallelism,
 }
 
 impl ExperimentConfig {
@@ -154,7 +222,14 @@ impl ExperimentConfig {
             allocation_policy: AllocationPolicy::Native,
             placement: PlacementPolicy::Unrestricted,
             maintenance: None,
+            fleet_parallelism: FleetParallelism::Serial,
         }
+    }
+
+    /// Overrides how a sharded fleet drains its shards.
+    pub fn with_fleet_parallelism(mut self, parallelism: FleetParallelism) -> Self {
+        self.fleet_parallelism = parallelism;
+        self
     }
 
     /// Overrides the allocation policy applied by both substrates.
@@ -270,6 +345,11 @@ impl ExperimentConfig {
         if self.concurrency == 0 {
             return Err(StoreError::BadConfig(
                 "concurrency must be at least 1".into(),
+            ));
+        }
+        if self.fleet_parallelism == FleetParallelism::Threads(0) {
+            return Err(StoreError::BadConfig(
+                "fleet parallelism needs at least one worker thread".into(),
             ));
         }
         if !self.think_time_ms.is_finite() || self.think_time_ms < 0.0 {
@@ -758,6 +838,7 @@ mod tests {
             allocation_policy: AllocationPolicy::Native,
             placement: PlacementPolicy::Unrestricted,
             maintenance: None,
+            fleet_parallelism: FleetParallelism::Serial,
         }
     }
 

@@ -224,7 +224,14 @@ impl ObjectStore for FsObjectStore {
                 .cost
                 .fs_write_host_time(self.write_requests_for(receipt.bytes_written));
             self.charge(disk_time, host_time);
-            let fragments = self.volume.file(receipt.file_id)?.fragment_count() as u64;
+            // When one batch names the same key twice, the later duplicate's
+            // commit replaces (and removes) the earlier item's just-committed
+            // file — last writer wins.  The earlier write still hit the disk,
+            // so count the fragments it physically produced.
+            let fragments = match self.volume.file(receipt.file_id) {
+                Ok(record) => record.fragment_count() as u64,
+                Err(_) => request.coalesced().fragment_count() as u64,
+            };
             let receipt = OpReceipt {
                 payload_bytes: receipt.bytes_written,
                 transferred_bytes: transferred,
@@ -418,6 +425,31 @@ mod tests {
         store.delete("a").unwrap();
         assert!(!store.contains("a"));
         assert!(store.get("a").is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_in_one_batch_degenerate_to_last_writer_wins() {
+        let mut store = store();
+        store.put("a", MB).unwrap();
+        store.put("b", MB).unwrap();
+        // The volume commits duplicates sequentially (last writer wins), so
+        // the first "a" receipt names a file the second "a" already replaced;
+        // the store must still produce a receipt for the I/O it performed.
+        let receipts = store
+            .safe_write_batch(&[
+                ("a".to_string(), MB),
+                ("b".to_string(), 2 * MB),
+                ("a".to_string(), 3 * MB),
+            ])
+            .unwrap();
+        assert_eq!(receipts.len(), 3);
+        for receipt in &receipts {
+            assert!(receipt.fragments >= 1);
+            assert!(receipt.transferred_bytes >= receipt.payload_bytes);
+        }
+        assert_eq!(store.size_of("a").unwrap(), 3 * MB);
+        assert_eq!(store.size_of("b").unwrap(), 2 * MB);
+        assert_eq!(store.object_count(), 2);
     }
 
     #[test]

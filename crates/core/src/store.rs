@@ -166,7 +166,12 @@ impl CostModel {
 /// All mutating operations are charged to the store's internal clock; the
 /// experiment harness resets the clock around each measurement phase and
 /// computes throughput as payload bytes divided by elapsed clock time.
-pub trait ObjectStore {
+///
+/// Stores are `Send` so a sharded fleet can drain each shard's
+/// sub-stream on its own worker thread (`lor-shard`'s parallel
+/// execution); each store is still driven by exactly one thread at a
+/// time — nothing here is `Sync`.
+pub trait ObjectStore: Send {
     /// Which system backs this store.
     fn kind(&self) -> StoreKind;
 

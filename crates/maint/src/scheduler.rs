@@ -605,7 +605,7 @@ mod tests {
     fn custom_task_queues_are_respected() {
         struct CountingTask {
             kind: TaskKind,
-            runs: std::rc::Rc<std::cell::Cell<u64>>,
+            runs: std::sync::Arc<std::sync::atomic::AtomicU64>,
         }
         impl MaintenanceTask for CountingTask {
             fn kind(&self) -> TaskKind {
@@ -615,11 +615,11 @@ mod tests {
                 true
             }
             fn run(&mut self, _target: &mut dyn MaintTarget, budget: u64) -> MaintIo {
-                self.runs.set(self.runs.get() + 1);
+                self.runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 MaintIo::new(budget, SimDuration::from_micros(10))
             }
         }
-        let runs = std::rc::Rc::new(std::cell::Cell::new(0));
+        let runs = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         let mut scheduler = MaintenanceScheduler::with_tasks(
             MaintenanceConfig::fixed_budget(1),
             vec![Box::new(CountingTask {
@@ -629,7 +629,7 @@ mod tests {
         );
         let mut store = FakeStore::new();
         drive(&mut scheduler, &mut store, 16);
-        assert_eq!(runs.get(), 2);
+        assert_eq!(runs.load(std::sync::atomic::Ordering::Relaxed), 2);
         assert_eq!(scheduler.stats().task(TaskKind::Defrag).runs, 2);
         assert_eq!(scheduler.stats().task(TaskKind::Checkpoint).runs, 0);
         assert!(format!("{scheduler:?}").contains("Defrag"));

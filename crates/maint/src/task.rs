@@ -155,7 +155,11 @@ impl TaskKind {
 ///
 /// Tasks are consulted every tick (in queue order) once the policy has
 /// granted the tick a budget; a task runs only if it reports itself due.
-pub trait MaintenanceTask {
+///
+/// `Send` so a store owning a scheduler can move between worker threads
+/// (the sharded fleet's parallel drain); the scheduler itself is still
+/// driven by one thread at a time.
+pub trait MaintenanceTask: Send {
     /// Which duty this task performs.
     fn kind(&self) -> TaskKind;
 

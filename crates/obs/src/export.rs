@@ -67,6 +67,16 @@ impl TraceRecorder {
             .collect()
     }
 
+    /// Removes and returns everything recorded so far (spans and metric
+    /// samples, each oldest first), leaving the ring empty but the drop
+    /// counters untouched.
+    pub fn take_records(&mut self) -> (Vec<SpanRecord>, Vec<MetricSample>) {
+        (
+            self.spans.drain(..).collect(),
+            self.metrics.drain(..).collect(),
+        )
+    }
+
     /// Exports the recording as a Chrome trace-event JSON document.
     pub fn to_chrome_json(&self) -> String {
         // Sort by start time; longer spans first on ties so a batch

@@ -25,9 +25,14 @@
 //! [`validate_chrome_trace`] checks an exported document the way CI does:
 //! it parses, per-track timestamps are monotone, and spans nest.
 //!
-//! `Obs` clones share one recorder through `Rc`, matching the workspace's
-//! single-threaded discrete-event simulators; handles are created inside
-//! whatever thread runs the simulation (they are intentionally `!Send`).
+//! `Obs` clones share one recorder through `Arc`, so a handle may cross
+//! thread boundaries: `lor-shard`'s parallel fleet drains each shard's
+//! sub-stream on its own worker thread, each with a private per-shard
+//! recorder, and splices the per-shard records into one fleet
+//! [`TraceHandle`] in deterministic shard order afterwards (see
+//! [`Obs::record_span`] / [`TraceHandle::drain`]).  Each simulated
+//! timeline is still single-threaded; the lock never contends on the
+//! hot path because every worker records into its own recorder.
 
 mod export;
 mod validate;
@@ -35,8 +40,13 @@ mod validate;
 pub use export::TraceRecorder;
 pub use validate::{validate_chrome_trace, TraceCheck};
 
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Message for the unreachable poisoning case: recorders only store
+/// plain data, so a panic while the lock is held means a caller's
+/// closure panicked — at that point the trace is unusable anyway.
+const LOCK_MSG: &str = "obs recorder lock poisoned";
 
 /// Logical timeline a span belongs to.  Each track maps to one `tid` in
 /// the Chrome trace so Perfetto renders them as separate rows.
@@ -202,8 +212,8 @@ impl Recorder for NullRecorder {
 /// without their own global clock (the disk model's per-request trace
 /// cursor) can align their spans with the server timeline.
 struct Shared<R: ?Sized + Recorder> {
-    now_ns: Cell<u64>,
-    recorder: RefCell<R>,
+    now_ns: AtomicU64,
+    recorder: Mutex<R>,
 }
 
 /// Cheap, clonable handle threaded through every instrumented layer.
@@ -212,7 +222,7 @@ struct Shared<R: ?Sized + Recorder> {
 /// every method returns immediately; an enabled handle shares one
 /// recorder across all clones.
 pub struct Obs {
-    inner: Option<Rc<Shared<dyn Recorder>>>,
+    inner: Option<Arc<Shared<dyn Recorder + Send>>>,
 }
 
 impl Clone for Obs {
@@ -249,12 +259,12 @@ impl Obs {
     /// samples).  Returns the handle to thread through the stack and a
     /// [`TraceHandle`] for reading the recording back out.
     pub fn trace(capacity: usize) -> (Obs, TraceHandle) {
-        let shared: Rc<Shared<TraceRecorder>> = Rc::new(Shared {
-            now_ns: Cell::new(0),
-            recorder: RefCell::new(TraceRecorder::new(capacity)),
+        let shared: Arc<Shared<TraceRecorder>> = Arc::new(Shared {
+            now_ns: AtomicU64::new(0),
+            recorder: Mutex::new(TraceRecorder::new(capacity)),
         });
         let obs = Obs {
-            inner: Some(shared.clone() as Rc<Shared<dyn Recorder>>),
+            inner: Some(shared.clone() as Arc<Shared<dyn Recorder + Send>>),
         };
         (obs, TraceHandle { shared })
     }
@@ -270,13 +280,15 @@ impl Obs {
     /// align their spans.  No-op when disabled.
     pub fn set_now(&self, ns: u64) {
         if let Some(inner) = &self.inner {
-            inner.now_ns.set(ns);
+            inner.now_ns.store(ns, Ordering::Relaxed);
         }
     }
 
     /// Last published simulated time, or 0 when disabled / never set.
     pub fn now_hint(&self) -> u64 {
-        self.inner.as_ref().map_or(0, |inner| inner.now_ns.get())
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.now_ns.load(Ordering::Relaxed))
     }
 
     /// Records a closed span.  `args` is only copied when a recorder is
@@ -291,13 +303,34 @@ impl Obs {
         args: &[(&'static str, ArgValue)],
     ) {
         if let Some(inner) = &self.inner {
-            inner.recorder.borrow_mut().record_span(SpanRecord {
-                track,
-                name,
-                start_ns,
-                dur_ns,
-                args: args.to_vec(),
-            });
+            inner
+                .recorder
+                .lock()
+                .expect(LOCK_MSG)
+                .record_span(SpanRecord {
+                    track,
+                    name,
+                    start_ns,
+                    dur_ns,
+                    args: args.to_vec(),
+                });
+        }
+    }
+
+    /// Records an already-built span verbatim.  Used when splicing the
+    /// contents of one recorder into another (e.g. per-shard recorders
+    /// merged into a fleet trace); `Obs::span` is the ergonomic path for
+    /// instrumentation sites.
+    pub fn record_span(&self, span: SpanRecord) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.lock().expect(LOCK_MSG).record_span(span);
+        }
+    }
+
+    /// Records an already-built metric sample verbatim (splice path).
+    pub fn record_metric(&self, sample: MetricSample) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.lock().expect(LOCK_MSG).record_metric(sample);
         }
     }
 
@@ -313,19 +346,23 @@ impl Obs {
 
     fn metric(&self, name: &'static str, at_ns: u64, value: f64, kind: MetricKind) {
         if let Some(inner) = &self.inner {
-            inner.recorder.borrow_mut().record_metric(MetricSample {
-                name,
-                at_ns,
-                value,
-                kind,
-            });
+            inner
+                .recorder
+                .lock()
+                .expect(LOCK_MSG)
+                .record_metric(MetricSample {
+                    name,
+                    at_ns,
+                    value,
+                    kind,
+                });
         }
     }
 }
 
 /// Read side of a tracing session created by [`Obs::trace`].
 pub struct TraceHandle {
-    shared: Rc<Shared<TraceRecorder>>,
+    shared: Arc<Shared<TraceRecorder>>,
 }
 
 impl TraceHandle {
@@ -333,7 +370,14 @@ impl TraceHandle {
     /// re-entrantly from inside a recording callback (which the
     /// instrumentation never does).
     pub fn with<T>(&self, f: impl FnOnce(&TraceRecorder) -> T) -> T {
-        f(&self.shared.recorder.borrow())
+        f(&self.shared.recorder.lock().expect(LOCK_MSG))
+    }
+
+    /// Removes and returns everything recorded so far (spans and metric
+    /// samples, each oldest first), leaving the ring empty.  The fleet
+    /// uses this to splice per-shard recordings into one trace.
+    pub fn drain(&self) -> (Vec<SpanRecord>, Vec<MetricSample>) {
+        self.shared.recorder.lock().expect(LOCK_MSG).take_records()
     }
 
     /// Number of spans currently retained in the ring.
@@ -427,6 +471,35 @@ mod tests {
         assert_eq!(Track::Shard(40).name(), "shard-n");
         assert_eq!(Track::Shard(40).tid(), 56);
         assert_ne!(Track::Shard(0).tid(), Track::Maintenance.tid());
+    }
+
+    #[test]
+    fn handles_are_send_and_records_splice_across_handles() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Obs>();
+        assert_send::<TraceHandle>();
+
+        // Record on a worker-local recorder, then splice into a fleet one.
+        let (local_obs, local_trace) = Obs::trace(16);
+        let worker = std::thread::spawn(move || {
+            local_obs.span(Track::Shard(2), "request", 10, 5, &[]);
+            local_obs.gauge("g", 15, 1.0);
+            local_obs
+        });
+        worker.join().unwrap();
+        let (spans, metrics) = local_trace.drain();
+        assert_eq!((spans.len(), metrics.len()), (1, 1));
+        assert_eq!(local_trace.span_count(), 0);
+
+        let (fleet_obs, fleet_trace) = Obs::trace(16);
+        for span in spans {
+            fleet_obs.record_span(span);
+        }
+        for sample in metrics {
+            fleet_obs.record_metric(sample);
+        }
+        assert_eq!(fleet_trace.span_count(), 1);
+        assert_eq!(fleet_trace.metric_series("g"), vec![(15, 1.0)]);
     }
 
     #[test]

@@ -17,12 +17,32 @@
 //!   a hot large-object prefix cannot pile onto one spindle.  Routing is
 //!   pure arithmetic over the key — bit-identical across runs — so sharded
 //!   arrival streams stay seed-stable.
+//!   The frag-aware variant walks the ring past shards whose
+//!   fragments/object sits well above the fleet mean (snapshot published
+//!   via [`Router::set_fragmentation`]), steering new writes away from the
+//!   shards the rebalancer is draining.
 //! * **Aggregate load splitting** — workloads are generated *once* at the
 //!   aggregate offered rate ([`ShardedStore::run_open_loop`],
 //!   [`ShardedStore::run_mixed_open_loop`]) and partitioned across shards,
 //!   which makes a fleet of one bit-identical to a bare
 //!   [`lor_core::StoreServer`] (the degenerate-equivalence e2e test) and
 //!   keeps the offered pattern independent of the shard count.
+//! * **Parallel execution** — because the shards are independent (own
+//!   drives, own clocks, no shared state below the router), every fleet
+//!   entry point drains per-shard sub-streams either serially or on a
+//!   scoped worker pool ([`lor_core::FleetParallelism`], work-stealing when
+//!   workers < shards), with **bit-identical** results either way:
+//!   partitioning precedes the threads, each shard advances its own clock,
+//!   and completions merge deterministically by `(arrival, client)` after
+//!   the join.  A proptest pins serial ≡ parallel ≡ repeated-parallel for
+//!   all three substrates; `LOR_FLEET_PARALLELISM` overrides the config at
+//!   runtime (CI forces the serial reference drain through it).
+//! * **Load-concurrent rebalancing** —
+//!   [`ShardedStore::run_mixed_open_loop_with_rebalance`] interleaves
+//!   budgeted rebalance slices *inside* a measurement interval (the
+//!   schedule is cut into arrival-time windows, one slice after each), so
+//!   migration I/O competes with the foreground on the same spindles
+//!   instead of running only between phases.
 //! * **Fan-out reads** ([`ShardedStore::run_fanout_reads`],
 //!   [`FanoutCompletion`]) — a multi-object read issues its sub-reads at one
 //!   instant and completes when the slowest shard does; per-shard parts are

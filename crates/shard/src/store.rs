@@ -10,17 +10,28 @@
 //! count, only its split does.  A fleet of one shard is therefore
 //! bit-identical to a bare [`StoreServer`] over the same store (asserted by
 //! the end-to-end tests).
+//!
+//! Execution is parallel by choice, never by observable effect: under
+//! [`FleetParallelism::Threads`] the partitioned sub-streams drain on
+//! worker threads that steal whole shard queues, and because each shard's
+//! simulated clock is independent, the partitioning is done up front, and
+//! completions merge by `(arrival, client)`, every mode — serial, one
+//! thread per shard, or a smaller stealing pool — produces bit-identical
+//! results (pinned by proptests and e2e tests on all three substrates).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use lor_alloc::{FragmentationSummary, PlacementPolicy};
 use lor_core::{
-    ClientId, Completion, ExperimentConfig, MixedOpenLoop, ObjectKey, ObjectStore, OpenLoop,
-    QueueStats, StoreError, StoreKind, StoreRequest, StoreServer, WorkloadOp,
+    ClientId, Completion, ExperimentConfig, FleetParallelism, MixedOpenLoop, ObjectKey,
+    ObjectStore, OpenLoop, QueueStats, StoreError, StoreKind, StoreRequest, StoreServer,
+    WorkloadOp,
 };
 use lor_disksim::SimDuration;
 use lor_maint::{MaintIo, MaintenanceConfig, MaintenanceScheduler, MaintenanceStats};
-use lor_obs::{Obs, Track};
+use lor_obs::{MetricSample, Obs, SpanRecord, Track};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -59,14 +70,160 @@ const GAUGE_QUEUE: [&str; 16] = shard_gauge_names!("queue.mean_depth");
 const GAUGE_BAND_FG: [&str; 16] = shard_gauge_names!("band.foreground_used");
 const GAUGE_BAND_MAINT: [&str; 16] = shard_gauge_names!("band.maintenance_used");
 
+/// The directory lock only poisons if a worker panicked mid-run, at which
+/// point the simulation is already lost.
+const DIRECTORY_MSG: &str = "shard directory lock poisoned";
+
+/// Per-shard recorder ring size used while draining one interval.  Each
+/// shard's spans are spliced into the fleet recorder afterwards, which
+/// applies its own (caller-chosen) bound.
+const PER_SHARD_TRACE_CAPACITY: usize = 4096;
+
+/// How a drained sub-stream drives its shard's server.
+#[derive(Clone, Copy)]
+enum DrainMode {
+    /// `StoreServer::run_schedule` over the partitioned arrival stream.
+    Schedule,
+    /// `StoreServer::run_closed_loop` with one zero-think client — the
+    /// bulk-load path, bit-identical to a bare serial harness.
+    BulkLoad,
+}
+
+/// What draining one shard's sub-stream produced.
+struct ShardRun {
+    completions: Vec<Completion>,
+    queue: QueueStats,
+    end: SimDuration,
+    /// Per-shard recorder contents (server-local timestamps), spliced
+    /// into the fleet trace by the coordinator.
+    spans: Vec<SpanRecord>,
+    metrics: Vec<MetricSample>,
+}
+
+/// Drives one shard's sub-stream on the calling thread.  With
+/// `collect_spans`, the shard's server records into a private per-shard
+/// recorder whose contents are returned for splicing; the recorder is
+/// detached again before returning so the store never outlives an
+/// interval holding a stale handle.
+fn drain_shard(
+    store: &mut Box<dyn ObjectStore>,
+    stream: Vec<StoreRequest>,
+    collect_spans: bool,
+    mode: DrainMode,
+) -> Result<ShardRun, StoreError> {
+    let local = collect_spans.then(|| Obs::trace(PER_SHARD_TRACE_CAPACITY));
+    let outcome = {
+        let mut server = StoreServer::new(store.as_mut());
+        if let Some((obs, _)) = &local {
+            server.set_obs(obs.clone(), SimDuration::ZERO);
+        }
+        let run = match mode {
+            DrainMode::Schedule => server.run_schedule(stream),
+            DrainMode::BulkLoad => {
+                let ops: Vec<WorkloadOp> = stream.into_iter().map(|request| request.op).collect();
+                server.run_closed_loop(ops, 1, SimDuration::ZERO)
+            }
+        };
+        run.map(|completions| (completions, server.queue_stats(), server.now()))
+    };
+    if local.is_some() {
+        store.set_obs(Obs::null());
+    }
+    let (completions, queue, end) = outcome?;
+    let (spans, metrics) = match &local {
+        Some((_, trace)) => trace.drain(),
+        None => (Vec::new(), Vec::new()),
+    };
+    Ok(ShardRun {
+        completions,
+        queue,
+        end,
+        spans,
+        metrics,
+    })
+}
+
+/// Drains every non-empty sub-stream, serially or on worker threads.
+///
+/// Returns one slot per shard (`None` for empty streams), always in shard
+/// order.  The parallel path steals whole shard queues: workers claim the
+/// next undrained shard from a shared counter, so `Threads(n)` with `n`
+/// below the shard count keeps every worker busy while preserving the
+/// one-thread-per-shard-at-a-time invariant each store requires.  Because
+/// partitioning, per-shard clocks, and the post-run merge are all
+/// deterministic, every mode produces bit-identical results.
+fn drain_streams(
+    shards: &mut [Box<dyn ObjectStore>],
+    streams: Vec<Vec<StoreRequest>>,
+    parallelism: FleetParallelism,
+    collect_spans: bool,
+    mode: DrainMode,
+) -> Vec<Option<Result<ShardRun, StoreError>>> {
+    let mut slots: Vec<Option<Result<ShardRun, StoreError>>> =
+        (0..shards.len()).map(|_| None).collect();
+    let jobs: Vec<(usize, &mut Box<dyn ObjectStore>, Vec<StoreRequest>)> = shards
+        .iter_mut()
+        .zip(streams)
+        .enumerate()
+        .filter(|(_, (_, stream))| !stream.is_empty())
+        .map(|(index, (store, stream))| (index, store, stream))
+        .collect();
+    let workers = parallelism.workers(jobs.len());
+    if workers <= 1 || jobs.len() <= 1 {
+        for (index, store, stream) in jobs {
+            slots[index] = Some(drain_shard(store, stream, collect_spans, mode));
+        }
+        return slots;
+    }
+
+    type Job<'a> = (usize, &'a mut Box<dyn ObjectStore>, Vec<StoreRequest>);
+    type ResultSlot = Mutex<Option<(usize, Result<ShardRun, StoreError>)>>;
+    let queue: Vec<Mutex<Option<Job<'_>>>> =
+        jobs.into_iter().map(|job| Mutex::new(Some(job))).collect();
+    let results: Vec<ResultSlot> = (0..queue.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let slot = next.fetch_add(1, Ordering::Relaxed);
+                if slot >= queue.len() {
+                    break;
+                }
+                let (index, store, stream) = queue[slot]
+                    .lock()
+                    .expect("shard job lock poisoned")
+                    .take()
+                    .expect("each shard job is claimed exactly once");
+                let outcome = drain_shard(store, stream, collect_spans, mode);
+                *results[slot].lock().expect("shard result lock poisoned") = Some((index, outcome));
+            });
+        }
+    });
+    for cell in results {
+        let (index, outcome) = cell
+            .into_inner()
+            .expect("shard result lock poisoned")
+            .expect("every claimed job stores a result");
+        slots[index] = Some(outcome);
+    }
+    slots
+}
+
 /// A fleet of independent shards behind a deterministic router.
 pub struct ShardedStore {
     shards: Vec<Box<dyn ObjectStore>>,
     router: Router,
     /// Where every live object actually is.  The router decides where *new*
     /// objects land; rebalancing may move them afterwards, and reads and
-    /// deletes always follow the directory.
-    directory: HashMap<ObjectKey, u32>,
+    /// deletes always follow the directory.  The mutex serializes the two
+    /// writers that may interleave within one measurement interval —
+    /// foreground partitioning and cross-shard migration — so a rebalance
+    /// slice can never observe (or publish) a half-applied move while
+    /// worker threads are in flight.
+    directory: Mutex<HashMap<ObjectKey, u32>>,
+    /// How sub-streams are drained: serially or on worker threads.
+    /// Simulated results are bit-identical either way.
+    parallelism: FleetParallelism,
     /// Placement policy the per-shard substrates were built with (reported
     /// by the rebalance target so the fleet scheduler knows the variant).
     placement: PlacementPolicy,
@@ -103,7 +260,8 @@ impl ShardedStore {
         Ok(ShardedStore {
             shards: stores,
             router: Router::new(policy, shards),
-            directory: HashMap::new(),
+            directory: Mutex::new(HashMap::new()),
+            parallelism: config.fleet_parallelism.resolved(),
             placement: config.placement,
             rebalance: None,
             rebalance_state: RebalanceState::default(),
@@ -134,6 +292,18 @@ impl ShardedStore {
         self.obs = obs;
     }
 
+    /// Overrides how the fleet drains its shards (the config's
+    /// `fleet_parallelism`, as resolved against the environment, applies
+    /// by default).  Simulated results are bit-identical in every mode.
+    pub fn set_parallelism(&mut self, parallelism: FleetParallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// How the fleet currently drains its shards.
+    pub fn parallelism(&self) -> FleetParallelism {
+        self.parallelism
+    }
+
     /// Number of shards in the fleet.
     pub fn shard_count(&self) -> u32 {
         self.shards.len() as u32
@@ -156,7 +326,11 @@ impl ShardedStore {
 
     /// The shard currently holding `key`, if any.
     pub fn locate(&self, key: ObjectKey) -> Option<u32> {
-        self.directory.get(&key).copied()
+        self.directory
+            .lock()
+            .expect(DIRECTORY_MSG)
+            .get(&key)
+            .copied()
     }
 
     /// Queue statistics of each shard's most recent run.
@@ -233,47 +407,90 @@ impl ShardedStore {
 
     /// Routes one request, updating the directory: puts claim their routed
     /// shard, deletes release it, reads and safe writes follow the object.
-    fn route_request(&mut self, op: &WorkloadOp) -> u32 {
+    ///
+    /// A `Get`/`Delete` of a key the directory has never seen is a typed
+    /// miss (`StoreError::NoSuchObject`): re-deriving a shard from the
+    /// router would need the object's size, which a read cannot know, so
+    /// under `RouterPolicy::SizeAware` the `size: 0` guess could disagree
+    /// with the salted arm the object would actually have been written
+    /// to.  Every shard would report the same miss — the fleet just says
+    /// so up front without burning a request slot.
+    fn route_request(
+        router: &Router,
+        directory: &mut HashMap<ObjectKey, u32>,
+        op: &WorkloadOp,
+    ) -> Result<u32, StoreError> {
+        let miss = |key: ObjectKey| StoreError::NoSuchObject(key.to_string());
         match *op {
             WorkloadOp::Put { key, size } => {
-                let shard = self.router.route(key, size);
-                self.directory.insert(key, shard);
-                shard
+                let shard = router.route(key, size);
+                directory.insert(key, shard);
+                Ok(shard)
             }
-            WorkloadOp::SafeWrite { key, size } => match self.directory.get(&key) {
-                Some(&shard) => shard,
+            WorkloadOp::SafeWrite { key, size } => match directory.get(&key) {
+                Some(&shard) => Ok(shard),
                 None => {
-                    let shard = self.router.route(key, size);
-                    self.directory.insert(key, shard);
-                    shard
+                    let shard = router.route(key, size);
+                    directory.insert(key, shard);
+                    Ok(shard)
                 }
             },
-            WorkloadOp::Get { key } => self
-                .directory
-                .get(&key)
-                .copied()
-                .unwrap_or_else(|| self.router.route(key, 0)),
-            WorkloadOp::Delete { key } => self
-                .directory
-                .remove(&key)
-                .unwrap_or_else(|| self.router.route(key, 0)),
+            WorkloadOp::Get { key } => directory.get(&key).copied().ok_or_else(|| miss(key)),
+            WorkloadOp::Delete { key } => directory.remove(&key).ok_or_else(|| miss(key)),
         }
     }
 
     /// Splits an aggregate arrival schedule into per-shard sub-streams,
     /// preserving arrival order within each.
-    fn partition(&mut self, schedule: Vec<StoreRequest>) -> Vec<Vec<StoreRequest>> {
+    fn partition(
+        &mut self,
+        schedule: Vec<StoreRequest>,
+    ) -> Result<Vec<Vec<StoreRequest>>, StoreError> {
+        let mut directory = self.directory.lock().expect(DIRECTORY_MSG);
         let mut streams: Vec<Vec<StoreRequest>> = vec![Vec::new(); self.shards.len()];
         for request in schedule {
-            let shard = self.route_request(&request.op);
+            let shard = Self::route_request(&self.router, &mut directory, &request.op)?;
             streams[shard as usize].push(request);
         }
-        streams
+        Ok(streams)
+    }
+
+    /// Pushes the latest per-shard fragmentation gauges into a frag-aware
+    /// router so subsequent placements steer around hot, fragmented
+    /// shards.  A no-op for the other policies.
+    fn refresh_router_penalties(&mut self) {
+        if !self.router.policy().is_frag_aware() {
+            return;
+        }
+        let fpo: Vec<f64> = self
+            .shards
+            .iter()
+            .map(|shard| shard.fragmentation().fragments_per_object)
+            .collect();
+        self.router.set_fragmentation(&fpo);
+    }
+
+    /// Splices one shard's interval recording into the fleet trace:
+    /// spans land on that shard's track, shifted from the server-local
+    /// timeline onto the fleet timeline.
+    fn splice(&self, shard: usize, spans: Vec<SpanRecord>, metrics: Vec<MetricSample>) {
+        let offset = self.trace_offset.as_nanos();
+        let track = Track::Shard(shard.min(u8::MAX as usize) as u8);
+        for mut span in spans {
+            span.track = track;
+            span.start_ns = span.start_ns.saturating_add(offset);
+            self.obs.record_span(span);
+        }
+        for mut sample in metrics {
+            sample.at_ns = sample.at_ns.saturating_add(offset);
+            self.obs.record_metric(sample);
+        }
     }
 
     /// Loads `ops` serially (one client, zero think time) across the fleet —
     /// the bulk-load path.  Each shard loads its own partition exactly as a
-    /// bare serial harness would.
+    /// bare serial harness would; with worker threads the shards load
+    /// concurrently, producing a bit-identical layout.
     pub fn load(&mut self, ops: Vec<WorkloadOp>) -> Result<usize, StoreError> {
         let schedule: Vec<StoreRequest> = ops
             .into_iter()
@@ -284,17 +501,19 @@ impl ShardedStore {
                 arrival: SimDuration::ZERO,
             })
             .collect();
-        let streams = self.partition(schedule);
-        let mut applied = 0;
-        for (shard, stream) in streams.into_iter().enumerate() {
-            if stream.is_empty() {
-                continue;
-            }
-            applied += stream.len();
-            let ops: Vec<WorkloadOp> = stream.into_iter().map(|request| request.op).collect();
-            let mut server = StoreServer::new(self.shards[shard].as_mut());
-            server.run_closed_loop(ops, 1, SimDuration::ZERO)?;
+        let streams = self.partition(schedule)?;
+        let applied: usize = streams.iter().map(Vec::len).sum();
+        let runs = drain_streams(
+            &mut self.shards,
+            streams,
+            self.parallelism,
+            false,
+            DrainMode::BulkLoad,
+        );
+        for slot in runs.into_iter().flatten() {
+            slot?;
         }
+        self.refresh_router_penalties();
         Ok(applied)
     }
 
@@ -308,34 +527,37 @@ impl ShardedStore {
         schedule: Vec<StoreRequest>,
     ) -> Result<Vec<Completion>, StoreError> {
         let total = schedule.len();
-        let streams = self.partition(schedule);
+        let streams = self.partition(schedule)?;
+        let counts: Vec<usize> = streams.iter().map(Vec::len).collect();
+        let runs = drain_streams(
+            &mut self.shards,
+            streams,
+            self.parallelism,
+            self.obs.enabled(),
+            DrainMode::Schedule,
+        );
         let mut merged: Vec<Completion> = Vec::with_capacity(total);
         let mut interval_end = SimDuration::ZERO;
-        for (shard, stream) in streams.into_iter().enumerate() {
+        for (shard, slot) in runs.into_iter().enumerate() {
             self.last_queue[shard] = QueueStats::default();
-            if stream.is_empty() {
-                continue;
-            }
-            let count = stream.len();
-            let mut server = StoreServer::new(self.shards[shard].as_mut());
-            let completions = server.run_schedule(stream)?;
-            self.last_queue[shard] = server.queue_stats();
-            let shard_end = server.now();
-            interval_end = interval_end.max(shard_end);
-            drop(server);
+            let Some(outcome) = slot else { continue };
+            let run = outcome?;
+            self.last_queue[shard] = run.queue;
+            interval_end = interval_end.max(run.end);
             if self.obs.enabled() {
+                self.splice(shard, run.spans, run.metrics);
                 self.obs.span(
                     Track::Shard(shard.min(u8::MAX as usize) as u8),
                     "interval",
                     self.trace_offset.as_nanos(),
-                    shard_end.as_nanos(),
+                    run.end.as_nanos(),
                     &[
-                        ("requests", (count as u64).into()),
-                        ("max_queue_depth", self.last_queue[shard].max_depth.into()),
+                        ("requests", (counts[shard] as u64).into()),
+                        ("max_queue_depth", run.queue.max_depth.into()),
                     ],
                 );
             }
-            merged.extend(completions);
+            merged.extend(run.completions);
         }
         // Aggregate arrival order: client ids number the aggregate stream,
         // so (arrival, client) restores exactly the order the scheduler
@@ -343,6 +565,64 @@ impl ShardedStore {
         merged.sort_by_key(|completion| (completion.request.arrival, completion.request.client.0));
         self.probe(self.trace_offset + interval_end);
         self.trace_offset += interval_end;
+        self.refresh_router_penalties();
+        Ok(merged)
+    }
+
+    /// Runs an aggregate schedule with rebalancing interleaved *inside*
+    /// the measurement interval: the schedule is cut into `slices` equal
+    /// arrival-time windows, each window is drained across the fleet
+    /// (in parallel under `FleetParallelism::Threads`), and one budgeted
+    /// [`ShardedStore::run_rebalance_slice`] runs between windows — so
+    /// migration I/O lands on source and destination shard clocks while
+    /// foreground load is in flight, not in a quiet phase afterwards.
+    /// Migrations and foreground routing serialize through the guarded
+    /// directory; queue backlog does not carry across window boundaries
+    /// (each window re-opens its shard queues, as separate measurement
+    /// intervals do).
+    pub fn run_schedule_with_rebalance(
+        &mut self,
+        schedule: Vec<StoreRequest>,
+        budget_bytes: u64,
+        slices: u32,
+    ) -> Result<Vec<Completion>, StoreError> {
+        let slices = slices.max(1);
+        if schedule.is_empty() {
+            return Ok(Vec::new());
+        }
+        let horizon = schedule
+            .last()
+            .map(|request| request.arrival)
+            .unwrap_or(SimDuration::ZERO);
+        let window_ns = (horizon.as_nanos() / slices as u64).max(1);
+        let mut windows: Vec<Vec<StoreRequest>> = vec![Vec::new(); slices as usize];
+        for request in schedule {
+            let index =
+                ((request.arrival.as_nanos() / window_ns) as usize).min(slices as usize - 1);
+            windows[index].push(request);
+        }
+        let mut merged: Vec<Completion> = Vec::new();
+        for (index, mut window) in windows.into_iter().enumerate() {
+            if !window.is_empty() {
+                // Rebase arrivals onto the window's own timeline (each
+                // window is a measurement interval of its own), then
+                // shift the completions back so the merged stream stays
+                // on the aggregate clock.
+                let base = SimDuration::from_nanos(index as u64 * window_ns);
+                for request in &mut window {
+                    request.arrival = request.arrival.saturating_sub(base);
+                }
+                let completions = self.run_schedule(window)?;
+                merged.extend(completions.into_iter().map(|mut completion| {
+                    completion.request.arrival += base;
+                    completion.start += base;
+                    completion.finish += base;
+                    completion
+                }));
+            }
+            let now = self.trace_offset;
+            self.run_rebalance_slice(budget_bytes, now);
+        }
         Ok(merged)
     }
 
@@ -391,6 +671,23 @@ impl ShardedStore {
         self.run_schedule(schedule)
     }
 
+    /// Mixed open-loop variant of
+    /// [`ShardedStore::run_schedule_with_rebalance`]: the aggregate
+    /// read/write arrival process is drawn exactly as
+    /// [`ShardedStore::run_mixed_open_loop`] does, then drained with
+    /// budgeted rebalancing interleaved between arrival-time windows.
+    pub fn run_mixed_open_loop_with_rebalance(
+        &mut self,
+        reads: Vec<WorkloadOp>,
+        writes: Vec<WorkloadOp>,
+        load: MixedOpenLoop,
+        budget_bytes: u64,
+        slices: u32,
+    ) -> Result<Vec<Completion>, StoreError> {
+        let schedule = load.schedule(SimDuration::ZERO, reads, writes)?;
+        self.run_schedule_with_rebalance(schedule, budget_bytes, slices)
+    }
+
     /// Runs fan-out reads: each group of keys is one multi-object request
     /// whose sub-reads all arrive at the group's Poisson instant, routed to
     /// their shards, and the request completes when the slowest sub-read
@@ -410,18 +707,21 @@ impl ShardedStore {
         let group_count = groups.len();
         let mut streams: Vec<Vec<StoreRequest>> = vec![Vec::new(); self.shards.len()];
         let mut arrivals = Vec::with_capacity(group_count);
-        for (group, keys) in groups.into_iter().enumerate() {
-            let unit: f64 = rng.gen_range(1e-12..1.0);
-            at += SimDuration::from_secs_f64(-unit.ln() / load.ops_per_sec);
-            arrivals.push(at);
-            for key in keys {
-                let op = WorkloadOp::Get { key };
-                let shard = self.route_request(&op);
-                streams[shard as usize].push(StoreRequest {
-                    client: ClientId(group as u32),
-                    op,
-                    arrival: at,
-                });
+        {
+            let mut directory = self.directory.lock().expect(DIRECTORY_MSG);
+            for (group, keys) in groups.into_iter().enumerate() {
+                let unit: f64 = rng.gen_range(1e-12..1.0);
+                at += SimDuration::from_secs_f64(-unit.ln() / load.ops_per_sec);
+                arrivals.push(at);
+                for key in keys {
+                    let op = WorkloadOp::Get { key };
+                    let shard = Self::route_request(&self.router, &mut directory, &op)?;
+                    streams[shard as usize].push(StoreRequest {
+                        client: ClientId(group as u32),
+                        op,
+                        arrival: at,
+                    });
+                }
             }
         }
 
@@ -434,18 +734,24 @@ impl ShardedStore {
                 parts: Vec::new(),
             })
             .collect();
+        let runs = drain_streams(
+            &mut self.shards,
+            streams,
+            self.parallelism,
+            self.obs.enabled(),
+            DrainMode::Schedule,
+        );
         let mut interval_end = SimDuration::ZERO;
-        for (shard, stream) in streams.into_iter().enumerate() {
+        for (shard, slot) in runs.into_iter().enumerate() {
             self.last_queue[shard] = QueueStats::default();
-            if stream.is_empty() {
-                continue;
+            let Some(outcome) = slot else { continue };
+            let run = outcome?;
+            self.last_queue[shard] = run.queue;
+            interval_end = interval_end.max(run.end);
+            if self.obs.enabled() {
+                self.splice(shard, run.spans, run.metrics);
             }
-            let mut server = StoreServer::new(self.shards[shard].as_mut());
-            let completions = server.run_schedule(stream)?;
-            self.last_queue[shard] = server.queue_stats();
-            interval_end = interval_end.max(server.now());
-            drop(server);
-            for completion in completions {
+            for completion in run.completions {
                 let group = completion.request.client.0 as usize;
                 if self.obs.enabled() {
                     self.obs.span(
@@ -470,6 +776,7 @@ impl ShardedStore {
         }
         self.probe(self.trace_offset + interval_end);
         self.trace_offset += interval_end;
+        self.refresh_router_penalties();
         Ok(grouped)
     }
 
@@ -481,13 +788,21 @@ impl ShardedStore {
         let Some(scheduler) = self.rebalance.as_mut() else {
             return MaintIo::NONE;
         };
-        let mut target = RebalanceTarget {
-            shards: &mut self.shards,
-            directory: &mut self.directory,
-            placement: self.placement,
-            state: &mut self.rebalance_state,
+        let io = {
+            // Hold the directory for the whole slice: every migration's
+            // copy-then-retarget publishes atomically with respect to
+            // foreground partitioning.
+            let mut directory = self.directory.lock().expect(DIRECTORY_MSG);
+            let mut target = RebalanceTarget {
+                shards: &mut self.shards,
+                directory: &mut directory,
+                placement: self.placement,
+                state: &mut self.rebalance_state,
+            };
+            scheduler.run_budgeted_slice(&mut target, budget_bytes, now)
         };
-        scheduler.run_budgeted_slice(&mut target, budget_bytes, now)
+        self.refresh_router_penalties();
+        io
     }
 
     /// Statistics of the rebalancing drive, if enabled.
@@ -543,7 +858,11 @@ impl std::fmt::Debug for ShardedStore {
         f.debug_struct("ShardedStore")
             .field("shards", &self.shards.len())
             .field("router", &self.router.policy())
-            .field("objects", &self.directory.len())
+            .field(
+                "objects",
+                &self.directory.lock().expect(DIRECTORY_MSG).len(),
+            )
+            .field("parallelism", &self.parallelism)
             .field("rebalancing", &self.rebalance.is_some())
             .finish()
     }

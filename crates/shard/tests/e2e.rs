@@ -14,11 +14,12 @@
 //!   writes never touch any shard's foreground band.
 
 use lor_core::{
-    ExperimentConfig, MixedOpenLoop, ObjectKey, OpenLoop, PlacementPolicy, SizeDistribution,
-    StoreKind, StoreServer, WorkloadGenerator,
+    ExperimentConfig, FleetParallelism, MixedOpenLoop, ObjectKey, OpenLoop, PlacementPolicy,
+    SizeDistribution, StoreError, StoreKind, StoreServer, WorkloadGenerator, WorkloadOp,
 };
 use lor_disksim::SimDuration;
 use lor_maint::{MaintenanceConfig, MaintenancePolicy};
+use lor_obs::Obs;
 use lor_shard::{fanout_p99_ms, RouterPolicy, ShardedStore};
 
 fn small_config(object_size: u64, volume: u64) -> ExperimentConfig {
@@ -256,4 +257,273 @@ fn rebalancing_reduces_skew_without_touching_foreground_bands() {
             "shard {shard}: foreground band grew during rebalancing ({before:.4} -> {after:.4})"
         );
     }
+}
+
+/// Runs one full fleet scenario — parallel bulk load, a mixed open-loop
+/// interval, fan-out reads, and budgeted rebalancing — under the given
+/// parallelism, returning everything an observer could compare.
+#[allow(clippy::type_complexity)]
+fn fleet_scenario(
+    kind: StoreKind,
+    parallelism: FleetParallelism,
+) -> (
+    Vec<lor_core::Completion>,
+    Vec<lor_shard::FanoutCompletion>,
+    SimDuration,
+    Vec<f64>,
+    usize,
+    u64,
+    String,
+) {
+    let config = small_config(512 << 10, 96 << 20).with_fleet_parallelism(parallelism);
+    let mut fleet = ShardedStore::new(
+        kind,
+        &config,
+        3,
+        RouterPolicy::ConsistentHash { vnodes: 16 },
+    )
+    .expect("fleet");
+    let (obs, trace) = Obs::trace(1 << 14);
+    fleet.set_obs(obs);
+    let mut generator = WorkloadGenerator::new(config.workload());
+    fleet.load(generator.bulk_load()).expect("bulk load");
+    let reads = generator.read_sample(96);
+    let writes = generator.safe_write_sample(48);
+    let completions = fleet
+        .run_mixed_open_loop(
+            reads,
+            writes,
+            MixedOpenLoop {
+                read_ops_per_sec: 40.0,
+                write_ops_per_sec: 20.0,
+                seed: 9,
+            },
+        )
+        .expect("mixed run");
+    let keys: Vec<ObjectKey> = generator.live_keys().to_vec();
+    let groups: Vec<Vec<ObjectKey>> = (0..48)
+        .map(|group| {
+            (0..3)
+                .map(|part| keys[(group * 5 + part * 11) % keys.len()])
+                .collect()
+        })
+        .collect();
+    let fanout = fleet
+        .run_fanout_reads(
+            groups,
+            OpenLoop {
+                ops_per_sec: 25.0,
+                seed: 13,
+            },
+        )
+        .expect("fan-out run");
+    fleet
+        .enable_rebalancing(MaintenanceConfig::new(MaintenancePolicy::FixedBudget {
+            io_per_tick: 64,
+        }))
+        .expect("enable rebalancing");
+    let mut now = fleet.elapsed();
+    for _ in 0..8 {
+        fleet.run_rebalance_slice(8 << 20, now);
+        now += SimDuration::from_millis(250);
+    }
+    let frag: Vec<f64> = fleet
+        .per_shard_fragmentation()
+        .iter()
+        .map(|summary| summary.fragments_per_object)
+        .collect();
+    (
+        completions,
+        fanout,
+        fleet.elapsed(),
+        frag,
+        fleet.object_count(),
+        fleet.migration_refusals(),
+        trace.to_chrome_json(),
+    )
+}
+
+#[test]
+fn parallel_fleet_is_bit_identical_to_serial_on_every_substrate() {
+    for kind in [
+        StoreKind::Filesystem,
+        StoreKind::Database,
+        StoreKind::LogStructured,
+    ] {
+        let serial = fleet_scenario(kind, FleetParallelism::Serial);
+        // One thread per shard, and a smaller work-stealing pool (2 workers
+        // over 3 shards) — both must match the serial reference exactly,
+        // down to the spliced trace.
+        for threads in [2u32, 8] {
+            let parallel = fleet_scenario(kind, FleetParallelism::Threads(threads));
+            assert_eq!(
+                serial.0, parallel.0,
+                "{kind}/threads({threads}): completions diverged from serial"
+            );
+            assert_eq!(
+                serial.1, parallel.1,
+                "{kind}/threads({threads}): fan-out completions diverged"
+            );
+            assert_eq!(
+                serial.2, parallel.2,
+                "{kind}/threads({threads}): fleet clock diverged"
+            );
+            assert_eq!(
+                serial.3, parallel.3,
+                "{kind}/threads({threads}): per-shard fragmentation diverged"
+            );
+            assert_eq!(serial.4, parallel.4, "{kind}/threads({threads}): objects");
+            assert_eq!(
+                serial.5, parallel.5,
+                "{kind}/threads({threads}): migration refusals diverged"
+            );
+            assert_eq!(
+                serial.6, parallel.6,
+                "{kind}/threads({threads}): spliced traces diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_rebalancing_reduces_skew_while_load_is_in_flight() {
+    let make_fleet = |parallelism: FleetParallelism| {
+        let mut config = small_config(1 << 20, 512 << 20).with_fleet_parallelism(parallelism);
+        config.placement = PlacementPolicy::banded(0.7);
+        let fleet = ShardedStore::new(
+            StoreKind::Filesystem,
+            &config,
+            4,
+            RouterPolicy::ConsistentHash { vnodes: 16 },
+        )
+        .expect("fleet");
+        (config, fleet)
+    };
+    let churn = |generator: &mut WorkloadGenerator| {
+        let reads = generator.zipf_read_sample(40, 1.1);
+        let mut seen = std::collections::HashSet::new();
+        let writes: Vec<_> = generator
+            .zipf_safe_write_sample(160, 1.1)
+            .into_iter()
+            .filter(|op| match op {
+                WorkloadOp::SafeWrite { key, .. } => seen.insert(*key),
+                _ => true,
+            })
+            .collect();
+        (reads, writes)
+    };
+    let load = MixedOpenLoop {
+        read_ops_per_sec: 20.0,
+        write_ops_per_sec: 80.0,
+        seed: 3,
+    };
+
+    // Baseline: identical churn with no rebalancing at all.
+    let (config, mut idle) = make_fleet(FleetParallelism::Serial);
+    let mut generator = WorkloadGenerator::new(config.workload());
+    idle.load(generator.bulk_load()).expect("bulk load");
+    for _ in 0..4 {
+        let (reads, writes) = churn(&mut generator);
+        idle.run_mixed_open_loop(reads, writes, load)
+            .expect("churn");
+    }
+    let idle_skew = idle.fragmentation_skew();
+    assert!(
+        idle_skew > 1.02,
+        "Zipfian churn must skew the fleet (got {idle_skew:.3})"
+    );
+
+    // Concurrent: the same churn intervals, with budgeted rebalance slices
+    // interleaved between arrival-time windows *inside* each interval —
+    // run under both serial and threaded drainage, which must agree.
+    let mut outcomes = Vec::new();
+    for parallelism in [FleetParallelism::Serial, FleetParallelism::Threads(3)] {
+        let (config, mut fleet) = make_fleet(parallelism);
+        let mut generator = WorkloadGenerator::new(config.workload());
+        fleet.load(generator.bulk_load()).expect("bulk load");
+        fleet
+            .enable_rebalancing(MaintenanceConfig::new(MaintenancePolicy::FixedBudget {
+                io_per_tick: 64,
+            }))
+            .expect("enable rebalancing");
+        let mut completions = Vec::new();
+        for _ in 0..4 {
+            let (reads, writes) = churn(&mut generator);
+            completions.extend(
+                fleet
+                    .run_mixed_open_loop_with_rebalance(reads, writes, load, 16 << 20, 8)
+                    .expect("concurrent churn"),
+            );
+        }
+        outcomes.push((
+            completions,
+            fleet.fragmentation_skew(),
+            fleet.objects_migrated(),
+            fleet.elapsed(),
+        ));
+    }
+    assert_eq!(
+        outcomes[0], outcomes[1],
+        "concurrent rebalancing must be bit-identical under threaded drainage"
+    );
+    let (_, skew, migrated, _) = &outcomes[0];
+    assert!(
+        *migrated >= 1,
+        "rebalancing under load must have migrated something"
+    );
+    assert!(
+        *skew < idle_skew,
+        "load-concurrent rebalancing must beat no rebalancing ({idle_skew:.3} -> {skew:.3})"
+    );
+}
+
+#[test]
+fn unknown_key_reads_and_deletes_are_a_typed_miss() {
+    let config = small_config(512 << 10, 64 << 20);
+    let mut fleet = ShardedStore::new(
+        StoreKind::Filesystem,
+        &config,
+        4,
+        RouterPolicy::SizeAware {
+            threshold: 256 << 10,
+            vnodes: 16,
+        },
+    )
+    .expect("fleet");
+    let mut generator = WorkloadGenerator::new(config.workload());
+    fleet.load(generator.bulk_load()).expect("bulk load");
+
+    // A key the fleet has never seen: under SizeAware routing its shard
+    // would depend on the (unknowable) object size, so the miss is typed
+    // instead of guessed.
+    let ghost = ObjectKey(u64::MAX - 7);
+    for op in [
+        WorkloadOp::Get { key: ghost },
+        WorkloadOp::Delete { key: ghost },
+    ] {
+        let result = fleet.run_open_loop(
+            vec![op],
+            OpenLoop {
+                ops_per_sec: 10.0,
+                seed: 1,
+            },
+        );
+        assert!(
+            matches!(result, Err(StoreError::NoSuchObject(ref key)) if key == &ghost.to_string()),
+            "unknown-key {op:?} must surface as a typed miss, got {result:?}"
+        );
+    }
+
+    // Known keys still route through the directory and succeed.
+    let known = generator.live_keys()[0];
+    let completions = fleet
+        .run_open_loop(
+            vec![WorkloadOp::Get { key: known }],
+            OpenLoop {
+                ops_per_sec: 10.0,
+                seed: 1,
+            },
+        )
+        .expect("known-key read");
+    assert_eq!(completions.len(), 1);
 }

@@ -1,11 +1,21 @@
-//! Property tests for the consistent-hash router: reshard cheapness (adding
-//! one shard to an `n`-shard fleet moves only ~`1/(n+1)` of the keys, and
-//! every moved key moves *to* the new shard) and bit-identical routing
-//! across independently built tables — the property the sharded arrival
-//! streams rely on for seed stability.
+//! Property tests for the sharded fleet.
+//!
+//! * **Router** — reshard cheapness (adding one shard to an `n`-shard fleet
+//!   moves only ~`1/(n+1)` of the keys, and every moved key moves *to* the
+//!   new shard) and bit-identical routing across independently built tables
+//!   — the property the sharded arrival streams rely on for seed stability.
+//! * **Parallel execution** — driving the fleet with worker threads is
+//!   *bit-identical* to the serial drain for every substrate and fleet
+//!   width, and repeated parallel runs are deterministic: thread scheduling
+//!   must never leak into simulated time, completions, fragmentation, or
+//!   rebalancing decisions.
 
-use lor_core::ObjectKey;
-use lor_shard::{Router, RouterPolicy};
+use lor_core::{
+    ExperimentConfig, FleetParallelism, MixedOpenLoop, ObjectKey, SizeDistribution, StoreKind,
+    WorkloadGenerator,
+};
+use lor_maint::{MaintenanceConfig, MaintenancePolicy};
+use lor_shard::{Router, RouterPolicy, ShardedStore};
 use proptest::prelude::*;
 
 /// Spreads sequential draws over the key space so the sampled keys exercise
@@ -63,10 +73,20 @@ proptest! {
         let policies = [
             RouterPolicy::ConsistentHash { vnodes },
             RouterPolicy::SizeAware { threshold: threshold_mb << 20, vnodes },
+            RouterPolicy::FragAware { vnodes },
         ];
         for policy in policies {
-            let first = Router::new(policy, shards);
-            let second = Router::new(policy, shards);
+            let mut first = Router::new(policy, shards);
+            let mut second = Router::new(policy, shards);
+            if policy.is_frag_aware() {
+                // A frag-aware table is only fully exercised with a published
+                // snapshot; derive a deterministic, uneven one from `base`.
+                let snapshot: Vec<f64> = (0..shards)
+                    .map(|shard| 1.0 + ((base >> (shard % 60)) & 3) as f64 * 0.1)
+                    .collect();
+                first.set_fragmentation(&snapshot);
+                second.set_fragmentation(&snapshot);
+            }
             for index in 0..600u64 {
                 let key = key(base, index);
                 // Straddle the size-aware threshold from both sides.
@@ -75,6 +95,126 @@ proptest! {
                     prop_assert!(route < shards);
                     prop_assert_eq!(route, second.route(key, size));
                 }
+            }
+        }
+    }
+}
+
+/// One small fleet scenario — bulk load, a mixed open-loop interval, and two
+/// budgeted rebalance slices — returning everything an observer could
+/// compare across parallelism modes.
+fn fleet_outcome(
+    kind: StoreKind,
+    shards: u32,
+    seed: u64,
+    parallelism: FleetParallelism,
+) -> (
+    Vec<lor_core::Completion>,
+    lor_disksim::SimDuration,
+    Vec<f64>,
+    usize,
+    u64,
+) {
+    let mut config = ExperimentConfig::paper_default(SizeDistribution::Constant(256 << 10));
+    config.volume_bytes = 128 << 20;
+    let config = config.with_fleet_parallelism(parallelism);
+    let mut fleet = ShardedStore::new(
+        kind,
+        &config,
+        shards,
+        RouterPolicy::ConsistentHash { vnodes: 8 },
+    )
+    .expect("fleet");
+    let mut generator = WorkloadGenerator::new(config.workload());
+    fleet.load(generator.bulk_load()).expect("bulk load");
+    let reads = generator.read_sample(48);
+    let writes = generator.safe_write_sample(24);
+    let completions = fleet
+        .run_mixed_open_loop(
+            reads,
+            writes,
+            MixedOpenLoop {
+                read_ops_per_sec: 40.0,
+                write_ops_per_sec: 20.0,
+                seed,
+            },
+        )
+        .expect("mixed run");
+    fleet
+        .enable_rebalancing(MaintenanceConfig::new(MaintenancePolicy::FixedBudget {
+            io_per_tick: 64,
+        }))
+        .expect("enable rebalancing");
+    let mut now = fleet.elapsed();
+    for _ in 0..2 {
+        fleet.run_rebalance_slice(4 << 20, now);
+        now += lor_disksim::SimDuration::from_millis(250);
+    }
+    let frag: Vec<f64> = fleet
+        .per_shard_fragmentation()
+        .iter()
+        .map(|summary| summary.fragments_per_object)
+        .collect();
+    (
+        completions,
+        fleet.elapsed(),
+        frag,
+        fleet.object_count(),
+        fleet.migration_refusals(),
+    )
+}
+
+proptest! {
+    // Each case runs 9 kind×width combos three times over; a handful of
+    // cases over varying seeds and pool sizes is plenty.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Worker-thread execution is bit-identical to the serial drain —
+    /// completions, the fleet clock, per-shard fragmentation, the object
+    /// census, and rebalancing refusals — for every substrate at fleet
+    /// widths below, equal to, and above the worker count.  A second
+    /// parallel run must also match the first: thread scheduling can affect
+    /// only wall-clock, never the simulation.
+    #[test]
+    fn parallel_fleet_execution_is_bit_identical_to_serial(
+        seed in 1u64..10_000,
+        threads in 2u32..6,
+    ) {
+        for kind in [
+            StoreKind::Filesystem,
+            StoreKind::Database,
+            StoreKind::LogStructured,
+        ] {
+            for shards in [1u32, 3, 8] {
+                let serial = fleet_outcome(kind, shards, seed, FleetParallelism::Serial);
+                let parallel =
+                    fleet_outcome(kind, shards, seed, FleetParallelism::Threads(threads));
+                let again =
+                    fleet_outcome(kind, shards, seed, FleetParallelism::Threads(threads));
+                prop_assert_eq!(
+                    &serial.0, &parallel.0,
+                    "{}/{} shards: completions diverged from serial", kind, shards
+                );
+                prop_assert_eq!(
+                    serial.1, parallel.1,
+                    "{}/{} shards: fleet clock diverged", kind, shards
+                );
+                prop_assert_eq!(
+                    &serial.2, &parallel.2,
+                    "{}/{} shards: per-shard fragmentation diverged", kind, shards
+                );
+                prop_assert_eq!(
+                    serial.3, parallel.3,
+                    "{}/{} shards: object census diverged", kind, shards
+                );
+                prop_assert_eq!(
+                    serial.4, parallel.4,
+                    "{}/{} shards: migration refusals diverged", kind, shards
+                );
+                prop_assert_eq!(
+                    &parallel, &again,
+                    "{}/{} shards: repeated parallel runs diverged", kind, shards
+                );
             }
         }
     }
